@@ -1,0 +1,27 @@
+//! # hics-baselines — the competitors of the HiCS evaluation
+//!
+//! * [`pca`] — PCA (+ from-scratch Jacobi eigensolver in [`linalg`]) + LOF:
+//!   the dimensionality-reduction baselines PCALOF1/PCALOF2.
+//! * [`random`] — random-subspace feature bagging (RANDSUB).
+//! * [`enclus`] — entropy/interest grid-based subspace search (Enclus).
+//! * [`ris`] — density-based subspace ranking via core objects (RIS).
+//! * [`method`] — the [`method::OutlierMethod`] trait unifying all
+//!   competitors plus full-space LOF and HiCS for the experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod enclus;
+pub mod linalg;
+pub mod method;
+pub mod pca;
+pub mod random;
+pub mod ris;
+
+pub use enclus::{Enclus, EnclusParams, EnclusSubspace};
+pub use method::{
+    EnclusMethod, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
+    RandSubMethod, RisMethod,
+};
+pub use pca::{Pca, PcaLof, PcaStrategy};
+pub use random::{RandomSubspaces, RandomSubspacesParams};
+pub use ris::{Ris, RisParams, RisSubspace};

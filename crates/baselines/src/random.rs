@@ -1,0 +1,116 @@
+//! Random subspace selection (feature bagging) — the decoupled baseline
+//! `RANDSUB` of the paper (Lazarevic & Kumar, KDD 2005).
+//!
+//! Each round draws a uniformly random subspace of size `⌈d/2⌉ … d − 1`
+//! (the feature-bagging convention), scores it with LOF, and the rounds are
+//! averaged — Definition 1 with a random `RS`. The paper's runtime
+//! discussion (Fig. 6) notes RANDSUB is *slower* than HiCS-selected
+//! subspaces despite doing no search, because random subspaces are much
+//! larger on average than the 2–5-dim high-contrast ones.
+
+use hics_core::subspace::Subspace;
+use hics_data::rng_util::sample_indices;
+use hics_data::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the random-subspace baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSubspacesParams {
+    /// Number of random subspaces (paper: 100, like every other method).
+    pub num_subspaces: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSubspacesParams {
+    fn default() -> Self {
+        Self { num_subspaces: 100, seed: 0 }
+    }
+}
+
+/// The RANDSUB subspace "search": uniform random projections.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSubspaces {
+    params: RandomSubspacesParams,
+}
+
+impl RandomSubspaces {
+    /// Creates the selector.
+    ///
+    /// # Panics
+    /// Panics if `num_subspaces == 0`.
+    pub fn new(params: RandomSubspacesParams) -> Self {
+        assert!(params.num_subspaces >= 1, "need at least one subspace");
+        Self { params }
+    }
+
+    /// Draws the random subspace list for a `d`-dimensional dataset.
+    ///
+    /// Sizes are uniform in `[⌈d/2⌉, d − 1]` (for `d = 2`: always 1).
+    ///
+    /// # Panics
+    /// Panics if `d < 2`.
+    pub fn select(&self, d: usize) -> Vec<Subspace> {
+        assert!(d >= 2, "feature bagging needs at least 2 attributes");
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let lo = d.div_ceil(2).min(d - 1);
+        let hi = d - 1;
+        (0..self.params.num_subspaces)
+            .map(|_| {
+                let size = rng.gen_range(lo..=hi);
+                Subspace::new(sample_indices(&mut rng, d, size))
+            })
+            .collect()
+    }
+
+    /// Convenience: select subspaces for `data` as plain dim vectors.
+    pub fn select_dims(&self, data: &Dataset) -> Vec<Vec<usize>> {
+        self.select(data.d()).iter().map(|s| s.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_in_feature_bagging_range() {
+        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 200, seed: 1 });
+        for s in r.select(10) {
+            assert!(s.len() >= 5 && s.len() <= 9, "size {}", s.len());
+        }
+    }
+
+    #[test]
+    fn two_dim_data_gets_singleton_subspaces() {
+        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 10, seed: 2 });
+        for s in r.select(2) {
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RandomSubspacesParams { num_subspaces: 50, seed: 9 };
+        let a = RandomSubspaces::new(p).select(20);
+        let b = RandomSubspaces::new(p).select(20);
+        assert_eq!(a, b);
+        let c = RandomSubspaces::new(RandomSubspacesParams { seed: 10, ..p }).select(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attributes_within_range() {
+        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 100, seed: 3 });
+        for s in r.select(7) {
+            assert!(s.dims().all(|d| d < 7));
+        }
+    }
+
+    #[test]
+    fn requested_count_produced() {
+        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 17, seed: 4 });
+        assert_eq!(r.select(5).len(), 17);
+    }
+}

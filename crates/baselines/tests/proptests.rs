@@ -1,0 +1,95 @@
+//! Property-based tests of the competitor substrates: PCA/Jacobi algebraic
+//! invariants and selector contracts.
+
+use hics_baselines::linalg::{jacobi_eigen, SymMatrix};
+use hics_baselines::pca::{Pca, PcaStrategy};
+use hics_baselines::random::{RandomSubspaces, RandomSubspacesParams};
+use hics_data::Dataset;
+use proptest::prelude::*;
+
+/// Strategy: a small random symmetric matrix with bounded entries.
+fn sym_matrix(n: usize) -> impl Strategy<Value = SymMatrix> {
+    prop::collection::vec(-10.0..10.0f64, n * n)
+        .prop_map(move |buf| SymMatrix::from_buffer(n, buf))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn jacobi_preserves_trace(m in sym_matrix(5)) {
+        let trace: f64 = (0..5).map(|i| m.get(i, i)).sum();
+        let e = jacobi_eigen(m);
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn jacobi_eigenpairs_satisfy_av_equals_lv(m in sym_matrix(4)) {
+        let e = jacobi_eigen(m.clone());
+        for (lambda, v) in e.values.iter().zip(&e.vectors) {
+            for i in 0..4 {
+                let av: f64 = (0..4).map(|j| m.get(i, j) * v[j]).sum();
+                prop_assert!(
+                    (av - lambda * v[i]).abs() < 1e-6,
+                    "A v != lambda v: {av} vs {}", lambda * v[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_sorted_descending(m in sym_matrix(6)) {
+        let e = jacobi_eigen(m);
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pca_projection_variance_ordered(
+        cols in prop::collection::vec(
+            prop::collection::vec(-5.0..5.0f64, 40),
+            2..5,
+        ),
+    ) {
+        let data = Dataset::from_columns(cols);
+        let pca = Pca::fit(&data);
+        let k = data.d();
+        let p = pca.project(&data, k);
+        let var = |c: &[f64]| {
+            let m = c.iter().sum::<f64>() / c.len() as f64;
+            c.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (c.len() as f64 - 1.0)
+        };
+        // Component variances are non-increasing.
+        for j in 1..k {
+            prop_assert!(var(p.col(j - 1)) >= var(p.col(j)) - 1e-8);
+        }
+        // Total variance is preserved by the orthogonal transform.
+        let orig: f64 = (0..k).map(|j| var(data.col(j))).sum();
+        let proj: f64 = (0..k).map(|j| var(p.col(j))).sum();
+        prop_assert!((orig - proj).abs() < 1e-6 * orig.max(1.0));
+    }
+
+    #[test]
+    fn strategy_component_counts_bounded(d in 1usize..300) {
+        prop_assert!(PcaStrategy::HalfDims.components(d) >= 1);
+        prop_assert!(PcaStrategy::HalfDims.components(d) <= d);
+        prop_assert!(PcaStrategy::FixedDims(10).components(d) <= d.max(1));
+    }
+
+    #[test]
+    fn random_subspaces_contract(d in 2usize..60, seed in 0u64..100) {
+        let sel = RandomSubspaces::new(RandomSubspacesParams {
+            num_subspaces: 20,
+            seed,
+        });
+        let subs = sel.select(d);
+        prop_assert_eq!(subs.len(), 20);
+        for s in subs {
+            prop_assert!(s.len() >= d.div_ceil(2).min(d - 1));
+            prop_assert!(s.len() < d);
+            prop_assert!(s.dims().all(|a| a < d));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the Monte-Carlo contrast computation:
+//! cost vs M, vs subspace dimensionality, and vs the statistical test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hics_core::contrast::ContrastEstimator;
+use hics_core::{SliceSizing, StatTest, Subspace};
+use hics_data::SyntheticConfig;
+use std::hint::black_box;
+
+fn bench_contrast_vs_m(c: &mut Criterion) {
+    let g = SyntheticConfig::new(1000, 10).with_seed(1).generate();
+    let sub = Subspace::new([0, 1, 2]);
+    let mut group = c.benchmark_group("contrast_vs_m");
+    group.sample_size(20);
+    for m in [10usize, 50, 200] {
+        let est = ContrastEstimator::new(
+            &g.dataset,
+            m,
+            0.1,
+            SliceSizing::PaperRoot,
+            StatTest::WelchT.as_deviation(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(est.contrast(&sub, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_contrast_vs_dim(c: &mut Criterion) {
+    let g = SyntheticConfig::new(1000, 12).with_seed(2).generate();
+    let mut group = c.benchmark_group("contrast_vs_subspace_dim");
+    group.sample_size(20);
+    for d in [2usize, 3, 5] {
+        let sub = Subspace::new(0..d);
+        let est = ContrastEstimator::new(
+            &g.dataset,
+            50,
+            0.1,
+            SliceSizing::PaperRoot,
+            StatTest::WelchT.as_deviation(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(est.contrast(&sub, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_contrast_vs_test(c: &mut Criterion) {
+    let g = SyntheticConfig::new(1000, 10).with_seed(3).generate();
+    let sub = Subspace::new([0, 1, 2]);
+    let mut group = c.benchmark_group("contrast_vs_stat_test");
+    group.sample_size(20);
+    for test in [
+        StatTest::WelchT,
+        StatTest::KolmogorovSmirnov,
+        StatTest::MannWhitney,
+    ] {
+        let est = ContrastEstimator::new(
+            &g.dataset,
+            50,
+            0.1,
+            SliceSizing::PaperRoot,
+            test.as_deviation(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(test.name()), &test, |b, _| {
+            b.iter(|| black_box(est.contrast(&sub, 42)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_contrast_vs_m,
+    bench_contrast_vs_dim,
+    bench_contrast_vs_test
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the LOF kernel: quadratic scaling in N,
+//! cost vs neighbourhood size k, and vs subspace dimensionality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hics_data::SyntheticConfig;
+use hics_outlier::lof::{Lof, LofParams};
+use std::hint::black_box;
+
+fn bench_lof_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lof_vs_n");
+    group.sample_size(10);
+    for n in [250usize, 500, 1000] {
+        let g = SyntheticConfig::new(n, 6).with_seed(1).generate();
+        let lof = Lof::new(LofParams { k: 10, max_threads: 1 });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(lof.scores(&g.dataset, &[0, 1])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lof_vs_k(c: &mut Criterion) {
+    let g = SyntheticConfig::new(500, 6).with_seed(2).generate();
+    let mut group = c.benchmark_group("lof_vs_k");
+    group.sample_size(10);
+    for k in [5usize, 10, 20, 40] {
+        let lof = Lof::new(LofParams { k, max_threads: 1 });
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(lof.scores(&g.dataset, &[0, 1])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lof_vs_dims(c: &mut Criterion) {
+    let g = SyntheticConfig::new(500, 12).with_seed(3).generate();
+    let mut group = c.benchmark_group("lof_vs_subspace_dims");
+    group.sample_size(10);
+    for d in [1usize, 2, 5, 12] {
+        let dims: Vec<usize> = (0..d).collect();
+        let lof = Lof::new(LofParams { k: 10, max_threads: 1 });
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(lof.scores(&g.dataset, &dims)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lof_vs_n, bench_lof_vs_k, bench_lof_vs_dims);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the full Apriori-like subspace search — the cost
+//! the candidate cutoff is designed to control (Figs. 5 and 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hics_core::{SearchParams, SubspaceSearch};
+use hics_data::SyntheticConfig;
+use std::hint::black_box;
+
+fn quick_params() -> SearchParams {
+    SearchParams {
+        m: 20,
+        candidate_cutoff: 100,
+        top_k: 50,
+        max_threads: 16,
+        ..SearchParams::default()
+    }
+}
+
+fn bench_search_vs_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_vs_dims");
+    group.sample_size(10);
+    for d in [10usize, 20, 30] {
+        let g = SyntheticConfig::new(500, d).with_seed(1).generate();
+        let search = SubspaceSearch::new(quick_params());
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(search.run(&g.dataset)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_vs_cutoff(c: &mut Criterion) {
+    let g = SyntheticConfig::new(500, 20).with_seed(2).generate();
+    let mut group = c.benchmark_group("search_vs_cutoff");
+    group.sample_size(10);
+    for cutoff in [25usize, 100, 400] {
+        let search = SubspaceSearch::new(SearchParams {
+            candidate_cutoff: cutoff,
+            ..quick_params()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, _| {
+            b.iter(|| black_box(search.run(&g.dataset)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_vs_n");
+    group.sample_size(10);
+    for n in [250usize, 500, 1000] {
+        let g = SyntheticConfig::new(n, 15).with_seed(3).generate();
+        let search = SubspaceSearch::new(quick_params());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(search.run(&g.dataset)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_vs_dims,
+    bench_search_vs_cutoff,
+    bench_search_vs_n
+);
+criterion_main!(benches);

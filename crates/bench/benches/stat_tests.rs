@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the per-call cost of the deviation tests —
+//! the innermost loop of the contrast computation (M tests per subspace,
+//! thousands of subspaces per search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hics_stats::{ks_test, mann_whitney_u, welch_t_test, Ecdf, Moments};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn samples(n_marginal: usize, n_cond: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let marginal: Vec<f64> = (0..n_marginal).map(|_| rng.gen::<f64>()).collect();
+    let cond: Vec<f64> = (0..n_cond).map(|_| rng.gen::<f64>() * 0.5).collect();
+    (marginal, cond)
+}
+
+fn bench_test_costs(c: &mut Criterion) {
+    let (marginal, cond) = samples(1000, 100);
+    let mut group = c.benchmark_group("two_sample_tests");
+    group.bench_function("welch_from_slices", |b| {
+        b.iter(|| black_box(welch_t_test(&marginal, &cond)));
+    });
+    group.bench_function("ks", |b| {
+        b.iter(|| black_box(ks_test(&marginal, &cond)));
+    });
+    group.bench_function("mann_whitney", |b| {
+        b.iter(|| black_box(mann_whitney_u(&marginal, &cond)));
+    });
+    group.finish();
+}
+
+fn bench_precomputed_marginal(c: &mut Criterion) {
+    // The hot path reuses precomputed marginal statistics — measure the
+    // incremental per-slice cost.
+    let (marginal, cond) = samples(1000, 100);
+    let m_moments = Moments::from_slice(&marginal);
+    let m_ecdf = Ecdf::new(&marginal);
+    let mut group = c.benchmark_group("precomputed_marginal");
+    group.bench_function("welch_from_moments", |b| {
+        b.iter(|| {
+            let cm = Moments::from_slice(&cond);
+            black_box(hics_stats::welch_t_test_from_moments(&m_moments, &cm))
+        });
+    });
+    group.bench_function("ks_from_ecdfs", |b| {
+        b.iter(|| {
+            let ce = Ecdf::new(&cond);
+            black_box(hics_stats::ks_test_from_ecdfs(&m_ecdf, &ce))
+        });
+    });
+    group.finish();
+}
+
+fn bench_conditional_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks_vs_conditional_size");
+    for n_cond in [50usize, 100, 500] {
+        let (marginal, cond) = samples(1000, n_cond);
+        let ecdf = Ecdf::new(&marginal);
+        group.bench_with_input(BenchmarkId::from_parameter(n_cond), &n_cond, |b, _| {
+            b.iter(|| {
+                let ce = Ecdf::new(&cond);
+                black_box(hics_stats::ks_test_from_ecdfs(&ecdf, &ce))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_test_costs,
+    bench_precomputed_marginal,
+    bench_conditional_size
+);
+criterion_main!(benches);

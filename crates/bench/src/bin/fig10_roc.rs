@@ -1,0 +1,58 @@
+//! Figure 10 reproduction: ROC curves on the Ionosphere and Pendigits
+//! benchmarks (UCI proxies — see DESIGN.md §3) for all five real-world
+//! methods.
+//!
+//! The paper highlights that HiCS reaches the maximal true-positive rate
+//! earlier than the competitors (high recall with best precision), with a
+//! minor weakness at very low false-positive rates on Ionosphere.
+
+use hics_bench::{banner, full_scale, realworld_methods};
+use hics_data::UciProxy;
+use hics_eval::report::SeriesTable;
+use hics_eval::roc::{roc_auc, roc_curve};
+
+fn main() {
+    let full = full_scale();
+    banner("Fig. 10", "ROC plots for two real-world experiments", full);
+    let scale = if full { 1.0 } else { 0.25 };
+    let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+
+    for proxy in [UciProxy::Ionosphere, UciProxy::Pendigits] {
+        let data = proxy.generate_scaled(1, scale);
+        println!(
+            "--- {} proxy: {} x {}, {} outliers ---",
+            proxy.spec().name,
+            data.dataset.n(),
+            data.dataset.d(),
+            data.outlier_count()
+        );
+        let names: Vec<String> =
+            realworld_methods(0).iter().map(|m| m.name().to_string()).collect();
+        let mut table = SeriesTable::new("FPR", names.clone());
+        let mut curves = Vec::new();
+        for method in realworld_methods(1) {
+            let scores = method.rank(&data.dataset);
+            let auc = 100.0 * roc_auc(&scores, &data.labels);
+            eprintln!("{:8} AUC = {auc:.2}%", method.name());
+            curves.push(roc_curve(&scores, &data.labels));
+        }
+        // Sample each curve's TPR on the common FPR grid.
+        for &fpr in &grid {
+            let row: Vec<Option<f64>> = curves
+                .iter()
+                .map(|curve| {
+                    let tpr = curve
+                        .iter()
+                        .take_while(|p| p.fpr <= fpr + 1e-12)
+                        .map(|p| p.tpr)
+                        .fold(0.0, f64::max);
+                    Some(tpr)
+                })
+                .collect();
+            table.push(fpr, row);
+        }
+        println!("{}", table.render(3));
+    }
+    println!("paper expectation: HiCS reaches TPR = 1 earliest; on Ionosphere its");
+    println!("curve is slightly less steep at very low FPR (full-space outliers).");
+}

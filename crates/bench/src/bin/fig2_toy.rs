@@ -1,0 +1,51 @@
+//! Figure 2 reproduction: the two-dimensional motivation example.
+//!
+//! Dataset A (uncorrelated) and dataset B (correlated) share identical
+//! marginals; the contrast measure must separate them, and LOF in the
+//! correlated subspace must surface both the trivial (o1) and the
+//! non-trivial (o2) outlier.
+
+use hics_bench::banner;
+use hics_core::contrast::ContrastEstimator;
+use hics_core::{SliceSizing, StatTest, Subspace};
+use hics_data::toy;
+use hics_eval::report::TextTable;
+use hics_outlier::lof::Lof;
+
+fn main() {
+    let full = hics_bench::full_scale();
+    banner("Fig. 2", "high vs low contrast on the toy datasets", full);
+    let n = if full { 5000 } else { 1000 };
+    let a = toy::fig2_dataset_a(n, 1);
+    let b = toy::fig2_dataset_b(n, 1);
+    let pair = Subspace::pair(0, 1);
+    let m = if full { 500 } else { 100 };
+
+    let mut t = TextTable::with_header([
+        "deviation test",
+        "contrast(A) uncorrelated",
+        "contrast(B) correlated",
+    ]);
+    for test in [StatTest::WelchT, StatTest::KolmogorovSmirnov, StatTest::MannWhitney] {
+        let ca = ContrastEstimator::new(
+            &a.dataset, m, 0.1, SliceSizing::PaperRoot, test.as_deviation(),
+        )
+        .contrast(&pair, 7);
+        let cb = ContrastEstimator::new(
+            &b.dataset, m, 0.1, SliceSizing::PaperRoot, test.as_deviation(),
+        )
+        .contrast(&pair, 7);
+        t.row([test.name().to_string(), format!("{ca:.4}"), format!("{cb:.4}")]);
+    }
+    print!("{}", t.render());
+
+    // Outlier ranks under LOF in the 2-d subspace of dataset B.
+    let scores = Lof::with_k(10).scores(&b.dataset, &[0, 1]);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| scores[y].total_cmp(&scores[x]));
+    let rank = |obj: usize| order.iter().position(|&i| i == obj).unwrap() + 1;
+    println!("\nLOF ranks in dataset B's 2-d subspace (out of {n}):");
+    println!("  o1 (trivial, extreme in s2):        rank {}", rank(b.outliers[0]));
+    println!("  o2 (non-trivial, empty region):     rank {}", rank(b.outliers[1]));
+    println!("\npaper expectation: contrast(B) >> contrast(A); o1 and o2 on top.");
+}

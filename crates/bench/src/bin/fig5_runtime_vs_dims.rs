@@ -1,0 +1,42 @@
+//! Figure 5 reproduction: total runtime (subspace search + outlier ranking)
+//! of the subspace-based methods as a function of dimensionality, with the
+//! database size fixed at N = 1000.
+//!
+//! The paper's headline effect: HiCS runtime flattens beyond D ≈ 40 because
+//! the candidate cutoff (400) caps the per-level width.
+
+use hics_bench::{banner, evaluate, full_scale, subspace_methods};
+use hics_data::SyntheticConfig;
+use hics_eval::report::SeriesTable;
+
+fn main() {
+    let full = full_scale();
+    banner("Fig. 5", "runtime w.r.t. dimensionality D (N = 1000)", full);
+    let dims: &[usize] = if full {
+        &[10, 20, 30, 40, 50, 75, 100]
+    } else {
+        &[10, 20, 30, 50, 75]
+    };
+    let seed = 1u64;
+
+    let names: Vec<String> =
+        subspace_methods(0).iter().map(|m| m.name().to_string()).collect();
+    let mut table = SeriesTable::new("D", names.clone());
+
+    for &d in dims {
+        let data = SyntheticConfig::new(1000, d).with_seed(seed).generate();
+        let mut row = Vec::new();
+        for method in subspace_methods(seed) {
+            let (auc, secs) = evaluate(method.as_ref(), &data);
+            eprintln!("D={d} {:8} {secs:7.2}s (AUC {auc:.1})", method.name());
+            row.push(Some(secs));
+        }
+        table.push(d as f64, row);
+    }
+
+    println!("total runtime [s] (search + ranking):");
+    println!("{}", table.render(2));
+    println!("paper expectation: HiCS flattens once the candidate cutoff (400)");
+    println!("binds (D >= 40); ENCLUS cheapest; RIS grows steeply; RANDSUB pays");
+    println!("for its large random subspaces in the LOF stage.");
+}

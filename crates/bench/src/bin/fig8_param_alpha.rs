@@ -1,0 +1,71 @@
+//! Figure 8 reproduction: ranking quality as a function of the test
+//! statistic size α (the expected conditional-sample fraction), for both
+//! statistical instantiations.
+//!
+//! The paper's conclusion: quality is robust across a wide α band; very
+//! small α (< 5 %, i.e. fewer than ~50 objects at N = 1000) increases
+//! fluctuation, very large α dulls the tests slightly.
+
+use hics_bench::{banner, evaluate, full_scale, hics_params, mean, std_dev};
+use hics_baselines::HicsMethod;
+use hics_core::StatTest;
+use hics_data::SyntheticConfig;
+use hics_eval::report::SeriesTable;
+
+fn main() {
+    let full = full_scale();
+    banner("Fig. 8", "dependence on the size of the test statistic (alpha)", full);
+    let alphas: &[f64] = if full {
+        &[0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5]
+    } else {
+        &[0.01, 0.05, 0.1, 0.2, 0.35, 0.5]
+    };
+    let seeds: &[u64] = if full { &[1, 2, 3] } else { &[1, 2] };
+    let (n, d) = (1000, 20);
+
+    let mut table = SeriesTable::new(
+        "alpha",
+        vec![
+            "HiCS_WT".into(),
+            "HiCS_WT sd".into(),
+            "HiCS_KS".into(),
+            "HiCS_KS sd".into(),
+        ],
+    );
+
+    for &alpha in alphas {
+        let mut wt = Vec::new();
+        let mut ks = Vec::new();
+        for &seed in seeds {
+            let data = SyntheticConfig::new(n, d).with_seed(seed).generate();
+            for (test, sink) in [
+                (StatTest::WelchT, &mut wt),
+                (StatTest::KolmogorovSmirnov, &mut ks),
+            ] {
+                let mut params = hics_params(seed);
+                params.search.alpha = alpha;
+                params.search.test = test;
+                let (auc, secs) = evaluate(&HicsMethod { params }, &data);
+                eprintln!(
+                    "alpha={alpha} seed={seed} {:12} AUC={auc:6.2} ({secs:.1}s)",
+                    test.name()
+                );
+                sink.push(auc);
+            }
+        }
+        table.push(
+            alpha,
+            vec![
+                Some(mean(&wt)),
+                Some(std_dev(&wt)),
+                Some(mean(&ks)),
+                Some(std_dev(&ks)),
+            ],
+        );
+    }
+
+    println!("AUC [%] vs test statistic size alpha:");
+    println!("{}", table.render(2));
+    println!("paper expectation: broad plateau; slight fluctuation below alpha=0.05;");
+    println!("minor quality reduction toward alpha=0.5.");
+}

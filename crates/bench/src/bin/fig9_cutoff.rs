@@ -1,0 +1,47 @@
+//! Figure 9 reproduction: ranking quality and runtime as a function of the
+//! candidate cutoff parameter of the Apriori-like subspace framework.
+//!
+//! The paper observes a quality peak around cutoff ≈ 500, mild degradation
+//! below (good candidates lost) and above (redundant subspaces blur the
+//! ranking), and runtime under precise linear control of the cutoff.
+
+use hics_bench::{banner, evaluate, full_scale, hics_params, mean};
+use hics_baselines::HicsMethod;
+use hics_data::SyntheticConfig;
+use hics_eval::report::SeriesTable;
+
+fn main() {
+    let full = full_scale();
+    banner("Fig. 9", "quality and runtime w.r.t. the candidate cutoff", full);
+    let cutoffs: &[usize] = if full {
+        &[25, 50, 100, 200, 400, 800, 1600]
+    } else {
+        &[25, 50, 100, 200, 400, 800]
+    };
+    let seeds: &[u64] = if full { &[1, 2, 3] } else { &[1, 2] };
+    let (n, d) = (1000, if full { 40 } else { 30 });
+
+    let mut table =
+        SeriesTable::new("cutoff", vec!["AUC [%]".into(), "runtime [s]".into()]);
+
+    for &cutoff in cutoffs {
+        let mut aucs = Vec::new();
+        let mut times = Vec::new();
+        for &seed in seeds {
+            let data = SyntheticConfig::new(n, d).with_seed(seed).generate();
+            let mut params = hics_params(seed);
+            params.search.candidate_cutoff = cutoff;
+            let (auc, secs) = evaluate(&HicsMethod { params }, &data);
+            eprintln!("cutoff={cutoff} seed={seed} AUC={auc:6.2} ({secs:.1}s)");
+            aucs.push(auc);
+            times.push(secs);
+        }
+        table.push(cutoff as f64, vec![Some(mean(&aucs)), Some(mean(&times))]);
+    }
+
+    println!("quality and runtime vs candidate cutoff (N={n}, D={d}):");
+    println!("{}", table.render(2));
+    println!("paper expectation: quality peaks around cutoff ~400-500, dips for");
+    println!("small cutoffs (lost candidates) and drifts down slightly for very");
+    println!("large ones (redundancy); runtime scales linearly with the cutoff.");
+}

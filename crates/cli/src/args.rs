@@ -1,0 +1,139 @@
+//! Minimal command-line argument parsing (no external dependency):
+//! `--key value` pairs and `--flag` booleans after a subcommand word.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional word (subcommand).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parsing failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name). Options are
+    /// `--key value`; a `--key` followed by another `--…` or nothing is a
+    /// boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("empty option name '--'".into()));
+                }
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let val = iter.next().expect("peeked");
+                        out.options.insert(key.to_string(), val);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument {tok:?}")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                ArgError(format!("option --{key}: cannot parse {v:?}"))
+            }),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("rank --input data.csv --k 12").unwrap();
+        assert_eq!(a.command.as_deref(), Some("rank"));
+        assert_eq!(a.get("input"), Some("data.csv"));
+        assert_eq!(a.get_or("k", 10usize).unwrap(), 12);
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = parse("rank").unwrap();
+        assert_eq!(a.get_or("k", 10usize).unwrap(), 10);
+        assert_eq!(a.get_or("alpha", 0.1f64).unwrap(), 0.1);
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse("search --labels --m 20").unwrap();
+        assert!(a.flag("labels"));
+        assert!(!a.flag("nope"));
+        assert_eq!(a.get_or("m", 50usize).unwrap(), 20);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse("generate --n 100 --verbose").unwrap();
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("rank extra-positional").is_err());
+        assert!(parse("rank -- 1").is_err());
+        let a = parse("rank --k notanumber").unwrap();
+        assert!(a.get_or("k", 10usize).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse("rank").unwrap();
+        let err = a.require("input").unwrap_err();
+        assert!(err.0.contains("--input"));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        let a = parse("rank --offset -5").unwrap();
+        assert_eq!(a.get_or("offset", 0i64).unwrap(), -5);
+    }
+}

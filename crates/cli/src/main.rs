@@ -1,0 +1,226 @@
+//! `hics` — command-line interface for HiCS subspace search and
+//! density-based outlier ranking.
+//!
+//! ```text
+//! hics generate --n 1000 --d 10 --seed 0 --out data.csv
+//! hics search   --input data.csv [--m 50] [--alpha 0.1] [--cutoff 400]
+//!               [--top-k 100] [--test welch|ks|mwu] [--seed 0]
+//! hics rank     --input data.csv [--labels] [--k 10] [--top 20] [--out scores.csv]
+//!               (`.arff` inputs are detected automatically and carry labels)
+//! hics evaluate --input data.csv --labels [--methods lof,hics,enclus,ris,randsub]
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use hics_baselines::{
+    EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod,
+    PcaLofMethod, RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
+};
+use hics_core::{Hics, HicsParams, StatTest, SubspaceSearch};
+use hics_data::arff::read_arff_file;
+use hics_data::csv::{read_csv_file, write_csv_file, CsvData};
+use hics_data::SyntheticConfig;
+use hics_eval::report::{Stopwatch, TextTable};
+use hics_eval::roc::roc_auc;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `hics help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+    match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args).map_err(|e| e.to_string()),
+        Some("search") => cmd_search(&args).map_err(|e| e.to_string()),
+        Some("rank") => cmd_rank(&args).map_err(|e| e.to_string()),
+        Some("evaluate") => cmd_evaluate(&args).map_err(|e| e.to_string()),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_usage() {
+    println!("hics — high contrast subspaces for density-based outlier ranking");
+    println!();
+    println!("commands:");
+    println!("  generate  --n <objects> --d <attrs> [--seed S] --out <file.csv>");
+    println!("  search    --input <file.csv> [--labels] [--m 50] [--alpha 0.1]");
+    println!("            [--cutoff 400] [--top-k 100] [--test welch|ks|mwu] [--seed 0]");
+    println!("  rank      --input <file.csv> [--labels] [--k 10] [--top 20] [--out <scores.csv>]");
+    println!("  evaluate  --input <file.csv> --labels [--methods lof,hics,...] [--k 10]");
+    println!("  help      this message");
+}
+
+fn load(args: &Args) -> Result<CsvData, ArgError> {
+    let path = args.require("input")?;
+    let labels = args.flag("labels");
+    if path.ends_with(".arff") {
+        // ARFF files carry their own label attribute.
+        let arff = read_arff_file(Path::new(path))
+            .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        return Ok(CsvData { dataset: arff.dataset, labels: arff.labels });
+    }
+    read_csv_file(Path::new(path), true, labels)
+        .map_err(|e| ArgError(format!("reading {path}: {e}")))
+}
+
+fn parse_test(name: &str) -> Result<StatTest, ArgError> {
+    match name {
+        "welch" | "wt" => Ok(StatTest::WelchT),
+        "ks" => Ok(StatTest::KolmogorovSmirnov),
+        "ksp" => Ok(StatTest::KsPValue),
+        "mwu" | "mannwhitney" => Ok(StatTest::MannWhitney),
+        other => Err(ArgError(format!(
+            "unknown test {other:?} (expected welch|ks|ksp|mwu)"
+        ))),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.get_or("n", 1000)?;
+    let d: usize = args.get_or("d", 10)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let out = args.require("out")?;
+    let g = SyntheticConfig::new(n, d).with_seed(seed).generate();
+    write_csv_file(Path::new(out), &g.dataset, Some(&g.labels))
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!(
+        "wrote {n} x {d} dataset with {} outliers (blocks {:?}) to {out}",
+        g.outlier_count(),
+        g.planted_subspaces
+    );
+    Ok(())
+}
+
+fn cmd_search(args: &Args) -> Result<(), ArgError> {
+    let data = load(args)?;
+    let mut p = hics_core::SearchParams {
+        m: args.get_or("m", 50)?,
+        alpha: args.get_or("alpha", 0.1)?,
+        candidate_cutoff: args.get_or("cutoff", 400)?,
+        top_k: args.get_or("top-k", 100)?,
+        seed: args.get_or("seed", 0)?,
+        ..Default::default()
+    };
+    p.test = parse_test(args.get("test").unwrap_or("welch"))?;
+    let watch = Stopwatch::start();
+    let result = SubspaceSearch::new(p).run(&data.dataset);
+    println!(
+        "# {} subspaces ({} test, M={}, alpha={}), {:.2}s",
+        result.len(),
+        p.test.name(),
+        p.m,
+        p.alpha,
+        watch.seconds()
+    );
+    let names = data.dataset.names();
+    for s in &result {
+        let dims: Vec<&str> = s.subspace.dims().map(|d| names[d].as_str()).collect();
+        println!("{:.6}\t{{{}}}", s.contrast, dims.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_rank(args: &Args) -> Result<(), ArgError> {
+    let data = load(args)?;
+    let mut params = HicsParams::paper_defaults();
+    params.search.m = args.get_or("m", 50)?;
+    params.search.alpha = args.get_or("alpha", 0.1)?;
+    params.search.candidate_cutoff = args.get_or("cutoff", 400)?;
+    params.search.top_k = args.get_or("top-k", 100)?;
+    params.search.seed = args.get_or("seed", 0)?;
+    params.search.test = parse_test(args.get("test").unwrap_or("welch"))?;
+    params.lof_k = args.get_or("k", 10)?;
+    let top: usize = args.get_or("top", 20)?;
+
+    let watch = Stopwatch::start();
+    let result = Hics::new(params).run(&data.dataset);
+    println!("# ranking computed in {:.2}s", watch.seconds());
+
+    println!("rank\tobject\tscore");
+    for (rank, &i) in result.top_outliers(top).iter().enumerate() {
+        println!("{}\t{}\t{:.6}", rank + 1, i, result.scores[i]);
+    }
+    if let Some(labels) = &data.labels {
+        println!("# AUC = {:.2}%", 100.0 * roc_auc(&result.scores, labels));
+    }
+    if let Some(out) = args.get("out") {
+        let scores = hics_data::Dataset::from_columns_named(
+            vec![result.scores.clone()],
+            vec!["hics_score".into()],
+        );
+        write_csv_file(Path::new(out), &scores, data.labels.as_deref())
+            .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+        println!("# wrote per-object scores to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), ArgError> {
+    let data = load(args)?;
+    let labels = data
+        .labels
+        .as_ref()
+        .ok_or_else(|| ArgError("evaluate requires --labels".into()))?;
+    let k: usize = args.get_or("k", 10)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let which = args.get("methods").unwrap_or("lof,hics,enclus,ris,randsub");
+
+    let mut methods: Vec<Box<dyn OutlierMethod>> = Vec::new();
+    for name in which.split(',') {
+        match name.trim() {
+            "lof" => methods.push(Box::new(FullSpaceLof { k })),
+            "hics" => {
+                let mut p = HicsParams::paper_defaults().with_seed(seed);
+                p.lof_k = k;
+                methods.push(Box::new(HicsMethod { params: p }));
+            }
+            "enclus" => methods.push(Box::new(EnclusMethod {
+                params: EnclusParams::default(),
+                lof_k: k,
+            })),
+            "ris" => methods.push(Box::new(RisMethod {
+                params: RisParams::default(),
+                lof_k: k,
+            })),
+            "randsub" => methods.push(Box::new(RandSubMethod {
+                params: RandomSubspacesParams { num_subspaces: 100, seed },
+                lof_k: k,
+                max_threads: 16,
+            })),
+            "pcalof1" => methods.push(Box::new(PcaLofMethod::half(k))),
+            "pcalof2" => methods.push(Box::new(PcaLofMethod::fixed10(k))),
+            other => {
+                return Err(ArgError(format!("unknown method {other:?}")));
+            }
+        }
+    }
+
+    let mut table = TextTable::with_header(["method", "AUC [%]", "runtime [s]"]);
+    for m in &methods {
+        let watch = Stopwatch::start();
+        let scores = m.rank(&data.dataset);
+        let secs = watch.seconds();
+        table.row([
+            m.name().to_string(),
+            format!("{:.2}", 100.0 * roc_auc(&scores, labels)),
+            format!("{secs:.2}"),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,364 @@
+//! Monte-Carlo subspace contrast (paper Definition 5 and Algorithm 1).
+//!
+//! `contrast(S) = (1/M) Σ_i deviation(p̂_{s_i}, p̂_{s_i|C_i})`: `M` random
+//! subspace slices, each compared against the marginal distribution of the
+//! slice's reference attribute with a two-sample statistical test.
+//!
+//! The marginal side of every test is precomputed once per dataset
+//! ([`MarginalStats`]: moments for Welch, sorted values/ECDF for KS and
+//! Mann–Whitney), so a single Monte-Carlo iteration costs one slice draw
+//! plus one test on the conditional sample.
+
+use crate::slice::{SliceSampler, SliceSizing};
+use crate::subspace::Subspace;
+use hics_data::{Dataset, SortedIndices};
+use hics_stats::ecdf::Ecdf;
+use hics_stats::moments::Moments;
+use hics_stats::two_sample::{
+    ks_test_from_ecdfs, mann_whitney_u, welch_t_test_from_moments,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Precomputed marginal statistics of one attribute (the `p̂_s` side of
+/// every deviation test).
+#[derive(Debug, Clone)]
+pub struct MarginalStats {
+    /// Welford moments of the full column.
+    pub moments: Moments,
+    /// ECDF of the full column (owns a sorted copy of the values).
+    pub ecdf: Ecdf,
+}
+
+impl MarginalStats {
+    /// Computes the marginal statistics of a column.
+    pub fn from_column(col: &[f64]) -> Self {
+        Self { moments: Moments::from_slice(col), ecdf: Ecdf::new(col) }
+    }
+}
+
+/// A deviation function comparing the marginal distribution of an attribute
+/// to a conditional sample (paper Section III-E).
+pub trait DeviationTest: Sync {
+    /// Returns a deviation in `[0, 1]`; larger = stronger disagreement
+    /// between marginal and conditional distribution.
+    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64;
+
+    /// Test name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// `HiCS_WT`: Welch's t-test; deviation is `1 − p` (paper Section III-E).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WelchDeviation;
+
+impl DeviationTest for WelchDeviation {
+    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
+        let cond = Moments::from_slice(conditional);
+        1.0 - welch_t_test_from_moments(&marginal.moments, &cond).p_value
+    }
+
+    fn name(&self) -> &'static str {
+        "Welch-t"
+    }
+}
+
+/// `HiCS_KS`: the raw two-sample Kolmogorov–Smirnov statistic
+/// `sup |F_A − F_B|` (Eq. 11 — deliberately *not* a p-value).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KsDeviation;
+
+impl DeviationTest for KsDeviation {
+    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
+        let cond = Ecdf::new(conditional);
+        marginal.ecdf.ks_distance(&cond)
+    }
+
+    fn name(&self) -> &'static str {
+        "KS"
+    }
+}
+
+/// Extension: KS converted to `1 − p` with the asymptotic Kolmogorov
+/// distribution — normalised like the Welch variant, unlike Eq. 11.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KsPValueDeviation;
+
+impl DeviationTest for KsPValueDeviation {
+    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
+        let cond = Ecdf::new(conditional);
+        1.0 - ks_test_from_ecdfs(&marginal.ecdf, &cond).p_value
+    }
+
+    fn name(&self) -> &'static str {
+        "KS-pvalue"
+    }
+}
+
+/// Extension: Mann–Whitney U deviation, `1 − p` under the tie-corrected
+/// normal approximation. Rank-based like KS, scalarised like Welch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MwuDeviation;
+
+impl DeviationTest for MwuDeviation {
+    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
+        1.0 - mann_whitney_u(marginal.ecdf.sorted_values(), conditional).p_value
+    }
+
+    fn name(&self) -> &'static str {
+        "Mann-Whitney"
+    }
+}
+
+/// The statistical instantiations available for the contrast measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatTest {
+    /// Welch's t-test (`HiCS_WT`, the paper's default).
+    #[default]
+    WelchT,
+    /// Kolmogorov–Smirnov statistic (`HiCS_KS`).
+    KolmogorovSmirnov,
+    /// KS with p-value normalisation (extension).
+    KsPValue,
+    /// Mann–Whitney U (extension).
+    MannWhitney,
+}
+
+impl StatTest {
+    /// Returns the deviation implementation for this test.
+    pub fn as_deviation(&self) -> &'static dyn DeviationTest {
+        match self {
+            StatTest::WelchT => &WelchDeviation,
+            StatTest::KolmogorovSmirnov => &KsDeviation,
+            StatTest::KsPValue => &KsPValueDeviation,
+            StatTest::MannWhitney => &MwuDeviation,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.as_deviation().name()
+    }
+}
+
+/// Estimates the Monte-Carlo contrast of subspaces over one dataset.
+pub struct ContrastEstimator<'a> {
+    data: &'a Dataset,
+    indices: SortedIndices,
+    marginals: Vec<MarginalStats>,
+    m: usize,
+    alpha: f64,
+    sizing: SliceSizing,
+    test: &'a dyn DeviationTest,
+}
+
+impl<'a> ContrastEstimator<'a> {
+    /// Builds an estimator: computes sorted indices and marginal statistics
+    /// for every attribute once.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `alpha ∉ (0, 1)`.
+    pub fn new(
+        data: &'a Dataset,
+        m: usize,
+        alpha: f64,
+        sizing: SliceSizing,
+        test: &'a dyn DeviationTest,
+    ) -> Self {
+        assert!(m >= 1, "need at least one Monte-Carlo iteration");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        let indices = data.sorted_indices();
+        let marginals = data
+            .columns()
+            .iter()
+            .map(|c| MarginalStats::from_column(c))
+            .collect();
+        Self { data, indices, marginals, m, alpha, sizing, test }
+    }
+
+    /// The dataset under analysis.
+    pub fn data(&self) -> &Dataset {
+        self.data
+    }
+
+    /// Number of Monte-Carlo iterations `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Estimates `contrast(S)` with a dedicated RNG stream derived from
+    /// `seed`, making results independent of evaluation order and thread
+    /// count.
+    pub fn contrast(&self, subspace: &Subspace, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ subspace_stream(subspace));
+        self.contrast_with_rng(subspace, &mut rng)
+    }
+
+    /// Estimates `contrast(S)` using the caller's RNG (Algorithm 1).
+    pub fn contrast_with_rng(&self, subspace: &Subspace, rng: &mut StdRng) -> f64 {
+        let mut sampler =
+            SliceSampler::new(self.data, &self.indices, subspace, self.alpha, self.sizing);
+        let mut acc = 0.0;
+        for _ in 0..self.m {
+            let slice = sampler.draw(rng);
+            acc += if slice.conditional.len() < 2 {
+                // A (near-)empty slice is essentially impossible under
+                // independence (expected size N·α₁^(|S|−1)); observing one is
+                // itself maximal evidence of dependence. Moment-based tests
+                // cannot express this, so score it explicitly.
+                1.0
+            } else {
+                self.test
+                    .deviation(&self.marginals[slice.ref_attr], &slice.conditional)
+                    .clamp(0.0, 1.0)
+            };
+        }
+        acc / self.m as f64
+    }
+}
+
+/// Deterministic per-subspace RNG stream id (FNV-1a over the dims).
+fn subspace_stream(s: &Subspace) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for d in s.dims() {
+        h ^= d as u64 + 1;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_data::toy;
+
+    fn estimator<'a>(
+        data: &'a Dataset,
+        test: &'a dyn DeviationTest,
+    ) -> ContrastEstimator<'a> {
+        ContrastEstimator::new(data, 100, 0.1, SliceSizing::PaperRoot, test)
+    }
+
+    #[test]
+    fn correlated_beats_uncorrelated_welch() {
+        let a = toy::fig2_dataset_a(1000, 1);
+        let b = toy::fig2_dataset_b(1000, 1);
+        let sub = Subspace::pair(0, 1);
+        let ca = estimator(&a.dataset, &WelchDeviation).contrast(&sub, 42);
+        let cb = estimator(&b.dataset, &WelchDeviation).contrast(&sub, 42);
+        assert!(
+            cb > ca + 0.2,
+            "correlated contrast {cb} should clearly exceed uncorrelated {ca}"
+        );
+    }
+
+    #[test]
+    fn correlated_beats_uncorrelated_ks() {
+        let a = toy::fig2_dataset_a(1000, 2);
+        let b = toy::fig2_dataset_b(1000, 2);
+        let sub = Subspace::pair(0, 1);
+        let ca = estimator(&a.dataset, &KsDeviation).contrast(&sub, 42);
+        let cb = estimator(&b.dataset, &KsDeviation).contrast(&sub, 42);
+        assert!(
+            cb > ca + 0.2,
+            "correlated KS contrast {cb} should clearly exceed uncorrelated {ca}"
+        );
+    }
+
+    #[test]
+    fn correlated_beats_uncorrelated_mwu() {
+        let a = toy::fig2_dataset_a(1000, 3);
+        let b = toy::fig2_dataset_b(1000, 3);
+        let sub = Subspace::pair(0, 1);
+        let ca = estimator(&a.dataset, &MwuDeviation).contrast(&sub, 42);
+        let cb = estimator(&b.dataset, &MwuDeviation).contrast(&sub, 42);
+        assert!(cb > ca, "MWU contrast {cb} vs {ca}");
+    }
+
+    #[test]
+    fn xor_counterexample_contrast_ordering() {
+        // Figure 3: 2-d projections look uncorrelated, the 3-d space is
+        // strongly correlated — contrast must reflect that (and hence no
+        // monotonicity can hold).
+        let d = toy::xor3d(1500, 4);
+        let est = estimator(&d, &KsDeviation);
+        let c3 = est.contrast(&Subspace::new([0, 1, 2]), 7);
+        let c2 = [
+            est.contrast(&Subspace::pair(0, 1), 7),
+            est.contrast(&Subspace::pair(0, 2), 7),
+            est.contrast(&Subspace::pair(1, 2), 7),
+        ];
+        for (i, c) in c2.iter().enumerate() {
+            assert!(
+                c3 > c + 0.1,
+                "3-d contrast {c3} must dominate 2-d projection {i}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn contrast_is_deterministic_per_seed() {
+        let b = toy::fig2_dataset_b(600, 5);
+        let est = estimator(&b.dataset, &WelchDeviation);
+        let sub = Subspace::pair(0, 1);
+        assert_eq!(est.contrast(&sub, 1), est.contrast(&sub, 1));
+        assert_ne!(est.contrast(&sub, 1), est.contrast(&sub, 2));
+    }
+
+    #[test]
+    fn contrast_bounded_in_unit_interval() {
+        let g = hics_data::SyntheticConfig::new(400, 6).with_seed(8).generate();
+        for test in [
+            StatTest::WelchT,
+            StatTest::KolmogorovSmirnov,
+            StatTest::KsPValue,
+            StatTest::MannWhitney,
+        ] {
+            let est = ContrastEstimator::new(
+                &g.dataset,
+                30,
+                0.15,
+                SliceSizing::PaperRoot,
+                test.as_deviation(),
+            );
+            let c = est.contrast(&Subspace::new([0, 1, 2]), 3);
+            assert!((0.0..=1.0).contains(&c), "{} gave {c}", test.name());
+        }
+    }
+
+    #[test]
+    fn planted_block_outscores_cross_block_pair() {
+        // Attributes of one planted block are correlated; attributes from
+        // two different blocks are independent.
+        let g = hics_data::SyntheticConfig::new(800, 8).with_seed(3).generate();
+        let blocks = &g.planted_subspaces;
+        assert!(blocks.len() >= 2, "fixture needs two blocks");
+        let inside = Subspace::pair(blocks[0][0], blocks[0][1]);
+        let across = Subspace::pair(blocks[0][0], blocks[1][0]);
+        let est = estimator(&g.dataset, &WelchDeviation);
+        let ci = est.contrast(&inside, 11);
+        let ca = est.contrast(&across, 11);
+        assert!(ci > ca, "within-block {ci} must exceed cross-block {ca}");
+    }
+
+    #[test]
+    fn stat_test_names() {
+        assert_eq!(StatTest::WelchT.name(), "Welch-t");
+        assert_eq!(StatTest::KolmogorovSmirnov.name(), "KS");
+        assert_eq!(StatTest::KsPValue.name(), "KS-pvalue");
+        assert_eq!(StatTest::MannWhitney.name(), "Mann-Whitney");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_iterations() {
+        let b = toy::fig2_dataset_b(100, 1);
+        ContrastEstimator::new(
+            &b.dataset,
+            0,
+            0.1,
+            SliceSizing::PaperRoot,
+            &WelchDeviation,
+        );
+    }
+}

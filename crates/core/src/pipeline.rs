@@ -1,0 +1,226 @@
+//! The end-to-end HiCS pipeline: subspace search → outlier ranking →
+//! aggregation (the two-step decoupled processing of Section I).
+
+use crate::search::{ScoredSubspace, SearchParams, SubspaceSearch};
+use hics_data::Dataset;
+use hics_outlier::aggregate::{aggregate_scores, Aggregation};
+use hics_outlier::lof::Lof;
+use hics_outlier::scorer::{score_subspaces, SubspaceScorer};
+
+/// Parameters of the full HiCS pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HicsParams {
+    /// Subspace-search parameters (M, α, cutoff, test, seed, …).
+    pub search: SearchParams,
+    /// LOF neighbourhood size `MinPts` used in the ranking step.
+    pub lof_k: usize,
+    /// Aggregation of per-subspace scores (paper: average).
+    pub aggregation: Aggregation,
+}
+
+impl HicsParams {
+    /// Paper defaults: `M = 50`, `α = 0.1`, cutoff 400, top-100 subspaces,
+    /// Welch test, LOF with `k = 10`, average aggregation.
+    pub fn paper_defaults() -> Self {
+        Self { search: SearchParams::default(), lof_k: 10, aggregation: Aggregation::Average }
+    }
+
+    /// Sets the base RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.search.seed = seed;
+        self
+    }
+
+    /// Sets the LOF neighbourhood size.
+    pub fn with_lof_k(mut self, k: usize) -> Self {
+        self.lof_k = k;
+        self
+    }
+}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct HicsResult {
+    /// The high-contrast subspaces used for ranking, best first.
+    pub subspaces: Vec<ScoredSubspace>,
+    /// Final aggregated outlier score per object (higher = more outlying).
+    pub scores: Vec<f64>,
+    /// Per-subspace score vectors (aligned with `subspaces`).
+    pub per_subspace_scores: Vec<Vec<f64>>,
+}
+
+impl HicsResult {
+    /// Object indices sorted by descending outlier score.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]).then(a.cmp(&b)));
+        idx
+    }
+
+    /// The `k` most outlying objects.
+    pub fn top_outliers(&self, k: usize) -> Vec<usize> {
+        let mut r = self.ranking();
+        r.truncate(k);
+        r
+    }
+}
+
+/// The HiCS pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Hics {
+    params: HicsParams,
+}
+
+impl Hics {
+    /// Creates the pipeline. A `lof_k` of 0 is promoted to the paper default
+    /// of 10 (so `HicsParams::default()` is runnable).
+    pub fn new(mut params: HicsParams) -> Self {
+        if params.lof_k == 0 {
+            params.lof_k = 10;
+        }
+        Self { params }
+    }
+
+    /// The effective parameters.
+    pub fn params(&self) -> &HicsParams {
+        &self.params
+    }
+
+    /// Runs subspace search + LOF ranking with the configured parameters.
+    pub fn run(&self, data: &Dataset) -> HicsResult {
+        let lof = Lof::with_k(self.params.lof_k);
+        self.run_with_scorer(data, &lof)
+    }
+
+    /// Runs the pipeline with a custom outlier scorer — the decoupling seam:
+    /// any density-based `score_S` plugs in here unchanged.
+    pub fn run_with_scorer<S: SubspaceScorer>(&self, data: &Dataset, scorer: &S) -> HicsResult {
+        let subspaces = SubspaceSearch::new(self.params.search).run(data);
+        let dims: Vec<Vec<usize>> =
+            subspaces.iter().map(|s| s.subspace.to_vec()).collect();
+        let per_subspace_scores = score_subspaces(
+            data,
+            &dims,
+            scorer,
+            self.params.search.max_threads,
+        );
+        let scores = aggregate_scores(&per_subspace_scores, self.params.aggregation);
+        HicsResult { subspaces, scores, per_subspace_scores }
+    }
+
+    /// Ranks outliers in a caller-provided list of subspaces (skipping the
+    /// search step) — useful for comparing subspace selections.
+    pub fn rank_in_subspaces<S: SubspaceScorer>(
+        &self,
+        data: &Dataset,
+        subspaces: &[Vec<usize>],
+        scorer: &S,
+    ) -> Vec<f64> {
+        let per = score_subspaces(data, subspaces, scorer, self.params.search.max_threads);
+        aggregate_scores(&per, self.params.aggregation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_data::SyntheticConfig;
+    use hics_outlier::knn_score::KnnScorer;
+
+    fn quick() -> HicsParams {
+        let mut p = HicsParams::paper_defaults();
+        p.search.m = 25;
+        p.search.candidate_cutoff = 50;
+        p.search.top_k = 15;
+        p
+    }
+
+    #[test]
+    fn pipeline_detects_planted_outliers() {
+        let g = SyntheticConfig::new(500, 8).with_seed(21).generate();
+        let result = Hics::new(quick()).run(&g.dataset);
+        assert_eq!(result.scores.len(), 500);
+        // Mean score of outliers should exceed mean score of inliers.
+        let (mut so, mut ko, mut si, mut ki) = (0.0, 0usize, 0.0, 0usize);
+        for (i, &s) in result.scores.iter().enumerate() {
+            if g.labels[i] {
+                so += s;
+                ko += 1;
+            } else {
+                si += s;
+                ki += 1;
+            }
+        }
+        assert!(
+            so / ko as f64 > si / ki as f64,
+            "outlier mean {} <= inlier mean {}",
+            so / ko as f64,
+            si / ki as f64
+        );
+    }
+
+    #[test]
+    fn ranking_is_descending_and_complete() {
+        let g = SyntheticConfig::new(200, 6).with_seed(22).generate();
+        let result = Hics::new(quick()).run(&g.dataset);
+        let ranking = result.ranking();
+        assert_eq!(ranking.len(), 200);
+        let mut seen = [false; 200];
+        for &i in &ranking {
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for w in ranking.windows(2) {
+            assert!(result.scores[w[0]] >= result.scores[w[1]]);
+        }
+    }
+
+    #[test]
+    fn top_outliers_prefix_of_ranking() {
+        let g = SyntheticConfig::new(200, 6).with_seed(23).generate();
+        let result = Hics::new(quick()).run(&g.dataset);
+        assert_eq!(result.top_outliers(5), result.ranking()[..5].to_vec());
+    }
+
+    #[test]
+    fn custom_scorer_plugs_in() {
+        let g = SyntheticConfig::new(200, 6).with_seed(24).generate();
+        let hics = Hics::new(quick());
+        let result = hics.run_with_scorer(&g.dataset, &KnnScorer::new(10));
+        assert_eq!(result.scores.len(), 200);
+        assert!(result.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn per_subspace_scores_align_with_subspaces() {
+        let g = SyntheticConfig::new(150, 6).with_seed(25).generate();
+        let result = Hics::new(quick()).run(&g.dataset);
+        assert_eq!(result.per_subspace_scores.len(), result.subspaces.len());
+        for v in &result.per_subspace_scores {
+            assert_eq!(v.len(), 150);
+        }
+    }
+
+    #[test]
+    fn default_params_are_runnable() {
+        let g = SyntheticConfig::new(120, 4).with_seed(26).generate();
+        let mut p = HicsParams::default();
+        p.search.m = 10;
+        p.search.candidate_cutoff = 10;
+        p.search.top_k = 5;
+        let result = Hics::new(p).run(&g.dataset);
+        assert_eq!(result.scores.len(), 120);
+    }
+
+    #[test]
+    fn rank_in_subspaces_skips_search() {
+        let g = SyntheticConfig::new(150, 6).with_seed(27).generate();
+        let hics = Hics::new(quick());
+        let scores = hics.rank_in_subspaces(
+            &g.dataset,
+            &[vec![0, 1], vec![2, 3]],
+            &KnnScorer::new(5),
+        );
+        assert_eq!(scores.len(), 150);
+    }
+}

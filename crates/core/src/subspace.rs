@@ -1,0 +1,229 @@
+//! The subspace type: an ordered set of attribute indices.
+//!
+//! `S = {s₁, …, s_d} ⊆ A` (paper Section III-A). Stored as a sorted,
+//! deduplicated vector of `u16` attribute indices — supporting datasets of
+//! any dimensionality (Arrhythmia has 274 attributes), cheap to hash for the
+//! Apriori candidate dedup, and giving the canonical ordering the prefix
+//! join step relies on.
+
+use std::fmt;
+
+/// An axis-parallel subspace projection: a sorted set of attribute indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Subspace {
+    dims: Vec<u16>,
+}
+
+impl Subspace {
+    /// Creates a subspace from attribute indices (deduplicated, sorted).
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or an index exceeds `u16::MAX`.
+    pub fn new<I: IntoIterator<Item = usize>>(dims: I) -> Self {
+        let mut v: Vec<u16> = dims
+            .into_iter()
+            .map(|d| u16::try_from(d).expect("attribute index exceeds u16"))
+            .collect();
+        assert!(!v.is_empty(), "a subspace needs at least one attribute");
+        v.sort_unstable();
+        v.dedup();
+        Self { dims: v }
+    }
+
+    /// The two-attribute subspace `{a, b}`.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn pair(a: usize, b: usize) -> Self {
+        assert_ne!(a, b, "a 2-d subspace needs two distinct attributes");
+        Self::new([a, b])
+    }
+
+    /// Dimensionality `|S|`.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Always false (construction requires ≥ 1 attribute); provided for
+    /// clippy-idiomatic pairing with `len`.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The attribute indices, ascending.
+    pub fn dims(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dims.iter().map(|&d| d as usize)
+    }
+
+    /// The attribute indices as a vector of `usize` (for distance kernels).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.dims().collect()
+    }
+
+    /// Whether attribute `a` belongs to the subspace.
+    pub fn contains(&self, a: usize) -> bool {
+        u16::try_from(a).is_ok_and(|a| self.dims.binary_search(&a).is_ok())
+    }
+
+    /// Whether `self` is a (non-strict) superset of `other`.
+    pub fn is_superset_of(&self, other: &Subspace) -> bool {
+        if other.dims.len() > self.dims.len() {
+            return false;
+        }
+        // Both sorted: linear merge check.
+        let mut it = self.dims.iter();
+        'outer: for d in &other.dims {
+            for s in it.by_ref() {
+                match s.cmp(d) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Apriori join: two `d`-dimensional subspaces sharing their first
+    /// `d − 1` attributes merge into one `(d+1)`-dimensional candidate.
+    /// Returns `None` when the prefixes differ.
+    pub fn apriori_join(&self, other: &Subspace) -> Option<Subspace> {
+        let d = self.dims.len();
+        if other.dims.len() != d || d == 0 {
+            return None;
+        }
+        if self.dims[..d - 1] != other.dims[..d - 1] {
+            return None;
+        }
+        let (a, b) = (self.dims[d - 1], other.dims[d - 1]);
+        if a == b {
+            return None;
+        }
+        let mut dims = self.dims.clone();
+        dims.pop();
+        if a < b {
+            dims.push(a);
+            dims.push(b);
+        } else {
+            dims.push(b);
+            dims.push(a);
+        }
+        Some(Subspace { dims })
+    }
+}
+
+impl fmt::Display for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<&[usize]> for Subspace {
+    fn from(dims: &[usize]) -> Self {
+        Subspace::new(dims.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = Subspace::new([3, 1, 3, 2]);
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_membership() {
+        let s = Subspace::new([0, 5, 9]);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(!s.contains(70_000)); // exceeds u16 → definitely absent
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Subspace::new([2, 0]).to_string(), "{0, 2}");
+    }
+
+    #[test]
+    fn superset_checks() {
+        let big = Subspace::new([1, 2, 3, 4]);
+        assert!(big.is_superset_of(&Subspace::new([2, 4])));
+        assert!(big.is_superset_of(&big.clone()));
+        assert!(!big.is_superset_of(&Subspace::new([2, 5])));
+        assert!(!Subspace::new([1, 2]).is_superset_of(&big));
+    }
+
+    #[test]
+    fn apriori_join_on_shared_prefix() {
+        let a = Subspace::new([1, 2, 5]);
+        let b = Subspace::new([1, 2, 7]);
+        assert_eq!(a.apriori_join(&b), Some(Subspace::new([1, 2, 5, 7])));
+        // Symmetric result regardless of order.
+        assert_eq!(b.apriori_join(&a), Some(Subspace::new([1, 2, 5, 7])));
+    }
+
+    #[test]
+    fn apriori_join_rejects_different_prefixes() {
+        let a = Subspace::new([1, 2, 5]);
+        let b = Subspace::new([1, 3, 7]);
+        assert_eq!(a.apriori_join(&b), None);
+    }
+
+    #[test]
+    fn apriori_join_rejects_self_and_mismatched_sizes() {
+        let a = Subspace::new([1, 2]);
+        assert_eq!(a.apriori_join(&a.clone()), None);
+        assert_eq!(a.apriori_join(&Subspace::new([1, 2, 3])), None);
+    }
+
+    #[test]
+    fn two_dim_join_produces_three_dims() {
+        let a = Subspace::pair(0, 3);
+        let b = Subspace::pair(0, 7);
+        assert_eq!(a.apriori_join(&b), Some(Subspace::new([0, 3, 7])));
+        // {0,3} ⋈ {1,3}: prefixes (0 vs 1) differ → no candidate.
+        assert_eq!(a.apriori_join(&Subspace::pair(1, 3)), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![
+            Subspace::new([2, 3]),
+            Subspace::new([1, 9]),
+            Subspace::new([1, 2, 3]),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Subspace::new([1, 2, 3]),
+                Subspace::new([1, 9]),
+                Subspace::new([2, 3]),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty() {
+        Subspace::new(Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn pair_rejects_equal_attributes() {
+        Subspace::pair(4, 4);
+    }
+}

@@ -1,0 +1,286 @@
+//! Minimal CSV reading/writing for datasets with optional label columns.
+//!
+//! Deliberately small and dependency-free: comma-separated numeric fields,
+//! optional header row, optional trailing label column (`0`/`1` ground
+//! truth). This is what the CLI and the experiment harness need — it is not
+//! a general-purpose CSV parser (no quoting or escaping).
+
+use crate::dataset::Dataset;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors arising while reading a dataset from CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A field could not be parsed as `f64`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// Rows have inconsistent field counts.
+    Ragged {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// File contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, column, text } => {
+                write!(f, "line {line}, column {column}: cannot parse {text:?} as a number")
+            }
+            CsvError::Ragged { line, found, expected } => {
+                write!(f, "line {line}: {found} fields, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "no data rows found"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// A dataset together with optional binary outlier labels.
+#[derive(Debug, Clone)]
+pub struct CsvData {
+    /// The numeric attributes.
+    pub dataset: Dataset,
+    /// Ground-truth outlier flags, if a label column was requested.
+    pub labels: Option<Vec<bool>>,
+}
+
+/// Reads a dataset from a CSV reader.
+///
+/// * `has_header` — skip the first line (attribute names are taken from it).
+/// * `label_last_column` — treat the final column as a 0/1 outlier label
+///   (any non-zero value counts as an outlier).
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    has_header: bool,
+    label_last_column: bool,
+) -> Result<CsvData, CsvError> {
+    let mut names: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<bool> = Vec::new();
+    let mut expected_fields: Option<usize> = None;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if has_header && names.is_none() && rows.is_empty() {
+            names = Some(trimmed.split(',').map(|s| s.trim().to_string()).collect());
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if let Some(expected) = expected_fields {
+            if fields.len() != expected {
+                return Err(CsvError::Ragged {
+                    line: lineno + 1,
+                    found: fields.len(),
+                    expected,
+                });
+            }
+        } else {
+            expected_fields = Some(fields.len());
+        }
+        let data_fields = if label_last_column {
+            &fields[..fields.len() - 1]
+        } else {
+            &fields[..]
+        };
+        let mut row = Vec::with_capacity(data_fields.len());
+        for (col, f) in data_fields.iter().enumerate() {
+            let v: f64 = f.parse().map_err(|_| CsvError::Parse {
+                line: lineno + 1,
+                column: col,
+                text: f.to_string(),
+            })?;
+            row.push(v);
+        }
+        if label_last_column {
+            let f = fields[fields.len() - 1];
+            let v: f64 = f.parse().map_err(|_| CsvError::Parse {
+                line: lineno + 1,
+                column: fields.len() - 1,
+                text: f.to_string(),
+            })?;
+            labels.push(v != 0.0);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let dataset = match names {
+        Some(mut names) => {
+            if label_last_column && names.len() == rows[0].len() + 1 {
+                names.pop();
+            }
+            let d = rows[0].len();
+            // Tolerate headers that do not match the data width.
+            if names.len() != d {
+                Dataset::from_rows(&rows)
+            } else {
+                let mut cols = vec![Vec::with_capacity(rows.len()); d];
+                for row in &rows {
+                    for (j, &v) in row.iter().enumerate() {
+                        cols[j].push(v);
+                    }
+                }
+                Dataset::from_columns_named(cols, names)
+            }
+        }
+        None => Dataset::from_rows(&rows),
+    };
+    Ok(CsvData {
+        dataset,
+        labels: if label_last_column { Some(labels) } else { None },
+    })
+}
+
+/// Reads a dataset from a CSV file on disk.
+pub fn read_csv_file(
+    path: &Path,
+    has_header: bool,
+    label_last_column: bool,
+) -> Result<CsvData, CsvError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(std::io::BufReader::new(file), has_header, label_last_column)
+}
+
+/// Writes a dataset (and optional labels as the final column) as CSV with a
+/// header row.
+pub fn write_csv<W: Write>(
+    writer: W,
+    dataset: &Dataset,
+    labels: Option<&[bool]>,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    // Header.
+    let mut header = dataset.names().join(",");
+    if labels.is_some() {
+        header.push_str(",label");
+    }
+    writeln!(w, "{header}")?;
+    for i in 0..dataset.n() {
+        let mut line = String::new();
+        for j in 0..dataset.d() {
+            if j > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{}", dataset.value(i, j)));
+        }
+        if let Some(l) = labels {
+            line.push(',');
+            line.push(if l[i] { '1' } else { '0' });
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Writes a dataset to a CSV file on disk.
+pub fn write_csv_file(
+    path: &Path,
+    dataset: &Dataset,
+    labels: Option<&[bool]>,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(file, dataset, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_labels() {
+        let ds = Dataset::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.5]]);
+        let labels = vec![false, true];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds, Some(&labels)).unwrap();
+        let parsed = read_csv(&buf[..], true, true).unwrap();
+        assert_eq!(parsed.dataset, ds);
+        assert_eq!(parsed.labels, Some(labels));
+    }
+
+    #[test]
+    fn roundtrip_without_labels() {
+        let ds = Dataset::from_rows(&[vec![0.25, -1.0, 7.0]]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds, None).unwrap();
+        let parsed = read_csv(&buf[..], true, false).unwrap();
+        assert_eq!(parsed.dataset, ds);
+        assert!(parsed.labels.is_none());
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let text = "# comment\n\n1.0,2.0\n\n3.0,4.0\n";
+        let parsed = read_csv(text.as_bytes(), false, false).unwrap();
+        assert_eq!(parsed.dataset.n(), 2);
+    }
+
+    #[test]
+    fn parse_error_reports_location() {
+        let text = "1.0,oops\n";
+        match read_csv(text.as_bytes(), false, false) {
+            Err(CsvError::Parse { line: 1, column: 1, text }) => {
+                assert_eq!(text, "oops");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let text = "1.0,2.0\n3.0\n";
+        assert!(matches!(
+            read_csv(text.as_bytes(), false, false),
+            Err(CsvError::Ragged { line: 2, found: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(read_csv("".as_bytes(), false, false), Err(CsvError::Empty)));
+        assert!(matches!(read_csv("#x\n".as_bytes(), true, false), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn header_names_preserved() {
+        let text = "alpha,beta\n1,2\n3,4\n";
+        let parsed = read_csv(text.as_bytes(), true, false).unwrap();
+        assert_eq!(parsed.dataset.names(), &["alpha".to_string(), "beta".to_string()]);
+    }
+
+    #[test]
+    fn label_column_excluded_from_attributes() {
+        let text = "1,2,0\n3,4,1\n";
+        let parsed = read_csv(text.as_bytes(), false, true).unwrap();
+        assert_eq!(parsed.dataset.d(), 2);
+        assert_eq!(parsed.labels, Some(vec![false, true]));
+    }
+}

@@ -1,0 +1,28 @@
+//! # hics-data — dataset substrate for the HiCS reproduction
+//!
+//! * [`dataset`] — column-major numeric datasets with normalisation.
+//! * [`index`] — per-attribute sorted indices for adaptive subspace slices.
+//! * [`csv`] — minimal CSV I/O with optional label columns.
+//! * [`arff`] — reader for the Weka ARFF format the original HiCS
+//!   repeatability datasets ship in.
+//! * [`synth`] — the paper's synthetic workload generator (Section V-A).
+//! * [`toy`] — Figure 2 (motivation) and Figure 3 (counterexample) datasets.
+//! * [`realworld`] — proxy generators for the eight UCI benchmarks
+//!   (Fig. 11); see DESIGN.md §3 for the substitution rationale.
+//! * [`rng_util`] — Gaussian sampling and distinct-index helpers.
+
+#![warn(missing_docs)]
+
+pub mod arff;
+pub mod csv;
+pub mod dataset;
+pub mod index;
+pub mod realworld;
+pub mod rng_util;
+pub mod synth;
+pub mod toy;
+
+pub use dataset::Dataset;
+pub use index::SortedIndices;
+pub use realworld::{RealWorldSpec, UciProxy};
+pub use synth::{LabeledDataset, SyntheticConfig};

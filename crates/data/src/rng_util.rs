@@ -1,0 +1,92 @@
+//! Small sampling helpers on top of `rand`, so the workspace does not need
+//! the `rand_distr` crate for the handful of distributions the generators
+//! use.
+
+use rand::Rng;
+
+/// Samples a standard normal variate with the Marsaglia polar method.
+pub fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples `N(mean, sd²)`.
+pub fn gauss_with<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * gauss(rng)
+}
+
+/// Draws `k` distinct indices from `0..n` (Floyd's algorithm, `O(k)` expected).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let v = if chosen.contains(&t) { j } else { t };
+        chosen.insert(v);
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gauss_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample: Vec<f64> = (0..20_000).map(|_| gauss(&mut rng)).collect();
+        let mean = sample.iter().sum::<f64>() / sample.len() as f64;
+        let var = sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / sample.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gauss_with_shift_and_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sample: Vec<f64> = (0..20_000).map(|_| gauss_with(&mut rng, 5.0, 2.0)).collect();
+        let mean = sample.iter().sum::<f64>() / sample.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let idx = sample_indices(&mut rng, 30, 10);
+            assert_eq!(idx.len(), 10);
+            let set: std::collections::HashSet<_> = idx.iter().collect();
+            assert_eq!(set.len(), 10);
+            assert!(idx.iter().all(|&i| i < 30));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_population() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut idx = sample_indices(&mut rng, 5, 5);
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sample_indices_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_indices(&mut rng, 3, 4);
+    }
+}

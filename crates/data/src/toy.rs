@@ -1,0 +1,220 @@
+//! The paper's illustrative toy datasets.
+//!
+//! * [`fig2_dataset_a`] / [`fig2_dataset_b`] — the two-dimensional motivation
+//!   example of Figure 2: identical bimodal marginals, uncorrelated (A) vs
+//!   correlated (B), each with a planted trivial outlier `o1` and — for B —
+//!   a non-trivial outlier `o2` hidden in both one-dimensional projections.
+//! * [`xor3d`] — the Figure 3 counterexample: four equal-density clusters on
+//!   alternating corners of a cube, so every two-dimensional projection is
+//!   uniform (uncorrelated) while the three-dimensional joint distribution
+//!   is strongly correlated. It proves that subspace contrast admits no
+//!   Apriori monotonicity.
+
+use crate::dataset::Dataset;
+use crate::rng_util::gauss_with;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A toy dataset with the indices of its planted outliers.
+#[derive(Debug, Clone)]
+pub struct ToyDataset {
+    /// The data.
+    pub dataset: Dataset,
+    /// Indices of planted outliers (`o1` first, then `o2` if present).
+    pub outliers: Vec<usize>,
+}
+
+/// Shared bimodal marginal: a balanced mixture of `N(0.3, 0.05)` and
+/// `N(0.75, 0.05)` clipped to `[0, 1]`. Returns the sampled component too.
+fn bimodal(rng: &mut StdRng) -> (usize, f64) {
+    let comp = usize::from(rng.gen::<f64>() < 0.5);
+    let mean = if comp == 0 { 0.3 } else { 0.75 };
+    ((comp), gauss_with(rng, mean, 0.05).clamp(0.0, 1.0))
+}
+
+/// Figure 2, dataset A: both attributes follow the bimodal marginal
+/// **independently**. Object `N-1` is the trivial outlier `o1`, extreme in
+/// attribute `s2` alone.
+pub fn fig2_dataset_a(n: usize, seed: u64) -> ToyDataset {
+    assert!(n >= 10, "toy dataset needs at least 10 objects");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s1 = Vec::with_capacity(n);
+    let mut s2 = Vec::with_capacity(n);
+    for _ in 0..n - 1 {
+        s1.push(bimodal(&mut rng).1);
+        s2.push(bimodal(&mut rng).1);
+    }
+    // o1: ordinary in s1, extreme in s2 (visible in the 1-d projection).
+    s1.push(bimodal(&mut rng).1);
+    s2.push(0.02);
+    ToyDataset {
+        dataset: Dataset::from_columns_named(
+            vec![s1, s2],
+            vec!["s1".into(), "s2".into()],
+        ),
+        outliers: vec![n - 1],
+    }
+}
+
+/// Figure 2, dataset B: identical marginals to dataset A, but the two
+/// attributes are **coupled** — both coordinates of an object come from the
+/// same mixture component, producing two dense diagonal clusters and empty
+/// off-diagonal regions.
+///
+/// Object `N-2` is the trivial outlier `o1` (extreme in `s2`); object `N-1`
+/// is the non-trivial outlier `o2`, placed in an off-diagonal empty region:
+/// each of its coordinates is near a cluster's marginal mode, so neither
+/// one-dimensional projection reveals it.
+pub fn fig2_dataset_b(n: usize, seed: u64) -> ToyDataset {
+    assert!(n >= 10, "toy dataset needs at least 10 objects");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s1 = Vec::with_capacity(n);
+    let mut s2 = Vec::with_capacity(n);
+    for _ in 0..n - 2 {
+        let (comp, v1) = bimodal(&mut rng);
+        let mean2 = if comp == 0 { 0.3 } else { 0.75 };
+        s1.push(v1);
+        s2.push(gauss_with(&mut rng, mean2, 0.05).clamp(0.0, 1.0));
+    }
+    // o1: trivial outlier, extreme in s2.
+    s1.push(bimodal(&mut rng).1);
+    s2.push(0.02);
+    // o2: non-trivial outlier in the empty off-diagonal region — coordinates
+    // from *different* components.
+    s1.push(0.3);
+    s2.push(0.75);
+    ToyDataset {
+        dataset: Dataset::from_columns_named(
+            vec![s1, s2],
+            vec!["s1".into(), "s2".into()],
+        ),
+        outliers: vec![n - 2, n - 1],
+    }
+}
+
+/// Figure 3 counterexample: four equal-density clusters at the cube corners
+/// `(0,0,0), (1,1,0), (1,0,1), (0,1,1)` (an XOR / parity pattern).
+///
+/// Every two-dimensional projection hits all four corner combinations with
+/// equal frequency — indistinguishable from an uncorrelated grid — while the
+/// three-dimensional space leaves four corners empty. The returned dataset
+/// has no planted outliers; it exists to probe the contrast measure.
+pub fn xor3d(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 8, "xor3d needs at least 8 objects");
+    let corners = [
+        [0.25, 0.25, 0.25],
+        [0.75, 0.75, 0.25],
+        [0.75, 0.25, 0.75],
+        [0.25, 0.75, 0.75],
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
+    for _ in 0..n {
+        let c = corners[rng.gen_range(0..4)];
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push(gauss_with(&mut rng, c[j], 0.05).clamp(0.0, 1.0));
+        }
+    }
+    Dataset::from_columns_named(
+        cols,
+        vec!["s1".into(), "s2".into(), "s3".into()],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_stats::correlation::pearson;
+
+    #[test]
+    fn dataset_a_is_uncorrelated() {
+        let t = fig2_dataset_a(2000, 1);
+        let r = pearson(t.dataset.col(0), t.dataset.col(1));
+        assert!(r.abs() < 0.08, "dataset A should be uncorrelated, r={r}");
+    }
+
+    #[test]
+    fn dataset_b_is_correlated() {
+        let t = fig2_dataset_b(2000, 1);
+        let r = pearson(t.dataset.col(0), t.dataset.col(1));
+        assert!(r > 0.7, "dataset B should be strongly correlated, r={r}");
+    }
+
+    #[test]
+    fn marginals_of_a_and_b_agree() {
+        // Same marginal generator → the KS distance between the s1 columns
+        // of A and B should be small.
+        let a = fig2_dataset_a(3000, 5);
+        let b = fig2_dataset_b(3000, 6);
+        let ks = hics_stats::ks_test(a.dataset.col(0), b.dataset.col(0));
+        assert!(ks.statistic < 0.05, "KS {}", ks.statistic);
+    }
+
+    #[test]
+    fn o2_coordinates_are_marginally_typical() {
+        let t = fig2_dataset_b(1000, 2);
+        let o2 = t.outliers[1];
+        for j in 0..2 {
+            let v = t.dataset.value(o2, j);
+            let col = t.dataset.col(j);
+            let near = col
+                .iter()
+                .filter(|&&x| (x - v).abs() < 0.05)
+                .count();
+            // Plenty of mass near each coordinate in 1-d.
+            assert!(near > 100, "o2 coordinate {j} is marginally atypical");
+        }
+    }
+
+    #[test]
+    fn o2_is_isolated_in_2d() {
+        let t = fig2_dataset_b(1000, 3);
+        let o2 = t.outliers[1];
+        let (x, y) = (t.dataset.value(o2, 0), t.dataset.value(o2, 1));
+        let close = (0..t.dataset.n())
+            .filter(|&i| i != o2)
+            .filter(|&i| {
+                let dx = t.dataset.value(i, 0) - x;
+                let dy = t.dataset.value(i, 1) - y;
+                (dx * dx + dy * dy).sqrt() < 0.1
+            })
+            .count();
+        assert!(close < 5, "o2 has {close} close neighbours in 2-d");
+    }
+
+    #[test]
+    fn xor3d_pairwise_uncorrelated() {
+        let d = xor3d(3000, 4);
+        for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+            let r = pearson(d.col(a), d.col(b));
+            assert!(r.abs() < 0.08, "pair ({a},{b}) correlated: {r}");
+        }
+    }
+
+    #[test]
+    fn xor3d_occupies_exactly_four_corners() {
+        let d = xor3d(2000, 5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..d.n() {
+            let key: Vec<bool> = (0..3).map(|j| d.value(i, j) > 0.5).collect();
+            seen.insert(key);
+        }
+        assert_eq!(seen.len(), 4, "XOR pattern must occupy 4 of 8 corners");
+        // Parity invariant: number of "high" coordinates is always even.
+        for corner in seen {
+            let high = corner.iter().filter(|&&b| b).count();
+            assert!(high % 2 == 0, "corner {corner:?} breaks XOR parity");
+        }
+    }
+
+    #[test]
+    fn toy_datasets_are_deterministic() {
+        let a1 = fig2_dataset_a(500, 9);
+        let a2 = fig2_dataset_a(500, 9);
+        assert_eq!(a1.dataset, a2.dataset);
+        let b1 = fig2_dataset_b(500, 9);
+        let b2 = fig2_dataset_b(500, 9);
+        assert_eq!(b1.dataset, b2.dataset);
+        assert_eq!(xor3d(100, 9), xor3d(100, 9));
+    }
+}

@@ -1,0 +1,19 @@
+//! # hics-eval — evaluation substrate
+//!
+//! * [`roc`] — ROC curves and tie-corrected AUC (the paper's quality metric).
+//! * [`metrics`] — precision@n, recall@n, average precision.
+//! * [`pr`] — precision-recall curves and ranking-agreement measures.
+//! * [`report`] — stopwatch, aligned text tables and figure-style series
+//!   renderers for the experiment binaries.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod pr;
+pub mod report;
+pub mod roc;
+
+pub use metrics::{average_precision, precision_at_n, recall_at_n};
+pub use pr::{pr_curve, ranking_agreement, top_n_overlap, PrPoint};
+pub use report::{SeriesTable, Stopwatch, TextTable};
+pub use roc::{auc_from_curve, roc_auc, roc_curve, RocPoint};

@@ -1,0 +1,113 @@
+//! Additional ranking-quality metrics beyond AUC.
+//!
+//! The paper reports AUC only; precision@n and average precision are
+//! standard companions for outlier rankings ("high recall of outliers with
+//! best precision", Section V-B) and are used by the examples and the
+//! extended experiment output.
+
+/// Precision among the `n` top-scored objects.
+///
+/// # Panics
+/// Panics on length mismatch or `n == 0`.
+pub fn precision_at_n(scores: &[f64], labels: &[bool], n: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(n >= 1, "precision@n requires n >= 1");
+    let n = n.min(scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    let hits = order[..n].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / n as f64
+}
+
+/// Average precision (area under the precision-recall curve, interpolated
+/// at each relevant retrieved object).
+///
+/// # Panics
+/// Panics on length mismatch or if there are no positive labels.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    assert!(n_pos > 0, "average precision undefined without positives");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    let mut hits = 0usize;
+    let mut acc = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i] {
+            hits += 1;
+            acc += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    acc / n_pos as f64
+}
+
+/// Recall among the top `n` objects (fraction of all outliers retrieved).
+///
+/// # Panics
+/// Panics on length mismatch or if there are no positive labels.
+pub fn recall_at_n(scores: &[f64], labels: &[bool], n: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    assert!(n_pos > 0, "recall undefined without positives");
+    let n = n.min(scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    let hits = order[..n].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / n_pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: [f64; 5] = [0.9, 0.8, 0.7, 0.6, 0.5];
+
+    #[test]
+    fn precision_at_n_basics() {
+        let labels = [true, false, true, false, false];
+        assert_eq!(precision_at_n(&SCORES, &labels, 1), 1.0);
+        assert_eq!(precision_at_n(&SCORES, &labels, 2), 0.5);
+        assert!((precision_at_n(&SCORES, &labels, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_clamps_n_to_len() {
+        let labels = [true, false, true, false, false];
+        assert_eq!(precision_at_n(&SCORES, &labels, 100), 0.4);
+    }
+
+    #[test]
+    fn average_precision_perfect() {
+        let labels = [true, true, false, false, false];
+        assert_eq!(average_precision(&SCORES, &labels), 1.0);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Positives at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6.
+        let labels = [true, false, true, false, false];
+        assert!((average_precision(&SCORES, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_at_n_grows_to_one() {
+        let labels = [true, false, true, false, false];
+        assert_eq!(recall_at_n(&SCORES, &labels, 1), 0.5);
+        assert_eq!(recall_at_n(&SCORES, &labels, 3), 1.0);
+        assert_eq!(recall_at_n(&SCORES, &labels, 5), 1.0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking_by_index() {
+        let scores = [0.5, 0.5, 0.5];
+        let labels = [true, false, false];
+        // Tie broken by index: object 0 first.
+        assert_eq!(precision_at_n(&scores, &labels, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ap_rejects_no_positives() {
+        average_precision(&SCORES, &[false; 5]);
+    }
+}

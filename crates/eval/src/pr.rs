@@ -1,0 +1,150 @@
+//! Precision-recall analysis and ranking-agreement utilities.
+//!
+//! Complements the ROC module: PR curves are the more informative view when
+//! outliers are rare (Glass has 9 outliers in 214 objects), and the rank
+//! agreement quantifies how similarly two methods order the same dataset —
+//! used by the ablation experiments to show, e.g., that the two slice-sizing
+//! conventions produce nearly identical rankings.
+
+use hics_stats::correlation::spearman;
+
+/// One point of a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Recall (fraction of all outliers retrieved so far).
+    pub recall: f64,
+    /// Precision among the objects retrieved so far.
+    pub precision: f64,
+    /// Score threshold of this operating point.
+    pub threshold: f64,
+}
+
+/// Computes the precision-recall curve, sweeping the threshold over every
+/// distinct score from high to low.
+///
+/// # Panics
+/// Panics on length mismatch or when there are no positive labels.
+pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    assert!(n_pos > 0, "PR curve undefined without positives");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut curve = Vec::new();
+    let (mut tp, mut retrieved) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            }
+            retrieved += 1;
+            i += 1;
+        }
+        curve.push(PrPoint {
+            recall: tp as f64 / n_pos as f64,
+            precision: tp as f64 / retrieved as f64,
+            threshold,
+        });
+    }
+    curve
+}
+
+/// Spearman rank agreement between two score vectors over the same objects
+/// (1 = identical ranking, 0 = unrelated, −1 = reversed).
+///
+/// # Panics
+/// Panics on length mismatch or fewer than 2 objects.
+pub fn ranking_agreement(scores_a: &[f64], scores_b: &[f64]) -> f64 {
+    assert_eq!(scores_a.len(), scores_b.len(), "score length mismatch");
+    spearman(scores_a, scores_b)
+}
+
+/// Jaccard overlap of the top-`n` sets of two rankings — a set-level
+/// agreement measure that only looks at the outliers the user would inspect.
+///
+/// # Panics
+/// Panics on length mismatch or `n == 0`.
+pub fn top_n_overlap(scores_a: &[f64], scores_b: &[f64], n: usize) -> f64 {
+    assert_eq!(scores_a.len(), scores_b.len(), "score length mismatch");
+    assert!(n >= 1, "overlap requires n >= 1");
+    let top = |scores: &[f64]| -> std::collections::HashSet<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        idx.into_iter().take(n.min(scores.len())).collect()
+    };
+    let sa = top(scores_a);
+    let sb = top(scores_b);
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pr_curve_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let curve = pr_curve(&scores, &labels);
+        // While recall < 1, precision stays 1.
+        for p in &curve {
+            if p.recall < 1.0 {
+                assert_eq!(p.precision, 1.0);
+            }
+        }
+        assert_eq!(curve.last().unwrap().recall, 1.0);
+    }
+
+    #[test]
+    fn pr_curve_handles_ties() {
+        let scores = [0.5, 0.5, 0.5];
+        let labels = [true, false, true];
+        let curve = pr_curve(&scores, &labels);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].recall, 1.0);
+        assert!((curve[0].precision - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_final_precision_is_base_rate() {
+        let scores = [0.4, 0.3, 0.2, 0.1];
+        let labels = [false, true, false, false];
+        let curve = pr_curve(&scores, &labels);
+        assert!((curve.last().unwrap().precision - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_of_identical_rankings_is_one() {
+        let s = [0.1, 0.9, 0.5, 0.3];
+        assert!((ranking_agreement(&s, &s) - 1.0).abs() < 1e-12);
+        let reversed: Vec<f64> = s.iter().map(|v| -v).collect();
+        assert!((ranking_agreement(&s, &reversed) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_n_overlap_bounds() {
+        let a = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(top_n_overlap(&a, &b, 2), 1.0);
+        let c = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(top_n_overlap(&a, &c, 2), 0.0);
+    }
+
+    #[test]
+    fn top_n_overlap_partial() {
+        let a = [5.0, 4.0, 3.0, 2.0, 1.0]; // top-2: {0, 1}
+        let b = [5.0, 1.0, 4.0, 2.0, 3.0]; // top-2: {0, 2}
+        // |{0}| / |{0,1,2}| = 1/3.
+        assert!((top_n_overlap(&a, &b, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pr_rejects_no_positives() {
+        pr_curve(&[0.1, 0.2], &[false, false]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Plain-text experiment reporting: aligned tables and x/y series in the
+//! shape the paper's figures and Fig. 11 table use.
+//!
+//! The experiment binaries print these to stdout and the results are copied
+//! into EXPERIMENTS.md; keeping the renderer here avoids ten hand-rolled
+//! formatters in the bench crate.
+
+use std::time::Instant;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed seconds since start.
+    pub fn seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// An aligned text table (first row = header).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a header row.
+    pub fn with_header<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let mut t = Self::default();
+        t.rows.push(header.into_iter().map(Into::into).collect());
+        t
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if let Some(first) = self.rows.first() {
+            assert_eq!(row.len(), first.len(), "row width mismatch");
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows (excluding the header).
+    pub fn len(&self) -> usize {
+        self.rows.len().saturating_sub(1)
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::new();
+        }
+        let cols = self.rows[0].len();
+        let mut widths = vec![0usize; cols];
+        for row in &self.rows {
+            for (j, cell) in row.iter().enumerate() {
+                widths[j] = widths[j].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                let pad = widths[j] - cell.chars().count();
+                if j + 1 < cols {
+                    out.extend(std::iter::repeat_n(' ', pad));
+                }
+            }
+            out.push('\n');
+            if i == 0 {
+                for (j, w) in widths.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str("  ");
+                    }
+                    out.extend(std::iter::repeat_n('-', *w));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// A named x/y series, rendered as one row per x with aligned y columns —
+/// the textual analogue of the paper's line plots (Figs. 4–9).
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    x_label: String,
+    series_names: Vec<String>,
+    rows: Vec<(f64, Vec<Option<f64>>)>,
+}
+
+impl SeriesTable {
+    /// Creates a series table with the x-axis label and one name per series.
+    pub fn new<S: Into<String>>(x_label: S, series_names: Vec<String>) -> Self {
+        Self { x_label: x_label.into(), series_names, rows: Vec::new() }
+    }
+
+    /// Appends the y values of every series at `x` (`None` = missing, the
+    /// paper's "-" cells).
+    ///
+    /// # Panics
+    /// Panics if the number of values differs from the number of series.
+    pub fn push(&mut self, x: f64, ys: Vec<Option<f64>>) {
+        assert_eq!(ys.len(), self.series_names.len(), "series count mismatch");
+        self.rows.push((x, ys));
+    }
+
+    /// Renders as an aligned table with `-` for missing values.
+    pub fn render(&self, precision: usize) -> String {
+        let mut t = TextTable::with_header(
+            std::iter::once(self.x_label.clone()).chain(self.series_names.clone()),
+        );
+        for (x, ys) in &self.rows {
+            let mut cells = vec![format_num(*x, precision)];
+            cells.extend(ys.iter().map(|y| match y {
+                Some(v) => format_num(*v, precision),
+                None => "-".to_string(),
+            }));
+            t.row(cells);
+        }
+        t.render()
+    }
+}
+
+fn format_num(v: f64, precision: usize) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e12 && precision == 0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::with_header(["name", "auc"]);
+        t.row(["LOF", "86.16"]);
+        t.row(["HiCS", "95.11"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[2].contains("86.16"));
+    }
+
+    #[test]
+    fn table_len() {
+        let mut t = TextTable::with_header(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_ragged_row() {
+        let mut t = TextTable::with_header(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn series_with_missing_values() {
+        let mut s = SeriesTable::new("D", vec!["HiCS".into(), "RIS".into()]);
+        s.push(10.0, vec![Some(95.0), None]);
+        let out = s.render(1);
+        assert!(out.contains("95.0"));
+        assert!(out.contains('-'));
+    }
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(w.seconds() >= 0.004);
+    }
+}

@@ -1,0 +1,176 @@
+//! ROC analysis: the paper's quality measure is the area under the ROC
+//! curve (AUC) of the outlier ranking against ground-truth labels.
+//!
+//! The AUC is computed via the rank-sum (Mann–Whitney) formulation with
+//! midrank tie handling — exact for rankings with tied scores, unlike
+//! trapezoid integration over an arbitrarily thresholded curve.
+
+use hics_stats::rank::midranks;
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate (recall) at this threshold.
+    pub tpr: f64,
+    /// Score threshold: objects with `score >= threshold` are predicted
+    /// outliers.
+    pub threshold: f64,
+}
+
+/// Area under the ROC curve of `scores` against binary `labels`
+/// (true = outlier). Higher scores should indicate outliers.
+///
+/// Ties in scores are handled by midranks (equivalent to the trapezoidal
+/// interpolation through tie groups).
+///
+/// # Panics
+/// Panics if the lengths differ, scores contain NaN, or either class is
+/// empty (AUC undefined).
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0, "AUC undefined without positive (outlier) examples");
+    assert!(n_neg > 0, "AUC undefined without negative (inlier) examples");
+    let ranks = midranks(scores);
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|&(_, &l)| l)
+        .map(|(r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Computes the full ROC curve, sweeping the threshold over every distinct
+/// score from high to low. The curve starts at `(0, 0)` and ends at `(1, 1)`.
+///
+/// # Panics
+/// Same conditions as [`roc_auc`].
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0 && n_neg > 0, "ROC undefined with a single class");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume the whole tie group at once (a ROC step may be diagonal).
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push(RocPoint {
+            fpr: fp as f64 / n_neg as f64,
+            tpr: tp as f64 / n_pos as f64,
+            threshold,
+        });
+    }
+    curve
+}
+
+/// Trapezoidal area under a ROC curve produced by [`roc_curve`] — useful to
+/// cross-check the rank-based [`roc_auc`].
+pub fn auc_from_curve(curve: &[RocPoint]) -> f64 {
+    curve
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let scores = [0.9, 0.8, 0.3, 0.2];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_tied_scores_give_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_partial_auc() {
+        // 1 positive ranked 2nd of 4: pairs won = 2 of 3 → AUC = 2/3.
+        let scores = [0.9, 0.8, 0.7, 0.1];
+        let labels = [false, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_auc_matches_curve_auc() {
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.65, 0.9, 0.5, 0.3];
+        let labels = [false, false, true, true, false, true, true, false];
+        let a1 = roc_auc(&scores, &labels);
+        let a2 = auc_from_curve(&roc_curve(&scores, &labels));
+        assert!((a1 - a2).abs() < 1e-12, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn rank_auc_matches_curve_auc_with_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.9, 0.1, 0.9];
+        let labels = [true, false, true, true, false, false];
+        let a1 = roc_auc(&scores, &labels);
+        let a2 = auc_from_curve(&roc_curve(&scores, &labels));
+        assert!((a1 - a2).abs() < 1e-12, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let scores = [0.9, 0.1, 0.5];
+        let labels = [true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().unwrap().fpr, 0.0);
+        assert_eq!(curve.first().unwrap().tpr, 0.0);
+        assert_eq!(curve.last().unwrap().fpr, 1.0);
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.3, 0.7, 0.2, 0.9, 0.5, 0.5];
+        let labels = [false, true, false, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_class() {
+        roc_auc(&[0.1, 0.2], &[true, true]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_length_mismatch() {
+        roc_auc(&[0.1], &[true, false]);
+    }
+}

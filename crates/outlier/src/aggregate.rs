@@ -1,0 +1,126 @@
+//! Aggregation of per-subspace outlier scores into one ranking
+//! (Definition 1 of the paper).
+//!
+//! The paper evaluates `average` and `maximum` and settles on the average:
+//! *"In practice maximum is very sensitive to fluctuations of the
+//! outlierness and will lead to poor results especially if the number of
+//! detected subspaces is large. […] This also ensures that the outlierness
+//! is cumulative."* Both are provided (the ablation bench quantifies the
+//! difference).
+
+/// How to combine the score vectors of multiple subspaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Arithmetic mean over subspaces (the paper's choice, Definition 1).
+    #[default]
+    Average,
+    /// Per-object maximum over subspaces.
+    Max,
+}
+
+/// Aggregates `per_subspace[s][i]` (score of object `i` in subspace `s`)
+/// into one score per object.
+///
+/// Non-finite per-subspace scores (LOF can return `∞` on duplicate-degenerate
+/// slices) are clamped to the largest finite score of that subspace before
+/// aggregation, so a single degenerate subspace cannot blot out the ranking.
+///
+/// # Panics
+/// Panics if `per_subspace` is empty or the inner vectors have unequal
+/// lengths.
+pub fn aggregate_scores(per_subspace: &[Vec<f64>], how: Aggregation) -> Vec<f64> {
+    assert!(!per_subspace.is_empty(), "need at least one subspace score vector");
+    let n = per_subspace[0].len();
+    assert!(
+        per_subspace.iter().all(|s| s.len() == n),
+        "all score vectors must have the same length"
+    );
+    let mut out = vec![
+        match how {
+            Aggregation::Average => 0.0,
+            Aggregation::Max => f64::NEG_INFINITY,
+        };
+        n
+    ];
+    for scores in per_subspace {
+        let finite_max = scores
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let clamp = if finite_max.is_finite() { finite_max } else { 0.0 };
+        for (o, &s) in out.iter_mut().zip(scores) {
+            let s = if s.is_finite() { s } else { clamp };
+            match how {
+                Aggregation::Average => *o += s,
+                Aggregation::Max => *o = o.max(s),
+            }
+        }
+    }
+    if how == Aggregation::Average {
+        let m = per_subspace.len() as f64;
+        for o in &mut out {
+            *o /= m;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_two_subspaces() {
+        let s = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(aggregate_scores(&s, Aggregation::Average), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn max_of_two_subspaces() {
+        let s = vec![vec![1.0, 5.0], vec![3.0, 4.0]];
+        assert_eq!(aggregate_scores(&s, Aggregation::Max), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn single_subspace_is_identity_for_both() {
+        let s = vec![vec![0.5, 0.7, 0.1]];
+        assert_eq!(aggregate_scores(&s, Aggregation::Average), s[0]);
+        assert_eq!(aggregate_scores(&s, Aggregation::Max), s[0]);
+    }
+
+    #[test]
+    fn average_is_cumulative_across_subspaces() {
+        // An object outlying in two subspaces outranks one outlying in one.
+        let s = vec![vec![10.0, 10.0, 1.0], vec![10.0, 1.0, 1.0]];
+        let agg = aggregate_scores(&s, Aggregation::Average);
+        assert!(agg[0] > agg[1]);
+        assert!(agg[1] > agg[2]);
+    }
+
+    #[test]
+    fn infinities_are_clamped_to_subspace_max() {
+        let s = vec![vec![f64::INFINITY, 2.0, 1.0]];
+        let agg = aggregate_scores(&s, Aggregation::Average);
+        assert_eq!(agg, vec![2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn all_infinite_subspace_clamps_to_zero() {
+        let s = vec![vec![f64::INFINITY, f64::INFINITY]];
+        let agg = aggregate_scores(&s, Aggregation::Average);
+        assert_eq!(agg, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_input() {
+        aggregate_scores(&[], Aggregation::Average);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ragged_input() {
+        aggregate_scores(&[vec![1.0], vec![1.0, 2.0]], Aggregation::Max);
+    }
+}

@@ -1,0 +1,155 @@
+//! Brute-force k-nearest-neighbour search with LOF-style tie handling.
+//!
+//! LOF's *k-distance neighbourhood* `N_k(p)` contains **every** object whose
+//! distance to `p` does not exceed the k-distance — with ties this can be
+//! more than `k` objects, and the original definition (Breunig et al. 2000)
+//! depends on that. The kNN kernel therefore returns the full tied
+//! neighbourhood, not an arbitrary truncation.
+//!
+//! Brute force is the right choice here: subspace dimensionality is small
+//! (2–5), queries are batched over all `N` objects, and the paper's own
+//! complexity discussion assumes the quadratic LOF kernel (Section V-A-2).
+
+use crate::distance::SubspaceView;
+use crate::parallel::par_map;
+
+/// The k-distance neighbourhood of one query object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighborhood {
+    /// Object ids with `dist <= k_distance`, excluding the query itself,
+    /// in ascending distance order.
+    pub neighbors: Vec<u32>,
+    /// Distances aligned with `neighbors`.
+    pub distances: Vec<f64>,
+    /// The k-distance of the query (distance to its k-th neighbour).
+    pub k_distance: f64,
+}
+
+/// Computes the k-distance neighbourhood of every object in the subspace
+/// view, in parallel over queries.
+///
+/// `k` is clamped to `N − 1`. Distances are Euclidean within the view.
+///
+/// # Panics
+/// Panics if the view contains fewer than 2 objects or `k == 0`.
+pub fn knn_all(view: &SubspaceView<'_>, k: usize, max_threads: usize) -> Vec<Neighborhood> {
+    let n = view.n();
+    assert!(n >= 2, "kNN requires at least two objects");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n - 1);
+    par_map(n, max_threads, |i| knn_query(view, i, k))
+}
+
+/// The k-distance neighbourhood of a single query.
+fn knn_query(view: &SubspaceView<'_>, i: usize, k: usize) -> Neighborhood {
+    let n = view.n();
+    let mut dists: Vec<(f64, u32)> = Vec::with_capacity(n - 1);
+    for j in 0..n {
+        if j != i {
+            dists.push((view.sq_dist(i, j), j as u32));
+        }
+    }
+    // Partition so the k smallest squared distances are in front.
+    dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+    let k_sq = dists[k - 1].0;
+    // Gather the full tied neighbourhood (everything with d² <= k-dist²).
+    let mut members: Vec<(f64, u32)> =
+        dists.iter().copied().filter(|&(d, _)| d <= k_sq).collect();
+    members.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    Neighborhood {
+        neighbors: members.iter().map(|&(_, j)| j).collect(),
+        distances: members.iter().map(|&(d, _)| d.sqrt()).collect(),
+        k_distance: k_sq.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_data::Dataset;
+
+    fn line_dataset() -> Dataset {
+        // Points at x = 0, 1, 2, 3, 10.
+        Dataset::from_columns(vec![vec![0.0, 1.0, 2.0, 3.0, 10.0]])
+    }
+
+    #[test]
+    fn nearest_neighbors_on_a_line() {
+        let d = line_dataset();
+        let v = SubspaceView::new(&d, &[0]);
+        let nn = knn_all(&v, 2, 1);
+        // Point 0 (x=0): neighbours x=1 (d=1), x=2 (d=2).
+        assert_eq!(nn[0].neighbors, vec![1, 2]);
+        assert_eq!(nn[0].k_distance, 2.0);
+        // Point 4 (x=10): neighbours x=3 (d=7), x=2 (d=8).
+        assert_eq!(nn[4].neighbors, vec![3, 2]);
+        assert_eq!(nn[4].k_distance, 8.0);
+    }
+
+    #[test]
+    fn tied_neighborhood_includes_all_ties() {
+        // Query at 0 with three points all at distance 1.
+        let d = Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ]);
+        let v = SubspaceView::new(&d, &[0, 1]);
+        let nn = knn_all(&v, 2, 1);
+        // k=2 but three objects tie at distance 1 → all included.
+        assert_eq!(nn[0].neighbors.len(), 3);
+        assert_eq!(nn[0].k_distance, 1.0);
+        assert!(nn[0].distances.iter().all(|&d| d == 1.0));
+    }
+
+    #[test]
+    fn k_clamped_to_n_minus_one() {
+        let d = line_dataset();
+        let v = SubspaceView::new(&d, &[0]);
+        let nn = knn_all(&v, 100, 1);
+        assert_eq!(nn[0].neighbors.len(), 4);
+    }
+
+    #[test]
+    fn duplicates_yield_zero_k_distance() {
+        let d = Dataset::from_columns(vec![vec![1.0, 1.0, 1.0, 2.0]]);
+        let v = SubspaceView::new(&d, &[0]);
+        let nn = knn_all(&v, 2, 1);
+        assert_eq!(nn[0].k_distance, 0.0);
+        // Both duplicates are in the neighbourhood; point at 2.0 is not.
+        assert_eq!(nn[0].neighbors, vec![1, 2]);
+    }
+
+    #[test]
+    fn distances_sorted_ascending() {
+        let d = Dataset::from_columns(vec![vec![0.3, 0.9, 0.1, 0.75, 0.5, 0.2]]);
+        let v = SubspaceView::new(&d, &[0]);
+        for nb in knn_all(&v, 3, 1) {
+            for w in nb.distances.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            assert_eq!(*nb.distances.last().unwrap(), nb.k_distance);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = hics_data::SyntheticConfig::new(300, 6).with_seed(3);
+        let g = cfg.generate();
+        let v = SubspaceView::new(&g.dataset, &[0, 1, 2]);
+        let seq = knn_all(&v, 10, 1);
+        let par = knn_all(&v, 10, 8);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn query_never_its_own_neighbor() {
+        let d = line_dataset();
+        let v = SubspaceView::new(&d, &[0]);
+        for (i, nb) in knn_all(&v, 3, 1).iter().enumerate() {
+            assert!(!nb.neighbors.contains(&(i as u32)));
+        }
+    }
+}

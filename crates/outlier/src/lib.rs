@@ -1,0 +1,30 @@
+//! # hics-outlier — density-based outlier ranking substrate
+//!
+//! * [`distance`] — subspace-restricted Euclidean metrics.
+//! * [`knn`] — brute-force k-distance neighbourhoods with LOF tie handling.
+//! * [`lof`] — the Local Outlier Factor (Breunig et al. 2000), from scratch.
+//! * [`knn_score`] — kNN-distance scores (ORCA-flavoured future-work scorer).
+//! * [`kde_score`] — adaptive-bandwidth KDE score (OUTRES-flavoured).
+//! * [`aggregate`] — Definition 1 score aggregation (average / max).
+//! * [`scorer`] — the pluggable [`scorer::SubspaceScorer`] seam and parallel
+//!   multi-subspace driving.
+//! * [`parallel`] — deterministic `std::thread::scope` fan-out helpers.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod distance;
+pub mod kde_score;
+pub mod knn;
+pub mod knn_score;
+pub mod lof;
+pub mod parallel;
+pub mod scorer;
+
+pub use aggregate::{aggregate_scores, Aggregation};
+pub use distance::SubspaceView;
+pub use kde_score::KdeScorer;
+pub use knn::{knn_all, Neighborhood};
+pub use knn_score::{KnnScoreKind, KnnScorer};
+pub use lof::{lof_from_neighborhoods, Lof, LofParams};
+pub use scorer::{score_and_aggregate, score_subspaces, SubspaceScorer};

@@ -1,0 +1,96 @@
+//! Deterministic data-parallel helpers built on `std::thread::scope`.
+//!
+//! The workspace deliberately avoids a thread-pool dependency: the two
+//! fan-out patterns HiCS needs (per-query kNN and per-subspace scoring) are
+//! plain index-space maps. Results are assembled in index order, so the
+//! output is identical regardless of the number of worker threads.
+
+/// Maps `f` over `0..n`, splitting the range into contiguous chunks across
+/// up to `max_threads` worker threads. Returns results in index order.
+///
+/// Falls back to a sequential loop for small `n` or `max_threads <= 1`.
+pub fn par_map<T, F>(n: usize, max_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = max_threads
+        .min(available_threads())
+        .min(n.max(1))
+        .max(1);
+    if threads == 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            handles.push(s.spawn(move || (start..end).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            chunks.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Number of hardware threads available, capped at 16 (diminishing returns
+/// for the memory-bound distance kernels).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = par_map(1000, 8, |i| i * 2);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let a = par_map(100, 1, |i| i as f64 / 3.0);
+        let b = par_map(100, 8, |i| i as f64 / 3.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<usize> = par_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(par_map(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        for t in 1..6 {
+            let out = par_map(97, t, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(out[96], 96u64.wrapping_mul(2654435761));
+            assert_eq!(out.len(), 97);
+        }
+    }
+}

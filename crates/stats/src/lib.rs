@@ -1,0 +1,34 @@
+//! # hics-stats — statistical substrate for the HiCS reproduction
+//!
+//! Self-contained numerical statistics, implemented from scratch:
+//!
+//! * [`special`] — log-gamma, regularized incomplete beta/gamma, erf.
+//! * [`dist`] — Normal, Student-t, Chi-squared, Kolmogorov distributions.
+//! * [`moments`] — Welford streaming moments (mean/variance/skew/kurtosis).
+//! * [`ecdf`] — empirical CDFs and the exact two-sample KS supremum.
+//! * [`rank`] — argsort, midranks, tie groups.
+//! * [`two_sample`] — Welch's t-test, two-sample KS test, Mann–Whitney U.
+//! * [`correlation`] — Pearson, Spearman, Kendall baselines.
+//! * [`histogram`] — sparse grid histograms + Shannon entropy (for Enclus).
+//!
+//! These are the statistical instantiations of the HiCS `deviation` function
+//! (paper Section III-E) plus everything the competitor methods need.
+
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod dist;
+pub mod ecdf;
+pub mod histogram;
+pub mod moments;
+pub mod rank;
+pub mod special;
+pub mod two_sample;
+
+pub use dist::{ChiSquared, Kolmogorov, Normal, StudentsT};
+pub use ecdf::Ecdf;
+pub use moments::Moments;
+pub use two_sample::{
+    ks_test, ks_test_from_ecdfs, mann_whitney_u, welch_t_test,
+    welch_t_test_from_moments, KsResult, MannWhitneyResult, WelchResult,
+};

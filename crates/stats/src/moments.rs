@@ -1,0 +1,234 @@
+//! Streaming sample moments via Welford's numerically stable algorithm.
+//!
+//! Welch's t-test needs the mean and (sample) variance of both the marginal
+//! and the conditional sample on every Monte-Carlo iteration, so this is one
+//! of the hottest pieces of the contrast computation. The accumulator is a
+//! plain value type that can be folded over a slice or built incrementally.
+
+/// Online accumulator for count, mean, variance, skewness and kurtosis.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Moments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the accumulator from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &v in values {
+            m.push(v);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n - 1` denominator). `NaN` for fewer than
+    /// two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Population variance (`n` denominator). `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample skewness (biased, moment-based `g1`). `NaN` when undefined.
+    pub fn skewness(&self) -> f64 {
+        if self.n < 2 || self.m2 == 0.0 {
+            return f64::NAN;
+        }
+        let n = self.n as f64;
+        n.sqrt() * self.m3 / self.m2.powf(1.5)
+    }
+
+    /// Sample excess kurtosis (`g2`). `NaN` when undefined.
+    pub fn kurtosis(&self) -> f64 {
+        if self.n < 2 || self.m2 == 0.0 {
+            return f64::NAN;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+}
+
+/// Convenience: mean of a slice (`NaN` when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    Moments::from_slice(values).mean()
+}
+
+/// Convenience: unbiased sample variance of a slice.
+pub fn variance(values: &[f64]) -> f64 {
+    Moments::from_slice(values).variance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_nan() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert!(m.mean().is_nan());
+        assert!(m.variance().is_nan());
+    }
+
+    #[test]
+    fn single_value() {
+        let m = Moments::from_slice(&[42.0]);
+        assert_eq!(m.mean(), 42.0);
+        assert!(m.variance().is_nan());
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let m = Moments::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: tiny variance around 1e9.
+        let vals: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 7) as f64).collect();
+        let m = Moments::from_slice(&vals);
+        let naive_mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((m.mean() - naive_mean).abs() < 1e-3);
+        assert!(m.variance() > 0.0 && m.variance() < 10.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..80).map(|i| (i as f64 * 0.7).cos() * 3.0).collect();
+        let mut merged = Moments::from_slice(&a);
+        merged.merge(&Moments::from_slice(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let seq = Moments::from_slice(&all);
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-10);
+        assert!((merged.variance() - seq.variance()).abs() < 1e-10);
+        assert!((merged.skewness() - seq.skewness()).abs() < 1e-8);
+        assert!((merged.kurtosis() - seq.kurtosis()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        let before = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn skewness_of_symmetric_sample_is_zero() {
+        let m = Moments::from_slice(&[-3.0, -1.0, 0.0, 1.0, 3.0]);
+        assert!(m.skewness().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kurtosis_of_constant_is_nan() {
+        let m = Moments::from_slice(&[5.0, 5.0, 5.0]);
+        assert!(m.kurtosis().is_nan());
+        assert!(m.skewness().is_nan());
+    }
+
+    #[test]
+    fn convenience_helpers() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-15);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,363 @@
+//! Special functions underpinning the statistical distributions.
+//!
+//! Everything is implemented from scratch (no external numerics crate):
+//! the Lanczos log-gamma approximation, the regularized incomplete beta
+//! function via Lentz's continued-fraction algorithm, the regularized
+//! incomplete gamma function (series + continued fraction), and the error
+//! function derived from the incomplete gamma function.
+//!
+//! Accuracy targets are ~1e-12 relative error over the argument ranges used
+//! by the HiCS statistical tests (Student-t CDF with moderate degrees of
+//! freedom, normal CDF, chi-squared CDF), validated by the unit tests below
+//! against high-precision reference values.
+
+/// Machine-level convergence threshold for iterative expansions.
+const EPS: f64 = 1e-15;
+/// Smallest representable magnitude guard for Lentz's algorithm.
+const FPMIN: f64 = 1e-300;
+/// Iteration cap for series/continued-fraction evaluation.
+const MAX_ITER: usize = 500;
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with `g = 7` and a 9-term coefficient set,
+/// giving ~15 significant digits across the positive real axis.
+///
+/// # Panics
+/// Panics if `x <= 0` (the reflection branch is not needed by this crate).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos (g=7, n=9) coefficients.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    if x < 0.5 {
+        // Reflection formula keeps precision for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `0 <= x <= 1`.
+///
+/// Evaluated with the continued fraction of Lentz/Thompson-Barnett, using the
+/// symmetry `I_x(a,b) = 1 - I_{1-x}(b,a)` to stay in the rapidly converging
+/// regime `x < (a+1)/(a+b+2)`.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "betai requires a,b > 0 (a={a}, b={b})");
+    assert!((0.0..=1.0).contains(&x), "betai requires 0<=x<=1, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction core of the incomplete beta function (Numerical
+/// Recipes `betacf`, modified Lentz method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step of the continued fraction.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return h;
+        }
+    }
+    // Convergence is extremely fast in the regime chosen by `betai`; hitting
+    // the cap indicates pathological input, so return the best estimate.
+    h
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a,x)/Γ(a)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise.
+pub fn gammap(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gammap requires a > 0, got {a}");
+    assert!(x >= 0.0, "gammap requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gammaq(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gammaq requires a > 0, got {a}");
+    assert!(x >= 0.0, "gammaq requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, converging quickly for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x)`, for `x >= a + 1`.
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function `erf(x)`, via the regularized incomplete gamma function:
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gammap(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`, computed without
+/// cancellation for large positive `x`.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gammaq(0.5, x * x)
+    } else {
+        1.0 + gammap(0.5, x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol * expected.abs().max(1.0),
+            "expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)! for integer n.
+        let mut fact = 1.0_f64;
+        for n in 1..15u32 {
+            assert_close(ln_gamma(n as f64), fact.ln(), 1e-12);
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = √π / 2.
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn ln_gamma_small_argument_reflection() {
+        // Γ(0.1) = 9.513507698668731836...
+        assert_close(ln_gamma(0.1), 9.513_507_698_668_732_f64.ln(), 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn betai_boundaries() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn betai_symmetric_case() {
+        // I_{1/2}(a, a) = 1/2 for all a by symmetry.
+        for a in [0.5, 1.0, 2.5, 10.0, 50.0] {
+            assert_close(betai(a, a, 0.5), 0.5, 1e-12);
+        }
+    }
+
+    #[test]
+    fn betai_against_closed_form() {
+        // I_x(1, b) = 1 - (1-x)^b.
+        for &(b, x) in &[(3.0, 0.2), (5.0, 0.7), (1.5, 0.4)] {
+            assert_close(betai(1.0, b, x), 1.0 - (1.0 - x).powf(b), 1e-12);
+        }
+        // I_x(a, 1) = x^a.
+        for &(a, x) in &[(3.0, 0.2), (2.5, 0.9)] {
+            assert_close(betai(a, 1.0, x), x.powf(a), 1e-12);
+        }
+    }
+
+    #[test]
+    fn betai_reference_values() {
+        // Reference values from scipy.special.betainc.
+        assert_close(betai(2.0, 3.0, 0.4), 0.5248, 1e-10);
+        assert_close(betai(10.0, 10.0, 0.3), 0.03255335688130108, 1e-10);
+        assert_close(betai(0.5, 0.5, 0.1), 0.20483276469913347, 1e-10);
+    }
+
+    #[test]
+    fn betai_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 / 100.0;
+            let v = betai(3.0, 7.0, x);
+            assert!(v >= prev, "betai must be nondecreasing in x");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn gammap_gammaq_complementary() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 10.0), (20.0, 15.0)] {
+            assert_close(gammap(a, x) + gammaq(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gammap_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}.
+        for x in [0.1, 1.0, 3.0, 10.0] {
+            assert_close(gammap(1.0, x), 1.0 - (-x).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gammap_reference_values() {
+        // scipy.special.gammainc reference values.
+        assert_close(gammap(2.5, 1.0), 0.15085496391539038, 1e-10);
+        assert_close(gammap(0.5, 2.0), 0.9544997361036416, 1e-10);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun table values.
+        assert_close(erf(0.5), 0.5204998778130465, 1e-10);
+        assert_close(erf(1.0), 0.8427007929497149, 1e-10);
+        assert_close(erf(2.0), 0.9953222650189527, 1e-10);
+        assert_close(erf(-1.0), -0.8427007929497149, 1e-10);
+        assert_eq!(erf(0.0), 0.0);
+    }
+
+    #[test]
+    fn erfc_no_cancellation_for_large_x() {
+        // erfc(5) ≈ 1.5374597944280349e-12; naive 1-erf(5) would lose all digits.
+        let v = erfc(5.0);
+        assert!((v - 1.537_459_794_428_035e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn erfc_negative_argument() {
+        assert_close(erfc(-1.0), 1.0 + 0.8427007929497149, 1e-10);
+    }
+}

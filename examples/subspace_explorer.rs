@@ -1,0 +1,68 @@
+//! A tour of the contrast machinery on the paper's illustrative datasets:
+//! Figure 2 (dataset A vs B) and the Figure 3 XOR counterexample.
+//!
+//! Shows, for each statistical instantiation (Welch, KS, Mann–Whitney), how
+//! the Monte-Carlo contrast separates correlated from uncorrelated
+//! subspaces, and why contrast admits no Apriori monotonicity.
+//!
+//! ```sh
+//! cargo run --release --example subspace_explorer
+//! ```
+
+use hics::core::contrast::ContrastEstimator;
+use hics::eval::report::TextTable;
+use hics::prelude::*;
+
+fn contrast_of(data: &Dataset, sub: &Subspace, test: StatTest, seed: u64) -> f64 {
+    ContrastEstimator::new(data, 100, 0.1, SliceSizing::PaperRoot, test.as_deviation())
+        .contrast(sub, seed)
+}
+
+fn main() {
+    let n = 1000;
+    let a = toy::fig2_dataset_a(n, 1);
+    let b = toy::fig2_dataset_b(n, 1);
+    let pair = Subspace::pair(0, 1);
+    let tests = [StatTest::WelchT, StatTest::KolmogorovSmirnov, StatTest::MannWhitney];
+
+    println!("== Figure 2: identical marginals, different joint structure ==\n");
+    let mut t = TextTable::with_header(["deviation test", "dataset A (indep.)", "dataset B (corr.)"]);
+    for test in tests {
+        t.row([
+            test.name().to_string(),
+            format!("{:.4}", contrast_of(&a.dataset, &pair, test, 9)),
+            format!("{:.4}", contrast_of(&b.dataset, &pair, test, 9)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // How do the outliers score in dataset B?
+    let lof = Lof::with_k(10);
+    let scores = lof.scores(&b.dataset, &[0, 1]);
+    let o1 = b.outliers[0];
+    let o2 = b.outliers[1];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| scores[y].total_cmp(&scores[x]));
+    println!("LOF in the 2-d subspace of dataset B:");
+    println!(
+        "  trivial outlier o1: rank {} / {n}",
+        order.iter().position(|&i| i == o1).unwrap() + 1
+    );
+    println!(
+        "  non-trivial outlier o2: rank {} / {n}\n",
+        order.iter().position(|&i| i == o2).unwrap() + 1
+    );
+
+    println!("== Figure 3: the XOR counterexample (no monotonicity) ==\n");
+    let xor = toy::xor3d(2000, 4);
+    let mut t = TextTable::with_header(["subspace", "contrast (KS)"]);
+    for dims in [vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1, 2]] {
+        let sub = Subspace::new(dims);
+        let c = contrast_of(&xor, &sub, StatTest::KolmogorovSmirnov, 11);
+        t.row([sub.to_string(), format!("{c:.4}")]);
+    }
+    println!("{}", t.render());
+    println!("all 2-d projections look uncorrelated while the 3-d joint space");
+    println!("is strongly correlated — contrast is not monotone, so the HiCS");
+    println!("framework uses a candidate cutoff instead of subset pruning.");
+}

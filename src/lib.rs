@@ -1,0 +1,81 @@
+//! # hics — High Contrast Subspaces for density-based outlier ranking
+//!
+//! Facade crate for the full reproduction of *Keller, Müller, Böhm: "HiCS:
+//! High Contrast Subspaces for Density-Based Outlier Ranking", ICDE 2012*.
+//!
+//! The implementation is split into focused crates, all re-exported here:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`stats`] | `hics-stats` | special functions, distributions, two-sample tests |
+//! | [`data`] | `hics-data` | columnar datasets, sorted indices, synthetic workloads |
+//! | [`outlier`] | `hics-outlier` | LOF, kNN scores, subspace-restricted metrics |
+//! | [`core`] | `hics-core` | subspace slices, Monte-Carlo contrast, Apriori search |
+//! | [`baselines`] | `hics-baselines` | PCA+LOF, random subspaces, Enclus, RIS |
+//! | [`eval`] | `hics-eval` | ROC/AUC, ranking metrics, experiment helpers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hics::prelude::*;
+//!
+//! // Generate a small synthetic dataset with outliers hidden in subspaces.
+//! let gen = SyntheticConfig::new(200, 8).with_seed(7);
+//! let labeled = gen.generate();
+//!
+//! // Run the full HiCS pipeline: subspace search + LOF ranking.
+//! let params = HicsParams::default().with_seed(42);
+//! let result = Hics::new(params).run(&labeled.dataset);
+//!
+//! // Higher scores = more outlying. Evaluate against the planted labels.
+//! let auc = roc_auc(&result.scores, &labeled.labels);
+//! assert!(auc > 0.5);
+//! ```
+
+pub use hics_baselines as baselines;
+pub use hics_core as core;
+pub use hics_data as data;
+pub use hics_eval as eval;
+pub use hics_outlier as outlier;
+pub use hics_stats as stats;
+
+/// Convenience prelude bringing the main types of every crate into scope.
+pub mod prelude {
+    pub use hics_baselines::{
+        enclus::{Enclus, EnclusParams},
+        method::{
+            EnclusMethod, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
+            RandSubMethod, RisMethod,
+        },
+        pca::{Pca, PcaLof, PcaStrategy},
+        random::{RandomSubspaces, RandomSubspacesParams},
+        ris::{Ris, RisParams},
+    };
+    pub use hics_core::{
+        contrast::{
+            ContrastEstimator, DeviationTest, KsDeviation, MwuDeviation,
+            WelchDeviation,
+        },
+        pipeline::{Hics, HicsResult},
+        search::{ScoredSubspace, SearchParams, SubspaceSearch},
+        slice::{SliceSampler, SliceSizing},
+        subspace::Subspace,
+        HicsParams, StatTest,
+    };
+    pub use hics_data::{
+        dataset::Dataset,
+        realworld::{RealWorldSpec, UciProxy},
+        synth::{LabeledDataset, SyntheticConfig},
+        toy,
+    };
+    pub use hics_eval::{
+        metrics::{average_precision, precision_at_n, recall_at_n},
+        roc::{roc_auc, roc_curve, RocPoint},
+    };
+    pub use hics_outlier::{
+        aggregate::{aggregate_scores, Aggregation},
+        knn_score::KnnScorer,
+        lof::{Lof, LofParams},
+        scorer::{score_and_aggregate, score_subspaces, SubspaceScorer},
+    };
+}

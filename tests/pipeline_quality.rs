@@ -1,0 +1,131 @@
+//! End-to-end quality tests: the headline claims of the paper, verified on
+//! small-but-real instances of the synthetic workload.
+
+use hics::prelude::*;
+
+/// Reduced-budget paper parameters so the tests stay fast in CI.
+fn quick_params(seed: u64) -> HicsParams {
+    let mut p = HicsParams::paper_defaults().with_seed(seed);
+    p.search.m = 30;
+    p.search.candidate_cutoff = 80;
+    p.search.top_k = 30;
+    p
+}
+
+fn full_space_lof(data: &Dataset, k: usize) -> Vec<f64> {
+    let dims: Vec<usize> = (0..data.d()).collect();
+    Lof::with_k(k).scores(data, &dims)
+}
+
+#[test]
+fn hics_detects_planted_outliers_with_high_auc() {
+    let g = SyntheticConfig::new(700, 10).with_seed(101).generate();
+    let result = Hics::new(quick_params(101)).run(&g.dataset);
+    let auc = roc_auc(&result.scores, &g.labels);
+    assert!(auc > 0.85, "HiCS AUC {auc} below expectation on planted data");
+}
+
+#[test]
+fn hics_beats_full_space_lof_in_high_dimensions() {
+    // The Fig. 4 core claim: as irrelevant attributes accumulate, full-space
+    // LOF degrades toward randomness while HiCS keeps finding the planted
+    // subspaces.
+    let g = SyntheticConfig::new(500, 25).with_seed(102).generate();
+    let hics_auc = roc_auc(
+        &Hics::new(quick_params(102)).run(&g.dataset).scores,
+        &g.labels,
+    );
+    let lof_auc = roc_auc(&full_space_lof(&g.dataset, 10), &g.labels);
+    assert!(
+        hics_auc > lof_auc,
+        "HiCS ({hics_auc}) should beat full-space LOF ({lof_auc}) at D=25"
+    );
+    assert!(hics_auc > 0.8, "HiCS AUC {hics_auc} too low");
+}
+
+#[test]
+fn hics_beats_random_subspaces() {
+    let g = SyntheticConfig::new(500, 20).with_seed(103).generate();
+    let hics_auc = roc_auc(
+        &Hics::new(quick_params(103)).run(&g.dataset).scores,
+        &g.labels,
+    );
+    let rand_scores = RandSubMethod {
+        params: RandomSubspacesParams { num_subspaces: 30, seed: 103 },
+        lof_k: 10,
+        max_threads: 16,
+    }
+    .rank(&g.dataset);
+    let rand_auc = roc_auc(&rand_scores, &g.labels);
+    assert!(
+        hics_auc > rand_auc,
+        "HiCS ({hics_auc}) should beat RANDSUB ({rand_auc})"
+    );
+}
+
+#[test]
+fn pca_fails_as_preprocessing_for_outlier_ranking() {
+    // Section V-A: "PCA fails as pre-processing technique for outlier
+    // ranking … AUC values close to 50%". With subspace outliers spread
+    // across blocks, variance-maximising projections carry little signal.
+    let g = SyntheticConfig::new(500, 20).with_seed(104).generate();
+    let hics_auc = roc_auc(
+        &Hics::new(quick_params(104)).run(&g.dataset).scores,
+        &g.labels,
+    );
+    let pca_auc = roc_auc(&PcaLofMethod::half(10).rank(&g.dataset), &g.labels);
+    assert!(
+        hics_auc > pca_auc + 0.1,
+        "HiCS ({hics_auc}) should clearly beat PCA+LOF ({pca_auc})"
+    );
+}
+
+#[test]
+fn search_recovers_majority_of_planted_blocks() {
+    let g = SyntheticConfig::new(600, 15).with_seed(105).generate();
+    let mut p = quick_params(105).search;
+    p.top_k = 40;
+    let found = SubspaceSearch::new(p).run(&g.dataset);
+    // For each planted block, some retained subspace should be contained in
+    // it (the search sees within-block correlation).
+    let mut hit = 0;
+    for block in &g.planted_subspaces {
+        if found.iter().any(|s| s.subspace.dims().all(|d| block.contains(&d))) {
+            hit += 1;
+        }
+    }
+    assert!(
+        hit * 2 >= g.planted_subspaces.len(),
+        "only {hit}/{} blocks recovered",
+        g.planted_subspaces.len()
+    );
+}
+
+#[test]
+fn both_statistical_variants_work() {
+    // Fig. 7/8 claim: HiCS_WT and HiCS_KS both achieve good quality.
+    let g = SyntheticConfig::new(500, 10).with_seed(106).generate();
+    for test in [StatTest::WelchT, StatTest::KolmogorovSmirnov] {
+        let mut p = quick_params(106);
+        p.search.test = test;
+        let auc = roc_auc(&Hics::new(p).run(&g.dataset).scores, &g.labels);
+        assert!(auc > 0.8, "{} variant AUC {auc} too low", test.name());
+    }
+}
+
+#[test]
+fn trivial_outlier_detected_as_by_product() {
+    // Section III-B: "our subspace search can detect trivial outliers as a
+    // by-product" — o1 of toy dataset B is extreme in s2 alone, and LOF in
+    // the selected 2-d subspace still ranks it on top.
+    let b = toy::fig2_dataset_b(800, 3);
+    let mut p = quick_params(3);
+    p.search.top_k = 5;
+    let result = Hics::new(p).run(&b.dataset);
+    let top = result.top_outliers(2);
+    assert!(
+        top.contains(&b.outliers[0]) && top.contains(&b.outliers[1]),
+        "expected o1/o2 {:?} in top-2, got {top:?}",
+        b.outliers
+    );
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over the core data structures and invariants,
+//! using proptest-generated inputs.
+
+use hics::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a vector of finite, reasonably sized f64 scores.
+fn scores_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auc_is_bounded_and_flip_symmetric(
+        scores in scores_strategy(60),
+        flip_idx in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        let labels: Vec<bool> = scores
+            .iter()
+            .zip(flip_idx.iter().cycle())
+            .map(|(_, &f)| f)
+            .collect();
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating scores mirrors the AUC around 1/2.
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let auc_neg = roc_auc(&neg, &labels);
+        prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(sample in scores_strategy(50)) {
+        let ecdf = hics::stats::Ecdf::new(&sample);
+        let mut xs = sample.clone();
+        xs.sort_by(f64::total_cmp);
+        let mut prev = 0.0;
+        for &x in &xs {
+            let v = ecdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        prop_assert_eq!(ecdf.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn ks_distance_is_a_pseudometric(
+        a in scores_strategy(40),
+        b in scores_strategy(40),
+    ) {
+        let ea = hics::stats::Ecdf::new(&a);
+        let eb = hics::stats::Ecdf::new(&b);
+        let dab = ea.ks_distance(&eb);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        // Symmetry and identity.
+        prop_assert!((dab - eb.ks_distance(&ea)).abs() < 1e-12);
+        prop_assert!(ea.ks_distance(&ea) == 0.0);
+    }
+
+    #[test]
+    fn welch_p_value_valid_and_symmetric(
+        a in scores_strategy(40),
+        b in scores_strategy(40),
+    ) {
+        let r1 = hics::stats::welch_t_test(&a, &b);
+        let r2 = hics::stats::welch_t_test(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        prop_assert!((r1.t + r2.t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_average_bounded_by_max(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0..100.0f64, 10),
+            1..6,
+        ),
+    ) {
+        let avg = aggregate_scores(&rows, Aggregation::Average);
+        let max = aggregate_scores(&rows, Aggregation::Max);
+        for (a, m) in avg.iter().zip(&max) {
+            prop_assert!(a <= m);
+        }
+    }
+
+    #[test]
+    fn subspace_join_grows_by_exactly_one(
+        dims_a in prop::collection::btree_set(0usize..30, 2..5),
+        extra_a in 30usize..40,
+        extra_b in 40usize..50,
+    ) {
+        // Two subspaces sharing the prefix `dims_a`, differing in the last
+        // attribute, must join into prefix + both extras.
+        let mut a: Vec<usize> = dims_a.iter().copied().collect();
+        let mut b = a.clone();
+        a.push(extra_a);
+        b.push(extra_b);
+        let sa = Subspace::new(a);
+        let sb = Subspace::new(b);
+        let joined = sa.apriori_join(&sb).expect("prefixes match");
+        prop_assert_eq!(joined.len(), sa.len() + 1);
+        prop_assert!(joined.is_superset_of(&sa));
+        prop_assert!(joined.is_superset_of(&sb));
+    }
+
+    #[test]
+    fn midranks_sum_invariant(sample in scores_strategy(60)) {
+        let ranks = hics::stats::rank::midranks(&sample);
+        let n = sample.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lof_scores_positive_and_finite_or_inf(
+        cols in prop::collection::vec(
+            prop::collection::vec(0.0..1.0f64, 30),
+            1..4,
+        ),
+    ) {
+        let data = Dataset::from_columns(cols);
+        let dims: Vec<usize> = (0..data.d()).collect();
+        let scores = Lof::with_k(5).scores(&data, &dims);
+        for s in scores {
+            prop_assert!(!s.is_nan());
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn precision_recall_consistency(
+        scores in scores_strategy(50),
+        flips in prop::collection::vec(any::<bool>(), 50),
+    ) {
+        let labels: Vec<bool> = scores
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(_, &f)| f)
+            .collect();
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0);
+        // precision@n * n == recall@n * n_pos (both count the same hits).
+        for n in [1, scores.len() / 2, scores.len()] {
+            let n = n.max(1);
+            let p = precision_at_n(&scores, &labels, n);
+            let r = recall_at_n(&scores, &labels, n);
+            let hits_p = p * n.min(scores.len()) as f64;
+            let hits_r = r * n_pos as f64;
+            prop_assert!((hits_p - hits_r).abs() < 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn contrast_stays_in_unit_interval_on_random_data(
+        seed in 0u64..1000,
+        d in 3usize..6,
+    ) {
+        // Random uniform data: contrast must be a valid average deviation.
+        use hics::core::contrast::ContrastEstimator;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cols: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..120).map(|_| rng.gen()).collect())
+            .collect();
+        let data = Dataset::from_columns(cols);
+        let est = ContrastEstimator::new(
+            &data,
+            20,
+            0.2,
+            SliceSizing::PaperRoot,
+            StatTest::KolmogorovSmirnov.as_deviation(),
+        );
+        let c = est.contrast(&Subspace::pair(0, 1), seed);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+}
