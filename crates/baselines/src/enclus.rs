@@ -51,7 +51,7 @@ impl Default for EnclusParams {
             candidate_cutoff: 400,
             top_k: 100,
             max_dim: 8,
-            max_threads: 16,
+            max_threads: hics_outlier::parallel::available_threads(),
         }
     }
 }
@@ -101,9 +101,14 @@ impl Enclus {
             GridHistogram::build(&cols, &rs, p.bins).entropy()
         };
 
-        // 1-d entropies feed the interest computation of every level.
+        // 1-d entropies feed the interest computation of every level. A 1-d
+        // grid cell is a contiguous value window, so the occupancy counts
+        // come straight off the rank index — `ξ` binary searches per
+        // attribute instead of an `O(N)` binning pass (the same
+        // block-selection kernel the HiCS slice engine uses).
+        let index = data.rank_index();
         let h1: Vec<f64> = par_map(data.d(), p.max_threads, |j| {
-            entropy_of(&Subspace::new([j]))
+            one_dim_entropy(&index, j, data.col(j), ranges[j], p.bins)
         });
 
         // Level 2 candidates: all pairs.
@@ -124,18 +129,22 @@ impl Enclus {
                 .zip(entropies)
                 .map(|(subspace, entropy)| {
                     let h_sum: f64 = subspace.dims().map(|d| h1[d]).sum();
-                    EnclusSubspace { subspace, entropy, interest: h_sum - entropy }
+                    EnclusSubspace {
+                        subspace,
+                        entropy,
+                        interest: h_sum - entropy,
+                    }
                 })
                 .collect();
             // Sort by entropy ascending: the "good clustering" end first.
             scored.sort_by(|a, b| {
-                a.entropy.total_cmp(&b.entropy).then_with(|| a.subspace.cmp(&b.subspace))
+                a.entropy
+                    .total_cmp(&b.entropy)
+                    .then_with(|| a.subspace.cmp(&b.subspace))
             });
             // Adaptive ω: the median 2-d entropy. Correlated pairs sit below
             // it; higher-dim candidates must stay at least as concentrated.
-            let omega = *omega.get_or_insert_with(|| {
-                scored[scored.len() / 2].entropy
-            });
+            let omega = *omega.get_or_insert_with(|| scored[scored.len() / 2].entropy);
             scored.retain(|s| s.entropy <= omega);
             let retained = &scored[..scored.len().min(p.candidate_cutoff)];
             let mut parents: Vec<&Subspace> = retained.iter().map(|s| &s.subspace).collect();
@@ -157,7 +166,9 @@ impl Enclus {
         }
 
         all.sort_by(|a, b| {
-            b.interest.total_cmp(&a.interest).then_with(|| a.subspace.cmp(&b.subspace))
+            b.interest
+                .total_cmp(&a.interest)
+                .then_with(|| a.subspace.cmp(&b.subspace))
         });
         all.truncate(p.top_k);
         all
@@ -169,13 +180,83 @@ impl Enclus {
     }
 }
 
+/// Shannon entropy (bits) of a 1-d equal-width grid, with bin occupancies
+/// read as rank-window widths off the attribute's sorted order: the count
+/// of bin `k` is the difference of two binary searches over the sorted
+/// permutation, `O(ξ log N)` for the whole histogram instead of `O(N)`.
+///
+/// The per-value bin assignment is the **same floating-point expression**
+/// `GridHistogram` uses (truncate-and-clamp, monotone in the value), so the
+/// 1-d entropies are exactly consistent with the multi-dimensional grid
+/// entropies they are subtracted from in the interest computation.
+fn one_dim_entropy(
+    index: &hics_data::RankIndex,
+    j: usize,
+    col: &[f64],
+    (lo, hi): (f64, f64),
+    bins: usize,
+) -> f64 {
+    let n = col.len() as f64;
+    let width = hi - lo;
+    if width <= 0.0 {
+        return 0.0; // constant attribute: all mass in one cell
+    }
+    let bin_of =
+        |v: f64| -> i64 { (((v - lo) / width * bins as f64) as i64).clamp(0, bins as i64 - 1) };
+    let order = index.order(j);
+    let mut entropy = 0.0;
+    let mut prev_cut = 0usize;
+    for k in 0..bins {
+        let upper = if k + 1 == bins {
+            col.len()
+        } else {
+            order.partition_point(|&id| bin_of(col[id as usize]) <= k as i64)
+        };
+        let count = upper - prev_cut;
+        prev_cut = upper;
+        if count > 0 {
+            let pr = count as f64 / n;
+            entropy -= pr * pr.log2();
+        }
+    }
+    entropy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hics_data::{toy, SyntheticConfig};
 
+    #[test]
+    fn one_dim_entropy_matches_grid_histogram() {
+        // The rank-window path must agree with GridHistogram's binning —
+        // including boundary values that sit exactly on computed bin edges
+        // (quantized data exercises the truncation rounding).
+        let g = SyntheticConfig::new(400, 4).with_seed(99).generate();
+        let mut cols: Vec<Vec<f64>> = g.dataset.columns().to_vec();
+        // Add a heavily tied, edge-sitting column.
+        cols.push((0..400).map(|i| (i % 10) as f64 / 10.0).collect());
+        let data = Dataset::from_columns(cols);
+        let ranges = data.ranges();
+        let index = data.rank_index();
+        for (j, &range) in ranges.iter().enumerate() {
+            for bins in [2usize, 7, 10] {
+                let fast = one_dim_entropy(&index, j, data.col(j), range, bins);
+                let grid = GridHistogram::build(&[data.col(j)], &[range], bins).entropy();
+                assert!(
+                    (fast - grid).abs() < 1e-12,
+                    "attr {j} bins {bins}: {fast} vs {grid}"
+                );
+            }
+        }
+    }
+
     fn quick() -> EnclusParams {
-        EnclusParams { candidate_cutoff: 40, top_k: 20, ..EnclusParams::default() }
+        EnclusParams {
+            candidate_cutoff: 40,
+            top_k: 20,
+            ..EnclusParams::default()
+        }
     }
 
     #[test]
@@ -201,7 +282,10 @@ mod tests {
             .planted_subspaces
             .iter()
             .any(|b| best.dims().all(|d| b.contains(&d)));
-        assert!(inside, "best Enclus subspace {best} not inside a planted block");
+        assert!(
+            inside,
+            "best Enclus subspace {best} not inside a planted block"
+        );
     }
 
     #[test]
@@ -250,10 +334,13 @@ mod tests {
         // level carries no signal.
         let d = toy::xor3d(2000, 17);
         let result = Enclus::new(quick()).run(&d);
-        let pairs: Vec<&EnclusSubspace> =
-            result.iter().filter(|s| s.subspace.len() == 2).collect();
+        let pairs: Vec<&EnclusSubspace> = result.iter().filter(|s| s.subspace.len() == 2).collect();
         for p in pairs {
-            assert!(p.interest < 0.25, "2-d XOR interest too high: {}", p.interest);
+            assert!(
+                p.interest < 0.25,
+                "2-d XOR interest too high: {}",
+                p.interest
+            );
         }
     }
 }

@@ -19,8 +19,7 @@ pub mod ris;
 
 pub use enclus::{Enclus, EnclusParams, EnclusSubspace};
 pub use method::{
-    EnclusMethod, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
-    RandSubMethod, RisMethod,
+    EnclusMethod, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod, RandSubMethod, RisMethod,
 };
 pub use pca::{Pca, PcaLof, PcaStrategy};
 pub use random::{RandomSubspaces, RandomSubspacesParams};

@@ -18,7 +18,10 @@ impl SymMatrix {
     /// Panics if `n == 0`.
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "matrix must be non-empty");
-        Self { n, a: vec![0.0; n * n] }
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Builds from a full row-major buffer, symmetrising `(A + Aᵀ)/2`.

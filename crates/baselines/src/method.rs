@@ -132,12 +132,16 @@ pub struct PcaLofMethod {
 impl PcaLofMethod {
     /// PCALOF1: reduce to 50 % of the dimensionality.
     pub fn half(lof_k: usize) -> Self {
-        Self { pca_lof: PcaLof::new(PcaStrategy::HalfDims, lof_k) }
+        Self {
+            pca_lof: PcaLof::new(PcaStrategy::HalfDims, lof_k),
+        }
     }
 
     /// PCALOF2: reduce to a constant 10 components.
     pub fn fixed10(lof_k: usize) -> Self {
-        Self { pca_lof: PcaLof::new(PcaStrategy::FixedDims(10), lof_k) }
+        Self {
+            pca_lof: PcaLof::new(PcaStrategy::FixedDims(10), lof_k),
+        }
     }
 }
 
@@ -185,17 +189,28 @@ mod tests {
             Box::new(FullSpaceLof { k: 10 }),
             Box::new(HicsMethod { params: hics }),
             Box::new(EnclusMethod {
-                params: EnclusParams { candidate_cutoff: 40, top_k: 15, ..Default::default() },
+                params: EnclusParams {
+                    candidate_cutoff: 40,
+                    top_k: 15,
+                    ..Default::default()
+                },
                 lof_k: 10,
             }),
             Box::new(RisMethod {
-                params: RisParams { candidate_cutoff: 30, top_k: 15, ..Default::default() },
+                params: RisParams {
+                    candidate_cutoff: 30,
+                    top_k: 15,
+                    ..Default::default()
+                },
                 lof_k: 10,
             }),
             Box::new(RandSubMethod {
-                params: RandomSubspacesParams { num_subspaces: 15, seed },
+                params: RandomSubspacesParams {
+                    num_subspaces: 15,
+                    seed,
+                },
                 lof_k: 10,
-                max_threads: 16,
+                max_threads: hics_outlier::parallel::available_threads(),
             }),
             Box::new(PcaLofMethod::half(10)),
             Box::new(PcaLofMethod::fixed10(10)),

@@ -44,7 +44,10 @@ impl Pca {
                 cov.set(b, a, v);
             }
         }
-        Self { mean, eigen: jacobi_eigen(cov) }
+        Self {
+            mean,
+            eigen: jacobi_eigen(cov),
+        }
     }
 
     /// Eigenvalues (descending) — the variance captured per component.
@@ -58,7 +61,10 @@ impl Pca {
     /// Panics if `k` is 0 or exceeds the dimensionality.
     pub fn project(&self, data: &Dataset, k: usize) -> Dataset {
         let d = data.d();
-        assert!(k >= 1 && k <= d, "cannot project onto {k} of {d} components");
+        assert!(
+            k >= 1 && k <= d,
+            "cannot project onto {k} of {d} components"
+        );
         let n = data.n();
         let mut cols = vec![vec![0.0f64; n]; k];
         for (c, out) in cols.iter_mut().enumerate() {
@@ -184,7 +190,9 @@ mod tests {
 
     #[test]
     fn pcalof_runs_end_to_end() {
-        let g = hics_data::SyntheticConfig::new(300, 10).with_seed(3).generate();
+        let g = hics_data::SyntheticConfig::new(300, 10)
+            .with_seed(3)
+            .generate();
         let scores = PcaLof::new(PcaStrategy::HalfDims, 10).rank(&g.dataset);
         assert_eq!(scores.len(), 300);
         assert!(scores.iter().all(|s| s.is_finite()));

@@ -25,7 +25,10 @@ pub struct RandomSubspacesParams {
 
 impl Default for RandomSubspacesParams {
     fn default() -> Self {
-        Self { num_subspaces: 100, seed: 0 }
+        Self {
+            num_subspaces: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -76,7 +79,10 @@ mod tests {
 
     #[test]
     fn sizes_in_feature_bagging_range() {
-        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 200, seed: 1 });
+        let r = RandomSubspaces::new(RandomSubspacesParams {
+            num_subspaces: 200,
+            seed: 1,
+        });
         for s in r.select(10) {
             assert!(s.len() >= 5 && s.len() <= 9, "size {}", s.len());
         }
@@ -84,7 +90,10 @@ mod tests {
 
     #[test]
     fn two_dim_data_gets_singleton_subspaces() {
-        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 10, seed: 2 });
+        let r = RandomSubspaces::new(RandomSubspacesParams {
+            num_subspaces: 10,
+            seed: 2,
+        });
         for s in r.select(2) {
             assert_eq!(s.len(), 1);
         }
@@ -92,7 +101,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = RandomSubspacesParams { num_subspaces: 50, seed: 9 };
+        let p = RandomSubspacesParams {
+            num_subspaces: 50,
+            seed: 9,
+        };
         let a = RandomSubspaces::new(p).select(20);
         let b = RandomSubspaces::new(p).select(20);
         assert_eq!(a, b);
@@ -102,7 +114,10 @@ mod tests {
 
     #[test]
     fn attributes_within_range() {
-        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 100, seed: 3 });
+        let r = RandomSubspaces::new(RandomSubspacesParams {
+            num_subspaces: 100,
+            seed: 3,
+        });
         for s in r.select(7) {
             assert!(s.dims().all(|d| d < 7));
         }
@@ -110,7 +125,10 @@ mod tests {
 
     #[test]
     fn requested_count_produced() {
-        let r = RandomSubspaces::new(RandomSubspacesParams { num_subspaces: 17, seed: 4 });
+        let r = RandomSubspaces::new(RandomSubspacesParams {
+            num_subspaces: 17,
+            seed: 4,
+        });
         assert_eq!(r.select(5).len(), 17);
     }
 }

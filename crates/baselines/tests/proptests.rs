@@ -9,8 +9,7 @@ use proptest::prelude::*;
 
 /// Strategy: a small random symmetric matrix with bounded entries.
 fn sym_matrix(n: usize) -> impl Strategy<Value = SymMatrix> {
-    prop::collection::vec(-10.0..10.0f64, n * n)
-        .prop_map(move |buf| SymMatrix::from_buffer(n, buf))
+    prop::collection::vec(-10.0..10.0f64, n * n).prop_map(move |buf| SymMatrix::from_buffer(n, buf))
 }
 
 proptest! {

@@ -24,11 +24,10 @@ fn bench_slice_sizing(c: &mut Criterion) {
             &sizing,
             |b, &sizing| {
                 b.iter(|| {
-                    let mut sampler =
-                        SliceSampler::new(&g.dataset, &idx, &sub, 0.1, sizing);
+                    let mut sampler = SliceSampler::new(&g.dataset, &idx, &sub, 0.1, sizing);
                     let mut rng = StdRng::seed_from_u64(9);
                     for _ in 0..50 {
-                        black_box(sampler.draw(&mut rng).conditional.len());
+                        black_box(sampler.draw(&mut rng).len());
                     }
                 });
             },
@@ -42,15 +41,24 @@ fn bench_scorer_cost(c: &mut Criterion) {
     let dims = [0usize, 1, 2];
     let mut group = c.benchmark_group("scorer_per_subspace");
     group.sample_size(10);
-    let lof = Lof::new(LofParams { k: 10, max_threads: 1 });
+    let lof = Lof::new(LofParams {
+        k: 10,
+        max_threads: 1,
+    });
     group.bench_function("LOF", |b| {
         b.iter(|| black_box(lof.score_subspace(&g.dataset, &dims)));
     });
-    let knn = KnnScorer { max_threads: 1, ..KnnScorer::new(10) };
+    let knn = KnnScorer {
+        max_threads: 1,
+        ..KnnScorer::new(10)
+    };
     group.bench_function("kNN-mean", |b| {
         b.iter(|| black_box(knn.score_subspace(&g.dataset, &dims)));
     });
-    let knn_kth = KnnScorer { max_threads: 1, ..KnnScorer::new(10).kth_distance() };
+    let knn_kth = KnnScorer {
+        max_threads: 1,
+        ..KnnScorer::new(10).kth_distance()
+    };
     group.bench_function("kNN-kth", |b| {
         b.iter(|| black_box(knn_kth.score_subspace(&g.dataset, &dims)));
     });
@@ -63,14 +71,13 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     let mut group = c.benchmark_group("lof_threads");
     group.sample_size(10);
     for threads in [1usize, 4, 16] {
-        let lof = Lof::new(LofParams { k: 10, max_threads: threads });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, _| {
-                b.iter(|| black_box(lof.scores(&g.dataset, &dims)));
-            },
-        );
+        let lof = Lof::new(LofParams {
+            k: 10,
+            max_threads: threads,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| black_box(lof.scores(&g.dataset, &dims)));
+        });
     }
     group.finish();
 }

@@ -11,7 +11,10 @@ fn bench_lof_vs_n(c: &mut Criterion) {
     group.sample_size(10);
     for n in [250usize, 500, 1000] {
         let g = SyntheticConfig::new(n, 6).with_seed(1).generate();
-        let lof = Lof::new(LofParams { k: 10, max_threads: 1 });
+        let lof = Lof::new(LofParams {
+            k: 10,
+            max_threads: 1,
+        });
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(lof.scores(&g.dataset, &[0, 1])));
         });
@@ -38,7 +41,10 @@ fn bench_lof_vs_dims(c: &mut Criterion) {
     group.sample_size(10);
     for d in [1usize, 2, 5, 12] {
         let dims: Vec<usize> = (0..d).collect();
-        let lof = Lof::new(LofParams { k: 10, max_threads: 1 });
+        let lof = Lof::new(LofParams {
+            k: 10,
+            max_threads: 1,
+        });
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter(|| black_box(lof.scores(&g.dataset, &dims)));
         });

@@ -11,7 +11,7 @@ fn quick_params() -> SearchParams {
         m: 20,
         candidate_cutoff: 100,
         top_k: 50,
-        max_threads: 16,
+        max_threads: hics_outlier::parallel::available_threads(),
         ..SearchParams::default()
     }
 }

@@ -21,7 +21,11 @@ use hics_outlier::lof::Lof;
 
 fn main() {
     let full = full_scale();
-    banner("Ablations", "one-knob variations of the HiCS design choices", full);
+    banner(
+        "Ablations",
+        "one-knob variations of the HiCS design choices",
+        full,
+    );
     let seeds: &[u64] = if full { &[1, 2, 3, 4, 5] } else { &[1, 2] };
     let (n, d) = (1000, 20);
     let datasets: Vec<_> = seeds
@@ -42,7 +46,11 @@ fn main() {
                 100.0 * roc_auc(&Hics::new(p).run(&g.dataset).scores, &g.labels)
             })
             .collect();
-        table.row(["slice sizing", &format!("{sizing:?}"), &format!("{:.2}", mean(&aucs))]);
+        table.row([
+            "slice sizing",
+            &format!("{sizing:?}"),
+            &format!("{:.2}", mean(&aucs)),
+        ]);
     }
 
     // Deviation test.
@@ -61,7 +69,11 @@ fn main() {
                 100.0 * roc_auc(&Hics::new(p).run(&g.dataset).scores, &g.labels)
             })
             .collect();
-        table.row(["deviation test", test.name(), &format!("{:.2}", mean(&aucs))]);
+        table.row([
+            "deviation test",
+            test.name(),
+            &format!("{:.2}", mean(&aucs)),
+        ]);
     }
 
     // Aggregation.
@@ -75,18 +87,18 @@ fn main() {
                 100.0 * roc_auc(&Hics::new(p).run(&g.dataset).scores, &g.labels)
             })
             .collect();
-        table.row(["aggregation", &format!("{agg:?}"), &format!("{:.2}", mean(&aucs))]);
+        table.row([
+            "aggregation",
+            &format!("{agg:?}"),
+            &format!("{:.2}", mean(&aucs)),
+        ]);
     }
 
     // Scorer (the decoupled ranking stage).
     let lof = Lof::with_k(LOF_K);
     let knn_mean = KnnScorer::new(LOF_K);
     let knn_kth = KnnScorer::new(LOF_K).kth_distance();
-    for (name, run) in [
-        ("LOF", 0usize),
-        ("kNN-mean", 1),
-        ("kNN-kth", 2),
-    ] {
+    for (name, run) in [("LOF", 0usize), ("kNN-mean", 1), ("kNN-kth", 2)] {
         let aucs: Vec<f64> = datasets
             .iter()
             .zip(seeds)

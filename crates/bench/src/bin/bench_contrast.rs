@@ -1,0 +1,339 @@
+//! `bench_contrast` — throughput tracking for the rank-centric slice engine.
+//!
+//! Measures, on a fixed synthetic workload (N = 10 000, D = 20, M = 50,
+//! α = 0.1):
+//!
+//! * **contrast evaluations per second** of `ContrastEstimator::contrast`
+//!   over a fixed mixed-dimensionality subspace set, for the Welch (paper
+//!   default) and KS deviation tests;
+//! * **mean slice-draw latency** of `SliceSampler::draw`;
+//!
+//! for both the current bitset engine and the embedded pre-refactor
+//! hits-counting reference (per-object counter scans plus sort-per-draw
+//! deviation tests — the engine the bitset refactor replaced). Writes
+//! `BENCH_contrast.json` at the repository root, seeding the performance
+//! trajectory: the recorded `speedup` entries are the acceptance numbers.
+//!
+//! Usage: `cargo run --release -p hics-bench --bin bench_contrast`
+//! (optionally `--quick` for a reduced rep count while iterating).
+
+use hics_core::contrast::{ContrastEstimator, StatTest};
+use hics_core::{SliceSampler, SliceSizing, Subspace};
+use hics_data::{Dataset, RankIndex, SyntheticConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 10_000;
+const D: usize = 20;
+const M: usize = 50;
+const ALPHA: f64 = 0.1;
+const DATA_SEED: u64 = 1;
+const CONTRAST_SEED: u64 = 42;
+
+/// The pre-refactor engine, embedded as the perpetual baseline.
+mod reference {
+    use hics_core::{SliceSizing, Subspace};
+    use hics_data::{Dataset, RankIndex};
+    use hics_stats::ecdf::Ecdf;
+    use hics_stats::moments::Moments;
+    use hics_stats::two_sample::welch_t_test_from_moments;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    pub struct HitsSampler<'a> {
+        data: &'a Dataset,
+        indices: &'a RankIndex,
+        dims: Vec<usize>,
+        pub block_len: usize,
+        hits: Vec<u32>,
+        perm: Vec<usize>,
+    }
+
+    impl<'a> HitsSampler<'a> {
+        pub fn new(
+            data: &'a Dataset,
+            indices: &'a RankIndex,
+            subspace: &Subspace,
+            alpha: f64,
+            sizing: SliceSizing,
+        ) -> Self {
+            let dims = subspace.to_vec();
+            let n = data.n();
+            let alpha1 = sizing.alpha1(alpha, dims.len());
+            let block_len = ((n as f64 * alpha1).ceil() as usize).clamp(1, n);
+            Self {
+                data,
+                indices,
+                perm: dims.clone(),
+                dims,
+                block_len,
+                hits: vec![0; n],
+            }
+        }
+
+        pub fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (usize, Vec<f64>) {
+            let n = self.data.n();
+            self.perm.copy_from_slice(&self.dims);
+            self.perm.shuffle(rng);
+            let (&ref_attr, cond_attrs) = self.perm.split_last().expect("subspace is non-empty");
+            self.hits.iter_mut().for_each(|h| *h = 0);
+            let conds = cond_attrs.len() as u32;
+            for &attr in cond_attrs {
+                let start = rng.gen_range(0..=n - self.block_len);
+                for &obj in self.indices.block(attr, start, self.block_len) {
+                    self.hits[obj as usize] += 1;
+                }
+            }
+            let col = self.data.col(ref_attr);
+            let conditional: Vec<f64> = self
+                .hits
+                .iter()
+                .enumerate()
+                .filter(|&(_, &h)| h == conds)
+                .map(|(i, _)| col[i])
+                .collect();
+            (ref_attr, conditional)
+        }
+    }
+
+    pub struct Marginal {
+        moments: Moments,
+        ecdf: Ecdf,
+    }
+
+    fn subspace_stream(s: &Subspace) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for d in s.dims() {
+            h ^= d as u64 + 1;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// The old estimator: marginals sorted per column once, conditional
+    /// materialised / re-sorted per draw.
+    pub struct Estimator<'a> {
+        data: &'a Dataset,
+        indices: RankIndex,
+        marginals: Vec<Marginal>,
+        m: usize,
+        alpha: f64,
+        welch: bool,
+    }
+
+    impl<'a> Estimator<'a> {
+        pub fn new(data: &'a Dataset, m: usize, alpha: f64, welch: bool) -> Self {
+            let marginals = data
+                .columns()
+                .iter()
+                .map(|c| Marginal {
+                    moments: Moments::from_slice(c),
+                    ecdf: Ecdf::new(c),
+                })
+                .collect();
+            Self {
+                data,
+                indices: data.rank_index(),
+                marginals,
+                m,
+                alpha,
+                welch,
+            }
+        }
+
+        pub fn contrast(&self, subspace: &Subspace, seed: u64) -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ subspace_stream(subspace));
+            let mut sampler = HitsSampler::new(
+                self.data,
+                &self.indices,
+                subspace,
+                self.alpha,
+                SliceSizing::PaperRoot,
+            );
+            let mut acc = 0.0;
+            for _ in 0..self.m {
+                let (ref_attr, conditional) = sampler.draw(&mut rng);
+                acc += if conditional.len() < 2 {
+                    1.0
+                } else {
+                    let marginal = &self.marginals[ref_attr];
+                    let dev = if self.welch {
+                        let cond = Moments::from_slice(&conditional);
+                        1.0 - welch_t_test_from_moments(&marginal.moments, &cond).p_value
+                    } else {
+                        marginal.ecdf.ks_distance(&Ecdf::new(&conditional))
+                    };
+                    dev.clamp(0.0, 1.0)
+                };
+            }
+            acc / self.m as f64
+        }
+    }
+}
+
+/// The fixed subspace set: pairs, triples, 4-d and 5-d over distinct dims.
+fn workload_subspaces() -> Vec<Subspace> {
+    let mut subs = Vec::new();
+    for a in 0..D {
+        subs.push(Subspace::pair(a, (a + 1) % D));
+    }
+    for a in 0..6 {
+        subs.push(Subspace::new([a, a + 6, a + 12]));
+        subs.push(Subspace::new([a, a + 3, a + 9, a + 14]));
+    }
+    subs.push(Subspace::new([0, 4, 8, 12, 16]));
+    subs.push(Subspace::new([1, 5, 9, 13, 17]));
+    subs
+}
+
+struct EngineNumbers {
+    contrast_evals_per_sec: f64,
+    mean_contrast_ms: f64,
+    checksum: f64,
+}
+
+fn time_contrasts(
+    subs: &[Subspace],
+    reps: usize,
+    mut eval: impl FnMut(&Subspace, u64) -> f64,
+) -> EngineNumbers {
+    // One warm-up sweep, then timed repetitions.
+    let mut checksum = 0.0;
+    for s in subs {
+        checksum += eval(s, CONTRAST_SEED);
+    }
+    let start = Instant::now();
+    for rep in 0..reps {
+        for s in subs {
+            checksum += eval(s, CONTRAST_SEED + rep as u64);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let evals = (reps * subs.len()) as f64;
+    EngineNumbers {
+        contrast_evals_per_sec: evals / secs,
+        mean_contrast_ms: secs * 1e3 / evals,
+        checksum,
+    }
+}
+
+/// Mean per-draw latency in nanoseconds over the 3-d subspaces.
+fn time_draws(data: &Dataset, indices: &RankIndex, draws: usize, bitset: bool) -> f64 {
+    use rand::{rngs::StdRng, SeedableRng};
+    let sub = Subspace::new([0, 6, 12]);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut sink = 0usize;
+    let start;
+    if bitset {
+        let mut s = SliceSampler::new(data, indices, &sub, ALPHA, SliceSizing::PaperRoot);
+        for _ in 0..draws / 10 {
+            sink ^= s.draw(&mut rng).len(); // warm-up
+        }
+        start = Instant::now();
+        for _ in 0..draws {
+            sink ^= s.draw(&mut rng).len();
+        }
+    } else {
+        let mut s = reference::HitsSampler::new(data, indices, &sub, ALPHA, SliceSizing::PaperRoot);
+        for _ in 0..draws / 10 {
+            sink ^= s.draw(&mut rng).1.len();
+        }
+        start = Instant::now();
+        for _ in 0..draws {
+            sink ^= s.draw(&mut rng).1.len();
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / draws as f64;
+    std::hint::black_box(sink);
+    ns
+}
+
+fn json_engine(label: &str, n: &EngineNumbers, draw_ns: f64) -> String {
+    format!(
+        "  \"{label}\": {{\n    \"contrast_evals_per_sec\": {:.2},\n    \"mean_contrast_ms\": {:.4},\n    \"mean_draw_ns\": {:.1},\n    \"checksum\": {:.6}\n  }}",
+        n.contrast_evals_per_sec, n.mean_contrast_ms, draw_ns, n.checksum
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 4 };
+    let draws = if quick { 2_000 } else { 20_000 };
+
+    eprintln!("generating workload: N={N}, D={D}, M={M}, alpha={ALPHA}");
+    let g = SyntheticConfig::new(N, D).with_seed(DATA_SEED).generate();
+    let data = &g.dataset;
+    let subs = workload_subspaces();
+    let indices = data.rank_index();
+
+    eprintln!("timing slice draws ({draws} draws, |S| = 3)...");
+    let draw_new = time_draws(data, &indices, draws, true);
+    let draw_old = time_draws(data, &indices, draws, false);
+
+    let mut sections = Vec::new();
+    let mut speedups = Vec::new();
+    let mut total_new_ms = 0.0;
+    let mut total_old_ms = 0.0;
+    for (test, label_new, label_old) in [
+        (StatTest::WelchT, "engine_welch", "reference_welch"),
+        (StatTest::KolmogorovSmirnov, "engine_ks", "reference_ks"),
+    ] {
+        eprintln!(
+            "timing {} contrast ({} subspaces x {reps} reps)...",
+            test.name(),
+            subs.len()
+        );
+        let est =
+            ContrastEstimator::new(data, M, ALPHA, SliceSizing::PaperRoot, test.as_deviation());
+        let new = time_contrasts(&subs, reps, |s, seed| est.contrast(s, seed));
+        let old_est = reference::Estimator::new(data, M, ALPHA, test == StatTest::WelchT);
+        let old = time_contrasts(&subs, reps, |s, seed| old_est.contrast(s, seed));
+        assert_eq!(
+            new.checksum, old.checksum,
+            "engines disagree — equivalence broken"
+        );
+        total_new_ms += new.mean_contrast_ms;
+        total_old_ms += old.mean_contrast_ms;
+        let speedup = new.contrast_evals_per_sec / old.contrast_evals_per_sec;
+        eprintln!(
+            "  {}: {:.1} evals/s vs {:.1} evals/s -> {speedup:.2}x",
+            test.name(),
+            new.contrast_evals_per_sec,
+            old.contrast_evals_per_sec
+        );
+        sections.push(json_engine(label_new, &new, draw_new));
+        sections.push(json_engine(label_old, &old, draw_old));
+        speedups.push((test.name(), speedup));
+    }
+
+    // The workload aggregate: total wall time of the full contrast suite
+    // (Welch + KS, equally weighted) old vs. new — the acceptance number.
+    let overall = total_old_ms / total_new_ms;
+    let draw_speedup = draw_old / draw_new;
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"n\": {N}, \"d\": {D}, \"m\": {M}, \"alpha\": {ALPHA}, \"subspaces\": {}, \"data_seed\": {DATA_SEED}}},",
+        subs.len()
+    );
+    for s in &sections {
+        let _ = writeln!(json, "{s},");
+    }
+    let _ = writeln!(json, "  \"speedup\": {{");
+    for (name, s) in &speedups {
+        let _ = writeln!(json, "    \"contrast_{name}\": {s:.2},");
+    }
+    let _ = writeln!(json, "    \"contrast_workload_overall\": {overall:.2},");
+    let _ = writeln!(json, "    \"slice_draw\": {draw_speedup:.2}");
+    let _ = writeln!(json, "  }}");
+    json.push('}');
+    json.push('\n');
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_contrast.json");
+    std::fs::write(out, &json).expect("write BENCH_contrast.json");
+    eprintln!("slice draw: {draw_new:.0} ns vs {draw_old:.0} ns -> {draw_speedup:.2}x");
+    eprintln!("contrast workload overall: {overall:.2}x");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

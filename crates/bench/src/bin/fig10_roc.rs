@@ -26,8 +26,10 @@ fn main() {
             data.dataset.d(),
             data.outlier_count()
         );
-        let names: Vec<String> =
-            realworld_methods(0).iter().map(|m| m.name().to_string()).collect();
+        let names: Vec<String> = realworld_methods(0)
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         let mut table = SeriesTable::new("FPR", names.clone());
         let mut curves = Vec::new();
         for method in realworld_methods(1) {

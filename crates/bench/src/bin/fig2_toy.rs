@@ -26,16 +26,32 @@ fn main() {
         "contrast(A) uncorrelated",
         "contrast(B) correlated",
     ]);
-    for test in [StatTest::WelchT, StatTest::KolmogorovSmirnov, StatTest::MannWhitney] {
+    for test in [
+        StatTest::WelchT,
+        StatTest::KolmogorovSmirnov,
+        StatTest::MannWhitney,
+    ] {
         let ca = ContrastEstimator::new(
-            &a.dataset, m, 0.1, SliceSizing::PaperRoot, test.as_deviation(),
+            &a.dataset,
+            m,
+            0.1,
+            SliceSizing::PaperRoot,
+            test.as_deviation(),
         )
         .contrast(&pair, 7);
         let cb = ContrastEstimator::new(
-            &b.dataset, m, 0.1, SliceSizing::PaperRoot, test.as_deviation(),
+            &b.dataset,
+            m,
+            0.1,
+            SliceSizing::PaperRoot,
+            test.as_deviation(),
         )
         .contrast(&pair, 7);
-        t.row([test.name().to_string(), format!("{ca:.4}"), format!("{cb:.4}")]);
+        t.row([
+            test.name().to_string(),
+            format!("{ca:.4}"),
+            format!("{cb:.4}"),
+        ]);
     }
     print!("{}", t.render());
 
@@ -45,7 +61,13 @@ fn main() {
     order.sort_by(|&x, &y| scores[y].total_cmp(&scores[x]));
     let rank = |obj: usize| order.iter().position(|&i| i == obj).unwrap() + 1;
     println!("\nLOF ranks in dataset B's 2-d subspace (out of {n}):");
-    println!("  o1 (trivial, extreme in s2):        rank {}", rank(b.outliers[0]));
-    println!("  o2 (non-trivial, empty region):     rank {}", rank(b.outliers[1]));
+    println!(
+        "  o1 (trivial, extreme in s2):        rank {}",
+        rank(b.outliers[0])
+    );
+    println!(
+        "  o2 (non-trivial, empty region):     rank {}",
+        rank(b.outliers[1])
+    );
     println!("\npaper expectation: contrast(B) >> contrast(A); o1 and o2 on top.");
 }

@@ -16,7 +16,11 @@ use hics_stats::correlation::pearson;
 
 fn main() {
     let full = hics_bench::full_scale();
-    banner("Fig. 3", "high-dimensional correlation without low-dim traces", full);
+    banner(
+        "Fig. 3",
+        "high-dimensional correlation without low-dim traces",
+        full,
+    );
     let n = if full { 10_000 } else { 2000 };
     let m = if full { 500 } else { 200 };
     let data = toy::xor3d(n, 4);

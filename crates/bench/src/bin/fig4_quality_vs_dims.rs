@@ -12,7 +12,11 @@ use hics_eval::report::SeriesTable;
 
 fn main() {
     let full = full_scale();
-    banner("Fig. 4", "AUC of outlier rankings w.r.t. increasing dimensionality", full);
+    banner(
+        "Fig. 4",
+        "AUC of outlier rankings w.r.t. increasing dimensionality",
+        full,
+    );
     let dims: &[usize] = if full {
         &[10, 20, 30, 40, 50, 75, 100]
     } else {
@@ -20,7 +24,10 @@ fn main() {
     };
     let seeds: &[u64] = if full { &[1, 2, 3] } else { &[1, 2] };
 
-    let names: Vec<String> = all_methods(0).iter().map(|m| m.name().to_string()).collect();
+    let names: Vec<String> = all_methods(0)
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
     let mut auc_table = SeriesTable::new("D", names.clone());
     let mut sd_table = SeriesTable::new("D", names.clone());
 
@@ -30,12 +37,18 @@ fn main() {
             let data = SyntheticConfig::new(1000, d).with_seed(seed).generate();
             for (mi, method) in all_methods(seed).iter().enumerate() {
                 let (auc, secs) = evaluate(method.as_ref(), &data);
-                eprintln!("D={d} seed={seed} {:8} AUC={auc:6.2} ({secs:.1}s)", method.name());
+                eprintln!(
+                    "D={d} seed={seed} {:8} AUC={auc:6.2} ({secs:.1}s)",
+                    method.name()
+                );
                 per_method[mi].push(auc);
             }
         }
         auc_table.push(d as f64, per_method.iter().map(|v| Some(mean(v))).collect());
-        sd_table.push(d as f64, per_method.iter().map(|v| Some(std_dev(v))).collect());
+        sd_table.push(
+            d as f64,
+            per_method.iter().map(|v| Some(std_dev(v))).collect(),
+        );
     }
 
     println!("mean AUC [%] over {} seeds:", seeds.len());

@@ -19,8 +19,10 @@ fn main() {
     };
     let seed = 1u64;
 
-    let names: Vec<String> =
-        subspace_methods(0).iter().map(|m| m.name().to_string()).collect();
+    let names: Vec<String> = subspace_methods(0)
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
     let mut table = SeriesTable::new("D", names.clone());
 
     for &d in dims {

@@ -6,8 +6,8 @@
 //! behaviour); Enclus and HiCS search overheads become negligible for large
 //! N; RANDSUB is slower than HiCS because its random subspaces are larger.
 
-use hics_bench::{banner, evaluate, full_scale, subspace_methods, LOF_K};
 use hics_baselines::FullSpaceLof;
+use hics_bench::{banner, evaluate, full_scale, subspace_methods, LOF_K};
 use hics_data::SyntheticConfig;
 use hics_eval::report::SeriesTable;
 

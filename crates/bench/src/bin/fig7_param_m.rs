@@ -5,15 +5,19 @@
 //! The paper's conclusion: the trade-off is uncritical and M = 50 is a safe
 //! default — quality saturates quickly and only fluctuates below ~25.
 
-use hics_bench::{banner, evaluate, full_scale, hics_params, mean, std_dev};
 use hics_baselines::HicsMethod;
+use hics_bench::{banner, evaluate, full_scale, hics_params, mean, std_dev};
 use hics_core::StatTest;
 use hics_data::SyntheticConfig;
 use hics_eval::report::SeriesTable;
 
 fn main() {
     let full = full_scale();
-    banner("Fig. 7", "dependence on the number of statistical tests (M)", full);
+    banner(
+        "Fig. 7",
+        "dependence on the number of statistical tests (M)",
+        full,
+    );
     let ms: &[usize] = if full {
         &[5, 10, 25, 50, 100, 200, 500]
     } else {
@@ -45,7 +49,10 @@ fn main() {
                 params.search.m = m;
                 params.search.test = test;
                 let (auc, secs) = evaluate(&HicsMethod { params }, &data);
-                eprintln!("M={m} seed={seed} {:12} AUC={auc:6.2} ({secs:.1}s)", test.name());
+                eprintln!(
+                    "M={m} seed={seed} {:12} AUC={auc:6.2} ({secs:.1}s)",
+                    test.name()
+                );
                 sink.push(auc);
             }
         }

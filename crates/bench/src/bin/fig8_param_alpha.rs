@@ -6,15 +6,19 @@
 //! small α (< 5 %, i.e. fewer than ~50 objects at N = 1000) increases
 //! fluctuation, very large α dulls the tests slightly.
 
-use hics_bench::{banner, evaluate, full_scale, hics_params, mean, std_dev};
 use hics_baselines::HicsMethod;
+use hics_bench::{banner, evaluate, full_scale, hics_params, mean, std_dev};
 use hics_core::StatTest;
 use hics_data::SyntheticConfig;
 use hics_eval::report::SeriesTable;
 
 fn main() {
     let full = full_scale();
-    banner("Fig. 8", "dependence on the size of the test statistic (alpha)", full);
+    banner(
+        "Fig. 8",
+        "dependence on the size of the test statistic (alpha)",
+        full,
+    );
     let alphas: &[f64] = if full {
         &[0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5]
     } else {

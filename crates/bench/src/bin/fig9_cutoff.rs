@@ -5,14 +5,18 @@
 //! below (good candidates lost) and above (redundant subspaces blur the
 //! ranking), and runtime under precise linear control of the cutoff.
 
-use hics_bench::{banner, evaluate, full_scale, hics_params, mean};
 use hics_baselines::HicsMethod;
+use hics_bench::{banner, evaluate, full_scale, hics_params, mean};
 use hics_data::SyntheticConfig;
 use hics_eval::report::SeriesTable;
 
 fn main() {
     let full = full_scale();
-    banner("Fig. 9", "quality and runtime w.r.t. the candidate cutoff", full);
+    banner(
+        "Fig. 9",
+        "quality and runtime w.r.t. the candidate cutoff",
+        full,
+    );
     let cutoffs: &[usize] = if full {
         &[25, 50, 100, 200, 400, 800, 1600]
     } else {
@@ -21,8 +25,7 @@ fn main() {
     let seeds: &[u64] = if full { &[1, 2, 3] } else { &[1, 2] };
     let (n, d) = (1000, if full { 40 } else { 30 });
 
-    let mut table =
-        SeriesTable::new("cutoff", vec!["AUC [%]".into(), "runtime [s]".into()]);
+    let mut table = SeriesTable::new("cutoff", vec!["AUC [%]".into(), "runtime [s]".into()]);
 
     for &cutoff in cutoffs {
         let mut aucs = Vec::new();

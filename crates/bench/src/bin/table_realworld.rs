@@ -14,12 +14,15 @@ use hics_eval::report::TextTable;
 
 fn main() {
     let full = full_scale();
-    banner("Fig. 11", "results on real-world datasets (UCI proxies)", full);
+    banner(
+        "Fig. 11",
+        "results on real-world datasets (UCI proxies)",
+        full,
+    );
     let scale = if full { 1.0 } else { 0.25 };
     let ris_object_limit = if full { usize::MAX } else { 2000 };
 
-    let method_names: Vec<&'static str> =
-        realworld_methods(0).iter().map(|m| m.name()).collect();
+    let method_names: Vec<&'static str> = realworld_methods(0).iter().map(|m| m.name()).collect();
     let mut header: Vec<String> = vec!["Experiment".into(), "N".into(), "D".into()];
     header.extend(method_names.iter().map(|n| format!("{n} AUC")));
     header.extend(method_names.iter().map(|n| format!("{n} [s]")));

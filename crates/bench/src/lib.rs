@@ -7,8 +7,8 @@
 //! laptop; `--full` matches the paper's grid exactly.
 
 use hics_baselines::{
-    EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod,
-    PcaLofMethod, RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
+    EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
+    RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
 };
 use hics_core::HicsParams;
 use hics_data::LabeledDataset;
@@ -33,7 +33,9 @@ pub fn hics_params(seed: u64) -> HicsParams {
 
 /// The HiCS method with paper defaults.
 pub fn hics_method(seed: u64) -> Box<dyn OutlierMethod> {
-    Box::new(HicsMethod { params: hics_params(seed) })
+    Box::new(HicsMethod {
+        params: hics_params(seed),
+    })
 }
 
 /// All seven methods of the Fig. 4 quality experiment, in figure order:
@@ -51,20 +53,30 @@ pub fn all_methods(seed: u64) -> Vec<Box<dyn OutlierMethod>> {
 pub fn subspace_methods(seed: u64) -> Vec<Box<dyn OutlierMethod>> {
     vec![
         hics_method(seed),
-        Box::new(EnclusMethod { params: EnclusParams::default(), lof_k: LOF_K }),
+        Box::new(EnclusMethod {
+            params: EnclusParams::default(),
+            lof_k: LOF_K,
+        }),
         // RIS pays O(N^2) per candidate; the paper reports it as by far the
         // slowest competitor (11283 s on Pendigits) and tuned each
         // competitor's parameters per dataset. We bound its level width and
         // depth so the full sweeps stay tractable without changing its
         // qualitative behaviour.
         Box::new(RisMethod {
-            params: RisParams { candidate_cutoff: 150, max_dim: 4, ..RisParams::default() },
+            params: RisParams {
+                candidate_cutoff: 150,
+                max_dim: 4,
+                ..RisParams::default()
+            },
             lof_k: LOF_K,
         }),
         Box::new(RandSubMethod {
-            params: RandomSubspacesParams { num_subspaces: 100, seed },
+            params: RandomSubspacesParams {
+                num_subspaces: 100,
+                seed,
+            },
             lof_k: LOF_K,
-            max_threads: 16,
+            max_threads: hics_outlier::parallel::available_threads(),
         }),
     ]
 }

@@ -67,9 +67,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                ArgError(format!("option --{key}: cannot parse {v:?}"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("option --{key}: cannot parse {v:?}"))),
         }
     }
 

@@ -14,8 +14,8 @@ mod args;
 
 use args::{ArgError, Args};
 use hics_baselines::{
-    EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod,
-    PcaLofMethod, RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
+    EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
+    RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
 };
 use hics_core::{Hics, HicsParams, StatTest, SubspaceSearch};
 use hics_data::arff::read_arff_file;
@@ -63,6 +63,8 @@ fn print_usage() {
     println!("  rank      --input <file.csv> [--labels] [--k 10] [--top 20] [--out <scores.csv>]");
     println!("  evaluate  --input <file.csv> --labels [--methods lof,hics,...] [--k 10]");
     println!("  help      this message");
+    println!();
+    println!("  --threads N applies to search/rank/evaluate (default: all hardware threads)");
 }
 
 fn load(args: &Args) -> Result<CsvData, ArgError> {
@@ -72,10 +74,23 @@ fn load(args: &Args) -> Result<CsvData, ArgError> {
         // ARFF files carry their own label attribute.
         let arff = read_arff_file(Path::new(path))
             .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
-        return Ok(CsvData { dataset: arff.dataset, labels: arff.labels });
+        return Ok(CsvData {
+            dataset: arff.dataset,
+            labels: arff.labels,
+        });
     }
     read_csv_file(Path::new(path), true, labels)
         .map_err(|e| ArgError(format!("reading {path}: {e}")))
+}
+
+/// The worker-thread budget: `--threads N`, defaulting to the machine's
+/// available parallelism.
+fn threads(args: &Args) -> Result<usize, ArgError> {
+    let t = args.get_or("threads", hics_outlier::parallel::available_threads())?;
+    if t == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    Ok(t)
 }
 
 fn parse_test(name: &str) -> Result<StatTest, ArgError> {
@@ -114,6 +129,7 @@ fn cmd_search(args: &Args) -> Result<(), ArgError> {
         candidate_cutoff: args.get_or("cutoff", 400)?,
         top_k: args.get_or("top-k", 100)?,
         seed: args.get_or("seed", 0)?,
+        max_threads: threads(args)?,
         ..Default::default()
     };
     p.test = parse_test(args.get("test").unwrap_or("welch"))?;
@@ -144,6 +160,7 @@ fn cmd_rank(args: &Args) -> Result<(), ArgError> {
     params.search.top_k = args.get_or("top-k", 100)?;
     params.search.seed = args.get_or("seed", 0)?;
     params.search.test = parse_test(args.get("test").unwrap_or("welch"))?;
+    params.search.max_threads = threads(args)?;
     params.lof_k = args.get_or("k", 10)?;
     let top: usize = args.get_or("top", 20)?;
 
@@ -178,6 +195,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), ArgError> {
         .ok_or_else(|| ArgError("evaluate requires --labels".into()))?;
     let k: usize = args.get_or("k", 10)?;
     let seed: u64 = args.get_or("seed", 0)?;
+    let max_threads = threads(args)?;
     let which = args.get("methods").unwrap_or("lof,hics,enclus,ris,randsub");
 
     let mut methods: Vec<Box<dyn OutlierMethod>> = Vec::new();
@@ -186,21 +204,31 @@ fn cmd_evaluate(args: &Args) -> Result<(), ArgError> {
             "lof" => methods.push(Box::new(FullSpaceLof { k })),
             "hics" => {
                 let mut p = HicsParams::paper_defaults().with_seed(seed);
+                p.search.max_threads = max_threads;
                 p.lof_k = k;
                 methods.push(Box::new(HicsMethod { params: p }));
             }
             "enclus" => methods.push(Box::new(EnclusMethod {
-                params: EnclusParams::default(),
+                params: EnclusParams {
+                    max_threads,
+                    ..EnclusParams::default()
+                },
                 lof_k: k,
             })),
             "ris" => methods.push(Box::new(RisMethod {
-                params: RisParams::default(),
+                params: RisParams {
+                    max_threads,
+                    ..RisParams::default()
+                },
                 lof_k: k,
             })),
             "randsub" => methods.push(Box::new(RandSubMethod {
-                params: RandomSubspacesParams { num_subspaces: 100, seed },
+                params: RandomSubspacesParams {
+                    num_subspaces: 100,
+                    seed,
+                },
                 lof_k: k,
-                max_threads: 16,
+                max_threads,
             })),
             "pcalof1" => methods.push(Box::new(PcaLofMethod::half(k))),
             "pcalof2" => methods.push(Box::new(PcaLofMethod::fixed10(k))),

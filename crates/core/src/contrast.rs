@@ -5,18 +5,23 @@
 //! slice's reference attribute with a two-sample statistical test.
 //!
 //! The marginal side of every test is precomputed once per dataset
-//! ([`MarginalStats`]: moments for Welch, sorted values/ECDF for KS and
-//! Mann–Whitney), so a single Monte-Carlo iteration costs one slice draw
-//! plus one test on the conditional sample.
+//! ([`MarginalStats`]: moments for Welch, the argsort permutation and sorted
+//! values for the rank-aware KS and Mann–Whitney walks). A single
+//! Monte-Carlo iteration therefore costs one bitset slice draw plus one
+//! **sort-free, allocation-free** test on the selection: Welch accumulates
+//! streaming moments over the set bits, KS and Mann–Whitney walk the
+//! precomputed marginal order with `O(1)` mask probes.
 
-use crate::slice::{SliceSampler, SliceSizing};
+use crate::slice::{SliceSampler, SliceSizing, SliceView};
 use crate::subspace::Subspace;
-use hics_data::{Dataset, SortedIndices};
+use hics_data::{Dataset, RankIndex};
 use hics_stats::ecdf::Ecdf;
-use hics_stats::moments::Moments;
-use hics_stats::two_sample::{
-    ks_test_from_ecdfs, mann_whitney_u, welch_t_test_from_moments,
+use hics_stats::masked::{
+    masked_ks_distance, masked_ks_test, masked_mann_whitney, masked_mean_variance,
 };
+use hics_stats::moments::Moments;
+use hics_stats::rank::argsort;
+use hics_stats::two_sample::welch_t_test_from_moments;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,35 +31,55 @@ use rand::SeedableRng;
 pub struct MarginalStats {
     /// Welford moments of the full column.
     pub moments: Moments,
-    /// ECDF of the full column (owns a sorted copy of the values).
+    /// ECDF of the full column (owns the values in sorted order).
     pub ecdf: Ecdf,
+    /// Argsort permutation of the column: `order[k]` is the object id at
+    /// sorted position `k` (drives the rank-aware test walks).
+    pub order: Vec<u32>,
 }
 
 impl MarginalStats {
-    /// Computes the marginal statistics of a column.
+    /// Computes the marginal statistics of a column (one argsort; the
+    /// sorted values are gathered through the permutation).
     pub fn from_column(col: &[f64]) -> Self {
-        Self { moments: Moments::from_slice(col), ecdf: Ecdf::new(col) }
+        let order = argsort(col);
+        let sorted: Vec<f64> = order.iter().map(|&i| col[i as usize]).collect();
+        Self {
+            moments: Moments::from_slice(col),
+            ecdf: Ecdf::from_sorted(sorted),
+            order,
+        }
+    }
+
+    /// The column's values in ascending order.
+    pub fn sorted_values(&self) -> &[f64] {
+        self.ecdf.sorted_values()
     }
 }
 
 /// A deviation function comparing the marginal distribution of an attribute
-/// to a conditional sample (paper Section III-E).
+/// to the conditional sample selected by a slice (paper Section III-E).
+///
+/// The conditional sample arrives as a borrowed [`SliceView`] — a bitset
+/// over object ids plus the reference column — so implementations can test
+/// without materialising, sorting, or allocating.
 pub trait DeviationTest: Sync {
     /// Returns a deviation in `[0, 1]`; larger = stronger disagreement
     /// between marginal and conditional distribution.
-    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64;
+    fn deviation(&self, marginal: &MarginalStats, slice: &SliceView<'_>) -> f64;
 
     /// Test name for experiment output.
     fn name(&self) -> &'static str;
 }
 
 /// `HiCS_WT`: Welch's t-test; deviation is `1 − p` (paper Section III-E).
+/// The conditional moments stream over the selection's set bits.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WelchDeviation;
 
 impl DeviationTest for WelchDeviation {
-    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
-        let cond = Moments::from_slice(conditional);
+    fn deviation(&self, marginal: &MarginalStats, slice: &SliceView<'_>) -> f64 {
+        let cond = masked_mean_variance(slice.column(), slice.iter_ids());
         1.0 - welch_t_test_from_moments(&marginal.moments, &cond).p_value
     }
 
@@ -64,14 +89,20 @@ impl DeviationTest for WelchDeviation {
 }
 
 /// `HiCS_KS`: the raw two-sample Kolmogorov–Smirnov statistic
-/// `sup |F_A − F_B|` (Eq. 11 — deliberately *not* a p-value).
+/// `sup |F_A − F_B|` (Eq. 11 — deliberately *not* a p-value), computed by a
+/// rank walk over the precomputed marginal order instead of sorting the
+/// conditional sample.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KsDeviation;
 
 impl DeviationTest for KsDeviation {
-    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
-        let cond = Ecdf::new(conditional);
-        marginal.ecdf.ks_distance(&cond)
+    fn deviation(&self, marginal: &MarginalStats, slice: &SliceView<'_>) -> f64 {
+        masked_ks_distance(
+            &marginal.order,
+            marginal.sorted_values(),
+            slice.len(),
+            |id| slice.contains(id),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -85,9 +116,14 @@ impl DeviationTest for KsDeviation {
 pub struct KsPValueDeviation;
 
 impl DeviationTest for KsPValueDeviation {
-    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
-        let cond = Ecdf::new(conditional);
-        1.0 - ks_test_from_ecdfs(&marginal.ecdf, &cond).p_value
+    fn deviation(&self, marginal: &MarginalStats, slice: &SliceView<'_>) -> f64 {
+        let r = masked_ks_test(
+            &marginal.order,
+            marginal.sorted_values(),
+            slice.len(),
+            |id| slice.contains(id),
+        );
+        1.0 - r.p_value
     }
 
     fn name(&self) -> &'static str {
@@ -96,13 +132,20 @@ impl DeviationTest for KsPValueDeviation {
 }
 
 /// Extension: Mann–Whitney U deviation, `1 − p` under the tie-corrected
-/// normal approximation. Rank-based like KS, scalarised like Welch.
+/// normal approximation — rank-based like KS, scalarised like Welch, and
+/// computed from rank sums without pooling or sorting.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MwuDeviation;
 
 impl DeviationTest for MwuDeviation {
-    fn deviation(&self, marginal: &MarginalStats, conditional: &[f64]) -> f64 {
-        1.0 - mann_whitney_u(marginal.ecdf.sorted_values(), conditional).p_value
+    fn deviation(&self, marginal: &MarginalStats, slice: &SliceView<'_>) -> f64 {
+        let r = masked_mann_whitney(
+            &marginal.order,
+            marginal.sorted_values(),
+            slice.len(),
+            |id| slice.contains(id),
+        );
+        1.0 - r.p_value
     }
 
     fn name(&self) -> &'static str {
@@ -144,7 +187,7 @@ impl StatTest {
 /// Estimates the Monte-Carlo contrast of subspaces over one dataset.
 pub struct ContrastEstimator<'a> {
     data: &'a Dataset,
-    indices: SortedIndices,
+    indices: RankIndex,
     marginals: Vec<MarginalStats>,
     m: usize,
     alpha: f64,
@@ -153,7 +196,7 @@ pub struct ContrastEstimator<'a> {
 }
 
 impl<'a> ContrastEstimator<'a> {
-    /// Builds an estimator: computes sorted indices and marginal statistics
+    /// Builds an estimator: computes the rank index and marginal statistics
     /// for every attribute once.
     ///
     /// # Panics
@@ -166,19 +209,35 @@ impl<'a> ContrastEstimator<'a> {
         test: &'a dyn DeviationTest,
     ) -> Self {
         assert!(m >= 1, "need at least one Monte-Carlo iteration");
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
-        let indices = data.sorted_indices();
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        let indices = data.rank_index();
         let marginals = data
             .columns()
             .iter()
             .map(|c| MarginalStats::from_column(c))
             .collect();
-        Self { data, indices, marginals, m, alpha, sizing, test }
+        Self {
+            data,
+            indices,
+            marginals,
+            m,
+            alpha,
+            sizing,
+            test,
+        }
     }
 
     /// The dataset under analysis.
     pub fn data(&self) -> &Dataset {
         self.data
+    }
+
+    /// The precomputed rank index.
+    pub fn indices(&self) -> &RankIndex {
+        &self.indices
     }
 
     /// Number of Monte-Carlo iterations `M`.
@@ -201,7 +260,7 @@ impl<'a> ContrastEstimator<'a> {
         let mut acc = 0.0;
         for _ in 0..self.m {
             let slice = sampler.draw(rng);
-            acc += if slice.conditional.len() < 2 {
+            acc += if slice.len() < 2 {
                 // A (near-)empty slice is essentially impossible under
                 // independence (expected size N·α₁^(|S|−1)); observing one is
                 // itself maximal evidence of dependence. Moment-based tests
@@ -209,7 +268,7 @@ impl<'a> ContrastEstimator<'a> {
                 1.0
             } else {
                 self.test
-                    .deviation(&self.marginals[slice.ref_attr], &slice.conditional)
+                    .deviation(&self.marginals[slice.ref_attr], &slice)
                     .clamp(0.0, 1.0)
             };
         }
@@ -232,10 +291,7 @@ mod tests {
     use super::*;
     use hics_data::toy;
 
-    fn estimator<'a>(
-        data: &'a Dataset,
-        test: &'a dyn DeviationTest,
-    ) -> ContrastEstimator<'a> {
+    fn estimator<'a>(data: &'a Dataset, test: &'a dyn DeviationTest) -> ContrastEstimator<'a> {
         ContrastEstimator::new(data, 100, 0.1, SliceSizing::PaperRoot, test)
     }
 
@@ -307,7 +363,9 @@ mod tests {
 
     #[test]
     fn contrast_bounded_in_unit_interval() {
-        let g = hics_data::SyntheticConfig::new(400, 6).with_seed(8).generate();
+        let g = hics_data::SyntheticConfig::new(400, 6)
+            .with_seed(8)
+            .generate();
         for test in [
             StatTest::WelchT,
             StatTest::KolmogorovSmirnov,
@@ -330,7 +388,9 @@ mod tests {
     fn planted_block_outscores_cross_block_pair() {
         // Attributes of one planted block are correlated; attributes from
         // two different blocks are independent.
-        let g = hics_data::SyntheticConfig::new(800, 8).with_seed(3).generate();
+        let g = hics_data::SyntheticConfig::new(800, 8)
+            .with_seed(3)
+            .generate();
         let blocks = &g.planted_subspaces;
         assert!(blocks.len() >= 2, "fixture needs two blocks");
         let inside = Subspace::pair(blocks[0][0], blocks[0][1]);
@@ -353,12 +413,6 @@ mod tests {
     #[should_panic]
     fn rejects_zero_iterations() {
         let b = toy::fig2_dataset_b(100, 1);
-        ContrastEstimator::new(
-            &b.dataset,
-            0,
-            0.1,
-            SliceSizing::PaperRoot,
-            &WelchDeviation,
-        );
+        ContrastEstimator::new(&b.dataset, 0, 0.1, SliceSizing::PaperRoot, &WelchDeviation);
     }
 }

@@ -22,7 +22,11 @@ impl HicsParams {
     /// Paper defaults: `M = 50`, `α = 0.1`, cutoff 400, top-100 subspaces,
     /// Welch test, LOF with `k = 10`, average aggregation.
     pub fn paper_defaults() -> Self {
-        Self { search: SearchParams::default(), lof_k: 10, aggregation: Aggregation::Average }
+        Self {
+            search: SearchParams::default(),
+            lof_k: 10,
+            aggregation: Aggregation::Average,
+        }
     }
 
     /// Sets the base RNG seed (builder style).
@@ -96,16 +100,15 @@ impl Hics {
     /// any density-based `score_S` plugs in here unchanged.
     pub fn run_with_scorer<S: SubspaceScorer>(&self, data: &Dataset, scorer: &S) -> HicsResult {
         let subspaces = SubspaceSearch::new(self.params.search).run(data);
-        let dims: Vec<Vec<usize>> =
-            subspaces.iter().map(|s| s.subspace.to_vec()).collect();
-        let per_subspace_scores = score_subspaces(
-            data,
-            &dims,
-            scorer,
-            self.params.search.max_threads,
-        );
+        let dims: Vec<Vec<usize>> = subspaces.iter().map(|s| s.subspace.to_vec()).collect();
+        let per_subspace_scores =
+            score_subspaces(data, &dims, scorer, self.params.search.max_threads);
         let scores = aggregate_scores(&per_subspace_scores, self.params.aggregation);
-        HicsResult { subspaces, scores, per_subspace_scores }
+        HicsResult {
+            subspaces,
+            scores,
+            per_subspace_scores,
+        }
     }
 
     /// Ranks outliers in a caller-provided list of subspaces (skipping the
@@ -216,11 +219,8 @@ mod tests {
     fn rank_in_subspaces_skips_search() {
         let g = SyntheticConfig::new(150, 6).with_seed(27).generate();
         let hics = Hics::new(quick());
-        let scores = hics.rank_in_subspaces(
-            &g.dataset,
-            &[vec![0, 1], vec![2, 3]],
-            &KnnScorer::new(5),
-        );
+        let scores =
+            hics.rank_in_subspaces(&g.dataset, &[vec![0, 1], vec![2, 3]], &KnnScorer::new(5));
         assert_eq!(scores.len(), 150);
     }
 }

@@ -41,7 +41,8 @@ pub struct SearchParams {
     pub max_dim: Option<usize>,
     /// Base RNG seed; each subspace derives an independent stream.
     pub seed: u64,
-    /// Maximum worker threads for contrast evaluation.
+    /// Maximum worker threads for contrast evaluation (defaults to the
+    /// machine's available parallelism).
     pub max_threads: usize,
 }
 
@@ -56,7 +57,7 @@ impl Default for SearchParams {
             top_k: 100,
             max_dim: None,
             seed: 0,
-            max_threads: 16,
+            max_threads: hics_outlier::parallel::available_threads(),
         }
     }
 }
@@ -93,7 +94,10 @@ impl SubspaceSearch {
     /// # Panics
     /// Panics if `candidate_cutoff` or `top_k` is zero.
     pub fn new(params: SearchParams) -> Self {
-        assert!(params.candidate_cutoff >= 1, "candidate cutoff must be >= 1");
+        assert!(
+            params.candidate_cutoff >= 1,
+            "candidate cutoff must be >= 1"
+        );
         assert!(params.top_k >= 1, "top_k must be >= 1");
         Self { params }
     }
@@ -115,13 +119,7 @@ impl SubspaceSearch {
     pub fn run_detailed(&self, data: &Dataset) -> SearchReport {
         assert!(data.d() >= 2, "subspace search needs at least 2 attributes");
         let p = &self.params;
-        let estimator = ContrastEstimator::new(
-            data,
-            p.m,
-            p.alpha,
-            p.sizing,
-            p.test.as_deviation(),
-        );
+        let estimator = ContrastEstimator::new(data, p.m, p.alpha, p.sizing, p.test.as_deviation());
 
         // Level 2: all attribute pairs.
         let mut candidates: Vec<Subspace> = (0..data.d())
@@ -170,7 +168,11 @@ impl SubspaceSearch {
 
         sort_by_contrast(&mut pool);
         pool.truncate(p.top_k);
-        SearchReport { result: pool, evaluated_per_level, pruned_redundant }
+        SearchReport {
+            result: pool,
+            evaluated_per_level,
+            pruned_redundant,
+        }
     }
 }
 
@@ -220,9 +222,9 @@ fn prune_redundant(pool: Vec<ScoredSubspace>) -> Vec<ScoredSubspace> {
         .iter()
         .map(|t| {
             let d = t.subspace.len();
-            !by_dim[d + 1].iter().any(|s| {
-                s.contrast > t.contrast && s.subspace.is_superset_of(&t.subspace)
-            })
+            !by_dim[d + 1]
+                .iter()
+                .any(|s| s.contrast > t.contrast && s.subspace.is_superset_of(&t.subspace))
         })
         .collect();
     pool.into_iter()
@@ -237,7 +239,12 @@ mod tests {
     use hics_data::SyntheticConfig;
 
     fn quick_params() -> SearchParams {
-        SearchParams { m: 25, candidate_cutoff: 60, top_k: 20, ..SearchParams::default() }
+        SearchParams {
+            m: 25,
+            candidate_cutoff: 60,
+            top_k: 20,
+            ..SearchParams::default()
+        }
     }
 
     #[test]
@@ -248,9 +255,10 @@ mod tests {
         // The single best subspace must be a subset of one planted block
         // (within-block attribute pairs/triples carry the correlation).
         let best = &result[0].subspace;
-        let inside_some_block = g.planted_subspaces.iter().any(|block| {
-            best.dims().all(|d| block.contains(&d))
-        });
+        let inside_some_block = g
+            .planted_subspaces
+            .iter()
+            .any(|block| best.dims().all(|d| block.contains(&d)));
         assert!(
             inside_some_block,
             "best subspace {best} is not inside any planted block {:?}",
@@ -271,7 +279,10 @@ mod tests {
                     .any(|b| s.subspace.dims().all(|d| b.contains(&d)))
             })
             .count();
-        assert!(within >= 7, "only {within}/10 top subspaces are within blocks");
+        assert!(
+            within >= 7,
+            "only {within}/10 top subspaces are within blocks"
+        );
     }
 
     #[test]
@@ -335,7 +346,10 @@ mod tests {
             Subspace::new([1, 2]),
         ]
         .into_iter()
-        .map(|s| ScoredSubspace { subspace: s, contrast: 0.5 })
+        .map(|s| ScoredSubspace {
+            subspace: s,
+            contrast: 0.5,
+        })
         .collect();
         let mut seen = HashSet::new();
         let cands = join_level(&retained, &mut seen);
@@ -346,9 +360,18 @@ mod tests {
     #[test]
     fn prune_removes_dominated_subset() {
         let pool = vec![
-            ScoredSubspace { subspace: Subspace::new([0, 1]), contrast: 0.4 },
-            ScoredSubspace { subspace: Subspace::new([0, 1, 2]), contrast: 0.6 },
-            ScoredSubspace { subspace: Subspace::new([3, 4]), contrast: 0.5 },
+            ScoredSubspace {
+                subspace: Subspace::new([0, 1]),
+                contrast: 0.4,
+            },
+            ScoredSubspace {
+                subspace: Subspace::new([0, 1, 2]),
+                contrast: 0.6,
+            },
+            ScoredSubspace {
+                subspace: Subspace::new([3, 4]),
+                contrast: 0.5,
+            },
         ];
         let pruned = prune_redundant(pool);
         assert_eq!(pruned.len(), 2);
@@ -358,8 +381,14 @@ mod tests {
     #[test]
     fn prune_keeps_subset_with_higher_contrast() {
         let pool = vec![
-            ScoredSubspace { subspace: Subspace::new([0, 1]), contrast: 0.9 },
-            ScoredSubspace { subspace: Subspace::new([0, 1, 2]), contrast: 0.6 },
+            ScoredSubspace {
+                subspace: Subspace::new([0, 1]),
+                contrast: 0.9,
+            },
+            ScoredSubspace {
+                subspace: Subspace::new([0, 1, 2]),
+                contrast: 0.6,
+            },
         ];
         assert_eq!(prune_redundant(pool).len(), 2);
     }

@@ -79,7 +79,7 @@ proptest! {
         let block = sampler.block_len();
         for _ in 0..10 {
             let s = sampler.draw(&mut rng);
-            prop_assert!(s.conditional.len() <= block);
+            prop_assert!(s.len() <= block);
             prop_assert!(sub.contains(s.ref_attr));
         }
     }

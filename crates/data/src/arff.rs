@@ -133,11 +133,7 @@ pub fn read_arff<R: BufRead>(reader: R) -> Result<ArffData, ArffError> {
         if fields.len() != kinds.len() {
             return Err(ArffError::Parse {
                 line: lineno,
-                message: format!(
-                    "expected {} fields, found {}",
-                    kinds.len(),
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", kinds.len(), fields.len()),
             });
         }
         let mut col_idx = 0;
@@ -186,7 +182,10 @@ pub fn read_arff_file(path: &Path) -> Result<ArffData, ArffError> {
 }
 
 fn kinds_nominal_count(kinds: &[AttrKind]) -> usize {
-    kinds.iter().filter(|k| matches!(k, AttrKind::Nominal(_))).count()
+    kinds
+        .iter()
+        .filter(|k| matches!(k, AttrKind::Nominal(_)))
+        .count()
 }
 
 fn parse_attribute(rest: &str, line: usize) -> Result<(String, AttrKind), ArffError> {
@@ -251,7 +250,10 @@ mod tests {
         assert_eq!(parsed.relation, "synth_multidim_010_000");
         assert_eq!(parsed.dataset.n(), 3);
         assert_eq!(parsed.dataset.d(), 2);
-        assert_eq!(parsed.dataset.names(), &["attr0".to_string(), "attr1".to_string()]);
+        assert_eq!(
+            parsed.dataset.names(),
+            &["attr0".to_string(), "attr1".to_string()]
+        );
         assert_eq!(parsed.labels, Some(vec![false, true, false]));
         assert_eq!(parsed.dataset.value(1, 1), 0.4);
     }
@@ -273,7 +275,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "% c\n\n@relation r\n% c2\n@attribute a numeric\n@data\n% about to start\n1.5\n\n2.5\n";
+        let text =
+            "% c\n\n@relation r\n% c2\n@attribute a numeric\n@data\n% about to start\n1.5\n\n2.5\n";
         let parsed = read_arff(text.as_bytes()).unwrap();
         assert_eq!(parsed.dataset.col(0), &[1.5, 2.5]);
     }
@@ -297,13 +300,19 @@ mod tests {
     #[test]
     fn rejects_non_label_nominal() {
         let text = "@relation r\n@attribute color {red,blue}\n@data\nred\n";
-        assert!(matches!(read_arff(text.as_bytes()), Err(ArffError::Parse { .. })));
+        assert!(matches!(
+            read_arff(text.as_bytes()),
+            Err(ArffError::Parse { .. })
+        ));
     }
 
     #[test]
     fn rejects_bad_numeric_value() {
         let text = "@relation r\n@attribute a numeric\n@data\nabc\n";
-        assert!(matches!(read_arff(text.as_bytes()), Err(ArffError::Parse { .. })));
+        assert!(matches!(
+            read_arff(text.as_bytes()),
+            Err(ArffError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -314,7 +323,11 @@ mod tests {
 
     #[test]
     fn rejects_unknown_nominal_value() {
-        let text = "@relation r\n@attribute a real\n@attribute outlier {no,yes}\n@data\n1.0,maybe\n";
-        assert!(matches!(read_arff(text.as_bytes()), Err(ArffError::Parse { .. })));
+        let text =
+            "@relation r\n@attribute a real\n@attribute outlier {no,yes}\n@data\n1.0,maybe\n";
+        assert!(matches!(
+            read_arff(text.as_bytes()),
+            Err(ArffError::Parse { .. })
+        ));
     }
 }

@@ -41,9 +41,16 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
             CsvError::Parse { line, column, text } => {
-                write!(f, "line {line}, column {column}: cannot parse {text:?} as a number")
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {text:?} as a number"
+                )
             }
-            CsvError::Ragged { line, found, expected } => {
+            CsvError::Ragged {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "line {line}: {found} fields, expected {expected}")
             }
             CsvError::Empty => write!(f, "no data rows found"),
@@ -156,7 +163,11 @@ pub fn read_csv<R: BufRead>(
     };
     Ok(CsvData {
         dataset,
-        labels: if label_last_column { Some(labels) } else { None },
+        labels: if label_last_column {
+            Some(labels)
+        } else {
+            None
+        },
     })
 }
 
@@ -247,7 +258,11 @@ mod tests {
     fn parse_error_reports_location() {
         let text = "1.0,oops\n";
         match read_csv(text.as_bytes(), false, false) {
-            Err(CsvError::Parse { line: 1, column: 1, text }) => {
+            Err(CsvError::Parse {
+                line: 1,
+                column: 1,
+                text,
+            }) => {
                 assert_eq!(text, "oops");
             }
             other => panic!("expected parse error, got {other:?}"),
@@ -259,21 +274,34 @@ mod tests {
         let text = "1.0,2.0\n3.0\n";
         assert!(matches!(
             read_csv(text.as_bytes(), false, false),
-            Err(CsvError::Ragged { line: 2, found: 1, expected: 2 })
+            Err(CsvError::Ragged {
+                line: 2,
+                found: 1,
+                expected: 2
+            })
         ));
     }
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(read_csv("".as_bytes(), false, false), Err(CsvError::Empty)));
-        assert!(matches!(read_csv("#x\n".as_bytes(), true, false), Err(CsvError::Empty)));
+        assert!(matches!(
+            read_csv("".as_bytes(), false, false),
+            Err(CsvError::Empty)
+        ));
+        assert!(matches!(
+            read_csv("#x\n".as_bytes(), true, false),
+            Err(CsvError::Empty)
+        ));
     }
 
     #[test]
     fn header_names_preserved() {
         let text = "alpha,beta\n1,2\n3,4\n";
         let parsed = read_csv(text.as_bytes(), true, false).unwrap();
-        assert_eq!(parsed.dataset.names(), &["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(
+            parsed.dataset.names(),
+            &["alpha".to_string(), "beta".to_string()]
+        );
     }
 
     #[test]

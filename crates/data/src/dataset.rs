@@ -6,7 +6,7 @@
 //! selected columns. A `Vec<Vec<f64>>` of columns keeps every hot loop
 //! cache-friendly without the complexity of a strided matrix type.
 
-use crate::index::SortedIndices;
+use crate::index::{RankIndex, SortedIndices};
 
 /// An immutable, column-major table of `N` objects with `D` real-valued
 /// attributes (the database `DB` of the paper, Section III-A).
@@ -120,11 +120,16 @@ impl Dataset {
             .collect()
     }
 
-    /// Builds the per-attribute sorted index structures used by the adaptive
-    /// subspace slices (paper Section IV-A: "we precalculate one-dimensional
-    /// index structures for all attributes").
+    /// Builds the per-attribute rank index (argsort + inverse ranks) used by
+    /// the adaptive subspace slices (paper Section IV-A: "we precalculate
+    /// one-dimensional index structures for all attributes").
+    pub fn rank_index(&self) -> RankIndex {
+        RankIndex::build(self)
+    }
+
+    /// Backwards-compatible alias of [`Dataset::rank_index`].
     pub fn sorted_indices(&self) -> SortedIndices {
-        SortedIndices::build(self)
+        self.rank_index()
     }
 
     /// Returns a new dataset restricted to the given attribute indices, in
@@ -191,11 +196,7 @@ mod tests {
     use super::*;
 
     fn small() -> Dataset {
-        Dataset::from_rows(&[
-            vec![1.0, 10.0],
-            vec![2.0, 20.0],
-            vec![3.0, 30.0],
-        ])
+        Dataset::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]])
     }
 
     #[test]

@@ -1,29 +1,68 @@
-//! Per-attribute sorted index structures.
+//! Per-attribute rank index structures.
 //!
 //! Paper, Section IV-A: *"instead of defining the condition intervals
 //! [l_i, r_i] directly in the domain of the underlying variables x_{s_i}, we
 //! precalculate one-dimensional index structures for all attributes of the
 //! database. This allows to perform the selection over the sorted indices."*
 //!
-//! A subspace-slice condition on attribute `j` is then simply a contiguous
-//! block of `SortedIndices::attr(j)` — an `O(1)`-addressable window whose
-//! membership is materialised into a boolean mask.
+//! [`RankIndex`] stores, per attribute, **both directions** of that index:
+//!
+//! * the argsort permutation (`order`): position → object id, so a slice
+//!   condition is a contiguous block `order[start..start+len]`;
+//! * its inverse (`rank`): object id → position, so testing whether an
+//!   object satisfies a condition is one `O(1)` rank comparison
+//!   `start <= rank[id] < start + len` — the probe that lets
+//!   [`crate::bitset::SliceMask::retain_rank_window`] intersect conditions
+//!   without touching unselected objects, and that lets the deviation tests
+//!   walk a conditional sample in sorted order without re-sorting it.
 
+use crate::bitset::SliceMask;
 use crate::dataset::Dataset;
 use hics_stats::rank::argsort;
 
-/// Argsort indices for every attribute of a dataset.
+/// Argsort permutation plus inverse ranks for every attribute of a dataset.
 #[derive(Debug, Clone)]
-pub struct SortedIndices {
-    per_attr: Vec<Vec<u32>>,
+pub struct RankIndex {
+    order: Vec<Vec<u32>>,
+    rank: Vec<Vec<u32>>,
     n: usize,
 }
 
-impl SortedIndices {
-    /// Builds sorted indices for all attributes (`O(D · N log N)`).
+/// Backwards-compatible name for [`RankIndex`] (the pre-rank-engine type
+/// only carried the argsort direction).
+pub type SortedIndices = RankIndex;
+
+/// Inverts one argsort permutation into a rank array.
+fn invert(order: &[u32]) -> Vec<u32> {
+    let mut rank = vec![0u32; order.len()];
+    for (pos, &id) in order.iter().enumerate() {
+        rank[id as usize] = pos as u32;
+    }
+    rank
+}
+
+impl RankIndex {
+    /// Builds the index for all attributes (`O(D · N log N)`).
     pub fn build(data: &Dataset) -> Self {
-        let per_attr = data.columns().iter().map(|c| argsort(c)).collect();
-        Self { per_attr, n: data.n() }
+        Self::build_columns(data.columns().iter().map(|c| c.as_slice()))
+    }
+
+    /// Builds the index for an explicit set of columns (used by consumers
+    /// that only need a subspace projection, e.g. the RIS neighbourhood
+    /// counter and the KDE box prefilter).
+    ///
+    /// # Panics
+    /// Panics if columns have unequal lengths or there are none.
+    pub fn build_columns<'c>(columns: impl IntoIterator<Item = &'c [f64]>) -> Self {
+        let order: Vec<Vec<u32>> = columns.into_iter().map(argsort).collect();
+        assert!(!order.is_empty(), "rank index needs at least one column");
+        let n = order[0].len();
+        assert!(
+            order.iter().all(|o| o.len() == n),
+            "all columns must have equal length"
+        );
+        let rank = order.iter().map(|o| invert(o)).collect();
+        Self { order, rank, n }
     }
 
     /// Number of objects indexed.
@@ -33,13 +72,24 @@ impl SortedIndices {
 
     /// Number of attributes indexed.
     pub fn d(&self) -> usize {
-        self.per_attr.len()
+        self.order.len()
     }
 
-    /// The ascending-order object indices of attribute `j`: `attr(j)[0]` is
-    /// the object with the smallest value in attribute `j`.
+    /// The ascending-order object ids of attribute `j`: `order(j)[0]` is the
+    /// object with the smallest value in attribute `j`.
+    pub fn order(&self, j: usize) -> &[u32] {
+        &self.order[j]
+    }
+
+    /// Alias of [`RankIndex::order`] kept from the `SortedIndices` days.
     pub fn attr(&self, j: usize) -> &[u32] {
-        &self.per_attr[j]
+        &self.order[j]
+    }
+
+    /// The inverse permutation of attribute `j`: `rank(j)[id]` is the sorted
+    /// position of object `id`.
+    pub fn rank(&self, j: usize) -> &[u32] {
+        &self.rank[j]
     }
 
     /// A contiguous index block `[start, start + len)` of attribute `j` — the
@@ -49,7 +99,47 @@ impl SortedIndices {
     /// # Panics
     /// Panics if the window exceeds `N`.
     pub fn block(&self, j: usize, start: usize, len: usize) -> &[u32] {
-        &self.per_attr[j][start..start + len]
+        &self.order[j][start..start + len]
+    }
+
+    /// The rank window `[start, end)` of attribute `j` covering exactly the
+    /// objects with `lo <= value <= hi`, found by binary search over the
+    /// sorted order (`col` must be the column the index was built from).
+    ///
+    /// # Panics
+    /// Panics if `col` has the wrong length.
+    pub fn value_window(&self, j: usize, col: &[f64], lo: f64, hi: f64) -> (usize, usize) {
+        assert_eq!(col.len(), self.n, "column/index length mismatch");
+        let order = &self.order[j];
+        let start = order.partition_point(|&id| col[id as usize] < lo);
+        let end = order.partition_point(|&id| col[id as usize] <= hi);
+        (start, end)
+    }
+
+    /// Intersects per-attribute value windows `|value − center| <= radius`
+    /// over the listed attributes into `mask` (cleared first): the shared
+    /// block-selection kernel of the RIS neighbourhood counter and the KDE
+    /// box prefilter. `cols[k]` must be the column attribute `k` of this
+    /// index was built from.
+    ///
+    /// The first window fills the mask from its sorted block (`O(window)`);
+    /// every further window is a rank-probe refinement (`O(popcount)`).
+    ///
+    /// # Panics
+    /// Panics if `cols` is empty or does not match the index.
+    pub fn fill_box_mask(&self, mask: &mut SliceMask, cols: &[&[f64]], center: usize, radius: f64) {
+        assert!(!cols.is_empty(), "box mask needs at least one attribute");
+        assert_eq!(cols.len(), self.d(), "one column per indexed attribute");
+        mask.clear();
+        for (j, col) in cols.iter().enumerate() {
+            let c = col[center];
+            let (lo, hi) = self.value_window(j, col, c - radius, c + radius);
+            if j == 0 {
+                mask.fill_from_ids(&self.order[j][lo..hi]);
+            } else {
+                mask.retain_rank_window(&self.rank[j], lo as u32, hi as u32);
+            }
+        }
     }
 }
 
@@ -59,15 +149,28 @@ mod tests {
 
     #[test]
     fn sorted_order_per_attribute() {
-        let data = Dataset::from_columns(vec![
-            vec![3.0, 1.0, 2.0],
-            vec![0.5, 0.7, 0.1],
-        ]);
+        let data = Dataset::from_columns(vec![vec![3.0, 1.0, 2.0], vec![0.5, 0.7, 0.1]]);
         let idx = data.sorted_indices();
         assert_eq!(idx.n(), 3);
         assert_eq!(idx.d(), 2);
         assert_eq!(idx.attr(0), &[1, 2, 0]);
         assert_eq!(idx.attr(1), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn rank_is_inverse_of_order() {
+        let data = Dataset::from_columns(vec![
+            vec![0.9, 0.1, 0.5, 0.3, 0.7],
+            vec![5.0, 4.0, 3.0, 2.0, 1.0],
+        ]);
+        let idx = data.rank_index();
+        for j in 0..idx.d() {
+            for (pos, &id) in idx.order(j).iter().enumerate() {
+                assert_eq!(idx.rank(j)[id as usize] as usize, pos);
+            }
+        }
+        // Explicit spot check: attribute 1 is reversed.
+        assert_eq!(idx.rank(1), &[4, 3, 2, 1, 0]);
     }
 
     #[test]
@@ -95,5 +198,40 @@ mod tests {
         let idx = data.sorted_indices();
         assert_eq!(idx.attr(0)[0], 3);
         assert_eq!(idx.attr(0).len(), 4);
+    }
+
+    #[test]
+    fn value_window_selects_inclusive_range() {
+        let col = vec![0.9, 0.1, 0.5, 0.3, 0.7];
+        let data = Dataset::from_columns(vec![col.clone()]);
+        let idx = data.rank_index();
+        let (lo, hi) = idx.value_window(0, &col, 0.3, 0.7);
+        let ids: Vec<u32> = idx.order(0)[lo..hi].to_vec();
+        assert_eq!(ids, vec![3, 2, 4]); // values 0.3, 0.5, 0.7
+                                        // Empty window.
+        let (lo, hi) = idx.value_window(0, &col, 0.91, 0.95);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn box_mask_matches_brute_force() {
+        let cols = vec![
+            vec![0.1, 0.4, 0.45, 0.8, 0.5, 0.2],
+            vec![0.3, 0.35, 0.9, 0.4, 0.38, 0.31],
+        ];
+        let data = Dataset::from_columns(cols.clone());
+        let idx = data.rank_index();
+        let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut mask = SliceMask::new(data.n());
+        for center in 0..data.n() {
+            idx.fill_box_mask(&mut mask, &col_refs, center, 0.1);
+            let expected: Vec<u32> = (0..data.n() as u32)
+                .filter(|&j| {
+                    cols.iter()
+                        .all(|c| (c[j as usize] - c[center]).abs() <= 0.1)
+                })
+                .collect();
+            assert_eq!(mask.iter().collect::<Vec<_>>(), expected, "center {center}");
+        }
     }
 }

@@ -1,7 +1,10 @@
 //! # hics-data — dataset substrate for the HiCS reproduction
 //!
 //! * [`dataset`] — column-major numeric datasets with normalisation.
-//! * [`index`] — per-attribute sorted indices for adaptive subspace slices.
+//! * [`index`] — per-attribute rank indices (argsort + inverse) for adaptive
+//!   subspace slices and value-window queries.
+//! * [`bitset`] — `u64`-word slice masks: the selection substrate of the
+//!   rank-centric slice engine.
 //! * [`csv`] — minimal CSV I/O with optional label columns.
 //! * [`arff`] — reader for the Weka ARFF format the original HiCS
 //!   repeatability datasets ship in.
@@ -14,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod arff;
+pub mod bitset;
 pub mod csv;
 pub mod dataset;
 pub mod index;
@@ -22,7 +26,8 @@ pub mod rng_util;
 pub mod synth;
 pub mod toy;
 
+pub use bitset::SliceMask;
 pub use dataset::Dataset;
-pub use index::SortedIndices;
+pub use index::{RankIndex, SortedIndices};
 pub use realworld::{RealWorldSpec, UciProxy};
 pub use synth::{LabeledDataset, SyntheticConfig};

@@ -189,7 +189,10 @@ impl UciProxy {
     /// # Panics
     /// Panics if `scale` is outside `(0, 1]`.
     pub fn generate_scaled(&self, seed: u64, scale: f64) -> LabeledDataset {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0,1], got {scale}"
+        );
         let spec = self.spec();
         let n = ((spec.n as f64 * scale) as usize).max(60);
         let outliers = ((spec.outliers as f64 * scale) as usize).clamp(1, n / 2);
@@ -198,12 +201,7 @@ impl UciProxy {
 }
 
 /// Core proxy generator shared by all eight benchmarks.
-fn generate_proxy(
-    spec: &RealWorldSpec,
-    n: usize,
-    n_outliers: usize,
-    seed: u64,
-) -> LabeledDataset {
+fn generate_proxy(spec: &RealWorldSpec, n: usize, n_outliers: usize, seed: u64) -> LabeledDataset {
     let mut rng = StdRng::seed_from_u64(seed ^ fxhash(spec.name));
     let d = spec.d;
     let correlated = d - spec.noise_dims;
@@ -217,7 +215,12 @@ fn generate_proxy(
         blocks.push((attr..attr + bd).collect());
         attr += bd;
         let k = rng.gen_range(2..=4);
-        centers_per_block.push(well_separated_centers(bd, k, 8.0 * spec.cluster_sd, &mut rng));
+        centers_per_block.push(well_separated_centers(
+            bd,
+            k,
+            8.0 * spec.cluster_sd,
+            &mut rng,
+        ));
     }
 
     // Inlier population.
@@ -256,7 +259,9 @@ fn generate_proxy(
         }
     }
 
-    let names = (0..d).map(|j| format!("{}_{j}", spec.name.replace(' ', "_"))).collect();
+    let names = (0..d)
+        .map(|j| format!("{}_{j}", spec.name.replace(' ', "_")))
+        .collect();
     LabeledDataset {
         dataset: Dataset::from_columns_named(cols, names),
         labels,

@@ -49,8 +49,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sample: Vec<f64> = (0..20_000).map(|_| gauss(&mut rng)).collect();
         let mean = sample.iter().sum::<f64>() / sample.len() as f64;
-        let var = sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / sample.len() as f64;
+        let var = sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / sample.len() as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
@@ -58,7 +57,9 @@ mod tests {
     #[test]
     fn gauss_with_shift_and_scale() {
         let mut rng = StdRng::seed_from_u64(2);
-        let sample: Vec<f64> = (0..20_000).map(|_| gauss_with(&mut rng, 5.0, 2.0)).collect();
+        let sample: Vec<f64> = (0..20_000)
+            .map(|_| gauss_with(&mut rng, 5.0, 2.0))
+            .collect();
         let mean = sample.iter().sum::<f64>() / sample.len() as f64;
         assert!((mean - 5.0).abs() < 0.1);
     }

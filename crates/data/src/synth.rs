@@ -187,11 +187,7 @@ impl SyntheticConfig {
     /// Rejection-samples a block position whose every coordinate lies within
     /// ±1.5 sd of some cluster centre (1-d invisible) but whose distance to
     /// every centre exceeds `outlier_separation · sd · √d` (block outlier).
-    fn sample_nontrivial_outlier(
-        &self,
-        centers: &[Vec<f64>],
-        rng: &mut StdRng,
-    ) -> Vec<f64> {
+    fn sample_nontrivial_outlier(&self, centers: &[Vec<f64>], rng: &mut StdRng) -> Vec<f64> {
         let bd = centers[0].len();
         let min_dist = self.outlier_separation * self.cluster_sd * (bd as f64).sqrt();
         let mut best: Option<(f64, Vec<f64>)> = None;
@@ -396,10 +392,8 @@ mod tests {
                     .sum::<f64>()
                     .sqrt()
             };
-            let inliers: Vec<usize> =
-                (0..500).filter(|&i| !g.labels[i]).collect();
-            let outliers: Vec<usize> =
-                (0..500).filter(|&i| g.labels[i]).collect();
+            let inliers: Vec<usize> = (0..500).filter(|&i| !g.labels[i]).collect();
+            let outliers: Vec<usize> = (0..500).filter(|&i| g.labels[i]).collect();
             for &o in &outliers {
                 let d_out = inliers
                     .iter()

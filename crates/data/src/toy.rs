@@ -48,10 +48,7 @@ pub fn fig2_dataset_a(n: usize, seed: u64) -> ToyDataset {
     s1.push(bimodal(&mut rng).1);
     s2.push(0.02);
     ToyDataset {
-        dataset: Dataset::from_columns_named(
-            vec![s1, s2],
-            vec!["s1".into(), "s2".into()],
-        ),
+        dataset: Dataset::from_columns_named(vec![s1, s2], vec!["s1".into(), "s2".into()]),
         outliers: vec![n - 1],
     }
 }
@@ -84,10 +81,7 @@ pub fn fig2_dataset_b(n: usize, seed: u64) -> ToyDataset {
     s1.push(0.3);
     s2.push(0.75);
     ToyDataset {
-        dataset: Dataset::from_columns_named(
-            vec![s1, s2],
-            vec!["s1".into(), "s2".into()],
-        ),
+        dataset: Dataset::from_columns_named(vec![s1, s2], vec!["s1".into(), "s2".into()]),
         outliers: vec![n - 2, n - 1],
     }
 }
@@ -110,15 +104,12 @@ pub fn xor3d(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cols: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
     for _ in 0..n {
-        let c = corners[rng.gen_range(0..4)];
+        let c = corners[rng.gen_range(0..4usize)];
         for (j, col) in cols.iter_mut().enumerate() {
             col.push(gauss_with(&mut rng, c[j], 0.05).clamp(0.0, 1.0));
         }
     }
-    Dataset::from_columns_named(
-        cols,
-        vec!["s1".into(), "s2".into(), "s3".into()],
-    )
+    Dataset::from_columns_named(cols, vec!["s1".into(), "s2".into(), "s3".into()])
 }
 
 #[cfg(test)]
@@ -157,10 +148,7 @@ mod tests {
         for j in 0..2 {
             let v = t.dataset.value(o2, j);
             let col = t.dataset.col(j);
-            let near = col
-                .iter()
-                .filter(|&&x| (x - v).abs() < 0.05)
-                .count();
+            let near = col.iter().filter(|&&x| (x - v).abs() < 0.05).count();
             // Plenty of mass near each coordinate in 1-d.
             assert!(near > 100, "o2 coordinate {j} is marginally atypical");
         }

@@ -138,7 +138,7 @@ mod tests {
     fn top_n_overlap_partial() {
         let a = [5.0, 4.0, 3.0, 2.0, 1.0]; // top-2: {0, 1}
         let b = [5.0, 1.0, 4.0, 2.0, 3.0]; // top-2: {0, 2}
-        // |{0}| / |{0,1,2}| = 1/3.
+                                           // |{0}| / |{0,1,2}| = 1/3.
         assert!((top_n_overlap(&a, &b, 2) - 1.0 / 3.0).abs() < 1e-12);
     }
 

@@ -16,7 +16,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed seconds since start.
@@ -119,7 +121,11 @@ pub struct SeriesTable {
 impl SeriesTable {
     /// Creates a series table with the x-axis label and one name per series.
     pub fn new<S: Into<String>>(x_label: S, series_names: Vec<String>) -> Self {
-        Self { x_label: x_label.into(), series_names, rows: Vec::new() }
+        Self {
+            x_label: x_label.into(),
+            series_names,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends the y values of every series at `x` (`None` = missing, the

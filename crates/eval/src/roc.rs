@@ -32,8 +32,14 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
     let n_pos = labels.iter().filter(|&&l| l).count();
     let n_neg = labels.len() - n_pos;
-    assert!(n_pos > 0, "AUC undefined without positive (outlier) examples");
-    assert!(n_neg > 0, "AUC undefined without negative (inlier) examples");
+    assert!(
+        n_pos > 0,
+        "AUC undefined without positive (outlier) examples"
+    );
+    assert!(
+        n_neg > 0,
+        "AUC undefined without negative (inlier) examples"
+    );
     let ranks = midranks(scores);
     let rank_sum_pos: f64 = ranks
         .iter()
@@ -57,7 +63,11 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
     assert!(n_pos > 0 && n_neg > 0, "ROC undefined with a single class");
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-    let mut curve = vec![RocPoint { fpr: 0.0, tpr: 0.0, threshold: f64::INFINITY }];
+    let mut curve = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0;
     while i < order.len() {

@@ -29,7 +29,10 @@ pub enum Aggregation {
 /// Panics if `per_subspace` is empty or the inner vectors have unequal
 /// lengths.
 pub fn aggregate_scores(per_subspace: &[Vec<f64>], how: Aggregation) -> Vec<f64> {
-    assert!(!per_subspace.is_empty(), "need at least one subspace score vector");
+    assert!(
+        !per_subspace.is_empty(),
+        "need at least one subspace score vector"
+    );
     let n = per_subspace[0].len();
     assert!(
         per_subspace.iter().all(|s| s.len() == n),
@@ -48,7 +51,11 @@ pub fn aggregate_scores(per_subspace: &[Vec<f64>], how: Aggregation) -> Vec<f64>
             .copied()
             .filter(|s| s.is_finite())
             .fold(f64::NEG_INFINITY, f64::max);
-        let clamp = if finite_max.is_finite() { finite_max } else { 0.0 };
+        let clamp = if finite_max.is_finite() {
+            finite_max
+        } else {
+            0.0
+        };
         for (o, &s) in out.iter_mut().zip(scores) {
             let s = if s.is_finite() { s } else { clamp };
             match how {

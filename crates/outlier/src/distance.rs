@@ -20,7 +20,10 @@ impl<'a> SubspaceView<'a> {
     /// # Panics
     /// Panics if `dims` is empty or contains an out-of-range index.
     pub fn new(data: &'a Dataset, dims: &[usize]) -> Self {
-        assert!(!dims.is_empty(), "subspace view needs at least one attribute");
+        assert!(
+            !dims.is_empty(),
+            "subspace view needs at least one attribute"
+        );
         let cols: Vec<&[f64]> = dims.iter().map(|&j| data.col(j)).collect();
         Self { n: data.n(), cols }
     }

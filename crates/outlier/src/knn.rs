@@ -53,8 +53,7 @@ fn knn_query(view: &SubspaceView<'_>, i: usize, k: usize) -> Neighborhood {
     dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
     let k_sq = dists[k - 1].0;
     // Gather the full tied neighbourhood (everything with d² <= k-dist²).
-    let mut members: Vec<(f64, u32)> =
-        dists.iter().copied().filter(|&(d, _)| d <= k_sq).collect();
+    let mut members: Vec<(f64, u32)> = dists.iter().copied().filter(|&(d, _)| d <= k_sq).collect();
     members.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     Neighborhood {
         neighbors: members.iter().map(|&(_, j)| j).collect(),

@@ -41,7 +41,11 @@ impl KnnScorer {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "kNN score requires k >= 1");
-        Self { k, kind: KnnScoreKind::Mean, max_threads: 16 }
+        Self {
+            k,
+            kind: KnnScoreKind::Mean,
+            max_threads: crate::parallel::available_threads(),
+        }
     }
 
     /// Switches to the k-th-distance statistic.
@@ -57,9 +61,7 @@ impl KnnScorer {
         hoods
             .iter()
             .map(|h| match self.kind {
-                KnnScoreKind::Mean => {
-                    h.distances.iter().sum::<f64>() / h.distances.len() as f64
-                }
+                KnnScoreKind::Mean => h.distances.iter().sum::<f64>() / h.distances.len() as f64,
                 KnnScoreKind::Kth => h.k_distance,
             })
             .collect()

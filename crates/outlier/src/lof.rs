@@ -29,7 +29,10 @@ pub struct LofParams {
 
 impl Default for LofParams {
     fn default() -> Self {
-        Self { k: 10, max_threads: 16 }
+        Self {
+            k: 10,
+            max_threads: crate::parallel::available_threads(),
+        }
     }
 }
 
@@ -51,7 +54,10 @@ impl Lof {
 
     /// Convenience constructor with only `k` (`MinPts`).
     pub fn with_k(k: usize) -> Self {
-        Self::new(LofParams { k, ..LofParams::default() })
+        Self::new(LofParams {
+            k,
+            ..LofParams::default()
+        })
     }
 
     /// Neighbourhood size.
@@ -213,14 +219,25 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let g = SyntheticConfig::new(300, 4).with_seed(9).generate();
-        let a = Lof::new(LofParams { k: 8, max_threads: 1 }).scores(&g.dataset, &[0, 1]);
-        let b = Lof::new(LofParams { k: 8, max_threads: 8 }).scores(&g.dataset, &[0, 1]);
+        let a = Lof::new(LofParams {
+            k: 8,
+            max_threads: 1,
+        })
+        .scores(&g.dataset, &[0, 1]);
+        let b = Lof::new(LofParams {
+            k: 8,
+            max_threads: 8,
+        })
+        .scores(&g.dataset, &[0, 1]);
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic]
     fn rejects_zero_k() {
-        Lof::new(LofParams { k: 0, max_threads: 1 });
+        Lof::new(LofParams {
+            k: 0,
+            max_threads: 1,
+        });
     }
 }

@@ -14,10 +14,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = max_threads
-        .min(available_threads())
-        .min(n.max(1))
-        .max(1);
+    let threads = max_threads.min(available_threads()).min(n.max(1)).max(1);
     if threads == 1 || n < 2 {
         return (0..n).map(f).collect();
     }
@@ -45,13 +42,11 @@ where
     out
 }
 
-/// Number of hardware threads available, capped at 16 (diminishing returns
-/// for the memory-bound distance kernels).
+/// Number of hardware threads available.
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(16)
 }
 
 #[cfg(test)]

@@ -97,7 +97,9 @@ mod tests {
 
     #[test]
     fn parallel_subspace_scoring_is_deterministic() {
-        let g = hics_data::SyntheticConfig::new(200, 8).with_seed(2).generate();
+        let g = hics_data::SyntheticConfig::new(200, 8)
+            .with_seed(2)
+            .generate();
         let subspaces: Vec<Vec<usize>> =
             vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![0, 7]];
         let lof = Lof::with_k(5);

@@ -263,7 +263,11 @@ mod tests {
     #[test]
     fn normal_pdf_integrates_via_symmetry() {
         let n = Normal::new(2.0, 3.0);
-        assert_close(n.pdf(2.0), 1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt()), 1e-14);
+        assert_close(
+            n.pdf(2.0),
+            1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt()),
+            1e-14,
+        );
         assert_close(n.pdf(2.0 + 1.5), n.pdf(2.0 - 1.5), 1e-14);
     }
 

@@ -26,6 +26,21 @@ impl Ecdf {
         Self { sorted }
     }
 
+    /// Builds the ECDF from an already-sorted sample without re-sorting
+    /// (hot-path constructor: the contrast estimator derives the sorted
+    /// marginal from the rank index's argsort permutation).
+    ///
+    /// # Panics
+    /// Panics if the sample is empty; debug-asserts sortedness.
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        assert!(!sorted.is_empty(), "ECDF requires a non-empty sample");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted requires ascending input"
+        );
+        Self { sorted }
+    }
+
     /// Sample size.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -58,7 +73,10 @@ impl Ecdf {
     /// # Panics
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile requires 0<=p<=1, got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires 0<=p<=1, got {p}"
+        );
         if p <= 0.0 {
             return self.sorted[0];
         }

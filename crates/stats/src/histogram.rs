@@ -54,14 +54,18 @@ impl GridHistogram {
                 let bin = if width <= 0.0 {
                     0
                 } else {
-                    (((c[i] - lo) / width * bins as f64) as i64).clamp(0, bins as i64 - 1)
-                        as u64
+                    (((c[i] - lo) / width * bins as f64) as i64).clamp(0, bins as i64 - 1) as u64
                 };
                 key = (key << bits_per_dim) | bin;
             }
             *counts.entry(key).or_insert(0) += 1;
         }
-        Self { counts, total: n as u64, bins, dims }
+        Self {
+            counts,
+            total: n as u64,
+            bins,
+            dims,
+        }
     }
 
     /// Number of non-empty cells.

@@ -8,6 +8,8 @@
 //! * [`ecdf`] — empirical CDFs and the exact two-sample KS supremum.
 //! * [`rank`] — argsort, midranks, tie groups.
 //! * [`two_sample`] — Welch's t-test, two-sample KS test, Mann–Whitney U.
+//! * [`masked`] — rank-aware masked-subsample tests (sort-free, alloc-free
+//!   KS / Mann–Whitney / moments against a precomputed marginal order).
 //! * [`correlation`] — Pearson, Spearman, Kendall baselines.
 //! * [`histogram`] — sparse grid histograms + Shannon entropy (for Enclus).
 //!
@@ -20,6 +22,7 @@ pub mod correlation;
 pub mod dist;
 pub mod ecdf;
 pub mod histogram;
+pub mod masked;
 pub mod moments;
 pub mod rank;
 pub mod special;
@@ -27,8 +30,11 @@ pub mod two_sample;
 
 pub use dist::{ChiSquared, Kolmogorov, Normal, StudentsT};
 pub use ecdf::Ecdf;
-pub use moments::Moments;
+pub use masked::{
+    masked_ks_distance, masked_ks_test, masked_mann_whitney, masked_mean_variance, masked_moments,
+};
+pub use moments::{MeanVariance, Moments, SampleMoments};
 pub use two_sample::{
-    ks_test, ks_test_from_ecdfs, mann_whitney_u, welch_t_test,
-    welch_t_test_from_moments, KsResult, MannWhitneyResult, WelchResult,
+    ks_test, ks_test_from_ecdfs, mann_whitney_u, welch_t_test, welch_t_test_from_moments, KsResult,
+    MannWhitneyResult, WelchResult,
 };

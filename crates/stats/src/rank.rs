@@ -43,9 +43,7 @@ pub fn midranks(values: &[f64]) -> Vec<f64> {
     while i < order.len() {
         let mut j = i;
         // Find the extent of the tie group [i, j].
-        while j + 1 < order.len()
-            && values[order[j + 1] as usize] == values[order[i] as usize]
-        {
+        while j + 1 < order.len() && values[order[j + 1] as usize] == values[order[i] as usize] {
             j += 1;
         }
         // Average of ranks i+1 ..= j+1.
@@ -66,9 +64,7 @@ pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len()
-            && values[order[j + 1] as usize] == values[order[i] as usize]
-        {
+        while j + 1 < order.len() && values[order[j + 1] as usize] == values[order[i] as usize] {
             j += 1;
         }
         if j > i {

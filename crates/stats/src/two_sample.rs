@@ -11,7 +11,7 @@
 
 use crate::dist::{Kolmogorov, Normal, StudentsT};
 use crate::ecdf::Ecdf;
-use crate::moments::Moments;
+use crate::moments::{Moments, SampleMoments};
 use crate::rank::{midranks, tie_group_sizes};
 
 /// Result of Welch's t-test.
@@ -43,11 +43,20 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
 
 /// Welch's t-test on precomputed moments. This is the hot-path entry used by
 /// the contrast estimator, which maintains the marginal moments once per
-/// attribute and only accumulates the conditional slice per iteration.
-pub fn welch_t_test_from_moments(a: &Moments, b: &Moments) -> WelchResult {
+/// attribute and only accumulates the conditional slice per iteration
+/// (typically as a [`crate::moments::MeanVariance`]).
+pub fn welch_t_test_from_moments<A, B>(a: &A, b: &B) -> WelchResult
+where
+    A: SampleMoments,
+    B: SampleMoments,
+{
     let (na, nb) = (a.count() as f64, b.count() as f64);
     if a.count() < 2 || b.count() < 2 {
-        return WelchResult { t: 0.0, df: 1.0, p_value: 1.0 };
+        return WelchResult {
+            t: 0.0,
+            df: 1.0,
+            p_value: 1.0,
+        };
     }
     let (va, vb) = (a.variance(), b.variance());
     let se2 = va / na + vb / nb;
@@ -55,10 +64,18 @@ pub fn welch_t_test_from_moments(a: &Moments, b: &Moments) -> WelchResult {
     if se2 <= 0.0 {
         // Both variances are exactly zero: the samples are constants.
         return if mean_diff == 0.0 {
-            WelchResult { t: 0.0, df: 1.0, p_value: 1.0 }
+            WelchResult {
+                t: 0.0,
+                df: 1.0,
+                p_value: 1.0,
+            }
         } else {
             WelchResult {
-                t: if mean_diff > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY },
+                t: if mean_diff > 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                },
                 df: 1.0,
                 p_value: 0.0,
             }
@@ -101,7 +118,10 @@ pub fn ks_test_from_ecdfs(a: &Ecdf, b: &Ecdf) -> KsResult {
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let ne = (na * nb / (na + nb)).sqrt();
     let lambda = (ne + 0.12 + 0.11 / ne) * d;
-    KsResult { statistic: d, p_value: Kolmogorov::survival(lambda) }
+    KsResult {
+        statistic: d,
+        p_value: Kolmogorov::survival(lambda),
+    }
 }
 
 /// Result of the Mann–Whitney U test.
@@ -124,7 +144,10 @@ pub struct MannWhitneyResult {
 /// # Panics
 /// Panics if either sample is empty or contains NaN.
 pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitneyResult {
-    assert!(!a.is_empty() && !b.is_empty(), "MWU requires non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "MWU requires non-empty samples"
+    );
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let mut pooled = Vec::with_capacity(a.len() + b.len());
     pooled.extend_from_slice(a);
@@ -145,14 +168,22 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitneyResult {
     let sigma2 = na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
     if sigma2 <= 0.0 {
         // All pooled values identical: no deviation whatsoever.
-        return MannWhitneyResult { u, z: 0.0, p_value: 1.0 };
+        return MannWhitneyResult {
+            u,
+            z: 0.0,
+            p_value: 1.0,
+        };
     }
     let diff = u - mu;
     // Continuity correction of 0.5 toward the mean.
     let corrected = diff - 0.5 * diff.signum();
     let z = corrected / sigma2.sqrt();
     let p = 2.0 * Normal::STANDARD.survival(z.abs());
-    MannWhitneyResult { u, z, p_value: p.min(1.0) }
+    MannWhitneyResult {
+        u,
+        z,
+        p_value: p.min(1.0),
+    }
 }
 
 #[cfg(test)]
@@ -221,10 +252,7 @@ mod tests {
         let a = [0.3, 1.7, 2.9, -0.4, 5.5, 2.2];
         let b = [1.1, 1.2, 0.8, 3.0];
         let r1 = welch_t_test(&a, &b);
-        let r2 = welch_t_test_from_moments(
-            &Moments::from_slice(&a),
-            &Moments::from_slice(&b),
-        );
+        let r2 = welch_t_test_from_moments(&Moments::from_slice(&a), &Moments::from_slice(&b));
         assert_eq!(r1, r2);
     }
 

@@ -37,8 +37,7 @@ fn main() {
     let mut battery = Vec::with_capacity(n);
     let mut signal = Vec::with_capacity(n);
     let extra_channels = 12;
-    let mut extras: Vec<Vec<f64>> =
-        (0..extra_channels).map(|_| Vec::with_capacity(n)).collect();
+    let mut extras: Vec<Vec<f64>> = (0..extra_channels).map(|_| Vec::with_capacity(n)).collect();
 
     for _ in 0..n {
         let rush_hour = rng.gen::<f64>() < 0.4;
@@ -91,23 +90,27 @@ fn main() {
     println!("high-contrast subspaces (attribute names):");
     let names = data.names();
     for s in result.subspaces.iter().take(5) {
-        let dims: Vec<&str> =
-            s.subspace.dims().map(|d| names[d].as_str()).collect();
+        let dims: Vec<&str> = s.subspace.dims().map(|d| names[d].as_str()).collect();
         println!("  contrast {:.4}  {{{}}}", s.contrast, dims.join(", "));
     }
 
     let ranking = result.ranking();
     let rank_of = |obj: usize| ranking.iter().position(|&i| i == obj).unwrap() + 1;
-    println!("\noutlier1 (pollution/noise violation):   rank {:3} of {n}", rank_of(o1));
-    println!("outlier2 (humidity/temp violation):     rank {:3} of {n}", rank_of(o2));
+    println!(
+        "\noutlier1 (pollution/noise violation):   rank {:3} of {n}",
+        rank_of(o1)
+    );
+    println!(
+        "outlier2 (humidity/temp violation):     rank {:3} of {n}",
+        rank_of(o2)
+    );
 
     // Contrast the subspace ranking with plain full-space LOF.
     let full: Vec<usize> = (0..data.d()).collect();
     let lof_scores = Lof::with_k(10).scores(&data, &full);
     let mut lof_rank: Vec<usize> = (0..n).collect();
     lof_rank.sort_by(|&a, &b| lof_scores[b].total_cmp(&lof_scores[a]));
-    let lof_rank_of =
-        |obj: usize| lof_rank.iter().position(|&i| i == obj).unwrap() + 1;
+    let lof_rank_of = |obj: usize| lof_rank.iter().position(|&i| i == obj).unwrap() + 1;
     println!("\nfor comparison, full-space LOF ranks:");
     println!("  outlier1: rank {:3} of {n}", lof_rank_of(o1));
     println!("  outlier2: rank {:3} of {n}", lof_rank_of(o2));

@@ -25,13 +25,24 @@ fn main() {
     let hics_params = HicsParams::paper_defaults().with_seed(seed);
     let methods: Vec<Box<dyn OutlierMethod>> = vec![
         Box::new(FullSpaceLof { k: 10 }),
-        Box::new(HicsMethod { params: hics_params }),
-        Box::new(EnclusMethod { params: EnclusParams::default(), lof_k: 10 }),
-        Box::new(RisMethod { params: RisParams::default(), lof_k: 10 }),
-        Box::new(RandSubMethod {
-            params: RandomSubspacesParams { num_subspaces: 100, seed },
+        Box::new(HicsMethod {
+            params: hics_params,
+        }),
+        Box::new(EnclusMethod {
+            params: EnclusParams::default(),
             lof_k: 10,
-            max_threads: 16,
+        }),
+        Box::new(RisMethod {
+            params: RisParams::default(),
+            lof_k: 10,
+        }),
+        Box::new(RandSubMethod {
+            params: RandomSubspacesParams {
+                num_subspaces: 100,
+                seed,
+            },
+            lof_k: 10,
+            max_threads: hics::outlier::parallel::available_threads(),
         }),
         Box::new(PcaLofMethod::half(10)),
         Box::new(PcaLofMethod::fixed10(10)),

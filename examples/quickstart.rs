@@ -19,7 +19,10 @@ fn main() {
         data.d(),
         generated.outlier_count()
     );
-    println!("planted subspace blocks: {:?}\n", generated.planted_subspaces);
+    println!(
+        "planted subspace blocks: {:?}\n",
+        generated.planted_subspaces
+    );
 
     // 2. Run HiCS with the paper's default parameters (M = 50, alpha = 0.1,
     //    candidate cutoff 400, Welch t-test, top 100 subspaces, LOF k = 10).

@@ -23,10 +23,15 @@ fn main() {
     let a = toy::fig2_dataset_a(n, 1);
     let b = toy::fig2_dataset_b(n, 1);
     let pair = Subspace::pair(0, 1);
-    let tests = [StatTest::WelchT, StatTest::KolmogorovSmirnov, StatTest::MannWhitney];
+    let tests = [
+        StatTest::WelchT,
+        StatTest::KolmogorovSmirnov,
+        StatTest::MannWhitney,
+    ];
 
     println!("== Figure 2: identical marginals, different joint structure ==\n");
-    let mut t = TextTable::with_header(["deviation test", "dataset A (indep.)", "dataset B (corr.)"]);
+    let mut t =
+        TextTable::with_header(["deviation test", "dataset A (indep.)", "dataset B (corr.)"]);
     for test in tests {
         t.row([
             test.name().to_string(),

@@ -44,18 +44,15 @@ pub mod prelude {
     pub use hics_baselines::{
         enclus::{Enclus, EnclusParams},
         method::{
-            EnclusMethod, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
-            RandSubMethod, RisMethod,
+            EnclusMethod, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod, RandSubMethod,
+            RisMethod,
         },
         pca::{Pca, PcaLof, PcaStrategy},
         random::{RandomSubspaces, RandomSubspacesParams},
         ris::{Ris, RisParams},
     };
     pub use hics_core::{
-        contrast::{
-            ContrastEstimator, DeviationTest, KsDeviation, MwuDeviation,
-            WelchDeviation,
-        },
+        contrast::{ContrastEstimator, DeviationTest, KsDeviation, MwuDeviation, WelchDeviation},
         pipeline::{Hics, HicsResult},
         search::{ScoredSubspace, SearchParams, SubspaceSearch},
         slice::{SliceSampler, SliceSizing},

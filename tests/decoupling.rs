@@ -60,8 +60,7 @@ fn knn_scorer_is_a_drop_in_replacement_for_lof() {
 #[test]
 fn user_defined_scorer_plugs_in() {
     let g = SyntheticConfig::new(300, 8).with_seed(202).generate();
-    let result = Hics::new(quick_params(202))
-        .run_with_scorer(&g.dataset, &CentroidDistance);
+    let result = Hics::new(quick_params(202)).run_with_scorer(&g.dataset, &CentroidDistance);
     assert_eq!(result.scores.len(), 300);
     assert!(result.scores.iter().all(|s| s.is_finite()));
 }
@@ -72,7 +71,13 @@ fn subspace_lists_are_reusable_across_scorers() {
     let subspaces = SubspaceSearch::new(quick_params(203).search).run(&g.dataset);
     let dims: Vec<Vec<usize>> = subspaces.iter().map(|s| s.subspace.to_vec()).collect();
     let lof = score_and_aggregate(&g.dataset, &dims, &Lof::with_k(10), Aggregation::Average, 8);
-    let knn = score_and_aggregate(&g.dataset, &dims, &KnnScorer::new(10), Aggregation::Average, 8);
+    let knn = score_and_aggregate(
+        &g.dataset,
+        &dims,
+        &KnnScorer::new(10),
+        Aggregation::Average,
+        8,
+    );
     assert_eq!(lof.len(), knn.len());
     assert_ne!(lof, knn, "different scorers must produce different scores");
 }

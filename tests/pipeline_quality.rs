@@ -22,7 +22,10 @@ fn hics_detects_planted_outliers_with_high_auc() {
     let g = SyntheticConfig::new(700, 10).with_seed(101).generate();
     let result = Hics::new(quick_params(101)).run(&g.dataset);
     let auc = roc_auc(&result.scores, &g.labels);
-    assert!(auc > 0.85, "HiCS AUC {auc} below expectation on planted data");
+    assert!(
+        auc > 0.85,
+        "HiCS AUC {auc} below expectation on planted data"
+    );
 }
 
 #[test]
@@ -51,9 +54,12 @@ fn hics_beats_random_subspaces() {
         &g.labels,
     );
     let rand_scores = RandSubMethod {
-        params: RandomSubspacesParams { num_subspaces: 30, seed: 103 },
+        params: RandomSubspacesParams {
+            num_subspaces: 30,
+            seed: 103,
+        },
         lof_k: 10,
-        max_threads: 16,
+        max_threads: hics::outlier::parallel::available_threads(),
     }
     .rank(&g.dataset);
     let rand_auc = roc_auc(&rand_scores, &g.labels);
@@ -90,7 +96,10 @@ fn search_recovers_majority_of_planted_blocks() {
     // it (the search sees within-block correlation).
     let mut hit = 0;
     for block in &g.planted_subspaces {
-        if found.iter().any(|s| s.subspace.dims().all(|d| block.contains(&d))) {
+        if found
+            .iter()
+            .any(|s| s.subspace.dims().all(|d| block.contains(&d)))
+        {
             hit += 1;
         }
     }
