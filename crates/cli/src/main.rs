@@ -8,6 +8,12 @@
 //! hics rank     --input data.csv [--labels] [--k 10] [--top 20] [--out scores.csv]
 //!               (`.arff` inputs are detected automatically and carry labels)
 //! hics evaluate --input data.csv --labels [--methods lof,hics,enclus,ris,randsub]
+//! hics fit      --input data.csv --out model.hics [--scorer lof|knn|knnkth]
+//!               [--normalize none|minmax|zscore] [search options]
+//! hics score    --model model.hics --input queries.csv [--labels] [--top 20]
+//!               [--out scores.csv]
+//! hics serve    --model model.hics [--addr 127.0.0.1:7878] [--max-batch 512]
+//!               [--workers 1]
 //! ```
 
 mod args;
@@ -20,9 +26,12 @@ use hics_baselines::{
 use hics_core::{Hics, HicsParams, StatTest, SubspaceSearch};
 use hics_data::arff::read_arff_file;
 use hics_data::csv::{read_csv_file, write_csv_file, CsvData};
+use hics_data::model::{HicsModel, NormKind, ScorerKind, ScorerSpec};
 use hics_data::SyntheticConfig;
 use hics_eval::report::{Stopwatch, TextTable};
 use hics_eval::roc::roc_auc;
+use hics_outlier::QueryEngine;
+use hics_serve::{ServeConfig, Server};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -45,6 +54,9 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         Some("search") => cmd_search(&args).map_err(|e| e.to_string()),
         Some("rank") => cmd_rank(&args).map_err(|e| e.to_string()),
         Some("evaluate") => cmd_evaluate(&args).map_err(|e| e.to_string()),
+        Some("fit") => cmd_fit(&args).map_err(|e| e.to_string()),
+        Some("score") => cmd_score(&args).map_err(|e| e.to_string()),
+        Some("serve") => cmd_serve(&args).map_err(|e| e.to_string()),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -62,9 +74,16 @@ fn print_usage() {
     println!("            [--cutoff 400] [--top-k 100] [--test welch|ks|mwu] [--seed 0]");
     println!("  rank      --input <file.csv> [--labels] [--k 10] [--top 20] [--out <scores.csv>]");
     println!("  evaluate  --input <file.csv> --labels [--methods lof,hics,...] [--k 10]");
+    println!("  fit       --input <file.csv> --out <model.hics> [--scorer lof|knn|knnkth]");
+    println!("            [--normalize none|minmax|zscore] [--k 10] [search options]");
+    println!("  score     --model <model.hics> --input <queries.csv> [--labels] [--top 20]");
+    println!("            [--out <scores.csv>]");
+    println!("  serve     --model <model.hics> [--addr 127.0.0.1:7878] [--max-batch 512]");
+    println!("            [--workers 1]");
     println!("  help      this message");
     println!();
-    println!("  --threads N applies to search/rank/evaluate (default: all hardware threads)");
+    println!("  --threads N applies to search/rank/evaluate/fit/score/serve");
+    println!("  (default: all hardware threads)");
 }
 
 fn load(args: &Args) -> Result<CsvData, ArgError> {
@@ -167,23 +186,186 @@ fn cmd_rank(args: &Args) -> Result<(), ArgError> {
     let watch = Stopwatch::start();
     let result = Hics::new(params).run(&data.dataset);
     println!("# ranking computed in {:.2}s", watch.seconds());
+    report_scores(&result.scores, data.labels.as_deref(), top, args.get("out"))
+}
 
+/// The shared output tail of `rank` and `score`: top-ranked table, optional
+/// AUC, optional score CSV. One implementation keeps the two commands'
+/// outputs byte-compatible (the in-sample `score` vs `rank` invariant the
+/// verify recipe checks).
+fn report_scores(
+    scores: &[f64],
+    labels: Option<&[bool]>,
+    top: usize,
+    out: Option<&str>,
+) -> Result<(), ArgError> {
+    let mut ranking: Vec<usize> = (0..scores.len()).collect();
+    ranking.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     println!("rank\tobject\tscore");
-    for (rank, &i) in result.top_outliers(top).iter().enumerate() {
-        println!("{}\t{}\t{:.6}", rank + 1, i, result.scores[i]);
+    for (rank, &i) in ranking.iter().take(top).enumerate() {
+        println!("{}\t{}\t{:.6}", rank + 1, i, scores[i]);
     }
-    if let Some(labels) = &data.labels {
-        println!("# AUC = {:.2}%", 100.0 * roc_auc(&result.scores, labels));
+    if let Some(labels) = labels {
+        println!("# AUC = {:.2}%", 100.0 * roc_auc(scores, labels));
     }
-    if let Some(out) = args.get("out") {
-        let scores = hics_data::Dataset::from_columns_named(
-            vec![result.scores.clone()],
+    if let Some(out) = out {
+        let table = hics_data::Dataset::from_columns_named(
+            vec![scores.to_vec()],
             vec!["hics_score".into()],
         );
-        write_csv_file(Path::new(out), &scores, data.labels.as_deref())
+        write_csv_file(Path::new(out), &table, labels)
             .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
         println!("# wrote per-object scores to {out}");
     }
+    Ok(())
+}
+
+fn parse_scorer(name: &str, k: u32) -> Result<ScorerSpec, ArgError> {
+    let kind = match name {
+        "lof" => ScorerKind::Lof,
+        "knn" | "knnmean" => ScorerKind::KnnMean,
+        "knnkth" => ScorerKind::KnnKth,
+        other => {
+            return Err(ArgError(format!(
+                "unknown scorer {other:?} (expected lof|knn|knnkth)"
+            )))
+        }
+    };
+    Ok(ScorerSpec { kind, k })
+}
+
+fn parse_norm(name: &str) -> Result<NormKind, ArgError> {
+    match name {
+        "none" => Ok(NormKind::None),
+        "minmax" => Ok(NormKind::MinMax),
+        "zscore" => Ok(NormKind::ZScore),
+        other => Err(ArgError(format!(
+            "unknown normalization {other:?} (expected none|minmax|zscore)"
+        ))),
+    }
+}
+
+/// `fit`: subspace search on the (optionally normalised) data, packaged
+/// into a binary model artifact for `score` / `serve`.
+fn cmd_fit(args: &Args) -> Result<(), ArgError> {
+    let data = load(args)?;
+    let out = args.require("out")?;
+    let mut params = HicsParams::paper_defaults();
+    params.search.m = args.get_or("m", 50)?;
+    params.search.alpha = args.get_or("alpha", 0.1)?;
+    params.search.candidate_cutoff = args.get_or("cutoff", 400)?;
+    params.search.top_k = args.get_or("top-k", 100)?;
+    params.search.seed = args.get_or("seed", 0)?;
+    params.search.test = parse_test(args.get("test").unwrap_or("welch"))?;
+    params.search.max_threads = threads(args)?;
+    let k: u32 = args.get_or("k", 10)?;
+    if k == 0 {
+        return Err(ArgError("--k must be at least 1".into()));
+    }
+    params.lof_k = k as usize;
+    let scorer = parse_scorer(args.get("scorer").unwrap_or("lof"), k)?;
+    let norm = parse_norm(args.get("normalize").unwrap_or("none"))?;
+
+    let watch = Stopwatch::start();
+    let model = Hics::new(params).fit_with_scorer(&data.dataset, norm, scorer);
+    model
+        .save(Path::new(out))
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!(
+        "# fitted {} x {} model: {} subspaces, {} scorer (k={}), {} normalization, {:.2}s",
+        model.n(),
+        model.d(),
+        model.subspaces().len(),
+        model.scorer().kind.name(),
+        model.scorer().k,
+        model.norm_kind().name(),
+        watch.seconds()
+    );
+    println!("# wrote model artifact to {out}");
+    Ok(())
+}
+
+/// `score`: load a model artifact and score query rows from a CSV against
+/// it — the batch half of the serving path.
+fn cmd_score(args: &Args) -> Result<(), ArgError> {
+    let model_path = args.require("model")?;
+    let model = HicsModel::load(Path::new(model_path))
+        .map_err(|e| ArgError(format!("loading {model_path}: {e}")))?;
+    let data = load(args)?;
+    if data.dataset.d() != model.d() {
+        return Err(ArgError(format!(
+            "query data has {} attributes, model expects {}",
+            data.dataset.d(),
+            model.d()
+        )));
+    }
+    let max_threads = threads(args)?;
+    let top: usize = args.get_or("top", 20)?;
+
+    let watch = Stopwatch::start();
+    let engine = QueryEngine::from_model(&model, max_threads);
+    // The engine owns its copy of the trained columns; free the model so a
+    // large training set is not resident twice for the whole run.
+    drop(model);
+    let rows: Vec<Vec<f64>> = (0..data.dataset.n()).map(|i| data.dataset.row(i)).collect();
+    let results = engine.score_batch(&rows, max_threads);
+    let mut scores = Vec::with_capacity(results.len());
+    for (i, r) in results.into_iter().enumerate() {
+        scores.push(r.map_err(|e| ArgError(format!("row {i}: {e}")))?);
+    }
+    println!(
+        "# scored {} query points in {} subspaces, {:.2}s",
+        scores.len(),
+        engine.subspace_count(),
+        watch.seconds()
+    );
+    report_scores(&scores, data.labels.as_deref(), top, args.get("out"))
+}
+
+/// `serve`: load a model artifact and answer HTTP scoring requests until
+/// killed.
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    let model_path = args.require("model")?;
+    let model = HicsModel::load(Path::new(model_path))
+        .map_err(|e| ArgError(format!("loading {model_path}: {e}")))?;
+    let max_threads = threads(args)?;
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        threads: max_threads,
+        max_batch: args.get_or("max-batch", 512)?,
+        workers: args.get_or("workers", 1)?,
+        ..ServeConfig::default()
+    };
+    if config.max_batch == 0 || config.workers == 0 {
+        return Err(ArgError(
+            "--max-batch and --workers must be at least 1".into(),
+        ));
+    }
+
+    let watch = Stopwatch::start();
+    let (n, d, subs, scorer) = (
+        model.n(),
+        model.d(),
+        model.subspaces().len(),
+        model.scorer().kind.name(),
+    );
+    let engine = QueryEngine::from_model(&model, max_threads);
+    // The engine owns its copy of the trained columns; free the model so a
+    // large training set is not resident twice for the server's lifetime.
+    drop(model);
+    println!(
+        "# loaded {n} x {d} model ({subs} subspaces, {scorer} scorer) in {:.2}s",
+        watch.seconds()
+    );
+    let server =
+        Server::bind(engine, config).map_err(|e| ArgError(format!("binding listener: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| ArgError(format!("resolving listen address: {e}")))?;
+    println!("# serving on http://{addr}  (POST /score, GET /healthz /model /stats)");
+    server
+        .run()
+        .map_err(|e| ArgError(format!("serving: {e}")))?;
     Ok(())
 }
 

@@ -257,6 +257,32 @@ impl<'a> ContrastEstimator<'a> {
     pub fn contrast_with_rng(&self, subspace: &Subspace, rng: &mut StdRng) -> f64 {
         let mut sampler =
             SliceSampler::new(self.data, &self.indices, subspace, self.alpha, self.sizing);
+        self.contrast_loop(&mut sampler, rng)
+    }
+
+    /// Creates a sampler usable with [`ContrastEstimator::contrast_with_sampler`]
+    /// — one per worker thread, reused across every subspace that worker
+    /// evaluates.
+    pub fn sampler(&self, subspace: &Subspace) -> SliceSampler<'_> {
+        SliceSampler::new(self.data, &self.indices, subspace, self.alpha, self.sizing)
+    }
+
+    /// Like [`ContrastEstimator::contrast`], but reusing a caller-held
+    /// sampler (retargeted to `subspace`) instead of allocating fresh slice
+    /// masks — bit-identical results, zero per-subspace allocation.
+    pub fn contrast_with_sampler(
+        &self,
+        sampler: &mut SliceSampler<'_>,
+        subspace: &Subspace,
+        seed: u64,
+    ) -> f64 {
+        sampler.retarget(subspace);
+        let mut rng = StdRng::seed_from_u64(seed ^ subspace_stream(subspace));
+        self.contrast_loop(sampler, &mut rng)
+    }
+
+    /// The shared `M`-iteration Monte-Carlo loop of Algorithm 1.
+    fn contrast_loop(&self, sampler: &mut SliceSampler<'_>, rng: &mut StdRng) -> f64 {
         let mut acc = 0.0;
         for _ in 0..self.m {
             let slice = sampler.draw(rng);
@@ -399,6 +425,26 @@ mod tests {
         let ci = est.contrast(&inside, 11);
         let ca = est.contrast(&across, 11);
         assert!(ci > ca, "within-block {ci} must exceed cross-block {ca}");
+    }
+
+    #[test]
+    fn reused_sampler_contrast_is_bitwise_equal() {
+        let g = hics_data::SyntheticConfig::new(300, 6)
+            .with_seed(14)
+            .generate();
+        let est = estimator(&g.dataset, &WelchDeviation);
+        let subspaces = [
+            Subspace::pair(0, 1),
+            Subspace::new([1, 2, 3]),
+            Subspace::pair(4, 5),
+            Subspace::new([0, 2, 4, 5]),
+        ];
+        let mut sampler = est.sampler(&subspaces[0]);
+        for sub in &subspaces {
+            let reused = est.contrast_with_sampler(&mut sampler, sub, 77);
+            let fresh = est.contrast(sub, 77);
+            assert_eq!(reused, fresh, "subspace {sub}");
+        }
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! aggregation (the two-step decoupled processing of Section I).
 
 use crate::search::{ScoredSubspace, SearchParams, SubspaceSearch};
+use hics_data::model::{
+    apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+    ScorerSpec,
+};
 use hics_data::Dataset;
 use hics_outlier::aggregate::{aggregate_scores, Aggregation};
 use hics_outlier::lof::Lof;
@@ -111,6 +115,51 @@ impl Hics {
         }
     }
 
+    /// Fits a servable model: normalises the data as requested, runs the
+    /// subspace search on the normalised columns, and packages the result
+    /// (columns, rank index, subspaces, scorer config) into a
+    /// [`HicsModel`] for `hics score` / `hics serve`. Uses the pipeline's
+    /// LOF scorer; see [`Hics::fit_with_scorer`] for the kNN variants.
+    pub fn fit(&self, data: &Dataset, norm: NormKind) -> HicsModel {
+        self.fit_with_scorer(
+            data,
+            norm,
+            ScorerSpec {
+                kind: ScorerKind::Lof,
+                k: u32::try_from(self.params.lof_k).expect("lof_k exceeds u32"),
+            },
+        )
+    }
+
+    /// Like [`Hics::fit`] with an explicit scorer configuration.
+    ///
+    /// The stored columns are the *normalised* ones, so a query engine built
+    /// from the model scores in-sample points bit-for-bit like
+    /// [`Hics::run`] on the normalised dataset.
+    pub fn fit_with_scorer(&self, data: &Dataset, norm: NormKind, scorer: ScorerSpec) -> HicsModel {
+        let (trained, norm_params) = apply_normalization(data, norm);
+        let subspaces = SubspaceSearch::new(self.params.search).run(&trained);
+        let model_subspaces = subspaces
+            .iter()
+            .map(|s| ModelSubspace {
+                dims: s.subspace.to_vec(),
+                contrast: s.contrast,
+            })
+            .collect();
+        let aggregation = match self.params.aggregation {
+            Aggregation::Average => AggregationKind::Average,
+            Aggregation::Max => AggregationKind::Max,
+        };
+        HicsModel::new(
+            trained,
+            norm,
+            norm_params,
+            model_subspaces,
+            scorer,
+            aggregation,
+        )
+    }
+
     /// Ranks outliers in a caller-provided list of subspaces (skipping the
     /// search step) — useful for comparing subspace selections.
     pub fn rank_in_subspaces<S: SubspaceScorer>(
@@ -213,6 +262,36 @@ mod tests {
         p.search.top_k = 5;
         let result = Hics::new(p).run(&g.dataset);
         assert_eq!(result.scores.len(), 120);
+    }
+
+    #[test]
+    fn fit_packages_the_search_result() {
+        let g = SyntheticConfig::new(200, 6).with_seed(28).generate();
+        let hics = Hics::new(quick());
+        let model = hics.fit(&g.dataset, NormKind::None);
+        // The model's subspaces are exactly the search result on this data.
+        let searched = SubspaceSearch::new(quick().search).run(&g.dataset);
+        assert_eq!(model.subspaces().len(), searched.len());
+        for (m, s) in model.subspaces().iter().zip(&searched) {
+            assert_eq!(m.dims, s.subspace.to_vec());
+            assert_eq!(m.contrast, s.contrast);
+        }
+        assert_eq!(model.scorer().kind, ScorerKind::Lof);
+        assert_eq!(model.scorer().k, 10);
+        assert_eq!(model.dataset(), &g.dataset);
+    }
+
+    #[test]
+    fn fit_normalized_stores_transformed_columns() {
+        let g = SyntheticConfig::new(150, 5).with_seed(29).generate();
+        let model = Hics::new(quick()).fit(&g.dataset, NormKind::MinMax);
+        let mut reference = g.dataset.clone();
+        reference.normalize_min_max();
+        assert_eq!(model.dataset(), &reference);
+        assert_eq!(model.norm_kind(), NormKind::MinMax);
+        // Raw rows map onto the stored columns through the model transform.
+        let t = model.transform_row(&g.dataset.row(7));
+        assert_eq!(t, reference.row(7));
     }
 
     #[test]

@@ -132,6 +132,8 @@ pub struct SliceSampler<'a> {
     indices: &'a RankIndex,
     dims: Vec<usize>,
     block_len: usize,
+    alpha: f64,
+    sizing: SliceSizing,
     /// Scratch: permutation of `dims`.
     perm: Vec<usize>,
     /// Scratch: the selection bitset, reused across draws.
@@ -177,9 +179,38 @@ impl<'a> SliceSampler<'a> {
             perm: dims.clone(),
             dims,
             block_len,
+            alpha,
+            sizing,
             mask: SliceMask::new(n),
             cond_mask: SliceMask::new(n),
         }
+    }
+
+    /// Re-points the sampler at another subspace of the **same dataset**,
+    /// keeping the mask and permutation scratch — the per-thread reuse hook
+    /// that lets one worker evaluate a whole level of the subspace search
+    /// without a single further mask allocation. Draw sequences after a
+    /// retarget are bit-identical to those of a freshly constructed sampler.
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`SliceSampler::new`].
+    pub fn retarget(&mut self, subspace: &Subspace) {
+        assert!(
+            subspace.len() >= 2,
+            "contrast needs |S| >= 2, got {subspace}"
+        );
+        self.dims.clear();
+        self.dims.extend(subspace.dims());
+        assert!(
+            self.dims.iter().all(|&j| j < self.data.d()),
+            "subspace {subspace} exceeds dataset dimensionality {}",
+            self.data.d()
+        );
+        self.perm.clear();
+        self.perm.extend_from_slice(&self.dims);
+        let n = self.data.n();
+        let alpha1 = self.sizing.alpha1(self.alpha, self.dims.len());
+        self.block_len = ((n as f64 * alpha1).ceil() as usize).clamp(1, n);
     }
 
     /// The per-condition index-block length `N · α₁`.
@@ -203,22 +234,28 @@ impl<'a> SliceSampler<'a> {
         let (&ref_attr, cond_attrs) = self.perm.split_last().expect("subspace is non-empty");
 
         self.mask.clear();
-        let mut first = true;
-        for &attr in cond_attrs {
+        // The final AND is fused with the popcount (one pass instead of
+        // two); a 2-d subspace has a single condition, whose popcount is a
+        // plain scan of the freshly filled mask.
+        let mut fused_len = None;
+        for (ci, &attr) in cond_attrs.iter().enumerate() {
             // One RNG call per condition, in permutation order — the same
             // stream the hits-counting engine consumed.
             let start = rng.gen_range(0..=n - self.block_len);
             let block = self.indices.block(attr, start, self.block_len);
-            if first {
+            if ci == 0 {
                 self.mask.fill_from_ids(block);
-                first = false;
             } else {
                 self.cond_mask.clear();
                 self.cond_mask.fill_from_ids(block);
-                self.mask.and_assign(&self.cond_mask);
+                if ci == cond_attrs.len() - 1 {
+                    fused_len = Some(self.mask.and_assign_popcount(&self.cond_mask));
+                } else {
+                    self.mask.and_assign(&self.cond_mask);
+                }
             }
         }
-        let len = self.mask.count_ones();
+        let len = fused_len.unwrap_or_else(|| self.mask.count_ones());
         SliceView {
             ref_attr,
             col: self.data.col(ref_attr),
@@ -365,6 +402,51 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(draw(9), draw(9));
+    }
+
+    #[test]
+    fn retargeted_sampler_draws_identically_to_fresh() {
+        let (data, idx) = sampler_fixture(400, 8, 12);
+        let subspaces = [
+            Subspace::pair(0, 1),
+            Subspace::new([2, 3, 4]),
+            Subspace::new([0, 5, 6, 7]),
+            Subspace::pair(6, 7),
+        ];
+        // One reused sampler retargeted across subspaces of varying size…
+        let mut reused =
+            SliceSampler::new(&data, &idx, &subspaces[0], 0.15, SliceSizing::PaperRoot);
+        for sub in &subspaces {
+            reused.retarget(sub);
+            let mut rng = StdRng::seed_from_u64(99);
+            let reused_draws: Vec<SliceSample> =
+                (0..10).map(|_| reused.draw_sample(&mut rng)).collect();
+            // …must match a sampler constructed from scratch, bit for bit.
+            let mut fresh = SliceSampler::new(&data, &idx, sub, 0.15, SliceSizing::PaperRoot);
+            let mut rng = StdRng::seed_from_u64(99);
+            for (d, r) in reused_draws
+                .iter()
+                .zip((0..10).map(|_| fresh.draw_sample(&mut rng)))
+            {
+                assert_eq!(d.ref_attr, r.ref_attr);
+                assert_eq!(d.conditional, r.conditional);
+            }
+            assert_eq!(reused.block_len(), fresh.block_len());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn retarget_rejects_one_dimensional_subspace() {
+        let (data, idx) = sampler_fixture(100, 4, 13);
+        let mut s = SliceSampler::new(
+            &data,
+            &idx,
+            &Subspace::pair(0, 1),
+            0.1,
+            SliceSizing::PaperRoot,
+        );
+        s.retarget(&Subspace::new([2]));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! End-to-end train-once/serve-many equivalence: `fit` packages the search
+//! result into a model artifact, and a query engine built from the
+//! (serialised and re-loaded) artifact reproduces the batch pipeline's
+//! aggregated outlier scores **bit-for-bit** for every in-sample point.
+
+use hics_core::{Hics, HicsParams};
+use hics_data::model::{HicsModel, NormKind, ScorerKind, ScorerSpec};
+use hics_data::SyntheticConfig;
+use hics_outlier::QueryEngine;
+
+fn quick_params() -> HicsParams {
+    let mut p = HicsParams::paper_defaults();
+    p.search.m = 20;
+    p.search.candidate_cutoff = 40;
+    p.search.top_k = 12;
+    p.lof_k = 8;
+    p
+}
+
+#[test]
+fn model_scores_in_sample_points_bitwise_like_batch() {
+    let g = SyntheticConfig::new(250, 6).with_seed(31).generate();
+    let hics = Hics::new(quick_params());
+
+    // Batch reference: search + rank in one offline run.
+    let batch = hics.run(&g.dataset);
+
+    // Serving path: fit → artifact bytes → reload → query engine.
+    let model = hics.fit(&g.dataset, NormKind::None);
+    let reloaded = HicsModel::from_bytes(&model.to_bytes()).expect("artifact roundtrip");
+    let engine = QueryEngine::from_model(&reloaded, 4);
+
+    for i in 0..g.dataset.n() {
+        let q = engine.score(&g.dataset.row(i)).expect("valid row");
+        assert!(
+            q == batch.scores[i],
+            "object {i}: served score {q} != batch score {}",
+            batch.scores[i]
+        );
+    }
+}
+
+#[test]
+fn normalized_model_matches_batch_on_normalized_data() {
+    let g = SyntheticConfig::new(200, 5).with_seed(32).generate();
+    let hics = Hics::new(quick_params());
+
+    let model = hics.fit(&g.dataset, NormKind::MinMax);
+    let engine = QueryEngine::from_model(&model, 2);
+
+    // The batch reference runs on the normalised columns the model stores.
+    let batch = hics.run(model.dataset());
+    for i in (0..g.dataset.n()).step_by(7) {
+        // Queries arrive *raw*; the engine applies the stored transform.
+        let q = engine.score(&g.dataset.row(i)).expect("valid row");
+        assert!(
+            q == batch.scores[i],
+            "object {i}: served score {q} != batch score {}",
+            batch.scores[i]
+        );
+    }
+}
+
+#[test]
+fn knn_scorer_model_also_matches_batch() {
+    let g = SyntheticConfig::new(150, 5).with_seed(33).generate();
+    let hics = Hics::new(quick_params());
+    let model = hics.fit_with_scorer(
+        &g.dataset,
+        NormKind::None,
+        ScorerSpec {
+            kind: ScorerKind::KnnMean,
+            k: 5,
+        },
+    );
+    let engine = QueryEngine::from_model(&model, 2);
+    let batch = hics.run_with_scorer(&g.dataset, &hics_outlier::KnnScorer::new(5));
+    for i in (0..g.dataset.n()).step_by(11) {
+        let q = engine.score(&g.dataset.row(i)).expect("valid row");
+        assert!(
+            q == batch.scores[i],
+            "object {i}: {q} != {}",
+            batch.scores[i]
+        );
+    }
+}

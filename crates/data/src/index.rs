@@ -65,6 +65,31 @@ impl RankIndex {
         Self { order, rank, n }
     }
 
+    /// Rebuilds the index from stored argsort permutations (the model
+    /// artifact persists only the `order` direction; the inverse ranks are
+    /// recomputed here in `O(D·N)`).
+    ///
+    /// # Panics
+    /// Panics if `order` is empty, columns have unequal lengths, or any
+    /// column is not a permutation of `0..n` (an out-of-range id panics on
+    /// the bounds check; duplicates leave some rank unset and are caught by
+    /// the debug assertion). Callers deserialising untrusted bytes must
+    /// validate first (see `hics-data`'s model loader).
+    pub fn from_order(order: Vec<Vec<u32>>) -> Self {
+        assert!(!order.is_empty(), "rank index needs at least one column");
+        let n = order[0].len();
+        assert!(
+            order.iter().all(|o| o.len() == n),
+            "all columns must have equal length"
+        );
+        let rank: Vec<Vec<u32>> = order.iter().map(|o| invert(o)).collect();
+        debug_assert!(order.iter().zip(&rank).all(|(o, r)| o
+            .iter()
+            .enumerate()
+            .all(|(p, &id)| r[id as usize] == p as u32)));
+        Self { order, rank, n }
+    }
+
     /// Number of objects indexed.
     pub fn n(&self) -> usize {
         self.n

@@ -12,6 +12,9 @@
 //! * [`toy`] — Figure 2 (motivation) and Figure 3 (counterexample) datasets.
 //! * [`realworld`] — proxy generators for the eight UCI benchmarks
 //!   (Fig. 11); see DESIGN.md §3 for the substitution rationale.
+//! * [`model`] — the trained-model artifact (versioned binary save/load of
+//!   columns, rank index, subspaces and scorer config) behind `hics fit` /
+//!   `hics score` / `hics serve`.
 //! * [`rng_util`] — Gaussian sampling and distinct-index helpers.
 
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@ pub mod bitset;
 pub mod csv;
 pub mod dataset;
 pub mod index;
+pub mod model;
 pub mod realworld;
 pub mod rng_util;
 pub mod synth;
@@ -29,5 +33,9 @@ pub mod toy;
 pub use bitset::SliceMask;
 pub use dataset::Dataset;
 pub use index::{RankIndex, SortedIndices};
+pub use model::{
+    AggregationKind, HicsModel, ModelError, ModelSubspace, NormKind, NormParam, ScorerKind,
+    ScorerSpec,
+};
 pub use realworld::{RealWorldSpec, UciProxy};
 pub use synth::{LabeledDataset, SyntheticConfig};

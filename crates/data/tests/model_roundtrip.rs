@@ -1,0 +1,219 @@
+//! Property tests for the model artifact: serialisation round-trips exactly
+//! (model → bytes → model → bytes), and corrupted or truncated artifacts
+//! are rejected with errors, never panics or silent misreads.
+
+use hics_data::model::{
+    AggregationKind, HicsModel, ModelError, ModelSubspace, NormKind, ScorerKind, ScorerSpec,
+};
+use hics_data::Dataset;
+use proptest::prelude::*;
+
+/// Builds a valid model from generated raw material. Values are quantised
+/// to a small grid so columns contain exact ties (the hardest case for the
+/// rank index) while staying finite.
+#[allow(clippy::too_many_arguments)]
+fn build_model(
+    n: usize,
+    d: usize,
+    raw: Vec<u32>,
+    sub_picks: Vec<Vec<bool>>,
+    scorer_code: u32,
+    k: u32,
+    agg_avg: bool,
+    norm_code: u32,
+) -> HicsModel {
+    let cols: Vec<Vec<f64>> = (0..d)
+        .map(|j| {
+            (0..n)
+                .map(|i| (raw[(j * n + i) % raw.len()] % 97) as f64 / 7.0 - 5.0)
+                .collect()
+        })
+        .collect();
+    let data = Dataset::from_columns(cols);
+    let norm_kind = match norm_code % 3 {
+        0 => NormKind::None,
+        1 => NormKind::MinMax,
+        _ => NormKind::ZScore,
+    };
+    let (trained, norm) = hics_data::model::apply_normalization(&data, norm_kind);
+    let mut subspaces: Vec<ModelSubspace> = sub_picks
+        .iter()
+        .enumerate()
+        .map(|(s, picks)| {
+            let mut dims: Vec<usize> = (0..d).filter(|&j| picks[j % picks.len()]).collect();
+            if dims.is_empty() {
+                dims.push(s % d);
+            }
+            ModelSubspace {
+                dims,
+                contrast: (s as f64 + 1.0) / 10.0,
+            }
+        })
+        .collect();
+    if subspaces.is_empty() {
+        subspaces.push(ModelSubspace {
+            dims: vec![0],
+            contrast: 0.5,
+        });
+    }
+    let kind = match scorer_code % 3 {
+        0 => ScorerKind::Lof,
+        1 => ScorerKind::KnnMean,
+        _ => ScorerKind::KnnKth,
+    };
+    HicsModel::new(
+        trained,
+        norm_kind,
+        norm,
+        subspaces,
+        ScorerSpec { kind, k: k.max(1) },
+        if agg_avg {
+            AggregationKind::Average
+        } else {
+            AggregationKind::Max
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// bytes → model → bytes is the identity on canonical encodings, and
+    /// model → bytes → model preserves every field.
+    #[test]
+    fn roundtrip_is_identity(
+        n in 2usize..40,
+        d in 1usize..6,
+        raw in prop::collection::vec(0u32..1000, 8..40),
+        sub_picks in prop::collection::vec(prop::collection::vec(any::<bool>(), 1..6), 1..5),
+        scorer_code in 0u32..3,
+        k in 1u32..20,
+        agg_avg in any::<bool>(),
+        norm_code in 0u32..3,
+    ) {
+        let model = build_model(n, d, raw, sub_picks, scorer_code, k, agg_avg, norm_code);
+        let bytes = model.to_bytes();
+        let decoded = HicsModel::from_bytes(&bytes);
+        prop_assert!(decoded.is_ok(), "decode failed: {}", decoded.err().unwrap());
+        let decoded = decoded.unwrap();
+        prop_assert_eq!(&model, &decoded);
+        // Canonical encoding: decoding and re-encoding reproduces the bytes.
+        prop_assert_eq!(bytes, decoded.to_bytes());
+    }
+
+    /// Every strict prefix of a valid artifact is rejected with an error
+    /// (truncation anywhere — header, sections, padding — never panics).
+    #[test]
+    fn truncation_anywhere_is_rejected(
+        n in 2usize..20,
+        d in 1usize..4,
+        raw in prop::collection::vec(0u32..1000, 8..20),
+        cut_seed in any::<u32>(),
+    ) {
+        let model = build_model(n, d, raw, vec![vec![true]], 0, 5, true, 0);
+        let bytes = model.to_bytes();
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert!(HicsModel::from_bytes(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+    }
+
+    /// Flipping any single byte anywhere in the artifact — header,
+    /// checksum field, any section, even padding — must be rejected. The
+    /// FNV-1a checksum guarantees single-byte corruption always changes
+    /// the computed hash, so decoding can never silently misread.
+    #[test]
+    fn single_byte_corruption_anywhere_is_rejected(
+        n in 2usize..20,
+        d in 1usize..4,
+        raw in prop::collection::vec(0u32..1000, 8..20),
+        pos_seed in any::<u32>(),
+        flip in 1u32..256,
+    ) {
+        let model = build_model(n, d, raw, vec![vec![true]], 1, 3, false, 1);
+        let mut bytes = model.to_bytes();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip as u8;
+        prop_assert!(
+            HicsModel::from_bytes(&bytes).is_err(),
+            "flipped byte {pos} accepted"
+        );
+    }
+}
+
+/// Targeted (non-property) corruption cases with exact error matching.
+#[test]
+fn corrupt_magic_version_and_length_have_specific_errors() {
+    let model = build_model(
+        10,
+        3,
+        (0..30).collect(),
+        vec![vec![true, false]],
+        0,
+        4,
+        true,
+        2,
+    );
+    let good = model.to_bytes();
+
+    let mut bad = good.clone();
+    bad[3] = b'X';
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::BadMagic)
+    ));
+
+    let mut bad = good.clone();
+    bad[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::UnsupportedVersion(7))
+    ));
+
+    // Header claims more payload than the file holds.
+    let mut bad = good.clone();
+    let lie = (good.len() as u64).to_le_bytes();
+    bad[56..64].copy_from_slice(&lie);
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::Truncated { .. })
+    ));
+
+    // Trailing garbage after the declared payload.
+    let mut bad = good.clone();
+    bad.extend_from_slice(&[0u8; 16]);
+    assert!(HicsModel::from_bytes(&bad).is_err());
+
+    // Scorer k of zero (structural check, caught before the checksum).
+    let mut bad = good.clone();
+    bad[44..48].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::Invalid(_))
+    ));
+
+    // A flipped payload byte is a checksum mismatch.
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x40;
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::ChecksumMismatch { .. })
+    ));
+
+    // A single-object model is structurally invalid (kNN scoring needs two
+    // reference objects), even with a freshly stamped checksum.
+    let mut bad = good;
+    bad[16..24].copy_from_slice(&1u64.to_le_bytes());
+    let restamped = {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bad[..64].iter().chain(&bad[72..]) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    };
+    bad[64..72].copy_from_slice(&restamped.to_le_bytes());
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::Invalid(_))
+    ));
+}

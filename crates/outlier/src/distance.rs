@@ -55,6 +55,25 @@ impl<'a> SubspaceView<'a> {
     pub fn dist(&self, a: usize, b: usize) -> f64 {
         self.sq_dist(a, b).sqrt()
     }
+
+    /// Squared Euclidean distance between an external query point (given by
+    /// its coordinates *in subspace order*, `point[t]` pairing with the
+    /// view's `t`-th column) and object `j`.
+    ///
+    /// The difference is computed query-minus-object, mirroring
+    /// [`SubspaceView::sq_dist`]'s query-minus-other orientation, so a query
+    /// that coincides bitwise with a stored object reproduces the in-sample
+    /// distances bit-for-bit.
+    #[inline]
+    pub fn sq_dist_to_point(&self, j: usize, point: &[f64]) -> f64 {
+        debug_assert_eq!(point.len(), self.cols.len());
+        let mut acc = 0.0;
+        for (c, &p) in self.cols.iter().zip(point) {
+            let d = p - c[j];
+            acc += d * d;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +129,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn point_distance_matches_in_sample_distance() {
+        let d = data();
+        let v = SubspaceView::new(&d, &[0, 1, 2]);
+        for a in 0..3 {
+            let row = d.row(a);
+            for b in 0..3 {
+                assert_eq!(v.sq_dist_to_point(b, &row), v.sq_dist(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn point_distance_for_external_query() {
+        let d = data();
+        let v = SubspaceView::new(&d, &[0, 1]);
+        // Query (3, 0) against object 0 = (0, 0): distance 3.
+        assert_eq!(v.sq_dist_to_point(0, &[3.0, 0.0]), 9.0);
     }
 
     #[test]

@@ -49,6 +49,51 @@ fn knn_query(view: &SubspaceView<'_>, i: usize, k: usize) -> Neighborhood {
             dists.push((view.sq_dist(i, j), j as u32));
         }
     }
+    neighborhood_from_sq_dists(dists, k)
+}
+
+/// The k-distance neighbourhood of an **external query point** among the
+/// view's objects — the serving-path counterpart of [`knn_all`].
+///
+/// `point` gives the query's coordinates in subspace order. When the query
+/// is known to coincide with stored object `exclude`, that object is left
+/// out, exactly as [`knn_all`] leaves each object out of its own
+/// neighbourhood — this is what makes in-sample query scores reproduce the
+/// batch scores bit-for-bit. `k` is clamped to the number of candidates.
+///
+/// # Panics
+/// Panics if `k == 0`, `point` has the wrong arity, or no candidate objects
+/// remain after the exclusion.
+pub fn knn_query_point(
+    view: &SubspaceView<'_>,
+    point: &[f64],
+    k: usize,
+    exclude: Option<usize>,
+) -> Neighborhood {
+    let n = view.n();
+    assert!(k >= 1, "k must be at least 1");
+    assert_eq!(
+        point.len(),
+        view.dims(),
+        "query point arity must match the subspace"
+    );
+    let mut dists: Vec<(f64, u32)> = Vec::with_capacity(n);
+    for j in 0..n {
+        if Some(j) != exclude {
+            dists.push((view.sq_dist_to_point(j, point), j as u32));
+        }
+    }
+    assert!(
+        !dists.is_empty(),
+        "query needs at least one candidate neighbour"
+    );
+    let k = k.min(dists.len());
+    neighborhood_from_sq_dists(dists, k)
+}
+
+/// Selects the k-distance neighbourhood out of candidate squared distances
+/// (the shared tail of [`knn_query`] and [`knn_query_point`]).
+fn neighborhood_from_sq_dists(mut dists: Vec<(f64, u32)>, k: usize) -> Neighborhood {
     // Partition so the k smallest squared distances are in front.
     dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
     let k_sq = dists[k - 1].0;
@@ -141,6 +186,42 @@ mod tests {
         let seq = knn_all(&v, 10, 1);
         let par = knn_all(&v, 10, 8);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn query_point_with_exclusion_matches_in_sample_neighborhood() {
+        let g = hics_data::SyntheticConfig::new(200, 5)
+            .with_seed(7)
+            .generate();
+        let v = SubspaceView::new(&g.dataset, &[0, 2, 4]);
+        let batch = knn_all(&v, 6, 1);
+        for i in (0..200).step_by(17) {
+            let row: Vec<f64> = [0, 2, 4].iter().map(|&j| g.dataset.value(i, j)).collect();
+            let q = knn_query_point(&v, &row, 6, Some(i));
+            assert_eq!(q, batch[i], "object {i}");
+        }
+    }
+
+    #[test]
+    fn query_point_without_exclusion_sees_coincident_object() {
+        let d = line_dataset();
+        let v = SubspaceView::new(&d, &[0]);
+        // A query at x = 1 with no exclusion: object 1 is at distance 0.
+        let q = knn_query_point(&v, &[1.0], 2, None);
+        assert_eq!(q.neighbors[0], 1);
+        assert_eq!(q.distances[0], 0.0);
+        // Novel query far from everything.
+        let far = knn_query_point(&v, &[100.0], 2, None);
+        assert_eq!(far.neighbors, vec![4, 3]);
+        assert_eq!(far.k_distance, 97.0);
+    }
+
+    #[test]
+    fn query_point_k_clamps_to_candidates() {
+        let d = line_dataset();
+        let v = SubspaceView::new(&d, &[0]);
+        let q = knn_query_point(&v, &[0.5], 100, Some(0));
+        assert_eq!(q.neighbors.len(), 4);
     }
 
     #[test]

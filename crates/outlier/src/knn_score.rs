@@ -8,7 +8,7 @@
 //! that extension, plus the ablation bench that compares it against LOF.
 
 use crate::distance::SubspaceView;
-use crate::knn::knn_all;
+use crate::knn::{knn_all, Neighborhood};
 use crate::scorer::SubspaceScorer;
 use hics_data::Dataset;
 
@@ -21,6 +21,18 @@ pub enum KnnScoreKind {
     /// Distance to the k-th nearest neighbour (the classic DB-outlier /
     /// ORCA pruning statistic).
     Kth,
+}
+
+impl KnnScoreKind {
+    /// The score of one (batch or query-point) neighbourhood under this
+    /// statistic.
+    #[inline]
+    pub fn score(self, h: &Neighborhood) -> f64 {
+        match self {
+            KnnScoreKind::Mean => h.distances.iter().sum::<f64>() / h.distances.len() as f64,
+            KnnScoreKind::Kth => h.k_distance,
+        }
+    }
 }
 
 /// kNN-distance outlier scorer.
@@ -58,13 +70,7 @@ impl KnnScorer {
     pub fn scores(&self, data: &Dataset, dims: &[usize]) -> Vec<f64> {
         let view = SubspaceView::new(data, dims);
         let hoods = knn_all(&view, self.k, self.max_threads);
-        hoods
-            .iter()
-            .map(|h| match self.kind {
-                KnnScoreKind::Mean => h.distances.iter().sum::<f64>() / h.distances.len() as f64,
-                KnnScoreKind::Kth => h.k_distance,
-            })
-            .collect()
+        hoods.iter().map(|h| self.kind.score(h)).collect()
     }
 }
 

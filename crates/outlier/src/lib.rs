@@ -8,6 +8,8 @@
 //! * [`aggregate`] — Definition 1 score aggregation (average / max).
 //! * [`scorer`] — the pluggable [`scorer::SubspaceScorer`] seam and parallel
 //!   multi-subspace driving.
+//! * [`query`] — query-point scoring against a trained model (the serving
+//!   path: score new points without re-running the search).
 //! * [`parallel`] — deterministic `std::thread::scope` fan-out helpers.
 
 #![warn(missing_docs)]
@@ -19,12 +21,14 @@ pub mod knn;
 pub mod knn_score;
 pub mod lof;
 pub mod parallel;
+pub mod query;
 pub mod scorer;
 
 pub use aggregate::{aggregate_scores, Aggregation};
 pub use distance::SubspaceView;
 pub use kde_score::KdeScorer;
-pub use knn::{knn_all, Neighborhood};
+pub use knn::{knn_all, knn_query_point, Neighborhood};
 pub use knn_score::{KnnScoreKind, KnnScorer};
-pub use lof::{lof_from_neighborhoods, Lof, LofParams};
+pub use lof::{lof_from_neighborhoods, lrd_from_neighborhoods, Lof, LofParams};
+pub use query::{QueryEngine, QueryError};
 pub use scorer::{score_and_aggregate, score_subspaces, SubspaceScorer};

@@ -84,37 +84,58 @@ impl SubspaceScorer for Lof {
     }
 }
 
-/// Computes LOF values given precomputed k-distance neighbourhoods.
-pub fn lof_from_neighborhoods(hoods: &[Neighborhood]) -> Vec<f64> {
-    let n = hoods.len();
-    // Local reachability density of every object.
-    let mut lrd = vec![0.0f64; n];
+/// Computes the local reachability density of every object from its
+/// k-distance neighbourhood (duplicate clusters give `lrd = ∞`).
+///
+/// Exposed separately from [`lof_from_neighborhoods`] so the trained-model
+/// query path can keep the per-object densities around and score new points
+/// against them without recomputing the batch.
+pub fn lrd_from_neighborhoods(hoods: &[Neighborhood]) -> Vec<f64> {
+    let mut lrd = vec![0.0f64; hoods.len()];
     for (i, h) in hoods.iter().enumerate() {
         let mut sum_reach = 0.0;
         for (&o, &d) in h.neighbors.iter().zip(&h.distances) {
             sum_reach += d.max(hoods[o as usize].k_distance);
         }
-        lrd[i] = if sum_reach > 0.0 {
-            h.neighbors.len() as f64 / sum_reach
-        } else {
-            f64::INFINITY
-        };
+        lrd[i] = lrd_from_reach_sum(h.neighbors.len(), sum_reach);
     }
+    lrd
+}
+
+/// `lrd = |N| / Σ reach-dist`, with the empty/degenerate convention `∞`.
+#[inline]
+pub(crate) fn lrd_from_reach_sum(neighbors: usize, sum_reach: f64) -> f64 {
+    if sum_reach > 0.0 {
+        neighbors as f64 / sum_reach
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Computes LOF values given precomputed k-distance neighbourhoods.
+pub fn lof_from_neighborhoods(hoods: &[Neighborhood]) -> Vec<f64> {
+    let lrd = lrd_from_neighborhoods(hoods);
     // LOF = mean of neighbour lrd ratios.
     hoods
         .iter()
         .enumerate()
-        .map(|(i, h)| {
-            if h.neighbors.is_empty() {
-                return 1.0;
-            }
-            let mut acc = 0.0;
-            for &o in &h.neighbors {
-                acc += lrd_ratio(lrd[o as usize], lrd[i]);
-            }
-            acc / h.neighbors.len() as f64
-        })
+        .map(|(i, h)| lof_of_query(&lrd, &h.neighbors, lrd[i]))
         .collect()
+}
+
+/// `LOF(q)` from the trained per-object densities, the query's neighbour
+/// ids, and the query's own density — shared between the batch path above
+/// and the serving-time query scorer.
+#[inline]
+pub(crate) fn lof_of_query(lrd: &[f64], neighbors: &[u32], lrd_q: f64) -> f64 {
+    if neighbors.is_empty() {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for &o in neighbors {
+        acc += lrd_ratio(lrd[o as usize], lrd_q);
+    }
+    acc / neighbors.len() as f64
 }
 
 /// `lrd_o / lrd_p` with the `∞/∞ = 1` convention.

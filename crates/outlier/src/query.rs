@@ -1,0 +1,413 @@
+//! Query-point scoring against a trained model — the serve-path half of the
+//! decoupled pipeline.
+//!
+//! The batch pipeline scores the database against itself; serving needs the
+//! inverse: project a **new** point into each of the model's high-contrast
+//! subspaces and compute its density-based outlier score against the trained
+//! columns, without re-running the subspace search. [`QueryEngine`] holds
+//! everything that is derivable once per model load (per-subspace k-distance
+//! neighbourhoods, LOF reachability densities, the non-finite clamp of each
+//! subspace) so a query costs one `O(N · |S|)` distance scan per subspace.
+//!
+//! **In-sample fidelity:** a query row that coincides bitwise with a
+//! training row is detected and scored with that object excluded from its
+//! own neighbourhood — exactly how the batch path treats it — and every
+//! floating-point accumulation mirrors the batch code expression for
+//! expression. `QueryEngine::score` on a training row therefore reproduces
+//! the batch pipeline's aggregated score *bit-for-bit* (asserted by
+//! `crates/core/tests/serve_equivalence.rs`).
+
+use crate::aggregate::Aggregation;
+use crate::distance::SubspaceView;
+use crate::knn::{knn_all, knn_query_point};
+use crate::knn_score::KnnScoreKind;
+use crate::lof::{
+    lof_from_neighborhoods, lof_of_query, lrd_from_neighborhoods, lrd_from_reach_sum,
+};
+use crate::parallel::par_map;
+use hics_data::model::{AggregationKind, HicsModel, NormParam, ScorerKind};
+use hics_data::Dataset;
+
+/// A malformed query row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The row has the wrong number of attributes.
+    DimensionMismatch {
+        /// The model's attribute count.
+        expected: usize,
+        /// The row's length.
+        got: usize,
+    },
+    /// The row contains a NaN or infinity.
+    NonFinite {
+        /// Index of the offending attribute.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "query row has {got} attributes, model expects {expected}"
+                )
+            }
+            QueryError::NonFinite { column } => {
+                write!(f, "query attribute {column} is not a finite number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Per-subspace state derived from the trained columns at engine build time.
+#[derive(Debug, Clone)]
+struct TrainedSubspace {
+    /// Attribute indices of the subspace, ascending.
+    dims: Vec<usize>,
+    /// k-distance of every training object (LOF reachability input).
+    k_distance: Vec<f64>,
+    /// Local reachability density of every training object (LOF only;
+    /// empty for the kNN scorers).
+    lrd: Vec<f64>,
+    /// Largest finite batch score of this subspace — the clamp applied to a
+    /// non-finite query score, matching [`crate::aggregate_scores`].
+    clamp: f64,
+}
+
+/// Scores query points against a trained [`HicsModel`].
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    data: Dataset,
+    norm: Vec<NormParam>,
+    kind: ScorerKind,
+    k: usize,
+    aggregation: Aggregation,
+    subspaces: Vec<TrainedSubspace>,
+}
+
+impl QueryEngine {
+    /// Builds the engine from a loaded model: computes per-subspace training
+    /// neighbourhoods (and, for LOF, reachability densities) once, using up
+    /// to `max_threads` workers.
+    pub fn from_model(model: &HicsModel, max_threads: usize) -> Self {
+        let data = model.dataset().clone();
+        let spec = model.scorer();
+        let k = spec.k as usize;
+        let kind = spec.kind;
+        let subspaces = model
+            .subspaces()
+            .iter()
+            .map(|s| {
+                let view = SubspaceView::new(&data, &s.dims);
+                let hoods = knn_all(&view, k, max_threads);
+                let (lrd, batch_scores) = match kind {
+                    ScorerKind::Lof => {
+                        let lrd = lrd_from_neighborhoods(&hoods);
+                        let scores = lof_from_neighborhoods(&hoods);
+                        (lrd, scores)
+                    }
+                    ScorerKind::KnnMean | ScorerKind::KnnKth => {
+                        let stat = knn_stat(kind);
+                        let scores = hoods.iter().map(|h| stat.score(h)).collect();
+                        (Vec::new(), scores)
+                    }
+                };
+                TrainedSubspace {
+                    dims: s.dims.clone(),
+                    k_distance: hoods.iter().map(|h| h.k_distance).collect(),
+                    lrd,
+                    clamp: finite_clamp(&batch_scores),
+                }
+            })
+            .collect();
+        Self {
+            data,
+            norm: model.norm_params().to_vec(),
+            kind,
+            k,
+            aggregation: match model.aggregation() {
+                AggregationKind::Average => Aggregation::Average,
+                AggregationKind::Max => Aggregation::Max,
+            },
+            subspaces,
+        }
+    }
+
+    /// Number of trained objects.
+    pub fn n(&self) -> usize {
+        self.data.n()
+    }
+
+    /// Number of attributes a query row must carry.
+    pub fn d(&self) -> usize {
+        self.data.d()
+    }
+
+    /// Number of subspaces every query is scored in.
+    pub fn subspace_count(&self) -> usize {
+        self.subspaces.len()
+    }
+
+    /// Scores one **raw** query row (the engine applies the model's
+    /// normalisation). Higher is more outlying.
+    pub fn score(&self, raw: &[f64]) -> Result<f64, QueryError> {
+        if raw.len() != self.d() {
+            return Err(QueryError::DimensionMismatch {
+                expected: self.d(),
+                got: raw.len(),
+            });
+        }
+        if let Some(column) = raw.iter().position(|v| !v.is_finite()) {
+            return Err(QueryError::NonFinite { column });
+        }
+        let q: Vec<f64> = raw
+            .iter()
+            .zip(&self.norm)
+            .map(|(&v, p)| p.apply(v))
+            .collect();
+        let exclude = self.find_coincident(&q);
+
+        // Aggregate with the same accumulation order as `aggregate_scores`:
+        // subspace by subspace, clamping non-finite scores per subspace.
+        let mut acc = match self.aggregation {
+            Aggregation::Average => 0.0,
+            Aggregation::Max => f64::NEG_INFINITY,
+        };
+        let mut q_sub: Vec<f64> = Vec::new();
+        for sub in &self.subspaces {
+            q_sub.clear();
+            q_sub.extend(sub.dims.iter().map(|&j| q[j]));
+            let s = self.score_in_subspace(sub, &q_sub, exclude);
+            let s = if s.is_finite() { s } else { sub.clamp };
+            match self.aggregation {
+                Aggregation::Average => acc += s,
+                Aggregation::Max => acc = acc.max(s),
+            }
+        }
+        if self.aggregation == Aggregation::Average {
+            acc /= self.subspaces.len() as f64;
+        }
+        Ok(acc)
+    }
+
+    /// Scores a batch of raw query rows in parallel.
+    pub fn score_batch(
+        &self,
+        rows: &[Vec<f64>],
+        max_threads: usize,
+    ) -> Vec<Result<f64, QueryError>> {
+        par_map(rows.len(), max_threads, |i| self.score(&rows[i]))
+    }
+
+    /// The density score of the (already normalised) query in one subspace.
+    fn score_in_subspace(
+        &self,
+        sub: &TrainedSubspace,
+        q_sub: &[f64],
+        exclude: Option<usize>,
+    ) -> f64 {
+        let view = SubspaceView::new(&self.data, &sub.dims);
+        let h = knn_query_point(&view, q_sub, self.k, exclude);
+        match self.kind {
+            ScorerKind::Lof => {
+                let mut sum_reach = 0.0;
+                for (&o, &d) in h.neighbors.iter().zip(&h.distances) {
+                    sum_reach += d.max(sub.k_distance[o as usize]);
+                }
+                let lrd_q = lrd_from_reach_sum(h.neighbors.len(), sum_reach);
+                lof_of_query(&sub.lrd, &h.neighbors, lrd_q)
+            }
+            ScorerKind::KnnMean | ScorerKind::KnnKth => knn_stat(self.kind).score(&h),
+        }
+    }
+
+    /// Finds a training object whose full (normalised) row equals the query
+    /// bitwise — the object to leave out of the query's neighbourhoods so
+    /// in-sample queries reproduce batch scores.
+    fn find_coincident(&self, q: &[f64]) -> Option<usize> {
+        let first = self.data.col(0);
+        'outer: for (i, v) in first.iter().enumerate() {
+            if *v != q[0] {
+                continue;
+            }
+            for (j, &qj) in q.iter().enumerate().skip(1) {
+                if self.data.value(i, j) != qj {
+                    continue 'outer;
+                }
+            }
+            return Some(i);
+        }
+        None
+    }
+}
+
+/// Maps the model's kNN scorer kinds onto the batch statistic.
+fn knn_stat(kind: ScorerKind) -> KnnScoreKind {
+    match kind {
+        ScorerKind::KnnMean => KnnScoreKind::Mean,
+        ScorerKind::KnnKth => KnnScoreKind::Kth,
+        ScorerKind::Lof => unreachable!("LOF does not use the kNN statistic"),
+    }
+}
+
+/// The largest finite score, or `0.0` if none is finite — the same fold as
+/// [`crate::aggregate_scores`]'s per-subspace clamp.
+fn finite_clamp(scores: &[f64]) -> f64 {
+    let finite_max = scores
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if finite_max.is_finite() {
+        finite_max
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate_scores;
+    use crate::lof::Lof;
+    use crate::scorer::score_subspaces;
+    use hics_data::model::{apply_normalization, ModelSubspace, NormKind, ScorerSpec};
+    use hics_data::SyntheticConfig;
+
+    fn model_with(
+        kind: ScorerKind,
+        norm_kind: NormKind,
+        aggregation: AggregationKind,
+    ) -> (HicsModel, hics_data::LabeledDataset) {
+        let g = SyntheticConfig::new(150, 6).with_seed(11).generate();
+        let (data, norm) = apply_normalization(&g.dataset, norm_kind);
+        let model = HicsModel::new(
+            data,
+            norm_kind,
+            norm,
+            vec![
+                ModelSubspace {
+                    dims: vec![0, 1],
+                    contrast: 0.9,
+                },
+                ModelSubspace {
+                    dims: vec![2, 3, 4],
+                    contrast: 0.7,
+                },
+                ModelSubspace {
+                    dims: vec![1, 5],
+                    contrast: 0.5,
+                },
+            ],
+            ScorerSpec { kind, k: 8 },
+            aggregation,
+        );
+        (model, g)
+    }
+
+    /// In-sample queries must reproduce the batch pipeline bit-for-bit, for
+    /// every scorer kind and aggregation.
+    #[test]
+    fn in_sample_queries_match_batch_scores_bitwise() {
+        for (kind, agg) in [
+            (ScorerKind::Lof, AggregationKind::Average),
+            (ScorerKind::Lof, AggregationKind::Max),
+            (ScorerKind::KnnMean, AggregationKind::Average),
+            (ScorerKind::KnnKth, AggregationKind::Average),
+        ] {
+            let (model, g) = model_with(kind, NormKind::MinMax, agg);
+            let engine = QueryEngine::from_model(&model, 4);
+            // Reference: the batch path on the trained (normalised) columns.
+            let dims: Vec<Vec<usize>> = model.subspaces().iter().map(|s| s.dims.clone()).collect();
+            let per = match kind {
+                ScorerKind::Lof => score_subspaces(model.dataset(), &dims, &Lof::with_k(8), 2),
+                ScorerKind::KnnMean => {
+                    score_subspaces(model.dataset(), &dims, &crate::KnnScorer::new(8), 2)
+                }
+                ScorerKind::KnnKth => score_subspaces(
+                    model.dataset(),
+                    &dims,
+                    &crate::KnnScorer::new(8).kth_distance(),
+                    2,
+                ),
+            };
+            let how = match agg {
+                AggregationKind::Average => Aggregation::Average,
+                AggregationKind::Max => Aggregation::Max,
+            };
+            let batch = aggregate_scores(&per, how);
+            for (i, want) in batch.iter().enumerate() {
+                let raw = g.dataset.row(i);
+                let got = engine.score(&raw).expect("valid row");
+                assert!(
+                    got == *want,
+                    "{kind:?}/{agg:?} object {i}: query {got} != batch {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn novel_outlier_scores_higher_than_inliers() {
+        let (model, g) = model_with(ScorerKind::Lof, NormKind::None, AggregationKind::Average);
+        let engine = QueryEngine::from_model(&model, 2);
+        // A point far outside every cluster.
+        let far = vec![50.0; g.dataset.d()];
+        let far_score = engine.score(&far).unwrap();
+        let median_in_sample = {
+            let mut s: Vec<f64> = (0..g.dataset.n())
+                .map(|i| engine.score(&g.dataset.row(i)).unwrap())
+                .collect();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        assert!(
+            far_score > 2.0 * median_in_sample,
+            "far query {far_score} vs median {median_in_sample}"
+        );
+    }
+
+    #[test]
+    fn batch_scoring_matches_single_scoring() {
+        let (model, g) = model_with(
+            ScorerKind::KnnMean,
+            NormKind::ZScore,
+            AggregationKind::Average,
+        );
+        let engine = QueryEngine::from_model(&model, 2);
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| g.dataset.row(i)).collect();
+        let batch = engine.score_batch(&rows, 4);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batch[i], engine.score(row));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let (model, _) = model_with(ScorerKind::Lof, NormKind::None, AggregationKind::Average);
+        let engine = QueryEngine::from_model(&model, 1);
+        assert_eq!(
+            engine.score(&[1.0]),
+            Err(QueryError::DimensionMismatch {
+                expected: 6,
+                got: 1
+            })
+        );
+        let mut bad = vec![0.0; 6];
+        bad[3] = f64::NAN;
+        assert_eq!(engine.score(&bad), Err(QueryError::NonFinite { column: 3 }));
+    }
+
+    #[test]
+    fn engine_reports_model_shape() {
+        let (model, _) = model_with(ScorerKind::Lof, NormKind::None, AggregationKind::Average);
+        let engine = QueryEngine::from_model(&model, 1);
+        assert_eq!(engine.n(), 150);
+        assert_eq!(engine.d(), 6);
+        assert_eq!(engine.subspace_count(), 3);
+    }
+}

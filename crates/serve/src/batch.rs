@@ -1,0 +1,282 @@
+//! Cross-connection request batching.
+//!
+//! Connection handler threads do not score; they enqueue their rows on a
+//! shared [`Batcher`] and block on a reply channel. A small pool of batch
+//! workers drains the queue: whatever jobs have accumulated while the
+//! previous batch was scoring are coalesced — up to `max_batch` rows — and
+//! scored in one [`QueryEngine::score_batch`] call, which fans the rows out
+//! over the engine's worker threads. Under load this amortises thread
+//! fan-out and keeps all cores on one contiguous batch instead of
+//! interleaving many tiny requests; when idle, a lone request is scored
+//! immediately (workers sleep on a condvar, no polling).
+
+use hics_outlier::{QueryEngine, QueryError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One enqueued scoring job: the rows of a single HTTP request.
+struct Job {
+    rows: Vec<Vec<f64>>,
+    reply: mpsc::Sender<Vec<Result<f64, QueryError>>>,
+}
+
+/// Counters exposed on the stats endpoint.
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    /// Scoring requests accepted.
+    pub requests: AtomicU64,
+    /// Query rows scored.
+    pub rows: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Batches that coalesced more than one request.
+    pub coalesced_batches: AtomicU64,
+}
+
+struct Shared {
+    queue: Mutex<(VecDeque<Job>, bool)>, // (jobs, shutdown)
+    ready: Condvar,
+}
+
+/// The shared scoring queue plus its worker pool.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    stats: Arc<BatchStats>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts `workers` batch workers scoring against `engine`, coalescing
+    /// up to `max_batch` rows per batch and giving each batch `threads`
+    /// scoring threads.
+    ///
+    /// # Panics
+    /// Panics if `workers`, `max_batch` or `threads` is zero.
+    pub fn start(
+        engine: Arc<QueryEngine>,
+        workers: usize,
+        max_batch: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one batch worker");
+        assert!(max_batch >= 1, "max batch must be at least 1");
+        assert!(threads >= 1, "need at least one scoring thread");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+        let stats = Arc::new(BatchStats::default());
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let engine = Arc::clone(&engine);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    worker_loop(&shared, &engine, &stats, max_batch, threads)
+                })
+            })
+            .collect();
+        Self {
+            shared,
+            stats,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues one request's rows and blocks until its scores are ready.
+    /// Returns `None` if the batcher is shutting down.
+    pub fn score(&self, rows: Vec<Vec<f64>>) -> Option<Vec<Result<f64, QueryError>>> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("batcher lock");
+            if q.1 {
+                return None;
+            }
+            q.0.push_back(Job { rows, reply: tx });
+        }
+        self.shared.ready.notify_one();
+        rx.recv().ok()
+    }
+
+    /// The batching counters.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Signals shutdown and joins the workers (idempotent). Queued jobs are
+    /// dropped; their senders hang up, which unblocks any waiting
+    /// connection.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().expect("batcher lock");
+            q.1 = true;
+            q.0.clear();
+        }
+        self.shared.ready.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker list")
+            .drain(..)
+            .collect();
+        for h in handles {
+            h.join().expect("batch worker panicked");
+        }
+    }
+}
+
+/// One worker: sleep until jobs arrive, drain up to `max_batch` rows worth,
+/// score them as a single contiguous batch, distribute the replies.
+fn worker_loop(
+    shared: &Shared,
+    engine: &QueryEngine,
+    stats: &BatchStats,
+    max_batch: usize,
+    threads: usize,
+) {
+    loop {
+        let mut jobs = {
+            let mut guard = shared.queue.lock().expect("batcher lock");
+            loop {
+                if guard.1 {
+                    return;
+                }
+                if !guard.0.is_empty() {
+                    break;
+                }
+                guard = shared.ready.wait(guard).expect("batcher lock");
+            }
+            // Coalesce whole jobs until the row budget is reached (a single
+            // over-sized job still goes through alone — never split replies).
+            let mut jobs: Vec<Job> = Vec::new();
+            let mut rows = 0usize;
+            while let Some(job) = guard.0.front() {
+                if !jobs.is_empty() && rows + job.rows.len() > max_batch {
+                    break;
+                }
+                rows += job.rows.len();
+                jobs.push(guard.0.pop_front().expect("non-empty front"));
+                if rows >= max_batch {
+                    break;
+                }
+            }
+            jobs
+        };
+
+        // Move the rows out of the jobs (recording per-job lengths first to
+        // split the replies) — no copy of the query payload.
+        let lens: Vec<usize> = jobs.iter().map(|j| j.rows.len()).collect();
+        let all_rows: Vec<Vec<f64>> = jobs
+            .iter_mut()
+            .flat_map(|j| std::mem::take(&mut j.rows))
+            .collect();
+        let mut results = engine.score_batch(&all_rows, threads).into_iter();
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .requests
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        stats
+            .rows
+            .fetch_add(all_rows.len() as u64, Ordering::Relaxed);
+        if jobs.len() > 1 {
+            stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        for (job, take) in jobs.into_iter().zip(lens) {
+            let reply: Vec<_> = results.by_ref().take(take).collect();
+            // A hung-up receiver just means the connection died; ignore.
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_data::model::{
+        apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+        ScorerSpec,
+    };
+    use hics_data::SyntheticConfig;
+
+    fn engine() -> Arc<QueryEngine> {
+        let g = SyntheticConfig::new(80, 4).with_seed(5).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+        let model = HicsModel::new(
+            data,
+            NormKind::None,
+            norm,
+            vec![ModelSubspace {
+                dims: vec![0, 1],
+                contrast: 0.8,
+            }],
+            ScorerSpec {
+                kind: ScorerKind::Lof,
+                k: 5,
+            },
+            AggregationKind::Average,
+        );
+        Arc::new(QueryEngine::from_model(&model, 2))
+    }
+
+    #[test]
+    fn scores_flow_back_to_the_right_job() {
+        let engine = engine();
+        let batcher = Arc::new(Batcher::start(Arc::clone(&engine), 1, 64, 2));
+        let rows_a = vec![vec![0.1, 0.2, 0.3, 0.4]];
+        let rows_b = vec![vec![0.9, 0.8, 0.7, 0.6], vec![0.5, 0.5, 0.5, 0.5]];
+        let got_a = batcher.score(rows_a.clone()).unwrap();
+        let got_b = batcher.score(rows_b.clone()).unwrap();
+        assert_eq!(got_a, engine.score_batch(&rows_a, 1));
+        assert_eq!(got_b, engine.score_batch(&rows_b, 1));
+        assert_eq!(batcher.stats().requests.load(Ordering::Relaxed), 2);
+        assert_eq!(batcher.stats().rows.load(Ordering::Relaxed), 3);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_stay_ordered() {
+        let engine = engine();
+        let batcher = Arc::new(Batcher::start(Arc::clone(&engine), 2, 32, 2));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let batcher = Arc::clone(&batcher);
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let rows: Vec<Vec<f64>> = (0..5)
+                    .map(|r| vec![t as f64 * 0.1, r as f64 * 0.07, 0.3, 0.9])
+                    .collect();
+                let got = batcher.score(rows.clone()).unwrap();
+                let want = engine.score_batch(&rows, 1);
+                assert_eq!(got, want, "thread {t}");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(batcher.stats().requests.load(Ordering::Relaxed), 8);
+        assert_eq!(batcher.stats().rows.load(Ordering::Relaxed), 40);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs_and_is_idempotent() {
+        let engine = engine();
+        let batcher = Batcher::start(engine, 1, 8, 1);
+        batcher.shutdown();
+        assert!(batcher.score(vec![vec![0.0; 4]]).is_none());
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn oversized_single_job_is_not_split() {
+        let engine = engine();
+        let batcher = Batcher::start(Arc::clone(&engine), 1, 2, 1);
+        let rows: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64 * 0.1; 4]).collect();
+        let got = batcher.score(rows.clone()).unwrap();
+        assert_eq!(got.len(), 7);
+        assert_eq!(got, engine.score_batch(&rows, 1));
+        batcher.shutdown();
+    }
+}

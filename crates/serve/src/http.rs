@@ -1,0 +1,312 @@
+//! Minimal HTTP/1.1 request parsing and response writing over blocking
+//! streams — hand-rolled on `std::io`, no registry dependencies.
+//!
+//! Supports exactly what the scoring service needs: request line + headers +
+//! `Content-Length` bodies, persistent connections (HTTP/1.1 keep-alive
+//! semantics), and bounded header/body sizes so a hostile peer cannot make
+//! the server buffer unbounded input. Chunked transfer encoding is not
+//! accepted (`411 Length Required` tells clients to send a length).
+
+use std::io::{Read, Write};
+
+/// Upper bound on request head (request line + headers) bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on request body bytes (a 64 MB batch of points is far above
+/// any sane scoring request).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are not split off; the service
+    /// has no query parameters).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`, or an HTTP/1.0 request without
+    /// `keep-alive`).
+    pub close: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The connection closed cleanly before a new request started.
+    Closed,
+    /// Socket-level failure mid-request.
+    Io(std::io::Error),
+    /// The peer sent something that is not valid HTTP; the given status
+    /// line + message should be returned before closing.
+    Bad {
+        /// HTTP status code to answer with.
+        status: u16,
+        /// Human-readable reason for the error body.
+        msg: String,
+    },
+}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from the stream. Returns
+/// [`RequestError::Closed`] on clean EOF before any request byte.
+pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, RequestError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Read the head byte-by-byte until CRLFCRLF. Callers hand in a
+    // `BufReader` that lives for the whole connection (see
+    // `server::handle_connection`), so these reads are in-memory, not
+    // per-byte syscalls, and over-read pipelined bytes are retained.
+    loop {
+        let got = stream.read(&mut byte)?;
+        if got == 0 {
+            if head.is_empty() {
+                return Err(RequestError::Closed);
+            }
+            return Err(RequestError::Bad {
+                status: 400,
+                msg: "connection closed mid-request".into(),
+            });
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::Bad {
+                status: 431,
+                msg: "request head too large".into(),
+            });
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| RequestError::Bad {
+        status: 400,
+        msg: "request head is not UTF-8".into(),
+    })?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
+            (m.to_string(), p.to_string(), v)
+        }
+        _ => {
+            return Err(RequestError::Bad {
+                status: 400,
+                msg: format!("malformed request line {request_line:?}"),
+            })
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RequestError::Bad {
+            status: 505,
+            msg: format!("unsupported protocol {version:?}"),
+        });
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut connection = String::new();
+    let mut chunked = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Bad {
+                status: 400,
+                msg: format!("malformed header {line:?}"),
+            });
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value.parse().map_err(|_| RequestError::Bad {
+                    status: 400,
+                    msg: format!("bad Content-Length {value:?}"),
+                })?;
+                content_length = Some(n);
+            }
+            "connection" => connection = value.to_ascii_lowercase(),
+            "transfer-encoding" => chunked = value.to_ascii_lowercase().contains("chunked"),
+            _ => {}
+        }
+    }
+    if chunked {
+        return Err(RequestError::Bad {
+            status: 411,
+            msg: "chunked bodies are not supported; send Content-Length".into(),
+        });
+    }
+    let len = content_length.unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(RequestError::Bad {
+            status: 413,
+            msg: format!("body of {len} bytes exceeds limit {MAX_BODY_BYTES}"),
+        });
+    }
+    let mut body = vec![0u8; len];
+    stream
+        .read_exact(&mut body)
+        .map_err(|_| RequestError::Bad {
+            status: 400,
+            msg: "connection closed mid-body".into(),
+        })?;
+
+    let close = match version {
+        "HTTP/1.0" => connection != "keep-alive",
+        _ => connection == "close",
+    };
+    Ok(Request {
+        method,
+        path,
+        body,
+        close,
+    })
+}
+
+/// Writes one response with a JSON body and flushes the stream.
+pub fn write_response<S: Write>(
+    stream: &mut S,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: {connection}\r\n\
+         \r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The reason phrases for the statuses the service emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Formats a JSON error body `{"error": "..."}`.
+pub fn error_body(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len() + 12);
+    out.push_str("{\"error\":");
+    crate::json::escape_string(&mut out, msg);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn parses_post_with_body_and_connection_close() {
+        let r = parse(
+            "POST /score HTTP/1.1\r\nContent-Length: 9\r\nConnection: close\r\n\r\n{\"p\":[1]}",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"p\":[1]}");
+        assert!(r.close);
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(r.close);
+        let r = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn clean_eof_reports_closed() {
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+    }
+
+    #[test]
+    fn malformed_inputs_get_4xx() {
+        for (raw, want) in [
+            ("nonsense\r\n\r\n", 400),
+            ("GET /x HTTP/2.0\r\n\r\n", 505),
+            ("GET /x HTTP/1.1\r\nContent-Length: zap\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                411,
+            ),
+            ("GET x HTTP/1.1\r\n\r\n", 400),
+            (
+                "POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+                413,
+            ),
+        ] {
+            match parse(raw) {
+                Err(RequestError::Bad { status, .. }) => {
+                    assert_eq!(status, want, "for {raw:?}")
+                }
+                other => panic!("{raw:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_bad_request() {
+        let r = parse("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort");
+        assert!(matches!(r, Err(RequestError::Bad { status: 400, .. })));
+    }
+
+    #[test]
+    fn response_has_content_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        assert_eq!(
+            error_body("bad \"thing\""),
+            "{\"error\":\"bad \\\"thing\\\"\"}"
+        );
+    }
+}

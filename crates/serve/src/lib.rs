@@ -1,0 +1,32 @@
+//! # hics-serve — batched HTTP scoring over trained HiCS models
+//!
+//! The serving layer of the train-once/serve-many pipeline:
+//!
+//! * [`json`] — hand-rolled JSON parsing/serialisation (no registry deps).
+//! * [`http`] — minimal HTTP/1.1 request/response over blocking streams.
+//! * [`batch`] — the cross-connection request batcher: concurrent requests
+//!   coalesce into contiguous scoring batches.
+//! * [`server`] — the `TcpListener` accept loop, connection handlers, and
+//!   the `/score`, `/healthz`, `/model`, `/stats` endpoints.
+//!
+//! ```no_run
+//! use hics_outlier::QueryEngine;
+//! use hics_serve::{ServeConfig, Server};
+//!
+//! let model = hics_data::HicsModel::load(std::path::Path::new("model.hics")).unwrap();
+//! let engine = QueryEngine::from_model(&model, 8);
+//! let server = Server::bind(engine, ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr().unwrap());
+//! server.run().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use batch::{BatchStats, Batcher};
+pub use json::Json;
+pub use server::{ServeConfig, Server, ShutdownHandle};

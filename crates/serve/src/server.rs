@@ -1,0 +1,423 @@
+//! The multi-threaded scoring server: `std::net::TcpListener` accept loop,
+//! one handler thread per connection (HTTP/1.1 keep-alive), all scoring
+//! funnelled through the cross-connection [`Batcher`].
+//!
+//! Endpoints:
+//!
+//! | method, path | behaviour |
+//! |---|---|
+//! | `POST /score` | body `{"points": [[f64; d], …]}` → `{"scores": […]}`, or `{"point": [f64; d]}` → `{"score": s}` |
+//! | `GET /healthz` | `{"status":"ok"}` liveness probe |
+//! | `GET /model` | model shape + scorer configuration |
+//! | `GET /stats` | request/row/batch counters |
+//!
+//! Per-row failures (wrong arity, non-finite values) fail the whole request
+//! with `400` and a row-indexed message — callers batch their own rows, so
+//! partial success would be ambiguous.
+
+use crate::batch::Batcher;
+use crate::http::{error_body, read_request, write_response, Request, RequestError};
+use crate::json::{self, Json};
+use hics_outlier::QueryEngine;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port `0` picks a free port).
+    pub addr: String,
+    /// Scoring threads per batch (defaults to available parallelism).
+    pub threads: usize,
+    /// Maximum rows coalesced into one batch.
+    pub max_batch: usize,
+    /// Batch worker count (batches scored concurrently).
+    pub workers: usize,
+    /// Idle keep-alive timeout per connection.
+    pub keep_alive: Duration,
+    /// Maximum concurrent connections; further clients get an immediate
+    /// `503` instead of a handler thread (keeps the thread count and fd
+    /// usage bounded under overload).
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            threads: hics_outlier::parallel::available_threads(),
+            max_batch: 512,
+            workers: 1,
+            keep_alive: Duration::from_secs(30),
+            max_connections: 1024,
+        }
+    }
+}
+
+/// A running scoring server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    batcher: Arc<Batcher>,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle to stop a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Asks the accept loop to exit. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the (blocking) accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds the listen socket and starts the batch workers (the accept
+    /// loop does not run until [`Server::run`]).
+    pub fn bind(engine: QueryEngine, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let engine = Arc::new(engine);
+        let batcher = Arc::new(Batcher::start(
+            Arc::clone(&engine),
+            config.workers,
+            config.max_batch,
+            config.threads,
+        ));
+        Ok(Self {
+            listener,
+            engine,
+            batcher,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Runs the accept loop until a [`ShutdownHandle`] fires. Each accepted
+    /// connection gets a detached handler thread speaking HTTP/1.1
+    /// keep-alive (bounded by `max_connections`; excess clients are shed
+    /// with `503`); scoring goes through the shared batcher.
+    pub fn run(self) -> std::io::Result<()> {
+        let active = Arc::new(AtomicUsize::new(0));
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut stream = match conn {
+                Ok(s) => s,
+                // Transient accept errors (e.g. ECONNABORTED) must not kill
+                // the server — but persistent ones (EMFILE when out of fds)
+                // would otherwise busy-spin the accept thread; back off.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            };
+            // Load shedding: never take on more handler threads (and their
+            // fds) than configured.
+            if active.load(Ordering::SeqCst) >= self.config.max_connections {
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    &error_body("server is at its connection limit"),
+                    true,
+                );
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let engine = Arc::clone(&self.engine);
+            let batcher = Arc::clone(&self.batcher);
+            let active = Arc::clone(&active);
+            let keep_alive = self.config.keep_alive;
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &engine, &batcher, keep_alive);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        self.batcher.shutdown();
+        Ok(())
+    }
+}
+
+/// Serves one connection until close, timeout, error, or shutdown.
+///
+/// The stream is wrapped in one `BufReader` for the connection's whole
+/// lifetime, so pipelined bytes the buffer over-reads are retained for the
+/// next keep-alive iteration and head parsing costs no per-byte syscalls.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &QueryEngine,
+    batcher: &Batcher,
+    keep_alive: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(keep_alive))?;
+    stream.set_nodelay(true)?;
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
+            Err(RequestError::Bad { status, msg }) => {
+                let _ = write_response(reader.get_mut(), status, &error_body(&msg), true);
+                return Ok(());
+            }
+        };
+        let close = request.close;
+        let (status, body) = dispatch(&request, engine, batcher);
+        write_response(reader.get_mut(), status, &body, close)?;
+        if close {
+            reader.get_mut().flush()?;
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request to its endpoint.
+fn dispatch(request: &Request, engine: &QueryEngine, batcher: &Batcher) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/score") => score_endpoint(&request.body, engine, batcher),
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/model") => (200, model_body(engine)),
+        ("GET", "/stats") => (200, stats_body(batcher)),
+        ("POST" | "GET", _) => (404, error_body(&format!("no route {}", request.path))),
+        _ => (
+            405,
+            error_body(&format!("method {} not allowed", request.method)),
+        ),
+    }
+}
+
+/// `POST /score`: parse, validate, batch-score, respond.
+fn score_endpoint(body: &[u8], engine: &QueryEngine, batcher: &Batcher) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8")),
+    };
+    let doc = match json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    // Accept {"points": [[...], ...]} (batch) or {"point": [...]} (single).
+    let (rows, single) = if let Some(point) = doc.get("point") {
+        match parse_row(point, engine.d()) {
+            Ok(row) => (vec![row], true),
+            Err(msg) => return (400, error_body(&msg)),
+        }
+    } else if let Some(points) = doc.get("points") {
+        let Some(arr) = points.as_array() else {
+            return (400, error_body("\"points\" must be an array of rows"));
+        };
+        if arr.is_empty() {
+            return (400, error_body("\"points\" is empty"));
+        }
+        let mut rows = Vec::with_capacity(arr.len());
+        for (i, p) in arr.iter().enumerate() {
+            match parse_row(p, engine.d()) {
+                Ok(row) => rows.push(row),
+                Err(msg) => return (400, error_body(&format!("row {i}: {msg}"))),
+            }
+        }
+        (rows, false)
+    } else {
+        return (400, error_body("body must contain \"point\" or \"points\""));
+    };
+
+    let Some(results) = batcher.score(rows) else {
+        return (503, error_body("server is shutting down"));
+    };
+    let mut scores = Vec::with_capacity(results.len());
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(s) => scores.push(s),
+            Err(e) => return (400, error_body(&format!("row {i}: {e}"))),
+        }
+    }
+
+    let mut out = String::with_capacity(16 + scores.len() * 20);
+    if single {
+        out.push_str("{\"score\":");
+        json::write_f64(&mut out, scores[0]);
+        out.push('}');
+    } else {
+        out.push_str("{\"scores\":[");
+        for (i, s) in scores.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_f64(&mut out, *s);
+        }
+        out.push_str("]}");
+    }
+    (200, out)
+}
+
+/// Extracts one numeric row of the model's arity.
+fn parse_row(v: &Json, d: usize) -> Result<Vec<f64>, String> {
+    let Some(arr) = v.as_array() else {
+        return Err("row must be an array of numbers".into());
+    };
+    if arr.len() != d {
+        return Err(format!("row has {} values, model expects {d}", arr.len()));
+    }
+    arr.iter()
+        .enumerate()
+        .map(|(j, x)| {
+            x.as_f64()
+                .ok_or_else(|| format!("value {j} is not a number"))
+        })
+        .collect()
+}
+
+/// `GET /model` body.
+fn model_body(engine: &QueryEngine) -> String {
+    format!(
+        "{{\"objects\":{},\"attributes\":{},\"subspaces\":{}}}",
+        engine.n(),
+        engine.d(),
+        engine.subspace_count()
+    )
+}
+
+/// `GET /stats` body.
+fn stats_body(batcher: &Batcher) -> String {
+    let s = batcher.stats();
+    format!(
+        "{{\"requests\":{},\"rows\":{},\"batches\":{},\"coalesced_batches\":{}}}",
+        s.requests.load(Ordering::Relaxed),
+        s.rows.load(Ordering::Relaxed),
+        s.batches.load(Ordering::Relaxed),
+        s.coalesced_batches.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_data::model::{
+        apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+        ScorerSpec,
+    };
+    use hics_data::SyntheticConfig;
+
+    fn engine() -> QueryEngine {
+        let g = SyntheticConfig::new(60, 3).with_seed(2).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+        let model = HicsModel::new(
+            data,
+            NormKind::None,
+            norm,
+            vec![ModelSubspace {
+                dims: vec![0, 2],
+                contrast: 0.6,
+            }],
+            ScorerSpec {
+                kind: ScorerKind::KnnMean,
+                k: 4,
+            },
+            AggregationKind::Average,
+        );
+        QueryEngine::from_model(&model, 1)
+    }
+
+    fn with_batcher<F: FnOnce(&QueryEngine, &Batcher)>(f: F) {
+        let engine = Arc::new(engine());
+        let batcher = Batcher::start(Arc::clone(&engine), 1, 16, 1);
+        f(&engine, &batcher);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn score_endpoint_single_and_batch() {
+        with_batcher(|engine, batcher| {
+            let (status, body) = score_endpoint(br#"{"point": [0.5, 0.5, 0.5]}"#, engine, batcher);
+            assert_eq!(status, 200, "{body}");
+            let score = json::parse(&body)
+                .unwrap()
+                .get("score")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert_eq!(score, engine.score(&[0.5, 0.5, 0.5]).unwrap());
+
+            let (status, body) = score_endpoint(
+                br#"{"points": [[0.5, 0.5, 0.5], [0.1, 0.9, 0.2]]}"#,
+                engine,
+                batcher,
+            );
+            assert_eq!(status, 200, "{body}");
+            let doc = json::parse(&body).unwrap();
+            let scores = doc.get("scores").unwrap().as_array().unwrap();
+            assert_eq!(scores.len(), 2);
+            assert_eq!(
+                scores[1].as_f64().unwrap(),
+                engine.score(&[0.1, 0.9, 0.2]).unwrap()
+            );
+        });
+    }
+
+    #[test]
+    fn score_endpoint_rejects_bad_bodies() {
+        with_batcher(|engine, batcher| {
+            for (body, fragment) in [
+                (&b"not json"[..], "JSON error"),
+                (br#"{"nope": 1}"#, "\\\"point\\\" or \\\"points\\\""),
+                (br#"{"points": []}"#, "empty"),
+                (br#"{"points": [[1, 2]]}"#, "model expects 3"),
+                (br#"{"point": [1, 2, "x"]}"#, "not a number"),
+                (br#"{"points": 5}"#, "must be an array"),
+            ] {
+                let (status, msg) = score_endpoint(body, engine, batcher);
+                assert_eq!(status, 400, "{msg}");
+                assert!(msg.contains(fragment), "{msg} missing {fragment}");
+            }
+        });
+    }
+
+    #[test]
+    fn dispatch_routes_and_404s() {
+        with_batcher(|engine, batcher| {
+            let get = |path: &str| Request {
+                method: "GET".into(),
+                path: path.into(),
+                body: Vec::new(),
+                close: false,
+            };
+            assert_eq!(dispatch(&get("/healthz"), engine, batcher).0, 200);
+            let (status, body) = dispatch(&get("/model"), engine, batcher);
+            assert_eq!(status, 200);
+            assert!(body.contains("\"attributes\":3"), "{body}");
+            assert_eq!(dispatch(&get("/stats"), engine, batcher).0, 200);
+            assert_eq!(dispatch(&get("/nope"), engine, batcher).0, 404);
+            let delete = Request {
+                method: "DELETE".into(),
+                path: "/score".into(),
+                body: Vec::new(),
+                close: false,
+            };
+            assert_eq!(dispatch(&delete, engine, batcher).0, 405);
+        });
+    }
+}

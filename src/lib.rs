@@ -13,6 +13,7 @@
 //! | [`core`] | `hics-core` | subspace slices, Monte-Carlo contrast, Apriori search |
 //! | [`baselines`] | `hics-baselines` | PCA+LOF, random subspaces, Enclus, RIS |
 //! | [`eval`] | `hics-eval` | ROC/AUC, ranking metrics, experiment helpers |
+//! | [`serve`] | `hics-serve` | model artifacts served over batched HTTP/1.1 |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@ pub use hics_core as core;
 pub use hics_data as data;
 pub use hics_eval as eval;
 pub use hics_outlier as outlier;
+pub use hics_serve as serve;
 pub use hics_stats as stats;
 
 /// Convenience prelude bringing the main types of every crate into scope.
@@ -61,6 +63,7 @@ pub mod prelude {
     };
     pub use hics_data::{
         dataset::Dataset,
+        model::{HicsModel, ModelSubspace, NormKind, ScorerKind, ScorerSpec},
         realworld::{RealWorldSpec, UciProxy},
         synth::{LabeledDataset, SyntheticConfig},
         toy,
@@ -73,6 +76,8 @@ pub mod prelude {
         aggregate::{aggregate_scores, Aggregation},
         knn_score::KnnScorer,
         lof::{Lof, LofParams},
+        query::{QueryEngine, QueryError},
         scorer::{score_and_aggregate, score_subspaces, SubspaceScorer},
     };
+    pub use hics_serve::{ServeConfig, Server};
 }
