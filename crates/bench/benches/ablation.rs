@@ -44,6 +44,7 @@ fn bench_scorer_cost(c: &mut Criterion) {
     let lof = Lof::new(LofParams {
         k: 10,
         max_threads: 1,
+        ..LofParams::default()
     });
     group.bench_function("LOF", |b| {
         b.iter(|| black_box(lof.score_subspace(&g.dataset, &dims)));
@@ -74,6 +75,7 @@ fn bench_parallel_speedup(c: &mut Criterion) {
         let lof = Lof::new(LofParams {
             k: 10,
             max_threads: threads,
+            ..LofParams::default()
         });
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| black_box(lof.scores(&g.dataset, &dims)));

@@ -14,6 +14,7 @@ fn bench_lof_vs_n(c: &mut Criterion) {
         let lof = Lof::new(LofParams {
             k: 10,
             max_threads: 1,
+            ..LofParams::default()
         });
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(lof.scores(&g.dataset, &[0, 1])));
@@ -27,7 +28,11 @@ fn bench_lof_vs_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("lof_vs_k");
     group.sample_size(10);
     for k in [5usize, 10, 20, 40] {
-        let lof = Lof::new(LofParams { k, max_threads: 1 });
+        let lof = Lof::new(LofParams {
+            k,
+            max_threads: 1,
+            ..LofParams::default()
+        });
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| black_box(lof.scores(&g.dataset, &[0, 1])));
         });
@@ -44,6 +49,7 @@ fn bench_lof_vs_dims(c: &mut Criterion) {
         let lof = Lof::new(LofParams {
             k: 10,
             max_threads: 1,
+            ..LofParams::default()
         });
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter(|| black_box(lof.scores(&g.dataset, &dims)));

@@ -1,0 +1,193 @@
+//! `bench_query` — per-query serving latency of the neighbour-index layer.
+//!
+//! Measures, for N ∈ {1e3, 1e4, 1e5} (d = 5, two fixed subspaces, LOF
+//! k = 10), the p50/p99 single-query latency of a [`QueryEngine`] backed by
+//! the brute-force scan vs. the per-subspace VP-tree, on novel
+//! (out-of-sample) query points. Both engines are built from the **same**
+//! model and their scores are asserted bitwise equal before anything is
+//! timed — the speedup is never bought with a different answer.
+//!
+//! Writes `BENCH_query.json` at the repository root. The recorded
+//! `speedup_p50` at the largest N is the acceptance number for the index
+//! layer (≥ 5× expected at N = 1e5).
+//!
+//! Usage: `cargo run --release -p hics-bench --bin bench_query`
+//! (optionally `--quick` to stop at N = 1e4 while iterating).
+
+use hics_data::model::{
+    apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+    ScorerSpec,
+};
+use hics_data::SyntheticConfig;
+use hics_outlier::{IndexKind, QueryEngine};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const D: usize = 5;
+const K: u32 = 10;
+const DATA_SEED: u64 = 7;
+const QUERIES: usize = 200;
+/// Repetitions per query per measurement (the median over reps is the
+/// query's latency, damping scheduler noise at the microsecond scale).
+const REPS: usize = 5;
+
+fn model_for(n: usize) -> (HicsModel, Vec<Vec<f64>>) {
+    let g = SyntheticConfig::new(n, D).with_seed(DATA_SEED).generate();
+    let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+    let model = HicsModel::new(
+        data,
+        NormKind::None,
+        norm,
+        vec![
+            ModelSubspace {
+                dims: vec![0, 1],
+                contrast: 0.9,
+            },
+            ModelSubspace {
+                dims: vec![2, 3, 4],
+                contrast: 0.7,
+            },
+        ],
+        ScorerSpec {
+            kind: ScorerKind::Lof,
+            k: K,
+        },
+        AggregationKind::Average,
+    );
+    // Novel queries: training rows nudged off-grid, so the coincident
+    // lookup misses and the full kNN path runs, as it would in production.
+    let queries: Vec<Vec<f64>> = (0..QUERIES)
+        .map(|q| {
+            let row = g.dataset.row((q * 31) % n);
+            row.iter()
+                .enumerate()
+                .map(|(j, v)| v + 0.001 + (q + j) as f64 * 1e-5)
+                .collect()
+        })
+        .collect();
+    (model, queries)
+}
+
+/// Per-query latencies (µs), one entry per query: median of `REPS` runs.
+fn measure(engine: &QueryEngine, queries: &[Vec<f64>]) -> Vec<f64> {
+    let mut sink = 0.0f64;
+    // Warm-up pass touches every query once.
+    for q in queries {
+        sink += engine.score(q).expect("valid query");
+    }
+    let mut lat: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let mut reps: Vec<f64> = (0..REPS)
+                .map(|_| {
+                    let t = Instant::now();
+                    sink += engine.score(q).expect("valid query");
+                    t.elapsed().as_nanos() as f64 / 1000.0
+                })
+                .collect();
+            reps.sort_by(f64::total_cmp);
+            reps[REPS / 2]
+        })
+        .collect();
+    std::hint::black_box(sink);
+    lat.sort_by(f64::total_cmp);
+    lat
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct EngineReport {
+    build_ms: f64,
+    p50_us: f64,
+    p99_us: f64,
+    index_nodes: usize,
+}
+
+fn bench_engine(
+    model: &HicsModel,
+    kind: IndexKind,
+    queries: &[Vec<f64>],
+) -> (EngineReport, Vec<f64>) {
+    let threads = hics_outlier::parallel::available_threads();
+    let t = Instant::now();
+    let engine = QueryEngine::from_model_with_index(model, Some(kind), threads);
+    let build_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let scores: Vec<f64> = queries
+        .iter()
+        .map(|q| engine.score(q).expect("valid query"))
+        .collect();
+    let lat = measure(&engine, queries);
+    (
+        EngineReport {
+            build_ms,
+            p50_us: percentile(&lat, 0.50),
+            p99_us: percentile(&lat, 0.99),
+            index_nodes: engine.index_stats().nodes,
+        },
+        scores,
+    )
+}
+
+fn json_engine(label: &str, r: &EngineReport) -> String {
+    format!(
+        "      \"{label}\": {{\"build_ms\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"index_nodes\": {}}}",
+        r.build_ms, r.p50_us, r.p99_us, r.index_nodes
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    let mut sections = Vec::new();
+    for &n in sizes {
+        eprintln!("N = {n}: building model and engines...");
+        let (model, queries) = model_for(n);
+        let (brute, brute_scores) = bench_engine(&model, IndexKind::Brute, &queries);
+        let (vptree, vp_scores) = bench_engine(&model, IndexKind::VpTree, &queries);
+        assert_eq!(
+            brute_scores, vp_scores,
+            "backends disagree at N = {n} — exactness broken"
+        );
+        let speedup_p50 = brute.p50_us / vptree.p50_us;
+        let speedup_p99 = brute.p99_us / vptree.p99_us;
+        eprintln!(
+            "  brute p50 {:.1} us / p99 {:.1} us; vptree p50 {:.2} us / p99 {:.2} us -> {speedup_p50:.1}x",
+            brute.p50_us, brute.p99_us, vptree.p50_us, vptree.p99_us
+        );
+        let mut s = String::new();
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"n\": {n},");
+        let _ = writeln!(s, "{},", json_engine("brute", &brute));
+        let _ = writeln!(s, "{},", json_engine("vptree", &vptree));
+        let _ = writeln!(
+            s,
+            "      \"speedup_p50\": {speedup_p50:.2}, \"speedup_p99\": {speedup_p99:.2}"
+        );
+        let _ = write!(s, "    }}");
+        sections.push(s);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"d\": {D}, \"k\": {K}, \"scorer\": \"lof\", \"subspaces\": [[0, 1], [2, 3, 4]], \"queries\": {QUERIES}, \"reps\": {REPS}, \"data_seed\": {DATA_SEED}}},"
+    );
+    let _ = writeln!(json, "  \"sizes\": [");
+    let _ = writeln!(json, "{}", sections.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    json.push('}');
+    json.push('\n');
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(out, &json).expect("write BENCH_query.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

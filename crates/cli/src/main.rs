@@ -9,12 +9,17 @@
 //!               (`.arff` inputs are detected automatically and carry labels)
 //! hics evaluate --input data.csv --labels [--methods lof,hics,enclus,ris,randsub]
 //! hics fit      --input data.csv --out model.hics [--scorer lof|knn|knnkth]
-//!               [--normalize none|minmax|zscore] [search options]
+//!               [--normalize none|minmax|zscore] [--index brute|vptree]
+//!               [search options]
 //! hics score    --model model.hics --input queries.csv [--labels] [--top 20]
-//!               [--out scores.csv]
+//!               [--out scores.csv] [--index brute|vptree]
 //! hics serve    --model model.hics [--addr 127.0.0.1:7878] [--max-batch 512]
-//!               [--workers 1]
+//!               [--workers 1] [--index brute|vptree]
 //! ```
+//!
+//! `--index` selects the neighbour-search backend: `vptree` prebuilds (fit)
+//! or uses (score/serve) per-subspace VP-trees for `O(log N)` queries at
+//! bit-identical scores. When omitted, `score`/`serve` follow the artifact.
 
 mod args;
 
@@ -23,14 +28,14 @@ use hics_baselines::{
     EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
     RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
 };
-use hics_core::{Hics, HicsParams, StatTest, SubspaceSearch};
+use hics_core::{Hics, HicsParams, ScorerConfig, StatTest, SubspaceSearch};
 use hics_data::arff::read_arff_file;
 use hics_data::csv::{read_csv_file, write_csv_file, CsvData};
 use hics_data::model::{HicsModel, NormKind, ScorerKind, ScorerSpec};
 use hics_data::SyntheticConfig;
 use hics_eval::report::{Stopwatch, TextTable};
 use hics_eval::roc::roc_auc;
-use hics_outlier::QueryEngine;
+use hics_outlier::{IndexKind, QueryEngine};
 use hics_serve::{ServeConfig, Server};
 use std::path::Path;
 use std::process::ExitCode;
@@ -75,15 +80,17 @@ fn print_usage() {
     println!("  rank      --input <file.csv> [--labels] [--k 10] [--top 20] [--out <scores.csv>]");
     println!("  evaluate  --input <file.csv> --labels [--methods lof,hics,...] [--k 10]");
     println!("  fit       --input <file.csv> --out <model.hics> [--scorer lof|knn|knnkth]");
-    println!("            [--normalize none|minmax|zscore] [--k 10] [search options]");
+    println!("            [--normalize none|minmax|zscore] [--index brute|vptree] [--k 10]");
+    println!("            [search options]");
     println!("  score     --model <model.hics> --input <queries.csv> [--labels] [--top 20]");
-    println!("            [--out <scores.csv>]");
+    println!("            [--out <scores.csv>] [--index brute|vptree]");
     println!("  serve     --model <model.hics> [--addr 127.0.0.1:7878] [--max-batch 512]");
-    println!("            [--workers 1]");
+    println!("            [--workers 1] [--index brute|vptree]");
     println!("  help      this message");
     println!();
     println!("  --threads N applies to search/rank/evaluate/fit/score/serve");
     println!("  (default: all hardware threads)");
+    println!("  --index selects the kNN backend; score/serve default to the artifact's");
 }
 
 fn load(args: &Args) -> Result<CsvData, ArgError> {
@@ -234,6 +241,14 @@ fn parse_scorer(name: &str, k: u32) -> Result<ScorerSpec, ArgError> {
     Ok(ScorerSpec { kind, k })
 }
 
+/// The `--index` option: `None` (absent) lets `score`/`serve` follow the
+/// artifact; `fit` treats absent as brute.
+fn parse_index(args: &Args) -> Result<Option<IndexKind>, ArgError> {
+    args.get("index")
+        .map(|name| name.parse().map_err(ArgError))
+        .transpose()
+}
+
 fn parse_norm(name: &str) -> Result<NormKind, ArgError> {
     match name {
         "none" => Ok(NormKind::None),
@@ -265,20 +280,30 @@ fn cmd_fit(args: &Args) -> Result<(), ArgError> {
     params.lof_k = k as usize;
     let scorer = parse_scorer(args.get("scorer").unwrap_or("lof"), k)?;
     let norm = parse_norm(args.get("normalize").unwrap_or("none"))?;
+    let index = parse_index(args)?.unwrap_or(IndexKind::Brute);
 
     let watch = Stopwatch::start();
-    let model = Hics::new(params).fit_with_scorer(&data.dataset, norm, scorer);
+    let model = Hics::new(params).fit_with_config(
+        &data.dataset,
+        norm,
+        ScorerConfig {
+            spec: scorer,
+            index,
+        },
+    );
     model
         .save(Path::new(out))
         .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
     println!(
-        "# fitted {} x {} model: {} subspaces, {} scorer (k={}), {} normalization, {:.2}s",
+        "# fitted {} x {} model: {} subspaces, {} scorer (k={}), {} normalization, \
+         {} index, {:.2}s",
         model.n(),
         model.d(),
         model.subspaces().len(),
         model.scorer().kind.name(),
         model.scorer().k,
         model.norm_kind().name(),
+        index.name(),
         watch.seconds()
     );
     println!("# wrote model artifact to {out}");
@@ -301,9 +326,10 @@ fn cmd_score(args: &Args) -> Result<(), ArgError> {
     }
     let max_threads = threads(args)?;
     let top: usize = args.get_or("top", 20)?;
+    let index = parse_index(args)?;
 
     let watch = Stopwatch::start();
-    let engine = QueryEngine::from_model(&model, max_threads);
+    let engine = QueryEngine::from_model_with_index(&model, index, max_threads);
     // The engine owns its copy of the trained columns; free the model so a
     // large training set is not resident twice for the whole run.
     drop(model);
@@ -314,9 +340,10 @@ fn cmd_score(args: &Args) -> Result<(), ArgError> {
         scores.push(r.map_err(|e| ArgError(format!("row {i}: {e}")))?);
     }
     println!(
-        "# scored {} query points in {} subspaces, {:.2}s",
+        "# scored {} query points in {} subspaces ({} index), {:.2}s",
         scores.len(),
         engine.subspace_count(),
+        engine.index_stats().kind.name(),
         watch.seconds()
     );
     report_scores(&scores, data.labels.as_deref(), top, args.get("out"))
@@ -342,6 +369,7 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
         ));
     }
 
+    let index = parse_index(args)?;
     let watch = Stopwatch::start();
     let (n, d, subs, scorer) = (
         model.n(),
@@ -349,12 +377,13 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
         model.subspaces().len(),
         model.scorer().kind.name(),
     );
-    let engine = QueryEngine::from_model(&model, max_threads);
+    let engine = QueryEngine::from_model_with_index(&model, index, max_threads);
     // The engine owns its copy of the trained columns; free the model so a
     // large training set is not resident twice for the server's lifetime.
     drop(model);
     println!(
-        "# loaded {n} x {d} model ({subs} subspaces, {scorer} scorer) in {:.2}s",
+        "# loaded {n} x {d} model ({subs} subspaces, {scorer} scorer, {} index) in {:.2}s",
+        engine.index_stats().kind.name(),
         watch.seconds()
     );
     let server =

@@ -3,13 +3,15 @@
 
 use crate::search::{ScoredSubspace, SearchParams, SubspaceSearch};
 use hics_data::model::{
-    apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
-    ScorerSpec,
+    apply_normalization, AggregationKind, HicsModel, ModelIndex, ModelSubspace, NormKind,
+    ScorerKind, ScorerSpec,
 };
 use hics_data::Dataset;
 use hics_outlier::aggregate::{aggregate_scores, Aggregation};
+use hics_outlier::index::{IndexKind, VpTree};
 use hics_outlier::lof::Lof;
 use hics_outlier::scorer::{score_subspaces, SubspaceScorer};
+use hics_outlier::SubspaceView;
 
 /// Parameters of the full HiCS pipeline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,6 +46,20 @@ impl HicsParams {
         self.lof_k = k;
         self
     }
+}
+
+/// Scoring-phase configuration of a fit: which density scorer the model is
+/// packaged for, and which neighbour-search backend serves it. With
+/// [`IndexKind::VpTree`] the fit prebuilds one VP-tree per selected
+/// subspace and stores them in the artifact (format version 2), so every
+/// later `score` / `serve` skips the `O(N log N)` construction *and* the
+/// `O(N · |S|)` per-query scan — at bit-identical scores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScorerConfig {
+    /// The scorer family and neighbourhood size stored in the artifact.
+    pub spec: ScorerSpec,
+    /// The neighbour-search backend to package (default brute).
+    pub index: IndexKind,
 }
 
 /// Result of a pipeline run.
@@ -137,9 +153,27 @@ impl Hics {
     /// from the model scores in-sample points bit-for-bit like
     /// [`Hics::run`] on the normalised dataset.
     pub fn fit_with_scorer(&self, data: &Dataset, norm: NormKind, scorer: ScorerSpec) -> HicsModel {
+        self.fit_with_config(
+            data,
+            norm,
+            ScorerConfig {
+                spec: scorer,
+                index: IndexKind::Brute,
+            },
+        )
+    }
+
+    /// Like [`Hics::fit`] with an explicit scorer **and** neighbour-index
+    /// configuration — the full serving contract in one artifact.
+    pub fn fit_with_config(
+        &self,
+        data: &Dataset,
+        norm: NormKind,
+        config: ScorerConfig,
+    ) -> HicsModel {
         let (trained, norm_params) = apply_normalization(data, norm);
         let subspaces = SubspaceSearch::new(self.params.search).run(&trained);
-        let model_subspaces = subspaces
+        let model_subspaces: Vec<ModelSubspace> = subspaces
             .iter()
             .map(|s| ModelSubspace {
                 dims: s.subspace.to_vec(),
@@ -150,14 +184,28 @@ impl Hics {
             Aggregation::Average => AggregationKind::Average,
             Aggregation::Max => AggregationKind::Max,
         };
-        HicsModel::new(
+        let index = match config.index {
+            IndexKind::Brute => None,
+            IndexKind::VpTree => Some(ModelIndex {
+                trees: model_subspaces
+                    .iter()
+                    .map(|s| {
+                        let view = SubspaceView::new(&trained, &s.dims);
+                        VpTree::build(&view).into_data()
+                    })
+                    .collect(),
+            }),
+        };
+        let mut model = HicsModel::new(
             trained,
             norm,
             norm_params,
             model_subspaces,
-            scorer,
+            config.spec,
             aggregation,
-        )
+        );
+        model.set_index(index);
+        model
     }
 
     /// Ranks outliers in a caller-provided list of subspaces (skipping the
@@ -292,6 +340,33 @@ mod tests {
         // Raw rows map onto the stored columns through the model transform.
         let t = model.transform_row(&g.dataset.row(7));
         assert_eq!(t, reference.row(7));
+    }
+
+    #[test]
+    fn fit_with_vptree_index_packages_trees() {
+        let g = SyntheticConfig::new(150, 5).with_seed(30).generate();
+        let hics = Hics::new(quick());
+        let plain = hics.fit(&g.dataset, NormKind::None);
+        let indexed = hics.fit_with_config(
+            &g.dataset,
+            NormKind::None,
+            ScorerConfig {
+                spec: ScorerSpec {
+                    kind: ScorerKind::Lof,
+                    k: 10,
+                },
+                index: IndexKind::VpTree,
+            },
+        );
+        // Same model content apart from the index section…
+        assert!(plain.index().is_none());
+        let trees = &indexed.index().expect("trees stored").trees;
+        assert_eq!(trees.len(), indexed.subspaces().len());
+        // …and the stored trees are exactly the deterministic rebuilds.
+        for (s, sub) in indexed.subspaces().iter().enumerate() {
+            let view = SubspaceView::new(indexed.dataset(), &sub.dims);
+            assert_eq!(&trees[s], VpTree::build(&view).as_data(), "subspace {s}");
+        }
     }
 
     #[test]

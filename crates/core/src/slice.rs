@@ -124,9 +124,19 @@ impl<'a> SliceView<'a> {
 
 /// Draws adaptive subspace slices for one subspace.
 ///
-/// Holds the selection mask, the survivor-id scratch and the permutation
-/// scratch, so the `M` Monte-Carlo iterations of a contrast computation
-/// perform **zero heap allocations** after the first draw.
+/// Holds the selection mask, the per-attribute condition-mask cache and the
+/// permutation scratch, so the `M` Monte-Carlo iterations of a contrast
+/// computation perform **zero heap allocations** after the first draw.
+///
+/// The cache keeps, for every subspace attribute, the block mask of its most
+/// recent condition together with the block's start position. Across the `M`
+/// iterations of one subspace the same attribute keeps drawing fresh random
+/// windows of the same length; when the new window overlaps the cached one
+/// by more than half, the mask is *shifted* — clear the ids leaving the
+/// window, set the ids entering — instead of cleared and refilled, and an
+/// identical start reuses the mask as is. The resulting bit pattern is the
+/// exact window either way, so contrast values stay bit-identical (asserted
+/// by the engine-equivalence regression tests).
 pub struct SliceSampler<'a> {
     data: &'a Dataset,
     indices: &'a RankIndex,
@@ -138,8 +148,17 @@ pub struct SliceSampler<'a> {
     perm: Vec<usize>,
     /// Scratch: the selection bitset, reused across draws.
     mask: SliceMask,
-    /// Scratch: one condition's block mask, ANDed into `mask`.
-    cond_mask: SliceMask,
+    /// Per-attribute cached condition masks, aligned with `dims`.
+    cache: Vec<CachedCondition>,
+}
+
+/// One attribute's cached condition mask: the materialised rank window
+/// `[start, start + block_len)` of that attribute's sorted order.
+struct CachedCondition {
+    mask: SliceMask,
+    /// The window start the mask currently materialises; `None` when the
+    /// mask content is stale (fresh sampler or after a retarget).
+    start: Option<usize>,
 }
 
 impl<'a> SliceSampler<'a> {
@@ -173,6 +192,13 @@ impl<'a> SliceSampler<'a> {
         let n = data.n();
         let alpha1 = sizing.alpha1(alpha, dims.len());
         let block_len = ((n as f64 * alpha1).ceil() as usize).clamp(1, n);
+        let cache = dims
+            .iter()
+            .map(|_| CachedCondition {
+                mask: SliceMask::new(n),
+                start: None,
+            })
+            .collect();
         Self {
             data,
             indices,
@@ -182,15 +208,17 @@ impl<'a> SliceSampler<'a> {
             alpha,
             sizing,
             mask: SliceMask::new(n),
-            cond_mask: SliceMask::new(n),
+            cache,
         }
     }
 
     /// Re-points the sampler at another subspace of the **same dataset**,
     /// keeping the mask and permutation scratch — the per-thread reuse hook
     /// that lets one worker evaluate a whole level of the subspace search
-    /// without a single further mask allocation. Draw sequences after a
-    /// retarget are bit-identical to those of a freshly constructed sampler.
+    /// with at most `O(|S|)` mask allocations per level (cached condition
+    /// masks are invalidated, and only a dimensionality *increase* allocates
+    /// new ones). Draw sequences after a retarget are bit-identical to those
+    /// of a freshly constructed sampler.
     ///
     /// # Panics
     /// Panics on the same conditions as [`SliceSampler::new`].
@@ -211,6 +239,18 @@ impl<'a> SliceSampler<'a> {
         let n = self.data.n();
         let alpha1 = self.sizing.alpha1(self.alpha, self.dims.len());
         self.block_len = ((n as f64 * alpha1).ceil() as usize).clamp(1, n);
+        // The window length (and the attribute a slot belongs to) changed:
+        // every cached mask is stale. Slots beyond the new dimensionality
+        // stay allocated for the next wider subspace.
+        for c in &mut self.cache {
+            c.start = None;
+        }
+        while self.cache.len() < self.dims.len() {
+            self.cache.push(CachedCondition {
+                mask: SliceMask::new(n),
+                start: None,
+            });
+        }
     }
 
     /// The per-condition index-block length `N · α₁`.
@@ -222,40 +262,82 @@ impl<'a> SliceSampler<'a> {
     /// block conditions through the rank engine, and returns a borrowed
     /// view of the surviving selection (Algorithm 1, steps 1–2).
     ///
-    /// Each condition materialises its sorted block as bits of an `N`-bit
-    /// mask — scattered writes into `N/8` bytes of L1-resident scratch, not
-    /// per-object counter updates over the whole database — and conditions
-    /// combine by in-place word AND (`O(N/64)`), with one popcount for the
-    /// conditional size. No heap allocation, no `O(N)` per-object scan.
+    /// Each condition's sorted block lives in that attribute's **cached**
+    /// mask: an identical window start reuses it outright, a window
+    /// overlapping the cached one by more than half is shifted incrementally
+    /// (clear the leaving ids, set the entering ids), and only a distant
+    /// window rebuilds from scratch. Conditions then combine by in-place
+    /// word AND (`O(N/64)`), the last one fused with the popcount. No heap
+    /// allocation, no `O(N)` per-object scan, and the selection is the same
+    /// bit pattern the uncached sampler produced.
     pub fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SliceView<'_> {
         let n = self.data.n();
         self.perm.copy_from_slice(&self.dims);
         self.perm.shuffle(rng);
         let (&ref_attr, cond_attrs) = self.perm.split_last().expect("subspace is non-empty");
 
-        self.mask.clear();
         // The final AND is fused with the popcount (one pass instead of
-        // two); a 2-d subspace has a single condition, whose popcount is a
-        // plain scan of the freshly filled mask.
+        // two); a 2-d subspace has a single condition, whose size is the
+        // block length by construction — no popcount at all.
         let mut fused_len = None;
         for (ci, &attr) in cond_attrs.iter().enumerate() {
             // One RNG call per condition, in permutation order — the same
             // stream the hits-counting engine consumed.
             let start = rng.gen_range(0..=n - self.block_len);
-            let block = self.indices.block(attr, start, self.block_len);
-            if ci == 0 {
-                self.mask.fill_from_ids(block);
-            } else {
-                self.cond_mask.clear();
-                self.cond_mask.fill_from_ids(block);
-                if ci == cond_attrs.len() - 1 {
-                    fused_len = Some(self.mask.and_assign_popcount(&self.cond_mask));
-                } else {
-                    self.mask.and_assign(&self.cond_mask);
+            let block_len = self.block_len;
+            let slot = self
+                .dims
+                .iter()
+                .position(|&a| a == attr)
+                .expect("condition attribute belongs to the subspace");
+            let cached = &mut self.cache[slot];
+            match cached.start {
+                // Same window: the mask is already exact.
+                Some(s0) if s0 == start => {}
+                // Overlapping window: shift — 2·Δ scattered bit flips beat
+                // a clear plus block_len scattered writes when Δ is small.
+                Some(s0) if s0.abs_diff(start) * 2 < block_len => {
+                    if start > s0 {
+                        cached
+                            .mask
+                            .clear_ids(self.indices.block(attr, s0, start - s0));
+                        cached.mask.fill_from_ids(self.indices.block(
+                            attr,
+                            s0 + block_len,
+                            start - s0,
+                        ));
+                    } else {
+                        cached.mask.clear_ids(self.indices.block(
+                            attr,
+                            start + block_len,
+                            s0 - start,
+                        ));
+                        cached
+                            .mask
+                            .fill_from_ids(self.indices.block(attr, start, s0 - start));
+                    }
+                }
+                // Distant or stale: rebuild the block from scratch.
+                _ => {
+                    cached.mask.clear();
+                    cached
+                        .mask
+                        .fill_from_ids(self.indices.block(attr, start, block_len));
                 }
             }
+            cached.start = Some(start);
+
+            let cond_mask = &self.cache[slot].mask;
+            if ci == 0 {
+                self.mask.copy_from(cond_mask);
+            } else if ci == cond_attrs.len() - 1 {
+                fused_len = Some(self.mask.and_assign_popcount(cond_mask));
+            } else {
+                self.mask.and_assign(cond_mask);
+            }
         }
-        let len = fused_len.unwrap_or_else(|| self.mask.count_ones());
+        // A single condition selects exactly one block of `block_len` ids.
+        let len = fused_len.unwrap_or(self.block_len);
         SliceView {
             ref_attr,
             col: self.data.col(ref_attr),
@@ -432,6 +514,30 @@ mod tests {
                 assert_eq!(d.conditional, r.conditional);
             }
             assert_eq!(reused.block_len(), fresh.block_len());
+        }
+    }
+
+    #[test]
+    fn cached_condition_masks_draw_identically_to_fresh_samplers() {
+        // A long draw sequence exercises every cache path — exact window
+        // hits, incremental shifts, from-scratch rebuilds — and each draw
+        // must equal what a cache-cold sampler produces for the same RNG
+        // state.
+        for (sub, alpha) in [
+            (Subspace::pair(1, 4), 0.1),
+            (Subspace::new([0, 2, 3, 5]), 0.25),
+        ] {
+            let (data, idx) = sampler_fixture(700, 6, 21);
+            let mut reused = SliceSampler::new(&data, &idx, &sub, alpha, SliceSizing::PaperRoot);
+            let mut rng = StdRng::seed_from_u64(31);
+            for i in 0..150 {
+                let mut rng_replay = rng.clone();
+                let got = reused.draw(&mut rng).to_sample();
+                let mut fresh = SliceSampler::new(&data, &idx, &sub, alpha, SliceSizing::PaperRoot);
+                let want = fresh.draw(&mut rng_replay).to_sample();
+                assert_eq!(got.ref_attr, want.ref_attr, "draw {i} of {sub}");
+                assert_eq!(got.conditional, want.conditional, "draw {i} of {sub}");
+            }
         }
     }
 

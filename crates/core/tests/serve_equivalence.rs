@@ -3,10 +3,10 @@
 //! (serialised and re-loaded) artifact reproduces the batch pipeline's
 //! aggregated outlier scores **bit-for-bit** for every in-sample point.
 
-use hics_core::{Hics, HicsParams};
+use hics_core::{Hics, HicsParams, ScorerConfig};
 use hics_data::model::{HicsModel, NormKind, ScorerKind, ScorerSpec};
 use hics_data::SyntheticConfig;
-use hics_outlier::QueryEngine;
+use hics_outlier::{IndexKind, QueryEngine};
 
 fn quick_params() -> HicsParams {
     let mut p = HicsParams::paper_defaults();
@@ -58,6 +58,78 @@ fn normalized_model_matches_batch_on_normalized_data() {
             "object {i}: served score {q} != batch score {}",
             batch.scores[i]
         );
+    }
+}
+
+/// A VP-tree-indexed artifact (fit with `--index vptree`, serialised,
+/// reloaded, served through the stored trees) reproduces the brute batch
+/// pipeline bit-for-bit — the indexed and the scanned neighbour search are
+/// interchangeable end to end.
+#[test]
+fn vptree_indexed_model_scores_in_sample_points_bitwise_like_batch() {
+    let g = SyntheticConfig::new(220, 6).with_seed(34).generate();
+    let hics = Hics::new(quick_params());
+    let batch = hics.run(&g.dataset);
+
+    let model = hics.fit_with_config(
+        &g.dataset,
+        NormKind::None,
+        ScorerConfig {
+            spec: ScorerSpec {
+                kind: ScorerKind::Lof,
+                k: 8,
+            },
+            index: IndexKind::VpTree,
+        },
+    );
+    let bytes = model.to_bytes();
+    let reloaded = HicsModel::from_bytes(&bytes).expect("artifact roundtrip");
+    assert!(reloaded.index().is_some(), "trees survive the roundtrip");
+    let engine = QueryEngine::from_model(&reloaded, 4);
+    let stats = engine.index_stats();
+    assert_eq!(stats.kind, IndexKind::VpTree);
+    assert!(stats.from_artifact, "stored trees are adopted, not rebuilt");
+    assert!(stats.nodes > 0);
+
+    for i in 0..g.dataset.n() {
+        let q = engine.score(&g.dataset.row(i)).expect("valid row");
+        assert!(
+            q == batch.scores[i],
+            "object {i}: vptree-served score {q} != batch score {}",
+            batch.scores[i]
+        );
+    }
+}
+
+/// Forcing either backend onto the same artifact changes nothing: a brute
+/// engine over a v2 artifact and a vptree engine over a v1 artifact both
+/// reproduce the default engine's scores bitwise, in and out of sample.
+#[test]
+fn forced_backends_agree_bitwise_in_and_out_of_sample() {
+    let g = SyntheticConfig::new(180, 5).with_seed(35).generate();
+    let hics = Hics::new(quick_params());
+    let v1 = hics.fit(&g.dataset, NormKind::MinMax);
+    let brute = QueryEngine::from_model(&v1, 2);
+    let vp = QueryEngine::from_model_with_index(&v1, Some(IndexKind::VpTree), 2);
+    assert_eq!(vp.index_stats().kind, IndexKind::VpTree);
+    assert!(
+        !vp.index_stats().from_artifact,
+        "v1 artifact: built at load"
+    );
+    // In-sample rows plus novel out-of-sample queries.
+    let mut queries: Vec<Vec<f64>> = (0..g.dataset.n())
+        .step_by(5)
+        .map(|i| g.dataset.row(i))
+        .collect();
+    for t in 0..40 {
+        queries.push(
+            (0..g.dataset.d())
+                .map(|j| (t * 7 + j) as f64 * 0.13 - 2.0)
+                .collect(),
+        );
+    }
+    for q in &queries {
+        assert_eq!(brute.score(q), vp.score(q));
     }
 }
 

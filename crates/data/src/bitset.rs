@@ -57,6 +57,29 @@ impl SliceMask {
         }
     }
 
+    /// Clears the bits of every id in `ids` — the inverse of
+    /// [`SliceMask::fill_from_ids`], used to shift a cached rank-window mask
+    /// incrementally: clear the ids leaving the window, set the ids entering
+    /// it, instead of rebuilding the whole block.
+    #[inline]
+    pub fn clear_ids(&mut self, ids: &[u32]) {
+        for &id in ids {
+            let id = id as usize;
+            debug_assert!(id < self.n, "object id {id} out of range 0..{}", self.n);
+            self.words[id >> 6] &= !(1u64 << (id & 63));
+        }
+    }
+
+    /// Overwrites this mask with the contents of `other` (`O(N/64)` word
+    /// copy).
+    ///
+    /// # Panics
+    /// Panics if the masks range over different object counts.
+    pub fn copy_from(&mut self, other: &SliceMask) {
+        assert_eq!(self.n, other.n, "mask copy requires equal domains");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Sets one bit.
     ///
     /// # Panics
@@ -271,6 +294,32 @@ mod tests {
         let mut a = SliceMask::new(10);
         let b = SliceMask::new(11);
         a.and_assign_popcount(&b);
+    }
+
+    #[test]
+    fn clear_ids_is_inverse_of_fill() {
+        let mut m = SliceMask::new(200);
+        m.fill_from_ids(&[1, 5, 64, 150, 199]);
+        m.clear_ids(&[5, 150, 7]); // clearing an unset bit is a no-op
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 64, 199]);
+    }
+
+    #[test]
+    fn copy_from_replicates_exactly() {
+        let mut a = SliceMask::new(130);
+        a.fill_from_ids(&[0, 64, 129]);
+        let mut b = SliceMask::new(130);
+        b.fill_from_ids(&[1, 2, 3]);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_from_rejects_mismatched_domains() {
+        let mut a = SliceMask::new(10);
+        let b = SliceMask::new(11);
+        a.copy_from(&b);
     }
 
     #[test]

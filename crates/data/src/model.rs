@@ -14,7 +14,7 @@
 //! * the selected subspaces with their contrast scores,
 //! * the scorer configuration (scorer kind, `k`, aggregation).
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (versions 1 and 2)
 //!
 //! Little-endian throughout. A fixed 72-byte header, then sections that each
 //! begin on an 8-byte boundary from the start of the file, so a memory map
@@ -23,7 +23,7 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic "HICSMDL\0"
-//!      8     4  format version (u32, = 1)
+//!      8     4  format version (u32, 1 or 2)
 //!     12     4  header length  (u32, = 72)
 //!     16     8  n — objects    (u64)
 //!     24     8  d — attributes (u64)
@@ -42,7 +42,19 @@
 //!            sub lens    count × u32
 //!            sub dims    Σ lens × u32  (flattened, ascending per subspace)
 //!            contrasts   count × f64
+//! ----- version 2 only: neighbor-index section -----
+//!            index kind  u32 (1 = VP-tree) + u32 reserved
+//!            per subspace:
+//!              node count u32, ids length u32
+//!              nodes      count × 32 B (vantage, inner, outer, start, len,
+//!                         reserved — all u32 — then mu f64)
+//!              ids        length × u32, zero-padded to 8 B
 //! ```
+//!
+//! A model **without** a prebuilt index serialises as version 1 — exactly
+//! the pre-index byte stream, so older readers keep working and new readers
+//! fall back to the brute-force scan. A model carrying per-subspace VP-trees
+//! serialises as version 2 with the index section appended.
 //!
 //! The inverse ranks of the [`RankIndex`] are not stored: they are rebuilt
 //! from the order permutations in `O(D·N)` at load time (and validating the
@@ -59,8 +71,9 @@ use crate::index::RankIndex;
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current (maximum) on-disk format version. Version 1 lacks the
+/// neighbor-index section and is still written for models without one.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File magic, first eight bytes of every model artifact.
 pub const MAGIC: [u8; 8] = *b"HICSMDL\0";
@@ -365,6 +378,121 @@ pub struct ModelSubspace {
     pub contrast: f64,
 }
 
+/// Sentinel for "no node" / "no vantage" in [`VpNodeData`] links.
+pub const VP_NONE: u32 = u32::MAX;
+
+/// One VP-tree node in its plain-old-data on-disk form. Internal nodes
+/// carry a vantage object and the median radius `mu` splitting the inner
+/// ball (`d ≤ mu`) from the outer shell (`d ≥ mu`); leaves carry a range of
+/// [`VpTreeData::ids`].
+///
+/// The data carrier lives in `hics-data` so the artifact can serialise
+/// prebuilt trees; construction and querying live in `hics-outlier`, which
+/// owns the distance kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VpNodeData {
+    /// Vantage object id ([`VP_NONE`] for leaves).
+    pub vantage: u32,
+    /// Node index of the inner-ball child ([`VP_NONE`] for leaves).
+    pub inner: u32,
+    /// Node index of the outer-shell child ([`VP_NONE`] for leaves).
+    pub outer: u32,
+    /// Leaf range start into [`VpTreeData::ids`] (0 for internal nodes).
+    pub start: u32,
+    /// Leaf range length (0 for internal nodes).
+    pub len: u32,
+    /// Median vantage distance of internal nodes (0 for leaves).
+    pub mu: f64,
+}
+
+/// One subspace's VP-tree as flat arrays (node 0 is the root).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VpTreeData {
+    /// Tree nodes in construction order.
+    pub nodes: Vec<VpNodeData>,
+    /// Object ids referenced by leaf ranges (vantages live in the nodes).
+    pub ids: Vec<u32>,
+}
+
+/// The prebuilt neighbor-index payload of a version-2 artifact: one VP-tree
+/// per model subspace, aligned with [`HicsModel::subspaces`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelIndex {
+    /// Per-subspace trees, same order as the subspace section.
+    pub trees: Vec<VpTreeData>,
+}
+
+/// Structural validation of one serialized VP-tree over `n` objects: every
+/// link in range, no node visited twice, leaf ranges disjoint and exactly
+/// covering `ids`, and every object appearing exactly once as a vantage or
+/// leaf entry. Rejecting here means the query path can traverse without
+/// bounds anxiety.
+fn validate_tree(tree: &VpTreeData, n: usize) -> Result<(), String> {
+    if tree.nodes.is_empty() {
+        return Err("tree has no nodes".into());
+    }
+    let mut visited = vec![false; tree.nodes.len()];
+    let mut seen = vec![false; n];
+    let mut covered_ids = 0usize;
+    let mut stack = vec![0u32];
+    while let Some(idx) = stack.pop() {
+        let node = tree
+            .nodes
+            .get(idx as usize)
+            .ok_or_else(|| format!("node link {idx} out of range"))?;
+        if std::mem::replace(&mut visited[idx as usize], true) {
+            return Err(format!("node {idx} reachable twice"));
+        }
+        if node.vantage == VP_NONE {
+            // Leaf: a range of ids, no children, no radius.
+            if node.inner != VP_NONE || node.outer != VP_NONE || node.mu != 0.0 {
+                return Err(format!("leaf node {idx} carries internal fields"));
+            }
+            let start = node.start as usize;
+            let end = start + node.len as usize;
+            if end > tree.ids.len() {
+                return Err(format!("leaf node {idx} range exceeds ids"));
+            }
+            for &id in &tree.ids[start..end] {
+                if (id as usize) >= n || std::mem::replace(&mut seen[id as usize], true) {
+                    return Err(format!("leaf object id {id} invalid or duplicated"));
+                }
+            }
+            covered_ids += node.len as usize;
+        } else {
+            if (node.vantage as usize) >= n
+                || std::mem::replace(&mut seen[node.vantage as usize], true)
+            {
+                return Err(format!("vantage id {} invalid or duplicated", node.vantage));
+            }
+            if !node.mu.is_finite() || node.mu < 0.0 {
+                return Err(format!("node {idx} has invalid radius {}", node.mu));
+            }
+            if node.len != 0 {
+                return Err(format!("internal node {idx} carries a leaf range"));
+            }
+            if node.inner == VP_NONE || node.outer == VP_NONE {
+                return Err(format!("internal node {idx} is missing a child"));
+            }
+            stack.push(node.inner);
+            stack.push(node.outer);
+        }
+    }
+    if covered_ids != tree.ids.len() {
+        return Err(format!(
+            "leaf ranges cover {covered_ids} of {} ids",
+            tree.ids.len()
+        ));
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!("object {missing} missing from the tree"));
+    }
+    if visited.iter().any(|&v| !v) {
+        return Err("unreachable tree nodes".into());
+    }
+    Ok(())
+}
+
 /// A trained HiCS model: the reference data, its rank index, the selected
 /// subspaces, and the scorer configuration. See the module docs for the
 /// on-disk format.
@@ -377,6 +505,7 @@ pub struct HicsModel {
     scorer: ScorerSpec,
     aggregation: AggregationKind,
     rank: RankIndex,
+    index: Option<ModelIndex>,
 }
 
 impl PartialEq for HicsModel {
@@ -389,6 +518,7 @@ impl PartialEq for HicsModel {
             && self.subspaces == other.subspaces
             && self.scorer == other.scorer
             && self.aggregation == other.aggregation
+            && self.index == other.index
     }
 }
 
@@ -440,7 +570,37 @@ impl HicsModel {
             scorer,
             aggregation,
             rank,
+            index: None,
         }
+    }
+
+    /// Attaches (or removes) a prebuilt neighbor index. With an index the
+    /// artifact serialises as format version 2; without one it stays a
+    /// version-1 byte stream.
+    ///
+    /// # Panics
+    /// Panics if the tree count does not match the subspace count or a tree
+    /// fails structural validation — the same contract
+    /// [`HicsModel::from_bytes`] enforces with errors.
+    pub fn set_index(&mut self, index: Option<ModelIndex>) {
+        if let Some(idx) = &index {
+            assert_eq!(
+                idx.trees.len(),
+                self.subspaces.len(),
+                "one tree per subspace"
+            );
+            for (s, tree) in idx.trees.iter().enumerate() {
+                if let Err(msg) = validate_tree(tree, self.n()) {
+                    panic!("invalid VP-tree for subspace {s}: {msg}");
+                }
+            }
+        }
+        self.index = index;
+    }
+
+    /// The prebuilt neighbor index, if the model carries one.
+    pub fn index(&self) -> Option<&ModelIndex> {
+        self.index.as_ref()
     }
 
     /// Number of trained objects `N`.
@@ -505,13 +665,15 @@ impl HicsModel {
     // Serialisation
     // ------------------------------------------------------------------
 
-    /// Encodes the model into the version-1 binary format.
+    /// Encodes the model into its binary format: version 1 without a
+    /// neighbor index, version 2 with one.
     pub fn to_bytes(&self) -> Vec<u8> {
         let n = self.n();
         let d = self.d();
+        let version = if self.index.is_some() { 2 } else { 1 };
         let mut buf = Vec::with_capacity(HEADER_LEN + d * n * 12 + 1024);
         buf.extend_from_slice(&MAGIC);
-        push_u32(&mut buf, FORMAT_VERSION);
+        push_u32(&mut buf, version);
         push_u32(&mut buf, HEADER_LEN as u32);
         push_u64(&mut buf, n as u64);
         push_u64(&mut buf, d as u64);
@@ -561,6 +723,28 @@ impl HicsModel {
         pad8(&mut buf);
         for s in &self.subspaces {
             push_f64(&mut buf, s.contrast);
+        }
+        // Version 2: the neighbor-index section.
+        if let Some(index) = &self.index {
+            push_u32(&mut buf, 1); // index kind: VP-tree
+            push_u32(&mut buf, 0); // reserved
+            for tree in &index.trees {
+                push_u32(&mut buf, tree.nodes.len() as u32);
+                push_u32(&mut buf, tree.ids.len() as u32);
+                for node in &tree.nodes {
+                    push_u32(&mut buf, node.vantage);
+                    push_u32(&mut buf, node.inner);
+                    push_u32(&mut buf, node.outer);
+                    push_u32(&mut buf, node.start);
+                    push_u32(&mut buf, node.len);
+                    push_u32(&mut buf, 0); // reserved
+                    push_f64(&mut buf, node.mu);
+                }
+                for &id in &tree.ids {
+                    push_u32(&mut buf, id);
+                }
+                pad8(&mut buf);
+            }
         }
 
         let payload = (buf.len() - HEADER_LEN) as u64;
@@ -719,6 +903,63 @@ impl HicsModel {
             }
             sub.contrast = c;
         }
+        // Version 2 appends the neighbor-index section; a version-1 stream
+        // ends here and downstream consumers fall back to the brute scan.
+        let index = if version >= 2 {
+            let kind = r.u32()?;
+            if kind != 1 {
+                return Err(ModelError::Invalid(format!("unknown index kind {kind}")));
+            }
+            let reserved = r.u32()?;
+            if reserved != 0 {
+                return Err(ModelError::Invalid("non-zero index reserved field".into()));
+            }
+            let mut trees = Vec::with_capacity(sub_count);
+            for s in 0..sub_count {
+                let node_count = r.u32()? as usize;
+                let ids_len = r.u32()? as usize;
+                // Reserve what the declared counts imply, capped by what the
+                // byte stream can actually still hold.
+                let mut nodes = Vec::with_capacity(node_count.min(bytes.len() / 32));
+                for _ in 0..node_count {
+                    let vantage = r.u32()?;
+                    let inner = r.u32()?;
+                    let outer = r.u32()?;
+                    let start = r.u32()?;
+                    let len = r.u32()?;
+                    let reserved = r.u32()?;
+                    if reserved != 0 {
+                        return Err(ModelError::Invalid(format!(
+                            "non-zero reserved node field in tree {s}"
+                        )));
+                    }
+                    let mu = r.f64()?;
+                    nodes.push(VpNodeData {
+                        vantage,
+                        inner,
+                        outer,
+                        start,
+                        len,
+                        mu,
+                    });
+                }
+                let mut ids = Vec::with_capacity(ids_len.min(bytes.len() / 4));
+                for _ in 0..ids_len {
+                    ids.push(r.u32()?);
+                }
+                r.align8()?;
+                let tree = VpTreeData { nodes, ids };
+                if let Err(msg) = validate_tree(&tree, n) {
+                    return Err(ModelError::Invalid(format!(
+                        "invalid VP-tree for subspace {s}: {msg}"
+                    )));
+                }
+                trees.push(tree);
+            }
+            Some(ModelIndex { trees })
+        } else {
+            None
+        };
         if r.offset != bytes.len() {
             return Err(ModelError::Invalid(format!(
                 "{} trailing bytes after the last section",
@@ -739,6 +980,7 @@ impl HicsModel {
             },
             aggregation,
             rank,
+            index,
         })
     }
 

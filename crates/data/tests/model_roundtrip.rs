@@ -3,7 +3,8 @@
 //! are rejected with errors, never panics or silent misreads.
 
 use hics_data::model::{
-    AggregationKind, HicsModel, ModelError, ModelSubspace, NormKind, ScorerKind, ScorerSpec,
+    AggregationKind, HicsModel, ModelError, ModelIndex, ModelSubspace, NormKind, ScorerKind,
+    ScorerSpec, VpNodeData, VpTreeData, VP_NONE,
 };
 use hics_data::Dataset;
 use proptest::prelude::*;
@@ -203,15 +204,120 @@ fn corrupt_magic_version_and_length_have_specific_errors() {
     // reference objects), even with a freshly stamped checksum.
     let mut bad = good;
     bad[16..24].copy_from_slice(&1u64.to_le_bytes());
-    let restamped = {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for &b in bad[..64].iter().chain(&bad[72..]) {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        h
-    };
-    bad[64..72].copy_from_slice(&restamped.to_le_bytes());
+    restamp(&mut bad);
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::Invalid(_))
+    ));
+}
+
+/// Recomputes and writes the header checksum (FNV-1a over bytes 0..64 and
+/// 72..end) so corruption tests can reach the validation *behind* it.
+fn restamp(bytes: &mut [u8]) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes[..64].iter().chain(&bytes[72..]) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    bytes[64..72].copy_from_slice(&h.to_le_bytes());
+}
+
+/// The simplest structurally valid VP-tree over `n` objects: one leaf
+/// holding every id. Enough to exercise the version-2 section machinery
+/// without depending on the tree builder (which lives downstream in
+/// `hics-outlier`).
+fn single_leaf_tree(n: usize) -> VpTreeData {
+    VpTreeData {
+        nodes: vec![VpNodeData {
+            vantage: VP_NONE,
+            inner: VP_NONE,
+            outer: VP_NONE,
+            start: 0,
+            len: n as u32,
+            mu: 0.0,
+        }],
+        ids: (0..n as u32).collect(),
+    }
+}
+
+/// A model without an index serialises as format version 1 — byte-stream
+/// compatible with pre-index readers — and loads with the brute fallback
+/// (`index() == None`); a model with trees serialises as version 2 and
+/// round-trips the trees exactly.
+#[test]
+fn version_1_and_2_roundtrip_and_fall_back() {
+    let mut model = build_model(
+        12,
+        3,
+        (0..36).collect(),
+        vec![vec![true, false, true]],
+        0,
+        3,
+        true,
+        0,
+    );
+    let v1 = model.to_bytes();
+    assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+    let loaded_v1 = HicsModel::from_bytes(&v1).expect("v1 loads");
+    assert!(loaded_v1.index().is_none(), "v1 falls back to brute");
+    assert_eq!(loaded_v1, model);
+
+    let trees: Vec<VpTreeData> = model
+        .subspaces()
+        .iter()
+        .map(|_| single_leaf_tree(model.n()))
+        .collect();
+    model.set_index(Some(ModelIndex { trees }));
+    let v2 = model.to_bytes();
+    assert_eq!(u32::from_le_bytes(v2[8..12].try_into().unwrap()), 2);
+    assert!(v2.len() > v1.len(), "v2 appends the index section");
+    let loaded_v2 = HicsModel::from_bytes(&v2).expect("v2 loads");
+    assert_eq!(loaded_v2.index(), model.index());
+    assert_eq!(loaded_v2, model);
+    // Canonical encodings both ways.
+    assert_eq!(loaded_v1.to_bytes(), v1);
+    assert_eq!(loaded_v2.to_bytes(), v2);
+}
+
+/// Truncation anywhere inside the version-2 index section is rejected —
+/// as is a structurally corrupt tree hiding behind a valid checksum.
+#[test]
+fn index_section_truncation_and_corruption_are_rejected() {
+    let mut model = build_model(10, 2, (0..20).collect(), vec![vec![true]], 1, 2, false, 1);
+    let v1_len = model.to_bytes().len();
+    let trees: Vec<VpTreeData> = model
+        .subspaces()
+        .iter()
+        .map(|_| single_leaf_tree(model.n()))
+        .collect();
+    model.set_index(Some(ModelIndex { trees }));
+    let v2 = model.to_bytes();
+
+    // Every cut that removes part of the index section must fail loudly.
+    for cut in [v1_len, v1_len + 4, v2.len() - 9, v2.len() - 4, v2.len() - 1] {
+        assert!(
+            HicsModel::from_bytes(&v2[..cut]).is_err(),
+            "cut at {cut} of {} accepted",
+            v2.len()
+        );
+    }
+
+    // A duplicated leaf id (checksum freshly stamped so the corruption is
+    // only visible to the tree validator) is rejected as invalid.
+    let mut bad = v2.clone();
+    let ids_end = bad.len();
+    let prev = bad[ids_end - 8..ids_end - 4].to_vec();
+    bad[ids_end - 4..].copy_from_slice(&prev);
+    restamp(&mut bad);
+    assert!(matches!(
+        HicsModel::from_bytes(&bad),
+        Err(ModelError::Invalid(_))
+    ));
+
+    // An unknown index kind is rejected.
+    let mut bad = v2.clone();
+    bad[v1_len..v1_len + 4].copy_from_slice(&9u32.to_le_bytes());
+    restamp(&mut bad);
     assert!(matches!(
         HicsModel::from_bytes(&bad),
         Err(ModelError::Invalid(_))

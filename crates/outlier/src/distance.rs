@@ -7,6 +7,44 @@
 
 use hics_data::Dataset;
 
+/// A collection of points restricted to one subspace — the metric substrate
+/// every neighbour-search backend ([`crate::index::NeighborIndex`] users,
+/// the brute scan and the VP-tree alike) is generic over.
+///
+/// The two implementations are the borrowed [`SubspaceView`] (batch path:
+/// column slices straight out of the [`Dataset`]) and the owned
+/// [`SubspaceLayout`] (serving path: columns gathered once per model load).
+/// Both compute distances with the **same floating-point expressions**, so
+/// swapping one for the other never changes a single bit of any score.
+pub trait Points: Sync {
+    /// Number of objects.
+    fn n(&self) -> usize;
+
+    /// Subspace dimensionality.
+    fn dims(&self) -> usize;
+
+    /// Coordinate of object `i` on the `t`-th subspace axis.
+    fn coord(&self, i: usize, t: usize) -> f64;
+
+    /// Squared Euclidean distance between objects `a` and `b`.
+    fn sq_dist(&self, a: usize, b: usize) -> f64;
+
+    /// Squared Euclidean distance between an external query point (in
+    /// subspace axis order) and object `j`, computed query-minus-object so a
+    /// query that coincides bitwise with a stored object reproduces the
+    /// in-sample distances bit-for-bit.
+    fn sq_dist_to_point(&self, j: usize, point: &[f64]) -> f64;
+
+    /// Copies object `i`'s subspace coordinates into `out` (cleared first) —
+    /// the scratch-reusing gather of the indexed in-sample batch path.
+    fn gather_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        for t in 0..self.dims() {
+            out.push(self.coord(i, t));
+        }
+    }
+}
+
 /// A borrowed view of a dataset restricted to a subset of attributes.
 #[derive(Debug, Clone)]
 pub struct SubspaceView<'a> {
@@ -66,6 +104,96 @@ impl<'a> SubspaceView<'a> {
     /// distances bit-for-bit.
     #[inline]
     pub fn sq_dist_to_point(&self, j: usize, point: &[f64]) -> f64 {
+        debug_assert_eq!(point.len(), self.cols.len());
+        let mut acc = 0.0;
+        for (c, &p) in self.cols.iter().zip(point) {
+            let d = p - c[j];
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+impl Points for SubspaceView<'_> {
+    fn n(&self) -> usize {
+        SubspaceView::n(self)
+    }
+
+    fn dims(&self) -> usize {
+        SubspaceView::dims(self)
+    }
+
+    #[inline]
+    fn coord(&self, i: usize, t: usize) -> f64 {
+        self.cols[t][i]
+    }
+
+    #[inline]
+    fn sq_dist(&self, a: usize, b: usize) -> f64 {
+        SubspaceView::sq_dist(self, a, b)
+    }
+
+    #[inline]
+    fn sq_dist_to_point(&self, j: usize, point: &[f64]) -> f64 {
+        SubspaceView::sq_dist_to_point(self, j, point)
+    }
+}
+
+/// An **owned** per-subspace gather of the selected columns — the point
+/// layout the query engine precomputes once per model load, so serving a
+/// request re-derives nothing: no column-reference gathering, no attribute
+/// indirection, just contiguous coordinate slices.
+///
+/// Distance arithmetic mirrors [`SubspaceView`] expression for expression
+/// (both loop over columns accumulating `(p − c[j])²` in axis order), so a
+/// layout gathered from the same dataset produces bit-identical distances.
+#[derive(Debug, Clone)]
+pub struct SubspaceLayout {
+    cols: Vec<Vec<f64>>,
+    n: usize,
+}
+
+impl SubspaceLayout {
+    /// Gathers the columns of `dims` out of `data` into owned storage.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or contains an out-of-range index.
+    pub fn gather(data: &Dataset, dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty(),
+            "subspace layout needs at least one attribute"
+        );
+        let cols: Vec<Vec<f64>> = dims.iter().map(|&j| data.col(j).to_vec()).collect();
+        Self { n: data.n(), cols }
+    }
+}
+
+impl Points for SubspaceLayout {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn dims(&self) -> usize {
+        self.cols.len()
+    }
+
+    #[inline]
+    fn coord(&self, i: usize, t: usize) -> f64 {
+        self.cols[t][i]
+    }
+
+    #[inline]
+    fn sq_dist(&self, a: usize, b: usize) -> f64 {
+        let mut acc = 0.0;
+        for c in &self.cols {
+            let d = c[a] - c[b];
+            acc += d * d;
+        }
+        acc
+    }
+
+    #[inline]
+    fn sq_dist_to_point(&self, j: usize, point: &[f64]) -> f64 {
         debug_assert_eq!(point.len(), self.cols.len());
         let mut acc = 0.0;
         for (c, &p) in self.cols.iter().zip(point) {
@@ -156,5 +284,35 @@ mod tests {
     fn rejects_empty_dims() {
         let d = data();
         SubspaceView::new(&d, &[]);
+    }
+
+    #[test]
+    fn layout_distances_match_view_bitwise() {
+        let g = hics_data::SyntheticConfig::new(120, 5)
+            .with_seed(17)
+            .generate();
+        let dims = [0, 2, 4];
+        let view = SubspaceView::new(&g.dataset, &dims);
+        let layout = SubspaceLayout::gather(&g.dataset, &dims);
+        assert_eq!(Points::n(&layout), Points::n(&view));
+        assert_eq!(Points::dims(&layout), Points::dims(&view));
+        let mut row = Vec::new();
+        for a in (0..120).step_by(7) {
+            layout.gather_into(a, &mut row);
+            for b in 0..120 {
+                assert_eq!(Points::sq_dist(&layout, a, b), view.sq_dist(a, b));
+                assert_eq!(
+                    Points::sq_dist_to_point(&layout, b, &row),
+                    view.sq_dist_to_point(b, &row)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn layout_rejects_empty_dims() {
+        let d = data();
+        SubspaceLayout::gather(&d, &[]);
     }
 }

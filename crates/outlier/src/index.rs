@@ -1,0 +1,622 @@
+//! The pluggable per-subspace neighbour-index layer.
+//!
+//! Every density scorer in this crate reduces to one primitive: the
+//! k-distance neighbourhood of a query point among the subspace-projected
+//! objects. [`SubspaceIndex`] is that primitive made pluggable — the
+//! brute-force scan (the paper's assumption, `O(N · |S|)` per query) and a
+//! metric [`VpTree`] (Yianilos 1993; `O(log N)` expected per query in the
+//! 2–5-dimensional subspaces HiCS selects) behind one seam, threaded through
+//! batch kNN/LOF scoring, the serving-path [`crate::query::QueryEngine`],
+//! and the model artifact (`hics_data::model`, format version 2).
+//!
+//! # Exactness contract
+//!
+//! Swapping the backend never changes a single bit of any score:
+//!
+//! * query-to-object distances are computed by the **same**
+//!   [`Points::sq_dist_to_point`] expression both backends call;
+//! * the tied neighbourhood is a pure function of those squared distances —
+//!   everything with `d² ≤` the k-th smallest `d²` — and both backends
+//!   finalise it through `knn::neighborhood_from_members` (one `(d², id)`
+//!   sort, `sqrt` last);
+//! * tree traversal prunes with a relative ε-slack wide enough to absorb
+//!   `sqrt` rounding in the triangle-inequality bounds, so boundary ties are
+//!   always visited, never lost.
+//!
+//! When does brute still win? Tiny `N` (the whole scan fits in L1 and the
+//! tree adds pointer chasing) and large `k/N` ratios (the pruning radius
+//!  stays so wide the tree degenerates to a scan with overhead). The
+//! `bench_query` bin quantifies the crossover.
+
+use crate::distance::Points;
+use crate::knn::{knn_query, knn_query_point, neighborhood_from_members, Neighborhood};
+use crate::parallel::{par_map, par_map_init};
+use hics_data::model::{VpNodeData, VpTreeData, VP_NONE};
+
+/// Which neighbour-search backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// Linear scan over all objects (exact, zero build cost).
+    #[default]
+    Brute,
+    /// Per-subspace vantage-point tree (exact, `O(N log N)` build).
+    VpTree,
+}
+
+impl IndexKind {
+    /// Display / CLI-option name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::Brute => "brute",
+            IndexKind::VpTree => "vptree",
+        }
+    }
+}
+
+impl std::str::FromStr for IndexKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "brute" => Ok(IndexKind::Brute),
+            "vptree" | "vp-tree" | "vp" => Ok(IndexKind::VpTree),
+            other => Err(format!("unknown index kind {other:?} (brute|vptree)")),
+        }
+    }
+}
+
+/// Points per leaf before a subtree stops splitting. Small enough that a
+/// leaf scan stays a handful of distance evaluations, large enough that the
+/// tree does not drown in per-node bookkeeping.
+const LEAF_SIZE: usize = 12;
+
+/// A vantage-point tree over one subspace's points.
+///
+/// The structure is plain old data ([`VpTreeData`], shared with the model
+/// artifact): flat node and id arrays, node 0 the root. Construction picks
+/// the first id of each partition as vantage and splits the rest at the
+/// median vantage distance with `(d², id)` tie-breaking, which makes the
+/// tree a **deterministic** function of the point set — a tree rebuilt at
+/// load time is byte-identical to the one stored at fit time.
+#[derive(Debug, Clone)]
+pub struct VpTree {
+    data: VpTreeData,
+}
+
+impl VpTree {
+    /// Builds the tree over all points (`O(N log N)` distance evaluations).
+    ///
+    /// # Panics
+    /// Panics if the point set is empty.
+    pub fn build<P: Points>(points: &P) -> Self {
+        let n = points.n();
+        assert!(n >= 1, "VP-tree needs at least one point");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "VP-tree ids cap at u32::MAX points"
+        );
+        let mut work: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * n / LEAF_SIZE + 1);
+        let mut ids = Vec::with_capacity(n);
+        let mut buf: Vec<(f64, u32)> = Vec::with_capacity(n);
+        build_rec(points, &mut work, &mut buf, &mut nodes, &mut ids, 0, n);
+        Self {
+            data: VpTreeData { nodes, ids },
+        }
+    }
+
+    /// Wraps a deserialised tree. The caller (the artifact loader) has
+    /// already validated the structure.
+    pub fn from_data(data: VpTreeData) -> Self {
+        Self { data }
+    }
+
+    /// The plain-old-data form for serialisation.
+    pub fn as_data(&self) -> &VpTreeData {
+        &self.data
+    }
+
+    /// Consumes the tree into its serialisable form.
+    pub fn into_data(self) -> VpTreeData {
+        self.data
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.data.nodes.len()
+    }
+
+    /// The k-distance neighbourhood of `point` among the indexed points,
+    /// excluding object `exclude` — same contract, same result, bit for
+    /// bit, as [`crate::knn::knn_query_point`]. `k` must already be clamped
+    /// to the candidate count (see [`SubspaceIndex::knn_point`]).
+    pub fn knn<P: Points>(
+        &self,
+        points: &P,
+        point: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Neighborhood {
+        debug_assert_eq!(points.n(), count_objects(&self.data));
+        let mut search = Search {
+            tree: &self.data,
+            points,
+            point,
+            exclude,
+            heap: KSmallest::new(k),
+            cands: Vec::with_capacity(2 * k + 16),
+            compact_at: (4 * k).max(64),
+        };
+        search.visit(0);
+        let k_sq = search.heap.bound();
+        debug_assert!(k_sq.is_finite() || point.iter().any(|v| !v.is_finite()));
+        let members: Vec<(f64, u32)> = search
+            .cands
+            .into_iter()
+            .filter(|&(d, _)| d <= k_sq)
+            .collect();
+        neighborhood_from_members(members, k_sq)
+    }
+}
+
+/// Total objects a tree references (vantages + leaf entries).
+fn count_objects(data: &VpTreeData) -> usize {
+    data.ids.len() + data.nodes.iter().filter(|n| n.vantage != VP_NONE).count()
+}
+
+/// Recursive median-split construction over `work[start..start+len]`.
+/// Leaf contents are appended to `ids` (the compact leaf-entry array the
+/// on-disk format stores — vantages live in the nodes, not in `ids`).
+/// Returns the created node's index.
+fn build_rec<P: Points>(
+    points: &P,
+    work: &mut [u32],
+    buf: &mut Vec<(f64, u32)>,
+    nodes: &mut Vec<VpNodeData>,
+    ids: &mut Vec<u32>,
+    start: usize,
+    len: usize,
+) -> u32 {
+    let node_id = nodes.len() as u32;
+    if len <= LEAF_SIZE {
+        nodes.push(VpNodeData {
+            vantage: VP_NONE,
+            inner: VP_NONE,
+            outer: VP_NONE,
+            start: ids.len() as u32,
+            len: len as u32,
+            mu: 0.0,
+        });
+        ids.extend_from_slice(&work[start..start + len]);
+        return node_id;
+    }
+    let vantage = work[start];
+    // Order the rest by (squared vantage distance, id): the median of the
+    // squared distances is the median of the distances (sqrt is monotone),
+    // and the id tie-break makes the split deterministic under duplicates.
+    buf.clear();
+    for &id in &work[start + 1..start + len] {
+        buf.push((points.sq_dist(vantage as usize, id as usize), id));
+    }
+    let rest = len - 1;
+    let inner_count = rest.div_ceil(2);
+    buf.select_nth_unstable_by(inner_count - 1, |a, b| {
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+    });
+    let mu = buf[inner_count - 1].0.sqrt();
+    for (t, &(_, id)) in buf.iter().enumerate() {
+        work[start + 1 + t] = id;
+    }
+    nodes.push(VpNodeData {
+        vantage,
+        inner: VP_NONE, // patched below
+        outer: VP_NONE,
+        start: 0,
+        len: 0,
+        mu,
+    });
+    let inner = build_rec(points, work, buf, nodes, ids, start + 1, inner_count);
+    let outer = build_rec(
+        points,
+        work,
+        buf,
+        nodes,
+        ids,
+        start + 1 + inner_count,
+        rest - inner_count,
+    );
+    nodes[node_id as usize].inner = inner;
+    nodes[node_id as usize].outer = outer;
+    node_id
+}
+
+/// One in-flight kNN traversal.
+struct Search<'a, P: Points> {
+    tree: &'a VpTreeData,
+    points: &'a P,
+    point: &'a [f64],
+    exclude: Option<usize>,
+    heap: KSmallest,
+    cands: Vec<(f64, u32)>,
+    /// Buffer length at which the next compaction runs; doubles with the
+    /// surviving buffer so compaction stays amortised O(1) per candidate
+    /// even when everything ties and nothing can be dropped.
+    compact_at: usize,
+}
+
+impl<P: Points> Search<'_, P> {
+    fn visit(&mut self, node: u32) {
+        let nd = self.tree.nodes[node as usize];
+        if nd.vantage == VP_NONE {
+            // Leaf: scan the id range.
+            let start = nd.start as usize;
+            for &id in &self.tree.ids[start..start + nd.len as usize] {
+                if Some(id as usize) != self.exclude {
+                    let d_sq = self.points.sq_dist_to_point(id as usize, self.point);
+                    self.offer(d_sq, id);
+                }
+            }
+            return;
+        }
+        // Internal: the vantage is itself a candidate, and its distance
+        // routes the traversal.
+        let d_sq = self
+            .points
+            .sq_dist_to_point(nd.vantage as usize, self.point);
+        if Some(nd.vantage as usize) != self.exclude {
+            self.offer(d_sq, nd.vantage);
+        }
+        let d = d_sq.sqrt();
+        // ε-slack absorbing sqrt/sum rounding in the triangle bounds: never
+        // prune a subtree whose true lower bound could still tie the current
+        // k-distance. ~1e-12 relative is ≫ the ~1e-15 worst-case error.
+        let eps = (d + nd.mu) * 1e-12;
+        if d < nd.mu {
+            // Query inside the ball: the inner child is the nearer side.
+            if d - nd.mu <= self.heap.bound_dist() + eps {
+                self.visit(nd.inner);
+            }
+            if nd.mu - d <= self.heap.bound_dist() + eps {
+                self.visit(nd.outer);
+            }
+        } else {
+            if nd.mu - d <= self.heap.bound_dist() + eps {
+                self.visit(nd.outer);
+            }
+            if d - nd.mu <= self.heap.bound_dist() + eps {
+                self.visit(nd.inner);
+            }
+        }
+    }
+
+    /// Feeds one candidate to the k-smallest tracker and the tied-member
+    /// buffer. Non-strict bound comparisons keep every potential tie.
+    #[inline]
+    fn offer(&mut self, d_sq: f64, id: u32) {
+        if d_sq <= self.heap.bound() {
+            self.heap.offer(d_sq);
+            self.cands.push((d_sq, id));
+            // Keep the buffer from ballooning on adversarial visit orders:
+            // everything beyond the current bound can never re-qualify. The
+            // threshold doubles with whatever survives, so tie-heavy data
+            // (where nothing is droppable) pays O(1) amortised, not a full
+            // rescan per offer.
+            if self.cands.len() >= self.compact_at {
+                let bound = self.heap.bound();
+                self.cands.retain(|&(d, _)| d <= bound);
+                self.compact_at = (2 * self.cands.len()).max(4 * self.heap.k).max(64);
+            }
+        }
+    }
+}
+
+/// A max-heap of the k smallest squared distances seen so far. The top is
+/// the running k-distance bound; `+∞` until k candidates have been seen
+/// (nothing may be pruned before that).
+struct KSmallest {
+    heap: Vec<f64>,
+    k: usize,
+}
+
+impl KSmallest {
+    fn new(k: usize) -> Self {
+        debug_assert!(k >= 1);
+        Self {
+            heap: Vec::with_capacity(k),
+            k,
+        }
+    }
+
+    /// The current squared k-distance bound.
+    #[inline]
+    fn bound(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap[0]
+        }
+    }
+
+    /// The current k-distance bound (metric space, for pruning).
+    #[inline]
+    fn bound_dist(&self) -> f64 {
+        self.bound().sqrt()
+    }
+
+    fn offer(&mut self, d_sq: f64) {
+        if self.heap.len() < self.k {
+            self.heap.push(d_sq);
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if self.heap[parent].total_cmp(&self.heap[i]).is_lt() {
+                    self.heap.swap(parent, i);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if d_sq.total_cmp(&self.heap[0]).is_lt() {
+            // Strictly smaller than the current k-th: replace the top. An
+            // exact tie leaves the bound unchanged either way.
+            self.heap[0] = d_sq;
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut largest = i;
+                if l < self.heap.len() && self.heap[l].total_cmp(&self.heap[largest]).is_gt() {
+                    largest = l;
+                }
+                if r < self.heap.len() && self.heap[r].total_cmp(&self.heap[largest]).is_gt() {
+                    largest = r;
+                }
+                if largest == i {
+                    break;
+                }
+                self.heap.swap(i, largest);
+                i = largest;
+            }
+        }
+    }
+}
+
+/// A built neighbour index for one subspace — the seam every scoring layer
+/// holds. `Brute` carries no state; `VpTree` owns the per-subspace tree.
+#[derive(Debug, Clone, Default)]
+pub enum SubspaceIndex {
+    /// Linear scan (no precomputed state).
+    #[default]
+    Brute,
+    /// Vantage-point tree over the subspace's points.
+    VpTree(VpTree),
+}
+
+impl SubspaceIndex {
+    /// Builds the requested index kind over `points`.
+    pub fn build<P: Points>(points: &P, kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Brute => SubspaceIndex::Brute,
+            IndexKind::VpTree => SubspaceIndex::VpTree(VpTree::build(points)),
+        }
+    }
+
+    /// The backend this index implements.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            SubspaceIndex::Brute => IndexKind::Brute,
+            SubspaceIndex::VpTree(_) => IndexKind::VpTree,
+        }
+    }
+
+    /// Number of index nodes (0 for brute).
+    pub fn node_count(&self) -> usize {
+        match self {
+            SubspaceIndex::Brute => 0,
+            SubspaceIndex::VpTree(t) => t.node_count(),
+        }
+    }
+
+    /// The k-distance neighbourhood of an external query point — the
+    /// backend-dispatched form of [`crate::knn::knn_query_point`], with the
+    /// identical contract (tied neighbourhood, `k` clamped to the candidate
+    /// count, optional self-exclusion for in-sample queries).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `point` has the wrong arity, or no candidate
+    /// objects remain after the exclusion.
+    pub fn knn_point<P: Points>(
+        &self,
+        points: &P,
+        point: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Neighborhood {
+        match self {
+            SubspaceIndex::Brute => knn_query_point(points, point, k, exclude),
+            SubspaceIndex::VpTree(tree) => {
+                let n = points.n();
+                assert!(k >= 1, "k must be at least 1");
+                assert_eq!(
+                    point.len(),
+                    points.dims(),
+                    "query point arity must match the subspace"
+                );
+                let candidates = n - usize::from(exclude.is_some_and(|e| e < n));
+                assert!(
+                    candidates >= 1,
+                    "query needs at least one candidate neighbour"
+                );
+                tree.knn(points, point, k.min(candidates), exclude)
+            }
+        }
+    }
+}
+
+/// Computes the k-distance neighbourhood of every object through the given
+/// index, in parallel over queries — the index-dispatched counterpart of
+/// [`crate::knn::knn_all`], bit-identical for every backend.
+///
+/// `k` is clamped to `N − 1`.
+///
+/// # Panics
+/// Panics if the point set has fewer than 2 objects or `k == 0`.
+pub fn knn_all_indexed<P: Points>(
+    points: &P,
+    index: &SubspaceIndex,
+    k: usize,
+    max_threads: usize,
+) -> Vec<Neighborhood> {
+    let n = points.n();
+    assert!(n >= 2, "kNN requires at least two objects");
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n - 1);
+    match index {
+        // The brute in-sample path never materialises the query row.
+        SubspaceIndex::Brute => par_map(n, max_threads, |i| knn_query(points, i, k)),
+        SubspaceIndex::VpTree(tree) => par_map_init(
+            n,
+            max_threads,
+            || Vec::with_capacity(points.dims()),
+            |row, i| {
+                points.gather_into(i, row);
+                tree.knn(points, row, k, Some(i))
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{SubspaceLayout, SubspaceView};
+    use crate::knn::knn_all;
+    use hics_data::{Dataset, SyntheticConfig};
+
+    fn assert_same_hoods(a: &[Neighborhood], b: &[Neighborhood]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x, y, "object {i}");
+        }
+    }
+
+    #[test]
+    fn vptree_matches_brute_on_random_data() {
+        for (n, d, k) in [(50, 2, 3), (300, 3, 10), (500, 5, 25)] {
+            let g = SyntheticConfig::new(n, d).with_seed(n as u64).generate();
+            let dims: Vec<usize> = (0..d.min(3)).collect();
+            let view = SubspaceView::new(&g.dataset, &dims);
+            let tree = SubspaceIndex::build(&view, IndexKind::VpTree);
+            let brute = knn_all(&view, k, 2);
+            let indexed = knn_all_indexed(&view, &tree, k, 2);
+            assert_same_hoods(&brute, &indexed);
+        }
+    }
+
+    #[test]
+    fn vptree_matches_brute_with_duplicates_and_ties() {
+        // A tight integer grid plus exact duplicates: every distance ties.
+        let mut rows = Vec::new();
+        for x in 0..6 {
+            for y in 0..6 {
+                rows.push(vec![x as f64, y as f64]);
+                rows.push(vec![x as f64, y as f64]); // duplicate
+            }
+        }
+        let data = Dataset::from_rows(&rows);
+        let view = SubspaceView::new(&data, &[0, 1]);
+        let tree = SubspaceIndex::build(&view, IndexKind::VpTree);
+        for k in [1, 2, 5, 11] {
+            assert_same_hoods(&knn_all(&view, k, 1), &knn_all_indexed(&view, &tree, k, 1));
+        }
+    }
+
+    #[test]
+    fn vptree_point_queries_match_brute_point_queries() {
+        let g = SyntheticConfig::new(250, 4).with_seed(8).generate();
+        let layout = SubspaceLayout::gather(&g.dataset, &[0, 2, 3]);
+        let tree = SubspaceIndex::build(&layout, IndexKind::VpTree);
+        let brute = SubspaceIndex::Brute;
+        for i in (0..250).step_by(13) {
+            let mut row = Vec::new();
+            layout.gather_into(i, &mut row);
+            // In-sample with exclusion, in-sample without, and perturbed.
+            for (point, exclude) in [
+                (row.clone(), Some(i)),
+                (row.clone(), None),
+                (row.iter().map(|v| v + 0.37).collect::<Vec<_>>(), None),
+            ] {
+                let b = brute.knn_point(&layout, &point, 7, exclude);
+                let t = tree.knn_point(&layout, &point, 7, exclude);
+                assert_eq!(b, t, "object {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn vptree_k_clamps_to_candidates() {
+        let data = Dataset::from_columns(vec![vec![0.0, 1.0, 2.0, 3.0, 10.0]]);
+        let view = SubspaceView::new(&data, &[0]);
+        let tree = SubspaceIndex::build(&view, IndexKind::VpTree);
+        let q = tree.knn_point(&view, &[0.5], 100, Some(0));
+        assert_eq!(q.neighbors.len(), 4);
+        let all = tree.knn_point(&view, &[0.5], 100, None);
+        assert_eq!(all.neighbors.len(), 5);
+    }
+
+    #[test]
+    fn build_is_deterministic_and_roundtrips_through_data() {
+        let g = SyntheticConfig::new(180, 3).with_seed(4).generate();
+        let view = SubspaceView::new(&g.dataset, &[0, 1]);
+        let a = VpTree::build(&view);
+        let b = VpTree::build(&view);
+        assert_eq!(a.as_data(), b.as_data());
+        let restored = VpTree::from_data(a.clone().into_data());
+        let mut row = Vec::new();
+        view.gather_into(17, &mut row);
+        assert_eq!(
+            a.knn(&view, &row, 5, Some(17)),
+            restored.knn(&view, &row, 5, Some(17))
+        );
+    }
+
+    #[test]
+    fn tiny_point_sets_build_and_answer() {
+        for n in 1..6 {
+            let data = Dataset::from_columns(vec![(0..n).map(|i| i as f64).collect()]);
+            let view = SubspaceView::new(&data, &[0]);
+            let tree = SubspaceIndex::build(&view, IndexKind::VpTree);
+            if n >= 2 {
+                assert_same_hoods(&knn_all(&view, 2, 1), &knn_all_indexed(&view, &tree, 2, 1));
+            }
+            let q = tree.knn_point(&view, &[0.25], 1, None);
+            assert_eq!(q.neighbors[0], 0);
+        }
+    }
+
+    #[test]
+    fn index_kind_parses_and_names() {
+        assert_eq!("brute".parse::<IndexKind>().unwrap(), IndexKind::Brute);
+        assert_eq!("vptree".parse::<IndexKind>().unwrap(), IndexKind::VpTree);
+        assert!("grid".parse::<IndexKind>().is_err());
+        assert_eq!(IndexKind::VpTree.name(), "vptree");
+        assert_eq!(IndexKind::default(), IndexKind::Brute);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vptree_rejects_zero_k() {
+        let data = Dataset::from_columns(vec![vec![0.0, 1.0]]);
+        let view = SubspaceView::new(&data, &[0]);
+        let tree = SubspaceIndex::build(&view, IndexKind::VpTree);
+        tree.knn_point(&view, &[0.5], 0, None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vptree_rejects_no_candidates() {
+        let data = Dataset::from_columns(vec![vec![0.0]]);
+        let view = SubspaceView::new(&data, &[0]);
+        let tree = SubspaceIndex::build(&view, IndexKind::VpTree);
+        tree.knn_point(&view, &[0.5], 1, Some(0));
+    }
+}

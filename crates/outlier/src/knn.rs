@@ -6,11 +6,14 @@
 //! depends on that. The kNN kernel therefore returns the full tied
 //! neighbourhood, not an arbitrary truncation.
 //!
-//! Brute force is the right choice here: subspace dimensionality is small
+//! Brute force is the *default* here — subspace dimensionality is small
 //! (2–5), queries are batched over all `N` objects, and the paper's own
-//! complexity discussion assumes the quadratic LOF kernel (Section V-A-2).
+//! complexity discussion assumes the quadratic LOF kernel (Section V-A-2) —
+//! but every entry point is generic over [`Points`], and the index-backed
+//! counterparts in [`crate::index`] produce bit-identical neighbourhoods in
+//! `O(log N)` expected time per query.
 
-use crate::distance::SubspaceView;
+use crate::distance::Points;
 use crate::parallel::par_map;
 
 /// The k-distance neighbourhood of one query object.
@@ -32,7 +35,7 @@ pub struct Neighborhood {
 ///
 /// # Panics
 /// Panics if the view contains fewer than 2 objects or `k == 0`.
-pub fn knn_all(view: &SubspaceView<'_>, k: usize, max_threads: usize) -> Vec<Neighborhood> {
+pub fn knn_all<P: Points>(view: &P, k: usize, max_threads: usize) -> Vec<Neighborhood> {
     let n = view.n();
     assert!(n >= 2, "kNN requires at least two objects");
     assert!(k >= 1, "k must be at least 1");
@@ -41,7 +44,7 @@ pub fn knn_all(view: &SubspaceView<'_>, k: usize, max_threads: usize) -> Vec<Nei
 }
 
 /// The k-distance neighbourhood of a single query.
-fn knn_query(view: &SubspaceView<'_>, i: usize, k: usize) -> Neighborhood {
+pub(crate) fn knn_query<P: Points>(view: &P, i: usize, k: usize) -> Neighborhood {
     let n = view.n();
     let mut dists: Vec<(f64, u32)> = Vec::with_capacity(n - 1);
     for j in 0..n {
@@ -64,8 +67,8 @@ fn knn_query(view: &SubspaceView<'_>, i: usize, k: usize) -> Neighborhood {
 /// # Panics
 /// Panics if `k == 0`, `point` has the wrong arity, or no candidate objects
 /// remain after the exclusion.
-pub fn knn_query_point(
-    view: &SubspaceView<'_>,
+pub fn knn_query_point<P: Points>(
+    view: &P,
     point: &[f64],
     k: usize,
     exclude: Option<usize>,
@@ -92,13 +95,23 @@ pub fn knn_query_point(
 }
 
 /// Selects the k-distance neighbourhood out of candidate squared distances
-/// (the shared tail of [`knn_query`] and [`knn_query_point`]).
+/// (the shared tail of [`knn_query`] and [`knn_query_point`]; the VP-tree
+/// assembles through [`crate::knn::neighborhood_from_members`] instead, but
+/// both paths end in the same `(d², id)` sort and `sqrt`).
 fn neighborhood_from_sq_dists(mut dists: Vec<(f64, u32)>, k: usize) -> Neighborhood {
     // Partition so the k smallest squared distances are in front.
     dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
     let k_sq = dists[k - 1].0;
     // Gather the full tied neighbourhood (everything with d² <= k-dist²).
-    let mut members: Vec<(f64, u32)> = dists.iter().copied().filter(|&(d, _)| d <= k_sq).collect();
+    let members: Vec<(f64, u32)> = dists.iter().copied().filter(|&(d, _)| d <= k_sq).collect();
+    neighborhood_from_members(members, k_sq)
+}
+
+/// Assembles a [`Neighborhood`] from the tied member set and the squared
+/// k-distance: one `(d², id)` sort, `sqrt` at the very end — the **only**
+/// place a neighbourhood is finalised, so the brute scan and the VP-tree
+/// cannot disagree on ordering, tie-breaks, or rounding.
+pub(crate) fn neighborhood_from_members(mut members: Vec<(f64, u32)>, k_sq: f64) -> Neighborhood {
     members.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     Neighborhood {
         neighbors: members.iter().map(|&(_, j)| j).collect(),
@@ -110,6 +123,7 @@ fn neighborhood_from_sq_dists(mut dists: Vec<(f64, u32)>, k: usize) -> Neighborh
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distance::SubspaceView;
     use hics_data::Dataset;
 
     fn line_dataset() -> Dataset {

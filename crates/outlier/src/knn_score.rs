@@ -8,7 +8,8 @@
 //! that extension, plus the ablation bench that compares it against LOF.
 
 use crate::distance::SubspaceView;
-use crate::knn::{knn_all, Neighborhood};
+use crate::index::{knn_all_indexed, IndexKind, SubspaceIndex};
+use crate::knn::Neighborhood;
 use crate::scorer::SubspaceScorer;
 use hics_data::Dataset;
 
@@ -44,6 +45,8 @@ pub struct KnnScorer {
     pub kind: KnnScoreKind,
     /// Maximum worker threads.
     pub max_threads: usize,
+    /// Neighbour-search backend for the kNN phase (default brute).
+    pub index: IndexKind,
 }
 
 impl KnnScorer {
@@ -57,6 +60,7 @@ impl KnnScorer {
             k,
             kind: KnnScoreKind::Mean,
             max_threads: crate::parallel::available_threads(),
+            index: IndexKind::Brute,
         }
     }
 
@@ -66,10 +70,18 @@ impl KnnScorer {
         self
     }
 
+    /// Switches the kNN phase to the given neighbour-search backend
+    /// (builder style). Scores are bit-identical for every backend.
+    pub fn with_index(mut self, index: IndexKind) -> Self {
+        self.index = index;
+        self
+    }
+
     /// Computes scores restricted to `dims`.
     pub fn scores(&self, data: &Dataset, dims: &[usize]) -> Vec<f64> {
         let view = SubspaceView::new(data, dims);
-        let hoods = knn_all(&view, self.k, self.max_threads);
+        let index = SubspaceIndex::build(&view, self.index);
+        let hoods = knn_all_indexed(&view, &index, self.k, self.max_threads);
         hoods.iter().map(|h| self.kind.score(h)).collect()
     }
 }
@@ -130,5 +142,19 @@ mod tests {
     fn scorer_name_reflects_kind() {
         assert_eq!(KnnScorer::new(5).name(), "kNN-mean");
         assert_eq!(KnnScorer::new(5).kth_distance().name(), "kNN-kth");
+    }
+
+    #[test]
+    fn vptree_index_scores_are_bit_identical() {
+        let g = hics_data::SyntheticConfig::new(350, 4)
+            .with_seed(21)
+            .generate();
+        for scorer in [KnnScorer::new(6), KnnScorer::new(6).kth_distance()] {
+            let brute = scorer.scores(&g.dataset, &[0, 2]);
+            let indexed = scorer
+                .with_index(IndexKind::VpTree)
+                .scores(&g.dataset, &[0, 2]);
+            assert_eq!(brute, indexed, "{}", scorer.name());
+        }
     }
 }

@@ -1,6 +1,9 @@
 //! # hics-outlier — density-based outlier ranking substrate
 //!
-//! * [`distance`] — subspace-restricted Euclidean metrics.
+//! * [`distance`] — subspace-restricted Euclidean metrics (the [`Points`]
+//!   seam shared by the borrowed batch view and the owned serving layout).
+//! * [`index`] — the pluggable per-subspace neighbour-index layer: brute
+//!   scan and VP-tree behind one seam, bit-identical results.
 //! * [`knn`] — brute-force k-distance neighbourhoods with LOF tie handling.
 //! * [`lof`] — the Local Outlier Factor (Breunig et al. 2000), from scratch.
 //! * [`knn_score`] — kNN-distance scores (ORCA-flavoured future-work scorer).
@@ -16,6 +19,7 @@
 
 pub mod aggregate;
 pub mod distance;
+pub mod index;
 pub mod kde_score;
 pub mod knn;
 pub mod knn_score;
@@ -25,10 +29,11 @@ pub mod query;
 pub mod scorer;
 
 pub use aggregate::{aggregate_scores, Aggregation};
-pub use distance::SubspaceView;
+pub use distance::{Points, SubspaceLayout, SubspaceView};
+pub use index::{knn_all_indexed, IndexKind, SubspaceIndex, VpTree};
 pub use kde_score::KdeScorer;
 pub use knn::{knn_all, knn_query_point, Neighborhood};
 pub use knn_score::{KnnScoreKind, KnnScorer};
 pub use lof::{lof_from_neighborhoods, lrd_from_neighborhoods, Lof, LofParams};
-pub use query::{QueryEngine, QueryError};
+pub use query::{IndexStats, QueryEngine, QueryError};
 pub use scorer::{score_and_aggregate, score_subspaces, SubspaceScorer};

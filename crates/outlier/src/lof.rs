@@ -13,7 +13,8 @@
 //! of duplicates is not an outlier), matching ELKI's behaviour.
 
 use crate::distance::SubspaceView;
-use crate::knn::{knn_all, Neighborhood};
+use crate::index::{knn_all_indexed, IndexKind, SubspaceIndex};
+use crate::knn::Neighborhood;
 use crate::scorer::SubspaceScorer;
 use hics_data::Dataset;
 
@@ -25,6 +26,9 @@ pub struct LofParams {
     /// Maximum worker threads for the kNN phase. Default 16 (capped by the
     /// machine).
     pub max_threads: usize,
+    /// Neighbour-search backend for the kNN phase. Default brute; the
+    /// VP-tree returns bit-identical scores in `O(N log N)` total.
+    pub index: IndexKind,
 }
 
 impl Default for LofParams {
@@ -32,6 +36,7 @@ impl Default for LofParams {
         Self {
             k: 10,
             max_threads: crate::parallel::available_threads(),
+            index: IndexKind::Brute,
         }
     }
 }
@@ -65,11 +70,19 @@ impl Lof {
         self.params.k
     }
 
+    /// Switches the kNN phase to the given neighbour-search backend
+    /// (builder style). Scores are bit-identical for every backend.
+    pub fn with_index(mut self, index: IndexKind) -> Self {
+        self.params.index = index;
+        self
+    }
+
     /// Computes LOF scores for all objects using distances restricted to the
     /// attribute set `dims`.
     pub fn scores(&self, data: &Dataset, dims: &[usize]) -> Vec<f64> {
         let view = SubspaceView::new(data, dims);
-        let hoods = knn_all(&view, self.params.k, self.params.max_threads);
+        let index = SubspaceIndex::build(&view, self.params.index);
+        let hoods = knn_all_indexed(&view, &index, self.params.k, self.params.max_threads);
         lof_from_neighborhoods(&hoods)
     }
 }
@@ -243,14 +256,28 @@ mod tests {
         let a = Lof::new(LofParams {
             k: 8,
             max_threads: 1,
+            ..LofParams::default()
         })
         .scores(&g.dataset, &[0, 1]);
         let b = Lof::new(LofParams {
             k: 8,
             max_threads: 8,
+            ..LofParams::default()
         })
         .scores(&g.dataset, &[0, 1]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vptree_index_scores_are_bit_identical() {
+        let g = SyntheticConfig::new(400, 5).with_seed(18).generate();
+        for dims in [vec![0, 1], vec![1, 2, 4]] {
+            let brute = Lof::with_k(9).scores(&g.dataset, &dims);
+            let indexed = Lof::with_k(9)
+                .with_index(crate::index::IndexKind::VpTree)
+                .scores(&g.dataset, &dims);
+            assert_eq!(brute, indexed, "dims {dims:?}");
+        }
     }
 
     #[test]
@@ -259,6 +286,7 @@ mod tests {
         Lof::new(LofParams {
             k: 0,
             max_threads: 1,
+            ..LofParams::default()
         });
     }
 }

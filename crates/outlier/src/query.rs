@@ -5,9 +5,14 @@
 //! inverse: project a **new** point into each of the model's high-contrast
 //! subspaces and compute its density-based outlier score against the trained
 //! columns, without re-running the subspace search. [`QueryEngine`] holds
-//! everything that is derivable once per model load (per-subspace k-distance
+//! everything that is derivable once per model load: per-subspace point
+//! layouts (columns gathered once, never re-derived per request), a
+//! per-subspace neighbour index (brute scan or VP-tree — stored trees from a
+//! version-2 artifact are reused, otherwise built at load), k-distance
 //! neighbourhoods, LOF reachability densities, the non-finite clamp of each
-//! subspace) so a query costs one `O(N · |S|)` distance scan per subspace.
+//! subspace, and a hash of the first trained column for `O(1)` in-sample
+//! detection. With the VP-tree a query costs `O(log N)` expected per
+//! subspace instead of the brute `O(N · |S|)` scan.
 //!
 //! **In-sample fidelity:** a query row that coincides bitwise with a
 //! training row is detected and scored with that object excluded from its
@@ -18,8 +23,8 @@
 //! `crates/core/tests/serve_equivalence.rs`).
 
 use crate::aggregate::Aggregation;
-use crate::distance::SubspaceView;
-use crate::knn::{knn_all, knn_query_point};
+use crate::distance::SubspaceLayout;
+use crate::index::{knn_all_indexed, IndexKind, SubspaceIndex, VpTree};
 use crate::knn_score::KnnScoreKind;
 use crate::lof::{
     lof_from_neighborhoods, lof_of_query, lrd_from_neighborhoods, lrd_from_reach_sum,
@@ -27,6 +32,8 @@ use crate::lof::{
 use crate::parallel::par_map;
 use hics_data::model::{AggregationKind, HicsModel, NormParam, ScorerKind};
 use hics_data::Dataset;
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// A malformed query row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +75,11 @@ impl std::error::Error for QueryError {}
 struct TrainedSubspace {
     /// Attribute indices of the subspace, ascending.
     dims: Vec<usize>,
+    /// The subspace's columns gathered into owned storage once — request
+    /// handling never re-derives a point layout from the full dataset.
+    layout: SubspaceLayout,
+    /// The neighbour index every query in this subspace goes through.
+    index: SubspaceIndex,
     /// k-distance of every training object (LOF reachability input).
     k_distance: Vec<f64>,
     /// Local reachability density of every training object (LOF only;
@@ -76,6 +88,21 @@ struct TrainedSubspace {
     /// Largest finite batch score of this subspace — the clamp applied to a
     /// non-finite query score, matching [`crate::aggregate_scores`].
     clamp: f64,
+}
+
+/// How the engine's neighbour index came to be — surfaced on the serving
+/// layer's `/model` and `/stats` endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// The backend in use.
+    pub kind: IndexKind,
+    /// Whether the trees were reused from the artifact (vs. built at load).
+    pub from_artifact: bool,
+    /// Total index nodes across subspaces (0 for brute).
+    pub nodes: usize,
+    /// Wall-clock microseconds spent gathering layouts and building /
+    /// adopting indexes (excludes the neighbourhood precomputation).
+    pub build_micros: u64,
 }
 
 /// Scores query points against a trained [`HicsModel`].
@@ -87,23 +114,73 @@ pub struct QueryEngine {
     k: usize,
     aggregation: Aggregation,
     subspaces: Vec<TrainedSubspace>,
+    /// First trained column keyed by bit pattern (−0.0 canonicalised to
+    /// +0.0 so `==`-equal values share a slot) → ascending object ids; makes
+    /// in-sample detection `O(1)` instead of an `O(N)` column scan.
+    coincident: HashMap<u64, Vec<u32>>,
+    index_stats: IndexStats,
 }
 
 impl QueryEngine {
-    /// Builds the engine from a loaded model: computes per-subspace training
+    /// Builds the engine from a loaded model: gathers per-subspace layouts,
+    /// adopts the artifact's prebuilt index (or the brute fallback for a
+    /// version-1 artifact), and computes per-subspace training
     /// neighbourhoods (and, for LOF, reachability densities) once, using up
     /// to `max_threads` workers.
     pub fn from_model(model: &HicsModel, max_threads: usize) -> Self {
+        Self::from_model_with_index(model, None, max_threads)
+    }
+
+    /// Like [`QueryEngine::from_model`], with an explicit backend choice:
+    /// `Some(kind)` forces `kind` (building VP-trees at load if the artifact
+    /// carries none), `None` follows the artifact (stored trees when
+    /// present, brute otherwise). Scores are bit-identical either way.
+    pub fn from_model_with_index(
+        model: &HicsModel,
+        index: Option<IndexKind>,
+        max_threads: usize,
+    ) -> Self {
         let data = model.dataset().clone();
         let spec = model.scorer();
         let k = spec.k as usize;
         let kind = spec.kind;
-        let subspaces = model
+        let chosen = index.unwrap_or(if model.index().is_some() {
+            IndexKind::VpTree
+        } else {
+            IndexKind::Brute
+        });
+        let build_start = Instant::now();
+        let mut from_artifact = false;
+        let prepared: Vec<(Vec<usize>, SubspaceLayout, SubspaceIndex)> = model
             .subspaces()
             .iter()
-            .map(|s| {
-                let view = SubspaceView::new(&data, &s.dims);
-                let hoods = knn_all(&view, k, max_threads);
+            .enumerate()
+            .map(|(s, sub)| {
+                let layout = SubspaceLayout::gather(&data, &sub.dims);
+                let index = match (chosen, model.index()) {
+                    (IndexKind::Brute, _) => SubspaceIndex::Brute,
+                    (IndexKind::VpTree, Some(stored)) => {
+                        // The stored tree is the deterministic build over
+                        // these very columns; adopting it skips the
+                        // O(N log N) construction.
+                        from_artifact = true;
+                        SubspaceIndex::VpTree(VpTree::from_data(stored.trees[s].clone()))
+                    }
+                    (IndexKind::VpTree, None) => SubspaceIndex::build(&layout, IndexKind::VpTree),
+                };
+                (sub.dims.clone(), layout, index)
+            })
+            .collect();
+        let index_stats = IndexStats {
+            kind: chosen,
+            from_artifact,
+            nodes: prepared.iter().map(|(_, _, i)| i.node_count()).sum(),
+            build_micros: build_start.elapsed().as_micros() as u64,
+        };
+        let subspaces = prepared
+            .into_iter()
+            .map(|(dims, layout, index)| {
+                let hoods = knn_all_indexed(&layout, &index, k, max_threads);
                 let (lrd, batch_scores) = match kind {
                     ScorerKind::Lof => {
                         let lrd = lrd_from_neighborhoods(&hoods);
@@ -117,13 +194,19 @@ impl QueryEngine {
                     }
                 };
                 TrainedSubspace {
-                    dims: s.dims.clone(),
+                    dims,
+                    layout,
+                    index,
                     k_distance: hoods.iter().map(|h| h.k_distance).collect(),
                     lrd,
                     clamp: finite_clamp(&batch_scores),
                 }
             })
             .collect();
+        let mut coincident: HashMap<u64, Vec<u32>> = HashMap::with_capacity(data.n());
+        for (i, &v) in data.col(0).iter().enumerate() {
+            coincident.entry(float_key(v)).or_default().push(i as u32);
+        }
         Self {
             data,
             norm: model.norm_params().to_vec(),
@@ -134,7 +217,14 @@ impl QueryEngine {
                 AggregationKind::Max => Aggregation::Max,
             },
             subspaces,
+            coincident,
+            index_stats,
         }
+    }
+
+    /// How the engine's neighbour index was obtained.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index_stats
     }
 
     /// Number of trained objects.
@@ -210,8 +300,7 @@ impl QueryEngine {
         q_sub: &[f64],
         exclude: Option<usize>,
     ) -> f64 {
-        let view = SubspaceView::new(&self.data, &sub.dims);
-        let h = knn_query_point(&view, q_sub, self.k, exclude);
+        let h = sub.index.knn_point(&sub.layout, q_sub, self.k, exclude);
         match self.kind {
             ScorerKind::Lof => {
                 let mut sum_reach = 0.0;
@@ -226,14 +315,15 @@ impl QueryEngine {
     }
 
     /// Finds a training object whose full (normalised) row equals the query
-    /// bitwise — the object to leave out of the query's neighbourhoods so
-    /// in-sample queries reproduce batch scores.
+    /// (under `f64` equality, exactly like the column scan it replaced) —
+    /// the object to leave out of the query's neighbourhoods so in-sample
+    /// queries reproduce batch scores. The first-column hash narrows the
+    /// scan to the handful of objects sharing `q[0]`; candidates are checked
+    /// in ascending id order, so the returned id matches the old scan's.
     fn find_coincident(&self, q: &[f64]) -> Option<usize> {
-        let first = self.data.col(0);
-        'outer: for (i, v) in first.iter().enumerate() {
-            if *v != q[0] {
-                continue;
-            }
+        let candidates = self.coincident.get(&float_key(q[0]))?;
+        'outer: for &i in candidates {
+            let i = i as usize;
             for (j, &qj) in q.iter().enumerate().skip(1) {
                 if self.data.value(i, j) != qj {
                     continue 'outer;
@@ -242,6 +332,18 @@ impl QueryEngine {
             return Some(i);
         }
         None
+    }
+}
+
+/// Hash key of one trained value: the bit pattern, with `−0.0`
+/// canonicalised to `+0.0` so the map agrees with `==` (the only values in
+/// a model are finite, so no NaN can reach here).
+#[inline]
+fn float_key(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else {
+        v.to_bits()
     }
 }
 

@@ -1,0 +1,83 @@
+//! Property tests for the VP-tree neighbour index: on arbitrary data —
+//! including heavy duplicate-coordinate ties, the hardest case for a
+//! k-distance neighbourhood — the tree must return **exactly** the
+//! brute-force neighbour set: same ids, same distances (bitwise), same
+//! k-distance, for batch in-sample queries and external point queries
+//! alike.
+
+use hics_outlier::{
+    knn_all, knn_all_indexed, knn_query_point, IndexKind, Points, SubspaceIndex, SubspaceView,
+};
+use proptest::prelude::*;
+
+/// Builds a dataset whose values are quantised to a coarse grid, so exact
+/// duplicate coordinates (and therefore distance ties) are common.
+fn grid_dataset(n: usize, d: usize, raw: &[u32], levels: u32) -> hics_data::Dataset {
+    let cols: Vec<Vec<f64>> = (0..d)
+        .map(|j| {
+            (0..n)
+                .map(|i| (raw[(j * n + i) % raw.len()] % levels) as f64 / 3.0)
+                .collect()
+        })
+        .collect();
+    hics_data::Dataset::from_columns(cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Batch kNN through the tree equals the brute scan for every object:
+    /// identical neighbour ids, bitwise-identical distances and k-distance.
+    #[test]
+    fn vptree_batch_neighborhoods_equal_brute(
+        n in 2usize..120,
+        d in 1usize..4,
+        k in 1usize..15,
+        levels in 2u32..40,
+        raw in prop::collection::vec(0u32..10_000, 16..64),
+    ) {
+        let data = grid_dataset(n, d, &raw, levels);
+        let dims: Vec<usize> = (0..d).collect();
+        let view = SubspaceView::new(&data, &dims);
+        let index = SubspaceIndex::build(&view, IndexKind::VpTree);
+        let brute = knn_all(&view, k, 1);
+        let indexed = knn_all_indexed(&view, &index, k, 1);
+        for (i, (b, t)) in brute.iter().zip(&indexed).enumerate() {
+            prop_assert!(b.neighbors == t.neighbors, "object {i} ids");
+            prop_assert!(b.distances == t.distances, "object {i} distances");
+            prop_assert!(b.k_distance == t.k_distance, "object {i} k-distance");
+        }
+    }
+
+    /// External point queries (novel points and coincident-with-exclusion
+    /// in-sample points) agree between the tree and the brute scan.
+    #[test]
+    fn vptree_point_queries_equal_brute(
+        n in 2usize..100,
+        k in 1usize..12,
+        levels in 2u32..25,
+        raw in prop::collection::vec(0u32..10_000, 16..48),
+        qx in -20i32..80,
+        qy in -20i32..80,
+    ) {
+        let data = grid_dataset(n, 2, &raw, levels);
+        let view = SubspaceView::new(&data, &[0, 1]);
+        let index = SubspaceIndex::build(&view, IndexKind::VpTree);
+        // A novel query point (possibly coinciding with grid points).
+        let q = [qx as f64 / 3.0, qy as f64 / 3.0];
+        let b = knn_query_point(&view, &q, k, None);
+        let t = index.knn_point(&view, &q, k, None);
+        prop_assert!(b == t, "novel query");
+        // Every in-sample query with self-exclusion (when a neighbour
+        // remains) must also match.
+        if n >= 2 {
+            let mut row = Vec::new();
+            for i in [0, n / 2, n - 1] {
+                view.gather_into(i, &mut row);
+                let b = knn_query_point(&view, &row, k, Some(i));
+                let t = index.knn_point(&view, &row, k, Some(i));
+                prop_assert!(b == t, "in-sample query {i}");
+            }
+        }
+    }
+}

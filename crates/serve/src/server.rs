@@ -8,8 +8,8 @@
 //! |---|---|
 //! | `POST /score` | body `{"points": [[f64; d], …]}` → `{"scores": […]}`, or `{"point": [f64; d]}` → `{"score": s}` |
 //! | `GET /healthz` | `{"status":"ok"}` liveness probe |
-//! | `GET /model` | model shape + scorer configuration |
-//! | `GET /stats` | request/row/batch counters |
+//! | `GET /model` | model shape + neighbour-index kind and build stats |
+//! | `GET /stats` | request/row/batch counters + neighbour-index stats |
 //!
 //! Per-row failures (wrong arity, non-finite values) fail the whole request
 //! with `400` and a row-indexed message — callers batch their own rows, so
@@ -201,7 +201,7 @@ fn dispatch(request: &Request, engine: &QueryEngine, batcher: &Batcher) -> (u16,
         ("POST", "/score") => score_endpoint(&request.body, engine, batcher),
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
         ("GET", "/model") => (200, model_body(engine)),
-        ("GET", "/stats") => (200, stats_body(batcher)),
+        ("GET", "/stats") => (200, stats_body(engine, batcher)),
         ("POST" | "GET", _) => (404, error_body(&format!("no route {}", request.path))),
         _ => (
             405,
@@ -291,25 +291,40 @@ fn parse_row(v: &Json, d: usize) -> Result<Vec<f64>, String> {
         .collect()
 }
 
+/// The `"index"` object shared by `/model` and `/stats`: which neighbour
+/// backend serves queries, where it came from, and what building it cost.
+fn index_object(engine: &QueryEngine) -> String {
+    let idx = engine.index_stats();
+    format!(
+        "{{\"kind\":\"{}\",\"nodes\":{},\"from_artifact\":{},\"build_micros\":{}}}",
+        idx.kind.name(),
+        idx.nodes,
+        idx.from_artifact,
+        idx.build_micros,
+    )
+}
+
 /// `GET /model` body.
 fn model_body(engine: &QueryEngine) -> String {
     format!(
-        "{{\"objects\":{},\"attributes\":{},\"subspaces\":{}}}",
+        "{{\"objects\":{},\"attributes\":{},\"subspaces\":{},\"index\":{}}}",
         engine.n(),
         engine.d(),
-        engine.subspace_count()
+        engine.subspace_count(),
+        index_object(engine),
     )
 }
 
 /// `GET /stats` body.
-fn stats_body(batcher: &Batcher) -> String {
+fn stats_body(engine: &QueryEngine, batcher: &Batcher) -> String {
     let s = batcher.stats();
     format!(
-        "{{\"requests\":{},\"rows\":{},\"batches\":{},\"coalesced_batches\":{}}}",
+        "{{\"requests\":{},\"rows\":{},\"batches\":{},\"coalesced_batches\":{},\"index\":{}}}",
         s.requests.load(Ordering::Relaxed),
         s.rows.load(Ordering::Relaxed),
         s.batches.load(Ordering::Relaxed),
         s.coalesced_batches.load(Ordering::Relaxed),
+        index_object(engine),
     )
 }
 
@@ -347,6 +362,36 @@ mod tests {
         let batcher = Batcher::start(Arc::clone(&engine), 1, 16, 1);
         f(&engine, &batcher);
         batcher.shutdown();
+    }
+
+    #[test]
+    fn vptree_engine_reports_index_and_scores_identically() {
+        let g = SyntheticConfig::new(90, 3).with_seed(6).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+        let model = HicsModel::new(
+            data,
+            NormKind::None,
+            norm,
+            vec![ModelSubspace {
+                dims: vec![0, 1],
+                contrast: 0.7,
+            }],
+            ScorerSpec {
+                kind: ScorerKind::Lof,
+                k: 5,
+            },
+            AggregationKind::Average,
+        );
+        let brute = QueryEngine::from_model(&model, 1);
+        let vp =
+            QueryEngine::from_model_with_index(&model, Some(hics_outlier::IndexKind::VpTree), 1);
+        let body = model_body(&vp);
+        assert!(body.contains("\"index\":{\"kind\":\"vptree\""), "{body}");
+        assert!(!body.contains("\"nodes\":0"), "{body}");
+        for i in (0..90).step_by(9) {
+            let row = g.dataset.row(i);
+            assert_eq!(brute.score(&row), vp.score(&row), "row {i}");
+        }
     }
 
     #[test]
@@ -409,7 +454,10 @@ mod tests {
             let (status, body) = dispatch(&get("/model"), engine, batcher);
             assert_eq!(status, 200);
             assert!(body.contains("\"attributes\":3"), "{body}");
-            assert_eq!(dispatch(&get("/stats"), engine, batcher).0, 200);
+            assert!(body.contains("\"index\":{\"kind\":\"brute\""), "{body}");
+            let (status, body) = dispatch(&get("/stats"), engine, batcher);
+            assert_eq!(status, 200);
+            assert!(body.contains("\"index\":{\"kind\":\"brute\""), "{body}");
             assert_eq!(dispatch(&get("/nope"), engine, batcher).0, 404);
             let delete = Request {
                 method: "DELETE".into(),
