@@ -1,0 +1,422 @@
+//! `bench_serve` — end-to-end latency and throughput of the serving layer,
+//! plus the artifact load-time comparison behind the engine-handle API.
+//!
+//! Three measurements over one model (d = 5, two fixed subspaces, LOF
+//! k = 10, VP-trees stored in the artifact so both load paths do identical
+//! neighbourhood precomputation):
+//!
+//! 1. **Load time, mmap vs heap** at N = 1e5: `ModelArtifact::open_mmap`
+//!    (zero-copy map + one validation pass) vs `HicsModel::load` (read +
+//!    materialise columns, order permutations and rank index), and the
+//!    engine build on top of each. Scores from the two engines are asserted
+//!    bitwise equal before anything is timed.
+//! 2. **Batch `POST /score`** over real TCP: p50/p99 end-to-end request
+//!    latency at one point per request, and points/sec for 100-point
+//!    batches.
+//! 3. **Streaming `POST /v2/score`** over the same socket protocol: p50/p99
+//!    per-line round-trip in ping-pong mode (send line, await score), and
+//!    points/sec in pipelined mode (writer thread streams every line while
+//!    the reader drains scores).
+//!
+//! Writes `BENCH_serve.json` at the repository root.
+//!
+//! Usage: `cargo run --release -p hics-bench --bin bench_serve`
+//! (optionally `--quick` for N = 1e4 and fewer requests while iterating).
+
+use hics_data::model::{
+    apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+    ScorerSpec,
+};
+use hics_data::{ModelArtifact, SyntheticConfig};
+use hics_outlier::{IndexKind, QueryEngine, SubspaceView, VpTree};
+use hics_serve::{ServeConfig, Server, ShutdownHandle};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+const D: usize = 5;
+const K: u32 = 10;
+const DATA_SEED: u64 = 7;
+
+fn build_model(n: usize) -> (HicsModel, Vec<Vec<f64>>) {
+    let g = SyntheticConfig::new(n, D).with_seed(DATA_SEED).generate();
+    let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+    let subspaces = vec![
+        ModelSubspace {
+            dims: vec![0, 1],
+            contrast: 0.9,
+        },
+        ModelSubspace {
+            dims: vec![2, 3, 4],
+            contrast: 0.7,
+        },
+    ];
+    let trees = subspaces
+        .iter()
+        .map(|s| {
+            let view = SubspaceView::new(&data, &s.dims);
+            VpTree::build(&view).into_data()
+        })
+        .collect();
+    let mut model = HicsModel::new(
+        data,
+        NormKind::None,
+        norm,
+        subspaces,
+        ScorerSpec {
+            kind: ScorerKind::Lof,
+            k: K,
+        },
+        AggregationKind::Average,
+    );
+    model.set_index(Some(hics_data::model::ModelIndex { trees }));
+    // Novel queries: training rows nudged off-grid so the coincident
+    // lookup misses and the full kNN path runs, as it would in production.
+    let queries: Vec<Vec<f64>> = (0..200)
+        .map(|q| {
+            let row = g.dataset.row((q * 31) % n);
+            row.iter()
+                .enumerate()
+                .map(|(j, v)| v + 0.001 + (q + j) as f64 * 1e-5)
+                .collect()
+        })
+        .collect();
+    (model, queries)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct LoadReport {
+    heap_open_ms: f64,
+    heap_engine_ms: f64,
+    mmap_open_ms: f64,
+    mmap_engine_ms: f64,
+}
+
+/// Times both load paths and asserts their engines agree bitwise.
+fn bench_load(path: &std::path::Path, queries: &[Vec<f64>], threads: usize) -> LoadReport {
+    let t = Instant::now();
+    let model = HicsModel::load(path).expect("heap load");
+    let heap_open_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let t = Instant::now();
+    let heap_engine = QueryEngine::from_model(&model, threads);
+    let heap_engine_ms = t.elapsed().as_secs_f64() * 1000.0;
+    drop(model);
+
+    let t = Instant::now();
+    let artifact = Arc::new(ModelArtifact::open_mmap(path).expect("mmap open"));
+    let mmap_open_ms = t.elapsed().as_secs_f64() * 1000.0;
+    assert!(artifact.is_mmap(), "expected a live memory map");
+    let t = Instant::now();
+    let mmap_engine = QueryEngine::from_artifact(artifact, None, threads);
+    let mmap_engine_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(
+            heap_engine.score(q),
+            mmap_engine.score(q),
+            "query {i}: load paths disagree — zero-copy correctness broken"
+        );
+    }
+    LoadReport {
+        heap_open_ms,
+        heap_engine_ms,
+        mmap_open_ms,
+        mmap_engine_ms,
+    }
+}
+
+fn start_server(engine: QueryEngine, threads: usize) -> (std::net::SocketAddr, ShutdownHandle) {
+    let server = Server::bind(
+        engine,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn json_line(row: &[f64]) -> String {
+    let mut s = String::with_capacity(row.len() * 20 + 2);
+    s.push('[');
+    for (j, v) in row.iter().enumerate() {
+        if j > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+    s
+}
+
+/// Reads one sized (Content-Length) HTTP response off the reader.
+fn read_sized_response<S: Read>(reader: &mut BufReader<S>) -> String {
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("head line");
+        if line == "\r\n" {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    String::from_utf8(body).expect("utf-8 body")
+}
+
+struct WireReport {
+    p50_ms: f64,
+    p99_ms: f64,
+    points_per_sec: f64,
+}
+
+/// Batch `/score`: single-point requests for latency, 100-point batches for
+/// throughput, all on one keep-alive connection.
+fn bench_batch_score(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<f64>],
+    requests: usize,
+) -> WireReport {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    let mut lat_ms = Vec::with_capacity(requests);
+    for r in 0..requests {
+        let body = format!("{{\"point\": {}}}", json_line(&queries[r % queries.len()]));
+        let t = Instant::now();
+        write!(
+            writer,
+            "POST /score HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .expect("send");
+        let reply = read_sized_response(&mut reader);
+        lat_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        assert!(reply.contains("\"score\""), "{reply}");
+    }
+    lat_ms.sort_by(f64::total_cmp);
+
+    // Throughput: 100-point batches.
+    let batch = 100usize;
+    let rows: Vec<String> = (0..batch)
+        .map(|i| json_line(&queries[i % queries.len()]))
+        .collect();
+    let body = format!("{{\"points\": [{}]}}", rows.join(","));
+    let t = Instant::now();
+    let mut points = 0usize;
+    for _ in 0..requests.div_ceil(4) {
+        write!(
+            writer,
+            "POST /score HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .expect("send");
+        let reply = read_sized_response(&mut reader);
+        assert!(reply.contains("\"scores\""), "{reply}");
+        points += batch;
+    }
+    let secs = t.elapsed().as_secs_f64();
+    WireReport {
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+        points_per_sec: points as f64 / secs,
+    }
+}
+
+/// Reads the head of a chunked response, then returns a closure-friendly
+/// reader state for pulling one chunk (= one NDJSON line) at a time.
+fn read_chunked_head<S: Read>(reader: &mut BufReader<S>) {
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("head line");
+        if line == "\r\n" {
+            return;
+        }
+    }
+}
+
+fn read_one_chunk<S: Read>(reader: &mut BufReader<S>) -> Option<String> {
+    let mut size_line = String::new();
+    reader.read_line(&mut size_line).expect("chunk size");
+    let size = usize::from_str_radix(size_line.trim(), 16).expect("hex size");
+    if size == 0 {
+        let mut crlf = String::new();
+        reader.read_line(&mut crlf).expect("final crlf");
+        return None;
+    }
+    let mut data = vec![0u8; size + 2];
+    reader.read_exact(&mut data).expect("chunk");
+    Some(String::from_utf8_lossy(&data[..size]).into_owned())
+}
+
+/// Streaming `/v2/score`, ping-pong: send one line, await its score.
+fn bench_stream_pingpong(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<f64>],
+    lines: usize,
+) -> (f64, f64) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    write!(
+        writer,
+        "POST /v2/score HTTP/1.1\r\nHost: b\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )
+    .expect("head");
+    writer.flush().expect("flush");
+    read_chunked_head(&mut reader);
+    let mut lat_ms = Vec::with_capacity(lines);
+    for i in 0..lines {
+        let line = format!("{}\n", json_line(&queries[i % queries.len()]));
+        let t = Instant::now();
+        write!(writer, "{:x}\r\n{}\r\n", line.len(), line).expect("chunk");
+        writer.flush().expect("flush");
+        let reply = read_one_chunk(&mut reader).expect("score line");
+        lat_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        assert!(reply.contains("\"score\""), "{reply}");
+    }
+    write!(writer, "0\r\n\r\n").expect("terminal");
+    while read_one_chunk(&mut reader).is_some() {}
+    lat_ms.sort_by(f64::total_cmp);
+    (percentile(&lat_ms, 0.50), percentile(&lat_ms, 0.99))
+}
+
+/// Streaming `/v2/score`, pipelined: a writer thread streams every line
+/// while the main thread drains scores — the throughput mode.
+fn bench_stream_pipelined(addr: std::net::SocketAddr, queries: &[Vec<f64>], lines: usize) -> f64 {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let payload: Vec<String> = (0..lines)
+        .map(|i| format!("{}\n", json_line(&queries[i % queries.len()])))
+        .collect();
+    let t = Instant::now();
+    let sender = std::thread::spawn(move || {
+        write!(
+            writer,
+            "POST /v2/score HTTP/1.1\r\nHost: b\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        )
+        .expect("head");
+        for line in &payload {
+            write!(writer, "{:x}\r\n{}\r\n", line.len(), line).expect("chunk");
+        }
+        write!(writer, "0\r\n\r\n").expect("terminal");
+        writer.flush().expect("flush");
+    });
+    read_chunked_head(&mut reader);
+    let mut scored = 0usize;
+    while let Some(reply) = read_one_chunk(&mut reader) {
+        assert!(reply.contains("\"score\""), "{reply}");
+        scored += 1;
+    }
+    sender.join().expect("sender thread");
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(scored, lines);
+    lines as f64 / secs
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 10_000 } else { 100_000 };
+    let requests = if quick { 50 } else { 200 };
+    let stream_lines = if quick { 200 } else { 1_000 };
+    let threads = hics_outlier::parallel::available_threads();
+
+    eprintln!("building N = {n} model with stored VP-trees...");
+    let (model, queries) = build_model(n);
+    let dir = std::env::temp_dir().join("hics-bench-serve");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("bench-serve-{n}.hics"));
+    model.save(&path).expect("save artifact");
+    let artifact_mb = std::fs::metadata(&path).expect("metadata").len() as f64 / 1e6;
+    drop(model);
+
+    eprintln!("timing load paths (artifact {artifact_mb:.1} MB)...");
+    let load = bench_load(&path, &queries, threads);
+    eprintln!(
+        "  heap: open {:.1} ms + engine {:.1} ms; mmap: open {:.1} ms + engine {:.1} ms \
+         ({:.1}x faster open)",
+        load.heap_open_ms,
+        load.heap_engine_ms,
+        load.mmap_open_ms,
+        load.mmap_engine_ms,
+        load.heap_open_ms / load.mmap_open_ms
+    );
+
+    eprintln!("starting server...");
+    let artifact = Arc::new(ModelArtifact::open_mmap(&path).expect("mmap"));
+    let engine = QueryEngine::from_artifact(artifact, Some(IndexKind::VpTree), threads);
+    let (addr, shutdown) = start_server(engine, threads);
+
+    eprintln!("batch /score: {requests} single-point requests + 100-point batches...");
+    let batch = bench_batch_score(addr, &queries, requests);
+    eprintln!(
+        "  p50 {:.3} ms / p99 {:.3} ms, {:.0} points/s batched",
+        batch.p50_ms, batch.p99_ms, batch.points_per_sec
+    );
+
+    eprintln!("streaming /v2/score: {stream_lines} lines ping-pong + pipelined...");
+    let (stream_p50, stream_p99) = bench_stream_pingpong(addr, &queries, stream_lines);
+    let stream_pps = bench_stream_pipelined(addr, &queries, stream_lines);
+    eprintln!(
+        "  p50 {stream_p50:.3} ms / p99 {stream_p99:.3} ms per line, {stream_pps:.0} points/s pipelined"
+    );
+    shutdown.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"n\": {n}, \"d\": {D}, \"k\": {K}, \"scorer\": \"lof\", \
+         \"subspaces\": [[0, 1], [2, 3, 4]], \"index\": \"vptree\", \
+         \"artifact_mb\": {artifact_mb:.1}, \"requests\": {requests}, \
+         \"stream_lines\": {stream_lines}, \"threads\": {threads}, \"data_seed\": {DATA_SEED}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"load\": {{\"heap_open_ms\": {:.2}, \"heap_engine_ms\": {:.2}, \
+         \"mmap_open_ms\": {:.2}, \"mmap_engine_ms\": {:.2}, \"open_speedup\": {:.2}}},",
+        load.heap_open_ms,
+        load.heap_engine_ms,
+        load.mmap_open_ms,
+        load.mmap_engine_ms,
+        load.heap_open_ms / load.mmap_open_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch_score\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"points_per_sec\": {:.0}}},",
+        batch.p50_ms, batch.p99_ms, batch.points_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "  \"stream_score\": {{\"p50_ms\": {stream_p50:.3}, \"p99_ms\": {stream_p99:.3}, \
+         \"points_per_sec\": {stream_pps:.0}}}"
+    );
+    json.push('}');
+    json.push('\n');
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

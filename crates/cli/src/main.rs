@@ -12,14 +12,25 @@
 //!               [--normalize none|minmax|zscore] [--index brute|vptree]
 //!               [search options]
 //! hics score    --model model.hics --input queries.csv [--labels] [--top 20]
-//!               [--out scores.csv] [--index brute|vptree]
+//!               [--out scores.csv] [--index brute|vptree] [--load mmap|heap]
 //! hics serve    --model model.hics [--addr 127.0.0.1:7878] [--max-batch 512]
-//!               [--workers 1] [--index brute|vptree]
+//!               [--workers 1] [--index brute|vptree] [--load mmap|heap]
 //! ```
 //!
 //! `--index` selects the neighbour-search backend: `vptree` prebuilds (fit)
 //! or uses (score/serve) per-subspace VP-trees for `O(log N)` queries at
 //! bit-identical scores. When omitted, `score`/`serve` follow the artifact.
+//!
+//! `--load` selects how `score`/`serve` open the artifact: `mmap` (default)
+//! maps it zero-copy, `heap` materialises it — scores are bit-identical.
+//!
+//! # Exit codes (v2 CLI contract)
+//!
+//! Failure classes map to distinct exit codes so scripts can branch on
+//! `$?`: `1` generic (unknown command), `2` bad input (options, data
+//! files), `3` I/O, `4` unreadable artifact (magic/version/truncation/
+//! checksum), `5` invalid artifact content, `6` malformed query, `7`
+//! serving failure. See [`hics_data::HicsError::exit_code`].
 
 mod args;
 
@@ -28,45 +39,91 @@ use hics_baselines::{
     EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
     RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
 };
-use hics_core::{Hics, HicsParams, ScorerConfig, StatTest, SubspaceSearch};
+use hics_core::{FitBuilder, Hics, HicsParams, StatTest, SubspaceSearch};
 use hics_data::arff::read_arff_file;
 use hics_data::csv::{read_csv_file, write_csv_file, CsvData};
-use hics_data::model::{HicsModel, NormKind, ScorerKind, ScorerSpec};
-use hics_data::SyntheticConfig;
+use hics_data::model::{NormKind, ScorerKind, ScorerSpec};
+use hics_data::{HicsError, HicsModel, ModelArtifact, SyntheticConfig};
 use hics_eval::report::{Stopwatch, TextTable};
 use hics_eval::roc::roc_auc;
 use hics_outlier::{IndexKind, QueryEngine};
 use hics_serve::{ServeConfig, Server};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// A CLI failure, carrying its exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad usage: unparsable options, missing arguments (exit 2).
+    Usage(ArgError),
+    /// A typed failure from the stack, mapped to its class code.
+    Hics(HicsError),
+    /// Anything else (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Hics(e) => e.exit_code(),
+            CliError::Other(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Hics(e) => write!(f, "{e}"),
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+impl From<HicsError> for CliError {
+    fn from(e: HicsError) -> Self {
+        CliError::Hics(e)
+    }
+}
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(raw) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("run `hics help` for usage");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_) | CliError::Other(_)) {
+                eprintln!("run `hics help` for usage");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(raw: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+fn run(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
     match args.command.as_deref() {
-        Some("generate") => cmd_generate(&args).map_err(|e| e.to_string()),
-        Some("search") => cmd_search(&args).map_err(|e| e.to_string()),
-        Some("rank") => cmd_rank(&args).map_err(|e| e.to_string()),
-        Some("evaluate") => cmd_evaluate(&args).map_err(|e| e.to_string()),
-        Some("fit") => cmd_fit(&args).map_err(|e| e.to_string()),
-        Some("score") => cmd_score(&args).map_err(|e| e.to_string()),
-        Some("serve") => cmd_serve(&args).map_err(|e| e.to_string()),
+        Some("generate") => cmd_generate(&args),
+        Some("search") => cmd_search(&args),
+        Some("rank") => cmd_rank(&args),
+        Some("evaluate") => cmd_evaluate(&args),
+        Some("fit") => cmd_fit(&args),
+        Some("score") => cmd_score(&args),
+        Some("serve") => cmd_serve(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}")),
+        Some(other) => Err(CliError::Other(format!("unknown command {other:?}"))),
     }
 }
 
@@ -83,30 +140,34 @@ fn print_usage() {
     println!("            [--normalize none|minmax|zscore] [--index brute|vptree] [--k 10]");
     println!("            [search options]");
     println!("  score     --model <model.hics> --input <queries.csv> [--labels] [--top 20]");
-    println!("            [--out <scores.csv>] [--index brute|vptree]");
+    println!("            [--out <scores.csv>] [--index brute|vptree] [--load mmap|heap]");
     println!("  serve     --model <model.hics> [--addr 127.0.0.1:7878] [--max-batch 512]");
-    println!("            [--workers 1] [--index brute|vptree]");
+    println!("            [--workers 1] [--index brute|vptree] [--load mmap|heap]");
     println!("  help      this message");
     println!();
     println!("  --threads N applies to search/rank/evaluate/fit/score/serve");
     println!("  (default: all hardware threads)");
     println!("  --index selects the kNN backend; score/serve default to the artifact's");
+    println!("  --load mmap (default) opens artifacts zero-copy; heap materialises them");
+    println!();
+    println!("exit codes: 1 generic, 2 bad input, 3 I/O, 4 unreadable artifact,");
+    println!("            5 invalid artifact content, 6 malformed query, 7 serving failure");
 }
 
-fn load(args: &Args) -> Result<CsvData, ArgError> {
+fn load(args: &Args) -> Result<CsvData, CliError> {
     let path = args.require("input")?;
     let labels = args.flag("labels");
     if path.ends_with(".arff") {
         // ARFF files carry their own label attribute.
         let arff = read_arff_file(Path::new(path))
-            .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+            .map_err(|e| HicsError::InvalidInput(format!("reading {path}: {e}")))?;
         return Ok(CsvData {
             dataset: arff.dataset,
             labels: arff.labels,
         });
     }
     read_csv_file(Path::new(path), true, labels)
-        .map_err(|e| ArgError(format!("reading {path}: {e}")))
+        .map_err(|e| HicsError::InvalidInput(format!("reading {path}: {e}")).into())
 }
 
 /// The worker-thread budget: `--threads N`, defaulting to the machine's
@@ -131,14 +192,14 @@ fn parse_test(name: &str) -> Result<StatTest, ArgError> {
     }
 }
 
-fn cmd_generate(args: &Args) -> Result<(), ArgError> {
+fn cmd_generate(args: &Args) -> Result<(), CliError> {
     let n: usize = args.get_or("n", 1000)?;
     let d: usize = args.get_or("d", 10)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let out = args.require("out")?;
     let g = SyntheticConfig::new(n, d).with_seed(seed).generate();
     write_csv_file(Path::new(out), &g.dataset, Some(&g.labels))
-        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+        .map_err(|e| HicsError::io(format!("writing {out}"), e))?;
     println!(
         "wrote {n} x {d} dataset with {} outliers (blocks {:?}) to {out}",
         g.outlier_count(),
@@ -147,7 +208,7 @@ fn cmd_generate(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_search(args: &Args) -> Result<(), ArgError> {
+fn cmd_search(args: &Args) -> Result<(), CliError> {
     let data = load(args)?;
     let mut p = hics_core::SearchParams {
         m: args.get_or("m", 50)?,
@@ -177,7 +238,7 @@ fn cmd_search(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn cmd_rank(args: &Args) -> Result<(), ArgError> {
+fn cmd_rank(args: &Args) -> Result<(), CliError> {
     let data = load(args)?;
     let mut params = HicsParams::paper_defaults();
     params.search.m = args.get_or("m", 50)?;
@@ -205,7 +266,7 @@ fn report_scores(
     labels: Option<&[bool]>,
     top: usize,
     out: Option<&str>,
-) -> Result<(), ArgError> {
+) -> Result<(), CliError> {
     let mut ranking: Vec<usize> = (0..scores.len()).collect();
     ranking.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     println!("rank\tobject\tscore");
@@ -221,7 +282,7 @@ fn report_scores(
             vec!["hics_score".into()],
         );
         write_csv_file(Path::new(out), &table, labels)
-            .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+            .map_err(|e| HicsError::io(format!("writing {out}"), e))?;
         println!("# wrote per-object scores to {out}");
     }
     Ok(())
@@ -260,9 +321,53 @@ fn parse_norm(name: &str) -> Result<NormKind, ArgError> {
     }
 }
 
+/// The `--load` option: how `score`/`serve` open the artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadMode {
+    /// Zero-copy memory map (the default).
+    Mmap,
+    /// Read and materialise on the heap.
+    Heap,
+}
+
+fn parse_load(args: &Args) -> Result<LoadMode, ArgError> {
+    match args.get("load").unwrap_or("mmap") {
+        "mmap" => Ok(LoadMode::Mmap),
+        "heap" => Ok(LoadMode::Heap),
+        other => Err(ArgError(format!(
+            "unknown load mode {other:?} (expected mmap|heap)"
+        ))),
+    }
+}
+
+/// Opens the artifact at `path` as a ready-to-serve engine, either through
+/// the zero-copy mmap path or the heap-materialising one (bit-identical
+/// scores; see `crates/core/tests/serve_equivalence.rs`).
+fn open_engine(
+    path: &Path,
+    mode: LoadMode,
+    index: Option<IndexKind>,
+    max_threads: usize,
+) -> Result<QueryEngine, HicsError> {
+    match mode {
+        LoadMode::Mmap => {
+            let artifact = Arc::new(ModelArtifact::open_mmap(path)?);
+            Ok(QueryEngine::from_artifact(artifact, index, max_threads))
+        }
+        LoadMode::Heap => {
+            let model = HicsModel::load(path)?;
+            Ok(QueryEngine::from_model_with_index(
+                &model,
+                index,
+                max_threads,
+            ))
+        }
+    }
+}
+
 /// `fit`: subspace search on the (optionally normalised) data, packaged
 /// into a binary model artifact for `score` / `serve`.
-fn cmd_fit(args: &Args) -> Result<(), ArgError> {
+fn cmd_fit(args: &Args) -> Result<(), CliError> {
     let data = load(args)?;
     let out = args.require("out")?;
     let mut params = HicsParams::paper_defaults();
@@ -275,7 +380,7 @@ fn cmd_fit(args: &Args) -> Result<(), ArgError> {
     params.search.max_threads = threads(args)?;
     let k: u32 = args.get_or("k", 10)?;
     if k == 0 {
-        return Err(ArgError("--k must be at least 1".into()));
+        return Err(ArgError("--k must be at least 1".into()).into());
     }
     params.lof_k = k as usize;
     let scorer = parse_scorer(args.get("scorer").unwrap_or("lof"), k)?;
@@ -283,17 +388,12 @@ fn cmd_fit(args: &Args) -> Result<(), ArgError> {
     let index = parse_index(args)?.unwrap_or(IndexKind::Brute);
 
     let watch = Stopwatch::start();
-    let model = Hics::new(params).fit_with_config(
-        &data.dataset,
-        norm,
-        ScorerConfig {
-            spec: scorer,
-            index,
-        },
-    );
-    model
-        .save(Path::new(out))
-        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    let model = FitBuilder::new(params)
+        .normalize(norm)
+        .scorer(scorer)
+        .index(index)
+        .fit(&data.dataset);
+    model.save(Path::new(out))?;
     println!(
         "# fitted {} x {} model: {} subspaces, {} scorer (k={}), {} normalization, \
          {} index, {:.2}s",
@@ -310,51 +410,48 @@ fn cmd_fit(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `score`: load a model artifact and score query rows from a CSV against
-/// it — the batch half of the serving path.
-fn cmd_score(args: &Args) -> Result<(), ArgError> {
+/// `score`: load a model artifact (zero-copy mmap by default) and score
+/// query rows from a CSV against it — the batch half of the serving path.
+fn cmd_score(args: &Args) -> Result<(), CliError> {
     let model_path = args.require("model")?;
-    let model = HicsModel::load(Path::new(model_path))
-        .map_err(|e| ArgError(format!("loading {model_path}: {e}")))?;
     let data = load(args)?;
-    if data.dataset.d() != model.d() {
-        return Err(ArgError(format!(
-            "query data has {} attributes, model expects {}",
-            data.dataset.d(),
-            model.d()
-        )));
-    }
     let max_threads = threads(args)?;
     let top: usize = args.get_or("top", 20)?;
     let index = parse_index(args)?;
+    let mode = parse_load(args)?;
 
     let watch = Stopwatch::start();
-    let engine = QueryEngine::from_model_with_index(&model, index, max_threads);
-    // The engine owns its copy of the trained columns; free the model so a
-    // large training set is not resident twice for the whole run.
-    drop(model);
+    let engine = open_engine(Path::new(model_path), mode, index, max_threads)?;
+    if data.dataset.d() != engine.d() {
+        return Err(HicsError::InvalidInput(format!(
+            "query data has {} attributes, model expects {}",
+            data.dataset.d(),
+            engine.d()
+        ))
+        .into());
+    }
     let rows: Vec<Vec<f64>> = (0..data.dataset.n()).map(|i| data.dataset.row(i)).collect();
     let results = engine.score_batch(&rows, max_threads);
     let mut scores = Vec::with_capacity(results.len());
     for (i, r) in results.into_iter().enumerate() {
-        scores.push(r.map_err(|e| ArgError(format!("row {i}: {e}")))?);
+        scores.push(r.map_err(|e| HicsError::InvalidQuery(format!("row {i}: {e}")))?);
     }
     println!(
-        "# scored {} query points in {} subspaces ({} index), {:.2}s",
+        "# scored {} query points in {} subspaces ({} index, {} load), {:.2}s",
         scores.len(),
         engine.subspace_count(),
         engine.index_stats().kind.name(),
+        if engine.is_mapped() { "mmap" } else { "heap" },
         watch.seconds()
     );
     report_scores(&scores, data.labels.as_deref(), top, args.get("out"))
 }
 
-/// `serve`: load a model artifact and answer HTTP scoring requests until
-/// killed.
-fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+/// `serve`: load a model artifact (zero-copy mmap by default) and answer
+/// HTTP scoring requests until killed. `POST /admin/reload` re-loads the
+/// same artifact path (or one named in the request) without a restart.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let model_path = args.require("model")?;
-    let model = HicsModel::load(Path::new(model_path))
-        .map_err(|e| ArgError(format!("loading {model_path}: {e}")))?;
     let max_threads = threads(args)?;
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
@@ -364,41 +461,39 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
         ..ServeConfig::default()
     };
     if config.max_batch == 0 || config.workers == 0 {
-        return Err(ArgError(
-            "--max-batch and --workers must be at least 1".into(),
-        ));
+        return Err(ArgError("--max-batch and --workers must be at least 1".into()).into());
     }
 
     let index = parse_index(args)?;
+    let mode = parse_load(args)?;
     let watch = Stopwatch::start();
-    let (n, d, subs, scorer) = (
-        model.n(),
-        model.d(),
-        model.subspaces().len(),
-        model.scorer().kind.name(),
-    );
-    let engine = QueryEngine::from_model_with_index(&model, index, max_threads);
-    // The engine owns its copy of the trained columns; free the model so a
-    // large training set is not resident twice for the server's lifetime.
-    drop(model);
+    let engine = open_engine(Path::new(model_path), mode, index, max_threads)?;
     println!(
-        "# loaded {n} x {d} model ({subs} subspaces, {scorer} scorer, {} index) in {:.2}s",
+        "# loaded {} x {} model ({} subspaces, {} index, {} load) in {:.2}s",
+        engine.n(),
+        engine.d(),
+        engine.subspace_count(),
         engine.index_stats().kind.name(),
+        if engine.is_mapped() { "mmap" } else { "heap" },
         watch.seconds()
     );
-    let server =
-        Server::bind(engine, config).map_err(|e| ArgError(format!("binding listener: {e}")))?;
+    let server = Server::bind(engine, config)
+        .map_err(|e| HicsError::Serve(format!("binding listener: {e}")))?;
+    server.set_reload_source(PathBuf::from(model_path), index);
     let addr = server
         .local_addr()
-        .map_err(|e| ArgError(format!("resolving listen address: {e}")))?;
-    println!("# serving on http://{addr}  (POST /score, GET /healthz /model /stats)");
+        .map_err(|e| HicsError::Serve(format!("resolving listen address: {e}")))?;
+    println!(
+        "# serving on http://{addr}  (POST /score /v2/score /admin/reload, \
+         GET /healthz /model /stats)"
+    );
     server
         .run()
-        .map_err(|e| ArgError(format!("serving: {e}")))?;
+        .map_err(|e| HicsError::Serve(format!("serving: {e}")))?;
     Ok(())
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), ArgError> {
+fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     let data = load(args)?;
     let labels = data
         .labels
@@ -444,7 +539,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), ArgError> {
             "pcalof1" => methods.push(Box::new(PcaLofMethod::half(k))),
             "pcalof2" => methods.push(Box::new(PcaLofMethod::fixed10(k))),
             other => {
-                return Err(ArgError(format!("unknown method {other:?}")));
+                return Err(ArgError(format!("unknown method {other:?}")).into());
             }
         }
     }

@@ -18,7 +18,7 @@ pub mod slice;
 pub mod subspace;
 
 pub use contrast::{ContrastEstimator, DeviationTest, StatTest};
-pub use pipeline::{Hics, HicsParams, HicsResult, ScorerConfig};
+pub use pipeline::{FitBuilder, Hics, HicsParams, HicsResult, ScorerConfig};
 pub use search::{ScoredSubspace, SearchParams, SearchReport, SubspaceSearch};
 pub use slice::{SliceSampler, SliceSizing};
 pub use subspace::Subspace;

@@ -54,12 +54,134 @@ impl HicsParams {
 /// subspace and stores them in the artifact (format version 2), so every
 /// later `score` / `serve` skips the `O(N log N)` construction *and* the
 /// `O(N · |S|)` per-query scan — at bit-identical scores.
+///
+/// Retained for the deprecated [`Hics::fit_with_config`] shim; new code
+/// configures fits through [`FitBuilder`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScorerConfig {
     /// The scorer family and neighbourhood size stored in the artifact.
     pub spec: ScorerSpec,
     /// The neighbour-search backend to package (default brute).
     pub index: IndexKind,
+}
+
+/// The one way to fit a servable model — search parameters plus every
+/// packaging choice (normalisation, scorer, neighbour index) behind a
+/// single builder:
+///
+/// ```no_run
+/// use hics_core::{FitBuilder, HicsParams};
+/// use hics_data::model::{NormKind, ScorerKind, ScorerSpec};
+/// use hics_outlier::IndexKind;
+/// # let data = hics_data::Dataset::from_columns(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+///
+/// let model = FitBuilder::new(HicsParams::paper_defaults())
+///     .normalize(NormKind::MinMax)
+///     .scorer(ScorerSpec { kind: ScorerKind::Lof, k: 10 })
+///     .index(IndexKind::VpTree)
+///     .fit(&data);
+/// ```
+///
+/// This replaces the v1 trio `Hics::fit` / `Hics::fit_with_scorer` /
+/// `Hics::fit_with_config`, which survive as thin deprecated shims. The
+/// defaults reproduce `Hics::fit(data, NormKind::None)`: no normalisation,
+/// LOF with the pipeline's `lof_k`, brute-force neighbour search.
+#[derive(Debug, Clone)]
+pub struct FitBuilder {
+    params: HicsParams,
+    norm: NormKind,
+    scorer: ScorerSpec,
+    index: IndexKind,
+}
+
+impl FitBuilder {
+    /// Starts a fit configuration from pipeline parameters. A `lof_k` of 0
+    /// is promoted to the paper default of 10, like [`Hics::new`].
+    pub fn new(mut params: HicsParams) -> Self {
+        if params.lof_k == 0 {
+            params.lof_k = 10;
+        }
+        Self {
+            params,
+            norm: NormKind::None,
+            scorer: ScorerSpec {
+                kind: ScorerKind::Lof,
+                k: u32::try_from(params.lof_k).expect("lof_k exceeds u32"),
+            },
+            index: IndexKind::Brute,
+        }
+    }
+
+    /// The normalisation applied to the data before the search (and stored
+    /// in the artifact so query points go through the same transform).
+    pub fn normalize(mut self, norm: NormKind) -> Self {
+        self.norm = norm;
+        self
+    }
+
+    /// The density scorer packaged in the artifact.
+    pub fn scorer(mut self, scorer: ScorerSpec) -> Self {
+        self.scorer = scorer;
+        self
+    }
+
+    /// The neighbour-search backend packaged in the artifact
+    /// ([`IndexKind::VpTree`] prebuilds and stores per-subspace trees).
+    pub fn index(mut self, index: IndexKind) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// The effective pipeline parameters.
+    pub fn params(&self) -> &HicsParams {
+        &self.params
+    }
+
+    /// Runs the subspace search on the (normalised) data and packages the
+    /// result — columns, rank index, subspaces, scorer config and optional
+    /// prebuilt index — into a [`HicsModel`] for `hics score` /
+    /// `hics serve`.
+    ///
+    /// The stored columns are the *normalised* ones, so a query engine
+    /// built from the model scores in-sample points bit-for-bit like
+    /// [`Hics::run`] on the normalised dataset.
+    pub fn fit(&self, data: &Dataset) -> HicsModel {
+        let (trained, norm_params) = apply_normalization(data, self.norm);
+        let subspaces = SubspaceSearch::new(self.params.search).run(&trained);
+        let model_subspaces: Vec<ModelSubspace> = subspaces
+            .iter()
+            .map(|s| ModelSubspace {
+                dims: s.subspace.to_vec(),
+                contrast: s.contrast,
+            })
+            .collect();
+        let aggregation = match self.params.aggregation {
+            Aggregation::Average => AggregationKind::Average,
+            Aggregation::Max => AggregationKind::Max,
+        };
+        let index = match self.index {
+            IndexKind::Brute => None,
+            IndexKind::VpTree => Some(ModelIndex {
+                trees: model_subspaces
+                    .iter()
+                    .map(|s| {
+                        let view = SubspaceView::new(&trained, &s.dims);
+                        VpTree::build(&view).into_data()
+                    })
+                    .collect(),
+            }),
+        };
+        let mut model = HicsModel::new(
+            trained,
+            self.norm,
+            norm_params,
+            model_subspaces,
+            self.scorer,
+            aggregation,
+        );
+        model.set_index(index);
+        model
+    }
 }
 
 /// Result of a pipeline run.
@@ -131,81 +253,37 @@ impl Hics {
         }
     }
 
-    /// Fits a servable model: normalises the data as requested, runs the
-    /// subspace search on the normalised columns, and packages the result
-    /// (columns, rank index, subspaces, scorer config) into a
-    /// [`HicsModel`] for `hics score` / `hics serve`. Uses the pipeline's
-    /// LOF scorer; see [`Hics::fit_with_scorer`] for the kNN variants.
+    /// Starts a [`FitBuilder`] over this pipeline's parameters — the v2
+    /// fit entry point.
+    pub fn fitter(&self) -> FitBuilder {
+        FitBuilder::new(self.params)
+    }
+
+    /// Fits a servable model with the pipeline's LOF scorer.
+    #[deprecated(note = "use Hics::fitter() / FitBuilder")]
     pub fn fit(&self, data: &Dataset, norm: NormKind) -> HicsModel {
-        self.fit_with_scorer(
-            data,
-            norm,
-            ScorerSpec {
-                kind: ScorerKind::Lof,
-                k: u32::try_from(self.params.lof_k).expect("lof_k exceeds u32"),
-            },
-        )
+        self.fitter().normalize(norm).fit(data)
     }
 
-    /// Like [`Hics::fit`] with an explicit scorer configuration.
-    ///
-    /// The stored columns are the *normalised* ones, so a query engine built
-    /// from the model scores in-sample points bit-for-bit like
-    /// [`Hics::run`] on the normalised dataset.
+    /// Fits with an explicit scorer configuration.
+    #[deprecated(note = "use Hics::fitter() / FitBuilder")]
     pub fn fit_with_scorer(&self, data: &Dataset, norm: NormKind, scorer: ScorerSpec) -> HicsModel {
-        self.fit_with_config(
-            data,
-            norm,
-            ScorerConfig {
-                spec: scorer,
-                index: IndexKind::Brute,
-            },
-        )
+        self.fitter().normalize(norm).scorer(scorer).fit(data)
     }
 
-    /// Like [`Hics::fit`] with an explicit scorer **and** neighbour-index
-    /// configuration — the full serving contract in one artifact.
+    /// Fits with an explicit scorer **and** neighbour-index configuration.
+    #[deprecated(note = "use Hics::fitter() / FitBuilder")]
     pub fn fit_with_config(
         &self,
         data: &Dataset,
         norm: NormKind,
         config: ScorerConfig,
     ) -> HicsModel {
-        let (trained, norm_params) = apply_normalization(data, norm);
-        let subspaces = SubspaceSearch::new(self.params.search).run(&trained);
-        let model_subspaces: Vec<ModelSubspace> = subspaces
-            .iter()
-            .map(|s| ModelSubspace {
-                dims: s.subspace.to_vec(),
-                contrast: s.contrast,
-            })
-            .collect();
-        let aggregation = match self.params.aggregation {
-            Aggregation::Average => AggregationKind::Average,
-            Aggregation::Max => AggregationKind::Max,
-        };
-        let index = match config.index {
-            IndexKind::Brute => None,
-            IndexKind::VpTree => Some(ModelIndex {
-                trees: model_subspaces
-                    .iter()
-                    .map(|s| {
-                        let view = SubspaceView::new(&trained, &s.dims);
-                        VpTree::build(&view).into_data()
-                    })
-                    .collect(),
-            }),
-        };
-        let mut model = HicsModel::new(
-            trained,
-            norm,
-            norm_params,
-            model_subspaces,
-            config.spec,
-            aggregation,
-        );
-        model.set_index(index);
-        model
+        self.fitter()
+            .normalize(norm)
+            .scorer(config.spec)
+            .index(config.index)
+            .fit(data)
     }
 
     /// Ranks outliers in a caller-provided list of subspaces (skipping the
@@ -316,7 +394,7 @@ mod tests {
     fn fit_packages_the_search_result() {
         let g = SyntheticConfig::new(200, 6).with_seed(28).generate();
         let hics = Hics::new(quick());
-        let model = hics.fit(&g.dataset, NormKind::None);
+        let model = hics.fitter().fit(&g.dataset);
         // The model's subspaces are exactly the search result on this data.
         let searched = SubspaceSearch::new(quick().search).run(&g.dataset);
         assert_eq!(model.subspaces().len(), searched.len());
@@ -332,7 +410,10 @@ mod tests {
     #[test]
     fn fit_normalized_stores_transformed_columns() {
         let g = SyntheticConfig::new(150, 5).with_seed(29).generate();
-        let model = Hics::new(quick()).fit(&g.dataset, NormKind::MinMax);
+        let model = Hics::new(quick())
+            .fitter()
+            .normalize(NormKind::MinMax)
+            .fit(&g.dataset);
         let mut reference = g.dataset.clone();
         reference.normalize_min_max();
         assert_eq!(model.dataset(), &reference);
@@ -346,18 +427,15 @@ mod tests {
     fn fit_with_vptree_index_packages_trees() {
         let g = SyntheticConfig::new(150, 5).with_seed(30).generate();
         let hics = Hics::new(quick());
-        let plain = hics.fit(&g.dataset, NormKind::None);
-        let indexed = hics.fit_with_config(
-            &g.dataset,
-            NormKind::None,
-            ScorerConfig {
-                spec: ScorerSpec {
-                    kind: ScorerKind::Lof,
-                    k: 10,
-                },
-                index: IndexKind::VpTree,
-            },
-        );
+        let plain = hics.fitter().fit(&g.dataset);
+        let indexed = hics
+            .fitter()
+            .scorer(ScorerSpec {
+                kind: ScorerKind::Lof,
+                k: 10,
+            })
+            .index(IndexKind::VpTree)
+            .fit(&g.dataset);
         // Same model content apart from the index section…
         assert!(plain.index().is_none());
         let trees = &indexed.index().expect("trees stored").trees;
@@ -367,6 +445,48 @@ mod tests {
             let view = SubspaceView::new(indexed.dataset(), &sub.dims);
             assert_eq!(&trees[s], VpTree::build(&view).as_data(), "subspace {s}");
         }
+    }
+
+    /// The deprecated v1 fit entry points are thin shims over the builder:
+    /// byte-identical artifacts for every combination they could express.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_fit_shims_match_the_builder() {
+        let g = SyntheticConfig::new(150, 5).with_seed(36).generate();
+        let hics = Hics::new(quick());
+        let spec = ScorerSpec {
+            kind: ScorerKind::KnnMean,
+            k: 7,
+        };
+        assert_eq!(
+            hics.fit(&g.dataset, NormKind::MinMax).to_bytes(),
+            hics.fitter()
+                .normalize(NormKind::MinMax)
+                .fit(&g.dataset)
+                .to_bytes()
+        );
+        assert_eq!(
+            hics.fit_with_scorer(&g.dataset, NormKind::None, spec)
+                .to_bytes(),
+            hics.fitter().scorer(spec).fit(&g.dataset).to_bytes()
+        );
+        assert_eq!(
+            hics.fit_with_config(
+                &g.dataset,
+                NormKind::ZScore,
+                ScorerConfig {
+                    spec,
+                    index: IndexKind::VpTree,
+                },
+            )
+            .to_bytes(),
+            hics.fitter()
+                .normalize(NormKind::ZScore)
+                .scorer(spec)
+                .index(IndexKind::VpTree)
+                .fit(&g.dataset)
+                .to_bytes()
+        );
     }
 
     #[test]

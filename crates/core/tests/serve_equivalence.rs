@@ -1,12 +1,15 @@
-//! End-to-end train-once/serve-many equivalence: `fit` packages the search
+//! End-to-end train-once/serve-many equivalence: a fit packages the search
 //! result into a model artifact, and a query engine built from the
 //! (serialised and re-loaded) artifact reproduces the batch pipeline's
-//! aggregated outlier scores **bit-for-bit** for every in-sample point.
+//! aggregated outlier scores **bit-for-bit** for every in-sample point —
+//! whether the artifact is materialised on the heap or served zero-copy
+//! out of a memory map.
 
-use hics_core::{Hics, HicsParams, ScorerConfig};
+use hics_core::{FitBuilder, Hics, HicsParams};
 use hics_data::model::{HicsModel, NormKind, ScorerKind, ScorerSpec};
-use hics_data::SyntheticConfig;
+use hics_data::{ModelArtifact, SyntheticConfig};
 use hics_outlier::{IndexKind, QueryEngine};
+use std::sync::Arc;
 
 fn quick_params() -> HicsParams {
     let mut p = HicsParams::paper_defaults();
@@ -15,6 +18,10 @@ fn quick_params() -> HicsParams {
     p.search.top_k = 12;
     p.lof_k = 8;
     p
+}
+
+fn fitter() -> FitBuilder {
+    FitBuilder::new(quick_params())
 }
 
 #[test]
@@ -26,7 +33,7 @@ fn model_scores_in_sample_points_bitwise_like_batch() {
     let batch = hics.run(&g.dataset);
 
     // Serving path: fit → artifact bytes → reload → query engine.
-    let model = hics.fit(&g.dataset, NormKind::None);
+    let model = fitter().fit(&g.dataset);
     let reloaded = HicsModel::from_bytes(&model.to_bytes()).expect("artifact roundtrip");
     let engine = QueryEngine::from_model(&reloaded, 4);
 
@@ -45,7 +52,7 @@ fn normalized_model_matches_batch_on_normalized_data() {
     let g = SyntheticConfig::new(200, 5).with_seed(32).generate();
     let hics = Hics::new(quick_params());
 
-    let model = hics.fit(&g.dataset, NormKind::MinMax);
+    let model = fitter().normalize(NormKind::MinMax).fit(&g.dataset);
     let engine = QueryEngine::from_model(&model, 2);
 
     // The batch reference runs on the normalised columns the model stores.
@@ -71,17 +78,13 @@ fn vptree_indexed_model_scores_in_sample_points_bitwise_like_batch() {
     let hics = Hics::new(quick_params());
     let batch = hics.run(&g.dataset);
 
-    let model = hics.fit_with_config(
-        &g.dataset,
-        NormKind::None,
-        ScorerConfig {
-            spec: ScorerSpec {
-                kind: ScorerKind::Lof,
-                k: 8,
-            },
-            index: IndexKind::VpTree,
-        },
-    );
+    let model = fitter()
+        .scorer(ScorerSpec {
+            kind: ScorerKind::Lof,
+            k: 8,
+        })
+        .index(IndexKind::VpTree)
+        .fit(&g.dataset);
     let bytes = model.to_bytes();
     let reloaded = HicsModel::from_bytes(&bytes).expect("artifact roundtrip");
     assert!(reloaded.index().is_some(), "trees survive the roundtrip");
@@ -107,8 +110,7 @@ fn vptree_indexed_model_scores_in_sample_points_bitwise_like_batch() {
 #[test]
 fn forced_backends_agree_bitwise_in_and_out_of_sample() {
     let g = SyntheticConfig::new(180, 5).with_seed(35).generate();
-    let hics = Hics::new(quick_params());
-    let v1 = hics.fit(&g.dataset, NormKind::MinMax);
+    let v1 = fitter().normalize(NormKind::MinMax).fit(&g.dataset);
     let brute = QueryEngine::from_model(&v1, 2);
     let vp = QueryEngine::from_model_with_index(&v1, Some(IndexKind::VpTree), 2);
     assert_eq!(vp.index_stats().kind, IndexKind::VpTree);
@@ -137,14 +139,12 @@ fn forced_backends_agree_bitwise_in_and_out_of_sample() {
 fn knn_scorer_model_also_matches_batch() {
     let g = SyntheticConfig::new(150, 5).with_seed(33).generate();
     let hics = Hics::new(quick_params());
-    let model = hics.fit_with_scorer(
-        &g.dataset,
-        NormKind::None,
-        ScorerSpec {
+    let model = fitter()
+        .scorer(ScorerSpec {
             kind: ScorerKind::KnnMean,
             k: 5,
-        },
-    );
+        })
+        .fit(&g.dataset);
     let engine = QueryEngine::from_model(&model, 2);
     let batch = hics.run_with_scorer(&g.dataset, &hics_outlier::KnnScorer::new(5));
     for i in (0..g.dataset.n()).step_by(11) {
@@ -154,5 +154,61 @@ fn knn_scorer_model_also_matches_batch() {
             "object {i}: {q} != {}",
             batch.scores[i]
         );
+    }
+}
+
+/// The acceptance bar of the engine-handle API: in-sample scores from an
+/// **mmap-opened** artifact are bit-for-bit equal to the heap-loaded path —
+/// for version-1 (no index) and version-2 (stored VP-trees) artifacts alike
+/// — and a truncated map is rejected, not misread.
+#[test]
+fn mmap_served_scores_equal_heap_loaded_scores_bitwise_for_v1_and_v2() {
+    let g = SyntheticConfig::new(200, 6).with_seed(41).generate();
+    let hics = Hics::new(quick_params());
+    let batch = hics.run(&g.dataset);
+    let dir = std::env::temp_dir().join("hics-serve-equivalence-mmap");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for (name, index) in [("v1", IndexKind::Brute), ("v2", IndexKind::VpTree)] {
+        let model = fitter().index(index).fit(&g.dataset);
+        let path = dir.join(format!("equivalence-{name}.hics"));
+        model.save(&path).expect("save");
+
+        // Heap path: read + materialise. Mmap path: map + borrow.
+        let heap_engine = QueryEngine::from_model(&HicsModel::load(&path).expect("load"), 4);
+        let artifact = Arc::new(ModelArtifact::open_mmap(&path).expect("open_mmap"));
+        assert!(artifact.is_mmap(), "{name}: expected a live memory map");
+        assert_eq!(artifact.version(), if name == "v1" { 1 } else { 2 });
+        let mmap_engine = QueryEngine::from_artifact(Arc::clone(&artifact), None, 4);
+        assert!(mmap_engine.is_mapped());
+
+        for i in 0..g.dataset.n() {
+            let row = g.dataset.row(i);
+            let h = heap_engine.score(&row).expect("valid row");
+            let m = mmap_engine.score(&row).expect("valid row");
+            assert!(h == m, "{name} object {i}: mmap {m} != heap {h}");
+            assert!(
+                m == batch.scores[i],
+                "{name} object {i}: mmap {m} != batch {}",
+                batch.scores[i]
+            );
+        }
+
+        // A truncated map is rejected with the same error class as the
+        // heap loader — never a silent misread.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut_path = dir.join(format!("equivalence-{name}-cut.hics"));
+        std::fs::write(&cut_path, &bytes[..bytes.len() - 8]).unwrap();
+        let mapped = ModelArtifact::open_mmap(&cut_path);
+        let heap = HicsModel::load(&cut_path);
+        assert!(mapped.is_err(), "{name}: truncated map accepted");
+        assert!(heap.is_err(), "{name}: truncated read accepted");
+        assert_eq!(
+            std::mem::discriminant(&mapped.unwrap_err()),
+            std::mem::discriminant(&heap.unwrap_err()),
+            "{name}: load paths disagree on the failure class"
+        );
+        std::fs::remove_file(&cut_path).ok();
+        std::fs::remove_file(&path).ok();
     }
 }

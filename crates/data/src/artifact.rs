@@ -1,0 +1,506 @@
+//! Zero-copy access to a model artifact: the bytes stay where they are
+//! (ideally a memory map of the file), and column views are served borrowed
+//! straight out of them.
+//!
+//! [`HicsModel::load`] materialises every section into owned vectors — the
+//! right call for the offline pipeline, which mutates nothing but reads
+//! everything many times. Serving wants the opposite trade: a
+//! [`crate::model::HicsModel`]-shaped *view* over the file so that loading a
+//! multi-gigabyte artifact costs one `mmap` plus one validation pass, and
+//! the column payload is shared page cache instead of private heap —
+//! across processes, and across the generations a hot-reloading server
+//! keeps mapped (consumers may still gather working copies of the columns
+//! they actually use; see `QueryEngine::from_artifact` in `hics-outlier`).
+//!
+//! The artifact format was designed for this from day one: every section
+//! starts on an 8-byte boundary from the start of the file (see the format
+//! table in [`crate::model`]), and a memory map is page-aligned, so the
+//! `d × n × f64` columns section can be reinterpreted as `&[f64]` slices
+//! in place — no parse, no copy. [`ModelArtifact::column`] hands those
+//! slices out as [`Cow`]s: borrowed on the aligned little-endian fast path
+//! (always, in practice), owned only on exotic platforms where the cast is
+//! unsound.
+//!
+//! Validation is **identical** to the heap path: both run
+//! `ArtifactLayout::parse`, so a byte stream is accepted by
+//! [`ModelArtifact::open_mmap`] exactly when [`HicsModel::from_bytes`]
+//! accepts it, and every value a borrowed column view can yield was already
+//! checked finite.
+
+use crate::error::HicsError;
+use crate::model::{
+    f64_at, AggregationKind, ArtifactLayout, HicsModel, ModelIndex, ModelSubspace, NormKind,
+    NormParam, ScorerSpec,
+};
+use std::borrow::Cow;
+use std::path::Path;
+
+/// A validated model artifact over in-place bytes (memory-mapped file or
+/// 8-aligned heap buffer), serving borrowed column views.
+#[derive(Debug)]
+pub struct ModelArtifact {
+    storage: Storage,
+    layout: ArtifactLayout,
+}
+
+#[derive(Debug)]
+enum Storage {
+    /// A read-only memory map of the artifact file (unix only).
+    #[cfg(unix)]
+    Mmap(MmapRegion),
+    /// An owned buffer, 8-aligned so column casts work exactly like the
+    /// mapped case.
+    Heap(AlignedBytes),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Storage::Mmap(m) => m.as_slice(),
+            Storage::Heap(h) => h.as_slice(),
+        }
+    }
+}
+
+impl ModelArtifact {
+    /// Memory-maps and validates the artifact at `path`. The column payload
+    /// is *not* copied: [`ModelArtifact::column`] borrows straight from the
+    /// map. On platforms without `mmap` this transparently falls back to an
+    /// aligned heap read with the same semantics.
+    pub fn open_mmap(path: &Path) -> Result<Self, HicsError> {
+        #[cfg(unix)]
+        {
+            let file =
+                std::fs::File::open(path).map_err(|e| HicsError::io_path("opening", path, e))?;
+            let len = file
+                .metadata()
+                .map_err(|e| HicsError::io_path("inspecting", path, e))?
+                .len();
+            let len = usize::try_from(len).map_err(|_| {
+                HicsError::InvalidInput(format!("{} exceeds the address space", path.display()))
+            })?;
+            if len == 0 {
+                // mmap(2) rejects zero-length maps; an empty file is just a
+                // truncated artifact.
+                return Err(ArtifactLayout::parse(&[]).expect_err("empty artifact"));
+            }
+            let region = MmapRegion::map(&file, len)
+                .map_err(|e| HicsError::io_path("memory-mapping", path, e))?;
+            let layout = ArtifactLayout::parse(region.as_slice())?;
+            Ok(Self {
+                storage: Storage::Mmap(region),
+                layout,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            let bytes = std::fs::read(path).map_err(|e| HicsError::io_path("reading", path, e))?;
+            Self::from_bytes(&bytes)
+        }
+    }
+
+    /// Validates an artifact from in-memory bytes, copying them into an
+    /// 8-aligned heap buffer so column views still borrow.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HicsError> {
+        let aligned = AlignedBytes::copy_from(bytes);
+        let layout = ArtifactLayout::parse(aligned.as_slice())?;
+        Ok(Self {
+            storage: Storage::Heap(aligned),
+            layout,
+        })
+    }
+
+    /// Whether the bytes are a live memory map of the artifact file (as
+    /// opposed to the aligned heap fallback).
+    pub fn is_mmap(&self) -> bool {
+        match &self.storage {
+            #[cfg(unix)]
+            Storage::Mmap(_) => true,
+            Storage::Heap(_) => false,
+        }
+    }
+
+    /// The raw validated artifact bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.storage.as_slice()
+    }
+
+    /// Decoded format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.layout.version
+    }
+
+    /// Number of trained objects `N`.
+    pub fn n(&self) -> usize {
+        self.layout.n
+    }
+
+    /// Number of attributes `D`.
+    pub fn d(&self) -> usize {
+        self.layout.d
+    }
+
+    /// Attribute names.
+    pub fn names(&self) -> &[String] {
+        &self.layout.names
+    }
+
+    /// The normalisation kind applied at fit time.
+    pub fn norm_kind(&self) -> NormKind {
+        self.layout.norm_kind
+    }
+
+    /// Per-attribute normalisation parameters.
+    pub fn norm_params(&self) -> &[NormParam] {
+        &self.layout.norm
+    }
+
+    /// The scorer configuration.
+    pub fn scorer(&self) -> ScorerSpec {
+        self.layout.scorer
+    }
+
+    /// The score aggregation.
+    pub fn aggregation(&self) -> AggregationKind {
+        self.layout.aggregation
+    }
+
+    /// The selected subspaces, best first.
+    pub fn subspaces(&self) -> &[ModelSubspace] {
+        &self.layout.subspaces
+    }
+
+    /// The prebuilt neighbor index of a version-2 artifact.
+    pub fn index(&self) -> Option<&ModelIndex> {
+        self.layout.index.as_ref()
+    }
+
+    /// Column `j` of the trained data, borrowed from the artifact bytes
+    /// whenever the in-place cast is sound (8-aligned little-endian — every
+    /// map and every [`ModelArtifact::from_bytes`] buffer qualifies) and
+    /// copied otherwise.
+    ///
+    /// # Panics
+    /// Panics if `j >= d`.
+    pub fn column(&self, j: usize) -> Cow<'_, [f64]> {
+        assert!(j < self.d(), "column {j} out of range");
+        let n = self.layout.n;
+        let start = self.layout.columns_offset + j * n * 8;
+        let bytes = &self.bytes()[start..start + n * 8];
+        if cfg!(target_endian = "little")
+            && (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f64>())
+        {
+            // SAFETY: the range is in bounds (parse validated the section),
+            // the pointer is 8-aligned (just checked), every f64 bit
+            // pattern is a valid value (and parse checked them finite), and
+            // the storage is immutable for `self`'s lifetime.
+            Cow::Borrowed(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, n) })
+        } else {
+            Cow::Owned((0..n).map(|i| f64_at(bytes, i * 8)).collect())
+        }
+    }
+
+    /// Value of object `i` in attribute `j`, read in place.
+    ///
+    /// # Panics
+    /// Panics if `i >= n` or `j >= d`.
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n() && j < self.d(), "({i}, {j}) out of range");
+        f64_at(
+            self.bytes(),
+            self.layout.columns_offset + (j * self.layout.n + i) * 8,
+        )
+    }
+
+    /// Materialises the artifact into an owned [`HicsModel`] (exactly what
+    /// [`HicsModel::from_bytes`] on the same bytes returns).
+    pub fn to_model(&self) -> HicsModel {
+        HicsModel::from_layout(&self.layout, self.bytes())
+    }
+}
+
+/// An owned byte buffer backed by `u64` words, so its base address is
+/// 8-aligned and column casts behave exactly like the mapped case.
+#[derive(Debug)]
+struct AlignedBytes {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    fn copy_from(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)].into_boxed_slice();
+        for (w, chunk) in words.iter_mut().zip(bytes.chunks(8)) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            // Native order: the word array is only a container; reading it
+            // back as bytes reproduces the input exactly.
+            *w = u64::from_ne_bytes(b);
+        }
+        Self {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: the words own `len.div_ceil(8) * 8 >= len` initialised
+        // bytes, and u8 has no alignment requirement.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+}
+
+/// A read-only private memory map, unmapped on drop.
+///
+/// `std` has no mmap wrapper and the offline build has no registry access,
+/// so this declares the two libc symbols it needs directly — `std` already
+/// links libc on every unix target.
+#[cfg(unix)]
+#[derive(Debug)]
+struct MmapRegion {
+    ptr: std::ptr::NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and never aliased mutably; the region
+// behaves like an immutable `&[u8]` with a custom deallocator.
+#[cfg(unix)]
+unsafe impl Send for MmapRegion {}
+#[cfg(unix)]
+unsafe impl Sync for MmapRegion {}
+
+#[cfg(unix)]
+impl MmapRegion {
+    fn map(file: &std::fs::File, len: usize) -> std::io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        const PROT_READ: i32 = 0x1;
+        const MAP_PRIVATE: i32 = 0x02;
+        extern "C" {
+            fn mmap(
+                addr: *mut std::ffi::c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut std::ffi::c_void;
+        }
+        // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of `len` bytes over
+        // an open fd; the result is checked for MAP_FAILED before use.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: std::ptr::NonNull::new(ptr as *mut u8).expect("mmap returned null"),
+            len,
+        })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: the mapping is `len` bytes, readable, and lives until
+        // drop. A concurrent truncation of the underlying file could fault
+        // reads; `HicsModel::save` never truncates in place — it writes a
+        // temp file and renames it over the path, so this map's inode stays
+        // intact however often the artifact is re-saved.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        extern "C" {
+            fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+        }
+        // SAFETY: unmapping exactly the region mmap returned.
+        unsafe {
+            munmap(self.ptr.as_ptr() as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{apply_normalization, ScorerKind};
+    use crate::synth::SyntheticConfig;
+
+    fn sample_model() -> HicsModel {
+        let g = SyntheticConfig::new(60, 4).with_seed(12).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::MinMax);
+        HicsModel::new(
+            data,
+            NormKind::MinMax,
+            norm,
+            vec![
+                ModelSubspace {
+                    dims: vec![0, 2],
+                    contrast: 0.7,
+                },
+                ModelSubspace {
+                    dims: vec![1, 2, 3],
+                    contrast: 0.3,
+                },
+            ],
+            ScorerSpec {
+                kind: ScorerKind::Lof,
+                k: 5,
+            },
+            AggregationKind::Average,
+        )
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hics-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn mmap_open_matches_heap_load_exactly() {
+        let model = sample_model();
+        let path = temp_path("mmap-roundtrip.hicsmodel");
+        model.save(&path).expect("save");
+        let artifact = ModelArtifact::open_mmap(&path).expect("open_mmap");
+        assert!(cfg!(not(unix)) || artifact.is_mmap());
+        assert_eq!(artifact.n(), model.n());
+        assert_eq!(artifact.d(), model.d());
+        assert_eq!(artifact.names(), model.dataset().names());
+        assert_eq!(artifact.norm_kind(), model.norm_kind());
+        assert_eq!(artifact.norm_params(), model.norm_params());
+        assert_eq!(artifact.scorer(), model.scorer());
+        assert_eq!(artifact.subspaces(), model.subspaces());
+        assert_eq!(artifact.to_model(), model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn columns_are_borrowed_and_bitwise_equal() {
+        let model = sample_model();
+        let path = temp_path("mmap-columns.hicsmodel");
+        model.save(&path).expect("save");
+        let artifact = ModelArtifact::open_mmap(&path).expect("open_mmap");
+        for j in 0..model.d() {
+            let col = artifact.column(j);
+            assert!(
+                matches!(col, Cow::Borrowed(_)),
+                "column {j} was copied, not borrowed"
+            );
+            assert_eq!(col.as_ref(), model.dataset().col(j), "column {j}");
+            for i in (0..model.n()).step_by(7) {
+                assert_eq!(artifact.value(i, j), model.dataset().value(i, j));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_from_bytes_serves_the_same_views() {
+        let model = sample_model();
+        let bytes = model.to_bytes();
+        let artifact = ModelArtifact::from_bytes(&bytes).expect("from_bytes");
+        assert!(!artifact.is_mmap());
+        assert_eq!(artifact.bytes(), &bytes[..]);
+        for j in 0..model.d() {
+            let col = artifact.column(j);
+            assert!(matches!(col, Cow::Borrowed(_)), "aligned heap borrows");
+            assert_eq!(col.as_ref(), model.dataset().col(j));
+        }
+        assert_eq!(artifact.to_model(), model);
+    }
+
+    #[test]
+    fn truncated_map_is_rejected_like_the_heap_path() {
+        let model = sample_model();
+        let bytes = model.to_bytes();
+        let path = temp_path("mmap-truncated.hicsmodel");
+        for cut in [0usize, 40, 72, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let mapped = ModelArtifact::open_mmap(&path);
+            let heap = HicsModel::from_bytes(&bytes[..cut]);
+            assert!(mapped.is_err(), "cut {cut} mapped fine");
+            assert!(heap.is_err(), "cut {cut} heap-loaded fine");
+            // Same failure class either way.
+            assert_eq!(
+                std::mem::discriminant(&mapped.unwrap_err()),
+                std::mem::discriminant(&heap.unwrap_err()),
+                "cut {cut}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_map_is_a_checksum_mismatch() {
+        let model = sample_model();
+        let mut bytes = model.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let path = temp_path("mmap-corrupt.hicsmodel");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ModelArtifact::open_mmap(&path),
+            Err(HicsError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Re-saving over a path that is currently memory-mapped must leave the
+    /// live map untouched (save goes through temp + rename, so the old
+    /// inode survives) — the hot-reload workflow depends on it: refit to
+    /// the same path, then `/admin/reload`, while the old map still serves.
+    #[test]
+    fn resaving_over_a_mapped_artifact_leaves_the_map_intact() {
+        let first = sample_model();
+        let path = temp_path("resave-under-map.hicsmodel");
+        first.save(&path).expect("save first");
+        let mapped = ModelArtifact::open_mmap(&path).expect("open first");
+        let before = mapped.bytes().to_vec();
+
+        // A different model (different seed → different bytes) over the
+        // same path.
+        let g = SyntheticConfig::new(70, 4).with_seed(99).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::MinMax);
+        let second = HicsModel::new(
+            data,
+            NormKind::MinMax,
+            norm,
+            vec![ModelSubspace {
+                dims: vec![0, 3],
+                contrast: 0.4,
+            }],
+            ScorerSpec::default(),
+            AggregationKind::Average,
+        );
+        second.save(&path).expect("save second over mapped path");
+
+        // The live map still reads the first artifact, byte for byte.
+        assert_eq!(mapped.bytes(), &before[..]);
+        assert_eq!(mapped.to_model(), first);
+        // A fresh open sees the second.
+        let fresh = ModelArtifact::open_mmap(&path).expect("open second");
+        assert_eq!(fresh.to_model(), second);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let missing = std::env::temp_dir().join("hics-artifact-missing.hicsmodel");
+        assert!(matches!(
+            ModelArtifact::open_mmap(&missing),
+            Err(HicsError::Io { .. })
+        ));
+    }
+}

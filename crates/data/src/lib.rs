@@ -15,14 +15,20 @@
 //! * [`model`] — the trained-model artifact (versioned binary save/load of
 //!   columns, rank index, subspaces and scorer config) behind `hics fit` /
 //!   `hics score` / `hics serve`.
+//! * [`artifact`] — zero-copy (memory-mapped) access to a model artifact:
+//!   validated borrowed column views instead of heap materialisation.
+//! * [`error`] — the workspace-wide typed [`HicsError`] with artifact
+//!   section/offset context and CLI exit-code mapping.
 //! * [`rng_util`] — Gaussian sampling and distinct-index helpers.
 
 #![warn(missing_docs)]
 
 pub mod arff;
+pub mod artifact;
 pub mod bitset;
 pub mod csv;
 pub mod dataset;
+pub mod error;
 pub mod index;
 pub mod model;
 pub mod realworld;
@@ -30,12 +36,13 @@ pub mod rng_util;
 pub mod synth;
 pub mod toy;
 
+pub use artifact::ModelArtifact;
 pub use bitset::SliceMask;
 pub use dataset::Dataset;
+pub use error::{ArtifactSection, HicsError};
 pub use index::{RankIndex, SortedIndices};
 pub use model::{
-    AggregationKind, HicsModel, ModelError, ModelSubspace, NormKind, NormParam, ScorerKind,
-    ScorerSpec,
+    AggregationKind, HicsModel, ModelSubspace, NormKind, NormParam, ScorerKind, ScorerSpec,
 };
 pub use realworld::{RealWorldSpec, UciProxy};
 pub use synth::{LabeledDataset, SyntheticConfig};

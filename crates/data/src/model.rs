@@ -65,8 +65,22 @@
 //! any single corrupted byte is guaranteed to change the checksum — so
 //! bit-rot in a stored artifact is detected rather than silently shifting
 //! scores.
+//!
+//! # Decoding paths
+//!
+//! All validation lives in one place, [`ArtifactLayout::parse`], which walks
+//! the byte stream once and records where the bulk sections (columns, order
+//! permutations) start. Two consumers share it:
+//!
+//! * [`HicsModel::from_bytes`] materialises everything into owned vectors —
+//!   the heap-loading path.
+//! * [`crate::artifact::ModelArtifact`] keeps the (typically memory-mapped)
+//!   bytes and serves *borrowed* column views out of them — the zero-copy
+//!   path. Because both run the identical parser, they accept and reject
+//!   exactly the same byte streams.
 
 use crate::dataset::Dataset;
+use crate::error::{ArtifactSection, HicsError};
 use crate::index::RankIndex;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -78,7 +92,7 @@ pub const FORMAT_VERSION: u32 = 2;
 /// File magic, first eight bytes of every model artifact.
 pub const MAGIC: [u8; 8] = *b"HICSMDL\0";
 
-const HEADER_LEN: usize = 72;
+pub(crate) const HEADER_LEN: usize = 72;
 
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -98,72 +112,11 @@ fn artifact_checksum(bytes: &[u8]) -> u64 {
     fnv1a(fnv1a(FNV_OFFSET, &bytes[..64]), &bytes[HEADER_LEN..])
 }
 
-/// Failure while encoding, decoding, or validating a model artifact.
-#[derive(Debug)]
-pub enum ModelError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// The byte stream ended before a section was complete.
-    Truncated {
-        /// Byte offset at which more data was needed.
-        offset: usize,
-        /// Bytes still required there.
-        needed: usize,
-        /// Bytes actually available.
-        available: usize,
-    },
-    /// The file does not start with [`MAGIC`].
-    BadMagic,
-    /// The format version is newer than this build understands.
-    UnsupportedVersion(u32),
-    /// The stored checksum does not match the bytes — the artifact was
-    /// corrupted after it was written.
-    ChecksumMismatch {
-        /// Checksum recorded in the header.
-        stored: u64,
-        /// Checksum of the actual bytes.
-        computed: u64,
-    },
-    /// Structurally well-formed but semantically invalid content.
-    Invalid(String),
-}
-
-impl std::fmt::Display for ModelError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ModelError::Io(e) => write!(f, "I/O error: {e}"),
-            ModelError::Truncated {
-                offset,
-                needed,
-                available,
-            } => write!(
-                f,
-                "truncated artifact: needed {needed} bytes at offset {offset}, \
-                 only {available} available"
-            ),
-            ModelError::BadMagic => write!(f, "not a HiCS model artifact (bad magic)"),
-            ModelError::UnsupportedVersion(v) => {
-                write!(
-                    f,
-                    "unsupported model format version {v} (max {FORMAT_VERSION})"
-                )
-            }
-            ModelError::ChecksumMismatch { stored, computed } => write!(
-                f,
-                "corrupted artifact: stored checksum {stored:#018x}, computed {computed:#018x}"
-            ),
-            ModelError::Invalid(msg) => write!(f, "invalid model: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for ModelError {}
-
-impl From<std::io::Error> for ModelError {
-    fn from(e: std::io::Error) -> Self {
-        ModelError::Io(e)
-    }
-}
+/// Pre-v2 name of the artifact error type. Every artifact failure is now a
+/// [`HicsError`] (which adds section/offset context and exit-code mapping);
+/// this alias keeps old spellings compiling.
+#[deprecated(note = "use HicsError")]
+pub type ModelError = HicsError;
 
 /// Which density-based scorer the model was fit for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -186,12 +139,12 @@ impl ScorerKind {
         }
     }
 
-    fn from_code(c: u32) -> Result<Self, ModelError> {
+    fn from_code(c: u32) -> Result<Self, String> {
         match c {
             0 => Ok(ScorerKind::Lof),
             1 => Ok(ScorerKind::KnnMean),
             2 => Ok(ScorerKind::KnnKth),
-            other => Err(ModelError::Invalid(format!("unknown scorer kind {other}"))),
+            other => Err(format!("unknown scorer kind {other}")),
         }
     }
 
@@ -241,11 +194,11 @@ impl AggregationKind {
         }
     }
 
-    fn from_code(c: u32) -> Result<Self, ModelError> {
+    fn from_code(c: u32) -> Result<Self, String> {
         match c {
             0 => Ok(AggregationKind::Average),
             1 => Ok(AggregationKind::Max),
-            other => Err(ModelError::Invalid(format!("unknown aggregation {other}"))),
+            other => Err(format!("unknown aggregation {other}")),
         }
     }
 }
@@ -272,14 +225,12 @@ impl NormKind {
         }
     }
 
-    fn from_code(c: u32) -> Result<Self, ModelError> {
+    fn from_code(c: u32) -> Result<Self, String> {
         match c {
             0 => Ok(NormKind::None),
             1 => Ok(NormKind::MinMax),
             2 => Ok(NormKind::ZScore),
-            other => Err(ModelError::Invalid(format!(
-                "unknown normalisation kind {other}"
-            ))),
+            other => Err(format!("unknown normalisation kind {other}")),
         }
     }
 
@@ -427,9 +378,23 @@ pub struct ModelIndex {
 /// covering `ids`, and every object appearing exactly once as a vantage or
 /// leaf entry. Rejecting here means the query path can traverse without
 /// bounds anxiety.
-fn validate_tree(tree: &VpTreeData, n: usize) -> Result<(), String> {
+///
+/// `subspace` and `offset` locate the tree for the error: the subspace it
+/// belongs to and the byte offset its encoding starts at (`0` for trees
+/// validated in memory, e.g. via [`HicsModel::set_index`]).
+fn validate_tree(
+    tree: &VpTreeData,
+    n: usize,
+    subspace: usize,
+    offset: usize,
+) -> Result<(), HicsError> {
+    let fail = |msg: String| HicsError::InvalidModel {
+        section: ArtifactSection::Index,
+        offset,
+        msg: format!("invalid VP-tree for subspace {subspace}: {msg}"),
+    };
     if tree.nodes.is_empty() {
-        return Err("tree has no nodes".into());
+        return Err(fail("tree has no nodes".into()));
     }
     let mut visited = vec![false; tree.nodes.len()];
     let mut seen = vec![false; n];
@@ -439,23 +404,23 @@ fn validate_tree(tree: &VpTreeData, n: usize) -> Result<(), String> {
         let node = tree
             .nodes
             .get(idx as usize)
-            .ok_or_else(|| format!("node link {idx} out of range"))?;
+            .ok_or_else(|| fail(format!("node link {idx} out of range")))?;
         if std::mem::replace(&mut visited[idx as usize], true) {
-            return Err(format!("node {idx} reachable twice"));
+            return Err(fail(format!("node {idx} reachable twice")));
         }
         if node.vantage == VP_NONE {
             // Leaf: a range of ids, no children, no radius.
             if node.inner != VP_NONE || node.outer != VP_NONE || node.mu != 0.0 {
-                return Err(format!("leaf node {idx} carries internal fields"));
+                return Err(fail(format!("leaf node {idx} carries internal fields")));
             }
             let start = node.start as usize;
             let end = start + node.len as usize;
             if end > tree.ids.len() {
-                return Err(format!("leaf node {idx} range exceeds ids"));
+                return Err(fail(format!("leaf node {idx} range exceeds ids")));
             }
             for &id in &tree.ids[start..end] {
                 if (id as usize) >= n || std::mem::replace(&mut seen[id as usize], true) {
-                    return Err(format!("leaf object id {id} invalid or duplicated"));
+                    return Err(fail(format!("leaf object id {id} invalid or duplicated")));
                 }
             }
             covered_ids += node.len as usize;
@@ -463,34 +428,331 @@ fn validate_tree(tree: &VpTreeData, n: usize) -> Result<(), String> {
             if (node.vantage as usize) >= n
                 || std::mem::replace(&mut seen[node.vantage as usize], true)
             {
-                return Err(format!("vantage id {} invalid or duplicated", node.vantage));
+                return Err(fail(format!(
+                    "vantage id {} invalid or duplicated",
+                    node.vantage
+                )));
             }
             if !node.mu.is_finite() || node.mu < 0.0 {
-                return Err(format!("node {idx} has invalid radius {}", node.mu));
+                return Err(fail(format!("node {idx} has invalid radius {}", node.mu)));
             }
             if node.len != 0 {
-                return Err(format!("internal node {idx} carries a leaf range"));
+                return Err(fail(format!("internal node {idx} carries a leaf range")));
             }
             if node.inner == VP_NONE || node.outer == VP_NONE {
-                return Err(format!("internal node {idx} is missing a child"));
+                return Err(fail(format!("internal node {idx} is missing a child")));
             }
             stack.push(node.inner);
             stack.push(node.outer);
         }
     }
     if covered_ids != tree.ids.len() {
-        return Err(format!(
+        return Err(fail(format!(
             "leaf ranges cover {covered_ids} of {} ids",
             tree.ids.len()
-        ));
+        )));
     }
     if let Some(missing) = seen.iter().position(|&s| !s) {
-        return Err(format!("object {missing} missing from the tree"));
+        return Err(fail(format!("object {missing} missing from the tree")));
     }
     if visited.iter().any(|&v| !v) {
-        return Err("unreachable tree nodes".into());
+        return Err(fail("unreachable tree nodes".into()));
     }
     Ok(())
+}
+
+/// The fully validated decoding of one artifact byte stream: every small
+/// section materialised, the two bulk sections (columns, order permutations)
+/// located by byte offset so consumers can choose between copying them out
+/// ([`HicsModel::from_bytes`]) and borrowing them in place
+/// ([`crate::artifact::ModelArtifact`]).
+///
+/// `parse` performs **all** artifact validation: header sanity, payload
+/// length, checksum, UTF-8 names, finite values, permutation checks,
+/// subspace structure and VP-tree structure. Consumers never re-validate.
+#[derive(Debug, Clone)]
+pub(crate) struct ArtifactLayout {
+    /// Decoded format version (1 or 2).
+    pub version: u32,
+    /// Object count.
+    pub n: usize,
+    /// Attribute count.
+    pub d: usize,
+    /// Scorer configuration.
+    pub scorer: ScorerSpec,
+    /// Score aggregation.
+    pub aggregation: AggregationKind,
+    /// Normalisation kind.
+    pub norm_kind: NormKind,
+    /// Attribute names (owned; the section is tiny).
+    pub names: Vec<String>,
+    /// Normalisation parameters (owned; the section is tiny).
+    pub norm: Vec<NormParam>,
+    /// Byte offset of the columns section (`d × n × f64`, 8-aligned).
+    pub columns_offset: usize,
+    /// Byte offset of the order section (`d × n × u32`).
+    pub order_offset: usize,
+    /// Selected subspaces with contrasts (owned; tiny).
+    pub subspaces: Vec<ModelSubspace>,
+    /// Prebuilt neighbor index of a version-2 stream.
+    pub index: Option<ModelIndex>,
+}
+
+impl ArtifactLayout {
+    /// Walks and validates one artifact byte stream. See the type docs.
+    pub(crate) fn parse(bytes: &[u8]) -> Result<Self, HicsError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(HicsError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(HicsError::UnsupportedVersion(version));
+        }
+        let header_len = r.u32()? as usize;
+        if header_len != HEADER_LEN {
+            return Err(r.invalid(format!("header length {header_len}, expected {HEADER_LEN}")));
+        }
+        let n = r.usize_field("object count")?;
+        let d = r.usize_field("attribute count")?;
+        let sub_count = r.usize_field("subspace count")?;
+        let scorer_kind = ScorerKind::from_code(r.u32()?).map_err(|m| r.invalid(m))?;
+        let scorer_k = r.u32()?;
+        let aggregation = AggregationKind::from_code(r.u32()?).map_err(|m| r.invalid(m))?;
+        let norm_kind = NormKind::from_code(r.u32()?).map_err(|m| r.invalid(m))?;
+        let payload_len = r.u64()? as usize;
+        let stored_checksum = r.u64()?;
+        debug_assert_eq!(r.offset, HEADER_LEN);
+
+        if n < 2 || d == 0 {
+            // Every downstream consumer scores with kNN neighbourhoods,
+            // which need at least two reference objects.
+            return Err(r.invalid(format!(
+                "model needs at least 2 objects and 1 attribute, got {n} x {d}"
+            )));
+        }
+        if u32::try_from(n).is_err() {
+            return Err(r.invalid(format!("object count {n} exceeds u32")));
+        }
+        if sub_count == 0 {
+            return Err(r.invalid("model has no subspaces".into()));
+        }
+        if scorer_k == 0 {
+            return Err(r.invalid("scorer k must be >= 1".into()));
+        }
+        if bytes.len() != HEADER_LEN + payload_len {
+            return Err(HicsError::Truncated {
+                section: ArtifactSection::Header,
+                offset: HEADER_LEN,
+                needed: payload_len,
+                available: bytes.len().saturating_sub(HEADER_LEN),
+            });
+        }
+        let computed = artifact_checksum(bytes);
+        if computed != stored_checksum {
+            return Err(HicsError::ChecksumMismatch {
+                stored: stored_checksum,
+                computed,
+            });
+        }
+        // The counts come straight from the (attacker-suppliable) header;
+        // cross-check them against what the payload could possibly hold
+        // BEFORE sizing any allocation from them, or a crafted header makes
+        // `Vec::with_capacity` panic or abort instead of returning an
+        // error. Conservative floors: every attribute needs ≥ 4 (name
+        // length) + 16 (norm params) bytes plus 12·n column/order bytes;
+        // every subspace ≥ 4 + 4 + 8 (len + one dim + contrast); every
+        // object ≥ 12 bytes per attribute.
+        if d > bytes.len() / 20 {
+            return Err(r.invalid(format!(
+                "attribute count {d} exceeds what a {}-byte payload can hold",
+                bytes.len()
+            )));
+        }
+        if n > bytes.len() / 12 {
+            return Err(r.invalid(format!(
+                "object count {n} exceeds what a {}-byte payload can hold",
+                bytes.len()
+            )));
+        }
+        if sub_count > bytes.len() / 16 {
+            return Err(r.invalid(format!(
+                "subspace count {sub_count} exceeds what a {}-byte payload can hold",
+                bytes.len()
+            )));
+        }
+
+        // Names.
+        r.section = ArtifactSection::Names;
+        let mut names = Vec::with_capacity(d);
+        for j in 0..d {
+            let len = r.u32()? as usize;
+            let raw = r.take(len)?;
+            let name = std::str::from_utf8(raw)
+                .map_err(|_| r.invalid(format!("attribute {j} name is not UTF-8")))?;
+            names.push(name.to_string());
+        }
+        r.align8()?;
+        // Normalisation parameters.
+        r.section = ArtifactSection::NormParams;
+        let mut norm = Vec::with_capacity(d);
+        for j in 0..d {
+            let offset = r.f64()?;
+            let divisor = r.f64()?;
+            if !offset.is_finite() || !divisor.is_finite() {
+                return Err(r.invalid(format!(
+                    "non-finite normalisation parameters for attribute {j}"
+                )));
+            }
+            norm.push(NormParam { offset, divisor });
+        }
+        // Columns: validated in place, not materialised.
+        r.section = ArtifactSection::Columns;
+        let columns_offset = r.offset;
+        for j in 0..d {
+            for _ in 0..n {
+                if !r.f64()?.is_finite() {
+                    return Err(r.invalid(format!("non-finite value in column {j}")));
+                }
+            }
+        }
+        // Order permutations: validated in place, not materialised.
+        r.section = ArtifactSection::Order;
+        let order_offset = r.offset;
+        let mut seen = vec![false; n];
+        for j in 0..d {
+            seen.iter_mut().for_each(|s| *s = false);
+            for _ in 0..n {
+                let id = r.u32()?;
+                if (id as usize) >= n || std::mem::replace(&mut seen[id as usize], true) {
+                    return Err(r.invalid(format!(
+                        "order of attribute {j} is not a permutation of 0..{n}"
+                    )));
+                }
+            }
+        }
+        r.align8()?;
+        // Subspaces.
+        r.section = ArtifactSection::Subspaces;
+        let mut lens = Vec::with_capacity(sub_count);
+        for _ in 0..sub_count {
+            lens.push(r.u32()? as usize);
+        }
+        r.align8()?;
+        let mut subspaces = Vec::with_capacity(sub_count);
+        for (s, &len) in lens.iter().enumerate() {
+            if len == 0 {
+                return Err(r.invalid(format!("subspace {s} is empty")));
+            }
+            // Strictly ascending dims within 0..d cap a subspace at d
+            // attributes; check before allocating from the stored length.
+            if len > d {
+                return Err(r.invalid(format!(
+                    "subspace {s} claims {len} dims, more than the {d} attributes"
+                )));
+            }
+            let mut dims = Vec::with_capacity(len);
+            for _ in 0..len {
+                dims.push(r.u32()? as usize);
+            }
+            if !dims.windows(2).all(|w| w[0] < w[1]) || dims[len - 1] >= d {
+                return Err(r.invalid(format!(
+                    "subspace {s} dims {dims:?} are not strictly ascending within 0..{d}"
+                )));
+            }
+            subspaces.push(ModelSubspace {
+                dims,
+                contrast: 0.0,
+            });
+        }
+        r.align8()?;
+        r.section = ArtifactSection::Contrasts;
+        for (s, sub) in subspaces.iter_mut().enumerate() {
+            let c = r.f64()?;
+            if !c.is_finite() {
+                return Err(r.invalid(format!("non-finite contrast for subspace {s}")));
+            }
+            sub.contrast = c;
+        }
+        // Version 2 appends the neighbor-index section; a version-1 stream
+        // ends here and downstream consumers fall back to the brute scan.
+        r.section = ArtifactSection::Index;
+        let index = if version >= 2 {
+            let kind = r.u32()?;
+            if kind != 1 {
+                return Err(r.invalid(format!("unknown index kind {kind}")));
+            }
+            let reserved = r.u32()?;
+            if reserved != 0 {
+                return Err(r.invalid("non-zero index reserved field".into()));
+            }
+            let mut trees = Vec::with_capacity(sub_count);
+            for s in 0..sub_count {
+                let tree_offset = r.offset;
+                let node_count = r.u32()? as usize;
+                let ids_len = r.u32()? as usize;
+                // Reserve what the declared counts imply, capped by what the
+                // byte stream can actually still hold.
+                let mut nodes = Vec::with_capacity(node_count.min(bytes.len() / 32));
+                for _ in 0..node_count {
+                    let vantage = r.u32()?;
+                    let inner = r.u32()?;
+                    let outer = r.u32()?;
+                    let start = r.u32()?;
+                    let len = r.u32()?;
+                    let reserved = r.u32()?;
+                    if reserved != 0 {
+                        return Err(r.invalid(format!("non-zero reserved node field in tree {s}")));
+                    }
+                    let mu = r.f64()?;
+                    nodes.push(VpNodeData {
+                        vantage,
+                        inner,
+                        outer,
+                        start,
+                        len,
+                        mu,
+                    });
+                }
+                let mut ids = Vec::with_capacity(ids_len.min(bytes.len() / 4));
+                for _ in 0..ids_len {
+                    ids.push(r.u32()?);
+                }
+                r.align8()?;
+                let tree = VpTreeData { nodes, ids };
+                validate_tree(&tree, n, s, tree_offset)?;
+                trees.push(tree);
+            }
+            Some(ModelIndex { trees })
+        } else {
+            None
+        };
+        if r.offset != bytes.len() {
+            return Err(r.invalid(format!(
+                "{} trailing bytes after the last section",
+                bytes.len() - r.offset
+            )));
+        }
+
+        Ok(Self {
+            version,
+            n,
+            d,
+            scorer: ScorerSpec {
+                kind: scorer_kind,
+                k: scorer_k,
+            },
+            aggregation,
+            norm_kind,
+            names,
+            norm,
+            columns_offset,
+            order_offset,
+            subspaces,
+            index,
+        })
+    }
 }
 
 /// A trained HiCS model: the reference data, its rank index, the selected
@@ -590,8 +852,8 @@ impl HicsModel {
                 "one tree per subspace"
             );
             for (s, tree) in idx.trees.iter().enumerate() {
-                if let Err(msg) = validate_tree(tree, self.n()) {
-                    panic!("invalid VP-tree for subspace {s}: {msg}");
+                if let Err(e) = validate_tree(tree, self.n(), s, 0) {
+                    panic!("{e}");
                 }
             }
         }
@@ -754,256 +1016,102 @@ impl HicsModel {
         buf
     }
 
-    /// Decodes and validates a model from its binary encoding.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelError> {
-        let mut r = Reader::new(bytes);
-        let magic = r.take(8)?;
-        if magic != MAGIC {
-            return Err(ModelError::BadMagic);
-        }
-        let version = r.u32()?;
-        if version == 0 || version > FORMAT_VERSION {
-            return Err(ModelError::UnsupportedVersion(version));
-        }
-        let header_len = r.u32()? as usize;
-        if header_len != HEADER_LEN {
-            return Err(ModelError::Invalid(format!(
-                "header length {header_len}, expected {HEADER_LEN}"
-            )));
-        }
-        let n = usize_field(r.u64()?, "object count")?;
-        let d = usize_field(r.u64()?, "attribute count")?;
-        let sub_count = usize_field(r.u64()?, "subspace count")?;
-        let scorer_kind = ScorerKind::from_code(r.u32()?)?;
-        let scorer_k = r.u32()?;
-        let aggregation = AggregationKind::from_code(r.u32()?)?;
-        let norm_kind = NormKind::from_code(r.u32()?)?;
-        let payload_len = r.u64()? as usize;
-        let stored_checksum = r.u64()?;
-        debug_assert_eq!(r.offset, HEADER_LEN);
+    /// Decodes and validates a model from its binary encoding, materialising
+    /// every section into owned storage (columns, rank index and all). For
+    /// the zero-copy alternative see [`crate::artifact::ModelArtifact`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HicsError> {
+        let layout = ArtifactLayout::parse(bytes)?;
+        Ok(Self::from_layout(&layout, bytes))
+    }
 
-        if n < 2 || d == 0 {
-            // Every downstream consumer scores with kNN neighbourhoods,
-            // which need at least two reference objects.
-            return Err(ModelError::Invalid(format!(
-                "model needs at least 2 objects and 1 attribute, got {n} x {d}"
-            )));
-        }
-        if u32::try_from(n).is_err() {
-            return Err(ModelError::Invalid(format!("object count {n} exceeds u32")));
-        }
-        if sub_count == 0 {
-            return Err(ModelError::Invalid("model has no subspaces".into()));
-        }
-        if scorer_k == 0 {
-            return Err(ModelError::Invalid("scorer k must be >= 1".into()));
-        }
-        if bytes.len() != HEADER_LEN + payload_len {
-            return Err(ModelError::Truncated {
-                offset: HEADER_LEN,
-                needed: payload_len,
-                available: bytes.len().saturating_sub(HEADER_LEN),
-            });
-        }
-        let computed = artifact_checksum(bytes);
-        if computed != stored_checksum {
-            return Err(ModelError::ChecksumMismatch {
-                stored: stored_checksum,
-                computed,
-            });
-        }
-
-        // Names.
-        let mut names = Vec::with_capacity(d);
-        for j in 0..d {
-            let len = r.u32()? as usize;
-            let raw = r.take(len)?;
-            let name = std::str::from_utf8(raw)
-                .map_err(|_| ModelError::Invalid(format!("attribute {j} name is not UTF-8")))?;
-            names.push(name.to_string());
-        }
-        r.align8()?;
-        // Normalisation parameters.
-        let mut norm = Vec::with_capacity(d);
-        for j in 0..d {
-            let offset = r.f64()?;
-            let divisor = r.f64()?;
-            if !offset.is_finite() || !divisor.is_finite() {
-                return Err(ModelError::Invalid(format!(
-                    "non-finite normalisation parameters for attribute {j}"
-                )));
-            }
-            norm.push(NormParam { offset, divisor });
-        }
-        // Columns.
+    /// Materialises a model from an already-parsed layout over its bytes.
+    pub(crate) fn from_layout(layout: &ArtifactLayout, bytes: &[u8]) -> Self {
+        let (n, d) = (layout.n, layout.d);
         let mut cols = Vec::with_capacity(d);
-        for j in 0..d {
+        let mut off = layout.columns_offset;
+        for _ in 0..d {
             let mut col = Vec::with_capacity(n);
             for _ in 0..n {
-                let v = r.f64()?;
-                if !v.is_finite() {
-                    return Err(ModelError::Invalid(format!(
-                        "non-finite value in column {j}"
-                    )));
-                }
-                col.push(v);
+                col.push(f64_at(bytes, off));
+                off += 8;
             }
             cols.push(col);
         }
-        // Order permutations.
         let mut order = Vec::with_capacity(d);
-        for j in 0..d {
+        let mut off = layout.order_offset;
+        for _ in 0..d {
             let mut perm = Vec::with_capacity(n);
-            let mut seen = vec![false; n];
             for _ in 0..n {
-                let id = r.u32()?;
-                if (id as usize) >= n || seen[id as usize] {
-                    return Err(ModelError::Invalid(format!(
-                        "order of attribute {j} is not a permutation of 0..{n}"
-                    )));
-                }
-                seen[id as usize] = true;
-                perm.push(id);
+                perm.push(u32_at(bytes, off));
+                off += 4;
             }
             order.push(perm);
         }
-        r.align8()?;
-        // Subspaces.
-        let mut lens = Vec::with_capacity(sub_count);
-        for _ in 0..sub_count {
-            lens.push(r.u32()? as usize);
-        }
-        r.align8()?;
-        let mut subspaces = Vec::with_capacity(sub_count);
-        for (s, &len) in lens.iter().enumerate() {
-            if len == 0 {
-                return Err(ModelError::Invalid(format!("subspace {s} is empty")));
-            }
-            let mut dims = Vec::with_capacity(len);
-            for _ in 0..len {
-                dims.push(r.u32()? as usize);
-            }
-            if !dims.windows(2).all(|w| w[0] < w[1]) || dims[len - 1] >= d {
-                return Err(ModelError::Invalid(format!(
-                    "subspace {s} dims {dims:?} are not strictly ascending within 0..{d}"
-                )));
-            }
-            subspaces.push(ModelSubspace {
-                dims,
-                contrast: 0.0,
-            });
-        }
-        r.align8()?;
-        for (s, sub) in subspaces.iter_mut().enumerate() {
-            let c = r.f64()?;
-            if !c.is_finite() {
-                return Err(ModelError::Invalid(format!(
-                    "non-finite contrast for subspace {s}"
-                )));
-            }
-            sub.contrast = c;
-        }
-        // Version 2 appends the neighbor-index section; a version-1 stream
-        // ends here and downstream consumers fall back to the brute scan.
-        let index = if version >= 2 {
-            let kind = r.u32()?;
-            if kind != 1 {
-                return Err(ModelError::Invalid(format!("unknown index kind {kind}")));
-            }
-            let reserved = r.u32()?;
-            if reserved != 0 {
-                return Err(ModelError::Invalid("non-zero index reserved field".into()));
-            }
-            let mut trees = Vec::with_capacity(sub_count);
-            for s in 0..sub_count {
-                let node_count = r.u32()? as usize;
-                let ids_len = r.u32()? as usize;
-                // Reserve what the declared counts imply, capped by what the
-                // byte stream can actually still hold.
-                let mut nodes = Vec::with_capacity(node_count.min(bytes.len() / 32));
-                for _ in 0..node_count {
-                    let vantage = r.u32()?;
-                    let inner = r.u32()?;
-                    let outer = r.u32()?;
-                    let start = r.u32()?;
-                    let len = r.u32()?;
-                    let reserved = r.u32()?;
-                    if reserved != 0 {
-                        return Err(ModelError::Invalid(format!(
-                            "non-zero reserved node field in tree {s}"
-                        )));
-                    }
-                    let mu = r.f64()?;
-                    nodes.push(VpNodeData {
-                        vantage,
-                        inner,
-                        outer,
-                        start,
-                        len,
-                        mu,
-                    });
-                }
-                let mut ids = Vec::with_capacity(ids_len.min(bytes.len() / 4));
-                for _ in 0..ids_len {
-                    ids.push(r.u32()?);
-                }
-                r.align8()?;
-                let tree = VpTreeData { nodes, ids };
-                if let Err(msg) = validate_tree(&tree, n) {
-                    return Err(ModelError::Invalid(format!(
-                        "invalid VP-tree for subspace {s}: {msg}"
-                    )));
-                }
-                trees.push(tree);
-            }
-            Some(ModelIndex { trees })
-        } else {
-            None
-        };
-        if r.offset != bytes.len() {
-            return Err(ModelError::Invalid(format!(
-                "{} trailing bytes after the last section",
-                bytes.len() - r.offset
-            )));
-        }
-
-        let dataset = Dataset::from_columns_named(cols, names);
+        let dataset = Dataset::from_columns_named(cols, layout.names.clone());
         let rank = RankIndex::from_order(order);
-        Ok(Self {
+        Self {
             dataset,
-            norm_kind,
-            norm,
-            subspaces,
-            scorer: ScorerSpec {
-                kind: scorer_kind,
-                k: scorer_k,
-            },
-            aggregation,
+            norm_kind: layout.norm_kind,
+            norm: layout.norm.clone(),
+            subspaces: layout.subspaces.clone(),
+            scorer: layout.scorer,
+            aggregation: layout.aggregation,
             rank,
-            index,
-        })
+            index: layout.index.clone(),
+        }
     }
 
-    /// Writes the artifact to `path`.
-    pub fn save(&self, path: &Path) -> Result<(), ModelError> {
+    /// Writes the artifact to `path` atomically: the bytes go to a
+    /// temporary file in the same directory, synced, then renamed over
+    /// `path`. The destination is never truncated in place — a serving
+    /// process may have the old artifact memory-mapped
+    /// ([`crate::artifact::ModelArtifact::open_mmap`]), and truncating a
+    /// mapped file turns its next page fault into a fatal `SIGBUS`; with
+    /// the rename, the old inode lives on until every map of it is gone.
+    pub fn save(&self, path: &Path) -> Result<(), HicsError> {
         let bytes = self.to_bytes();
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-        Ok(())
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = path.with_file_name(tmp_name);
+        let write = (|| -> Result<(), HicsError> {
+            let mut f =
+                std::fs::File::create(&tmp).map_err(|e| HicsError::io_path("creating", &tmp, e))?;
+            f.write_all(&bytes)
+                .map_err(|e| HicsError::io_path("writing", &tmp, e))?;
+            f.sync_all()
+                .map_err(|e| HicsError::io_path("syncing", &tmp, e))?;
+            std::fs::rename(&tmp, path).map_err(|e| HicsError::io_path("renaming into", path, e))
+        })();
+        if write.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        write
     }
 
-    /// Reads and validates an artifact from `path`.
-    pub fn load(path: &Path) -> Result<Self, ModelError> {
-        let mut f = std::fs::File::open(path)?;
+    /// Reads and validates an artifact from `path` into owned storage. For
+    /// the zero-copy loader see
+    /// [`crate::artifact::ModelArtifact::open_mmap`].
+    pub fn load(path: &Path) -> Result<Self, HicsError> {
+        let mut f =
+            std::fs::File::open(path).map_err(|e| HicsError::io_path("opening", path, e))?;
         let mut bytes = Vec::new();
-        f.read_to_end(&mut bytes)?;
+        f.read_to_end(&mut bytes)
+            .map_err(|e| HicsError::io_path("reading", path, e))?;
         Self::from_bytes(&bytes)
     }
 }
 
-fn usize_field(v: u64, what: &str) -> Result<usize, ModelError> {
-    usize::try_from(v).map_err(|_| ModelError::Invalid(format!("{what} {v} exceeds usize")))
+/// Reads the little-endian `f64` at `off` (bounds already validated by
+/// [`ArtifactLayout::parse`]).
+#[inline]
+pub(crate) fn f64_at(bytes: &[u8], off: usize) -> f64 {
+    f64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Reads the little-endian `u32` at `off`.
+#[inline]
+pub(crate) fn u32_at(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
 }
 
 fn push_u32(buf: &mut Vec<u8>, v: u32) {
@@ -1024,20 +1132,36 @@ fn pad8(buf: &mut Vec<u8>) {
     }
 }
 
-/// Bounds-checked little-endian reader over a byte slice.
+/// Bounds-checked little-endian reader over a byte slice, carrying the
+/// artifact section it is currently inside so every error is located.
 struct Reader<'a> {
     bytes: &'a [u8],
     offset: usize,
+    section: ArtifactSection,
 }
 
 impl<'a> Reader<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, offset: 0 }
+        Self {
+            bytes,
+            offset: 0,
+            section: ArtifactSection::Header,
+        }
     }
 
-    fn take(&mut self, len: usize) -> Result<&'a [u8], ModelError> {
+    /// An [`HicsError::InvalidModel`] at the current section and offset.
+    fn invalid(&self, msg: String) -> HicsError {
+        HicsError::InvalidModel {
+            section: self.section,
+            offset: self.offset,
+            msg,
+        }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], HicsError> {
         if self.bytes.len() - self.offset < len {
-            return Err(ModelError::Truncated {
+            return Err(HicsError::Truncated {
+                section: self.section,
                 offset: self.offset,
                 needed: len,
                 available: self.bytes.len() - self.offset,
@@ -1048,27 +1172,33 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, ModelError> {
+    fn u32(&mut self) -> Result<u32, HicsError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, ModelError> {
+    fn u64(&mut self) -> Result<u64, HicsError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    fn f64(&mut self) -> Result<f64, ModelError> {
+    fn f64(&mut self) -> Result<f64, HicsError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Reads a `u64` header field that must fit a `usize`.
+    fn usize_field(&mut self, what: &str) -> Result<usize, HicsError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.invalid(format!("{what} {v} exceeds usize")))
+    }
+
     /// Skips the zero padding up to the next 8-byte boundary.
-    fn align8(&mut self) -> Result<(), ModelError> {
+    fn align8(&mut self) -> Result<(), HicsError> {
         let rem = self.offset % 8;
         if rem != 0 {
             let pad = self.take(8 - rem)?;
             if pad.iter().any(|&b| b != 0) {
-                return Err(ModelError::Invalid("non-zero section padding".into()));
+                return Err(self.invalid("non-zero section padding".into()));
             }
         }
         Ok(())
@@ -1127,6 +1257,11 @@ mod tests {
         let bytes = m.to_bytes();
         assert_eq!(bytes.len() % 8, 0);
         assert_eq!(&bytes[..8], &MAGIC);
+        // The layout's bulk-section offsets are 8-aligned — the invariant
+        // the zero-copy column views stand on.
+        let layout = ArtifactLayout::parse(&bytes).expect("parse");
+        assert_eq!(layout.columns_offset % 8, 0);
+        assert_eq!(layout.order_offset % 8, 0);
     }
 
     #[test]
@@ -1142,19 +1277,30 @@ mod tests {
     }
 
     #[test]
+    fn load_missing_file_is_io_error() {
+        let missing = std::env::temp_dir().join("hics-no-such-artifact.hicsmodel");
+        match HicsModel::load(&missing) {
+            Err(HicsError::Io { context, .. }) => {
+                assert!(context.contains("opening"), "{context}")
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_bad_magic_and_version() {
         let m = sample_model(NormKind::None);
         let mut bytes = m.to_bytes();
         bytes[0] ^= 0xff;
         assert!(matches!(
             HicsModel::from_bytes(&bytes),
-            Err(ModelError::BadMagic)
+            Err(HicsError::BadMagic)
         ));
         let mut bytes = m.to_bytes();
         bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(
             HicsModel::from_bytes(&bytes),
-            Err(ModelError::UnsupportedVersion(99))
+            Err(HicsError::UnsupportedVersion(99))
         ));
     }
 
@@ -1177,22 +1323,61 @@ mod tests {
         let mut bytes = m.to_bytes();
         // The order section starts after names (aligned), norm params and
         // columns; corrupt its first entry to a duplicate of the second.
-        let names_len: usize = m.dataset().names().iter().map(|s| 4 + s.len()).sum();
-        let aligned_names = names_len.div_ceil(8) * 8;
-        let order_start = HEADER_LEN + aligned_names + m.d() * 16 + m.d() * m.n() * 8;
+        let order_start = ArtifactLayout::parse(&bytes).expect("parse").order_offset;
         let second = bytes[order_start + 4..order_start + 8].to_vec();
         bytes[order_start..order_start + 4].copy_from_slice(&second);
         // The checksum catches the corruption before section parsing; with
         // a re-stamped checksum, permutation validation catches it.
         assert!(matches!(
             HicsModel::from_bytes(&bytes),
-            Err(ModelError::ChecksumMismatch { .. })
+            Err(HicsError::ChecksumMismatch { .. })
         ));
         let fixed = artifact_checksum(&bytes);
         bytes[64..72].copy_from_slice(&fixed.to_le_bytes());
+        match HicsModel::from_bytes(&bytes) {
+            Err(HicsError::InvalidModel {
+                section, offset, ..
+            }) => {
+                assert_eq!(section, ArtifactSection::Order);
+                assert!(offset > order_start, "offset {offset} within the section");
+            }
+            other => panic!("expected InvalidModel in order section, got {other:?}"),
+        }
+    }
+
+    /// Astronomically large header counts (with a freshly stamped checksum,
+    /// so only the cross-check can catch them) must come back as typed
+    /// errors — never a capacity-overflow panic or an allocator abort.
+    #[test]
+    fn rejects_huge_header_counts_without_allocating() {
+        let m = sample_model(NormKind::None);
+        let good = m.to_bytes();
+        for field_offset in [16usize, 24, 32] {
+            // n, d, sub_count respectively.
+            let mut bad = good.clone();
+            bad[field_offset..field_offset + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+            let fixed = artifact_checksum(&bad);
+            bad[64..72].copy_from_slice(&fixed.to_le_bytes());
+            assert!(
+                matches!(
+                    HicsModel::from_bytes(&bad),
+                    Err(HicsError::InvalidModel { .. })
+                ),
+                "field at {field_offset} was not rejected cleanly"
+            );
+        }
+        // An oversized per-subspace dim count is rejected the same way.
+        let mut bad = good.clone();
+        let layout = ArtifactLayout::parse(&good).expect("parse");
+        // The sub-lens section follows the order section (aligned).
+        let order_end = layout.order_offset + m.d() * m.n() * 4;
+        let lens_offset = order_end.div_ceil(8) * 8;
+        bad[lens_offset..lens_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let fixed = artifact_checksum(&bad);
+        bad[64..72].copy_from_slice(&fixed.to_le_bytes());
         assert!(matches!(
-            HicsModel::from_bytes(&bytes),
-            Err(ModelError::Invalid(_))
+            HicsModel::from_bytes(&bad),
+            Err(HicsError::InvalidModel { .. }) | Err(HicsError::Truncated { .. })
         ));
     }
 

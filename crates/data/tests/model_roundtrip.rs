@@ -3,10 +3,10 @@
 //! are rejected with errors, never panics or silent misreads.
 
 use hics_data::model::{
-    AggregationKind, HicsModel, ModelError, ModelIndex, ModelSubspace, NormKind, ScorerKind,
-    ScorerSpec, VpNodeData, VpTreeData, VP_NONE,
+    AggregationKind, HicsModel, ModelIndex, ModelSubspace, NormKind, ScorerKind, ScorerSpec,
+    VpNodeData, VpTreeData, VP_NONE,
 };
-use hics_data::Dataset;
+use hics_data::{ArtifactSection, Dataset, HicsError};
 use proptest::prelude::*;
 
 /// Builds a valid model from generated raw material. Values are quantised
@@ -159,14 +159,14 @@ fn corrupt_magic_version_and_length_have_specific_errors() {
     bad[3] = b'X';
     assert!(matches!(
         HicsModel::from_bytes(&bad),
-        Err(ModelError::BadMagic)
+        Err(HicsError::BadMagic)
     ));
 
     let mut bad = good.clone();
     bad[8..12].copy_from_slice(&7u32.to_le_bytes());
     assert!(matches!(
         HicsModel::from_bytes(&bad),
-        Err(ModelError::UnsupportedVersion(7))
+        Err(HicsError::UnsupportedVersion(7))
     ));
 
     // Header claims more payload than the file holds.
@@ -175,7 +175,7 @@ fn corrupt_magic_version_and_length_have_specific_errors() {
     bad[56..64].copy_from_slice(&lie);
     assert!(matches!(
         HicsModel::from_bytes(&bad),
-        Err(ModelError::Truncated { .. })
+        Err(HicsError::Truncated { .. })
     ));
 
     // Trailing garbage after the declared payload.
@@ -183,12 +183,16 @@ fn corrupt_magic_version_and_length_have_specific_errors() {
     bad.extend_from_slice(&[0u8; 16]);
     assert!(HicsModel::from_bytes(&bad).is_err());
 
-    // Scorer k of zero (structural check, caught before the checksum).
+    // Scorer k of zero (structural check, caught before the checksum,
+    // located in the header).
     let mut bad = good.clone();
     bad[44..48].copy_from_slice(&0u32.to_le_bytes());
     assert!(matches!(
         HicsModel::from_bytes(&bad),
-        Err(ModelError::Invalid(_))
+        Err(HicsError::InvalidModel {
+            section: ArtifactSection::Header,
+            ..
+        })
     ));
 
     // A flipped payload byte is a checksum mismatch.
@@ -197,7 +201,7 @@ fn corrupt_magic_version_and_length_have_specific_errors() {
     bad[last] ^= 0x40;
     assert!(matches!(
         HicsModel::from_bytes(&bad),
-        Err(ModelError::ChecksumMismatch { .. })
+        Err(HicsError::ChecksumMismatch { .. })
     ));
 
     // A single-object model is structurally invalid (kNN scoring needs two
@@ -207,7 +211,7 @@ fn corrupt_magic_version_and_length_have_specific_errors() {
     restamp(&mut bad);
     assert!(matches!(
         HicsModel::from_bytes(&bad),
-        Err(ModelError::Invalid(_))
+        Err(HicsError::InvalidModel { .. })
     ));
 }
 
@@ -303,16 +307,22 @@ fn index_section_truncation_and_corruption_are_rejected() {
     }
 
     // A duplicated leaf id (checksum freshly stamped so the corruption is
-    // only visible to the tree validator) is rejected as invalid.
+    // only visible to the tree validator) is rejected as invalid, located
+    // in the index section.
     let mut bad = v2.clone();
     let ids_end = bad.len();
     let prev = bad[ids_end - 8..ids_end - 4].to_vec();
     bad[ids_end - 4..].copy_from_slice(&prev);
     restamp(&mut bad);
-    assert!(matches!(
-        HicsModel::from_bytes(&bad),
-        Err(ModelError::Invalid(_))
-    ));
+    match HicsModel::from_bytes(&bad) {
+        Err(HicsError::InvalidModel {
+            section, offset, ..
+        }) => {
+            assert_eq!(section, ArtifactSection::Index);
+            assert!(offset >= v1_len, "offset {offset} before the section");
+        }
+        other => panic!("expected InvalidModel in index section, got {other:?}"),
+    }
 
     // An unknown index kind is rejected.
     let mut bad = v2.clone();
@@ -320,6 +330,9 @@ fn index_section_truncation_and_corruption_are_rejected() {
     restamp(&mut bad);
     assert!(matches!(
         HicsModel::from_bytes(&bad),
-        Err(ModelError::Invalid(_))
+        Err(HicsError::InvalidModel {
+            section: ArtifactSection::Index,
+            ..
+        })
     ));
 }

@@ -163,8 +163,26 @@ impl SubspaceLayout {
             !dims.is_empty(),
             "subspace layout needs at least one attribute"
         );
-        let cols: Vec<Vec<f64>> = dims.iter().map(|&j| data.col(j).to_vec()).collect();
-        Self { n: data.n(), cols }
+        Self::from_cols(dims.iter().map(|&j| data.col(j).to_vec()).collect())
+    }
+
+    /// Builds a layout from already-gathered subspace columns (axis order) —
+    /// the constructor the query engine uses when columns come from a
+    /// memory-mapped artifact rather than a [`Dataset`].
+    ///
+    /// # Panics
+    /// Panics if `cols` is empty or ragged.
+    pub fn from_cols(cols: Vec<Vec<f64>>) -> Self {
+        assert!(
+            !cols.is_empty(),
+            "subspace layout needs at least one attribute"
+        );
+        let n = cols[0].len();
+        assert!(
+            cols.iter().all(|c| c.len() == n),
+            "subspace layout columns must have equal lengths"
+        );
+        Self { cols, n }
     }
 }
 

@@ -1,0 +1,147 @@
+//! The atomically swappable engine handle — the seam that lets a serving
+//! process replace its trained model under live traffic.
+//!
+//! A server that owns its [`QueryEngine`] by value can never change models
+//! without a restart. [`EngineHandle`] owns the engine behind an
+//! `RwLock<Arc<_>>` with arc-swap semantics instead:
+//!
+//! * [`EngineHandle::load`] clones the current `Arc` out from under a read
+//!   lock — a few nanoseconds, never blocked by scoring (scoring happens
+//!   *after* the lock is released, on the clone).
+//! * [`EngineHandle::swap`] installs a new engine under the write lock and
+//!   returns the previous one. In-flight requests that already `load`ed
+//!   keep scoring against the old engine until their `Arc` drops; nothing
+//!   is torn down under them, no connection needs to close.
+//!
+//! The lock is held only for the pointer exchange, so the worst contention
+//! a reload can cause is a pointer-copy-sized stall. A monotonically
+//! increasing generation counter identifies which model answered a request
+//! (surfaced by the serving layer's `/model` endpoint and reload replies).
+
+use crate::query::QueryEngine;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A shared, hot-swappable handle to the current [`QueryEngine`].
+#[derive(Debug)]
+pub struct EngineHandle {
+    engine: RwLock<Arc<QueryEngine>>,
+    generation: AtomicU64,
+}
+
+impl EngineHandle {
+    /// Wraps an engine as generation 1.
+    pub fn new(engine: QueryEngine) -> Self {
+        Self::from_arc(Arc::new(engine))
+    }
+
+    /// Wraps an already-shared engine as generation 1.
+    pub fn from_arc(engine: Arc<QueryEngine>) -> Self {
+        Self {
+            engine: RwLock::new(engine),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// The current engine. The returned `Arc` stays valid (and keeps
+    /// scoring consistently against its own model) across any number of
+    /// concurrent [`EngineHandle::swap`]s.
+    pub fn load(&self) -> Arc<QueryEngine> {
+        Arc::clone(&self.engine.read().expect("engine handle poisoned"))
+    }
+
+    /// Atomically installs `engine` as the current one and returns the
+    /// previous engine. Bumps [`EngineHandle::generation`].
+    pub fn swap(&self, engine: QueryEngine) -> Arc<QueryEngine> {
+        self.swap_arc(Arc::new(engine))
+    }
+
+    /// [`EngineHandle::swap`] for an engine that is already shared.
+    pub fn swap_arc(&self, engine: Arc<QueryEngine>) -> Arc<QueryEngine> {
+        let mut guard = self.engine.write().expect("engine handle poisoned");
+        let old = std::mem::replace(&mut *guard, engine);
+        // Bump under the write lock so generation N always refers to the
+        // N-th installed engine, even with racing swaps.
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        old
+    }
+
+    /// How many engines this handle has seen (1 for the initial engine,
+    /// +1 per swap).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_data::model::{
+        apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+        ScorerSpec,
+    };
+    use hics_data::SyntheticConfig;
+
+    fn engine(seed: u64) -> QueryEngine {
+        let g = SyntheticConfig::new(60, 3).with_seed(seed).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+        let model = HicsModel::new(
+            data,
+            NormKind::None,
+            norm,
+            vec![ModelSubspace {
+                dims: vec![0, 1],
+                contrast: 0.6,
+            }],
+            ScorerSpec {
+                kind: ScorerKind::KnnMean,
+                k: 4,
+            },
+            AggregationKind::Average,
+        );
+        QueryEngine::from_model(&model, 1)
+    }
+
+    #[test]
+    fn swap_replaces_engine_and_bumps_generation() {
+        let handle = EngineHandle::new(engine(1));
+        assert_eq!(handle.generation(), 1);
+        let first = handle.load();
+        let old = handle.swap(engine(2));
+        assert_eq!(handle.generation(), 2);
+        assert!(
+            Arc::ptr_eq(&first, &old),
+            "swap returns the previous engine"
+        );
+        assert!(!Arc::ptr_eq(&first, &handle.load()));
+        // The displaced engine still scores — in-flight requests holding it
+        // are unaffected by the swap.
+        let q = vec![0.4, 0.5, 0.6];
+        assert_eq!(first.score(&q), old.score(&q));
+    }
+
+    #[test]
+    fn loads_during_concurrent_swaps_always_see_a_whole_engine() {
+        let handle = Arc::new(EngineHandle::new(engine(3)));
+        let q = vec![0.3, 0.7, 0.5];
+        let expected: Vec<f64> = (3..6).map(|s| engine(s).score(&q).unwrap()).collect();
+        let swapper = {
+            let handle = Arc::clone(&handle);
+            std::thread::spawn(move || {
+                for seed in [4, 5] {
+                    handle.swap(engine(seed));
+                }
+            })
+        };
+        for _ in 0..200 {
+            let e = handle.load();
+            let got = e.score(&q).unwrap();
+            assert!(
+                expected.contains(&got),
+                "score {got} from no installed engine"
+            );
+        }
+        swapper.join().unwrap();
+        assert_eq!(handle.generation(), 3);
+    }
+}

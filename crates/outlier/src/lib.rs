@@ -12,13 +12,17 @@
 //! * [`scorer`] — the pluggable [`scorer::SubspaceScorer`] seam and parallel
 //!   multi-subspace driving.
 //! * [`query`] — query-point scoring against a trained model (the serving
-//!   path: score new points without re-running the search).
+//!   path: score new points without re-running the search), over owned or
+//!   zero-copy memory-mapped columns.
+//! * [`handle`] — the atomically swappable [`EngineHandle`] behind hot
+//!   model reload.
 //! * [`parallel`] — deterministic `std::thread::scope` fan-out helpers.
 
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod distance;
+pub mod handle;
 pub mod index;
 pub mod kde_score;
 pub mod knn;
@@ -30,6 +34,7 @@ pub mod scorer;
 
 pub use aggregate::{aggregate_scores, Aggregation};
 pub use distance::{Points, SubspaceLayout, SubspaceView};
+pub use handle::EngineHandle;
 pub use index::{knn_all_indexed, IndexKind, SubspaceIndex, VpTree};
 pub use kde_score::KdeScorer;
 pub use knn::{knn_all, knn_query_point, Neighborhood};

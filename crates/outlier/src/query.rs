@@ -30,9 +30,11 @@ use crate::lof::{
     lof_from_neighborhoods, lof_of_query, lrd_from_neighborhoods, lrd_from_reach_sum,
 };
 use crate::parallel::par_map;
-use hics_data::model::{AggregationKind, HicsModel, NormParam, ScorerKind};
-use hics_data::Dataset;
+use hics_data::model::{AggregationKind, HicsModel, ModelIndex, NormParam, ScorerKind, ScorerSpec};
+use hics_data::{Dataset, HicsError, ModelArtifact};
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A malformed query row.
@@ -70,6 +72,58 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+impl From<QueryError> for HicsError {
+    fn from(e: QueryError) -> Self {
+        HicsError::InvalidQuery(e.to_string())
+    }
+}
+
+/// Where the engine's trained columns live: copied onto the heap (built
+/// from a [`HicsModel`]) or borrowed in place from a (typically
+/// memory-mapped) [`ModelArtifact`]. Every read path is shared, so the two
+/// sources are bit-for-bit interchangeable.
+#[derive(Debug, Clone)]
+enum EngineColumns {
+    /// Owned columns cloned out of a heap-loaded model.
+    Owned(Dataset),
+    /// Columns served zero-copy out of the artifact bytes.
+    Mapped(Arc<ModelArtifact>),
+}
+
+impl EngineColumns {
+    fn n(&self) -> usize {
+        match self {
+            EngineColumns::Owned(d) => d.n(),
+            EngineColumns::Mapped(a) => a.n(),
+        }
+    }
+
+    fn d(&self) -> usize {
+        match self {
+            EngineColumns::Owned(d) => d.d(),
+            EngineColumns::Mapped(a) => a.d(),
+        }
+    }
+
+    /// Column `j`, borrowed from either storage (the mapped source may have
+    /// to copy on platforms where the in-place cast is unsound; see
+    /// [`ModelArtifact::column`]).
+    fn column(&self, j: usize) -> Cow<'_, [f64]> {
+        match self {
+            EngineColumns::Owned(d) => Cow::Borrowed(d.col(j)),
+            EngineColumns::Mapped(a) => a.column(j),
+        }
+    }
+
+    #[inline]
+    fn value(&self, i: usize, j: usize) -> f64 {
+        match self {
+            EngineColumns::Owned(d) => d.value(i, j),
+            EngineColumns::Mapped(a) => a.value(i, j),
+        }
+    }
+}
+
 /// Per-subspace state derived from the trained columns at engine build time.
 #[derive(Debug, Clone)]
 struct TrainedSubspace {
@@ -105,10 +159,11 @@ pub struct IndexStats {
     pub build_micros: u64,
 }
 
-/// Scores query points against a trained [`HicsModel`].
+/// Scores query points against a trained [`HicsModel`] or a zero-copy
+/// [`ModelArtifact`].
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
-    data: Dataset,
+    columns: EngineColumns,
     norm: Vec<NormParam>,
     kind: ScorerKind,
     k: usize,
@@ -140,24 +195,80 @@ impl QueryEngine {
         index: Option<IndexKind>,
         max_threads: usize,
     ) -> Self {
-        let data = model.dataset().clone();
-        let spec = model.scorer();
+        Self::build(
+            EngineColumns::Owned(model.dataset().clone()),
+            model.norm_params().to_vec(),
+            model.scorer(),
+            model.aggregation(),
+            model.subspaces().iter().map(|s| s.dims.clone()).collect(),
+            model.index(),
+            index,
+            max_threads,
+        )
+    }
+
+    /// Builds the engine over a **zero-copy** artifact: the full training
+    /// matrix is not cloned into a `Dataset`, the order permutations and
+    /// rank index are never materialised, and in-sample candidate checks
+    /// read through the map. What *is* still copied are the per-subspace
+    /// point layouts (contiguous gathers of each subspace's columns — the
+    /// serving hot path depends on them), so resident memory scales with
+    /// the attributes the subspaces actually touch (HiCS subspaces are 2–5
+    /// wide), not with `d`. Scores are bit-for-bit identical to
+    /// [`QueryEngine::from_model`] on the same bytes; `index` behaves
+    /// exactly as in [`QueryEngine::from_model_with_index`].
+    pub fn from_artifact(
+        artifact: Arc<ModelArtifact>,
+        index: Option<IndexKind>,
+        max_threads: usize,
+    ) -> Self {
+        Self::build(
+            EngineColumns::Mapped(Arc::clone(&artifact)),
+            artifact.norm_params().to_vec(),
+            artifact.scorer(),
+            artifact.aggregation(),
+            artifact
+                .subspaces()
+                .iter()
+                .map(|s| s.dims.clone())
+                .collect(),
+            artifact.index(),
+            index,
+            max_threads,
+        )
+    }
+
+    /// The shared construction path of the owned and the mapped engines.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        columns: EngineColumns,
+        norm: Vec<NormParam>,
+        spec: ScorerSpec,
+        aggregation: AggregationKind,
+        dims_list: Vec<Vec<usize>>,
+        stored: Option<&ModelIndex>,
+        index: Option<IndexKind>,
+        max_threads: usize,
+    ) -> Self {
         let k = spec.k as usize;
         let kind = spec.kind;
-        let chosen = index.unwrap_or(if model.index().is_some() {
+        let chosen = index.unwrap_or(if stored.is_some() {
             IndexKind::VpTree
         } else {
             IndexKind::Brute
         });
         let build_start = Instant::now();
         let mut from_artifact = false;
-        let prepared: Vec<(Vec<usize>, SubspaceLayout, SubspaceIndex)> = model
-            .subspaces()
-            .iter()
+        let prepared: Vec<(Vec<usize>, SubspaceLayout, SubspaceIndex)> = dims_list
+            .into_iter()
             .enumerate()
-            .map(|(s, sub)| {
-                let layout = SubspaceLayout::gather(&data, &sub.dims);
-                let index = match (chosen, model.index()) {
+            .map(|(s, dims)| {
+                let layout = SubspaceLayout::from_cols(
+                    dims.iter()
+                        .map(|&j| columns.column(j).into_owned())
+                        .collect(),
+                );
+                let index = match (chosen, stored) {
                     (IndexKind::Brute, _) => SubspaceIndex::Brute,
                     (IndexKind::VpTree, Some(stored)) => {
                         // The stored tree is the deterministic build over
@@ -168,7 +279,7 @@ impl QueryEngine {
                     }
                     (IndexKind::VpTree, None) => SubspaceIndex::build(&layout, IndexKind::VpTree),
                 };
-                (sub.dims.clone(), layout, index)
+                (dims, layout, index)
             })
             .collect();
         let index_stats = IndexStats {
@@ -203,16 +314,16 @@ impl QueryEngine {
                 }
             })
             .collect();
-        let mut coincident: HashMap<u64, Vec<u32>> = HashMap::with_capacity(data.n());
-        for (i, &v) in data.col(0).iter().enumerate() {
+        let mut coincident: HashMap<u64, Vec<u32>> = HashMap::with_capacity(columns.n());
+        for (i, &v) in columns.column(0).iter().enumerate() {
             coincident.entry(float_key(v)).or_default().push(i as u32);
         }
         Self {
-            data,
-            norm: model.norm_params().to_vec(),
+            columns,
+            norm,
             kind,
             k,
-            aggregation: match model.aggregation() {
+            aggregation: match aggregation {
                 AggregationKind::Average => Aggregation::Average,
                 AggregationKind::Max => Aggregation::Max,
             },
@@ -229,12 +340,18 @@ impl QueryEngine {
 
     /// Number of trained objects.
     pub fn n(&self) -> usize {
-        self.data.n()
+        self.columns.n()
     }
 
     /// Number of attributes a query row must carry.
     pub fn d(&self) -> usize {
-        self.data.d()
+        self.columns.d()
+    }
+
+    /// Whether the trained columns are served zero-copy out of a (typically
+    /// memory-mapped) artifact rather than owned heap storage.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.columns, EngineColumns::Mapped(_))
     }
 
     /// Number of subspaces every query is scored in.
@@ -325,7 +442,7 @@ impl QueryEngine {
         'outer: for &i in candidates {
             let i = i as usize;
             for (j, &qj) in q.iter().enumerate().skip(1) {
-                if self.data.value(i, j) != qj {
+                if self.columns.value(i, j) != qj {
                     continue 'outer;
                 }
             }
@@ -502,6 +619,31 @@ mod tests {
         let mut bad = vec![0.0; 6];
         bad[3] = f64::NAN;
         assert_eq!(engine.score(&bad), Err(QueryError::NonFinite { column: 3 }));
+    }
+
+    /// An engine over a zero-copy artifact reproduces the owned engine
+    /// bit-for-bit, in and out of sample, for every scorer kind and with
+    /// either neighbour backend.
+    #[test]
+    fn mapped_engine_scores_bitwise_like_owned() {
+        for kind in [ScorerKind::Lof, ScorerKind::KnnMean, ScorerKind::KnnKth] {
+            let (model, g) = model_with(kind, NormKind::MinMax, AggregationKind::Average);
+            let owned = QueryEngine::from_model(&model, 2);
+            let artifact = std::sync::Arc::new(
+                hics_data::ModelArtifact::from_bytes(&model.to_bytes()).expect("valid artifact"),
+            );
+            for index in [None, Some(IndexKind::VpTree)] {
+                let mapped = QueryEngine::from_artifact(std::sync::Arc::clone(&artifact), index, 2);
+                assert!(mapped.is_mapped());
+                assert!(!owned.is_mapped());
+                for i in (0..g.dataset.n()).step_by(13) {
+                    let row = g.dataset.row(i);
+                    assert_eq!(owned.score(&row), mapped.score(&row), "{kind:?} row {i}");
+                }
+                let novel = vec![7.5; g.dataset.d()];
+                assert_eq!(owned.score(&novel), mapped.score(&novel), "{kind:?} novel");
+            }
+        }
     }
 
     #[test]

@@ -4,13 +4,18 @@
 //! shared [`Batcher`] and block on a reply channel. A small pool of batch
 //! workers drains the queue: whatever jobs have accumulated while the
 //! previous batch was scoring are coalesced — up to `max_batch` rows — and
-//! scored in one [`QueryEngine::score_batch`] call, which fans the rows out
+//! scored in one [`hics_outlier::QueryEngine::score_batch`] call, which fans the rows out
 //! over the engine's worker threads. Under load this amortises thread
 //! fan-out and keeps all cores on one contiguous batch instead of
 //! interleaving many tiny requests; when idle, a lone request is scored
 //! immediately (workers sleep on a condvar, no polling).
+//!
+//! Workers resolve the engine through a shared [`EngineHandle`] **once per
+//! batch**, so a hot reload takes effect at the next batch boundary while
+//! the batch in flight finishes consistently against the model it started
+//! with.
 
-use hics_outlier::{QueryEngine, QueryError};
+use hics_outlier::{EngineHandle, QueryError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -48,14 +53,14 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Starts `workers` batch workers scoring against `engine`, coalescing
-    /// up to `max_batch` rows per batch and giving each batch `threads`
-    /// scoring threads.
+    /// Starts `workers` batch workers scoring against the engine currently
+    /// installed in `handle`, coalescing up to `max_batch` rows per batch
+    /// and giving each batch `threads` scoring threads.
     ///
     /// # Panics
     /// Panics if `workers`, `max_batch` or `threads` is zero.
     pub fn start(
-        engine: Arc<QueryEngine>,
+        handle: Arc<EngineHandle>,
         workers: usize,
         max_batch: usize,
         threads: usize,
@@ -71,10 +76,10 @@ impl Batcher {
         let handles = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                let engine = Arc::clone(&engine);
+                let handle = Arc::clone(&handle);
                 let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
-                    worker_loop(&shared, &engine, &stats, max_batch, threads)
+                    worker_loop(&shared, &handle, &stats, max_batch, threads)
                 })
             })
             .collect();
@@ -128,10 +133,11 @@ impl Batcher {
 }
 
 /// One worker: sleep until jobs arrive, drain up to `max_batch` rows worth,
-/// score them as a single contiguous batch, distribute the replies.
+/// score them as a single contiguous batch against the currently installed
+/// engine, distribute the replies.
 fn worker_loop(
     shared: &Shared,
-    engine: &QueryEngine,
+    handle: &EngineHandle,
     stats: &BatchStats,
     max_batch: usize,
     threads: usize,
@@ -172,6 +178,9 @@ fn worker_loop(
             .iter_mut()
             .flat_map(|j| std::mem::take(&mut j.rows))
             .collect();
+        // One handle load per batch: every row of a batch scores against
+        // the same model, and a reload lands at the next batch boundary.
+        let engine = handle.load();
         let mut results = engine.score_batch(&all_rows, threads).into_iter();
         stats.batches.fetch_add(1, Ordering::Relaxed);
         stats
@@ -199,6 +208,7 @@ mod tests {
         ScorerSpec,
     };
     use hics_data::SyntheticConfig;
+    use hics_outlier::QueryEngine;
 
     fn engine() -> Arc<QueryEngine> {
         let g = SyntheticConfig::new(80, 4).with_seed(5).generate();
@@ -220,10 +230,14 @@ mod tests {
         Arc::new(QueryEngine::from_model(&model, 2))
     }
 
+    fn handle_for(engine: &Arc<QueryEngine>) -> Arc<EngineHandle> {
+        Arc::new(EngineHandle::from_arc(Arc::clone(engine)))
+    }
+
     #[test]
     fn scores_flow_back_to_the_right_job() {
         let engine = engine();
-        let batcher = Arc::new(Batcher::start(Arc::clone(&engine), 1, 64, 2));
+        let batcher = Arc::new(Batcher::start(handle_for(&engine), 1, 64, 2));
         let rows_a = vec![vec![0.1, 0.2, 0.3, 0.4]];
         let rows_b = vec![vec![0.9, 0.8, 0.7, 0.6], vec![0.5, 0.5, 0.5, 0.5]];
         let got_a = batcher.score(rows_a.clone()).unwrap();
@@ -238,7 +252,7 @@ mod tests {
     #[test]
     fn concurrent_submissions_coalesce_and_stay_ordered() {
         let engine = engine();
-        let batcher = Arc::new(Batcher::start(Arc::clone(&engine), 2, 32, 2));
+        let batcher = Arc::new(Batcher::start(handle_for(&engine), 2, 32, 2));
         let mut handles = Vec::new();
         for t in 0..8 {
             let batcher = Arc::clone(&batcher);
@@ -263,16 +277,53 @@ mod tests {
     #[test]
     fn shutdown_rejects_new_jobs_and_is_idempotent() {
         let engine = engine();
-        let batcher = Batcher::start(engine, 1, 8, 1);
+        let batcher = Batcher::start(handle_for(&engine), 1, 8, 1);
         batcher.shutdown();
         assert!(batcher.score(vec![vec![0.0; 4]]).is_none());
         batcher.shutdown();
     }
 
     #[test]
+    fn swapped_engine_takes_effect_at_the_next_batch() {
+        let first = engine();
+        let handle = handle_for(&first);
+        let batcher = Batcher::start(Arc::clone(&handle), 1, 8, 1);
+        let row = vec![0.2, 0.4, 0.6, 0.8];
+        let got = batcher.score(vec![row.clone()]).unwrap();
+        assert_eq!(got, first.score_batch(std::slice::from_ref(&row), 1));
+
+        // Install a model trained on different data; the very next job must
+        // score against it.
+        let g = SyntheticConfig::new(80, 4).with_seed(99).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+        let second = Arc::new(QueryEngine::from_model(
+            &HicsModel::new(
+                data,
+                NormKind::None,
+                norm,
+                vec![ModelSubspace {
+                    dims: vec![1, 3],
+                    contrast: 0.5,
+                }],
+                ScorerSpec {
+                    kind: ScorerKind::KnnMean,
+                    k: 3,
+                },
+                AggregationKind::Average,
+            ),
+            1,
+        ));
+        handle.swap_arc(Arc::clone(&second));
+        let got = batcher.score(vec![row.clone()]).unwrap();
+        assert_eq!(got, second.score_batch(std::slice::from_ref(&row), 1));
+        assert_ne!(got, first.score_batch(&[row], 1), "scores must change");
+        batcher.shutdown();
+    }
+
+    #[test]
     fn oversized_single_job_is_not_split() {
         let engine = engine();
-        let batcher = Batcher::start(Arc::clone(&engine), 1, 2, 1);
+        let batcher = Batcher::start(handle_for(&engine), 1, 2, 1);
         let rows: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64 * 0.1; 4]).collect();
         let got = batcher.score(rows.clone()).unwrap();
         assert_eq!(got.len(), 7);

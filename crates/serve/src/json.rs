@@ -57,6 +57,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// A JSON syntax error with byte position.

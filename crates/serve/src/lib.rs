@@ -5,17 +5,22 @@
 //! * [`json`] — hand-rolled JSON parsing/serialisation (no registry deps).
 //! * [`http`] — minimal HTTP/1.1 request/response over blocking streams.
 //! * [`batch`] — the cross-connection request batcher: concurrent requests
-//!   coalesce into contiguous scoring batches.
+//!   coalesce into contiguous scoring batches, resolved through the shared
+//!   [`hics_outlier::EngineHandle`] so models hot-swap at batch boundaries.
 //! * [`server`] — the `TcpListener` accept loop, connection handlers, and
-//!   the `/score`, `/healthz`, `/model`, `/stats` endpoints.
+//!   the `/score`, `/v2/score` (streaming NDJSON), `/admin/reload`,
+//!   `/healthz`, `/model`, `/stats` endpoints.
 //!
 //! ```no_run
 //! use hics_outlier::QueryEngine;
 //! use hics_serve::{ServeConfig, Server};
+//! use std::sync::Arc;
 //!
-//! let model = hics_data::HicsModel::load(std::path::Path::new("model.hics")).unwrap();
-//! let engine = QueryEngine::from_model(&model, 8);
+//! // Zero-copy: the engine scores straight out of the mapped artifact.
+//! let artifact = hics_data::ModelArtifact::open_mmap(std::path::Path::new("model.hics")).unwrap();
+//! let engine = QueryEngine::from_artifact(Arc::new(artifact), None, 8);
 //! let server = Server::bind(engine, ServeConfig::default()).unwrap();
+//! server.set_reload_source("model.hics".into(), None);
 //! println!("listening on {}", server.local_addr().unwrap());
 //! server.run().unwrap();
 //! ```
@@ -29,4 +34,4 @@ pub mod server;
 
 pub use batch::{BatchStats, Batcher};
 pub use json::Json;
-pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use server::{ServeConfig, Server, ShutdownHandle, StreamStats};

@@ -1,29 +1,45 @@
 //! The multi-threaded scoring server: `std::net::TcpListener` accept loop,
-//! one handler thread per connection (HTTP/1.1 keep-alive), all scoring
-//! funnelled through the cross-connection [`Batcher`].
+//! one handler thread per connection (HTTP/1.1 keep-alive), batch scoring
+//! funnelled through the cross-connection [`Batcher`], and the engine
+//! resolved through an atomically swappable [`EngineHandle`] so a model can
+//! be hot-reloaded under live traffic.
 //!
-//! Endpoints:
+//! Endpoints (the v2 wire protocol):
 //!
 //! | method, path | behaviour |
 //! |---|---|
-//! | `POST /score` | body `{"points": [[f64; d], …]}` → `{"scores": […]}`, or `{"point": [f64; d]}` → `{"score": s}` |
+//! | `POST /score` | body `{"points": [[f64; d], …]}` → `{"scores": […]}`, or `{"point": [f64; d]}` → `{"score": s}` (v1-compatible, byte for byte) |
+//! | `POST /v2/score` | NDJSON streaming: one JSON point per line in (`[…]` or `{"point": […]}`; `Content-Length` or chunked), one scored line out per non-empty line, errors reported in-stream |
+//! | `POST /admin/reload` | loads a new artifact (zero-copy mmap), validates it, atomically swaps it in; body `{"model": path?, "index": "brute"\|"vptree"?}` or empty to re-load the configured source |
 //! | `GET /healthz` | `{"status":"ok"}` liveness probe |
-//! | `GET /model` | model shape + neighbour-index kind and build stats |
-//! | `GET /stats` | request/row/batch counters + neighbour-index stats |
+//! | `GET /model` | model shape, engine generation, neighbour-index kind and build stats |
+//! | `GET /stats` | request/row/batch/stream counters + neighbour-index stats |
 //!
-//! Per-row failures (wrong arity, non-finite values) fail the whole request
-//! with `400` and a row-indexed message — callers batch their own rows, so
-//! partial success would be ambiguous.
+//! Per-row failures on `/score` (wrong arity, non-finite values) fail the
+//! whole request with `400` and a row-indexed message — callers batch their
+//! own rows, so partial success would be ambiguous. `/v2/score` is the
+//! opposite contract: each line succeeds or fails **individually**, and a
+//! malformed line never kills the stream.
+//!
+//! A stalled or hostile streaming client cannot pin a worker: reads inside
+//! a stream run under [`ServeConfig::stream_idle`], per-line buffers are
+//! bounded by [`ServeConfig::max_line_bytes`], and a stream that has pushed
+//! more than [`ServeConfig::max_stream_bytes`] is terminated.
 
 use crate::batch::Batcher;
-use crate::http::{error_body, read_request, write_response, Request, RequestError};
+use crate::http::{
+    error_body, finish_chunked, read_head, read_sized_body, write_chunk, write_chunked_head,
+    write_response, BodyError, BodyReader, LineRead, Request, RequestError, RequestHead,
+};
 use crate::json::{self, Json};
-use hics_outlier::QueryEngine;
+use hics_data::ModelArtifact;
+use hics_outlier::{EngineHandle, IndexKind, QueryEngine};
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -36,8 +52,19 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Batch worker count (batches scored concurrently).
     pub workers: usize,
-    /// Idle keep-alive timeout per connection.
+    /// Idle keep-alive timeout per connection (between requests).
     pub keep_alive: Duration,
+    /// Idle timeout **inside** a streaming request body: a `/v2/score`
+    /// client that sends nothing for this long is disconnected, so a
+    /// stalled stream cannot pin a handler thread at the keep-alive
+    /// timescale.
+    pub stream_idle: Duration,
+    /// Upper bound on one NDJSON line (bytes). Longer lines are consumed,
+    /// discarded and reported in-stream — the buffer never grows past this.
+    pub max_line_bytes: usize,
+    /// Upper bound on total bytes one streaming request may send (framing
+    /// included). Exceeding it terminates the stream.
+    pub max_stream_bytes: usize,
     /// Maximum concurrent connections; further clients get an immediate
     /// `503` instead of a handler thread (keeps the thread count and fd
     /// usage bounded under overload).
@@ -52,17 +79,47 @@ impl Default for ServeConfig {
             max_batch: 512,
             workers: 1,
             keep_alive: Duration::from_secs(30),
+            stream_idle: Duration::from_secs(10),
+            max_line_bytes: 64 * 1024,
+            max_stream_bytes: 256 * 1024 * 1024,
             max_connections: 1024,
         }
     }
 }
 
+/// Counters for the `/v2/score` streaming endpoint.
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    /// Streaming requests accepted.
+    pub streams: AtomicU64,
+    /// NDJSON lines scored successfully.
+    pub lines: AtomicU64,
+    /// In-stream error lines emitted.
+    pub errors: AtomicU64,
+}
+
+/// Where `/admin/reload` gets its artifact from when the request body does
+/// not name one, plus the backend preference reloaded engines inherit.
+#[derive(Debug, Default)]
+struct ReloadSource {
+    path: Option<PathBuf>,
+    index: Option<IndexKind>,
+}
+
+/// Everything a connection handler needs — cheap to clone per connection.
+#[derive(Clone)]
+struct Ctx {
+    handle: Arc<EngineHandle>,
+    batcher: Arc<Batcher>,
+    reload: Arc<Mutex<ReloadSource>>,
+    stream_stats: Arc<StreamStats>,
+    config: Arc<ServeConfig>,
+}
+
 /// A running scoring server.
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<QueryEngine>,
-    batcher: Arc<Batcher>,
-    config: ServeConfig,
+    ctx: Ctx,
     stop: Arc<AtomicBool>,
 }
 
@@ -84,23 +141,48 @@ impl ShutdownHandle {
 
 impl Server {
     /// Binds the listen socket and starts the batch workers (the accept
-    /// loop does not run until [`Server::run`]).
+    /// loop does not run until [`Server::run`]). The engine is wrapped in a
+    /// fresh [`EngineHandle`]; use [`Server::bind_handle`] to share one.
     pub fn bind(engine: QueryEngine, config: ServeConfig) -> std::io::Result<Self> {
+        Self::bind_handle(Arc::new(EngineHandle::new(engine)), config)
+    }
+
+    /// Like [`Server::bind`] over an existing (possibly shared) engine
+    /// handle — the caller can hot-swap engines through it at any time.
+    pub fn bind_handle(handle: Arc<EngineHandle>, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
-        let engine = Arc::new(engine);
         let batcher = Arc::new(Batcher::start(
-            Arc::clone(&engine),
+            Arc::clone(&handle),
             config.workers,
             config.max_batch,
             config.threads,
         ));
         Ok(Self {
             listener,
-            engine,
-            batcher,
-            config,
+            ctx: Ctx {
+                handle,
+                batcher,
+                reload: Arc::new(Mutex::new(ReloadSource::default())),
+                stream_stats: Arc::new(StreamStats::default()),
+                config: Arc::new(config),
+            },
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Configures the default artifact source for `POST /admin/reload`:
+    /// a reload request with an empty body re-loads `path` (with the given
+    /// backend preference). A body naming a model overrides — and
+    /// updates — this source.
+    pub fn set_reload_source(&self, path: PathBuf, index: Option<IndexKind>) {
+        let mut src = self.ctx.reload.lock().expect("reload source");
+        src.path = Some(path);
+        src.index = index;
+    }
+
+    /// The shared engine handle (e.g. to swap models from outside HTTP).
+    pub fn engine_handle(&self) -> Arc<EngineHandle> {
+        Arc::clone(&self.ctx.handle)
     }
 
     /// The bound address (useful with port `0`).
@@ -138,7 +220,7 @@ impl Server {
             };
             // Load shedding: never take on more handler threads (and their
             // fds) than configured.
-            if active.load(Ordering::SeqCst) >= self.config.max_connections {
+            if active.load(Ordering::SeqCst) >= self.ctx.config.max_connections {
                 let _ = write_response(
                     &mut stream,
                     503,
@@ -148,16 +230,14 @@ impl Server {
                 continue;
             }
             active.fetch_add(1, Ordering::SeqCst);
-            let engine = Arc::clone(&self.engine);
-            let batcher = Arc::clone(&self.batcher);
+            let ctx = self.ctx.clone();
             let active = Arc::clone(&active);
-            let keep_alive = self.config.keep_alive;
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, &engine, &batcher, keep_alive);
+                let _ = handle_connection(stream, &ctx);
                 active.fetch_sub(1, Ordering::SeqCst);
             });
         }
-        self.batcher.shutdown();
+        self.ctx.batcher.shutdown();
         Ok(())
     }
 }
@@ -167,26 +247,46 @@ impl Server {
 /// The stream is wrapped in one `BufReader` for the connection's whole
 /// lifetime, so pipelined bytes the buffer over-reads are retained for the
 /// next keep-alive iteration and head parsing costs no per-byte syscalls.
-fn handle_connection(
-    stream: TcpStream,
-    engine: &QueryEngine,
-    batcher: &Batcher,
-    keep_alive: Duration,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(keep_alive))?;
+fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(ctx.config.keep_alive))?;
+    // A peer that stops *reading* must not pin the handler either: every
+    // blocked response write gives up after the same idle budget.
+    stream.set_write_timeout(Some(ctx.config.keep_alive))?;
     stream.set_nodelay(true)?;
     let mut reader = std::io::BufReader::new(stream);
     loop {
-        let request = match read_request(&mut reader) {
-            Ok(r) => r,
+        let head = match read_head(&mut reader) {
+            Ok(h) => h,
             Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
             Err(RequestError::Bad { status, msg }) => {
                 let _ = write_response(reader.get_mut(), status, &error_body(&msg), true);
                 return Ok(());
             }
         };
-        let close = request.close;
-        let (status, body) = dispatch(&request, engine, batcher);
+        let close = head.close;
+        if head.method == "POST" && head.path == "/v2/score" {
+            let keep = stream_score(&mut reader, &head, ctx)?;
+            if close || !keep {
+                reader.get_mut().flush()?;
+                return Ok(());
+            }
+            continue;
+        }
+        let body = match read_sized_body(&mut reader, &head) {
+            Ok(b) => b,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
+            Err(RequestError::Bad { status, msg }) => {
+                let _ = write_response(reader.get_mut(), status, &error_body(&msg), true);
+                return Ok(());
+            }
+        };
+        let request = Request {
+            method: head.method,
+            path: head.path,
+            body,
+            close,
+        };
+        let (status, body) = dispatch(&request, ctx);
         write_response(reader.get_mut(), status, &body, close)?;
         if close {
             reader.get_mut().flush()?;
@@ -195,13 +295,17 @@ fn handle_connection(
     }
 }
 
-/// Routes one request to its endpoint.
-fn dispatch(request: &Request, engine: &QueryEngine, batcher: &Batcher) -> (u16, String) {
+/// Routes one non-streaming request to its endpoint.
+fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => score_endpoint(&request.body, engine, batcher),
+        ("POST", "/score") => {
+            let engine = ctx.handle.load();
+            score_endpoint(&request.body, &engine, &ctx.batcher)
+        }
+        ("POST", "/admin/reload") => reload_endpoint(&request.body, ctx),
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
-        ("GET", "/model") => (200, model_body(engine)),
-        ("GET", "/stats") => (200, stats_body(engine, batcher)),
+        ("GET", "/model") => (200, model_body(&ctx.handle.load(), ctx.handle.generation())),
+        ("GET", "/stats") => (200, stats_body(ctx)),
         ("POST" | "GET", _) => (404, error_body(&format!("no route {}", request.path))),
         _ => (
             405,
@@ -274,6 +378,218 @@ fn score_endpoint(body: &[u8], engine: &QueryEngine, batcher: &Batcher) -> (u16,
     (200, out)
 }
 
+/// `POST /admin/reload`: load a new artifact (zero-copy mmap), build and
+/// validate its engine, and swap it into the shared handle. In-flight and
+/// keep-alive connections are untouched — they finish against whichever
+/// engine they already resolved and pick up the new one on their next
+/// request (or next batch).
+fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
+    // Parse the optional body: {"model": "...", "index": "brute"|"vptree"}.
+    let mut path_override: Option<PathBuf> = None;
+    let mut index_override: Option<IndexKind> = None;
+    let trimmed: &[u8] = {
+        let mut t = body;
+        while let [rest @ .., last] = t {
+            if last.is_ascii_whitespace() {
+                t = rest;
+            } else {
+                break;
+            }
+        }
+        t
+    };
+    if !trimmed.is_empty() {
+        let text = match std::str::from_utf8(trimmed) {
+            Ok(t) => t,
+            Err(_) => return (400, error_body("body is not UTF-8")),
+        };
+        let doc = match json::parse(text) {
+            Ok(d) => d,
+            Err(e) => return (400, error_body(&e.to_string())),
+        };
+        if let Some(m) = doc.get("model") {
+            match m.as_str() {
+                Some(p) => path_override = Some(PathBuf::from(p)),
+                None => return (400, error_body("\"model\" must be a path string")),
+            }
+        }
+        if let Some(ix) = doc.get("index") {
+            let Some(name) = ix.as_str() else {
+                return (400, error_body("\"index\" must be \"brute\" or \"vptree\""));
+            };
+            match name.parse::<IndexKind>() {
+                Ok(kind) => index_override = Some(kind),
+                Err(e) => return (400, error_body(&e)),
+            }
+        }
+    }
+
+    // Hold the source lock across load + swap: concurrent reloads are
+    // serialised (scoring traffic is *not* blocked — it reads the handle,
+    // not this lock).
+    let mut source = ctx.reload.lock().expect("reload source");
+    let Some(path) = path_override.or_else(|| source.path.clone()) else {
+        return (
+            400,
+            error_body("no reload source configured; pass {\"model\": \"path\"}"),
+        );
+    };
+    let index = index_override.or(source.index);
+    let start = Instant::now();
+    let artifact = match ModelArtifact::open_mmap(&path) {
+        Ok(a) => Arc::new(a),
+        Err(e) => {
+            return (
+                422,
+                error_body(&format!("reloading {}: {e}", path.display())),
+            )
+        }
+    };
+    let engine = QueryEngine::from_artifact(artifact, index, ctx.config.threads);
+    let (n, d, subs) = (engine.n(), engine.d(), engine.subspace_count());
+    let idx = engine.index_stats();
+    let mapped = engine.is_mapped();
+    ctx.handle.swap(engine);
+    source.path = Some(path);
+    source.index = index;
+    let micros = start.elapsed().as_micros() as u64;
+    (
+        200,
+        format!(
+            "{{\"status\":\"reloaded\",\"generation\":{},\"objects\":{n},\"attributes\":{d},\
+             \"subspaces\":{subs},\"mmap\":{mapped},\"load_micros\":{micros},\
+             \"index\":{{\"kind\":\"{}\",\"nodes\":{},\"from_artifact\":{}}}}}",
+            ctx.handle.generation(),
+            idx.kind.name(),
+            idx.nodes,
+            idx.from_artifact,
+        ),
+    )
+}
+
+/// One formatted NDJSON output line (with trailing newline).
+fn stream_line(result: Result<f64, String>, line: u64, stats: &StreamStats) -> String {
+    match result {
+        Ok(score) => {
+            stats.lines.fetch_add(1, Ordering::Relaxed);
+            let mut out = String::with_capacity(24);
+            out.push_str("{\"score\":");
+            json::write_f64(&mut out, score);
+            out.push_str("}\n");
+            out
+        }
+        Err(msg) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            let mut out = String::with_capacity(msg.len() + 24);
+            out.push_str("{\"line\":");
+            out.push_str(&line.to_string());
+            out.push_str(",\"error\":");
+            json::escape_string(&mut out, &msg);
+            out.push_str("}\n");
+            out
+        }
+    }
+}
+
+/// Parses and scores one NDJSON line: a bare `[f64; d]` row or
+/// `{"point": [f64; d]}`. The engine is resolved **per line**, so a hot
+/// reload mid-stream takes effect on the very next line without disturbing
+/// the connection.
+fn score_stream_line(raw: &[u8], ctx: &Ctx) -> Result<f64, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "line is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let engine = ctx.handle.load();
+    let value = doc.get("point").unwrap_or(&doc);
+    let row = parse_row(value, engine.d())?;
+    engine.score(&row).map_err(|e| e.to_string())
+}
+
+/// `POST /v2/score`: the streaming NDJSON scoring loop. Returns whether the
+/// connection may be kept alive (body fully consumed, no protocol damage).
+fn stream_score(
+    reader: &mut std::io::BufReader<TcpStream>,
+    head: &RequestHead,
+    ctx: &Ctx,
+) -> std::io::Result<bool> {
+    ctx.stream_stats.streams.fetch_add(1, Ordering::Relaxed);
+    // Responses interleave with body reads, so the write side works on a
+    // dup of the socket while the BufReader keeps the read side.
+    let mut writer = std::io::BufWriter::new(reader.get_ref().try_clone()?);
+    // Inside a stream the tighter idle timeout applies — on both
+    // directions: a client that goes silent, or one that stops reading its
+    // scores until our send buffer fills, is cut off after `stream_idle`,
+    // not `keep_alive`.
+    reader
+        .get_ref()
+        .set_read_timeout(Some(ctx.config.stream_idle))?;
+    reader
+        .get_ref()
+        .set_write_timeout(Some(ctx.config.stream_idle))?;
+    write_chunked_head(&mut writer, 200, "application/x-ndjson", head.close)?;
+
+    // The byte budget lives inside the reader, charged per consumed byte —
+    // a body with no newlines at all still hits it.
+    let mut body = BodyReader::new(reader, head, ctx.config.max_stream_bytes);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut line_no = 0u64;
+    let mut keep = true;
+    loop {
+        match body.read_line(&mut buf, ctx.config.max_line_bytes) {
+            Ok(status @ (LineRead::Line | LineRead::End)) => {
+                let done = status == LineRead::End;
+                if !buf.iter().all(u8::is_ascii_whitespace) {
+                    line_no += 1;
+                    let out = stream_line(score_stream_line(&buf, ctx), line_no, &ctx.stream_stats);
+                    write_chunk(&mut writer, out.as_bytes())?;
+                }
+                if done {
+                    break;
+                }
+            }
+            Ok(LineRead::TooLong) => {
+                line_no += 1;
+                let msg = format!(
+                    "line exceeds {} bytes and was discarded",
+                    ctx.config.max_line_bytes
+                );
+                let out = stream_line(Err(msg), line_no, &ctx.stream_stats);
+                write_chunk(&mut writer, out.as_bytes())?;
+            }
+            Err(BodyError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let msg = format!(
+                    "stream idle for more than {:?}; closing",
+                    ctx.config.stream_idle
+                );
+                let out = stream_line(Err(msg), line_no, &ctx.stream_stats);
+                let _ = write_chunk(&mut writer, out.as_bytes());
+                keep = false;
+                break;
+            }
+            Err(BodyError::Io(e)) => return Err(e),
+            Err(e @ (BodyError::Protocol(_) | BodyError::TooLarge { .. })) => {
+                // Broken framing or a blown byte budget; report and drop
+                // the connection (it cannot be resynchronised / trusted).
+                let out = stream_line(Err(e.to_string()), line_no, &ctx.stream_stats);
+                let _ = write_chunk(&mut writer, out.as_bytes());
+                keep = false;
+                break;
+            }
+        }
+    }
+    finish_chunked(&mut writer)?;
+    let finished = body.finished();
+    reader
+        .get_ref()
+        .set_read_timeout(Some(ctx.config.keep_alive))?;
+    reader
+        .get_ref()
+        .set_write_timeout(Some(ctx.config.keep_alive))?;
+    Ok(keep && finished)
+}
+
 /// Extracts one numeric row of the model's arity.
 fn parse_row(v: &Json, d: usize) -> Result<Vec<f64>, String> {
     let Some(arr) = v.as_array() else {
@@ -305,26 +621,35 @@ fn index_object(engine: &QueryEngine) -> String {
 }
 
 /// `GET /model` body.
-fn model_body(engine: &QueryEngine) -> String {
+fn model_body(engine: &QueryEngine, generation: u64) -> String {
     format!(
-        "{{\"objects\":{},\"attributes\":{},\"subspaces\":{},\"index\":{}}}",
+        "{{\"objects\":{},\"attributes\":{},\"subspaces\":{},\"generation\":{generation},\
+         \"mmap\":{},\"index\":{}}}",
         engine.n(),
         engine.d(),
         engine.subspace_count(),
+        engine.is_mapped(),
         index_object(engine),
     )
 }
 
 /// `GET /stats` body.
-fn stats_body(engine: &QueryEngine, batcher: &Batcher) -> String {
-    let s = batcher.stats();
+fn stats_body(ctx: &Ctx) -> String {
+    let s = ctx.batcher.stats();
+    let st = &ctx.stream_stats;
     format!(
-        "{{\"requests\":{},\"rows\":{},\"batches\":{},\"coalesced_batches\":{},\"index\":{}}}",
+        "{{\"requests\":{},\"rows\":{},\"batches\":{},\"coalesced_batches\":{},\
+         \"streams\":{{\"opened\":{},\"lines\":{},\"errors\":{}}},\
+         \"generation\":{},\"index\":{}}}",
         s.requests.load(Ordering::Relaxed),
         s.rows.load(Ordering::Relaxed),
         s.batches.load(Ordering::Relaxed),
         s.coalesced_batches.load(Ordering::Relaxed),
-        index_object(engine),
+        st.streams.load(Ordering::Relaxed),
+        st.lines.load(Ordering::Relaxed),
+        st.errors.load(Ordering::Relaxed),
+        ctx.handle.generation(),
+        index_object(&ctx.handle.load()),
     )
 }
 
@@ -357,11 +682,22 @@ mod tests {
         QueryEngine::from_model(&model, 1)
     }
 
-    fn with_batcher<F: FnOnce(&QueryEngine, &Batcher)>(f: F) {
-        let engine = Arc::new(engine());
-        let batcher = Batcher::start(Arc::clone(&engine), 1, 16, 1);
-        f(&engine, &batcher);
-        batcher.shutdown();
+    fn test_ctx(engine: QueryEngine) -> Ctx {
+        let handle = Arc::new(EngineHandle::new(engine));
+        let batcher = Arc::new(Batcher::start(Arc::clone(&handle), 1, 16, 1));
+        Ctx {
+            handle,
+            batcher,
+            reload: Arc::new(Mutex::new(ReloadSource::default())),
+            stream_stats: Arc::new(StreamStats::default()),
+            config: Arc::new(ServeConfig::default()),
+        }
+    }
+
+    fn with_ctx<F: FnOnce(&Ctx)>(f: F) {
+        let ctx = test_ctx(engine());
+        f(&ctx);
+        ctx.batcher.shutdown();
     }
 
     #[test]
@@ -385,7 +721,7 @@ mod tests {
         let brute = QueryEngine::from_model(&model, 1);
         let vp =
             QueryEngine::from_model_with_index(&model, Some(hics_outlier::IndexKind::VpTree), 1);
-        let body = model_body(&vp);
+        let body = model_body(&vp, 1);
         assert!(body.contains("\"index\":{\"kind\":\"vptree\""), "{body}");
         assert!(!body.contains("\"nodes\":0"), "{body}");
         for i in (0..90).step_by(9) {
@@ -396,8 +732,10 @@ mod tests {
 
     #[test]
     fn score_endpoint_single_and_batch() {
-        with_batcher(|engine, batcher| {
-            let (status, body) = score_endpoint(br#"{"point": [0.5, 0.5, 0.5]}"#, engine, batcher);
+        with_ctx(|ctx| {
+            let engine = ctx.handle.load();
+            let (status, body) =
+                score_endpoint(br#"{"point": [0.5, 0.5, 0.5]}"#, &engine, &ctx.batcher);
             assert_eq!(status, 200, "{body}");
             let score = json::parse(&body)
                 .unwrap()
@@ -409,8 +747,8 @@ mod tests {
 
             let (status, body) = score_endpoint(
                 br#"{"points": [[0.5, 0.5, 0.5], [0.1, 0.9, 0.2]]}"#,
-                engine,
-                batcher,
+                &engine,
+                &ctx.batcher,
             );
             assert_eq!(status, 200, "{body}");
             let doc = json::parse(&body).unwrap();
@@ -425,7 +763,8 @@ mod tests {
 
     #[test]
     fn score_endpoint_rejects_bad_bodies() {
-        with_batcher(|engine, batcher| {
+        with_ctx(|ctx| {
+            let engine = ctx.handle.load();
             for (body, fragment) in [
                 (&b"not json"[..], "JSON error"),
                 (br#"{"nope": 1}"#, "\\\"point\\\" or \\\"points\\\""),
@@ -434,7 +773,7 @@ mod tests {
                 (br#"{"point": [1, 2, "x"]}"#, "not a number"),
                 (br#"{"points": 5}"#, "must be an array"),
             ] {
-                let (status, msg) = score_endpoint(body, engine, batcher);
+                let (status, msg) = score_endpoint(body, &engine, &ctx.batcher);
                 assert_eq!(status, 400, "{msg}");
                 assert!(msg.contains(fragment), "{msg} missing {fragment}");
             }
@@ -443,29 +782,93 @@ mod tests {
 
     #[test]
     fn dispatch_routes_and_404s() {
-        with_batcher(|engine, batcher| {
+        with_ctx(|ctx| {
             let get = |path: &str| Request {
                 method: "GET".into(),
                 path: path.into(),
                 body: Vec::new(),
                 close: false,
             };
-            assert_eq!(dispatch(&get("/healthz"), engine, batcher).0, 200);
-            let (status, body) = dispatch(&get("/model"), engine, batcher);
+            assert_eq!(dispatch(&get("/healthz"), ctx).0, 200);
+            let (status, body) = dispatch(&get("/model"), ctx);
             assert_eq!(status, 200);
             assert!(body.contains("\"attributes\":3"), "{body}");
+            assert!(body.contains("\"generation\":1"), "{body}");
             assert!(body.contains("\"index\":{\"kind\":\"brute\""), "{body}");
-            let (status, body) = dispatch(&get("/stats"), engine, batcher);
+            let (status, body) = dispatch(&get("/stats"), ctx);
             assert_eq!(status, 200);
             assert!(body.contains("\"index\":{\"kind\":\"brute\""), "{body}");
-            assert_eq!(dispatch(&get("/nope"), engine, batcher).0, 404);
+            assert!(body.contains("\"streams\":{"), "{body}");
+            assert_eq!(dispatch(&get("/nope"), ctx).0, 404);
             let delete = Request {
                 method: "DELETE".into(),
                 path: "/score".into(),
                 body: Vec::new(),
                 close: false,
             };
-            assert_eq!(dispatch(&delete, engine, batcher).0, 405);
+            assert_eq!(dispatch(&delete, ctx).0, 405);
+        });
+    }
+
+    #[test]
+    fn reload_without_source_or_with_bad_body_is_4xx() {
+        with_ctx(|ctx| {
+            let (status, body) = reload_endpoint(b"", ctx);
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("no reload source"), "{body}");
+
+            let (status, _) = reload_endpoint(b"{\"model\": 7}", ctx);
+            assert_eq!(status, 400);
+
+            let (status, body) = reload_endpoint(br#"{"model": "/no/such/artifact.hics"}"#, ctx);
+            assert_eq!(status, 422, "{body}");
+            assert_eq!(ctx.handle.generation(), 1, "failed reload must not swap");
+        });
+    }
+
+    #[test]
+    fn reload_swaps_in_a_new_model_and_bumps_generation() {
+        with_ctx(|ctx| {
+            let g = SyntheticConfig::new(70, 3).with_seed(8).generate();
+            let (data, norm) = apply_normalization(&g.dataset, NormKind::MinMax);
+            let model = HicsModel::new(
+                data,
+                NormKind::MinMax,
+                norm,
+                vec![ModelSubspace {
+                    dims: vec![0, 1],
+                    contrast: 0.9,
+                }],
+                ScorerSpec {
+                    kind: ScorerKind::Lof,
+                    k: 6,
+                },
+                AggregationKind::Average,
+            );
+            let dir = std::env::temp_dir().join("hics-serve-reload-test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("second.hics");
+            model.save(&path).unwrap();
+
+            let before = ctx.handle.load();
+            let body = format!("{{\"model\": \"{}\"}}", path.display());
+            let (status, reply) = reload_endpoint(body.as_bytes(), ctx);
+            assert_eq!(status, 200, "{reply}");
+            assert!(reply.contains("\"status\":\"reloaded\""), "{reply}");
+            assert!(reply.contains("\"generation\":2"), "{reply}");
+            assert!(reply.contains("\"objects\":70"), "{reply}");
+            let after = ctx.handle.load();
+            assert!(!Arc::ptr_eq(&before, &after));
+            assert!(after.is_mapped(), "reload serves the artifact zero-copy");
+            // The reloaded engine matches a freshly built reference.
+            let reference = QueryEngine::from_model(&model, 1);
+            let q = vec![0.25, 0.5, 0.75];
+            assert_eq!(after.score(&q), reference.score(&q));
+            // An empty body now re-loads the remembered source.
+            let (status, reply) = reload_endpoint(b"", ctx);
+            assert_eq!(status, 200, "{reply}");
+            assert!(reply.contains("\"generation\":3"), "{reply}");
+            std::fs::remove_file(&path).ok();
         });
     }
 }

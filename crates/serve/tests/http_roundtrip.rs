@@ -2,7 +2,7 @@
 //! TCP, and drive it with raw HTTP/1.1 clients — including concurrent
 //! connections whose responses must match direct engine scores bit-for-bit.
 
-use hics_core::{Hics, HicsParams};
+use hics_core::{FitBuilder, HicsParams};
 use hics_data::model::NormKind;
 use hics_data::SyntheticConfig;
 use hics_outlier::QueryEngine;
@@ -34,6 +34,7 @@ fn start_server(engine: QueryEngine) -> RunningServer {
             workers: 1,
             keep_alive: Duration::from_secs(5),
             max_connections: 64,
+            ..ServeConfig::default()
         },
     )
     .expect("bind");
@@ -54,7 +55,9 @@ fn fit_engine() -> (QueryEngine, hics_data::LabeledDataset) {
     p.search.candidate_cutoff = 25;
     p.search.top_k = 8;
     p.lof_k = 6;
-    let model = Hics::new(p).fit(&g.dataset, NormKind::MinMax);
+    let model = FitBuilder::new(p)
+        .normalize(NormKind::MinMax)
+        .fit(&g.dataset);
     (QueryEngine::from_model(&model, 2), g)
 }
 

@@ -1,0 +1,353 @@
+//! Integration tests for the v2 wire protocol over real TCP: NDJSON
+//! streaming on `/v2/score` (sized and multi-chunk chunked bodies,
+//! malformed lines reported in-stream), `/admin/reload` hot model swaps,
+//! and a reload racing an active stream without dropping the connection.
+
+use hics_core::{FitBuilder, HicsParams};
+use hics_data::model::NormKind;
+use hics_data::{HicsModel, SyntheticConfig};
+use hics_outlier::QueryEngine;
+use hics_serve::{ServeConfig, Server, ShutdownHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct RunningServer {
+    addr: std::net::SocketAddr,
+    handle: ShutdownHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl RunningServer {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread");
+    }
+}
+
+fn quick_params(seed: u64) -> HicsParams {
+    let mut p = HicsParams::paper_defaults().with_seed(seed);
+    p.search.m = 15;
+    p.search.candidate_cutoff = 25;
+    p.search.top_k = 8;
+    p.lof_k = 6;
+    p
+}
+
+fn fit_model(seed: u64) -> (HicsModel, hics_data::LabeledDataset) {
+    let g = SyntheticConfig::new(120, 5).with_seed(seed).generate();
+    let model = FitBuilder::new(quick_params(seed))
+        .normalize(NormKind::MinMax)
+        .fit(&g.dataset);
+    (model, g)
+}
+
+fn temp_artifact(name: &str, model: &HicsModel) -> PathBuf {
+    let dir = std::env::temp_dir().join("hics-v2-stream-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    model.save(&path).expect("save artifact");
+    path
+}
+
+fn start_server(engine: QueryEngine) -> RunningServer {
+    let server = Server::bind(
+        engine,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            max_batch: 64,
+            workers: 1,
+            keep_alive: Duration::from_secs(5),
+            stream_idle: Duration::from_secs(2),
+            max_connections: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    RunningServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+/// Reads one chunked HTTP response off the stream: (status, decoded body).
+fn read_chunked_response<S: Read>(stream: &mut S) -> (u16, String) {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("head line");
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "{head}"
+    );
+    let mut body = String::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex size");
+        if size == 0 {
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf).expect("final crlf");
+            return (status, body);
+        }
+        let mut chunk = vec![0u8; size + 2]; // data + CRLF
+        reader.read_exact(&mut chunk).expect("chunk data");
+        body.push_str(std::str::from_utf8(&chunk[..size]).expect("utf-8 chunk"));
+    }
+}
+
+/// Pulls the `"score"` value out of one NDJSON response line.
+fn score_of(line: &str) -> f64 {
+    assert!(line.contains("\"score\""), "not a score line: {line}");
+    line.split(':')
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .expect("score value")
+        .trim()
+        .parse()
+        .expect("numeric score")
+}
+
+#[test]
+fn v2_stream_scores_lines_with_content_length_body() {
+    let (model, g) = fit_model(51);
+    let reference = QueryEngine::from_model(&model, 2);
+    let server = start_server(QueryEngine::from_model(&model, 2));
+
+    let rows: Vec<Vec<f64>> = (0..5).map(|i| g.dataset.row(i * 11)).collect();
+    let mut body = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        // Mix the two accepted line shapes.
+        let values = row.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+        if i % 2 == 0 {
+            body.push_str(&format!("[{values}]\n"));
+        } else {
+            body.push_str(&format!("{{\"point\": [{values}]}}\n"));
+        }
+    }
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    write!(
+        stream,
+        "POST /v2/score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .expect("send");
+    let (status, reply) = read_chunked_response(&mut stream);
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = reply.lines().collect();
+    assert_eq!(lines.len(), rows.len(), "{reply}");
+    for (i, (line, row)) in lines.iter().zip(&rows).enumerate() {
+        let want = reference.score(row).expect("valid row");
+        let got = score_of(line);
+        assert!(got == want, "line {i}: {got} != {want}");
+    }
+    server.stop();
+}
+
+#[test]
+fn v2_stream_decodes_multi_chunk_bodies_and_reports_bad_lines_in_stream() {
+    let (model, g) = fit_model(52);
+    let reference = QueryEngine::from_model(&model, 2);
+    let server = start_server(QueryEngine::from_model(&model, 2));
+
+    let good_row = g.dataset.row(3);
+    let values = good_row
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let good_line = format!("[{values}]\n");
+    // Three NDJSON lines (good, malformed JSON, wrong arity), delivered in
+    // chunks that split the first line mid-number.
+    let payload = format!("{good_line}not json at all\n[1,2]\n");
+    let (a, b) = payload.split_at(7);
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    write!(
+        stream,
+        "POST /v2/score HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send head");
+    for part in [a, b] {
+        write!(stream, "{:x}\r\n{}\r\n", part.len(), part).expect("send chunk");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    write!(stream, "0\r\n\r\n").expect("terminal chunk");
+
+    let (status, reply) = read_chunked_response(&mut stream);
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = reply.lines().collect();
+    assert_eq!(lines.len(), 3, "{reply}");
+    let want = reference.score(&good_row).expect("valid row");
+    assert!(score_of(lines[0]) == want, "{} != {want}", lines[0]);
+    assert!(
+        lines[1].contains("\"error\"") && lines[1].contains("\"line\":2"),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"error\"") && lines[2].contains("model expects 5"),
+        "{}",
+        lines[2]
+    );
+    server.stop();
+}
+
+#[test]
+fn v2_stream_survives_a_concurrent_hot_reload_and_scores_change() {
+    let (first, g) = fit_model(53);
+    let (second, _) = fit_model(54);
+    let second_path = temp_artifact("reload-target.hics", &second);
+    let ref_first = QueryEngine::from_model(&first, 2);
+    let ref_second = QueryEngine::from_model(&second, 2);
+    let server = start_server(QueryEngine::from_model(&first, 2));
+
+    let row = g.dataset.row(17);
+    let want_first = ref_first.score(&row).expect("valid row");
+    let want_second = ref_second.score(&row).expect("valid row");
+    assert!(
+        want_first != want_second,
+        "test needs models that disagree on the probe row"
+    );
+    let values = row.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+    let line = format!("[{values}]\n");
+
+    // Open the stream and send the first line.
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    write!(
+        stream,
+        "POST /v2/score HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send head");
+    write!(stream, "{:x}\r\n{}\r\n", line.len(), line).expect("first line");
+    stream.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Reload to the second model on a separate connection while the stream
+    // is open and mid-body.
+    let mut admin = TcpStream::connect(server.addr).expect("admin connect");
+    let body = format!("{{\"model\": \"{}\"}}", second_path.display());
+    write!(
+        admin,
+        "POST /admin/reload HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .expect("admin send");
+    let mut reply = String::new();
+    admin.read_to_string(&mut reply).expect("admin reply");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(reply.contains("\"status\":\"reloaded\""), "{reply}");
+
+    // The same connection keeps streaming; the next line must score against
+    // the new model.
+    write!(stream, "{:x}\r\n{}\r\n", line.len(), line).expect("second line");
+    write!(stream, "0\r\n\r\n").expect("terminal chunk");
+    let (status, reply) = read_chunked_response(&mut stream);
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = reply.lines().collect();
+    assert_eq!(lines.len(), 2, "{reply}");
+    assert!(
+        score_of(lines[0]) == want_first,
+        "pre-reload line: {} != {want_first}",
+        lines[0]
+    );
+    assert!(
+        score_of(lines[1]) == want_second,
+        "post-reload line: {} != {want_second}",
+        lines[1]
+    );
+
+    std::fs::remove_file(&second_path).ok();
+    server.stop();
+}
+
+#[test]
+fn v2_stream_keeps_the_connection_alive_after_a_complete_body() {
+    let (model, g) = fit_model(55);
+    let reference = QueryEngine::from_model(&model, 2);
+    let server = start_server(QueryEngine::from_model(&model, 2));
+
+    let row = g.dataset.row(9);
+    let values = row.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+    let line = format!("[{values}]\n");
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    // Two streaming requests on one keep-alive connection.
+    for round in 0..2 {
+        write!(
+            stream,
+            "POST /v2/score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            line.len(),
+            line
+        )
+        .expect("send");
+        let (status, reply) = read_chunked_response(&mut stream);
+        assert_eq!(status, 200, "round {round}");
+        let want = reference.score(&row).expect("valid row");
+        assert!(
+            score_of(reply.lines().next().expect("one line")) == want,
+            "round {round}: {reply}"
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn mmap_served_engine_answers_identically_over_the_wire() {
+    let (model, g) = fit_model(56);
+    let path = temp_artifact("mmap-served.hics", &model);
+    let artifact = Arc::new(hics_data::ModelArtifact::open_mmap(&path).expect("open_mmap"));
+    let reference = QueryEngine::from_model(&model, 2);
+    let server = start_server(QueryEngine::from_artifact(artifact, None, 2));
+
+    let row = g.dataset.row(21);
+    let body = format!(
+        "{{\"point\": [{}]}}",
+        row.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+    );
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    write!(
+        stream,
+        "POST /score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("reply");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    let got: f64 = reply
+        .split("\"score\":")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .expect("score")
+        .trim()
+        .parse()
+        .expect("numeric");
+    let want = reference.score(&row).expect("valid row");
+    assert!(got == want, "{got} != {want}");
+
+    std::fs::remove_file(&path).ok();
+    server.stop();
+}
