@@ -241,6 +241,53 @@ fn bench_batch_score(
     }
 }
 
+/// Multi-connection scaling: a pool of `conns` keep-alive connections,
+/// each pumping single-point `/score` requests from its own thread, all
+/// started together — measures how throughput scales with concurrent
+/// clients instead of single-socket latency.
+fn bench_connection_pool(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<f64>],
+    requests_per_conn: usize,
+    conns: usize,
+) -> f64 {
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(conns + 1));
+    let t = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    barrier.wait();
+                    for r in 0..requests_per_conn {
+                        let q = &queries[(c * 31 + r) % queries.len()];
+                        let body = format!("{{\"point\": {}}}", json_line(q));
+                        write!(
+                            writer,
+                            "POST /score HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
+                            body.len(),
+                            body
+                        )
+                        .expect("send");
+                        let reply = read_sized_response(&mut reader);
+                        assert!(reply.contains("\"score\""), "{reply}");
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t = Instant::now();
+        for h in handles {
+            h.join().expect("pool worker");
+        }
+        t.elapsed()
+    });
+    (conns * requests_per_conn) as f64 / t.as_secs_f64()
+}
+
 /// Reads the head of a chunked response, then returns a closure-friendly
 /// reader state for pulling one chunk (= one NDJSON line) at a time.
 fn read_chunked_head<S: Read>(reader: &mut BufReader<S>) {
@@ -381,6 +428,17 @@ fn main() {
     eprintln!(
         "  p50 {stream_p50:.3} ms / p99 {stream_p99:.3} ms per line, {stream_pps:.0} points/s pipelined"
     );
+
+    let pool_conns = [1usize, 2, 4, 8];
+    eprintln!("connection-pool scaling: {pool_conns:?} keep-alive connections...");
+    let pool: Vec<(usize, f64)> = pool_conns
+        .iter()
+        .map(|&c| {
+            let rps = bench_connection_pool(addr, &queries, requests.div_ceil(2), c);
+            eprintln!("  {c} connections: {rps:.0} requests/s");
+            (c, rps)
+        })
+        .collect();
     shutdown.shutdown();
     std::fs::remove_file(&path).ok();
 
@@ -410,7 +468,16 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"stream_score\": {{\"p50_ms\": {stream_p50:.3}, \"p99_ms\": {stream_p99:.3}, \
-         \"points_per_sec\": {stream_pps:.0}}}"
+         \"points_per_sec\": {stream_pps:.0}}},"
+    );
+    let pool_entries: Vec<String> = pool
+        .iter()
+        .map(|(c, rps)| format!("{{\"connections\": {c}, \"requests_per_sec\": {rps:.0}}}"))
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"connection_scaling\": [{}]",
+        pool_entries.join(", ")
     );
     json.push('}');
     json.push('\n');

@@ -1,0 +1,201 @@
+//! `bench_shard` — the out-of-core workflow at scale: stream N = 1e6 rows
+//! into a columnar dataset store, shard-fit it through the unchanged
+//! pipeline, open the sharded manifest as a serving ensemble, and measure
+//! query latency/throughput against all shards.
+//!
+//! Four timed stages over one synthetic workload (d = 8, planted
+//! correlated blocks):
+//!
+//! 1. **Import** — rows streamed through `StoreWriter` (bounded memory:
+//!    64 Ki-row chunks spilled and reassembled) into the store file.
+//! 2. **Sharded fit** — `fit_sharded_to` with S shards over the mmap-open
+//!    store (columns read zero-copy from the map; only one shard's matrix
+//!    is resident per fit worker), reduced search parameters so the run
+//!    stays minutes, not hours.
+//! 3. **Ensemble open** — `ShardedEngine::open`: mmap every shard
+//!    artifact, adopt its stored VP-trees, precompute neighbourhoods.
+//! 4. **Scoring** — p50/p99 single-query latency (each query visits every
+//!    shard) and batch throughput.
+//!
+//! Writes `BENCH_shard.json` at the repository root.
+//!
+//! Usage: `cargo run --release -p hics-bench --bin bench_shard`
+//! (optionally `--quick` for N = 1e5 while iterating).
+
+use hics_core::{FitBuilder, HicsParams, ShardFitSpec};
+use hics_data::manifest::{PartitionKind, ShardAggregation};
+use hics_data::model::{ScorerKind, ScorerSpec};
+use hics_data::{NormKind, SyntheticConfig};
+use hics_outlier::{IndexKind, ShardedEngine};
+use hics_store::{DatasetStore, StoreWriter, DEFAULT_CHUNK_ROWS};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const D: usize = 8;
+const SHARDS: usize = 4;
+const DATA_SEED: u64 = 11;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = if quick { 100_000 } else { 1_000_000 };
+    let query_count = if quick { 100 } else { 200 };
+    let threads = hics_outlier::parallel::available_threads();
+
+    let dir = std::env::temp_dir().join("hics-bench-shard");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let store_path = dir.join(format!("bench-{n}.hicsstore"));
+    let manifest_path = dir.join(format!("bench-{n}.hics"));
+
+    eprintln!("generating N = {n}, d = {D} synthetic workload...");
+    let g = SyntheticConfig::new(n, D).with_seed(DATA_SEED).generate();
+
+    eprintln!("importing into the dataset store (64Ki-row chunks)...");
+    let t = Instant::now();
+    let mut writer = StoreWriter::create(&store_path, DEFAULT_CHUNK_ROWS, NormKind::MinMax);
+    let mut row = vec![0.0; D];
+    for i in 0..n {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = g.dataset.value(i, j);
+        }
+        writer.push_row(&row).expect("push row");
+    }
+    let summary = writer
+        .finish(Some(g.dataset.names().to_vec()))
+        .expect("finish store");
+    let import_s = t.elapsed().as_secs_f64();
+    let store_mb = summary.bytes as f64 / 1e6;
+    eprintln!(
+        "  {import_s:.1} s ({:.0}k rows/s, {store_mb:.0} MB, {} spilled chunks)",
+        n as f64 / import_s / 1e3,
+        summary.spilled_chunks
+    );
+
+    // Novel queries: training rows nudged off-grid so the coincident
+    // lookup misses and the full kNN path runs in every shard.
+    let queries: Vec<Vec<f64>> = (0..query_count)
+        .map(|q| {
+            let row = g.dataset.row((q * 4099) % n);
+            row.iter()
+                .enumerate()
+                .map(|(j, v)| v + 0.0005 + (q + j) as f64 * 1e-6)
+                .collect()
+        })
+        .collect();
+    drop(g);
+
+    eprintln!("opening store (mmap) and shard-fitting S = {SHARDS}...");
+    let store = DatasetStore::open_mmap(&store_path).expect("open store");
+    assert!(store.is_mmap(), "expected a live memory map");
+    // Reduced search parameters: the point is the out-of-core plumbing and
+    // the serving ensemble, not a paper-parameter search at 1e6.
+    let mut params = HicsParams::paper_defaults();
+    params.search.m = 10;
+    params.search.candidate_cutoff = 30;
+    params.search.top_k = 4;
+    params.search.max_dim = Some(3);
+    params.search.seed = 1;
+    params.search.max_threads = threads;
+    let builder = FitBuilder::new(params)
+        .scorer(ScorerSpec {
+            kind: ScorerKind::Lof,
+            k: 10,
+        })
+        .index(IndexKind::VpTree);
+    let spec = ShardFitSpec {
+        shards: SHARDS,
+        partition: PartitionKind::Contiguous,
+        aggregation: ShardAggregation::Mean,
+        parallel: 0,
+    };
+    let t = Instant::now();
+    let manifest = builder
+        .fit_sharded_to(&store, &spec, &manifest_path)
+        .expect("sharded fit");
+    let fit_s = t.elapsed().as_secs_f64();
+    let shard_mb: f64 = manifest
+        .shard_paths(&manifest_path)
+        .iter()
+        .map(|p| std::fs::metadata(p).expect("shard metadata").len() as f64 / 1e6)
+        .sum();
+    eprintln!(
+        "  {fit_s:.1} s for {} shards of ~{} rows ({shard_mb:.0} MB of shard artifacts)",
+        manifest.shards.len(),
+        manifest.shards[0].n
+    );
+
+    eprintln!("opening the sharded serving ensemble...");
+    let t = Instant::now();
+    let engine = ShardedEngine::open(&manifest_path, None, threads).expect("open ensemble");
+    let open_s = t.elapsed().as_secs_f64();
+    assert!(engine.is_mapped());
+    assert_eq!(engine.shard_count(), SHARDS);
+    eprintln!(
+        "  {open_s:.1} s (mmap + neighbourhood precompute across {} subspaces)",
+        engine.subspace_count()
+    );
+
+    eprintln!("scoring {query_count} single queries (each visits every shard)...");
+    let mut lat_ms = Vec::with_capacity(queries.len());
+    for q in &queries {
+        let t = Instant::now();
+        let s = engine.score(q).expect("score");
+        lat_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        assert!(s.is_finite());
+    }
+    lat_ms.sort_by(f64::total_cmp);
+    let (p50, p99) = (percentile(&lat_ms, 0.50), percentile(&lat_ms, 0.99));
+    let t = Instant::now();
+    let results = engine.score_batch(&queries, threads);
+    let batch_s = t.elapsed().as_secs_f64();
+    assert!(results.iter().all(|r| r.is_ok()));
+    let qps = queries.len() as f64 / batch_s;
+    eprintln!("  p50 {p50:.2} ms / p99 {p99:.2} ms per query, {qps:.0} queries/s batched");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"n\": {n}, \"d\": {D}, \"shards\": {SHARDS}, \
+         \"partition\": \"contiguous\", \"aggregation\": \"mean\", \"scorer\": \"lof\", \
+         \"k\": 10, \"index\": \"vptree\", \"normalize\": \"minmax\", \
+         \"search\": {{\"m\": 10, \"cutoff\": 30, \"top_k\": 4, \"max_dim\": 3}}, \
+         \"threads\": {threads}, \"data_seed\": {DATA_SEED}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"import\": {{\"seconds\": {import_s:.2}, \"rows_per_sec\": {:.0}, \
+         \"store_mb\": {store_mb:.1}, \"spilled_chunks\": {}}},",
+        n as f64 / import_s,
+        summary.spilled_chunks
+    );
+    let _ = writeln!(
+        json,
+        "  \"sharded_fit\": {{\"seconds\": {fit_s:.2}, \"shards\": {}, \
+         \"rows_per_shard\": {}, \"shard_artifacts_mb\": {shard_mb:.1}}},",
+        manifest.shards.len(),
+        manifest.shards[0].n
+    );
+    let _ = writeln!(json, "  \"ensemble_open\": {{\"seconds\": {open_s:.2}}},");
+    let _ = writeln!(
+        json,
+        "  \"query\": {{\"count\": {query_count}, \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+         \"queries_per_sec_batched\": {qps:.0}}}"
+    );
+    json.push('}');
+    json.push('\n');
+
+    for p in manifest.shard_paths(&manifest_path) {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&manifest_path).ok();
+    std::fs::remove_file(&store_path).ok();
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(out, &json).expect("write BENCH_shard.json");
+    eprintln!("wrote {out}");
+    println!("{json}");
+}

@@ -8,14 +8,25 @@
 //! hics rank     --input data.csv [--labels] [--k 10] [--top 20] [--out scores.csv]
 //!               (`.arff` inputs are detected automatically and carry labels)
 //! hics evaluate --input data.csv --labels [--methods lof,hics,enclus,ris,randsub]
-//! hics fit      --input data.csv --out model.hics [--scorer lof|knn|knnkth]
-//!               [--normalize none|minmax|zscore] [--index brute|vptree]
-//!               [search options]
+//! hics import   --input data.csv --out data.hicsstore [--labels]
+//!               [--normalize none|minmax|zscore] [--chunk-rows 65536]
+//! hics fit      --input data.csv|data.hicsstore --out model.hics
+//!               [--scorer lof|knn|knnkth] [--normalize none|minmax|zscore]
+//!               [--index brute|vptree] [--shards S]
+//!               [--shard-partition contiguous|hash] [--shard-agg mean|max]
+//!               [--shard-parallel P] [search options]
 //! hics score    --model model.hics --input queries.csv [--labels] [--top 20]
 //!               [--out scores.csv] [--index brute|vptree] [--load mmap|heap]
 //! hics serve    --model model.hics [--addr 127.0.0.1:7878] [--max-batch 512]
 //!               [--workers 1] [--index brute|vptree] [--load mmap|heap]
 //! ```
+//!
+//! `import` streams CSV/ARFF rows into a columnar dataset store with
+//! bounded memory; `fit` over a store reads its columns zero-copy from the
+//! memory map (normalise at import time, not fit time). `fit --shards S`
+//! partitions the rows deterministically, fits every shard independently,
+//! and writes a sharded manifest; `score`/`serve` on a manifest score each
+//! query against every shard and combine with the stored aggregation.
 //!
 //! `--index` selects the neighbour-search backend: `vptree` prebuilds (fit)
 //! or uses (score/serve) per-subspace VP-trees for `O(log N)` queries at
@@ -39,15 +50,17 @@ use hics_baselines::{
     EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
     RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
 };
-use hics_core::{FitBuilder, Hics, HicsParams, StatTest, SubspaceSearch};
-use hics_data::arff::read_arff_file;
-use hics_data::csv::{read_csv_file, write_csv_file, CsvData};
+use hics_core::{FitBuilder, Hics, HicsParams, ShardFitSpec, StatTest, SubspaceSearch};
+use hics_data::arff::{read_arff_file, ArffReader};
+use hics_data::csv::{read_csv_file, write_csv_file, CsvData, CsvReader};
+use hics_data::manifest::{PartitionKind, ShardAggregation};
 use hics_data::model::{NormKind, ScorerKind, ScorerSpec};
-use hics_data::{HicsError, HicsModel, ModelArtifact, SyntheticConfig};
+use hics_data::{DatasetSource, HicsError, HicsModel, ModelArtifact, SyntheticConfig};
 use hics_eval::report::{Stopwatch, TextTable};
 use hics_eval::roc::roc_auc;
-use hics_outlier::{IndexKind, QueryEngine};
+use hics_outlier::{Engine, IndexKind, QueryEngine};
 use hics_serve::{ServeConfig, Server};
+use hics_store::{DatasetStore, FileKind, StoreWriter, DEFAULT_CHUNK_ROWS};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -116,6 +129,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
         Some("search") => cmd_search(&args),
         Some("rank") => cmd_rank(&args),
         Some("evaluate") => cmd_evaluate(&args),
+        Some("import") => cmd_import(&args),
         Some("fit") => cmd_fit(&args),
         Some("score") => cmd_score(&args),
         Some("serve") => cmd_serve(&args),
@@ -136,9 +150,13 @@ fn print_usage() {
     println!("            [--cutoff 400] [--top-k 100] [--test welch|ks|mwu] [--seed 0]");
     println!("  rank      --input <file.csv> [--labels] [--k 10] [--top 20] [--out <scores.csv>]");
     println!("  evaluate  --input <file.csv> --labels [--methods lof,hics,...] [--k 10]");
-    println!("  fit       --input <file.csv> --out <model.hics> [--scorer lof|knn|knnkth]");
-    println!("            [--normalize none|minmax|zscore] [--index brute|vptree] [--k 10]");
-    println!("            [search options]");
+    println!("  import    --input <file.csv|.arff> --out <data.hicsstore> [--labels]");
+    println!("            [--normalize none|minmax|zscore] [--chunk-rows 65536]");
+    println!("  fit       --input <file.csv|data.hicsstore> --out <model.hics>");
+    println!("            [--scorer lof|knn|knnkth] [--normalize none|minmax|zscore]");
+    println!("            [--index brute|vptree] [--k 10] [--shards S]");
+    println!("            [--shard-partition contiguous|hash] [--shard-agg mean|max]");
+    println!("            [--shard-parallel P] [search options]");
     println!("  score     --model <model.hics> --input <queries.csv> [--labels] [--top 20]");
     println!("            [--out <scores.csv>] [--index brute|vptree] [--load mmap|heap]");
     println!("  serve     --model <model.hics> [--addr 127.0.0.1:7878] [--max-batch 512]");
@@ -149,6 +167,9 @@ fn print_usage() {
     println!("  (default: all hardware threads)");
     println!("  --index selects the kNN backend; score/serve default to the artifact's");
     println!("  --load mmap (default) opens artifacts zero-copy; heap materialises them");
+    println!("  store-backed fits read columns zero-copy from the map (normalise at");
+    println!("  import time); --shards fits partitions independently and serves their");
+    println!("  mean|max score ensemble from a sharded manifest");
     println!();
     println!("exit codes: 1 generic, 2 bad input, 3 I/O, 4 unreadable artifact,");
     println!("            5 invalid artifact content, 6 malformed query, 7 serving failure");
@@ -340,35 +361,121 @@ fn parse_load(args: &Args) -> Result<LoadMode, ArgError> {
     }
 }
 
-/// Opens the artifact at `path` as a ready-to-serve engine, either through
-/// the zero-copy mmap path or the heap-materialising one (bit-identical
-/// scores; see `crates/core/tests/serve_equivalence.rs`).
+/// Opens the model file at `path` as a ready-to-serve engine: a plain
+/// artifact through the zero-copy mmap path or the heap-materialising one
+/// (bit-identical scores; see `crates/core/tests/serve_equivalence.rs`),
+/// a sharded manifest as the cross-shard ensemble (every shard mapped).
 fn open_engine(
     path: &Path,
     mode: LoadMode,
     index: Option<IndexKind>,
     max_threads: usize,
-) -> Result<QueryEngine, HicsError> {
+) -> Result<Engine, HicsError> {
+    if hics_data::peek_artifact_version(path)? == hics_data::manifest::MANIFEST_VERSION {
+        if mode == LoadMode::Heap {
+            return Err(HicsError::InvalidInput(
+                "sharded manifests are served zero-copy; drop --load heap".into(),
+            ));
+        }
+        return Engine::open_mmap(path, index, max_threads);
+    }
     match mode {
         LoadMode::Mmap => {
             let artifact = Arc::new(ModelArtifact::open_mmap(path)?);
-            Ok(QueryEngine::from_artifact(artifact, index, max_threads))
+            Ok(Engine::Single(QueryEngine::from_artifact(
+                artifact,
+                index,
+                max_threads,
+            )))
         }
         LoadMode::Heap => {
             let model = HicsModel::load(path)?;
-            Ok(QueryEngine::from_model_with_index(
+            Ok(Engine::Single(QueryEngine::from_model_with_index(
                 &model,
                 index,
                 max_threads,
-            ))
+            )))
         }
     }
 }
 
-/// `fit`: subspace search on the (optionally normalised) data, packaged
-/// into a binary model artifact for `score` / `serve`.
+/// `import`: stream a CSV/ARFF file row-by-row into a columnar dataset
+/// store with bounded memory — the entry point of the out-of-core
+/// workflow. Labels (ARFF nominal attributes, or the last CSV column under
+/// `--labels`) are dropped with a notice: stores hold the attributes the
+/// fit consumes.
+fn cmd_import(args: &Args) -> Result<(), CliError> {
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let norm = parse_norm(args.get("normalize").unwrap_or("none"))?;
+    let chunk_rows: usize = args.get_or("chunk-rows", DEFAULT_CHUNK_ROWS)?;
+    if chunk_rows == 0 {
+        return Err(ArgError("--chunk-rows must be at least 1".into()).into());
+    }
+    let watch = Stopwatch::start();
+    let mut writer = StoreWriter::create(Path::new(out), chunk_rows, norm);
+    let mut dropped_labels = 0u64;
+    let in_path = Path::new(input);
+    let bad_input = |e: String| HicsError::InvalidInput(format!("reading {input}: {e}"));
+    let names: Option<Vec<String>> = if input.ends_with(".arff") {
+        let file =
+            std::fs::File::open(in_path).map_err(|e| HicsError::io_path("opening", in_path, e))?;
+        let mut rows =
+            ArffReader::new(std::io::BufReader::new(file)).map_err(|e| bad_input(e.to_string()))?;
+        let names = rows.names().to_vec();
+        while let Some((row, label)) = rows.next_row().map_err(|e| bad_input(e.to_string()))? {
+            dropped_labels += u64::from(label.is_some());
+            writer.push_row(row)?;
+        }
+        Some(names)
+    } else {
+        let labels = args.flag("labels");
+        let file =
+            std::fs::File::open(in_path).map_err(|e| HicsError::io_path("opening", in_path, e))?;
+        let mut rows = CsvReader::new(std::io::BufReader::new(file), true, labels);
+        let mut d = 0usize;
+        while let Some((row, label)) = rows.next_row().map_err(|e| bad_input(e.to_string()))? {
+            dropped_labels += u64::from(label.is_some());
+            d = row.len();
+            writer.push_row(row)?;
+        }
+        rows.names().and_then(|names| {
+            let mut names = names.to_vec();
+            // The header may carry the label column's name; drop it like
+            // `read_csv` does — and like `read_csv`, fall back to generated
+            // names when the header does not match the data width.
+            if labels && names.len() == d + 1 {
+                names.pop();
+            }
+            (names.len() == d).then_some(names)
+        })
+    };
+    let summary = writer.finish(names)?;
+    println!(
+        "# imported {} x {} rows into {out} ({:.1} MB, {} spilled chunks, {} normalization), {:.2}s",
+        summary.n,
+        summary.d,
+        summary.bytes as f64 / 1e6,
+        summary.spilled_chunks,
+        norm.name(),
+        watch.seconds()
+    );
+    if dropped_labels > 0 {
+        println!(
+            "# note: {dropped_labels} label values were dropped (stores hold attributes only)"
+        );
+    }
+    Ok(())
+}
+
+/// `fit`: subspace search packaged into a binary model artifact for
+/// `score` / `serve`. The input may be a CSV/ARFF file (materialised) or a
+/// dataset store (columns read zero-copy from the memory map, with the
+/// store's import-time normalisation). With `--shards S` the rows are
+/// partitioned deterministically, every shard is fitted independently, and
+/// a sharded manifest is written at `--out` instead of a single artifact.
 fn cmd_fit(args: &Args) -> Result<(), CliError> {
-    let data = load(args)?;
+    let input = args.require("input")?;
     let out = args.require("out")?;
     let mut params = HicsParams::paper_defaults();
     params.search.m = args.get_or("m", 50)?;
@@ -386,8 +493,112 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
     let scorer = parse_scorer(args.get("scorer").unwrap_or("lof"), k)?;
     let norm = parse_norm(args.get("normalize").unwrap_or("none"))?;
     let index = parse_index(args)?.unwrap_or(IndexKind::Brute);
+    let shards: Option<usize> = args
+        .get("shards")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| {
+            ArgError(format!(
+                "option --shards: cannot parse {:?}",
+                args.get("shards").unwrap_or("")
+            ))
+        })?;
 
+    // A store input is detected by content, not extension.
+    let store: Option<DatasetStore> =
+        if hics_store::sniff_file(Path::new(input))? == FileKind::Store {
+            Some(DatasetStore::open_mmap(Path::new(input))?)
+        } else {
+            None
+        };
     let watch = Stopwatch::start();
+
+    if let Some(shards) = shards {
+        // Sharded fit: over the store (zero-copy) or the loaded dataset.
+        let spec = ShardFitSpec {
+            shards,
+            partition: args
+                .get("shard-partition")
+                .unwrap_or("contiguous")
+                .parse::<PartitionKind>()
+                .map_err(ArgError)?,
+            aggregation: args
+                .get("shard-agg")
+                .unwrap_or("mean")
+                .parse::<ShardAggregation>()
+                .map_err(ArgError)?,
+            parallel: args.get_or("shard-parallel", 0)?,
+        };
+        let builder = FitBuilder::new(params).scorer(scorer).index(index);
+        let manifest = match &store {
+            // The user's --normalize reaches the builder so a stray one on
+            // a store input is rejected by its source-fit check (stores
+            // arrive pre-normalised at import time).
+            Some(store) => builder
+                .normalize(norm)
+                .fit_sharded_to(store, &spec, Path::new(out))?,
+            None => {
+                // Text inputs are normalised up front, then sharded.
+                let data = load(args)?;
+                let (trained, norm_params) =
+                    hics_data::model::apply_normalization(&data.dataset, norm);
+                let prenorm = PrenormalizedSource {
+                    data: trained,
+                    norm_kind: norm,
+                    norm_params,
+                };
+                builder.fit_sharded_to(&prenorm, &spec, Path::new(out))?
+            }
+        };
+        println!(
+            "# sharded fit: {} rows x {} attrs into {} shards ({} partition, {} aggregation, \
+             {} scorer, {} index), {:.2}s",
+            manifest.total_n,
+            manifest.d,
+            manifest.shards.len(),
+            manifest.partition.name(),
+            manifest.aggregation.name(),
+            scorer.kind.name(),
+            index.name(),
+            watch.seconds()
+        );
+        for (entry, path) in manifest
+            .shards
+            .iter()
+            .zip(manifest.shard_paths(Path::new(out)))
+        {
+            println!("#   shard {} ({} rows)", path.display(), entry.n);
+        }
+        println!("# wrote sharded manifest to {out}");
+        return Ok(());
+    }
+
+    if let Some(store) = &store {
+        // As above: --normalize flows into the builder so its source-fit
+        // check rejects it with the canonical message.
+        let summary = FitBuilder::new(params)
+            .normalize(norm)
+            .scorer(scorer)
+            .index(index)
+            .fit_source_to(store, Path::new(out))?;
+        println!(
+            "# fitted {} x {} model from store (zero-copy columns): {} subspaces, {} scorer \
+             (k={}), {} normalization (import-time), {} index, v{} artifact, {:.2}s",
+            summary.n,
+            summary.d,
+            summary.subspaces,
+            scorer.kind.name(),
+            scorer.k,
+            store.norm_kind().name(),
+            index.name(),
+            summary.version,
+            watch.seconds()
+        );
+        println!("# wrote model artifact to {out}");
+        return Ok(());
+    }
+
+    let data = load(args)?;
     let model = FitBuilder::new(params)
         .normalize(norm)
         .scorer(scorer)
@@ -408,6 +619,40 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
     );
     println!("# wrote model artifact to {out}");
     Ok(())
+}
+
+/// A pre-normalised in-memory source: what a CSV/ARFF input becomes before
+/// a sharded fit, so every shard inherits the same global transform.
+struct PrenormalizedSource {
+    data: hics_data::Dataset,
+    norm_kind: NormKind,
+    norm_params: Vec<hics_data::NormParam>,
+}
+
+impl DatasetSource for PrenormalizedSource {
+    fn n(&self) -> usize {
+        self.data.n()
+    }
+
+    fn d(&self) -> usize {
+        self.data.d()
+    }
+
+    fn names(&self) -> &[String] {
+        self.data.names()
+    }
+
+    fn column(&self, j: usize) -> std::borrow::Cow<'_, [f64]> {
+        std::borrow::Cow::Borrowed(self.data.col(j))
+    }
+
+    fn norm_kind(&self) -> NormKind {
+        self.norm_kind
+    }
+
+    fn norm_params(&self) -> std::borrow::Cow<'_, [hics_data::NormParam]> {
+        std::borrow::Cow::Borrowed(&self.norm_params)
+    }
 }
 
 /// `score`: load a model artifact (zero-copy mmap by default) and score

@@ -14,7 +14,7 @@
 
 use crate::slice::{SliceSampler, SliceSizing, SliceView};
 use crate::subspace::Subspace;
-use hics_data::{Dataset, RankIndex};
+use hics_data::{ColumnsView, Dataset, RankIndex};
 use hics_stats::ecdf::Ecdf;
 use hics_stats::masked::{
     masked_ks_distance, masked_ks_test, masked_mann_whitney, masked_mean_variance,
@@ -184,9 +184,10 @@ impl StatTest {
     }
 }
 
-/// Estimates the Monte-Carlo contrast of subspaces over one dataset.
+/// Estimates the Monte-Carlo contrast of subspaces over one column source
+/// (an owned [`Dataset`] or, zero-copy, an mmap-backed dataset store).
 pub struct ContrastEstimator<'a> {
-    data: &'a Dataset,
+    view: ColumnsView<'a>,
     indices: RankIndex,
     marginals: Vec<MarginalStats>,
     m: usize,
@@ -196,8 +197,8 @@ pub struct ContrastEstimator<'a> {
 }
 
 impl<'a> ContrastEstimator<'a> {
-    /// Builds an estimator: computes the rank index and marginal statistics
-    /// for every attribute once.
+    /// Builds an estimator over a dataset: computes the rank index and
+    /// marginal statistics for every attribute once.
     ///
     /// # Panics
     /// Panics if `m == 0` or `alpha ∉ (0, 1)`.
@@ -208,19 +209,32 @@ impl<'a> ContrastEstimator<'a> {
         sizing: SliceSizing,
         test: &'a dyn DeviationTest,
     ) -> Self {
+        Self::from_view(ColumnsView::from_dataset(data), m, alpha, sizing, test)
+    }
+
+    /// Builds an estimator over an already-gathered column view — the
+    /// out-of-core entry point: the columns stay wherever the view borrowed
+    /// them from (typically a memory-mapped store); only the derived index
+    /// structures (rank index, marginal statistics) live on the heap.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `alpha ∉ (0, 1)`.
+    pub fn from_view(
+        view: ColumnsView<'a>,
+        m: usize,
+        alpha: f64,
+        sizing: SliceSizing,
+        test: &'a dyn DeviationTest,
+    ) -> Self {
         assert!(m >= 1, "need at least one Monte-Carlo iteration");
         assert!(
             alpha > 0.0 && alpha < 1.0,
             "alpha must be in (0,1), got {alpha}"
         );
-        let indices = data.rank_index();
-        let marginals = data
-            .columns()
-            .iter()
-            .map(|c| MarginalStats::from_column(c))
-            .collect();
+        let indices = RankIndex::build_columns(view.iter_cols());
+        let marginals = view.iter_cols().map(MarginalStats::from_column).collect();
         Self {
-            data,
+            view,
             indices,
             marginals,
             m,
@@ -230,14 +244,22 @@ impl<'a> ContrastEstimator<'a> {
         }
     }
 
-    /// The dataset under analysis.
-    pub fn data(&self) -> &Dataset {
-        self.data
+    /// The columns under analysis.
+    pub fn view(&self) -> &ColumnsView<'a> {
+        &self.view
     }
 
     /// The precomputed rank index.
     pub fn indices(&self) -> &RankIndex {
         &self.indices
+    }
+
+    /// Consumes the estimator, yielding its rank index — so a fit that
+    /// already paid for the `O(D · N log N)` argsorts during the search
+    /// can reuse them (e.g. for the artifact's order-permutation section)
+    /// instead of sorting every column a second time.
+    pub fn into_indices(self) -> RankIndex {
+        self.indices
     }
 
     /// Number of Monte-Carlo iterations `M`.
@@ -255,8 +277,13 @@ impl<'a> ContrastEstimator<'a> {
 
     /// Estimates `contrast(S)` using the caller's RNG (Algorithm 1).
     pub fn contrast_with_rng(&self, subspace: &Subspace, rng: &mut StdRng) -> f64 {
-        let mut sampler =
-            SliceSampler::new(self.data, &self.indices, subspace, self.alpha, self.sizing);
+        let mut sampler = SliceSampler::from_view(
+            self.view.clone(),
+            &self.indices,
+            subspace,
+            self.alpha,
+            self.sizing,
+        );
         self.contrast_loop(&mut sampler, rng)
     }
 
@@ -264,7 +291,13 @@ impl<'a> ContrastEstimator<'a> {
     /// — one per worker thread, reused across every subspace that worker
     /// evaluates.
     pub fn sampler(&self, subspace: &Subspace) -> SliceSampler<'_> {
-        SliceSampler::new(self.data, &self.indices, subspace, self.alpha, self.sizing)
+        SliceSampler::from_view(
+            self.view.clone(),
+            &self.indices,
+            subspace,
+            self.alpha,
+            self.sizing,
+        )
     }
 
     /// Like [`ContrastEstimator::contrast`], but reusing a caller-held

@@ -18,7 +18,9 @@ pub mod slice;
 pub mod subspace;
 
 pub use contrast::{ContrastEstimator, DeviationTest, StatTest};
-pub use pipeline::{FitBuilder, Hics, HicsParams, HicsResult, ScorerConfig};
+pub use pipeline::{
+    FitBuilder, FitSummary, Hics, HicsParams, HicsResult, ScorerConfig, ShardFitSpec,
+};
 pub use search::{ScoredSubspace, SearchParams, SearchReport, SubspaceSearch};
 pub use slice::{SliceSampler, SliceSizing};
 pub use subspace::Subspace;

@@ -2,16 +2,19 @@
 //! aggregation (the two-step decoupled processing of Section I).
 
 use crate::search::{ScoredSubspace, SearchParams, SubspaceSearch};
+use hics_data::manifest::{PartitionKind, ShardAggregation, ShardEntry, ShardManifest};
 use hics_data::model::{
-    apply_normalization, AggregationKind, HicsModel, ModelIndex, ModelSubspace, NormKind,
-    ScorerKind, ScorerSpec,
+    apply_normalization, save_model_streaming, AggregationKind, HicsModel, ModelIndex,
+    ModelSubspace, NormKind, NormParam, ScorerKind, ScorerSpec,
 };
-use hics_data::Dataset;
+use hics_data::{ColumnsView, Dataset, DatasetSource, HicsError};
 use hics_outlier::aggregate::{aggregate_scores, Aggregation};
 use hics_outlier::index::{IndexKind, VpTree};
 use hics_outlier::lof::Lof;
+use hics_outlier::parallel::par_map;
 use hics_outlier::scorer::{score_subspaces, SubspaceScorer};
 use hics_outlier::SubspaceView;
+use std::path::Path;
 
 /// Parameters of the full HiCS pipeline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -147,18 +150,25 @@ impl FitBuilder {
     /// [`Hics::run`] on the normalised dataset.
     pub fn fit(&self, data: &Dataset) -> HicsModel {
         let (trained, norm_params) = apply_normalization(data, self.norm);
+        self.fit_prenormalized(trained, self.norm, norm_params)
+    }
+
+    /// [`FitBuilder::fit`] for data whose normalisation has **already**
+    /// happened (out-of-core stores normalise at import; shard fits inherit
+    /// the source's global transform): runs the search on `trained` as-is
+    /// and stamps the given transform into the model so raw query points
+    /// still map into the trained value space.
+    ///
+    /// # Panics
+    /// Panics if `norm_params` does not match the data's attribute count.
+    pub fn fit_prenormalized(
+        &self,
+        trained: Dataset,
+        norm_kind: NormKind,
+        norm_params: Vec<NormParam>,
+    ) -> HicsModel {
         let subspaces = SubspaceSearch::new(self.params.search).run(&trained);
-        let model_subspaces: Vec<ModelSubspace> = subspaces
-            .iter()
-            .map(|s| ModelSubspace {
-                dims: s.subspace.to_vec(),
-                contrast: s.contrast,
-            })
-            .collect();
-        let aggregation = match self.params.aggregation {
-            Aggregation::Average => AggregationKind::Average,
-            Aggregation::Max => AggregationKind::Max,
-        };
+        let model_subspaces = to_model_subspaces(&subspaces);
         let index = match self.index {
             IndexKind::Brute => None,
             IndexKind::VpTree => Some(ModelIndex {
@@ -173,14 +183,259 @@ impl FitBuilder {
         };
         let mut model = HicsModel::new(
             trained,
-            self.norm,
+            norm_kind,
             norm_params,
             model_subspaces,
             self.scorer,
-            aggregation,
+            self.aggregation_kind(),
         );
         model.set_index(index);
         model
+    }
+
+    /// The artifact aggregation for the pipeline's configuration.
+    fn aggregation_kind(&self) -> AggregationKind {
+        match self.params.aggregation {
+            Aggregation::Average => AggregationKind::Average,
+            Aggregation::Max => AggregationKind::Max,
+        }
+    }
+
+    /// Rejects builder configurations a source-backed fit cannot honour:
+    /// sources arrive pre-normalised (at import time), so a normalisation
+    /// request here would silently double-transform.
+    fn check_source_fit(&self) -> Result<(), HicsError> {
+        if self.norm != NormKind::None {
+            return Err(HicsError::InvalidInput(
+                "source-backed fits read pre-normalised columns; normalise at import time \
+                 (`hics import --normalize ...`), not at fit time"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fits a model **directly from a column source** and streams the
+    /// artifact to `out` — the out-of-core fit: for an mmap-backed dataset
+    /// store the training matrix is read zero-copy out of the map and is
+    /// never materialised on the heap (the search's index structures and
+    /// one transient argsort column are the only O(N) allocations). The
+    /// artifact is byte-identical to `self.fit(&materialised).save(out)`.
+    ///
+    /// The source's stored normalisation is stamped into the artifact;
+    /// configure normalisation at import time, not on the builder.
+    pub fn fit_source_to<S: DatasetSource + ?Sized>(
+        &self,
+        source: &S,
+        out: &Path,
+    ) -> Result<FitSummary, HicsError> {
+        self.check_source_fit()?;
+        let view = ColumnsView::from_source(source);
+        let norm_kind = source.norm_kind();
+        let norm = source.norm_params().into_owned();
+        let (report, rank) = SubspaceSearch::new(self.params.search).run_view_with_index(&view);
+        let model_subspaces = to_model_subspaces(&report.result);
+        let index = match self.index {
+            IndexKind::Brute => None,
+            IndexKind::VpTree => Some(ModelIndex {
+                trees: model_subspaces
+                    .iter()
+                    .map(|s| {
+                        let sub = SubspaceView::from_columns_view(&view, &s.dims);
+                        VpTree::build(&sub).into_data()
+                    })
+                    .collect(),
+            }),
+        };
+        save_model_streaming(
+            out,
+            &view,
+            norm_kind,
+            &norm,
+            &model_subspaces,
+            self.scorer,
+            self.aggregation_kind(),
+            index.as_ref(),
+            // The search already argsorted every column; reuse its index
+            // for the order-permutation section.
+            Some(&rank),
+        )?;
+        Ok(FitSummary {
+            n: view.n(),
+            d: view.d(),
+            subspaces: model_subspaces.len(),
+            version: if index.is_some() { 2 } else { 1 },
+        })
+    }
+
+    /// Sharded fit: deterministically partitions the source's rows into
+    /// `spec.shards` shards, fits each shard **independently through the
+    /// unchanged pipeline** (same search parameters and seed), writes one
+    /// artifact per shard next to `out`, and writes the sharded manifest
+    /// (version-3 envelope) at `out` itself. `hics score`/`hics serve` on
+    /// the manifest score queries against every shard and combine with
+    /// `spec.aggregation`.
+    ///
+    /// Shards fit `spec.parallel` at a time (0 = one worker per shard, up
+    /// to the thread budget); peak memory is the largest `parallel`
+    /// concurrent shard matrices, which is how a dataset bigger than RAM
+    /// gets fitted. With `shards == 1` the single artifact is bit-for-bit
+    /// the unsharded [`FitBuilder::fit`] output.
+    pub fn fit_sharded_to<S: DatasetSource + ?Sized>(
+        &self,
+        source: &S,
+        spec: &ShardFitSpec,
+        out: &Path,
+    ) -> Result<ShardManifest, HicsError> {
+        self.check_source_fit()?;
+        if spec.shards == 0 {
+            return Err(HicsError::InvalidInput("need at least one shard".into()));
+        }
+        let view = ColumnsView::from_source(source);
+        let n = view.n() as u64;
+        let assignment = spec.partition.assign(n, spec.shards);
+        for (k, rows) in assignment.iter().enumerate() {
+            if rows.len() < 2 {
+                return Err(HicsError::InvalidInput(format!(
+                    "shard {k} would hold {} rows; every shard needs at least 2 \
+                     (reduce --shards or use --shard-partition contiguous)",
+                    rows.len()
+                )));
+            }
+            if u32::try_from(rows.len()).is_err() {
+                return Err(HicsError::InvalidInput(format!(
+                    "shard {k} would hold {} rows, over the u32 per-shard artifact cap \
+                     (increase --shards)",
+                    rows.len()
+                )));
+            }
+        }
+        let norm_kind = source.norm_kind();
+        let norm = source.norm_params().into_owned();
+        let threads = self.params.search.max_threads.max(1);
+        let parallel = if spec.parallel == 0 {
+            spec.shards.min(threads)
+        } else {
+            spec.parallel.min(spec.shards)
+        };
+        // Each in-flight shard gets an equal slice of the thread budget
+        // (search results are thread-count independent, so this only
+        // affects wall-clock, never bits).
+        let inner_threads = (threads / parallel).max(1);
+        let files: Vec<String> = (0..spec.shards).map(|k| shard_file_name(out, k)).collect();
+        let dir = out.parent().unwrap_or_else(|| Path::new("")).to_path_buf();
+        let results: Vec<Result<ShardEntry, HicsError>> = par_map(
+            spec.shards,
+            parallel,
+            |k| -> Result<ShardEntry, HicsError> {
+                let rows = &assignment[k];
+                let shard_data = gather_rows(&view, rows);
+                let mut params = self.params;
+                params.search.max_threads = inner_threads;
+                let builder = FitBuilder {
+                    params,
+                    norm: NormKind::None,
+                    scorer: self.scorer,
+                    index: self.index,
+                };
+                let model = builder.fit_prenormalized(shard_data, norm_kind, norm.clone());
+                model.save(&dir.join(&files[k]))?;
+                Ok(ShardEntry {
+                    file: files[k].clone(),
+                    n: rows.len() as u64,
+                })
+            },
+        );
+        let mut shards = Vec::with_capacity(spec.shards);
+        for r in results {
+            shards.push(r?);
+        }
+        let manifest = ShardManifest {
+            total_n: n,
+            d: view.d(),
+            aggregation: spec.aggregation,
+            partition: spec.partition,
+            shards,
+        };
+        manifest.save(out)?;
+        Ok(manifest)
+    }
+}
+
+/// Configuration of a sharded fit (see [`FitBuilder::fit_sharded_to`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardFitSpec {
+    /// Number of shards `S`.
+    pub shards: usize,
+    /// The deterministic row partitioner.
+    pub partition: PartitionKind,
+    /// How per-shard scores combine at serve time.
+    pub aggregation: ShardAggregation,
+    /// Shards fitted concurrently (0 = auto: one worker per shard up to
+    /// the thread budget). Lower it to bound peak memory — only `parallel`
+    /// shard matrices are resident at once.
+    pub parallel: usize,
+}
+
+impl Default for ShardFitSpec {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            partition: PartitionKind::Contiguous,
+            aggregation: ShardAggregation::Mean,
+            parallel: 0,
+        }
+    }
+}
+
+/// Summary of a completed source-backed fit.
+#[derive(Debug, Clone, Copy)]
+pub struct FitSummary {
+    /// Rows fitted.
+    pub n: usize,
+    /// Attributes.
+    pub d: usize,
+    /// Subspaces selected by the search.
+    pub subspaces: usize,
+    /// Artifact format version written (1 brute, 2 with stored trees).
+    pub version: u32,
+}
+
+/// Converts search output into artifact subspaces.
+fn to_model_subspaces(subspaces: &[ScoredSubspace]) -> Vec<ModelSubspace> {
+    subspaces
+        .iter()
+        .map(|s| ModelSubspace {
+            dims: s.subspace.to_vec(),
+            contrast: s.contrast,
+        })
+        .collect()
+}
+
+/// Gathers the listed rows (ascending ids from the partitioner) out of a
+/// column view into an owned per-shard dataset — the only materialisation a
+/// sharded fit performs, `O(shard rows × d)` at a time.
+fn gather_rows(view: &ColumnsView<'_>, rows: &[u64]) -> Dataset {
+    let cols: Vec<Vec<f64>> = (0..view.d())
+        .map(|j| {
+            let col = view.col(j);
+            rows.iter().map(|&i| col[i as usize]).collect()
+        })
+        .collect();
+    Dataset::from_columns_named(cols, view.names().to_vec())
+}
+
+/// The shard artifact file name for shard `k` of the manifest at `out`:
+/// `model.hics` → `model.shard3.hics` (sibling files, so the manifest can
+/// reference them relatively).
+fn shard_file_name(out: &Path, k: usize) -> String {
+    let stem = out
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "model".into());
+    match out.extension() {
+        Some(ext) => format!("{stem}.shard{k}.{}", ext.to_string_lossy()),
+        None => format!("{stem}.shard{k}"),
     }
 }
 

@@ -18,7 +18,7 @@
 use crate::contrast::{ContrastEstimator, StatTest};
 use crate::slice::SliceSizing;
 use crate::subspace::Subspace;
-use hics_data::Dataset;
+use hics_data::{ColumnsView, Dataset, DatasetSource, RankIndex};
 use hics_outlier::parallel::par_map_init;
 use std::collections::HashSet;
 
@@ -115,15 +115,45 @@ impl SubspaceSearch {
         self.run_detailed(data).result
     }
 
+    /// Runs the search over any [`DatasetSource`] — for an mmap-backed
+    /// dataset store the columns are read zero-copy out of the map; only
+    /// the search's own index structures touch the heap. Identical
+    /// results (bit for bit) to [`SubspaceSearch::run`] on the
+    /// materialised data.
+    pub fn run_source<S: DatasetSource + ?Sized>(&self, source: &S) -> Vec<ScoredSubspace> {
+        self.run_detailed_view(&ColumnsView::from_source(source))
+            .result
+    }
+
     /// Runs the search, returning per-level diagnostics as well.
     pub fn run_detailed(&self, data: &Dataset) -> SearchReport {
-        assert!(data.d() >= 2, "subspace search needs at least 2 attributes");
+        self.run_detailed_view(&ColumnsView::from_dataset(data))
+    }
+
+    /// [`SubspaceSearch::run_detailed`] over a gathered column view (the
+    /// shared implementation of the owned and the out-of-core paths).
+    pub fn run_detailed_view(&self, view: &ColumnsView<'_>) -> SearchReport {
+        self.run_view_with_index(view).0
+    }
+
+    /// [`SubspaceSearch::run_detailed_view`], also yielding the rank index
+    /// the search built over the view — the store-backed fit reuses it for
+    /// the artifact's order-permutation section instead of re-argsorting
+    /// every column.
+    pub fn run_view_with_index(&self, view: &ColumnsView<'_>) -> (SearchReport, RankIndex) {
+        assert!(view.d() >= 2, "subspace search needs at least 2 attributes");
         let p = &self.params;
-        let estimator = ContrastEstimator::new(data, p.m, p.alpha, p.sizing, p.test.as_deviation());
+        let estimator = ContrastEstimator::from_view(
+            view.clone(),
+            p.m,
+            p.alpha,
+            p.sizing,
+            p.test.as_deviation(),
+        );
 
         // Level 2: all attribute pairs.
-        let mut candidates: Vec<Subspace> = (0..data.d())
-            .flat_map(|a| ((a + 1)..data.d()).map(move |b| Subspace::pair(a, b)))
+        let mut candidates: Vec<Subspace> = (0..view.d())
+            .flat_map(|a| ((a + 1)..view.d()).map(move |b| Subspace::pair(a, b)))
             .collect();
         let mut seen: HashSet<Subspace> = candidates.iter().cloned().collect();
 
@@ -174,11 +204,14 @@ impl SubspaceSearch {
 
         sort_by_contrast(&mut pool);
         pool.truncate(p.top_k);
-        SearchReport {
-            result: pool,
-            evaluated_per_level,
-            pruned_redundant,
-        }
+        (
+            SearchReport {
+                result: pool,
+                evaluated_per_level,
+                pruned_redundant,
+            },
+            estimator.into_indices(),
+        )
     }
 }
 

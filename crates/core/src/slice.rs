@@ -23,7 +23,7 @@
 //!    for the sort-free KS / Mann–Whitney walks.
 
 use crate::subspace::Subspace;
-use hics_data::{Dataset, RankIndex, SliceMask};
+use hics_data::{ColumnsView, Dataset, RankIndex, SliceMask};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -138,7 +138,7 @@ impl<'a> SliceView<'a> {
 /// exact window either way, so contrast values stay bit-identical (asserted
 /// by the engine-equivalence regression tests).
 pub struct SliceSampler<'a> {
-    data: &'a Dataset,
+    view: ColumnsView<'a>,
     indices: &'a RankIndex,
     dims: Vec<usize>,
     block_len: usize,
@@ -175,6 +175,28 @@ impl<'a> SliceSampler<'a> {
         alpha: f64,
         sizing: SliceSizing,
     ) -> Self {
+        Self::from_view(
+            ColumnsView::from_dataset(data),
+            indices,
+            subspace,
+            alpha,
+            sizing,
+        )
+    }
+
+    /// Like [`SliceSampler::new`], over an already-gathered column view
+    /// (the out-of-core path: columns borrowed from a memory-mapped store;
+    /// the view itself is O(d) pointer work to clone, not a data copy).
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`SliceSampler::new`].
+    pub fn from_view(
+        view: ColumnsView<'a>,
+        indices: &'a RankIndex,
+        subspace: &Subspace,
+        alpha: f64,
+        sizing: SliceSizing,
+    ) -> Self {
         assert!(
             subspace.len() >= 2,
             "contrast needs |S| >= 2, got {subspace}"
@@ -185,11 +207,11 @@ impl<'a> SliceSampler<'a> {
         );
         let dims = subspace.to_vec();
         assert!(
-            dims.iter().all(|&j| j < data.d()),
+            dims.iter().all(|&j| j < view.d()),
             "subspace {subspace} exceeds dataset dimensionality {}",
-            data.d()
+            view.d()
         );
-        let n = data.n();
+        let n = view.n();
         let alpha1 = sizing.alpha1(alpha, dims.len());
         let block_len = ((n as f64 * alpha1).ceil() as usize).clamp(1, n);
         let cache = dims
@@ -200,7 +222,7 @@ impl<'a> SliceSampler<'a> {
             })
             .collect();
         Self {
-            data,
+            view,
             indices,
             perm: dims.clone(),
             dims,
@@ -230,13 +252,13 @@ impl<'a> SliceSampler<'a> {
         self.dims.clear();
         self.dims.extend(subspace.dims());
         assert!(
-            self.dims.iter().all(|&j| j < self.data.d()),
+            self.dims.iter().all(|&j| j < self.view.d()),
             "subspace {subspace} exceeds dataset dimensionality {}",
-            self.data.d()
+            self.view.d()
         );
         self.perm.clear();
         self.perm.extend_from_slice(&self.dims);
-        let n = self.data.n();
+        let n = self.view.n();
         let alpha1 = self.sizing.alpha1(self.alpha, self.dims.len());
         self.block_len = ((n as f64 * alpha1).ceil() as usize).clamp(1, n);
         // The window length (and the attribute a slot belongs to) changed:
@@ -271,7 +293,7 @@ impl<'a> SliceSampler<'a> {
     /// allocation, no `O(N)` per-object scan, and the selection is the same
     /// bit pattern the uncached sampler produced.
     pub fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SliceView<'_> {
-        let n = self.data.n();
+        let n = self.view.n();
         self.perm.copy_from_slice(&self.dims);
         self.perm.shuffle(rng);
         let (&ref_attr, cond_attrs) = self.perm.split_last().expect("subspace is non-empty");
@@ -340,7 +362,7 @@ impl<'a> SliceSampler<'a> {
         let len = fused_len.unwrap_or(self.block_len);
         SliceView {
             ref_attr,
-            col: self.data.col(ref_attr),
+            col: self.view.col(ref_attr),
             mask: &self.mask,
             len,
         }

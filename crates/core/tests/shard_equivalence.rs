@@ -1,0 +1,265 @@
+//! The out-of-core / sharded fit contract:
+//!
+//! 1. A fit **directly from an mmap-backed dataset store** (the store's map
+//!    is the only column source; the training matrix is never materialised
+//!    as a `Dataset`) produces an artifact byte-identical to the in-memory
+//!    pipeline on the materialised data.
+//! 2. A sharded fit with `S = 1` reproduces the unsharded pipeline
+//!    **bit-for-bit** (same artifact bytes behind the manifest).
+//! 3. A sharded fit with `S > 1` serves the exact ensemble fold of its
+//!    per-shard engines, through the same `Engine` seam the server uses.
+
+use hics_core::{FitBuilder, HicsParams, ShardFitSpec};
+use hics_data::manifest::{PartitionKind, ShardAggregation, ShardManifest};
+use hics_data::model::{NormKind, ScorerKind, ScorerSpec};
+use hics_data::{Dataset, DatasetSource, HicsModel, SyntheticConfig};
+use hics_outlier::{Engine, IndexKind, QueryEngine, ShardedEngine};
+use std::borrow::Cow;
+use std::path::PathBuf;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("hics-shard-equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quick_builder() -> FitBuilder {
+    let mut p = HicsParams::paper_defaults();
+    p.search.m = 20;
+    p.search.candidate_cutoff = 40;
+    p.search.top_k = 10;
+    p.search.seed = 7;
+    FitBuilder::new(p).scorer(ScorerSpec {
+        kind: ScorerKind::Lof,
+        k: 6,
+    })
+}
+
+/// Writes the dataset as a store (spilled across several import chunks so
+/// the assembly path is exercised) and mmap-opens it.
+fn store_for(data: &Dataset, tag: &str, norm: NormKind) -> (hics_store::DatasetStore, PathBuf) {
+    let path = temp_dir().join(format!("{tag}.hicsstore"));
+    hics_store::write_dataset_store(&path, data, 61, norm).expect("write store");
+    (
+        hics_store::DatasetStore::open_mmap(&path).expect("open store"),
+        path,
+    )
+}
+
+/// Acceptance: the fit runs end-to-end with the store's mmap as the only
+/// column source — every column the fit reads is a borrowed slice of the
+/// map — and the streamed artifact equals the in-memory pipeline's bytes.
+#[test]
+fn store_fit_is_zero_copy_and_byte_identical_to_the_pipeline() {
+    let g = SyntheticConfig::new(220, 5).with_seed(31).generate();
+    for index in [IndexKind::Brute, IndexKind::VpTree] {
+        let (store, store_path) =
+            store_for(&g.dataset, &format!("unsharded-{index:?}"), NormKind::None);
+        assert!(cfg!(not(unix)) || store.is_mmap());
+        // The store serves borrowed columns — the map is the column source.
+        for j in 0..store.d() {
+            assert!(
+                matches!(DatasetSource::column(&store, j), Cow::Borrowed(_)),
+                "column {j} not served zero-copy"
+            );
+        }
+        let builder = quick_builder().index(index);
+        let out = temp_dir().join(format!("store-fit-{index:?}.hics"));
+        let summary = builder.fit_source_to(&store, &out).expect("fit from store");
+        assert_eq!((summary.n, summary.d), (220, 5));
+        // Reference: the classic in-memory pipeline on the materialised data.
+        let reference = builder.fit(&g.dataset);
+        let streamed = std::fs::read(&out).expect("read artifact");
+        assert_eq!(
+            streamed,
+            reference.to_bytes(),
+            "{index:?}: store fit diverged from the in-memory pipeline"
+        );
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&store_path).ok();
+    }
+}
+
+/// A store imported with normalisation fits to the same artifact as the
+/// in-memory pipeline normalising at fit time — import-time and fit-time
+/// normalisation are interchangeable, bit for bit.
+#[test]
+fn import_time_normalisation_matches_fit_time_normalisation() {
+    let g = SyntheticConfig::new(150, 4).with_seed(32).generate();
+    for norm in [NormKind::MinMax, NormKind::ZScore] {
+        let (store, store_path) = store_for(&g.dataset, &format!("norm-{}", norm.name()), norm);
+        let out = temp_dir().join(format!("norm-fit-{}.hics", norm.name()));
+        quick_builder().fit_source_to(&store, &out).expect("fit");
+        let reference = quick_builder().normalize(norm).fit(&g.dataset);
+        assert_eq!(
+            std::fs::read(&out).expect("read"),
+            reference.to_bytes(),
+            "{} import-normalised fit diverged",
+            norm.name()
+        );
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&store_path).ok();
+    }
+}
+
+/// `--shards 1` is the unsharded pipeline, bit for bit: the single shard
+/// artifact behind the manifest equals `FitBuilder::fit(...).to_bytes()`.
+#[test]
+fn single_shard_fit_is_bitwise_the_unsharded_pipeline() {
+    let g = SyntheticConfig::new(200, 4).with_seed(33).generate();
+    let (store, store_path) = store_for(&g.dataset, "s1", NormKind::None);
+    let out = temp_dir().join("s1.hics");
+    for partition in [PartitionKind::Contiguous, PartitionKind::Hash] {
+        let spec = ShardFitSpec {
+            shards: 1,
+            partition,
+            aggregation: ShardAggregation::Mean,
+            parallel: 0,
+        };
+        let manifest = quick_builder()
+            .fit_sharded_to(&store, &spec, &out)
+            .expect("sharded fit");
+        assert_eq!(manifest.shards.len(), 1);
+        assert_eq!(manifest.total_n, 200);
+        let shard_path = &manifest.shard_paths(&out)[0];
+        let reference = quick_builder().fit(&g.dataset);
+        assert_eq!(
+            std::fs::read(shard_path).expect("read shard"),
+            reference.to_bytes(),
+            "{partition:?}: S=1 shard artifact diverged from the plain pipeline"
+        );
+        // And the served scores coincide too.
+        let sharded = ShardedEngine::open(&out, None, 2).expect("open ensemble");
+        let single = QueryEngine::from_model(&reference, 2);
+        for i in (0..200).step_by(23) {
+            let row = g.dataset.row(i);
+            assert_eq!(sharded.score(&row), single.score(&row), "row {i}");
+        }
+        std::fs::remove_file(shard_path).ok();
+    }
+    std::fs::remove_file(&out).ok();
+    std::fs::remove_file(&store_path).ok();
+}
+
+/// `S > 1`: every shard artifact equals an independent fit of exactly its
+/// partition rows, and the manifest engine serves the ensemble fold.
+#[test]
+fn multi_shard_fit_matches_per_partition_fits_and_ensemble_fold() {
+    let g = SyntheticConfig::new(240, 4).with_seed(34).generate();
+    let (store, store_path) = store_for(&g.dataset, "s3", NormKind::None);
+    let out = temp_dir().join("s3.hics");
+    let spec = ShardFitSpec {
+        shards: 3,
+        partition: PartitionKind::Contiguous,
+        aggregation: ShardAggregation::Mean,
+        parallel: 2,
+    };
+    let manifest = quick_builder()
+        .fit_sharded_to(&store, &spec, &out)
+        .expect("sharded fit");
+    assert_eq!(manifest.shards.len(), 3);
+    assert_eq!(
+        manifest.shards.iter().map(|s| s.n).sum::<u64>(),
+        240,
+        "every row lands in exactly one shard"
+    );
+    // Reference models: fit each contiguous partition independently.
+    let assignment = PartitionKind::Contiguous.assign(240, 3);
+    let mut references: Vec<HicsModel> = Vec::new();
+    for (k, rows) in assignment.iter().enumerate() {
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|j| {
+                rows.iter()
+                    .map(|&i| g.dataset.value(i as usize, j))
+                    .collect()
+            })
+            .collect();
+        let shard_data = Dataset::from_columns_named(cols, g.dataset.names().to_vec());
+        let reference = quick_builder().fit(&shard_data);
+        let shard_path = &manifest.shard_paths(&out)[k];
+        assert_eq!(
+            std::fs::read(shard_path).expect("read shard"),
+            reference.to_bytes(),
+            "shard {k} diverged from its independent fit"
+        );
+        references.push(reference);
+    }
+    // The manifest engine (through the serving seam) is the mean of the
+    // per-shard engines.
+    let engine = Engine::open_mmap(&out, None, 2).expect("open manifest engine");
+    assert_eq!(engine.shard_count(), 3);
+    assert_eq!(engine.n(), 240);
+    let per_shard: Vec<QueryEngine> = references
+        .iter()
+        .map(|m| QueryEngine::from_model(m, 1))
+        .collect();
+    for q in [
+        [0.2, 0.4, 0.6, 0.8],
+        [0.9, 0.1, 0.3, 0.5],
+        [3.0, 3.0, 3.0, 3.0],
+    ] {
+        let mut acc = 0.0;
+        for e in &per_shard {
+            acc += e.score(&q).unwrap();
+        }
+        let want = acc / per_shard.len() as f64;
+        assert_eq!(engine.score(&q).unwrap(), want, "{q:?}");
+    }
+    for p in manifest.shard_paths(&out) {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&out).ok();
+    std::fs::remove_file(&store_path).ok();
+}
+
+/// Guard rails: shard counts the data cannot support, and fit-time
+/// normalisation on a source-backed fit, fail with typed input errors.
+#[test]
+fn sharded_fit_rejects_unusable_configurations() {
+    let g = SyntheticConfig::new(60, 3).with_seed(35).generate();
+    let (store, store_path) = store_for(&g.dataset, "reject", NormKind::None);
+    let out = temp_dir().join("reject.hics");
+    // More shards than rows/2 → some shard would be unservable.
+    let spec = ShardFitSpec {
+        shards: 40,
+        partition: PartitionKind::Contiguous,
+        aggregation: ShardAggregation::Mean,
+        parallel: 0,
+    };
+    assert!(quick_builder().fit_sharded_to(&store, &spec, &out).is_err());
+    // Fit-time normalisation over a source is rejected (normalise at
+    // import).
+    assert!(quick_builder()
+        .normalize(NormKind::MinMax)
+        .fit_source_to(&store, &out)
+        .is_err());
+    assert!(!out.exists(), "failed fits must not leave artifacts");
+    std::fs::remove_file(&store_path).ok();
+}
+
+/// The manifest written by the shard driver round-trips through its own
+/// loader (sanity for the file the CLI hands to `serve`).
+#[test]
+fn written_manifest_reloads() {
+    let g = SyntheticConfig::new(120, 3).with_seed(36).generate();
+    let (store, store_path) = store_for(&g.dataset, "reload", NormKind::None);
+    let out = temp_dir().join("reload.hics");
+    let spec = ShardFitSpec {
+        shards: 2,
+        partition: PartitionKind::Hash,
+        aggregation: ShardAggregation::Max,
+        parallel: 0,
+    };
+    let written = quick_builder()
+        .fit_sharded_to(&store, &spec, &out)
+        .expect("fit");
+    let loaded = ShardManifest::load(&out).expect("reload manifest");
+    assert_eq!(written, loaded);
+    assert_eq!(loaded.aggregation, ShardAggregation::Max);
+    assert_eq!(loaded.partition, PartitionKind::Hash);
+    for p in loaded.shard_paths(&out) {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&out).ok();
+    std::fs::remove_file(&store_path).ok();
+}

@@ -70,24 +70,41 @@ pub struct ArffData {
     pub labels: Option<Vec<bool>>,
 }
 
-/// Reads an ARFF document from a buffered reader.
-pub fn read_arff<R: BufRead>(reader: R) -> Result<ArffData, ArffError> {
-    let mut relation = String::new();
-    let mut names: Vec<String> = Vec::new();
-    let mut kinds: Vec<AttrKind> = Vec::new();
-    let mut label_attr: Option<usize> = None;
-    let mut in_data = false;
-    let mut columns: Vec<Vec<f64>> = Vec::new();
-    let mut labels: Vec<bool> = Vec::new();
+/// Streaming ARFF row reader: the `@relation`/`@attribute`/`@data` header
+/// is parsed eagerly (it is a handful of lines), then data rows stream one
+/// at a time through a reused line/row buffer — the bounded-memory
+/// substrate under [`read_arff`] and the out-of-core importer.
+pub struct ArffReader<R: BufRead> {
+    reader: R,
+    relation: String,
+    names: Vec<String>,
+    kinds: Vec<AttrKind>,
+    lineno: usize,
+    line: String,
+    row: Vec<f64>,
+}
 
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = lineno + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') {
-            continue;
-        }
-        if !in_data {
+impl<R: BufRead> ArffReader<R> {
+    /// Parses the header through `@data` and positions the stream at the
+    /// first data row.
+    pub fn new(mut reader: R) -> Result<Self, ArffError> {
+        let mut relation = String::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut kinds: Vec<AttrKind> = Vec::new();
+        let mut label_seen = false;
+        let mut lineno = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            lineno += 1;
+            if reader.read_line(&mut line)? == 0 {
+                // EOF before @data: no data section at all.
+                return Err(ArffError::Empty);
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('%') {
+                continue;
+            }
             let lower = trimmed.to_ascii_lowercase();
             if let Some(rest) = lower.strip_prefix("@relation") {
                 relation = rest.trim().to_string();
@@ -97,14 +114,13 @@ pub fn read_arff<R: BufRead>(reader: R) -> Result<ArffData, ArffError> {
                 if let AttrKind::Nominal(_) = kind {
                     let lname = name.to_ascii_lowercase();
                     if lname == "outlier" || lname == "class" || lname == "label" {
-                        if label_attr.is_some() {
+                        if label_seen {
                             return Err(ArffError::Parse {
                                 line: lineno,
                                 message: "multiple label attributes".into(),
                             });
                         }
-                        label_attr = Some(names.len() + kinds_nominal_count(&kinds));
-                        // Track position among ALL attributes, handled below.
+                        label_seen = true;
                     } else {
                         return Err(ArffError::Parse {
                             line: lineno,
@@ -118,59 +134,127 @@ pub fn read_arff<R: BufRead>(reader: R) -> Result<ArffData, ArffError> {
                 }
                 kinds.push(kind);
             } else if lower.starts_with("@data") {
-                in_data = true;
-                columns = vec![Vec::new(); names.len()];
+                break;
             } else {
                 return Err(ArffError::Parse {
                     line: lineno,
                     message: format!("unexpected header line {trimmed:?}"),
                 });
             }
-            continue;
         }
-        // Data section.
-        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-        if fields.len() != kinds.len() {
-            return Err(ArffError::Parse {
-                line: lineno,
-                message: format!("expected {} fields, found {}", kinds.len(), fields.len()),
-            });
+        if names.is_empty() {
+            return Err(ArffError::Empty);
         }
-        let mut col_idx = 0;
-        for (field, kind) in fields.iter().zip(&kinds) {
-            match kind {
-                AttrKind::Numeric => {
-                    let v: f64 = field.parse().map_err(|_| ArffError::Parse {
-                        line: lineno,
-                        message: format!("cannot parse {field:?} as numeric"),
-                    })?;
-                    columns[col_idx].push(v);
-                    col_idx += 1;
-                }
-                AttrKind::Nominal(allowed) => {
-                    let val = field.trim_matches('\'').to_ascii_lowercase();
-                    if !allowed.contains(&val) {
-                        return Err(ArffError::Parse {
-                            line: lineno,
-                            message: format!("value {field:?} not in nominal domain"),
-                        });
-                    }
-                    labels.push(matches!(
-                        val.as_str(),
-                        "yes" | "outlier" | "1" | "true" | "anomaly"
-                    ));
-                }
-            }
-        }
+        Ok(Self {
+            reader,
+            relation,
+            names,
+            kinds,
+            lineno,
+            line,
+            row: Vec::new(),
+        })
     }
 
+    /// The relation name from `@relation`.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// Names of the numeric attributes (the label attribute is excluded).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether the file declares an outlier/class label attribute.
+    pub fn has_labels(&self) -> bool {
+        self.kinds.iter().any(|k| matches!(k, AttrKind::Nominal(_)))
+    }
+
+    /// Parses the next data row. Returns `Ok(None)` at end of input. The
+    /// returned slice borrows an internal buffer that is overwritten by the
+    /// next call.
+    #[allow(clippy::type_complexity)]
+    pub fn next_row(&mut self) -> Result<Option<(&[f64], Option<bool>)>, ArffError> {
+        loop {
+            self.line.clear();
+            self.lineno += 1;
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('%') {
+                continue;
+            }
+            // One pass over the fields, zipped against the declared
+            // attribute kinds; an arity mismatch surfaces as soon as either
+            // side runs out.
+            let lineno = self.lineno;
+            let arity_error = |found: usize| ArffError::Parse {
+                line: lineno,
+                message: format!("expected {} fields, found {found}", self.kinds.len()),
+            };
+            self.row.clear();
+            let mut label = None;
+            let mut fields = trimmed.split(',').map(str::trim);
+            let mut found = 0usize;
+            for kind in &self.kinds {
+                let Some(field) = fields.next() else {
+                    return Err(arity_error(found));
+                };
+                found += 1;
+                match kind {
+                    AttrKind::Numeric => {
+                        let v: f64 = field.parse().map_err(|_| ArffError::Parse {
+                            line: lineno,
+                            message: format!("cannot parse {field:?} as numeric"),
+                        })?;
+                        self.row.push(v);
+                    }
+                    AttrKind::Nominal(allowed) => {
+                        let val = field.trim_matches('\'').to_ascii_lowercase();
+                        if !allowed.contains(&val) {
+                            return Err(ArffError::Parse {
+                                line: lineno,
+                                message: format!("value {field:?} not in nominal domain"),
+                            });
+                        }
+                        label = Some(matches!(
+                            val.as_str(),
+                            "yes" | "outlier" | "1" | "true" | "anomaly"
+                        ));
+                    }
+                }
+            }
+            if fields.next().is_some() {
+                // Surplus fields: finish counting for the error message.
+                return Err(arity_error(found + 1 + fields.count()));
+            }
+            return Ok(Some((&self.row, label)));
+        }
+    }
+}
+
+/// Reads an ARFF document from a buffered reader.
+pub fn read_arff<R: BufRead>(reader: R) -> Result<ArffData, ArffError> {
+    let mut stream = ArffReader::new(reader)?;
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); stream.names().len()];
+    let mut labels: Vec<bool> = Vec::new();
+    while let Some((row, label)) = stream.next_row()? {
+        for (c, &v) in columns.iter_mut().zip(row) {
+            c.push(v);
+        }
+        if let Some(l) = label {
+            labels.push(l);
+        }
+    }
     if columns.is_empty() || columns[0].is_empty() {
         return Err(ArffError::Empty);
     }
-    let has_labels = kinds.iter().any(|k| matches!(k, AttrKind::Nominal(_)));
+    let has_labels = stream.has_labels();
     Ok(ArffData {
-        relation,
-        dataset: Dataset::from_columns_named(columns, names),
+        relation: stream.relation,
+        dataset: Dataset::from_columns_named(columns, stream.names),
         labels: has_labels.then_some(labels),
     })
 }
@@ -179,13 +263,6 @@ pub fn read_arff<R: BufRead>(reader: R) -> Result<ArffData, ArffError> {
 pub fn read_arff_file(path: &Path) -> Result<ArffData, ArffError> {
     let file = std::fs::File::open(path)?;
     read_arff(std::io::BufReader::new(file))
-}
-
-fn kinds_nominal_count(kinds: &[AttrKind]) -> usize {
-    kinds
-        .iter()
-        .filter(|k| matches!(k, AttrKind::Nominal(_)))
-        .count()
 }
 
 fn parse_attribute(rest: &str, line: usize) -> Result<(String, AttrKind), ArffError> {

@@ -28,6 +28,7 @@
 //! checked finite.
 
 use crate::error::HicsError;
+use crate::mmap::{AlignedBytes, ByteStorage};
 use crate::model::{
     f64_at, AggregationKind, ArtifactLayout, HicsModel, ModelIndex, ModelSubspace, NormKind,
     NormParam, ScorerSpec,
@@ -39,28 +40,8 @@ use std::path::Path;
 /// 8-aligned heap buffer), serving borrowed column views.
 #[derive(Debug)]
 pub struct ModelArtifact {
-    storage: Storage,
+    storage: ByteStorage,
     layout: ArtifactLayout,
-}
-
-#[derive(Debug)]
-enum Storage {
-    /// A read-only memory map of the artifact file (unix only).
-    #[cfg(unix)]
-    Mmap(MmapRegion),
-    /// An owned buffer, 8-aligned so column casts work exactly like the
-    /// mapped case.
-    Heap(AlignedBytes),
-}
-
-impl Storage {
-    fn as_slice(&self) -> &[u8] {
-        match self {
-            #[cfg(unix)]
-            Storage::Mmap(m) => m.as_slice(),
-            Storage::Heap(h) => h.as_slice(),
-        }
-    }
 }
 
 impl ModelArtifact {
@@ -69,35 +50,23 @@ impl ModelArtifact {
     /// map. On platforms without `mmap` this transparently falls back to an
     /// aligned heap read with the same semantics.
     pub fn open_mmap(path: &Path) -> Result<Self, HicsError> {
-        #[cfg(unix)]
-        {
-            let file =
-                std::fs::File::open(path).map_err(|e| HicsError::io_path("opening", path, e))?;
-            let len = file
-                .metadata()
-                .map_err(|e| HicsError::io_path("inspecting", path, e))?
-                .len();
-            let len = usize::try_from(len).map_err(|_| {
-                HicsError::InvalidInput(format!("{} exceeds the address space", path.display()))
-            })?;
-            if len == 0 {
-                // mmap(2) rejects zero-length maps; an empty file is just a
-                // truncated artifact.
-                return Err(ArtifactLayout::parse(&[]).expect_err("empty artifact"));
-            }
-            let region = MmapRegion::map(&file, len)
-                .map_err(|e| HicsError::io_path("memory-mapping", path, e))?;
-            let layout = ArtifactLayout::parse(region.as_slice())?;
-            Ok(Self {
-                storage: Storage::Mmap(region),
-                layout,
-            })
+        let file = std::fs::File::open(path).map_err(|e| HicsError::io_path("opening", path, e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| HicsError::io_path("inspecting", path, e))?
+            .len();
+        let len = usize::try_from(len).map_err(|_| {
+            HicsError::InvalidInput(format!("{} exceeds the address space", path.display()))
+        })?;
+        if len == 0 {
+            // mmap(2) rejects zero-length maps; an empty file is just a
+            // truncated artifact.
+            return Err(ArtifactLayout::parse(&[]).expect_err("empty artifact"));
         }
-        #[cfg(not(unix))]
-        {
-            let bytes = std::fs::read(path).map_err(|e| HicsError::io_path("reading", path, e))?;
-            Self::from_bytes(&bytes)
-        }
+        let storage = ByteStorage::map_file(&file, len)
+            .map_err(|e| HicsError::io_path("memory-mapping", path, e))?;
+        let layout = ArtifactLayout::parse(storage.as_slice())?;
+        Ok(Self { storage, layout })
     }
 
     /// Validates an artifact from in-memory bytes, copying them into an
@@ -106,7 +75,7 @@ impl ModelArtifact {
         let aligned = AlignedBytes::copy_from(bytes);
         let layout = ArtifactLayout::parse(aligned.as_slice())?;
         Ok(Self {
-            storage: Storage::Heap(aligned),
+            storage: ByteStorage::Heap(aligned),
             layout,
         })
     }
@@ -114,11 +83,7 @@ impl ModelArtifact {
     /// Whether the bytes are a live memory map of the artifact file (as
     /// opposed to the aligned heap fallback).
     pub fn is_mmap(&self) -> bool {
-        match &self.storage {
-            #[cfg(unix)]
-            Storage::Mmap(_) => true,
-            Storage::Heap(_) => false,
-        }
+        self.storage.is_mmap()
     }
 
     /// The raw validated artifact bytes.
@@ -218,116 +183,6 @@ impl ModelArtifact {
     /// [`HicsModel::from_bytes`] on the same bytes returns).
     pub fn to_model(&self) -> HicsModel {
         HicsModel::from_layout(&self.layout, self.bytes())
-    }
-}
-
-/// An owned byte buffer backed by `u64` words, so its base address is
-/// 8-aligned and column casts behave exactly like the mapped case.
-#[derive(Debug)]
-struct AlignedBytes {
-    words: Box<[u64]>,
-    len: usize,
-}
-
-impl AlignedBytes {
-    fn copy_from(bytes: &[u8]) -> Self {
-        let mut words = vec![0u64; bytes.len().div_ceil(8)].into_boxed_slice();
-        for (w, chunk) in words.iter_mut().zip(bytes.chunks(8)) {
-            let mut b = [0u8; 8];
-            b[..chunk.len()].copy_from_slice(chunk);
-            // Native order: the word array is only a container; reading it
-            // back as bytes reproduces the input exactly.
-            *w = u64::from_ne_bytes(b);
-        }
-        Self {
-            words,
-            len: bytes.len(),
-        }
-    }
-
-    fn as_slice(&self) -> &[u8] {
-        // SAFETY: the words own `len.div_ceil(8) * 8 >= len` initialised
-        // bytes, and u8 has no alignment requirement.
-        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
-    }
-}
-
-/// A read-only private memory map, unmapped on drop.
-///
-/// `std` has no mmap wrapper and the offline build has no registry access,
-/// so this declares the two libc symbols it needs directly — `std` already
-/// links libc on every unix target.
-#[cfg(unix)]
-#[derive(Debug)]
-struct MmapRegion {
-    ptr: std::ptr::NonNull<u8>,
-    len: usize,
-}
-
-// SAFETY: the mapping is read-only and never aliased mutably; the region
-// behaves like an immutable `&[u8]` with a custom deallocator.
-#[cfg(unix)]
-unsafe impl Send for MmapRegion {}
-#[cfg(unix)]
-unsafe impl Sync for MmapRegion {}
-
-#[cfg(unix)]
-impl MmapRegion {
-    fn map(file: &std::fs::File, len: usize) -> std::io::Result<Self> {
-        use std::os::unix::io::AsRawFd;
-        const PROT_READ: i32 = 0x1;
-        const MAP_PRIVATE: i32 = 0x02;
-        extern "C" {
-            fn mmap(
-                addr: *mut std::ffi::c_void,
-                len: usize,
-                prot: i32,
-                flags: i32,
-                fd: i32,
-                offset: i64,
-            ) -> *mut std::ffi::c_void;
-        }
-        // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of `len` bytes over
-        // an open fd; the result is checked for MAP_FAILED before use.
-        let ptr = unsafe {
-            mmap(
-                std::ptr::null_mut(),
-                len,
-                PROT_READ,
-                MAP_PRIVATE,
-                file.as_raw_fd(),
-                0,
-            )
-        };
-        if ptr as isize == -1 {
-            return Err(std::io::Error::last_os_error());
-        }
-        Ok(Self {
-            ptr: std::ptr::NonNull::new(ptr as *mut u8).expect("mmap returned null"),
-            len,
-        })
-    }
-
-    fn as_slice(&self) -> &[u8] {
-        // SAFETY: the mapping is `len` bytes, readable, and lives until
-        // drop. A concurrent truncation of the underlying file could fault
-        // reads; `HicsModel::save` never truncates in place — it writes a
-        // temp file and renames it over the path, so this map's inode stays
-        // intact however often the artifact is re-saved.
-        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
-    }
-}
-
-#[cfg(unix)]
-impl Drop for MmapRegion {
-    fn drop(&mut self) {
-        extern "C" {
-            fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
-        }
-        // SAFETY: unmapping exactly the region mmap returned.
-        unsafe {
-            munmap(self.ptr.as_ptr() as *mut std::ffi::c_void, self.len);
-        }
     }
 }
 

@@ -75,6 +75,109 @@ pub struct CsvData {
     pub labels: Option<Vec<bool>>,
 }
 
+/// Streaming CSV row reader: one parsed row at a time, reusing one line
+/// buffer and one row buffer — the bounded-memory substrate under both
+/// [`read_csv`] (which accumulates into a [`Dataset`]) and the out-of-core
+/// importer (`hics import`, which pushes each row straight into a store
+/// writer without ever holding the table).
+pub struct CsvReader<R: BufRead> {
+    reader: R,
+    has_header: bool,
+    label_last_column: bool,
+    names: Option<Vec<String>>,
+    expected_fields: Option<usize>,
+    lineno: usize,
+    line: String,
+    row: Vec<f64>,
+    started: bool,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Starts streaming rows from `reader`.
+    ///
+    /// * `has_header` — the first (non-blank, non-comment) line carries
+    ///   attribute names.
+    /// * `label_last_column` — the final column is a 0/1 outlier label (any
+    ///   non-zero value counts as an outlier) and is split off each row.
+    pub fn new(reader: R, has_header: bool, label_last_column: bool) -> Self {
+        Self {
+            reader,
+            has_header,
+            label_last_column,
+            names: None,
+            expected_fields: None,
+            lineno: 0,
+            line: String::new(),
+            row: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// The header names, available once the header line has been consumed
+    /// (i.e. after the first [`CsvReader::next_row`] call on a headered
+    /// file). The label column's name, if any, is **included**.
+    pub fn names(&self) -> Option<&[String]> {
+        self.names.as_deref()
+    }
+
+    /// Parses the next data row. Returns `Ok(None)` at end of input. The
+    /// returned slice borrows an internal buffer that is overwritten by the
+    /// next call.
+    #[allow(clippy::type_complexity)]
+    pub fn next_row(&mut self) -> Result<Option<(&[f64], Option<bool>)>, CsvError> {
+        loop {
+            self.line.clear();
+            self.lineno += 1;
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if self.has_header && self.names.is_none() && !self.started {
+                self.names = Some(trimmed.split(',').map(|s| s.trim().to_string()).collect());
+                continue;
+            }
+            // One pass over the fields: a peek tells us when the label
+            // (last) field arrives, and the count is checked against the
+            // first row's arity at the end.
+            let lineno = self.lineno;
+            let mut fields = trimmed.split(',').map(str::trim).peekable();
+            self.row.clear();
+            let mut label = None;
+            let mut found = 0usize;
+            while let Some(f) = fields.next() {
+                let col = found;
+                found += 1;
+                let v: f64 = f.parse().map_err(|_| CsvError::Parse {
+                    line: lineno,
+                    column: col,
+                    text: f.to_string(),
+                })?;
+                if self.label_last_column && fields.peek().is_none() {
+                    label = Some(v != 0.0);
+                } else {
+                    self.row.push(v);
+                }
+            }
+            if let Some(expected) = self.expected_fields {
+                if found != expected {
+                    return Err(CsvError::Ragged {
+                        line: lineno,
+                        found,
+                        expected,
+                    });
+                }
+            } else {
+                self.expected_fields = Some(found);
+            }
+            self.started = true;
+            return Ok(Some((&self.row, label)));
+        }
+    }
+}
+
 /// Reads a dataset from a CSV reader.
 ///
 /// * `has_header` — skip the first line (attribute names are taken from it).
@@ -85,81 +188,39 @@ pub fn read_csv<R: BufRead>(
     has_header: bool,
     label_last_column: bool,
 ) -> Result<CsvData, CsvError> {
-    let mut names: Option<Vec<String>> = None;
-    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut stream = CsvReader::new(reader, has_header, label_last_column);
+    let mut cols: Vec<Vec<f64>> = Vec::new();
     let mut labels: Vec<bool> = Vec::new();
-    let mut expected_fields: Option<usize> = None;
-
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+    let mut n = 0usize;
+    while let Some((row, label)) = stream.next_row()? {
+        if cols.is_empty() {
+            cols = vec![Vec::new(); row.len()];
         }
-        if has_header && names.is_none() && rows.is_empty() {
-            names = Some(trimmed.split(',').map(|s| s.trim().to_string()).collect());
-            continue;
+        for (c, &v) in cols.iter_mut().zip(row) {
+            c.push(v);
         }
-        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-        if let Some(expected) = expected_fields {
-            if fields.len() != expected {
-                return Err(CsvError::Ragged {
-                    line: lineno + 1,
-                    found: fields.len(),
-                    expected,
-                });
-            }
-        } else {
-            expected_fields = Some(fields.len());
+        if let Some(l) = label {
+            labels.push(l);
         }
-        let data_fields = if label_last_column {
-            &fields[..fields.len() - 1]
-        } else {
-            &fields[..]
-        };
-        let mut row = Vec::with_capacity(data_fields.len());
-        for (col, f) in data_fields.iter().enumerate() {
-            let v: f64 = f.parse().map_err(|_| CsvError::Parse {
-                line: lineno + 1,
-                column: col,
-                text: f.to_string(),
-            })?;
-            row.push(v);
-        }
-        if label_last_column {
-            let f = fields[fields.len() - 1];
-            let v: f64 = f.parse().map_err(|_| CsvError::Parse {
-                line: lineno + 1,
-                column: fields.len() - 1,
-                text: f.to_string(),
-            })?;
-            labels.push(v != 0.0);
-        }
-        rows.push(row);
+        n += 1;
     }
-    if rows.is_empty() {
+    if n == 0 {
         return Err(CsvError::Empty);
     }
-    let dataset = match names {
+    let d = cols.len();
+    let dataset = match stream.names {
         Some(mut names) => {
-            if label_last_column && names.len() == rows[0].len() + 1 {
+            if label_last_column && names.len() == d + 1 {
                 names.pop();
             }
-            let d = rows[0].len();
             // Tolerate headers that do not match the data width.
             if names.len() != d {
-                Dataset::from_rows(&rows)
+                Dataset::from_columns(cols)
             } else {
-                let mut cols = vec![Vec::with_capacity(rows.len()); d];
-                for row in &rows {
-                    for (j, &v) in row.iter().enumerate() {
-                        cols[j].push(v);
-                    }
-                }
                 Dataset::from_columns_named(cols, names)
             }
         }
-        None => Dataset::from_rows(&rows),
+        None => Dataset::from_columns(cols),
     };
     Ok(CsvData {
         dataset,

@@ -37,6 +37,10 @@ pub enum ArtifactSection {
     Contrasts,
     /// The version-2 neighbor-index section (VP-trees).
     Index,
+    /// The column pages of a dataset store file (`hics-store`).
+    Pages,
+    /// The shard table of a sharded model manifest (version-3 envelope).
+    Shards,
 }
 
 impl ArtifactSection {
@@ -51,6 +55,8 @@ impl ArtifactSection {
             ArtifactSection::Subspaces => "subspaces",
             ArtifactSection::Contrasts => "contrasts",
             ArtifactSection::Index => "index",
+            ArtifactSection::Pages => "pages",
+            ArtifactSection::Shards => "shards",
         }
     }
 }

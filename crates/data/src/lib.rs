@@ -19,6 +19,13 @@
 //!   validated borrowed column views instead of heap materialisation.
 //! * [`error`] — the workspace-wide typed [`HicsError`] with artifact
 //!   section/offset context and CLI exit-code mapping.
+//! * [`source`] — the [`DatasetSource`] seam + [`ColumnsView`]: one read
+//!   interface over owned datasets and mmap-backed column stores, so the
+//!   fit pipeline never has to materialise the training matrix.
+//! * [`manifest`] — the sharded-model manifest (version-3 artifact
+//!   envelope referencing per-shard artifacts) behind `hics fit --shards`.
+//! * [`mmap`] — shared read-only byte storage (memory map / 8-aligned
+//!   heap) under every mmap-able on-disk format.
 //! * [`rng_util`] — Gaussian sampling and distinct-index helpers.
 
 #![warn(missing_docs)]
@@ -30,9 +37,12 @@ pub mod csv;
 pub mod dataset;
 pub mod error;
 pub mod index;
+pub mod manifest;
+pub mod mmap;
 pub mod model;
 pub mod realworld;
 pub mod rng_util;
+pub mod source;
 pub mod synth;
 pub mod toy;
 
@@ -41,8 +51,11 @@ pub use bitset::SliceMask;
 pub use dataset::Dataset;
 pub use error::{ArtifactSection, HicsError};
 pub use index::{RankIndex, SortedIndices};
+pub use manifest::{PartitionKind, ShardAggregation, ShardEntry, ShardManifest};
 pub use model::{
-    AggregationKind, HicsModel, ModelSubspace, NormKind, NormParam, ScorerKind, ScorerSpec,
+    peek_artifact_version, AggregationKind, HicsModel, ModelSubspace, NormKind, NormParam,
+    ScorerKind, ScorerSpec,
 };
 pub use realworld::{RealWorldSpec, UciProxy};
+pub use source::{ColumnsView, DatasetSource};
 pub use synth::{LabeledDataset, SyntheticConfig};

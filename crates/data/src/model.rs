@@ -94,11 +94,12 @@ pub const MAGIC: [u8; 8] = *b"HICSMDL\0";
 
 pub(crate) const HEADER_LEN: usize = 72;
 
-/// FNV-1a offset basis.
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a offset basis (shared with the dataset-store format in
+/// `hics-store`, which uses the same checksum scheme).
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 
 /// Continues an FNV-1a hash over `bytes`.
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
@@ -107,8 +108,10 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 }
 
 /// The artifact checksum: FNV-1a over the header (minus the checksum field
-/// itself) and the payload.
-fn artifact_checksum(bytes: &[u8]) -> u64 {
+/// itself, bytes 64..72) and the payload. The dataset-store format
+/// (`hics-store`) shares this exact scheme, so the single-byte-corruption
+/// detection argument in the module docs covers both file kinds.
+pub fn artifact_checksum(bytes: &[u8]) -> u64 {
     fnv1a(fnv1a(FNV_OFFSET, &bytes[..64]), &bytes[HEADER_LEN..])
 }
 
@@ -1101,6 +1104,315 @@ impl HicsModel {
     }
 }
 
+/// Reads the magic and format version of the file at `path` without
+/// decoding it: the cheap sniff that routes an `.hics` path to the right
+/// loader (versions 1–2 are plain model artifacts, version 3 is a sharded
+/// model manifest — see [`crate::manifest`]).
+pub fn peek_artifact_version(path: &Path) -> Result<u32, HicsError> {
+    let mut f = std::fs::File::open(path).map_err(|e| HicsError::io_path("opening", path, e))?;
+    let mut head = [0u8; 12];
+    let mut got = 0usize;
+    while got < head.len() {
+        match f.read(&mut head[got..]) {
+            Ok(0) => {
+                return Err(HicsError::Truncated {
+                    section: ArtifactSection::Header,
+                    offset: got,
+                    needed: head.len() - got,
+                    available: 0,
+                })
+            }
+            Ok(k) => got += k,
+            Err(e) => return Err(HicsError::io_path("reading", path, e)),
+        }
+    }
+    if head[..8] != MAGIC {
+        return Err(HicsError::BadMagic);
+    }
+    Ok(u32::from_le_bytes(head[8..12].try_into().expect("4 bytes")))
+}
+
+/// The `f64` values of `col` as little-endian bytes — borrowed (an in-place
+/// cast) on little-endian targets, copied elsewhere.
+pub(crate) fn f64_slice_le_bytes(col: &[f64]) -> std::borrow::Cow<'_, [u8]> {
+    if cfg!(target_endian = "little") {
+        // SAFETY: every f64 is 8 plain bytes with no invalid patterns, the
+        // slice covers exactly `size_of_val(col)` initialised bytes, and u8
+        // has no alignment requirement.
+        std::borrow::Cow::Borrowed(unsafe {
+            std::slice::from_raw_parts(col.as_ptr() as *const u8, std::mem::size_of_val(col))
+        })
+    } else {
+        std::borrow::Cow::Owned(col.iter().flat_map(|v| v.to_le_bytes()).collect())
+    }
+}
+
+/// The `u32` values of `ids` as little-endian bytes (same contract as
+/// [`f64_slice_le_bytes`]).
+pub(crate) fn u32_slice_le_bytes(ids: &[u32]) -> std::borrow::Cow<'_, [u8]> {
+    if cfg!(target_endian = "little") {
+        // SAFETY: as above — u32s are 4 plain bytes each.
+        std::borrow::Cow::Borrowed(unsafe {
+            std::slice::from_raw_parts(ids.as_ptr() as *const u8, std::mem::size_of_val(ids))
+        })
+    } else {
+        std::borrow::Cow::Owned(ids.iter().flat_map(|v| v.to_le_bytes()).collect())
+    }
+}
+
+/// A writer that FNV-hashes everything it forwards — the streaming
+/// counterpart of [`artifact_checksum`].
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), std::io::Error> {
+        self.hash = fnv1a(self.hash, bytes);
+        self.inner.write_all(bytes)
+    }
+
+    fn pad8(&mut self, written: usize) -> Result<usize, std::io::Error> {
+        let rem = written % 8;
+        if rem == 0 {
+            return Ok(0);
+        }
+        let pad = [0u8; 8];
+        self.put(&pad[..8 - rem])?;
+        Ok(8 - rem)
+    }
+}
+
+/// Streams a model artifact to `path` without ever materialising the full
+/// training matrix: columns are written (and checksummed) one at a time
+/// straight from the source view, and the per-attribute argsort is either
+/// reused from `order` (a caller that already built the rank index — the
+/// subspace search does — should pass it rather than pay the
+/// `O(D · N log N)` sorts twice) or computed transiently per column. The
+/// resulting file is **byte-identical** to [`HicsModel::save`] of the
+/// equivalent in-memory model (asserted by the module tests), so both load
+/// paths treat the two interchangeably.
+///
+/// Peak heap usage is `O(N)` per in-flight column (the argsort scratch)
+/// plus the small sections — never `O(N·D)` — which is what lets `hics fit`
+/// run over an mmap-backed dataset store larger than RAM.
+///
+/// Like [`HicsModel::save`], the bytes go to a temp file in the same
+/// directory, are synced, then renamed over `path` (the checksum is patched
+/// in before the rename), so a serving process with the old artifact mapped
+/// never sees a torn file.
+#[allow(clippy::too_many_arguments)]
+pub fn save_model_streaming(
+    path: &Path,
+    view: &crate::source::ColumnsView<'_>,
+    norm_kind: NormKind,
+    norm: &[NormParam],
+    subspaces: &[ModelSubspace],
+    scorer: ScorerSpec,
+    aggregation: AggregationKind,
+    index: Option<&ModelIndex>,
+    order: Option<&RankIndex>,
+) -> Result<(), HicsError> {
+    use std::io::Seek;
+    let (n, d) = (view.n(), view.d());
+    let invalid = |msg: String| HicsError::InvalidInput(msg);
+    if let Some(rank) = order {
+        if rank.n() != n || rank.d() != d {
+            return Err(invalid(format!(
+                "rank index is {} x {}, view is {n} x {d}",
+                rank.n(),
+                rank.d()
+            )));
+        }
+    }
+    if n < 2 {
+        return Err(invalid(format!(
+            "a servable model needs at least two reference objects, got {n}"
+        )));
+    }
+    if u32::try_from(n).is_err() {
+        return Err(invalid(format!(
+            "object count {n} exceeds the u32 artifact cap"
+        )));
+    }
+    if norm.len() != d {
+        return Err(invalid(format!(
+            "{} norm params for {d} attributes",
+            norm.len()
+        )));
+    }
+    if subspaces.is_empty() {
+        return Err(invalid("a model needs at least one subspace".into()));
+    }
+    if scorer.k == 0 {
+        return Err(invalid("scorer k must be >= 1".into()));
+    }
+    for (s, sub) in subspaces.iter().enumerate() {
+        if sub.dims.is_empty()
+            || !sub.dims.windows(2).all(|w| w[0] < w[1])
+            || *sub.dims.last().expect("non-empty") >= d
+        {
+            return Err(invalid(format!(
+                "subspace {s} dims {:?} are not strictly ascending within 0..{d}",
+                sub.dims
+            )));
+        }
+        if !sub.contrast.is_finite() {
+            return Err(invalid(format!("non-finite contrast for subspace {s}")));
+        }
+    }
+    if let Some(idx) = index {
+        if idx.trees.len() != subspaces.len() {
+            return Err(invalid(format!(
+                "{} index trees for {} subspaces",
+                idx.trees.len(),
+                subspaces.len()
+            )));
+        }
+        for (s, tree) in idx.trees.iter().enumerate() {
+            validate_tree(tree, n, s, 0)?;
+        }
+    }
+
+    // Exact payload length, mirroring `to_bytes` section for section.
+    let mut off = HEADER_LEN;
+    let pad = |o: usize| o.next_multiple_of(8);
+    for name in view.names() {
+        off += 4 + name.len();
+    }
+    off = pad(off);
+    off += d * 16; // norm params
+    off += d * n * 8; // columns
+    off += d * n * 4; // order permutations
+    off = pad(off);
+    off += subspaces.len() * 4; // lens
+    off = pad(off);
+    off += subspaces.iter().map(|s| s.dims.len() * 4).sum::<usize>();
+    off = pad(off);
+    off += subspaces.len() * 8; // contrasts
+    if let Some(idx) = index {
+        off += 8;
+        for tree in &idx.trees {
+            off = pad(off + 8 + tree.nodes.len() * 32 + tree.ids.len() * 4);
+        }
+    }
+    let payload = (off - HEADER_LEN) as u64;
+    let version: u32 = if index.is_some() { 2 } else { 1 };
+
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    push_u32(&mut header, version);
+    push_u32(&mut header, HEADER_LEN as u32);
+    push_u64(&mut header, n as u64);
+    push_u64(&mut header, d as u64);
+    push_u64(&mut header, subspaces.len() as u64);
+    push_u32(&mut header, scorer.kind.code());
+    push_u32(&mut header, scorer.k);
+    push_u32(&mut header, aggregation.code());
+    push_u32(&mut header, norm_kind.code());
+    push_u64(&mut header, payload);
+    push_u64(&mut header, 0); // checksum, patched below
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let write = (|| -> Result<(), HicsError> {
+        let file =
+            std::fs::File::create(&tmp).map_err(|e| HicsError::io_path("creating", &tmp, e))?;
+        let io = |e: std::io::Error| HicsError::io_path("writing", &tmp, e);
+        let mut w = HashingWriter {
+            inner: std::io::BufWriter::new(file),
+            hash: fnv1a(FNV_OFFSET, &header[..64]),
+        };
+        w.inner.write_all(&header).map_err(io)?;
+        // Names.
+        let mut written = 0usize;
+        for name in view.names() {
+            w.put(&(name.len() as u32).to_le_bytes()).map_err(io)?;
+            w.put(name.as_bytes()).map_err(io)?;
+            written += 4 + name.len();
+        }
+        w.pad8(written).map_err(io)?;
+        // Normalisation parameters.
+        for p in norm {
+            w.put(&p.offset.to_le_bytes()).map_err(io)?;
+            w.put(&p.divisor.to_le_bytes()).map_err(io)?;
+        }
+        // Columns, one at a time straight from the view.
+        for j in 0..d {
+            w.put(&f64_slice_le_bytes(view.col(j))).map_err(io)?;
+        }
+        // Order permutations: reused from the caller's rank index when
+        // available, one transient argsort per column otherwise.
+        for j in 0..d {
+            match order {
+                Some(rank) => w.put(&u32_slice_le_bytes(rank.order(j))).map_err(io)?,
+                None => {
+                    let order = hics_stats::rank::argsort(view.col(j));
+                    w.put(&u32_slice_le_bytes(&order)).map_err(io)?;
+                }
+            }
+        }
+        // d·n·4 order bytes follow 8-aligned sections, so realign.
+        w.pad8(d * n * 4).map_err(io)?;
+        // Subspaces: lens, flattened dims, contrasts.
+        for s in subspaces {
+            w.put(&(s.dims.len() as u32).to_le_bytes()).map_err(io)?;
+        }
+        w.pad8(subspaces.len() * 4).map_err(io)?;
+        written = 0;
+        for s in subspaces {
+            for &dim in &s.dims {
+                w.put(&(dim as u32).to_le_bytes()).map_err(io)?;
+            }
+            written += s.dims.len() * 4;
+        }
+        w.pad8(written).map_err(io)?;
+        for s in subspaces {
+            w.put(&s.contrast.to_le_bytes()).map_err(io)?;
+        }
+        // Version 2: the neighbor-index section.
+        if let Some(idx) = index {
+            w.put(&1u32.to_le_bytes()).map_err(io)?;
+            w.put(&0u32.to_le_bytes()).map_err(io)?;
+            for tree in &idx.trees {
+                w.put(&(tree.nodes.len() as u32).to_le_bytes())
+                    .map_err(io)?;
+                w.put(&(tree.ids.len() as u32).to_le_bytes()).map_err(io)?;
+                for node in &tree.nodes {
+                    w.put(&node.vantage.to_le_bytes()).map_err(io)?;
+                    w.put(&node.inner.to_le_bytes()).map_err(io)?;
+                    w.put(&node.outer.to_le_bytes()).map_err(io)?;
+                    w.put(&node.start.to_le_bytes()).map_err(io)?;
+                    w.put(&node.len.to_le_bytes()).map_err(io)?;
+                    w.put(&0u32.to_le_bytes()).map_err(io)?;
+                    w.put(&node.mu.to_le_bytes()).map_err(io)?;
+                }
+                w.put(&u32_slice_le_bytes(&tree.ids)).map_err(io)?;
+                w.pad8(tree.ids.len() * 4).map_err(io)?;
+            }
+        }
+        let checksum = w.hash;
+        let mut file = w
+            .inner
+            .into_inner()
+            .map_err(|e| HicsError::io_path("flushing", &tmp, e.into()))?;
+        file.seek(std::io::SeekFrom::Start(64))
+            .map_err(|e| HicsError::io_path("seeking in", &tmp, e))?;
+        file.write_all(&checksum.to_le_bytes())
+            .map_err(|e| HicsError::io_path("patching checksum in", &tmp, e))?;
+        file.sync_all()
+            .map_err(|e| HicsError::io_path("syncing", &tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| HicsError::io_path("renaming into", path, e))
+    })();
+    if write.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    write
+}
+
 /// Reads the little-endian `f64` at `off` (bounds already validated by
 /// [`ArtifactLayout::parse`]).
 #[inline]
@@ -1114,34 +1426,42 @@ pub(crate) fn u32_at(bytes: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
 }
 
-fn push_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn push_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_f64(buf: &mut Vec<u8>, v: f64) {
+pub(crate) fn push_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn pad8(buf: &mut Vec<u8>) {
+pub(crate) fn pad8(buf: &mut Vec<u8>) {
     while !buf.len().is_multiple_of(8) {
         buf.push(0);
     }
 }
 
 /// Bounds-checked little-endian reader over a byte slice, carrying the
-/// artifact section it is currently inside so every error is located.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    offset: usize,
-    section: ArtifactSection,
+/// artifact section it is currently inside so every error is located —
+/// the shared parsing substrate of the model artifact, the sharded
+/// manifest ([`crate::manifest`]) and the dataset store (`hics-store`),
+/// which all report failures through the same [`HicsError`]
+/// section/offset vocabulary.
+pub struct Reader<'a> {
+    /// The byte stream under decode.
+    pub bytes: &'a [u8],
+    /// Current read position.
+    pub offset: usize,
+    /// The section errors are attributed to.
+    pub section: ArtifactSection,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    /// Starts a reader at offset 0, inside the header section.
+    pub fn new(bytes: &'a [u8]) -> Self {
         Self {
             bytes,
             offset: 0,
@@ -1150,7 +1470,7 @@ impl<'a> Reader<'a> {
     }
 
     /// An [`HicsError::InvalidModel`] at the current section and offset.
-    fn invalid(&self, msg: String) -> HicsError {
+    pub fn invalid(&self, msg: String) -> HicsError {
         HicsError::InvalidModel {
             section: self.section,
             offset: self.offset,
@@ -1158,7 +1478,8 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn take(&mut self, len: usize) -> Result<&'a [u8], HicsError> {
+    /// Consumes `len` bytes, or fails with a located truncation error.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], HicsError> {
         if self.bytes.len() - self.offset < len {
             return Err(HicsError::Truncated {
                 section: self.section,
@@ -1172,28 +1493,31 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, HicsError> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, HicsError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, HicsError> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, HicsError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    fn f64(&mut self) -> Result<f64, HicsError> {
+    /// Reads a little-endian `f64` (any bit pattern).
+    pub fn f64(&mut self) -> Result<f64, HicsError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
     /// Reads a `u64` header field that must fit a `usize`.
-    fn usize_field(&mut self, what: &str) -> Result<usize, HicsError> {
+    pub fn usize_field(&mut self, what: &str) -> Result<usize, HicsError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| self.invalid(format!("{what} {v} exceeds usize")))
     }
 
     /// Skips the zero padding up to the next 8-byte boundary.
-    fn align8(&mut self) -> Result<(), HicsError> {
+    pub fn align8(&mut self) -> Result<(), HicsError> {
         let rem = self.offset % 8;
         if rem != 0 {
             let pad = self.take(8 - rem)?;
@@ -1273,6 +1597,120 @@ mod tests {
         m.save(&path).expect("save");
         let back = HicsModel::load(&path).expect("load");
         assert_eq!(m, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The streaming writer must emit the exact bytes `HicsModel::save`
+    /// emits for the same content — the invariant that lets the
+    /// out-of-core fit path and the in-memory pipeline produce
+    /// interchangeable (bit-identical) artifacts.
+    #[test]
+    fn streaming_writer_is_byte_identical_to_save() {
+        let dir = std::env::temp_dir().join("hics-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (tag, with_index) in [("v1", false), ("v2", true)] {
+            for norm_kind in [NormKind::None, NormKind::ZScore] {
+                let mut m = sample_model(norm_kind);
+                if with_index {
+                    // A single-leaf tree per subspace is the smallest
+                    // structurally valid index.
+                    let leaf = VpTreeData {
+                        nodes: vec![VpNodeData {
+                            vantage: VP_NONE,
+                            inner: VP_NONE,
+                            outer: VP_NONE,
+                            start: 0,
+                            len: m.n() as u32,
+                            mu: 0.0,
+                        }],
+                        ids: (0..m.n() as u32).collect(),
+                    };
+                    m.set_index(Some(ModelIndex {
+                        trees: vec![leaf.clone(), leaf],
+                    }));
+                }
+                let path = dir.join(format!("stream-{tag}-{}.hicsmodel", norm_kind.name()));
+                let view = crate::source::ColumnsView::from_dataset(m.dataset());
+                save_model_streaming(
+                    &path,
+                    &view,
+                    m.norm_kind(),
+                    m.norm_params(),
+                    m.subspaces(),
+                    m.scorer(),
+                    m.aggregation(),
+                    m.index(),
+                    // Alternate between the transient-argsort path and a
+                    // caller-supplied rank index; both must be canonical.
+                    if with_index {
+                        Some(m.rank_index())
+                    } else {
+                        None
+                    },
+                )
+                .expect("streaming save");
+                let streamed = std::fs::read(&path).expect("read back");
+                assert_eq!(streamed, m.to_bytes(), "{tag}/{}", norm_kind.name());
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_writer_rejects_invalid_content() {
+        let m = sample_model(NormKind::None);
+        let view = crate::source::ColumnsView::from_dataset(m.dataset());
+        let path = std::env::temp_dir().join("hics-model-test-reject.hicsmodel");
+        // No subspaces.
+        assert!(save_model_streaming(
+            &path,
+            &view,
+            NormKind::None,
+            m.norm_params(),
+            &[],
+            m.scorer(),
+            m.aggregation(),
+            None,
+            None,
+        )
+        .is_err());
+        // Out-of-range subspace.
+        assert!(save_model_streaming(
+            &path,
+            &view,
+            NormKind::None,
+            m.norm_params(),
+            &[ModelSubspace {
+                dims: vec![0, 99],
+                contrast: 0.5
+            }],
+            m.scorer(),
+            m.aggregation(),
+            None,
+            None,
+        )
+        .is_err());
+        assert!(!path.exists(), "failed save must not leave a file");
+    }
+
+    #[test]
+    fn peek_reports_version_and_rejects_non_artifacts() {
+        let dir = std::env::temp_dir().join("hics-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("peek.hicsmodel");
+        let m = sample_model(NormKind::None);
+        m.save(&path).expect("save");
+        assert_eq!(peek_artifact_version(&path).expect("peek"), 1);
+        std::fs::write(&path, b"definitely not an artifact").unwrap();
+        assert!(matches!(
+            peek_artifact_version(&path),
+            Err(HicsError::BadMagic)
+        ));
+        std::fs::write(&path, &MAGIC[..6]).unwrap();
+        assert!(matches!(
+            peek_artifact_version(&path),
+            Err(HicsError::Truncated { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

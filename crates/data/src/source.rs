@@ -1,0 +1,194 @@
+//! The dataset-source seam: one read interface over every column provider.
+//!
+//! The batch pipeline was written against [`Dataset`] — owned, heap-resident
+//! columns. Out-of-core workloads invert that: the columns live in a
+//! memory-mapped store file (`hics-store`) and the fit should read them
+//! *in place* instead of cloning an N×D matrix onto the heap first.
+//! [`DatasetSource`] is the common denominator: anything that can serve
+//! per-attribute `f64` columns (borrowed wherever the backing storage
+//! allows) plus the normalisation those values already carry.
+//!
+//! Consumers that sit on hot paths do not want a virtual call (or a `Cow`
+//! match) per column access, so a source is gathered **once** into a
+//! [`ColumnsView`] — `d` column references, borrowed straight from the
+//! source's storage on every realistic platform — and the search engine
+//! (`ContrastEstimator`, `SliceSampler`, `SubspaceSearch` in `hics-core`)
+//! runs entirely over that view. A `Dataset` gathers into a view of plain
+//! borrows; a mapped store gathers into borrows of the file's page cache;
+//! only exotic platforms where the in-place `f64` cast is unsound pay a
+//! per-column copy (one column at a time — never the full matrix).
+
+use crate::dataset::Dataset;
+use crate::model::{NormKind, NormParam};
+use std::borrow::Cow;
+
+/// A provider of column-major `f64` data: the seam between the fit pipeline
+/// and whatever holds the bytes (owned [`Dataset`], mmap-backed store, …).
+///
+/// Implementations must serve columns of equal length `n ≥ 1`, with every
+/// value finite, and `names().len() == d()`.
+pub trait DatasetSource: Sync {
+    /// Number of objects `N`.
+    fn n(&self) -> usize;
+
+    /// Number of attributes `D`.
+    fn d(&self) -> usize;
+
+    /// Attribute names.
+    fn names(&self) -> &[String];
+
+    /// Column `j`, borrowed from the backing storage whenever possible.
+    ///
+    /// # Panics
+    /// Panics if `j >= d`.
+    fn column(&self, j: usize) -> Cow<'_, [f64]>;
+
+    /// The normalisation already applied to the stored values (identity for
+    /// raw data). A fit over a source records this transform in the model
+    /// artifact so raw query points map into the trained value space.
+    fn norm_kind(&self) -> NormKind {
+        NormKind::None
+    }
+
+    /// Per-attribute parameters of [`DatasetSource::norm_kind`].
+    fn norm_params(&self) -> Cow<'_, [NormParam]> {
+        Cow::Owned(vec![NormParam::IDENTITY; self.d()])
+    }
+}
+
+impl DatasetSource for Dataset {
+    fn n(&self) -> usize {
+        Dataset::n(self)
+    }
+
+    fn d(&self) -> usize {
+        Dataset::d(self)
+    }
+
+    fn names(&self) -> &[String] {
+        Dataset::names(self)
+    }
+
+    fn column(&self, j: usize) -> Cow<'_, [f64]> {
+        Cow::Borrowed(self.col(j))
+    }
+}
+
+/// A source gathered into directly addressable columns: the form the search
+/// engine's hot loops consume (`&[f64]` per attribute, no per-access
+/// dispatch). Gathering borrows wherever the source can serve borrowed
+/// columns — for a [`Dataset`] or a little-endian memory map that is every
+/// column, so building a view is O(d) pointer work, not a data copy.
+#[derive(Debug, Clone)]
+pub struct ColumnsView<'a> {
+    cols: Vec<Cow<'a, [f64]>>,
+    names: &'a [String],
+}
+
+impl<'a> ColumnsView<'a> {
+    /// Gathers a source into a view.
+    ///
+    /// # Panics
+    /// Panics if the source serves no columns or ragged columns.
+    pub fn from_source<S: DatasetSource + ?Sized>(source: &'a S) -> Self {
+        let cols: Vec<Cow<'a, [f64]>> = (0..source.d()).map(|j| source.column(j)).collect();
+        assert!(!cols.is_empty(), "source has no columns");
+        let n = cols[0].len();
+        assert!(n > 0, "source has no rows");
+        assert!(
+            cols.iter().all(|c| c.len() == n),
+            "source serves ragged columns"
+        );
+        Self {
+            cols,
+            names: source.names(),
+        }
+    }
+
+    /// A view borrowing a dataset's columns directly.
+    pub fn from_dataset(data: &'a Dataset) -> Self {
+        Self::from_source(data)
+    }
+
+    /// Number of objects `N`.
+    pub fn n(&self) -> usize {
+        self.cols[0].len()
+    }
+
+    /// Number of attributes `D`.
+    pub fn d(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Attribute names.
+    pub fn names(&self) -> &[String] {
+        self.names
+    }
+
+    /// Column `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= d`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.cols[j]
+    }
+
+    /// All columns in attribute order.
+    pub fn iter_cols(&self) -> impl Iterator<Item = &[f64]> {
+        self.cols.iter().map(|c| c.as_ref())
+    }
+
+    /// Whether every column is served borrowed (no per-column copy was
+    /// needed) — true on every little-endian platform for both datasets and
+    /// mapped stores.
+    pub fn is_fully_borrowed(&self) -> bool {
+        self.cols.iter().all(|c| matches!(c, Cow::Borrowed(_)))
+    }
+
+    /// Copies the view into an owned [`Dataset`] (tests / small data only —
+    /// the point of the view is to avoid exactly this on large data).
+    pub fn materialize(&self) -> Dataset {
+        Dataset::from_columns_named(
+            self.cols.iter().map(|c| c.to_vec()).collect(),
+            self.names.to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_columns_named(
+            vec![vec![1.0, 2.0, 3.0], vec![6.0, 5.0, 4.0]],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn dataset_source_serves_borrowed_columns() {
+        let d = data();
+        assert_eq!(DatasetSource::n(&d), 3);
+        assert_eq!(DatasetSource::d(&d), 2);
+        assert!(matches!(d.column(1), Cow::Borrowed(_)));
+        assert_eq!(d.column(1).as_ref(), d.col(1));
+        assert_eq!(d.norm_kind(), NormKind::None);
+        assert_eq!(d.norm_params().as_ref(), &[NormParam::IDENTITY; 2]);
+    }
+
+    #[test]
+    fn view_gathers_without_copying() {
+        let d = data();
+        let view = ColumnsView::from_dataset(&d);
+        assert_eq!(view.n(), 3);
+        assert_eq!(view.d(), 2);
+        assert!(view.is_fully_borrowed());
+        assert_eq!(view.col(0), d.col(0));
+        assert_eq!(view.names(), d.names());
+        assert_eq!(view.materialize(), d);
+        let cols: Vec<&[f64]> = view.iter_cols().collect();
+        assert_eq!(cols, vec![d.col(0), d.col(1)]);
+    }
+}

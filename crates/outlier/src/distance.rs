@@ -66,6 +66,21 @@ impl<'a> SubspaceView<'a> {
         Self { n: data.n(), cols }
     }
 
+    /// Creates a view over a gathered [`hics_data::ColumnsView`] (the
+    /// out-of-core fit path: column slices borrowed from a memory-mapped
+    /// store instead of an owned dataset).
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or contains an out-of-range index.
+    pub fn from_columns_view(view: &'a hics_data::ColumnsView<'a>, dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty(),
+            "subspace view needs at least one attribute"
+        );
+        let cols: Vec<&[f64]> = dims.iter().map(|&j| view.col(j)).collect();
+        Self { n: view.n(), cols }
+    }
+
     /// Number of objects.
     pub fn n(&self) -> usize {
         self.n

@@ -1,0 +1,150 @@
+//! The serving-engine abstraction: one scoring interface over a
+//! single-model [`QueryEngine`] and a cross-shard [`ShardedEngine`], plus
+//! the path-sniffing opener that routes a model file to the right one.
+//!
+//! The serving layer (`hics-serve`), the CLI's `score`/`serve` commands
+//! and the hot-reload endpoint all work in terms of [`Engine`], so a
+//! sharded manifest drops into every existing flow — `/score`,
+//! `/v2/score`, `/admin/reload` — without those layers knowing how many
+//! artifacts sit behind a query.
+
+use crate::index::IndexKind;
+use crate::query::{IndexStats, QueryEngine, QueryError};
+use crate::sharded::ShardedEngine;
+use hics_data::manifest::MANIFEST_VERSION;
+use hics_data::model::peek_artifact_version;
+use hics_data::{HicsError, ModelArtifact};
+use std::path::Path;
+use std::sync::Arc;
+
+/// A servable scoring engine: one trained model, or a shard ensemble.
+#[derive(Debug)]
+pub enum Engine {
+    /// A single trained model.
+    Single(QueryEngine),
+    /// `S` per-shard models combined at query time.
+    Sharded(ShardedEngine),
+}
+
+impl From<QueryEngine> for Engine {
+    fn from(e: QueryEngine) -> Self {
+        Engine::Single(e)
+    }
+}
+
+impl From<ShardedEngine> for Engine {
+    fn from(e: ShardedEngine) -> Self {
+        Engine::Sharded(e)
+    }
+}
+
+impl Engine {
+    /// Opens whatever model file sits at `path` — a version-1/2 artifact
+    /// becomes a zero-copy single-model engine, a version-3 sharded
+    /// manifest becomes a [`ShardedEngine`] over all its mapped shard
+    /// artifacts. `index` behaves as in [`QueryEngine::from_artifact`].
+    pub fn open_mmap(
+        path: &Path,
+        index: Option<IndexKind>,
+        max_threads: usize,
+    ) -> Result<Self, HicsError> {
+        if peek_artifact_version(path)? == MANIFEST_VERSION {
+            return Ok(Engine::Sharded(ShardedEngine::open(
+                path,
+                index,
+                max_threads,
+            )?));
+        }
+        let artifact = Arc::new(ModelArtifact::open_mmap(path)?);
+        Ok(Engine::Single(QueryEngine::from_artifact(
+            artifact,
+            index,
+            max_threads,
+        )))
+    }
+
+    /// Scores one raw query row. Higher is more outlying.
+    pub fn score(&self, raw: &[f64]) -> Result<f64, QueryError> {
+        match self {
+            Engine::Single(e) => e.score(raw),
+            Engine::Sharded(e) => e.score(raw),
+        }
+    }
+
+    /// Scores a batch of raw query rows in parallel.
+    pub fn score_batch(
+        &self,
+        rows: &[Vec<f64>],
+        max_threads: usize,
+    ) -> Vec<Result<f64, QueryError>> {
+        match self {
+            Engine::Single(e) => e.score_batch(rows, max_threads),
+            Engine::Sharded(e) => e.score_batch(rows, max_threads),
+        }
+    }
+
+    /// Total trained objects (across shards, for an ensemble).
+    pub fn n(&self) -> usize {
+        match self {
+            Engine::Single(e) => e.n(),
+            Engine::Sharded(e) => e.n(),
+        }
+    }
+
+    /// Number of attributes a query row must carry.
+    pub fn d(&self) -> usize {
+        match self {
+            Engine::Single(e) => e.d(),
+            Engine::Sharded(e) => e.d(),
+        }
+    }
+
+    /// Total subspaces queries are scored in (across shards).
+    pub fn subspace_count(&self) -> usize {
+        match self {
+            Engine::Single(e) => e.subspace_count(),
+            Engine::Sharded(e) => e.subspace_count(),
+        }
+    }
+
+    /// Number of model components: 1 for a single model, `S` for shards.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            Engine::Single(_) => 1,
+            Engine::Sharded(e) => e.shard_count(),
+        }
+    }
+
+    /// Whether the trained columns are served zero-copy out of
+    /// (typically memory-mapped) artifacts.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            Engine::Single(e) => e.is_mapped(),
+            Engine::Sharded(e) => e.is_mapped(),
+        }
+    }
+
+    /// Neighbour-index statistics (aggregated over shards).
+    pub fn index_stats(&self) -> IndexStats {
+        match self {
+            Engine::Single(e) => e.index_stats(),
+            Engine::Sharded(e) => e.index_stats(),
+        }
+    }
+
+    /// The single-model engine, if this is one (diagnostics/tests).
+    pub fn as_single(&self) -> Option<&QueryEngine> {
+        match self {
+            Engine::Single(e) => Some(e),
+            Engine::Sharded(_) => None,
+        }
+    }
+
+    /// The shard ensemble, if this is one (diagnostics/tests).
+    pub fn as_sharded(&self) -> Option<&ShardedEngine> {
+        match self {
+            Engine::Single(_) => None,
+            Engine::Sharded(e) => Some(e),
+        }
+    }
+}

@@ -14,14 +14,21 @@
 //! * [`query`] — query-point scoring against a trained model (the serving
 //!   path: score new points without re-running the search), over owned or
 //!   zero-copy memory-mapped columns.
+//! * [`sharded`] — cross-shard ensemble serving: one query scored against
+//!   every shard of a sharded fit, scores mean/max-combined.
+//! * [`engine`] — the [`Engine`] seam (single model | shard ensemble) the
+//!   serving layer and CLI are written against, with the path-sniffing
+//!   mmap opener.
 //! * [`handle`] — the atomically swappable [`EngineHandle`] behind hot
-//!   model reload.
+//!   model reload, with a bounded LRU of retired generations so repeated
+//!   reloads eventually unmap dropped artifacts.
 //! * [`parallel`] — deterministic `std::thread::scope` fan-out helpers.
 
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod distance;
+pub mod engine;
 pub mod handle;
 pub mod index;
 pub mod kde_score;
@@ -31,9 +38,11 @@ pub mod lof;
 pub mod parallel;
 pub mod query;
 pub mod scorer;
+pub mod sharded;
 
 pub use aggregate::{aggregate_scores, Aggregation};
 pub use distance::{Points, SubspaceLayout, SubspaceView};
+pub use engine::Engine;
 pub use handle::EngineHandle;
 pub use index::{knn_all_indexed, IndexKind, SubspaceIndex, VpTree};
 pub use kde_score::KdeScorer;
@@ -42,3 +51,4 @@ pub use knn_score::{KnnScoreKind, KnnScorer};
 pub use lof::{lof_from_neighborhoods, lrd_from_neighborhoods, Lof, LofParams};
 pub use query::{IndexStats, QueryEngine, QueryError};
 pub use scorer::{score_and_aggregate, score_subspaces, SubspaceScorer};
+pub use sharded::ShardedEngine;

@@ -1,0 +1,288 @@
+//! Cross-shard ensemble serving: one query scored against every shard of a
+//! sharded fit, per-shard scores combined into one ensemble score.
+//!
+//! A sharded fit (`hics fit --shards S`) trains `S` independent models,
+//! each on a deterministic partition of the rows, because one heap cannot
+//! hold the whole matrix. Serving recombines them the way subspace outlier
+//! ensembles do (He et al., "A Unified Subspace Outlier Ensemble
+//! Framework"): every component scores the query against *its* reference
+//! data, and the ensemble score is the mean (or max) of the component
+//! scores. Each component here is a full [`QueryEngine`] over its shard's
+//! memory-mapped artifact — zero-copy, VP-trees and all — so a
+//! [`ShardedEngine`] is exactly `S` single-model engines plus a fold.
+//!
+//! The per-shard scores are **not** the scores a single model over the
+//! union would produce (each shard's neighbourhoods only see its own
+//! rows); the ensemble is the principled way to combine partial models,
+//! not a bit-for-bit reconstruction of the monolithic fit. With `S = 1`
+//! the two coincide exactly (one shard holds every row — asserted by the
+//! shard-equivalence tests in `hics-core`).
+
+use crate::index::IndexKind;
+use crate::parallel::par_map;
+use crate::query::{IndexStats, QueryEngine, QueryError};
+use hics_data::manifest::{ShardAggregation, ShardManifest};
+use hics_data::{HicsError, ModelArtifact};
+use std::path::Path;
+use std::sync::Arc;
+
+/// `S` per-shard query engines behind one scoring interface.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<QueryEngine>,
+    aggregation: ShardAggregation,
+    total_n: usize,
+}
+
+impl ShardedEngine {
+    /// Opens a sharded manifest: memory-maps every referenced shard
+    /// artifact (validated like any single model) and builds one
+    /// [`QueryEngine`] per shard. `index` behaves exactly as in
+    /// [`QueryEngine::from_artifact`], applied to every shard.
+    pub fn open(
+        manifest_path: &Path,
+        index: Option<IndexKind>,
+        max_threads: usize,
+    ) -> Result<Self, HicsError> {
+        let manifest = ShardManifest::load(manifest_path)?;
+        Self::from_manifest(&manifest, manifest_path, index, max_threads)
+    }
+
+    /// [`ShardedEngine::open`] over an already-loaded manifest (paths are
+    /// still resolved against `manifest_path`'s directory).
+    pub fn from_manifest(
+        manifest: &ShardManifest,
+        manifest_path: &Path,
+        index: Option<IndexKind>,
+        max_threads: usize,
+    ) -> Result<Self, HicsError> {
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for (k, path) in manifest.shard_paths(manifest_path).iter().enumerate() {
+            let artifact = Arc::new(ModelArtifact::open_mmap(path)?);
+            let entry = &manifest.shards[k];
+            if artifact.n() as u64 != entry.n || artifact.d() != manifest.d {
+                return Err(HicsError::InvalidInput(format!(
+                    "shard {k} ({}) is {} x {}, manifest expects {} x {}",
+                    entry.file,
+                    artifact.n(),
+                    artifact.d(),
+                    entry.n,
+                    manifest.d
+                )));
+            }
+            shards.push(QueryEngine::from_artifact(artifact, index, max_threads));
+        }
+        Ok(Self {
+            shards,
+            aggregation: manifest.aggregation,
+            total_n: manifest.total_n as usize,
+        })
+    }
+
+    /// Total rows across all shards.
+    pub fn n(&self) -> usize {
+        self.total_n
+    }
+
+    /// Number of attributes a query row must carry.
+    pub fn d(&self) -> usize {
+        self.shards[0].d()
+    }
+
+    /// Number of shards in the ensemble.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total subspaces across all shards.
+    pub fn subspace_count(&self) -> usize {
+        self.shards.iter().map(QueryEngine::subspace_count).sum()
+    }
+
+    /// How per-shard scores combine.
+    pub fn aggregation(&self) -> ShardAggregation {
+        self.aggregation
+    }
+
+    /// Whether every shard serves zero-copy out of its artifact.
+    pub fn is_mapped(&self) -> bool {
+        self.shards.iter().all(QueryEngine::is_mapped)
+    }
+
+    /// The per-shard engines (shard order).
+    pub fn shards(&self) -> &[QueryEngine] {
+        &self.shards
+    }
+
+    /// Aggregated neighbour-index statistics: the kind all shards share,
+    /// summed node counts and build times, `from_artifact` only if every
+    /// shard adopted stored trees.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut out = self.shards[0].index_stats();
+        for s in &self.shards[1..] {
+            let st = s.index_stats();
+            out.nodes += st.nodes;
+            out.build_micros += st.build_micros;
+            out.from_artifact &= st.from_artifact;
+        }
+        out
+    }
+
+    /// Scores one raw query row against **every** shard and combines the
+    /// per-shard scores with the manifest's aggregation. Higher is more
+    /// outlying.
+    pub fn score(&self, raw: &[f64]) -> Result<f64, QueryError> {
+        let mut acc = match self.aggregation {
+            ShardAggregation::Mean => 0.0,
+            ShardAggregation::Max => f64::NEG_INFINITY,
+        };
+        for shard in &self.shards {
+            let s = shard.score(raw)?;
+            match self.aggregation {
+                ShardAggregation::Mean => acc += s,
+                ShardAggregation::Max => acc = acc.max(s),
+            }
+        }
+        if self.aggregation == ShardAggregation::Mean {
+            acc /= self.shards.len() as f64;
+        }
+        Ok(acc)
+    }
+
+    /// Scores a batch of raw query rows in parallel (rows fan out across
+    /// threads; each row visits every shard).
+    pub fn score_batch(
+        &self,
+        rows: &[Vec<f64>],
+        max_threads: usize,
+    ) -> Vec<Result<f64, QueryError>> {
+        par_map(rows.len(), max_threads, |i| self.score(&rows[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hics_data::manifest::{PartitionKind, ShardEntry};
+    use hics_data::model::{
+        apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+        ScorerSpec,
+    };
+    use hics_data::SyntheticConfig;
+    use std::path::PathBuf;
+
+    fn shard_model(seed: u64, n: usize) -> HicsModel {
+        let g = SyntheticConfig::new(n, 3).with_seed(seed).generate();
+        let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+        HicsModel::new(
+            data,
+            NormKind::None,
+            norm,
+            vec![ModelSubspace {
+                dims: vec![0, 2],
+                contrast: 0.8,
+            }],
+            ScorerSpec {
+                kind: ScorerKind::KnnMean,
+                k: 4,
+            },
+            AggregationKind::Average,
+        )
+    }
+
+    fn write_ensemble(tag: &str, aggregation: ShardAggregation) -> (PathBuf, Vec<HicsModel>) {
+        let dir = std::env::temp_dir().join("hics-sharded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let models = vec![shard_model(1, 60), shard_model(2, 70), shard_model(3, 80)];
+        let mut shards = Vec::new();
+        for (k, m) in models.iter().enumerate() {
+            let file = format!("{tag}.shard{k}.hics");
+            m.save(&dir.join(&file)).expect("save shard");
+            shards.push(ShardEntry {
+                file,
+                n: m.n() as u64,
+            });
+        }
+        let manifest = ShardManifest {
+            total_n: models.iter().map(|m| m.n() as u64).sum(),
+            d: 3,
+            aggregation,
+            partition: PartitionKind::Contiguous,
+            shards,
+        };
+        let path = dir.join(format!("{tag}.hics"));
+        manifest.save(&path).expect("save manifest");
+        (path, models)
+    }
+
+    #[test]
+    fn ensemble_score_is_the_fold_of_per_shard_scores() {
+        for aggregation in [ShardAggregation::Mean, ShardAggregation::Max] {
+            let (path, models) = write_ensemble(
+                match aggregation {
+                    ShardAggregation::Mean => "mean",
+                    ShardAggregation::Max => "max",
+                },
+                aggregation,
+            );
+            let engine = ShardedEngine::open(&path, None, 2).expect("open");
+            assert_eq!(engine.shard_count(), 3);
+            assert_eq!(engine.n(), 60 + 70 + 80);
+            assert_eq!(engine.d(), 3);
+            assert!(engine.is_mapped());
+            let references: Vec<QueryEngine> = models
+                .iter()
+                .map(|m| QueryEngine::from_model(m, 1))
+                .collect();
+            for q in [[0.1, 0.5, 0.9], [0.7, 0.2, 0.4], [5.0, 5.0, 5.0]] {
+                let per: Vec<f64> = references.iter().map(|e| e.score(&q).unwrap()).collect();
+                let want = match aggregation {
+                    // Same accumulation order as the engine's fold.
+                    ShardAggregation::Mean => per.iter().sum::<f64>() / per.len() as f64,
+                    ShardAggregation::Max => per.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                };
+                assert_eq!(engine.score(&q).unwrap(), want, "{aggregation:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_and_errors_propagate() {
+        let (path, _) = write_ensemble("batch", ShardAggregation::Mean);
+        let engine = ShardedEngine::open(&path, None, 2).expect("open");
+        let rows = vec![vec![0.1, 0.2, 0.3], vec![0.9, 0.8, 0.7]];
+        let batch = engine.score_batch(&rows, 2);
+        for (row, got) in rows.iter().zip(&batch) {
+            assert_eq!(*got, engine.score(row));
+        }
+        assert!(engine.score(&[1.0]).is_err(), "wrong arity must fail");
+        assert!(engine.score(&[1.0, f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_against_manifest_is_rejected() {
+        let (path, _) = write_ensemble("mismatch", ShardAggregation::Mean);
+        let mut manifest = ShardManifest::load(&path).unwrap();
+        manifest.shards[1].n += 1;
+        manifest.total_n += 1;
+        manifest.save(&path).unwrap();
+        match ShardedEngine::open(&path, None, 1) {
+            Err(HicsError::InvalidInput(msg)) => {
+                assert!(msg.contains("shard 1"), "{msg}")
+            }
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_shard_artifact_is_io_error() {
+        let (path, _) = write_ensemble("missing", ShardAggregation::Mean);
+        let mut manifest = ShardManifest::load(&path).unwrap();
+        manifest.shards[2].file = "no-such-shard.hics".into();
+        manifest.save(&path).unwrap();
+        assert!(matches!(
+            ShardedEngine::open(&path, None, 1),
+            Err(HicsError::Io { .. })
+        ));
+    }
+}

@@ -208,9 +208,9 @@ mod tests {
         ScorerSpec,
     };
     use hics_data::SyntheticConfig;
-    use hics_outlier::QueryEngine;
+    use hics_outlier::{Engine, QueryEngine};
 
-    fn engine() -> Arc<QueryEngine> {
+    fn engine() -> Arc<Engine> {
         let g = SyntheticConfig::new(80, 4).with_seed(5).generate();
         let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
         let model = HicsModel::new(
@@ -227,10 +227,10 @@ mod tests {
             },
             AggregationKind::Average,
         );
-        Arc::new(QueryEngine::from_model(&model, 2))
+        Arc::new(Engine::from(QueryEngine::from_model(&model, 2)))
     }
 
-    fn handle_for(engine: &Arc<QueryEngine>) -> Arc<EngineHandle> {
+    fn handle_for(engine: &Arc<Engine>) -> Arc<EngineHandle> {
         Arc::new(EngineHandle::from_arc(Arc::clone(engine)))
     }
 
@@ -296,7 +296,7 @@ mod tests {
         // score against it.
         let g = SyntheticConfig::new(80, 4).with_seed(99).generate();
         let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
-        let second = Arc::new(QueryEngine::from_model(
+        let second = Arc::new(Engine::from(QueryEngine::from_model(
             &HicsModel::new(
                 data,
                 NormKind::None,
@@ -312,7 +312,7 @@ mod tests {
                 AggregationKind::Average,
             ),
             1,
-        ));
+        )));
         handle.swap_arc(Arc::clone(&second));
         let got = batcher.score(vec![row.clone()]).unwrap();
         assert_eq!(got, second.score_batch(std::slice::from_ref(&row), 1));

@@ -32,8 +32,7 @@ use crate::http::{
     write_response, BodyError, BodyReader, LineRead, Request, RequestError, RequestHead,
 };
 use crate::json::{self, Json};
-use hics_data::ModelArtifact;
-use hics_outlier::{EngineHandle, IndexKind, QueryEngine};
+use hics_outlier::{Engine, EngineHandle, IndexKind};
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -143,7 +142,7 @@ impl Server {
     /// Binds the listen socket and starts the batch workers (the accept
     /// loop does not run until [`Server::run`]). The engine is wrapped in a
     /// fresh [`EngineHandle`]; use [`Server::bind_handle`] to share one.
-    pub fn bind(engine: QueryEngine, config: ServeConfig) -> std::io::Result<Self> {
+    pub fn bind(engine: impl Into<Engine>, config: ServeConfig) -> std::io::Result<Self> {
         Self::bind_handle(Arc::new(EngineHandle::new(engine)), config)
     }
 
@@ -315,7 +314,7 @@ fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
 }
 
 /// `POST /score`: parse, validate, batch-score, respond.
-fn score_endpoint(body: &[u8], engine: &QueryEngine, batcher: &Batcher) -> (u16, String) {
+fn score_endpoint(body: &[u8], engine: &Engine, batcher: &Batcher) -> (u16, String) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
         Err(_) => return (400, error_body("body is not UTF-8")),
@@ -436,8 +435,10 @@ fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
     };
     let index = index_override.or(source.index);
     let start = Instant::now();
-    let artifact = match ModelArtifact::open_mmap(&path) {
-        Ok(a) => Arc::new(a),
+    // `Engine::open_mmap` sniffs the format version, so a sharded manifest
+    // can be hot-swapped in over a single model (and vice versa).
+    let engine = match Engine::open_mmap(&path, index, ctx.config.threads) {
+        Ok(e) => e,
         Err(e) => {
             return (
                 422,
@@ -445,8 +446,8 @@ fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
             )
         }
     };
-    let engine = QueryEngine::from_artifact(artifact, index, ctx.config.threads);
     let (n, d, subs) = (engine.n(), engine.d(), engine.subspace_count());
+    let shards = engine.shard_count();
     let idx = engine.index_stats();
     let mapped = engine.is_mapped();
     ctx.handle.swap(engine);
@@ -457,7 +458,8 @@ fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
         200,
         format!(
             "{{\"status\":\"reloaded\",\"generation\":{},\"objects\":{n},\"attributes\":{d},\
-             \"subspaces\":{subs},\"mmap\":{mapped},\"load_micros\":{micros},\
+             \"subspaces\":{subs},\"shards\":{shards},\"mmap\":{mapped},\
+             \"load_micros\":{micros},\
              \"index\":{{\"kind\":\"{}\",\"nodes\":{},\"from_artifact\":{}}}}}",
             ctx.handle.generation(),
             idx.kind.name(),
@@ -609,7 +611,7 @@ fn parse_row(v: &Json, d: usize) -> Result<Vec<f64>, String> {
 
 /// The `"index"` object shared by `/model` and `/stats`: which neighbour
 /// backend serves queries, where it came from, and what building it cost.
-fn index_object(engine: &QueryEngine) -> String {
+fn index_object(engine: &Engine) -> String {
     let idx = engine.index_stats();
     format!(
         "{{\"kind\":\"{}\",\"nodes\":{},\"from_artifact\":{},\"build_micros\":{}}}",
@@ -621,13 +623,14 @@ fn index_object(engine: &QueryEngine) -> String {
 }
 
 /// `GET /model` body.
-fn model_body(engine: &QueryEngine, generation: u64) -> String {
+fn model_body(engine: &Engine, generation: u64) -> String {
     format!(
-        "{{\"objects\":{},\"attributes\":{},\"subspaces\":{},\"generation\":{generation},\
-         \"mmap\":{},\"index\":{}}}",
+        "{{\"objects\":{},\"attributes\":{},\"subspaces\":{},\"shards\":{},\
+         \"generation\":{generation},\"mmap\":{},\"index\":{}}}",
         engine.n(),
         engine.d(),
         engine.subspace_count(),
+        engine.shard_count(),
         engine.is_mapped(),
         index_object(engine),
     )
@@ -637,10 +640,17 @@ fn model_body(engine: &QueryEngine, generation: u64) -> String {
 fn stats_body(ctx: &Ctx) -> String {
     let s = ctx.batcher.stats();
     let st = &ctx.stream_stats;
+    let engine = ctx.handle.load();
+    let retired: Vec<String> = ctx
+        .handle
+        .retired_generations()
+        .iter()
+        .map(u64::to_string)
+        .collect();
     format!(
         "{{\"requests\":{},\"rows\":{},\"batches\":{},\"coalesced_batches\":{},\
          \"streams\":{{\"opened\":{},\"lines\":{},\"errors\":{}}},\
-         \"generation\":{},\"index\":{}}}",
+         \"generation\":{},\"shards\":{},\"retired_generations\":[{}],\"index\":{}}}",
         s.requests.load(Ordering::Relaxed),
         s.rows.load(Ordering::Relaxed),
         s.batches.load(Ordering::Relaxed),
@@ -649,7 +659,9 @@ fn stats_body(ctx: &Ctx) -> String {
         st.lines.load(Ordering::Relaxed),
         st.errors.load(Ordering::Relaxed),
         ctx.handle.generation(),
-        index_object(&ctx.handle.load()),
+        engine.shard_count(),
+        retired.join(","),
+        index_object(&engine),
     )
 }
 
@@ -661,6 +673,7 @@ mod tests {
         ScorerSpec,
     };
     use hics_data::SyntheticConfig;
+    use hics_outlier::QueryEngine;
 
     fn engine() -> QueryEngine {
         let g = SyntheticConfig::new(60, 3).with_seed(2).generate();
@@ -700,6 +713,93 @@ mod tests {
         ctx.batcher.shutdown();
     }
 
+    /// A sharded manifest flows through the same dispatch/reload machinery
+    /// as a single model: `/model` and `/stats` report the shard count,
+    /// `/score` answers with the ensemble score, and a reload onto the
+    /// manifest swaps it in under the running batcher.
+    #[test]
+    fn sharded_manifest_serves_and_hot_reloads() {
+        use hics_data::manifest::{PartitionKind, ShardAggregation, ShardEntry, ShardManifest};
+        let dir = std::env::temp_dir().join("hics-serve-sharded-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut entries = Vec::new();
+        let mut shard_engines = Vec::new();
+        for (k, seed) in [4u64, 5].iter().enumerate() {
+            let g = SyntheticConfig::new(60, 3).with_seed(*seed).generate();
+            let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+            let model = HicsModel::new(
+                data,
+                NormKind::None,
+                norm,
+                vec![ModelSubspace {
+                    dims: vec![0, 1],
+                    contrast: 0.6,
+                }],
+                ScorerSpec {
+                    kind: ScorerKind::KnnMean,
+                    k: 4,
+                },
+                AggregationKind::Average,
+            );
+            let file = format!("serve.shard{k}.hics");
+            model.save(&dir.join(&file)).unwrap();
+            shard_engines.push(QueryEngine::from_model(&model, 1));
+            entries.push(ShardEntry {
+                file,
+                n: model.n() as u64,
+            });
+        }
+        let manifest = ShardManifest {
+            total_n: 120,
+            d: 3,
+            aggregation: ShardAggregation::Mean,
+            partition: PartitionKind::Contiguous,
+            shards: entries,
+        };
+        let manifest_path = dir.join("serve.hics");
+        manifest.save(&manifest_path).unwrap();
+
+        with_ctx(|ctx| {
+            // Hot-reload the running (single-model) server onto the
+            // manifest.
+            let body = format!("{{\"model\": \"{}\"}}", manifest_path.display());
+            let (status, reply) = reload_endpoint(body.as_bytes(), ctx);
+            assert_eq!(status, 200, "{reply}");
+            assert!(reply.contains("\"shards\":2"), "{reply}");
+            assert!(reply.contains("\"objects\":120"), "{reply}");
+
+            let engine = ctx.handle.load();
+            assert_eq!(engine.shard_count(), 2);
+            let body = model_body(&engine, ctx.handle.generation());
+            assert!(body.contains("\"shards\":2"), "{body}");
+            let stats = stats_body(ctx);
+            assert!(stats.contains("\"shards\":2"), "{stats}");
+            assert!(
+                stats.contains("\"retired_generations\":[1]"),
+                "the displaced single-model engine is retired: {stats}"
+            );
+
+            // `/score` now answers the ensemble mean, through the batcher.
+            let q = [0.3, 0.6, 0.9];
+            let (status, body) =
+                score_endpoint(br#"{"point": [0.3, 0.6, 0.9]}"#, &engine, &ctx.batcher);
+            assert_eq!(status, 200, "{body}");
+            let got = json::parse(&body)
+                .unwrap()
+                .get("score")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            let want = shard_engines
+                .iter()
+                .map(|e| e.score(&q).unwrap())
+                .sum::<f64>()
+                / 2.0;
+            assert_eq!(got, want);
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn vptree_engine_reports_index_and_scores_identically() {
         let g = SyntheticConfig::new(90, 3).with_seed(6).generate();
@@ -719,8 +819,11 @@ mod tests {
             AggregationKind::Average,
         );
         let brute = QueryEngine::from_model(&model, 1);
-        let vp =
-            QueryEngine::from_model_with_index(&model, Some(hics_outlier::IndexKind::VpTree), 1);
+        let vp = Engine::from(QueryEngine::from_model_with_index(
+            &model,
+            Some(hics_outlier::IndexKind::VpTree),
+            1,
+        ));
         let body = model_body(&vp, 1);
         assert!(body.contains("\"index\":{\"kind\":\"vptree\""), "{body}");
         assert!(!body.contains("\"nodes\":0"), "{body}");

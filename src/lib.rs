@@ -13,6 +13,7 @@
 //! | [`core`] | `hics-core` | subspace slices, Monte-Carlo contrast, Apriori search |
 //! | [`baselines`] | `hics-baselines` | PCA+LOF, random subspaces, Enclus, RIS |
 //! | [`eval`] | `hics-eval` | ROC/AUC, ranking metrics, experiment helpers |
+//! | [`store`] | `hics-store` | out-of-core columnar dataset store (mmap, streaming import) |
 //! | [`serve`] | `hics-serve` | model artifacts served over batched HTTP/1.1 |
 //!
 //! ## Quickstart
@@ -40,6 +41,7 @@ pub use hics_eval as eval;
 pub use hics_outlier as outlier;
 pub use hics_serve as serve;
 pub use hics_stats as stats;
+pub use hics_store as store;
 
 /// Convenience prelude bringing the main types of every crate into scope.
 pub mod prelude {
@@ -55,7 +57,7 @@ pub mod prelude {
     };
     pub use hics_core::{
         contrast::{ContrastEstimator, DeviationTest, KsDeviation, MwuDeviation, WelchDeviation},
-        pipeline::{Hics, HicsResult},
+        pipeline::{FitBuilder, Hics, HicsResult, ShardFitSpec},
         search::{ScoredSubspace, SearchParams, SubspaceSearch},
         slice::{SliceSampler, SliceSizing},
         subspace::Subspace,
@@ -63,8 +65,10 @@ pub mod prelude {
     };
     pub use hics_data::{
         dataset::Dataset,
+        manifest::{PartitionKind, ShardAggregation, ShardManifest},
         model::{HicsModel, ModelSubspace, NormKind, ScorerKind, ScorerSpec},
         realworld::{RealWorldSpec, UciProxy},
+        source::{ColumnsView, DatasetSource},
         synth::{LabeledDataset, SyntheticConfig},
         toy,
     };
@@ -74,10 +78,13 @@ pub mod prelude {
     };
     pub use hics_outlier::{
         aggregate::{aggregate_scores, Aggregation},
+        engine::Engine,
         knn_score::KnnScorer,
         lof::{Lof, LofParams},
         query::{QueryEngine, QueryError},
         scorer::{score_and_aggregate, score_subspaces, SubspaceScorer},
+        sharded::ShardedEngine,
     };
     pub use hics_serve::{ServeConfig, Server};
+    pub use hics_store::{DatasetStore, StoreWriter};
 }
