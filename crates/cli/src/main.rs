@@ -18,7 +18,8 @@
 //! hics score    --model model.hics --input queries.csv [--labels] [--top 20]
 //!               [--out scores.csv] [--index brute|vptree] [--load mmap|heap]
 //! hics serve    --model model.hics [--addr 127.0.0.1:7878] [--max-batch 512]
-//!               [--workers 1] [--index brute|vptree] [--load mmap|heap]
+//!               [--workers 1] [--reactors 0] [--batch-wait-us 0]
+//!               [--index brute|vptree] [--load mmap|heap]
 //! ```
 //!
 //! `import` streams CSV/ARFF rows into a columnar dataset store with
@@ -160,13 +161,16 @@ fn print_usage() {
     println!("  score     --model <model.hics> --input <queries.csv> [--labels] [--top 20]");
     println!("            [--out <scores.csv>] [--index brute|vptree] [--load mmap|heap]");
     println!("  serve     --model <model.hics> [--addr 127.0.0.1:7878] [--max-batch 512]");
-    println!("            [--workers 1] [--index brute|vptree] [--load mmap|heap]");
+    println!("            [--workers 1] [--reactors 0] [--batch-wait-us 0]");
+    println!("            [--index brute|vptree] [--load mmap|heap]");
     println!("  help      this message");
     println!();
     println!("  --threads N applies to search/rank/evaluate/fit/score/serve");
     println!("  (default: all hardware threads)");
     println!("  --index selects the kNN backend; score/serve default to the artifact's");
     println!("  --load mmap (default) opens artifacts zero-copy; heap materialises them");
+    println!("  --reactors sets serve's event-loop thread count (0 = auto, Linux epoll);");
+    println!("  --batch-wait-us lets batch workers linger that long for deeper batches");
     println!("  store-backed fits read columns zero-copy from the map (normalise at");
     println!("  import time); --shards fits partitions independently and serves their");
     println!("  mean|max score ensemble from a sharded manifest");
@@ -493,6 +497,9 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
     let scorer = parse_scorer(args.get("scorer").unwrap_or("lof"), k)?;
     let norm = parse_norm(args.get("normalize").unwrap_or("none"))?;
     let index = parse_index(args)?.unwrap_or(IndexKind::Brute);
+    // Fits write a `<artifact>.hoods` sidecar of precomputed neighbourhood
+    // state by default, so opens and reloads skip the all-points kNN pass.
+    let precompute = !args.flag("no-precompute");
     let shards: Option<usize> = args
         .get("shards")
         .map(str::parse)
@@ -529,7 +536,10 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
                 .map_err(ArgError)?,
             parallel: args.get_or("shard-parallel", 0)?,
         };
-        let builder = FitBuilder::new(params).scorer(scorer).index(index);
+        let builder = FitBuilder::new(params)
+            .scorer(scorer)
+            .index(index)
+            .precompute(precompute);
         let manifest = match &store {
             // The user's --normalize reaches the builder so a stray one on
             // a store input is rejected by its source-fit check (stores
@@ -580,6 +590,7 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
             .normalize(norm)
             .scorer(scorer)
             .index(index)
+            .precompute(precompute)
             .fit_source_to(store, Path::new(out))?;
         println!(
             "# fitted {} x {} model from store (zero-copy columns): {} subspaces, {} scorer \
@@ -605,6 +616,9 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
         .index(index)
         .fit(&data.dataset);
     model.save(Path::new(out))?;
+    if precompute {
+        hics_outlier::write_hoods_sidecar(Path::new(out), params.search.max_threads)?;
+    }
     println!(
         "# fitted {} x {} model: {} subspaces, {} scorer (k={}), {} normalization, \
          {} index, {:.2}s",
@@ -695,6 +709,8 @@ fn cmd_score(args: &Args) -> Result<(), CliError> {
 /// `serve`: load a model artifact (zero-copy mmap by default) and answer
 /// HTTP scoring requests until killed. `POST /admin/reload` re-loads the
 /// same artifact path (or one named in the request) without a restart.
+/// `--reactors` sets the epoll event-loop thread count (0 = auto) and
+/// `--batch-wait-us` lets batch workers linger for deeper batches.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let model_path = args.require("model")?;
     let max_threads = threads(args)?;
@@ -703,6 +719,8 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         threads: max_threads,
         max_batch: args.get_or("max-batch", 512)?,
         workers: args.get_or("workers", 1)?,
+        reactor_threads: args.get_or("reactors", 0)?,
+        batch_max_wait: std::time::Duration::from_micros(args.get_or("batch-wait-us", 0)?),
         ..ServeConfig::default()
     };
     if config.max_batch == 0 || config.workers == 0 {

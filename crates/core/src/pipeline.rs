@@ -95,6 +95,7 @@ pub struct FitBuilder {
     norm: NormKind,
     scorer: ScorerSpec,
     index: IndexKind,
+    precompute: bool,
 }
 
 impl FitBuilder {
@@ -112,6 +113,7 @@ impl FitBuilder {
                 k: u32::try_from(params.lof_k).expect("lof_k exceeds u32"),
             },
             index: IndexKind::Brute,
+            precompute: true,
         }
     }
 
@@ -132,6 +134,17 @@ impl FitBuilder {
     /// ([`IndexKind::VpTree`] prebuilds and stores per-subspace trees).
     pub fn index(mut self, index: IndexKind) -> Self {
         self.index = index;
+        self
+    }
+
+    /// Whether file-writing fits also persist a `<artifact>.hoods` sidecar
+    /// of precomputed neighbourhood state (k-distances, LOF densities,
+    /// per-subspace clamps) next to each artifact (default on). The sidecar
+    /// moves the all-points kNN pass from every model open — notably
+    /// `/admin/reload` of a sharded ensemble — to fit time; opens that find
+    /// a matching sidecar adopt it, others compute as before.
+    pub fn precompute(mut self, precompute: bool) -> Self {
+        self.precompute = precompute;
         self
     }
 
@@ -260,6 +273,9 @@ impl FitBuilder {
             // for the order-permutation section.
             Some(&rank),
         )?;
+        if self.precompute {
+            hics_outlier::write_hoods_sidecar(out, self.params.search.max_threads.max(1))?;
+        }
         Ok(FitSummary {
             n: view.n(),
             d: view.d(),
@@ -337,9 +353,16 @@ impl FitBuilder {
                     norm: NormKind::None,
                     scorer: self.scorer,
                     index: self.index,
+                    precompute: self.precompute,
                 };
                 let model = builder.fit_prenormalized(shard_data, norm_kind, norm.clone());
-                model.save(&dir.join(&files[k]))?;
+                let shard_path = dir.join(&files[k]);
+                model.save(&shard_path)?;
+                if self.precompute {
+                    // One engine build per shard at fit time buys every
+                    // later open/reload out of the all-points kNN pass.
+                    hics_outlier::write_hoods_sidecar(&shard_path, inner_threads)?;
+                }
                 Ok(ShardEntry {
                     file: files[k].clone(),
                     n: rows.len() as u64,

@@ -96,6 +96,14 @@ impl ModelArtifact {
         self.layout.version
     }
 
+    /// The artifact's stored FNV-1a checksum (already validated against the
+    /// bytes at parse time) — a stable identity of these exact bytes, used
+    /// to bind derived sidecar files to the artifact they were computed
+    /// from.
+    pub fn checksum(&self) -> u64 {
+        u64::from_le_bytes(self.bytes()[64..72].try_into().expect("8 bytes"))
+    }
+
     /// Number of trained objects `N`.
     pub fn n(&self) -> usize {
         self.layout.n

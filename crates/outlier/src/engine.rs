@@ -9,6 +9,7 @@
 //! artifacts sit behind a query.
 
 use crate::index::IndexKind;
+use crate::precompute::PrecomputedHoods;
 use crate::query::{IndexStats, QueryEngine, QueryError};
 use crate::sharded::ShardedEngine;
 use hics_data::manifest::MANIFEST_VERSION;
@@ -43,6 +44,11 @@ impl Engine {
     /// becomes a zero-copy single-model engine, a version-3 sharded
     /// manifest becomes a [`ShardedEngine`] over all its mapped shard
     /// artifacts. `index` behaves as in [`QueryEngine::from_artifact`].
+    ///
+    /// Either route adopts a matching `<artifact>.hoods` sidecar (written
+    /// at fit time) when one sits next to the artifact, skipping the
+    /// neighbourhood precompute; a missing or stale sidecar is silently
+    /// ignored.
     pub fn open_mmap(
         path: &Path,
         index: Option<IndexKind>,
@@ -56,8 +62,10 @@ impl Engine {
             )?));
         }
         let artifact = Arc::new(ModelArtifact::open_mmap(path)?);
-        Ok(Engine::Single(QueryEngine::from_artifact(
+        let hoods = PrecomputedHoods::load_for(path, &artifact);
+        Ok(Engine::Single(QueryEngine::from_artifact_with_hoods(
             artifact,
+            hoods,
             index,
             max_threads,
         )))

@@ -23,6 +23,9 @@
 //!   model reload, with a bounded LRU of retired generations so repeated
 //!   reloads eventually unmap dropped artifacts.
 //! * [`parallel`] — deterministic `std::thread::scope` fan-out helpers.
+//! * [`precompute`] — the `<artifact>.hoods` sidecar: fit-time persisted
+//!   neighbourhood state (k-distances, LOF densities, clamps) adopted at
+//!   open, bound to the artifact by checksum.
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod knn;
 pub mod knn_score;
 pub mod lof;
 pub mod parallel;
+pub mod precompute;
 pub mod query;
 pub mod scorer;
 pub mod sharded;
@@ -49,6 +53,7 @@ pub use kde_score::KdeScorer;
 pub use knn::{knn_all, knn_query_point, Neighborhood};
 pub use knn_score::{KnnScoreKind, KnnScorer};
 pub use lof::{lof_from_neighborhoods, lrd_from_neighborhoods, Lof, LofParams};
+pub use precompute::{write_hoods_sidecar, PrecomputedHoods, SubspaceHoods};
 pub use query::{IndexStats, QueryEngine, QueryError};
 pub use scorer::{score_and_aggregate, score_subspaces, SubspaceScorer};
 pub use sharded::ShardedEngine;

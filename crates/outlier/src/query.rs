@@ -30,6 +30,7 @@ use crate::lof::{
     lof_from_neighborhoods, lof_of_query, lrd_from_neighborhoods, lrd_from_reach_sum,
 };
 use crate::parallel::par_map;
+use crate::precompute::{PrecomputedHoods, SubspaceHoods};
 use hics_data::model::{AggregationKind, HicsModel, ModelIndex, NormParam, ScorerKind, ScorerSpec};
 use hics_data::{Dataset, HicsError, ModelArtifact};
 use std::borrow::Cow;
@@ -157,6 +158,10 @@ pub struct IndexStats {
     /// Wall-clock microseconds spent gathering layouts and building /
     /// adopting indexes (excludes the neighbourhood precomputation).
     pub build_micros: u64,
+    /// Whether the per-subspace neighbourhood state (k-distances, LOF
+    /// densities, clamps) was adopted from a hoods sidecar instead of
+    /// recomputed at load.
+    pub precomputed: bool,
 }
 
 /// Scores query points against a trained [`HicsModel`] or a zero-copy
@@ -203,6 +208,7 @@ impl QueryEngine {
             model.subspaces().iter().map(|s| s.dims.clone()).collect(),
             model.index(),
             index,
+            None,
             max_threads,
         )
     }
@@ -222,6 +228,24 @@ impl QueryEngine {
         index: Option<IndexKind>,
         max_threads: usize,
     ) -> Self {
+        Self::from_artifact_with_hoods(artifact, None, index, max_threads)
+    }
+
+    /// Like [`QueryEngine::from_artifact`], optionally adopting precomputed
+    /// neighbourhood state from a hoods sidecar. Hoods that do not match the
+    /// artifact's scorer and shape are ignored (the engine computes as
+    /// usual), so adoption can only speed the open up, never change a score:
+    /// a valid sidecar holds exactly the values construction would have
+    /// produced ([`QueryEngine::export_hoods`] writes them from a built
+    /// engine). Whether adoption happened is surfaced in
+    /// [`IndexStats::precomputed`].
+    pub fn from_artifact_with_hoods(
+        artifact: Arc<ModelArtifact>,
+        hoods: Option<PrecomputedHoods>,
+        index: Option<IndexKind>,
+        max_threads: usize,
+    ) -> Self {
+        let hoods = hoods.filter(|h| h.matches(&artifact));
         Self::build(
             EngineColumns::Mapped(Arc::clone(&artifact)),
             artifact.norm_params().to_vec(),
@@ -234,8 +258,32 @@ impl QueryEngine {
                 .collect(),
             artifact.index(),
             index,
+            hoods,
             max_threads,
         )
+    }
+
+    /// Exports the engine's per-subspace neighbourhood state as a
+    /// [`PrecomputedHoods`] bound to `artifact_checksum` — the fit-time half
+    /// of sidecar precomputation.
+    pub fn export_hoods(&self, artifact_checksum: u64) -> PrecomputedHoods {
+        PrecomputedHoods {
+            artifact_checksum,
+            scorer: ScorerSpec {
+                kind: self.kind,
+                k: self.k as u32,
+            },
+            subspaces: self
+                .subspaces
+                .iter()
+                .map(|s| SubspaceHoods {
+                    dims: s.dims.clone(),
+                    k_distance: s.k_distance.clone(),
+                    lrd: s.lrd.clone(),
+                    clamp: s.clamp,
+                })
+                .collect(),
+        }
     }
 
     /// The shared construction path of the owned and the mapped engines.
@@ -248,6 +296,7 @@ impl QueryEngine {
         dims_list: Vec<Vec<usize>>,
         stored: Option<&ModelIndex>,
         index: Option<IndexKind>,
+        hoods: Option<PrecomputedHoods>,
         max_threads: usize,
     ) -> Self {
         let k = spec.k as usize;
@@ -282,38 +331,72 @@ impl QueryEngine {
                 (dims, layout, index)
             })
             .collect();
+        // Adopt precomputed neighbourhood state only when it provably
+        // belongs to this engine: same scorer, same subspaces, full-length
+        // vectors. Anything else falls back to computing, so a stale or
+        // truncated sidecar can never alter a score.
+        let n = columns.n();
+        let adopted = hoods.filter(|h| {
+            h.scorer.kind == kind
+                && h.scorer.k as usize == k
+                && h.subspaces.len() == prepared.len()
+                && h.subspaces.iter().zip(&prepared).all(|(hs, (dims, _, _))| {
+                    hs.dims == *dims
+                        && hs.k_distance.len() == n
+                        && if kind == ScorerKind::Lof {
+                            hs.lrd.len() == n
+                        } else {
+                            hs.lrd.is_empty()
+                        }
+                })
+        });
         let index_stats = IndexStats {
             kind: chosen,
             from_artifact,
             nodes: prepared.iter().map(|(_, _, i)| i.node_count()).sum(),
             build_micros: build_start.elapsed().as_micros() as u64,
+            precomputed: adopted.is_some(),
         };
-        let subspaces = prepared
-            .into_iter()
-            .map(|(dims, layout, index)| {
-                let hoods = knn_all_indexed(&layout, &index, k, max_threads);
-                let (lrd, batch_scores) = match kind {
-                    ScorerKind::Lof => {
-                        let lrd = lrd_from_neighborhoods(&hoods);
-                        let scores = lof_from_neighborhoods(&hoods);
-                        (lrd, scores)
-                    }
-                    ScorerKind::KnnMean | ScorerKind::KnnKth => {
-                        let stat = knn_stat(kind);
-                        let scores = hoods.iter().map(|h| stat.score(h)).collect();
-                        (Vec::new(), scores)
-                    }
-                };
-                TrainedSubspace {
+        let subspaces = match adopted {
+            Some(h) => prepared
+                .into_iter()
+                .zip(h.subspaces)
+                .map(|((dims, layout, index), hs)| TrainedSubspace {
                     dims,
                     layout,
                     index,
-                    k_distance: hoods.iter().map(|h| h.k_distance).collect(),
-                    lrd,
-                    clamp: finite_clamp(&batch_scores),
-                }
-            })
-            .collect();
+                    k_distance: hs.k_distance,
+                    lrd: hs.lrd,
+                    clamp: hs.clamp,
+                })
+                .collect(),
+            None => prepared
+                .into_iter()
+                .map(|(dims, layout, index)| {
+                    let hoods = knn_all_indexed(&layout, &index, k, max_threads);
+                    let (lrd, batch_scores) = match kind {
+                        ScorerKind::Lof => {
+                            let lrd = lrd_from_neighborhoods(&hoods);
+                            let scores = lof_from_neighborhoods(&hoods);
+                            (lrd, scores)
+                        }
+                        ScorerKind::KnnMean | ScorerKind::KnnKth => {
+                            let stat = knn_stat(kind);
+                            let scores = hoods.iter().map(|h| stat.score(h)).collect();
+                            (Vec::new(), scores)
+                        }
+                    };
+                    TrainedSubspace {
+                        dims,
+                        layout,
+                        index,
+                        k_distance: hoods.iter().map(|h| h.k_distance).collect(),
+                        lrd,
+                        clamp: finite_clamp(&batch_scores),
+                    }
+                })
+                .collect(),
+        };
         let mut coincident: HashMap<u64, Vec<u32>> = HashMap::with_capacity(columns.n());
         for (i, &v) in columns.column(0).iter().enumerate() {
             coincident.entry(float_key(v)).or_default().push(i as u32);

@@ -20,6 +20,7 @@
 
 use crate::index::IndexKind;
 use crate::parallel::par_map;
+use crate::precompute::PrecomputedHoods;
 use crate::query::{IndexStats, QueryEngine, QueryError};
 use hics_data::manifest::{ShardAggregation, ShardManifest};
 use hics_data::{HicsError, ModelArtifact};
@@ -56,8 +57,17 @@ impl ShardedEngine {
         index: Option<IndexKind>,
         max_threads: usize,
     ) -> Result<Self, HicsError> {
-        let mut shards = Vec::with_capacity(manifest.shards.len());
-        for (k, path) in manifest.shard_paths(manifest_path).iter().enumerate() {
+        let paths = manifest.shard_paths(manifest_path);
+        // Shards open in parallel: the outer fan-out takes one thread per
+        // shard (capped at max_threads) and each shard's own neighbourhood
+        // compute — the expensive part when no hoods sidecar applies — uses
+        // the leftover budget. Each shard also tries to adopt its
+        // `<artifact>.hoods` sidecar, which turns the all-points kNN pass
+        // into a validated read.
+        let outer = max_threads.clamp(1, paths.len().max(1));
+        let inner = (max_threads / outer).max(1);
+        let opened: Vec<Result<QueryEngine, HicsError>> = par_map(paths.len(), outer, |k| {
+            let path = &paths[k];
             let artifact = Arc::new(ModelArtifact::open_mmap(path)?);
             let entry = &manifest.shards[k];
             if artifact.n() as u64 != entry.n || artifact.d() != manifest.d {
@@ -70,7 +80,14 @@ impl ShardedEngine {
                     manifest.d
                 )));
             }
-            shards.push(QueryEngine::from_artifact(artifact, index, max_threads));
+            let hoods = PrecomputedHoods::load_for(path, &artifact);
+            Ok(QueryEngine::from_artifact_with_hoods(
+                artifact, hoods, index, inner,
+            ))
+        });
+        let mut shards = Vec::with_capacity(opened.len());
+        for engine in opened {
+            shards.push(engine?);
         }
         Ok(Self {
             shards,
@@ -124,6 +141,7 @@ impl ShardedEngine {
             out.nodes += st.nodes;
             out.build_micros += st.build_micros;
             out.from_artifact &= st.from_artifact;
+            out.precomputed &= st.precomputed;
         }
         out
     }

@@ -1,14 +1,24 @@
 //! Cross-connection request batching.
 //!
-//! Connection handler threads do not score; they enqueue their rows on a
-//! shared [`Batcher`] and block on a reply channel. A small pool of batch
-//! workers drains the queue: whatever jobs have accumulated while the
-//! previous batch was scoring are coalesced — up to `max_batch` rows — and
-//! scored in one [`hics_outlier::QueryEngine::score_batch`] call, which fans the rows out
+//! Connections do not score; they enqueue their rows on a shared
+//! [`Batcher`] and are resolved through a completion callback (the blocking
+//! [`Batcher::score`] wrapper layers a channel over it for synchronous
+//! callers and tests). A small pool of batch workers drains the queue:
+//! whatever jobs have accumulated while the previous batch was scoring are
+//! coalesced — up to `max_batch` rows — and scored in one
+//! [`hics_outlier::QueryEngine::score_batch`] call, which fans the rows out
 //! over the engine's worker threads. Under load this amortises thread
 //! fan-out and keeps all cores on one contiguous batch instead of
 //! interleaving many tiny requests; when idle, a lone request is scored
 //! immediately (workers sleep on a condvar, no polling).
+//!
+//! **Tail latency:** a worker that has claimed jobs may optionally linger
+//! up to `max_wait` for more arrivals before scoring (deeper batches at a
+//! bounded latency cost). The default `max_wait` of zero preserves the
+//! score-immediately behaviour — a lone request is never held hostage by
+//! batch formation — and per-batch sizes are recorded in a power-of-two
+//! histogram surfaced on `/stats`, so the coalescing behaviour under load
+//! is observable instead of inferred.
 //!
 //! Workers resolve the engine through a shared [`EngineHandle`] **once per
 //! batch**, so a hot reload takes effect at the next batch boundary while
@@ -20,12 +30,23 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// One enqueued scoring job: the rows of a single HTTP request.
+/// The result of one job: per-row scores, or `None` when the batcher shut
+/// down before the job was scored.
+pub type BatchReply = Option<Vec<Result<f64, QueryError>>>;
+
+/// One enqueued scoring job: the rows of a single HTTP request plus the
+/// completion invoked with its scores (exactly once, possibly on a worker
+/// thread — or with `None` on shutdown).
 struct Job {
     rows: Vec<Vec<f64>>,
-    reply: mpsc::Sender<Vec<Result<f64, QueryError>>>,
+    reply: Box<dyn FnOnce(BatchReply) + Send>,
 }
+
+/// Upper bounds of the batch-size histogram buckets (rows per executed
+/// batch); the last bucket is open-ended.
+pub const BATCH_SIZE_BUCKETS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
 /// Counters exposed on the stats endpoint.
 #[derive(Debug, Default)]
@@ -38,6 +59,29 @@ pub struct BatchStats {
     pub batches: AtomicU64,
     /// Batches that coalesced more than one request.
     pub coalesced_batches: AtomicU64,
+    /// Rows-per-batch histogram: bucket `i` counts batches of at most
+    /// `BATCH_SIZE_BUCKETS[i]` rows; the final slot counts larger batches.
+    pub batch_size_hist: [AtomicU64; BATCH_SIZE_BUCKETS.len() + 1],
+}
+
+impl BatchStats {
+    fn record_batch_size(&self, rows: usize) {
+        let slot = BATCH_SIZE_BUCKETS
+            .iter()
+            .position(|&limit| rows as u64 <= limit)
+            .unwrap_or(BATCH_SIZE_BUCKETS.len());
+        self.batch_size_hist[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the batch-size histogram (same order as
+    /// [`BATCH_SIZE_BUCKETS`], plus the open-ended overflow bucket).
+    pub fn batch_size_snapshot(&self) -> [u64; BATCH_SIZE_BUCKETS.len() + 1] {
+        let mut out = [0u64; BATCH_SIZE_BUCKETS.len() + 1];
+        for (slot, counter) in out.iter_mut().zip(&self.batch_size_hist) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out
+    }
 }
 
 struct Shared {
@@ -55,7 +99,9 @@ pub struct Batcher {
 impl Batcher {
     /// Starts `workers` batch workers scoring against the engine currently
     /// installed in `handle`, coalescing up to `max_batch` rows per batch
-    /// and giving each batch `threads` scoring threads.
+    /// and giving each batch `threads` scoring threads. Batches are scored
+    /// the moment a worker is free (`max_wait` zero); see
+    /// [`Batcher::start_with_max_wait`] to trade latency for depth.
     ///
     /// # Panics
     /// Panics if `workers`, `max_batch` or `threads` is zero.
@@ -64,6 +110,22 @@ impl Batcher {
         workers: usize,
         max_batch: usize,
         threads: usize,
+    ) -> Self {
+        Self::start_with_max_wait(handle, workers, max_batch, threads, Duration::ZERO)
+    }
+
+    /// [`Batcher::start`] with a batch-formation deadline: a worker that
+    /// claimed fewer than `max_batch` rows lingers up to `max_wait` for
+    /// more arrivals before scoring. Zero (the default) scores immediately.
+    ///
+    /// # Panics
+    /// Panics if `workers`, `max_batch` or `threads` is zero.
+    pub fn start_with_max_wait(
+        handle: Arc<EngineHandle>,
+        workers: usize,
+        max_batch: usize,
+        threads: usize,
+        max_wait: Duration,
     ) -> Self {
         assert!(workers >= 1, "need at least one batch worker");
         assert!(max_batch >= 1, "max batch must be at least 1");
@@ -79,7 +141,7 @@ impl Batcher {
                 let handle = Arc::clone(&handle);
                 let stats = Arc::clone(&stats);
                 std::thread::spawn(move || {
-                    worker_loop(&shared, &handle, &stats, max_batch, threads)
+                    worker_loop(&shared, &handle, &stats, max_batch, threads, max_wait)
                 })
             })
             .collect();
@@ -90,19 +152,34 @@ impl Batcher {
         }
     }
 
-    /// Enqueues one request's rows and blocks until its scores are ready.
-    /// Returns `None` if the batcher is shutting down.
-    pub fn score(&self, rows: Vec<Vec<f64>>) -> Option<Vec<Result<f64, QueryError>>> {
-        let (tx, rx) = mpsc::channel();
+    /// Enqueues one request's rows without blocking; `reply` is invoked
+    /// exactly once — with the scores when the batch executes (on a worker
+    /// thread), or with `None` if the batcher shuts down first (immediately,
+    /// on the caller's thread, when it is already down).
+    pub fn submit(&self, rows: Vec<Vec<f64>>, reply: Box<dyn FnOnce(BatchReply) + Send>) {
         {
             let mut q = self.shared.queue.lock().expect("batcher lock");
-            if q.1 {
-                return None;
+            if !q.1 {
+                q.0.push_back(Job { rows, reply });
+                drop(q);
+                self.shared.ready.notify_one();
+                return;
             }
-            q.0.push_back(Job { rows, reply: tx });
         }
-        self.shared.ready.notify_one();
-        rx.recv().ok()
+        reply(None);
+    }
+
+    /// Enqueues one request's rows and blocks until its scores are ready.
+    /// Returns `None` if the batcher is shutting down.
+    pub fn score(&self, rows: Vec<Vec<f64>>) -> BatchReply {
+        let (tx, rx) = mpsc::channel();
+        self.submit(
+            rows,
+            Box::new(move |reply| {
+                let _ = tx.send(reply);
+            }),
+        );
+        rx.recv().ok().flatten()
     }
 
     /// The batching counters.
@@ -110,16 +187,23 @@ impl Batcher {
         &self.stats
     }
 
+    /// A cloneable reference to the batching counters.
+    pub fn stats_arc(&self) -> Arc<BatchStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Signals shutdown and joins the workers (idempotent). Queued jobs are
-    /// dropped; their senders hang up, which unblocks any waiting
-    /// connection.
+    /// completed with `None`, which unblocks any waiting connection.
     pub fn shutdown(&self) {
-        {
+        let orphans: Vec<Job> = {
             let mut q = self.shared.queue.lock().expect("batcher lock");
             q.1 = true;
-            q.0.clear();
-        }
+            q.0.drain(..).collect()
+        };
         self.shared.ready.notify_all();
+        for job in orphans {
+            (job.reply)(None);
+        }
         let handles: Vec<_> = self
             .workers
             .lock()
@@ -132,8 +216,31 @@ impl Batcher {
     }
 }
 
-/// One worker: sleep until jobs arrive, drain up to `max_batch` rows worth,
-/// score them as a single contiguous batch against the currently installed
+/// Moves whole jobs from the queue into `jobs` until the row budget is
+/// reached (a single over-sized job still goes through alone — never split
+/// replies). Returns the accumulated row count.
+fn drain_jobs(
+    queue: &mut VecDeque<Job>,
+    jobs: &mut Vec<Job>,
+    mut rows: usize,
+    max_batch: usize,
+) -> usize {
+    while let Some(job) = queue.front() {
+        if !jobs.is_empty() && rows + job.rows.len() > max_batch {
+            break;
+        }
+        rows += job.rows.len();
+        jobs.push(queue.pop_front().expect("non-empty front"));
+        if rows >= max_batch {
+            break;
+        }
+    }
+    rows
+}
+
+/// One worker: sleep until jobs arrive, drain up to `max_batch` rows worth
+/// (lingering up to `max_wait` for stragglers when under budget), score
+/// them as a single contiguous batch against the currently installed
 /// engine, distribute the replies.
 fn worker_loop(
     shared: &Shared,
@@ -141,35 +248,53 @@ fn worker_loop(
     stats: &BatchStats,
     max_batch: usize,
     threads: usize,
+    max_wait: Duration,
 ) {
     loop {
-        let mut jobs = {
+        let mut jobs: Vec<Job> = Vec::new();
+        let shutdown = {
             let mut guard = shared.queue.lock().expect("batcher lock");
             loop {
                 if guard.1 {
-                    return;
+                    break;
                 }
                 if !guard.0.is_empty() {
                     break;
                 }
                 guard = shared.ready.wait(guard).expect("batcher lock");
             }
-            // Coalesce whole jobs until the row budget is reached (a single
-            // over-sized job still goes through alone — never split replies).
-            let mut jobs: Vec<Job> = Vec::new();
-            let mut rows = 0usize;
-            while let Some(job) = guard.0.front() {
-                if !jobs.is_empty() && rows + job.rows.len() > max_batch {
-                    break;
-                }
-                rows += job.rows.len();
-                jobs.push(guard.0.pop_front().expect("non-empty front"));
-                if rows >= max_batch {
-                    break;
+            let mut rows = drain_jobs(&mut guard.0, &mut jobs, 0, max_batch);
+            if !guard.1 && max_wait > Duration::ZERO && rows < max_batch && !jobs.is_empty() {
+                // Linger for stragglers: deeper batches at a bounded
+                // latency cost. The deadline caps how long the first
+                // claimed job can be delayed.
+                let deadline = Instant::now() + max_wait;
+                loop {
+                    let now = Instant::now();
+                    if guard.1 || rows >= max_batch || now >= deadline {
+                        break;
+                    }
+                    let (g, timeout) = shared
+                        .ready
+                        .wait_timeout(guard, deadline - now)
+                        .expect("batcher lock");
+                    guard = g;
+                    rows = drain_jobs(&mut guard.0, &mut jobs, rows, max_batch);
+                    if timeout.timed_out() {
+                        break;
+                    }
                 }
             }
-            jobs
+            guard.1
         };
+        if shutdown {
+            // Jobs claimed before the flag flipped still complete — with
+            // `None`, the same signal `Batcher::shutdown` gives the queue.
+            for job in jobs {
+                (job.reply)(None);
+            }
+            return;
+        }
 
         // Move the rows out of the jobs (recording per-job lengths first to
         // split the replies) — no copy of the query payload.
@@ -192,10 +317,10 @@ fn worker_loop(
         if jobs.len() > 1 {
             stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
         }
+        stats.record_batch_size(all_rows.len());
         for (job, take) in jobs.into_iter().zip(lens) {
             let reply: Vec<_> = results.by_ref().take(take).collect();
-            // A hung-up receiver just means the connection died; ignore.
-            let _ = job.reply.send(reply);
+            (job.reply)(Some(reply));
         }
     }
 }
@@ -328,6 +453,92 @@ mod tests {
         let got = batcher.score(rows.clone()).unwrap();
         assert_eq!(got.len(), 7);
         assert_eq!(got, engine.score_batch(&rows, 1));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn submit_completes_via_callback() {
+        let engine = engine();
+        let batcher = Batcher::start(handle_for(&engine), 1, 8, 1);
+        let (tx, rx) = mpsc::channel();
+        let rows = vec![vec![0.3, 0.1, 0.7, 0.2]];
+        batcher.submit(
+            rows.clone(),
+            Box::new(move |reply| {
+                let _ = tx.send(reply);
+            }),
+        );
+        let got = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("reply arrives")
+            .expect("not shut down");
+        assert_eq!(got, engine.score_batch(&rows, 1));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_completes_with_none() {
+        let engine = engine();
+        let batcher = Batcher::start(handle_for(&engine), 1, 8, 1);
+        batcher.shutdown();
+        let (tx, rx) = mpsc::channel();
+        batcher.submit(
+            vec![vec![0.0; 4]],
+            Box::new(move |reply| {
+                let _ = tx.send(reply);
+            }),
+        );
+        assert_eq!(rx.recv().expect("callback ran"), None);
+    }
+
+    #[test]
+    fn batch_sizes_land_in_histogram_buckets() {
+        let engine = engine();
+        let batcher = Batcher::start(handle_for(&engine), 1, 64, 1);
+        batcher.score(vec![vec![0.1; 4]]).unwrap(); // 1 row → bucket ≤1
+        batcher
+            .score((0..5).map(|i| vec![i as f64 * 0.2; 4]).collect())
+            .unwrap(); // 5 rows → bucket ≤8
+        let hist = batcher.stats().batch_size_snapshot();
+        assert_eq!(hist[0], 1, "one single-row batch: {hist:?}");
+        assert_eq!(hist[3], 1, "one 5-row batch in the ≤8 bucket: {hist:?}");
+        assert_eq!(hist.iter().sum::<u64>(), 2);
+        batcher.shutdown();
+    }
+
+    /// With a max-wait deadline, jobs submitted in quick succession coalesce
+    /// into one batch even when a worker is free — and the deadline bounds
+    /// the wait, so the batch still executes promptly.
+    #[test]
+    fn max_wait_coalesces_quick_successors() {
+        let engine = engine();
+        let batcher = Arc::new(Batcher::start_with_max_wait(
+            handle_for(&engine),
+            1,
+            64,
+            1,
+            Duration::from_millis(40),
+        ));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            batcher.submit(
+                vec![vec![0.4, 0.6, 0.2, 0.8]],
+                Box::new(move |reply| {
+                    let _ = tx.send(reply);
+                }),
+            );
+        }
+        for _ in 0..4 {
+            assert!(rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("reply arrives")
+                .is_some());
+        }
+        // All four jobs should have landed in few (ideally one) batches.
+        let batches = batcher.stats().batches.load(Ordering::Relaxed);
+        assert!(batches <= 2, "expected coalescing, got {batches} batches");
+        assert_eq!(batcher.stats().requests.load(Ordering::Relaxed), 4);
         batcher.shutdown();
     }
 }

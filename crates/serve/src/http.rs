@@ -110,7 +110,15 @@ pub fn read_head<S: Read>(stream: &mut S) -> Result<RequestHead, RequestError> {
             break;
         }
     }
-    let head = std::str::from_utf8(&head).map_err(|_| RequestError::Bad {
+    parse_head_bytes(&head)
+}
+
+/// Parses one fully buffered request head (request line + headers, through
+/// the terminating blank line) — the shared back half of [`read_head`],
+/// also driven by the non-blocking reactor once it has accumulated a
+/// complete head.
+pub(crate) fn parse_head_bytes(head: &[u8]) -> Result<RequestHead, RequestError> {
+    let head = std::str::from_utf8(head).map_err(|_| RequestError::Bad {
         status: 400,
         msg: "request head is not UTF-8".into(),
     })?;

@@ -28,10 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+#[cfg(target_os = "linux")]
+mod conn;
 pub mod http;
 pub mod json;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
 
 pub use batch::{BatchStats, Batcher};
 pub use json::Json;
-pub use server::{ServeConfig, Server, ShutdownHandle, StreamStats};
+pub use server::{ConnStats, ServeConfig, Server, ShutdownHandle, StreamStats};

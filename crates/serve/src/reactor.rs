@@ -1,0 +1,485 @@
+//! Non-blocking epoll reactor: the serving core's event loop.
+//!
+//! One reactor per serving thread, each with its own `SO_REUSEPORT`
+//! listener, epoll instance and connection slab — the kernel load-balances
+//! accepts across reactors, so there is no shared accept lock and no
+//! cross-thread connection handoff. Connections are driven level-triggered:
+//! readable/writable events advance the per-connection state machine in
+//! [`crate::conn`], `/score` work is handed to the shared batcher, and its
+//! completions come back through an eventfd-backed [`Notifier`] so the
+//! reactor never blocks on anything but `epoll_wait`.
+//!
+//! Everything here talks to the kernel through inline `extern "C"`
+//! declarations (the same idiom as the artifact mmap layer) — no runtime
+//! crates, no epoll wrapper dependency.
+
+use crate::conn::{Conn, Drive};
+use crate::server::{Ctx, WakeSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Readable-interest flag (subset of the kernel's epoll event bits).
+pub(crate) const EPOLLIN: u32 = 0x1;
+/// Writable-interest flag.
+pub(crate) const EPOLLOUT: u32 = 0x4;
+/// Error condition (always reported, never registered).
+const EPOLLERR: u32 = 0x8;
+/// Peer hangup (always reported, never registered).
+const EPOLLHUP: u32 = 0x10;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_MOD: i32 = 3;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+const AF_INET: i32 = 2;
+const AF_INET6: i32 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOCK_CLOEXEC: i32 = 0o2000000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+const SO_REUSEPORT: i32 = 15;
+
+/// Slab token for the reactor's own listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Slab token for the completion-notifier eventfd.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Max events drained per `epoll_wait` call.
+const MAX_EVENTS: usize = 256;
+
+/// Kernel `struct epoll_event`. Packed on x86-64 (the kernel ABI there has
+/// no padding between the 32-bit mask and the 64-bit payload); naturally
+/// aligned everywhere else. Fields are only ever read by value.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+    fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+}
+
+// ---------------------------------------------------------------------------
+// Listener setup
+// ---------------------------------------------------------------------------
+
+/// Owns a raw fd until explicitly released (closes on early-return paths).
+struct OwnedFd(RawFd);
+
+impl OwnedFd {
+    fn release(self) -> RawFd {
+        let fd = self.0;
+        std::mem::forget(self);
+        fd
+    }
+}
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        // SAFETY: fd was returned by socket()/eventfd() and is owned here.
+        unsafe { close(self.0) };
+    }
+}
+
+/// Serializes `addr` into the kernel's sockaddr layout.
+fn sockaddr_bytes(addr: &SocketAddr) -> (Vec<u8>, i32) {
+    match addr {
+        SocketAddr::V4(v4) => {
+            let mut buf = Vec::with_capacity(16);
+            buf.extend_from_slice(&(AF_INET as u16).to_ne_bytes());
+            buf.extend_from_slice(&v4.port().to_be_bytes());
+            buf.extend_from_slice(&v4.ip().octets());
+            buf.extend_from_slice(&[0u8; 8]);
+            (buf, AF_INET)
+        }
+        SocketAddr::V6(v6) => {
+            let mut buf = Vec::with_capacity(28);
+            buf.extend_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            buf.extend_from_slice(&v6.port().to_be_bytes());
+            buf.extend_from_slice(&v6.flowinfo().to_be_bytes());
+            buf.extend_from_slice(&v6.ip().octets());
+            buf.extend_from_slice(&v6.scope_id().to_ne_bytes());
+            (buf, AF_INET6)
+        }
+    }
+}
+
+/// Binds a TCP listener with `SO_REUSEPORT` set, so N reactors can each
+/// own a listener on the same address and let the kernel spread accepts.
+pub(crate) fn bind_reuseport(addr: &SocketAddr) -> std::io::Result<TcpListener> {
+    let (sa, family) = sockaddr_bytes(addr);
+    // SAFETY: plain socket creation; flags are valid constants.
+    let fd = unsafe { socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    let fd = OwnedFd(fd);
+    let one: i32 = 1;
+    for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+        // SAFETY: optval points at a live i32 of the advertised length.
+        let rc = unsafe { setsockopt(fd.0, SOL_SOCKET, opt, &one, 4) };
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+    }
+    // SAFETY: sa holds a properly laid out sockaddr of the stated length.
+    let rc = unsafe { bind(fd.0, sa.as_ptr(), sa.len() as u32) };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    // SAFETY: fd is a bound, unconnected stream socket.
+    let rc = unsafe { listen(fd.0, 1024) };
+    if rc != 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    // SAFETY: fd is a live listening socket whose ownership transfers here.
+    Ok(unsafe { TcpListener::from_raw_fd(fd.release()) })
+}
+
+/// Resolves an address spec (as accepted by `ServeConfig::addr`) and binds
+/// the first candidate with `SO_REUSEPORT`.
+pub(crate) fn bind_listener(spec: &str) -> std::io::Result<TcpListener> {
+    let addr = spec.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{spec:?} resolved to no addresses"),
+        )
+    })?;
+    bind_reuseport(&addr)
+}
+
+// ---------------------------------------------------------------------------
+// Completion notifier
+// ---------------------------------------------------------------------------
+
+/// One finished batch/reload reply addressed to a parked connection.
+pub(crate) struct Completion {
+    /// Slab index of the target connection.
+    pub(crate) token: usize,
+    /// Slot epoch at submit time; a mismatch means the connection died and
+    /// the slot was recycled, so the completion is dropped.
+    pub(crate) epoch: u64,
+    /// HTTP status of the rendered reply.
+    pub(crate) status: u16,
+    /// Rendered reply body.
+    pub(crate) body: String,
+}
+
+/// Mailbox + eventfd pair that lets batcher workers and reload threads
+/// hand completed replies back to a reactor and kick it out of
+/// `epoll_wait`.
+pub(crate) struct Notifier {
+    fd: RawFd,
+    completions: Mutex<Vec<Completion>>,
+}
+
+impl Notifier {
+    fn new() -> std::io::Result<Self> {
+        // SAFETY: plain eventfd creation with valid flags.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self {
+            fd,
+            completions: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Queues a completed reply and wakes the owning reactor.
+    pub(crate) fn complete(&self, token: usize, epoch: u64, status: u16, body: String) {
+        self.completions.lock().unwrap().push(Completion {
+            token,
+            epoch,
+            status,
+            body,
+        });
+        self.wake();
+    }
+
+    /// Kicks the reactor out of `epoll_wait` (EAGAIN on a saturated
+    /// counter is fine — the reactor is already due to wake).
+    pub(crate) fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        // SAFETY: writes 8 bytes from a live buffer to an owned eventfd.
+        unsafe { write(self.fd, one.as_ptr(), 8) };
+    }
+
+    /// Takes all pending completions.
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().unwrap())
+    }
+
+    /// Resets the eventfd counter.
+    fn clear(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads up to 8 bytes into a live buffer from an owned fd.
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Notifier {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this notifier and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor loop
+// ---------------------------------------------------------------------------
+
+/// One connection slot. The epoch increments every time the slot is
+/// recycled, so completions addressed to a dead connection are dropped
+/// instead of being written to its successor.
+struct Slot {
+    epoch: u64,
+    conn: Option<Conn>,
+}
+
+fn epoll_ctl_checked(epfd: RawFd, op: i32, fd: RawFd, events: u32, data: u64) {
+    let mut ev = EpollEvent { events, data };
+    // SAFETY: epfd is a live epoll instance, fd a live descriptor, and ev
+    // outlives the call.
+    unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+}
+
+/// Frees a slot: dropping the connection closes its socket, which also
+/// removes it from the epoll interest list.
+fn close_slot(slots: &mut [Slot], free: &mut Vec<usize>, ctx: &Ctx, idx: usize) {
+    let slot = &mut slots[idx];
+    if slot.conn.take().is_some() {
+        slot.epoch += 1;
+        free.push(idx);
+        ctx.conns.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Advances one connection and reconciles its epoll interest (or frees the
+/// slot if it finished/died).
+#[allow(clippy::too_many_arguments)]
+fn drive_slot(
+    epfd: RawFd,
+    slots: &mut [Slot],
+    free: &mut Vec<usize>,
+    ctx: &Ctx,
+    notifier: &Arc<Notifier>,
+    idx: usize,
+    readable: bool,
+) {
+    let slot = &mut slots[idx];
+    let epoch = slot.epoch;
+    let Some(conn) = slot.conn.as_mut() else {
+        return;
+    };
+    match conn.drive(ctx, notifier, idx, epoch, readable) {
+        Drive::Close => close_slot(slots, free, ctx, idx),
+        Drive::Continue => {
+            let want = conn.wanted_interest(ctx.config.high_water);
+            if want != conn.registered {
+                epoll_ctl_checked(
+                    epfd,
+                    EPOLL_CTL_MOD,
+                    conn.stream().as_raw_fd(),
+                    want,
+                    idx as u64,
+                );
+                conn.registered = want;
+            }
+        }
+    }
+}
+
+/// Refuses a connection over the limit: best-effort 503, then drop.
+fn shed_connection(stream: TcpStream, ctx: &Ctx) {
+    ctx.conns.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nonblocking(true);
+    let mut reply = Vec::new();
+    let _ = crate::http::write_response(
+        &mut reply,
+        503,
+        &crate::http::error_body("server is at its connection limit"),
+        true,
+    );
+    let _ = (&stream).write(&reply);
+}
+
+/// Accepts until the listener would block, registering each connection.
+fn accept_all(
+    epfd: RawFd,
+    listener: &TcpListener,
+    slots: &mut Vec<Slot>,
+    free: &mut Vec<usize>,
+    ctx: &Ctx,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let active = ctx.conns.active.load(Ordering::Relaxed) as usize;
+                if active >= ctx.config.max_connections {
+                    shed_connection(stream, ctx);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                ctx.conns.accepted.fetch_add(1, Ordering::Relaxed);
+                ctx.conns.active.fetch_add(1, Ordering::Relaxed);
+                let idx = match free.pop() {
+                    Some(idx) => idx,
+                    None => {
+                        slots.push(Slot {
+                            epoch: 0,
+                            conn: None,
+                        });
+                        slots.len() - 1
+                    }
+                };
+                let conn = Conn::new(stream, ctx);
+                epoll_ctl_checked(
+                    epfd,
+                    EPOLL_CTL_ADD,
+                    conn.stream().as_raw_fd(),
+                    EPOLLIN,
+                    idx as u64,
+                );
+                slots[idx].conn = Some(conn);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failure (EMFILE and friends): back off
+                // briefly rather than spinning hot.
+                std::thread::sleep(Duration::from_millis(10));
+                break;
+            }
+        }
+    }
+}
+
+/// The epoll timeout until the nearest connection deadline, capped at 1 s
+/// so the stop flag is always observed promptly.
+fn next_timeout_ms(slots: &[Slot]) -> i32 {
+    let now = Instant::now();
+    let mut best: Option<Duration> = None;
+    for slot in slots {
+        if let Some(conn) = &slot.conn {
+            if let Some(dl) = conn.deadline {
+                let until = dl.saturating_duration_since(now);
+                best = Some(best.map_or(until, |b: Duration| b.min(until)));
+            }
+        }
+    }
+    match best {
+        Some(d) => (d.as_millis().min(1000) as i32).max(0),
+        None => 1000,
+    }
+}
+
+/// Runs one reactor to completion: accepts, drives connections, delivers
+/// batcher completions and enforces idle deadlines, until `stop` is set.
+pub(crate) fn run_reactor(listener: TcpListener, ctx: Ctx, stop: Arc<AtomicBool>, wakes: &WakeSet) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    // SAFETY: plain epoll instance creation with a valid flag.
+    let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if epfd < 0 {
+        return;
+    }
+    let epfd_guard = OwnedFd(epfd);
+    let Ok(notifier) = Notifier::new() else {
+        return;
+    };
+    let notifier = Arc::new(notifier);
+    {
+        let waker = Arc::clone(&notifier);
+        wakes.lock().unwrap().push(Box::new(move || waker.wake()));
+    }
+    epoll_ctl_checked(
+        epfd,
+        EPOLL_CTL_ADD,
+        listener.as_raw_fd(),
+        EPOLLIN,
+        TOKEN_LISTENER,
+    );
+    epoll_ctl_checked(epfd, EPOLL_CTL_ADD, notifier.fd, EPOLLIN, TOKEN_WAKER);
+
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+
+    while !stop.load(Ordering::SeqCst) {
+        let timeout = next_timeout_ms(&slots);
+        // SAFETY: events is a live array of MAX_EVENTS entries; epfd is a
+        // live epoll instance.
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), MAX_EVENTS as i32, timeout) };
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                continue;
+            }
+            break;
+        }
+        for ev in &events[..n as usize] {
+            // Copy out of the (possibly packed) struct before use.
+            let token = ev.data;
+            let mask = ev.events;
+            match token {
+                TOKEN_LISTENER => accept_all(epfd, &listener, &mut slots, &mut free, &ctx),
+                TOKEN_WAKER => notifier.clear(),
+                _ => {
+                    let idx = token as usize;
+                    if idx >= slots.len() {
+                        continue;
+                    }
+                    let readable = mask & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0;
+                    drive_slot(epfd, &mut slots, &mut free, &ctx, &notifier, idx, readable);
+                }
+            }
+        }
+        // Deliver any replies the batcher / reload threads finished.
+        for c in notifier.drain() {
+            let idx = c.token;
+            if idx >= slots.len() || slots[idx].epoch != c.epoch {
+                continue;
+            }
+            let Some(conn) = slots[idx].conn.as_mut() else {
+                continue;
+            };
+            conn.on_completion(&ctx, c.status, c.body);
+            drive_slot(epfd, &mut slots, &mut free, &ctx, &notifier, idx, false);
+        }
+        // Enforce idle deadlines.
+        let now = Instant::now();
+        for idx in 0..slots.len() {
+            let Some(conn) = slots[idx].conn.as_mut() else {
+                continue;
+            };
+            if conn.deadline.is_some_and(|dl| dl <= now) {
+                conn.on_timeout(&ctx);
+                drive_slot(epfd, &mut slots, &mut free, &ctx, &notifier, idx, false);
+            }
+        }
+    }
+    drop(epfd_guard);
+}

@@ -1,8 +1,17 @@
-//! The multi-threaded scoring server: `std::net::TcpListener` accept loop,
-//! one handler thread per connection (HTTP/1.1 keep-alive), batch scoring
-//! funnelled through the cross-connection [`Batcher`], and the engine
-//! resolved through an atomically swappable [`EngineHandle`] so a model can
-//! be hot-reloaded under live traffic.
+//! The scoring server. On Linux this is a non-blocking epoll reactor core:
+//! [`ServeConfig::reactor_threads`] reactor threads, each owning its own
+//! `SO_REUSEPORT` listener, epoll instance and connection slab, drive
+//! per-connection state machines ([`crate::conn`]) with level-triggered
+//! readiness — no thread-per-connection, no blocking I/O anywhere on the
+//! serving path. `/score` rows are handed to the cross-connection
+//! [`Batcher`] and the connection parks (zero threads held) until the
+//! batch completion is funnelled back through an eventfd; responses drain
+//! through per-connection outbound buffers with explicit backpressure.
+//! On other platforms a blocking thread-per-connection fallback serves the
+//! identical wire protocol.
+//!
+//! The engine is resolved through an atomically swappable
+//! [`EngineHandle`] so a model can be hot-reloaded under live traffic.
 //!
 //! Endpoints (the v2 wire protocol):
 //!
@@ -13,7 +22,7 @@
 //! | `POST /admin/reload` | loads a new artifact (zero-copy mmap), validates it, atomically swaps it in; body `{"model": path?, "index": "brute"\|"vptree"?}` or empty to re-load the configured source |
 //! | `GET /healthz` | `{"status":"ok"}` liveness probe |
 //! | `GET /model` | model shape, engine generation, neighbour-index kind and build stats |
-//! | `GET /stats` | request/row/batch/stream counters + neighbour-index stats |
+//! | `GET /stats` | request/row/batch/stream/connection counters, the batch-size histogram, and neighbour-index stats |
 //!
 //! Per-row failures on `/score` (wrong arity, non-finite values) fail the
 //! whole request with `400` and a row-indexed message — callers batch their
@@ -21,24 +30,36 @@
 //! opposite contract: each line succeeds or fails **individually**, and a
 //! malformed line never kills the stream.
 //!
-//! A stalled or hostile streaming client cannot pin a worker: reads inside
-//! a stream run under [`ServeConfig::stream_idle`], per-line buffers are
-//! bounded by [`ServeConfig::max_line_bytes`], and a stream that has pushed
-//! more than [`ServeConfig::max_stream_bytes`] is terminated.
+//! A stalled or hostile streaming client cannot pin anything: reads inside
+//! a stream run under [`ServeConfig::stream_idle`] (enforced by reactor
+//! timers), per-line buffers are bounded by [`ServeConfig::max_line_bytes`],
+//! a stream that has pushed more than [`ServeConfig::max_stream_bytes`] is
+//! terminated, and a peer that stops *reading* its scores only fills its
+//! connection's outbound buffer to [`ServeConfig::high_water`] before the
+//! server stops consuming its input.
 
-use crate::batch::Batcher;
+use crate::batch::{BatchReply, Batcher};
+use crate::http::{error_body, Request};
+#[cfg(not(target_os = "linux"))]
 use crate::http::{
-    error_body, finish_chunked, read_head, read_sized_body, write_chunk, write_chunked_head,
-    write_response, BodyError, BodyReader, LineRead, Request, RequestError, RequestHead,
+    finish_chunked, read_head, read_sized_body, write_chunk, write_chunked_head, write_response,
+    BodyError, BodyReader, LineRead, RequestError, RequestHead,
 };
 use crate::json::{self, Json};
 use hics_outlier::{Engine, EngineHandle, IndexKind};
+#[cfg(not(target_os = "linux"))]
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(target_os = "linux"))]
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Closures that wake every reactor out of its poll wait — shutdown
+/// invokes them all so each listener thread notices the stop flag.
+pub(crate) type WakeSet = Arc<Mutex<Vec<Box<dyn Fn() + Send + Sync>>>>;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -55,7 +76,7 @@ pub struct ServeConfig {
     pub keep_alive: Duration,
     /// Idle timeout **inside** a streaming request body: a `/v2/score`
     /// client that sends nothing for this long is disconnected, so a
-    /// stalled stream cannot pin a handler thread at the keep-alive
+    /// stalled stream cannot hold its connection at the keep-alive
     /// timescale.
     pub stream_idle: Duration,
     /// Upper bound on one NDJSON line (bytes). Longer lines are consumed,
@@ -65,9 +86,22 @@ pub struct ServeConfig {
     /// included). Exceeding it terminates the stream.
     pub max_stream_bytes: usize,
     /// Maximum concurrent connections; further clients get an immediate
-    /// `503` instead of a handler thread (keeps the thread count and fd
-    /// usage bounded under overload).
+    /// `503` instead of a slab slot (keeps fd usage bounded under
+    /// overload).
     pub max_connections: usize,
+    /// Reactor (event-loop) threads, each with its own `SO_REUSEPORT`
+    /// listener. `0` (the default) sizes from available parallelism,
+    /// capped at 4 — scoring wants the cores more than the event loops do.
+    /// Ignored by the non-Linux fallback.
+    pub reactor_threads: usize,
+    /// How long a batch worker lingers for more rows before scoring a
+    /// non-full batch (see [`Batcher::start_with_max_wait`]). Zero scores
+    /// immediately.
+    pub batch_max_wait: Duration,
+    /// Backpressure threshold per connection (bytes): once this much
+    /// output is queued for a peer that is not draining it, the server
+    /// stops reading that connection's input until the buffer empties.
+    pub high_water: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +116,9 @@ impl Default for ServeConfig {
             max_line_bytes: 64 * 1024,
             max_stream_bytes: 256 * 1024 * 1024,
             max_connections: 1024,
+            reactor_threads: 0,
+            batch_max_wait: Duration::ZERO,
+            high_water: 256 * 1024,
         }
     }
 }
@@ -97,22 +134,35 @@ pub struct StreamStats {
     pub errors: AtomicU64,
 }
 
+/// Connection-level counters for the serving core.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    /// Connections accepted into the serving core.
+    pub accepted: AtomicU64,
+    /// Connections currently open.
+    pub active: AtomicU64,
+    /// Connections refused with `503` at the connection limit.
+    pub shed: AtomicU64,
+}
+
 /// Where `/admin/reload` gets its artifact from when the request body does
 /// not name one, plus the backend preference reloaded engines inherit.
 #[derive(Debug, Default)]
-struct ReloadSource {
+pub(crate) struct ReloadSource {
     path: Option<PathBuf>,
     index: Option<IndexKind>,
 }
 
-/// Everything a connection handler needs — cheap to clone per connection.
+/// Everything a connection needs — cheap to clone per reactor/handler.
 #[derive(Clone)]
-struct Ctx {
-    handle: Arc<EngineHandle>,
-    batcher: Arc<Batcher>,
-    reload: Arc<Mutex<ReloadSource>>,
-    stream_stats: Arc<StreamStats>,
-    config: Arc<ServeConfig>,
+pub(crate) struct Ctx {
+    pub(crate) handle: Arc<EngineHandle>,
+    pub(crate) batcher: Arc<Batcher>,
+    pub(crate) reload: Arc<Mutex<ReloadSource>>,
+    pub(crate) stream_stats: Arc<StreamStats>,
+    pub(crate) conns: Arc<ConnStats>,
+    pub(crate) config: Arc<ServeConfig>,
+    pub(crate) reactors: usize,
 }
 
 /// A running scoring server.
@@ -120,26 +170,33 @@ pub struct Server {
     listener: TcpListener,
     ctx: Ctx,
     stop: Arc<AtomicBool>,
+    wakes: WakeSet,
 }
 
 /// Handle to stop a running [`Server`] from another thread.
 #[derive(Clone)]
 pub struct ShutdownHandle {
     stop: Arc<AtomicBool>,
+    wakes: WakeSet,
     addr: std::net::SocketAddr,
 }
 
 impl ShutdownHandle {
-    /// Asks the accept loop to exit. Safe to call more than once.
+    /// Asks the serving loops to exit. Safe to call more than once.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the (blocking) accept with a throwaway connection.
+        // Kick every reactor out of its poll wait…
+        for wake in self.wakes.lock().expect("wake set").iter() {
+            wake();
+        }
+        // …and unblock a (blocking, pre-reactor) accept with a throwaway
+        // connection.
         let _ = TcpStream::connect(self.addr);
     }
 }
 
 impl Server {
-    /// Binds the listen socket and starts the batch workers (the accept
+    /// Binds the listen socket and starts the batch workers (the serving
     /// loop does not run until [`Server::run`]). The engine is wrapped in a
     /// fresh [`EngineHandle`]; use [`Server::bind_handle`] to share one.
     pub fn bind(engine: impl Into<Engine>, config: ServeConfig) -> std::io::Result<Self> {
@@ -149,12 +206,20 @@ impl Server {
     /// Like [`Server::bind`] over an existing (possibly shared) engine
     /// handle — the caller can hot-swap engines through it at any time.
     pub fn bind_handle(handle: Arc<EngineHandle>, config: ServeConfig) -> std::io::Result<Self> {
+        #[cfg(target_os = "linux")]
+        let listener = crate::reactor::bind_listener(&config.addr)?;
+        #[cfg(not(target_os = "linux"))]
         let listener = TcpListener::bind(&config.addr)?;
-        let batcher = Arc::new(Batcher::start(
+        let reactors = match config.reactor_threads {
+            0 => hics_outlier::parallel::available_threads().min(4),
+            n => n,
+        };
+        let batcher = Arc::new(Batcher::start_with_max_wait(
             Arc::clone(&handle),
             config.workers,
             config.max_batch,
             config.threads,
+            config.batch_max_wait,
         ));
         Ok(Self {
             listener,
@@ -163,9 +228,12 @@ impl Server {
                 batcher,
                 reload: Arc::new(Mutex::new(ReloadSource::default())),
                 stream_stats: Arc::new(StreamStats::default()),
+                conns: Arc::new(ConnStats::default()),
                 config: Arc::new(config),
+                reactors,
             },
             stop: Arc::new(AtomicBool::new(false)),
+            wakes: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
@@ -193,14 +261,50 @@ impl Server {
     pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
         Ok(ShutdownHandle {
             stop: Arc::clone(&self.stop),
+            wakes: Arc::clone(&self.wakes),
             addr: self.local_addr()?,
         })
+    }
+
+    /// Runs the serving core until a [`ShutdownHandle`] fires.
+    ///
+    /// On Linux this spawns [`ServeConfig::reactor_threads`] epoll
+    /// reactors (each with its own `SO_REUSEPORT` listener on the bound
+    /// address; the kernel spreads accepts across them) and drives one on
+    /// the calling thread. Connections beyond
+    /// [`ServeConfig::max_connections`] are shed with `503`; scoring goes
+    /// through the shared batcher.
+    #[cfg(target_os = "linux")]
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut joins = Vec::new();
+        for _ in 1..self.ctx.reactors {
+            let listener = crate::reactor::bind_reuseport(&addr)?;
+            let ctx = self.ctx.clone();
+            let stop = Arc::clone(&self.stop);
+            let wakes = Arc::clone(&self.wakes);
+            joins.push(std::thread::spawn(move || {
+                crate::reactor::run_reactor(listener, ctx, stop, &wakes);
+            }));
+        }
+        crate::reactor::run_reactor(
+            self.listener,
+            self.ctx.clone(),
+            Arc::clone(&self.stop),
+            &self.wakes,
+        );
+        for join in joins {
+            let _ = join.join();
+        }
+        self.ctx.batcher.shutdown();
+        Ok(())
     }
 
     /// Runs the accept loop until a [`ShutdownHandle`] fires. Each accepted
     /// connection gets a detached handler thread speaking HTTP/1.1
     /// keep-alive (bounded by `max_connections`; excess clients are shed
     /// with `503`); scoring goes through the shared batcher.
+    #[cfg(not(target_os = "linux"))]
     pub fn run(self) -> std::io::Result<()> {
         let active = Arc::new(AtomicUsize::new(0));
         for conn in self.listener.incoming() {
@@ -220,6 +324,7 @@ impl Server {
             // Load shedding: never take on more handler threads (and their
             // fds) than configured.
             if active.load(Ordering::SeqCst) >= self.ctx.config.max_connections {
+                self.ctx.conns.shed.fetch_add(1, Ordering::Relaxed);
                 let _ = write_response(
                     &mut stream,
                     503,
@@ -229,11 +334,14 @@ impl Server {
                 continue;
             }
             active.fetch_add(1, Ordering::SeqCst);
+            self.ctx.conns.accepted.fetch_add(1, Ordering::Relaxed);
+            self.ctx.conns.active.fetch_add(1, Ordering::Relaxed);
             let ctx = self.ctx.clone();
             let active = Arc::clone(&active);
             std::thread::spawn(move || {
                 let _ = handle_connection(stream, &ctx);
                 active.fetch_sub(1, Ordering::SeqCst);
+                ctx.conns.active.fetch_sub(1, Ordering::Relaxed);
             });
         }
         self.ctx.batcher.shutdown();
@@ -246,6 +354,7 @@ impl Server {
 /// The stream is wrapped in one `BufReader` for the connection's whole
 /// lifetime, so pipelined bytes the buffer over-reads are retained for the
 /// next keep-alive iteration and head parsing costs no per-byte syscalls.
+#[cfg(not(target_os = "linux"))]
 fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
     stream.set_read_timeout(Some(ctx.config.keep_alive))?;
     // A peer that stops *reading* must not pin the handler either: every
@@ -295,7 +404,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
 }
 
 /// Routes one non-streaming request to its endpoint.
-fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
+pub(crate) fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/score") => {
             let engine = ctx.handle.load();
@@ -313,42 +422,49 @@ fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
     }
 }
 
-/// `POST /score`: parse, validate, batch-score, respond.
-fn score_endpoint(body: &[u8], engine: &Engine, batcher: &Batcher) -> (u16, String) {
+/// Parsed `/score` rows plus whether the single-point form was used;
+/// failures are `(status, rendered_body)` ready to send.
+pub(crate) type ScoreRequest = Result<(Vec<Vec<f64>>, bool), (u16, String)>;
+
+/// Parses and validates a `POST /score` body against model arity `d`.
+pub(crate) fn parse_score_request(body: &[u8], d: usize) -> ScoreRequest {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
-        Err(_) => return (400, error_body("body is not UTF-8")),
+        Err(_) => return Err((400, error_body("body is not UTF-8"))),
     };
     let doc = match json::parse(text) {
         Ok(d) => d,
-        Err(e) => return (400, error_body(&e.to_string())),
+        Err(e) => return Err((400, error_body(&e.to_string()))),
     };
     // Accept {"points": [[...], ...]} (batch) or {"point": [...]} (single).
-    let (rows, single) = if let Some(point) = doc.get("point") {
-        match parse_row(point, engine.d()) {
-            Ok(row) => (vec![row], true),
-            Err(msg) => return (400, error_body(&msg)),
+    if let Some(point) = doc.get("point") {
+        match parse_row(point, d) {
+            Ok(row) => Ok((vec![row], true)),
+            Err(msg) => Err((400, error_body(&msg))),
         }
     } else if let Some(points) = doc.get("points") {
         let Some(arr) = points.as_array() else {
-            return (400, error_body("\"points\" must be an array of rows"));
+            return Err((400, error_body("\"points\" must be an array of rows")));
         };
         if arr.is_empty() {
-            return (400, error_body("\"points\" is empty"));
+            return Err((400, error_body("\"points\" is empty")));
         }
         let mut rows = Vec::with_capacity(arr.len());
         for (i, p) in arr.iter().enumerate() {
-            match parse_row(p, engine.d()) {
+            match parse_row(p, d) {
                 Ok(row) => rows.push(row),
-                Err(msg) => return (400, error_body(&format!("row {i}: {msg}"))),
+                Err(msg) => return Err((400, error_body(&format!("row {i}: {msg}")))),
             }
         }
-        (rows, false)
+        Ok((rows, false))
     } else {
-        return (400, error_body("body must contain \"point\" or \"points\""));
-    };
+        Err((400, error_body("body must contain \"point\" or \"points\"")))
+    }
+}
 
-    let Some(results) = batcher.score(rows) else {
+/// Renders a batch completion into the `/score` response.
+pub(crate) fn format_score_reply(reply: BatchReply, single: bool) -> (u16, String) {
+    let Some(results) = reply else {
         return (503, error_body("server is shutting down"));
     };
     let mut scores = Vec::with_capacity(results.len());
@@ -358,7 +474,6 @@ fn score_endpoint(body: &[u8], engine: &Engine, batcher: &Batcher) -> (u16, Stri
             Err(e) => return (400, error_body(&format!("row {i}: {e}"))),
         }
     }
-
     let mut out = String::with_capacity(16 + scores.len() * 20);
     if single {
         out.push_str("{\"score\":");
@@ -377,12 +492,21 @@ fn score_endpoint(body: &[u8], engine: &Engine, batcher: &Batcher) -> (u16, Stri
     (200, out)
 }
 
+/// `POST /score`: parse, validate, batch-score, respond.
+fn score_endpoint(body: &[u8], engine: &Engine, batcher: &Batcher) -> (u16, String) {
+    match parse_score_request(body, engine.d()) {
+        Ok((rows, single)) => format_score_reply(batcher.score(rows), single),
+        Err(reply) => reply,
+    }
+}
+
 /// `POST /admin/reload`: load a new artifact (zero-copy mmap), build and
 /// validate its engine, and swap it into the shared handle. In-flight and
 /// keep-alive connections are untouched — they finish against whichever
 /// engine they already resolved and pick up the new one on their next
-/// request (or next batch).
-fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
+/// request (or next batch). On the reactor core this always runs on a
+/// short-lived thread, never on an event loop.
+pub(crate) fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
     // Parse the optional body: {"model": "...", "index": "brute"|"vptree"}.
     let mut path_override: Option<PathBuf> = None;
     let mut index_override: Option<IndexKind> = None;
@@ -470,7 +594,7 @@ fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
 }
 
 /// One formatted NDJSON output line (with trailing newline).
-fn stream_line(result: Result<f64, String>, line: u64, stats: &StreamStats) -> String {
+pub(crate) fn stream_line(result: Result<f64, String>, line: u64, stats: &StreamStats) -> String {
     match result {
         Ok(score) => {
             stats.lines.fetch_add(1, Ordering::Relaxed);
@@ -497,7 +621,7 @@ fn stream_line(result: Result<f64, String>, line: u64, stats: &StreamStats) -> S
 /// `{"point": [f64; d]}`. The engine is resolved **per line**, so a hot
 /// reload mid-stream takes effect on the very next line without disturbing
 /// the connection.
-fn score_stream_line(raw: &[u8], ctx: &Ctx) -> Result<f64, String> {
+pub(crate) fn score_stream_line(raw: &[u8], ctx: &Ctx) -> Result<f64, String> {
     let text = std::str::from_utf8(raw).map_err(|_| "line is not UTF-8".to_string())?;
     let doc = json::parse(text).map_err(|e| e.to_string())?;
     let engine = ctx.handle.load();
@@ -508,6 +632,7 @@ fn score_stream_line(raw: &[u8], ctx: &Ctx) -> Result<f64, String> {
 
 /// `POST /v2/score`: the streaming NDJSON scoring loop. Returns whether the
 /// connection may be kept alive (body fully consumed, no protocol damage).
+#[cfg(not(target_os = "linux"))]
 fn stream_score(
     reader: &mut std::io::BufReader<TcpStream>,
     head: &RequestHead,
@@ -640,6 +765,7 @@ fn model_body(engine: &Engine, generation: u64) -> String {
 fn stats_body(ctx: &Ctx) -> String {
     let s = ctx.batcher.stats();
     let st = &ctx.stream_stats;
+    let cn = &ctx.conns;
     let engine = ctx.handle.load();
     let retired: Vec<String> = ctx
         .handle
@@ -647,10 +773,13 @@ fn stats_body(ctx: &Ctx) -> String {
         .iter()
         .map(u64::to_string)
         .collect();
+    let batch_sizes: Vec<String> = s.batch_size_snapshot().iter().map(u64::to_string).collect();
     format!(
         "{{\"requests\":{},\"rows\":{},\"batches\":{},\"coalesced_batches\":{},\
          \"streams\":{{\"opened\":{},\"lines\":{},\"errors\":{}}},\
-         \"generation\":{},\"shards\":{},\"retired_generations\":[{}],\"index\":{}}}",
+         \"generation\":{},\"shards\":{},\"retired_generations\":[{}],\"index\":{},\
+         \"connections\":{{\"accepted\":{},\"active\":{},\"shed\":{}}},\
+         \"reactors\":{},\"batch_sizes\":[{}]}}",
         s.requests.load(Ordering::Relaxed),
         s.rows.load(Ordering::Relaxed),
         s.batches.load(Ordering::Relaxed),
@@ -662,6 +791,11 @@ fn stats_body(ctx: &Ctx) -> String {
         engine.shard_count(),
         retired.join(","),
         index_object(&engine),
+        cn.accepted.load(Ordering::Relaxed),
+        cn.active.load(Ordering::Relaxed),
+        cn.shed.load(Ordering::Relaxed),
+        ctx.reactors,
+        batch_sizes.join(","),
     )
 }
 
@@ -703,7 +837,9 @@ mod tests {
             batcher,
             reload: Arc::new(Mutex::new(ReloadSource::default())),
             stream_stats: Arc::new(StreamStats::default()),
+            conns: Arc::new(ConnStats::default()),
             config: Arc::new(ServeConfig::default()),
+            reactors: 1,
         }
     }
 
@@ -902,6 +1038,9 @@ mod tests {
             assert_eq!(status, 200);
             assert!(body.contains("\"index\":{\"kind\":\"brute\""), "{body}");
             assert!(body.contains("\"streams\":{"), "{body}");
+            assert!(body.contains("\"connections\":{"), "{body}");
+            assert!(body.contains("\"reactors\":1"), "{body}");
+            assert!(body.contains("\"batch_sizes\":["), "{body}");
             assert_eq!(dispatch(&get("/nope"), ctx).0, 404);
             let delete = Request {
                 method: "DELETE".into(),

@@ -1,0 +1,385 @@
+//! Adversarial-client edge cases for the non-blocking serving core: a
+//! slow-loris head, a mid-chunked-body stall, a client that stops reading
+//! until the server's send buffer fills (backpressure, not data loss), an
+//! abrupt disconnect while a batch is in flight, and a hot reload racing a
+//! crowd of live connections.
+
+use hics_core::{FitBuilder, HicsParams};
+use hics_data::model::NormKind;
+use hics_data::{HicsModel, SyntheticConfig};
+use hics_outlier::QueryEngine;
+use hics_serve::{ServeConfig, Server, ShutdownHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct RunningServer {
+    addr: std::net::SocketAddr,
+    handle: ShutdownHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl RunningServer {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread");
+    }
+}
+
+fn start_server(engine: QueryEngine, config: ServeConfig) -> RunningServer {
+    let server = Server::bind(engine, config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    RunningServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        max_batch: 64,
+        workers: 1,
+        keep_alive: Duration::from_secs(1),
+        stream_idle: Duration::from_secs(1),
+        max_connections: 256,
+        ..ServeConfig::default()
+    }
+}
+
+fn fit_model(seed: u64) -> (HicsModel, hics_data::LabeledDataset) {
+    let g = SyntheticConfig::new(120, 5).with_seed(seed).generate();
+    let mut p = HicsParams::paper_defaults().with_seed(seed);
+    p.search.m = 15;
+    p.search.candidate_cutoff = 25;
+    p.search.top_k = 8;
+    p.lof_k = 6;
+    let model = FitBuilder::new(p)
+        .normalize(NormKind::MinMax)
+        .fit(&g.dataset);
+    (model, g)
+}
+
+fn fit_engine(seed: u64) -> (QueryEngine, hics_data::LabeledDataset) {
+    let (model, g) = fit_model(seed);
+    (QueryEngine::from_model(&model, 1), g)
+}
+
+/// Reads status code and body of one HTTP/1.1 response (Content-Length
+/// framing).
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read head");
+        assert!(n > 0, "connection closed mid-head");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf).expect("utf-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_owned)
+        })
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// A half-sent request head must not hold its connection forever: after
+/// `keep_alive` of silence the server closes it — without writing anything,
+/// exactly like the blocking handler's read timeout did.
+#[test]
+fn slow_loris_head_is_disconnected_after_keep_alive() {
+    let (engine, _) = fit_engine(71);
+    let server = start_server(engine, quick_config());
+
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A head that never finishes: no blank line, then silence.
+    stream
+        .write_all(b"POST /score HTTP/1.1\r\nHost: t\r\n")
+        .expect("send partial head");
+    let started = Instant::now();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read until close");
+    let waited = started.elapsed();
+    assert!(buf.is_empty(), "silent close expected, got {buf:?}");
+    assert!(
+        waited >= Duration::from_millis(800),
+        "closed too early: {waited:?}"
+    );
+    assert!(waited < Duration::from_secs(8), "not closed: {waited:?}");
+    server.stop();
+}
+
+/// A `/v2/score` stream that stalls mid-chunked-body gets the idle error
+/// reported **in-stream** (with correct chunked framing and the final
+/// terminator) and the connection is then closed.
+#[test]
+fn stalled_chunked_stream_gets_in_stream_idle_error_then_close() {
+    let (engine, g) = fit_engine(72);
+    let server = start_server(engine, quick_config());
+
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v2/score HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .expect("send head");
+    // One complete line in one chunk, then stall without the 0-chunk.
+    let row = g.dataset.row(3);
+    let line = format!(
+        "[{}]\n",
+        row.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+    );
+    stream
+        .write_all(format!("{:x}\r\n{line}\r\n", line.len()).as_bytes())
+        .expect("send chunk");
+
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut l = String::new();
+        reader.read_line(&mut l).expect("head line");
+        if l == "\r\n" {
+            break;
+        }
+        head.push_str(&l);
+    }
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    // Everything after the head until the server gives up on us.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read until close");
+    assert!(rest.contains("{\"score\":"), "line 1 was scored: {rest}");
+    assert!(
+        rest.contains("stream idle for more than"),
+        "idle error reported in-stream: {rest}"
+    );
+    assert!(rest.contains("\"line\":1"), "{rest}");
+    assert!(
+        rest.ends_with("0\r\n\r\n"),
+        "stream terminated with the final chunk: {rest:?}"
+    );
+    server.stop();
+}
+
+/// A streaming client that floods lines while reading nothing fills the
+/// server's outbound buffer past the high-water mark. The server must stop
+/// *reading* (backpressure), not drop scores: once the client drains, every
+/// single line has a response.
+#[test]
+fn backpressure_on_a_non_reading_client_loses_no_lines() {
+    let (engine, g) = fit_engine(73);
+    let mut config = quick_config();
+    config.stream_idle = Duration::from_secs(8);
+    // Tiny high-water so the test trips backpressure with modest volume.
+    config.high_water = 4 * 1024;
+    let server = start_server(engine, config);
+
+    const LINES: usize = 2000;
+    let row = g.dataset.row(5);
+    let line = format!(
+        "[{}]\n",
+        row.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+    );
+    let body = line.repeat(LINES);
+
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone socket");
+    let head = format!(
+        "POST /v2/score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Writer pumps the whole body from its own thread (it will block once
+    // the server pauses reads); the main thread plays the slow consumer.
+    let pump = std::thread::spawn(move || {
+        writer.write_all(head.as_bytes()).expect("send head");
+        writer.write_all(body.as_bytes()).expect("send body");
+    });
+    // Give the flood time to hit the high-water mark before draining.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("drain responses");
+    pump.join().expect("writer thread");
+
+    let scored = raw.matches("{\"score\":").count();
+    assert_eq!(scored, LINES, "every line must be scored exactly once");
+    assert!(!raw.contains("\"error\""), "no error lines expected: {raw}");
+    assert!(raw.ends_with("0\r\n\r\n"), "clean stream end");
+    server.stop();
+}
+
+/// Clients that vanish mid-request — after a full request whose batch is in
+/// flight, or mid-body — must not wedge the reactor, leak slots, or
+/// misdeliver the orphaned batch completion to a later connection.
+#[test]
+fn abrupt_disconnects_mid_batch_do_not_poison_the_server() {
+    let (engine, g) = fit_engine(74);
+    let reference = engine.clone();
+    let server = start_server(engine, quick_config());
+    let row = g.dataset.row(7);
+    let json = format!(
+        "{{\"point\": [{}]}}",
+        row.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+    );
+
+    for i in 0..10 {
+        // Full request, then hang up before the batch completes.
+        let mut stream = TcpStream::connect(server.addr).expect("connect");
+        let request = format!(
+            "POST /score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{json}",
+            json.len()
+        );
+        stream.write_all(request.as_bytes()).expect("send");
+        drop(stream);
+
+        // Half a body, then hang up.
+        let mut stream = TcpStream::connect(server.addr).expect("connect");
+        let request = format!(
+            "POST /score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            json.len(),
+            &json[..json.len() / 2]
+        );
+        stream.write_all(request.as_bytes()).expect("send");
+        drop(stream);
+
+        // The server keeps answering correctly in between.
+        let mut stream = TcpStream::connect(server.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let request = format!(
+            "POST /score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{json}",
+            json.len()
+        );
+        stream.write_all(request.as_bytes()).expect("send");
+        let (status, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "round {i}: {body}");
+        let got: f64 = body
+            .split(':')
+            .nth(1)
+            .and_then(|s| s.split('}').next())
+            .expect("score field")
+            .trim()
+            .parse()
+            .expect("numeric score");
+        assert_eq!(got, reference.score(&row).expect("valid row"), "round {i}");
+    }
+    server.stop();
+}
+
+/// A hot reload firing while dozens of keep-alive connections score must
+/// never produce a non-200, a malformed body, or a non-finite score — every
+/// request is served by whichever engine generation it raced into.
+#[test]
+fn hot_reload_races_many_live_connections() {
+    let (model_a, g) = fit_model(75);
+    let (model_b, _) = fit_model(76);
+    let dir = std::env::temp_dir().join("hics-reactor-edge-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a: PathBuf = dir.join("a.hics");
+    let path_b: PathBuf = dir.join("b.hics");
+    model_a.save(&path_a).expect("save a");
+    model_b.save(&path_b).expect("save b");
+
+    let mut config = quick_config();
+    config.keep_alive = Duration::from_secs(10);
+    let server = start_server(QueryEngine::from_model(&model_a, 1), config);
+    let addr = server.addr;
+
+    const CLIENTS: usize = 16;
+    const ROUNDS: usize = 20;
+    let mut clients = Vec::new();
+    for t in 0..CLIENTS {
+        let row = g.dataset.row((t * 11) % g.dataset.n());
+        clients.push(std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(15)))
+                .unwrap();
+            let json = format!(
+                "{{\"point\": [{}]}}",
+                row.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+            );
+            let request = format!(
+                "POST /score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{json}",
+                json.len()
+            );
+            for round in 0..ROUNDS {
+                stream.write_all(request.as_bytes()).expect("send");
+                let (status, body) = read_response(&mut stream);
+                assert_eq!(status, 200, "client {t} round {round}: {body}");
+                let got: f64 = body
+                    .split(':')
+                    .nth(1)
+                    .and_then(|s| s.split('}').next())
+                    .expect("score field")
+                    .trim()
+                    .parse()
+                    .expect("numeric score");
+                assert!(got.is_finite(), "client {t} round {round}: {got}");
+            }
+        }));
+    }
+
+    // Meanwhile: flip the model back and forth under the load.
+    for path in [&path_b, &path_a, &path_b, &path_a] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(15)))
+            .unwrap();
+        let json = format!("{{\"model\": \"{}\"}}", path.display());
+        let request = format!(
+            "POST /admin/reload HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{json}",
+            json.len()
+        );
+        stream.write_all(request.as_bytes()).expect("send reload");
+        let (status, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"reloaded\""), "{body}");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // The stats endpoint reconciles: every request was counted.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send stats");
+    let (status, stats) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    let expected = format!("\"requests\":{}", CLIENTS * ROUNDS);
+    assert!(stats.contains(&expected), "{stats}");
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
