@@ -17,6 +17,11 @@
 //!    per-line round-trip in ping-pong mode (send line, await score), and
 //!    points/sec in pipelined mode (writer thread streams every line while
 //!    the reader drains scores).
+//! 4. **Observability cost**: `GET /metrics` scrape latency and exposition
+//!    size after the full workload, the per-stage p999 timings the server
+//!    recorded about its own request handling, and the throughput delta
+//!    between an instrumented and an `instrument: false` server at the
+//!    peak keep-alive concurrency level.
 //!
 //! Writes `BENCH_serve.json` at the repository root.
 //!
@@ -135,6 +140,7 @@ fn start_server(
     engine: QueryEngine,
     threads: usize,
     reactor_threads: usize,
+    instrument: bool,
 ) -> (std::net::SocketAddr, ShutdownHandle) {
     let server = Server::bind(
         engine,
@@ -142,6 +148,7 @@ fn start_server(
             addr: "127.0.0.1:0".into(),
             threads,
             reactor_threads,
+            instrument,
             ..ServeConfig::default()
         },
     )
@@ -320,6 +327,29 @@ fn bench_connection_level(
     }
 }
 
+/// One `GET` on a fresh connection; returns the response body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut reader = BufReader::new(stream);
+    read_sized_response(&mut reader)
+}
+
+/// The value of the exposition line starting with this exact prefix
+/// (metric name plus its full label set), e.g.
+/// `hics_request_seconds{quantile="0.999"}`.
+fn exposition_value(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(prefix).and_then(|v| v.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("{prefix} not found in /metrics exposition"))
+}
+
 /// Reads the head of a chunked response, then returns a closure-friendly
 /// reader state for pulling one chunk (= one NDJSON line) at a time.
 fn read_chunked_head<S: Read>(reader: &mut BufReader<S>) {
@@ -447,8 +477,9 @@ fn main() {
 
     eprintln!("starting server...");
     let artifact = Arc::new(ModelArtifact::open_mmap(&path).expect("mmap"));
-    let engine = QueryEngine::from_artifact(artifact, Some(IndexKind::VpTree), threads);
-    let (addr, shutdown) = start_server(engine, threads, reactor_threads);
+    let engine =
+        QueryEngine::from_artifact(Arc::clone(&artifact), Some(IndexKind::VpTree), threads);
+    let (addr, shutdown) = start_server(engine, threads, reactor_threads, true);
 
     eprintln!("batch /score: {requests} single-point requests + 100-point batches...");
     let batch = bench_batch_score(addr, &queries, requests);
@@ -486,6 +517,85 @@ fn main() {
             level
         })
         .collect();
+
+    // Observability: scrape cost and the per-stage timings the server
+    // recorded about the workload above, then the instrumentation overhead
+    // against a second server with the timeline switched off.
+    let scrapes = if quick { 20 } else { 50 };
+    eprintln!("observability: {scrapes} /metrics scrapes + per-stage p999...");
+    let mut scrape_ms = Vec::with_capacity(scrapes);
+    let mut exposition = String::new();
+    for _ in 0..scrapes {
+        let t = Instant::now();
+        exposition = http_get(addr, "/metrics");
+        scrape_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    scrape_ms.sort_by(f64::total_cmp);
+    let stage_names = ["head_parse", "body", "enqueue", "score", "flush"];
+    let stage_p999_ms: Vec<f64> = stage_names
+        .iter()
+        .map(|s| {
+            exposition_value(
+                &exposition,
+                &format!("hics_request_stage_seconds{{stage=\"{s}\",quantile=\"0.999\"}}"),
+            ) * 1000.0
+        })
+        .collect();
+    let request_p999_ms =
+        exposition_value(&exposition, "hics_request_seconds{quantile=\"0.999\"}") * 1000.0;
+    eprintln!(
+        "  scrape p50 {:.3} ms / p99 {:.3} ms ({} bytes); request p999 {:.3} ms",
+        percentile(&scrape_ms, 0.50),
+        percentile(&scrape_ms, 0.99),
+        exposition.len(),
+        request_p999_ms
+    );
+    for (name, ms) in stage_names.iter().zip(&stage_p999_ms) {
+        eprintln!("  stage {name}: p999 {ms:.3} ms");
+    }
+
+    let overhead_conns = 128usize;
+    eprintln!("instrumentation overhead at {overhead_conns} connections...");
+    let off_engine =
+        QueryEngine::from_artifact(Arc::clone(&artifact), Some(IndexKind::VpTree), threads);
+    let (off_addr, off_shutdown) = start_server(off_engine, threads, reactor_threads, false);
+    // Run-to-run throughput drift on a shared box rivals the effect being
+    // measured, so the comparison is paired and order-balanced: one
+    // untimed warm-up per server, then many short back-to-back on/off
+    // trials alternating which server goes first (whichever is measured
+    // first in a pair tends to inherit the client's cooldown, so a fixed
+    // order biases the ratio). Drift between pairs cancels in each pair's
+    // ratio; the median ratio is the overhead claim, best-of is the
+    // throughput claim.
+    bench_connection_level(addr, &queries, pool_requests / 4, overhead_conns);
+    bench_connection_level(off_addr, &queries, pool_requests / 4, overhead_conns);
+    let overhead_trials = if quick { 6 } else { 16 };
+    let mut ratios = Vec::new();
+    let (mut instrumented_rps, mut uninstrumented_rps) = (0f64, 0f64);
+    for trial in 0..overhead_trials {
+        let (first, second) = if trial % 2 == 0 {
+            (addr, off_addr)
+        } else {
+            (off_addr, addr)
+        };
+        let a =
+            bench_connection_level(first, &queries, pool_requests, overhead_conns).requests_per_sec;
+        let b = bench_connection_level(second, &queries, pool_requests, overhead_conns)
+            .requests_per_sec;
+        let (on, off) = if trial % 2 == 0 { (a, b) } else { (b, a) };
+        instrumented_rps = instrumented_rps.max(on);
+        uninstrumented_rps = uninstrumented_rps.max(off);
+        ratios.push(off / on);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0;
+    off_shutdown.shutdown();
+    let overhead_pct = (1.0 - 1.0 / median_ratio) * 100.0;
+    eprintln!(
+        "  instrumented {instrumented_rps:.0} requests/s vs uninstrumented \
+         {uninstrumented_rps:.0} requests/s ({overhead_pct:+.2}% median paired overhead)"
+    );
+
     shutdown.shutdown();
     std::fs::remove_file(&path).ok();
 
@@ -517,6 +627,26 @@ fn main() {
         json,
         "  \"stream_score\": {{\"p50_ms\": {stream_p50:.3}, \"p99_ms\": {stream_p99:.3}, \
          \"points_per_sec\": {stream_pps:.0}}},"
+    );
+    let stage_entries: Vec<String> = stage_names
+        .iter()
+        .zip(&stage_p999_ms)
+        .map(|(name, ms)| format!("\"{name}\": {ms:.3}"))
+        .collect();
+    let _ = writeln!(
+        json,
+        "  \"observability\": {{\"scrape_p50_ms\": {:.3}, \"scrape_p99_ms\": {:.3}, \
+         \"exposition_bytes\": {}, \"stage_p999_ms\": {{{}}}, \"request_p999_ms\": {:.3}, \
+         \"instrumented_rps\": {:.0}, \"uninstrumented_rps\": {:.0}, \
+         \"overhead_pct\": {:.2}}},",
+        percentile(&scrape_ms, 0.50),
+        percentile(&scrape_ms, 0.99),
+        exposition.len(),
+        stage_entries.join(", "),
+        request_p999_ms,
+        instrumented_rps,
+        uninstrumented_rps,
+        overhead_pct
     );
     let pool_entries: Vec<String> = pool
         .iter()

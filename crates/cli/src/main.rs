@@ -14,12 +14,13 @@
 //!               [--scorer lof|knn|knnkth] [--normalize none|minmax|zscore]
 //!               [--index brute|vptree] [--shards S]
 //!               [--shard-partition contiguous|hash] [--shard-agg mean|max]
-//!               [--shard-parallel P] [search options]
+//!               [--shard-parallel P] [--progress] [search options]
 //! hics score    --model model.hics --input queries.csv [--labels] [--top 20]
 //!               [--out scores.csv] [--index brute|vptree] [--load mmap|heap]
 //! hics serve    --model model.hics [--addr 127.0.0.1:7878] [--max-batch 512]
 //!               [--workers 1] [--reactors 0] [--batch-wait-us 0]
 //!               [--index brute|vptree] [--load mmap|heap]
+//!               [--log-format text|json] [--slow-query-us N] [--no-instrument]
 //! ```
 //!
 //! `import` streams CSV/ARFF rows into a columnar dataset store with
@@ -51,7 +52,9 @@ use hics_baselines::{
     EnclusMethod, EnclusParams, FullSpaceLof, HicsMethod, OutlierMethod, PcaLofMethod,
     RandSubMethod, RandomSubspacesParams, RisMethod, RisParams,
 };
-use hics_core::{FitBuilder, Hics, HicsParams, ShardFitSpec, StatTest, SubspaceSearch};
+use hics_core::{
+    FitBuilder, FitObserver, Hics, HicsParams, ShardFitSpec, StatTest, SubspaceSearch,
+};
 use hics_data::arff::{read_arff_file, ArffReader};
 use hics_data::csv::{read_csv_file, write_csv_file, CsvData, CsvReader};
 use hics_data::manifest::{PartitionKind, ShardAggregation};
@@ -60,11 +63,13 @@ use hics_data::{DatasetSource, HicsError, HicsModel, ModelArtifact, SyntheticCon
 use hics_eval::report::{Stopwatch, TextTable};
 use hics_eval::roc::roc_auc;
 use hics_outlier::{Engine, IndexKind, QueryEngine};
-use hics_serve::{ServeConfig, Server};
+use hics_serve::{LogFormat, ServeConfig, Server};
 use hics_store::{DatasetStore, FileKind, StoreWriter, DEFAULT_CHUNK_ROWS};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A CLI failure, carrying its exit code.
 #[derive(Debug)]
@@ -157,12 +162,13 @@ fn print_usage() {
     println!("            [--scorer lof|knn|knnkth] [--normalize none|minmax|zscore]");
     println!("            [--index brute|vptree] [--k 10] [--shards S]");
     println!("            [--shard-partition contiguous|hash] [--shard-agg mean|max]");
-    println!("            [--shard-parallel P] [search options]");
+    println!("            [--shard-parallel P] [--progress] [search options]");
     println!("  score     --model <model.hics> --input <queries.csv> [--labels] [--top 20]");
     println!("            [--out <scores.csv>] [--index brute|vptree] [--load mmap|heap]");
     println!("  serve     --model <model.hics> [--addr 127.0.0.1:7878] [--max-batch 512]");
     println!("            [--workers 1] [--reactors 0] [--batch-wait-us 0]");
     println!("            [--index brute|vptree] [--load mmap|heap]");
+    println!("            [--log-format text|json] [--slow-query-us N] [--no-instrument]");
     println!("  help      this message");
     println!();
     println!("  --threads N applies to search/rank/evaluate/fit/score/serve");
@@ -171,6 +177,10 @@ fn print_usage() {
     println!("  --load mmap (default) opens artifacts zero-copy; heap materialises them");
     println!("  --reactors sets serve's event-loop thread count (0 = auto, Linux epoll);");
     println!("  --batch-wait-us lets batch workers linger that long for deeper batches");
+    println!("  fit --progress narrates phases/levels/shards on stderr as they finish");
+    println!("  serve exposes Prometheus text on GET /metrics; --slow-query-us N logs");
+    println!("  requests slower than N microseconds (--log-format json for one JSON");
+    println!("  object per line); --no-instrument drops per-stage request timelines");
     println!("  store-backed fits read columns zero-copy from the map (normalise at");
     println!("  import time); --shards fits partitions independently and serves their");
     println!("  mean|max score ensemble from a sharded manifest");
@@ -478,6 +488,68 @@ fn cmd_import(args: &Args) -> Result<(), CliError> {
 /// store's import-time normalisation). With `--shards S` the rows are
 /// partitioned deterministically, every shard is fitted independently, and
 /// a sharded manifest is written at `--out` instead of a single artifact.
+/// `fit --progress`: narrates the pipeline on stderr as it runs. Phase,
+/// level and shard lines print as each completes; the contrast-evaluation
+/// ticker is throttled to about one line per second (the hook fires from
+/// every search worker thread, so the counters are atomic and the throttle
+/// clock is taken with `try_lock` — a contended tick is simply skipped).
+struct ProgressObserver {
+    evals: AtomicU64,
+    draws: AtomicU64,
+    last: Mutex<Instant>,
+}
+
+impl ProgressObserver {
+    fn new() -> Self {
+        ProgressObserver {
+            evals: AtomicU64::new(0),
+            draws: AtomicU64::new(0),
+            last: Mutex::new(Instant::now()),
+        }
+    }
+}
+
+impl FitObserver for ProgressObserver {
+    fn phase_started(&self, phase: &str) {
+        eprintln!("# phase {phase}: started");
+    }
+
+    fn phase_finished(&self, phase: &str, nanos: u64) {
+        eprintln!("# phase {phase}: {:.2}s", nanos as f64 / 1e9);
+    }
+
+    fn contrast_evaluated(&self, slice_draws: u64) {
+        let evals = self.evals.fetch_add(1, Ordering::Relaxed) + 1;
+        let draws = self.draws.fetch_add(slice_draws, Ordering::Relaxed) + slice_draws;
+        if let Ok(mut last) = self.last.try_lock() {
+            if last.elapsed() >= Duration::from_secs(1) {
+                *last = Instant::now();
+                eprintln!("# progress: {evals} contrast evaluations, {draws} slice draws");
+            }
+        }
+    }
+
+    fn level_done(&self, level: usize, evaluated: usize, retained: usize, nanos: u64) {
+        eprintln!(
+            "# level {level}: {evaluated} evaluated, {retained} retained, {:.2}s",
+            nanos as f64 / 1e9
+        );
+    }
+
+    fn shard_phase(&self, shard: usize, phase: &str, nanos: u64) {
+        eprintln!("# shard {shard} {phase}: {:.2}s", nanos as f64 / 1e9);
+    }
+}
+
+/// Attaches the stderr progress observer when `--progress` was given.
+fn maybe_observe(builder: FitBuilder, progress: bool) -> FitBuilder {
+    if progress {
+        builder.observe(Arc::new(ProgressObserver::new()))
+    } else {
+        builder
+    }
+}
+
 fn cmd_fit(args: &Args) -> Result<(), CliError> {
     let input = args.require("input")?;
     let out = args.require("out")?;
@@ -500,6 +572,7 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
     // Fits write a `<artifact>.hoods` sidecar of precomputed neighbourhood
     // state by default, so opens and reloads skip the all-points kNN pass.
     let precompute = !args.flag("no-precompute");
+    let progress = args.flag("progress");
     let shards: Option<usize> = args
         .get("shards")
         .map(str::parse)
@@ -536,10 +609,13 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
                 .map_err(ArgError)?,
             parallel: args.get_or("shard-parallel", 0)?,
         };
-        let builder = FitBuilder::new(params)
-            .scorer(scorer)
-            .index(index)
-            .precompute(precompute);
+        let builder = maybe_observe(
+            FitBuilder::new(params)
+                .scorer(scorer)
+                .index(index)
+                .precompute(precompute),
+            progress,
+        );
         let manifest = match &store {
             // The user's --normalize reaches the builder so a stray one on
             // a store input is rejected by its source-fit check (stores
@@ -586,12 +662,15 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
     if let Some(store) = &store {
         // As above: --normalize flows into the builder so its source-fit
         // check rejects it with the canonical message.
-        let summary = FitBuilder::new(params)
-            .normalize(norm)
-            .scorer(scorer)
-            .index(index)
-            .precompute(precompute)
-            .fit_source_to(store, Path::new(out))?;
+        let summary = maybe_observe(
+            FitBuilder::new(params)
+                .normalize(norm)
+                .scorer(scorer)
+                .index(index)
+                .precompute(precompute),
+            progress,
+        )
+        .fit_source_to(store, Path::new(out))?;
         println!(
             "# fitted {} x {} model from store (zero-copy columns): {} subspaces, {} scorer \
              (k={}), {} normalization (import-time), {} index, v{} artifact, {:.2}s",
@@ -610,11 +689,14 @@ fn cmd_fit(args: &Args) -> Result<(), CliError> {
     }
 
     let data = load(args)?;
-    let model = FitBuilder::new(params)
-        .normalize(norm)
-        .scorer(scorer)
-        .index(index)
-        .fit(&data.dataset);
+    let model = maybe_observe(
+        FitBuilder::new(params)
+            .normalize(norm)
+            .scorer(scorer)
+            .index(index),
+        progress,
+    )
+    .fit(&data.dataset);
     model.save(Path::new(out))?;
     if precompute {
         hics_outlier::write_hoods_sidecar(Path::new(out), params.search.max_threads)?;
@@ -714,13 +796,31 @@ fn cmd_score(args: &Args) -> Result<(), CliError> {
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let model_path = args.require("model")?;
     let max_threads = threads(args)?;
+    let log_format = match args.get("log-format").unwrap_or("text") {
+        "text" => LogFormat::Text,
+        "json" => LogFormat::Json,
+        other => {
+            return Err(ArgError(format!(
+                "unknown log format {other:?} (expected text or json)"
+            ))
+            .into())
+        }
+    };
+    // `--slow-query-us 0` (or absent) disables slow-query logging.
+    let slow_query = match args.get_or("slow-query-us", 0u64)? {
+        0 => None,
+        us => Some(Duration::from_micros(us)),
+    };
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         threads: max_threads,
         max_batch: args.get_or("max-batch", 512)?,
         workers: args.get_or("workers", 1)?,
         reactor_threads: args.get_or("reactors", 0)?,
-        batch_max_wait: std::time::Duration::from_micros(args.get_or("batch-wait-us", 0)?),
+        batch_max_wait: Duration::from_micros(args.get_or("batch-wait-us", 0)?),
+        instrument: !args.flag("no-instrument"),
+        log_format,
+        slow_query,
         ..ServeConfig::default()
     };
     if config.max_batch == 0 || config.workers == 0 {
@@ -748,7 +848,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .map_err(|e| HicsError::Serve(format!("resolving listen address: {e}")))?;
     println!(
         "# serving on http://{addr}  (POST /score /v2/score /admin/reload, \
-         GET /healthz /model /stats)"
+         GET /healthz /model /stats /metrics)"
     );
     server
         .run()

@@ -8,11 +8,14 @@
 //! * [`search`] — the Apriori-like candidate framework with adaptive cutoff
 //!   and redundancy pruning (Section IV-B).
 //! * [`pipeline`] — search + density-based ranking + aggregation, end to end.
+//! * [`progress`] — the [`progress::FitObserver`] seam: per-level search
+//!   progress, phase timings and per-shard completion for long fits.
 
 #![warn(missing_docs)]
 
 pub mod contrast;
 pub mod pipeline;
+pub mod progress;
 pub mod search;
 pub mod slice;
 pub mod subspace;
@@ -21,6 +24,7 @@ pub use contrast::{ContrastEstimator, DeviationTest, StatTest};
 pub use pipeline::{
     FitBuilder, FitSummary, Hics, HicsParams, HicsResult, ScorerConfig, ShardFitSpec,
 };
+pub use progress::{FitMetrics, FitObserver, NoopObserver};
 pub use search::{ScoredSubspace, SearchParams, SearchReport, SubspaceSearch};
 pub use slice::{SliceSampler, SliceSizing};
 pub use subspace::Subspace;

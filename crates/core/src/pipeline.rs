@@ -1,6 +1,7 @@
 //! The end-to-end HiCS pipeline: subspace search → outlier ranking →
 //! aggregation (the two-step decoupled processing of Section I).
 
+use crate::progress::{FitObserver, NoopObserver};
 use crate::search::{ScoredSubspace, SearchParams, SubspaceSearch};
 use hics_data::manifest::{PartitionKind, ShardAggregation, ShardEntry, ShardManifest};
 use hics_data::model::{
@@ -15,6 +16,8 @@ use hics_outlier::parallel::par_map;
 use hics_outlier::scorer::{score_subspaces, SubspaceScorer};
 use hics_outlier::SubspaceView;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Parameters of the full HiCS pipeline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -89,13 +92,26 @@ pub struct ScorerConfig {
 /// `Hics::fit_with_config`, which survive as thin deprecated shims. The
 /// defaults reproduce `Hics::fit(data, NormKind::None)`: no normalisation,
 /// LOF with the pipeline's `lof_k`, brute-force neighbour search.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FitBuilder {
     params: HicsParams,
     norm: NormKind,
     scorer: ScorerSpec,
     index: IndexKind,
     precompute: bool,
+    observer: Arc<dyn FitObserver>,
+}
+
+impl std::fmt::Debug for FitBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitBuilder")
+            .field("params", &self.params)
+            .field("norm", &self.norm)
+            .field("scorer", &self.scorer)
+            .field("index", &self.index)
+            .field("precompute", &self.precompute)
+            .finish_non_exhaustive()
+    }
 }
 
 impl FitBuilder {
@@ -114,6 +130,7 @@ impl FitBuilder {
             },
             index: IndexKind::Brute,
             precompute: true,
+            observer: Arc::new(NoopObserver),
         }
     }
 
@@ -145,6 +162,14 @@ impl FitBuilder {
     /// a matching sidecar adopt it, others compute as before.
     pub fn precompute(mut self, precompute: bool) -> Self {
         self.precompute = precompute;
+        self
+    }
+
+    /// Installs a progress observer: it sees phase starts/finishes, every
+    /// contrast evaluation (from worker threads) and per-shard completions.
+    /// Defaults to [`NoopObserver`]; results are identical either way.
+    pub fn observe(mut self, observer: Arc<dyn FitObserver>) -> Self {
+        self.observer = observer;
         self
     }
 
@@ -180,19 +205,29 @@ impl FitBuilder {
         norm_kind: NormKind,
         norm_params: Vec<NormParam>,
     ) -> HicsModel {
-        let subspaces = SubspaceSearch::new(self.params.search).run(&trained);
-        let model_subspaces = to_model_subspaces(&subspaces);
+        self.observer.phase_started("search");
+        let search_start = Instant::now();
+        let (report, _rank) = SubspaceSearch::new(self.params.search)
+            .run_view_observed(&ColumnsView::from_dataset(&trained), &*self.observer);
+        self.observer
+            .phase_finished("search", search_start.elapsed().as_nanos() as u64);
+        let model_subspaces = to_model_subspaces(&report.result);
         let index = match self.index {
             IndexKind::Brute => None,
-            IndexKind::VpTree => Some(ModelIndex {
-                trees: model_subspaces
+            IndexKind::VpTree => {
+                self.observer.phase_started("index");
+                let index_start = Instant::now();
+                let trees = model_subspaces
                     .iter()
                     .map(|s| {
                         let view = SubspaceView::new(&trained, &s.dims);
                         VpTree::build(&view).into_data()
                     })
-                    .collect(),
-            }),
+                    .collect();
+                self.observer
+                    .phase_finished("index", index_start.elapsed().as_nanos() as u64);
+                Some(ModelIndex { trees })
+            }
         };
         let mut model = HicsModel::new(
             trained,
@@ -246,20 +281,32 @@ impl FitBuilder {
         let view = ColumnsView::from_source(source);
         let norm_kind = source.norm_kind();
         let norm = source.norm_params().into_owned();
-        let (report, rank) = SubspaceSearch::new(self.params.search).run_view_with_index(&view);
+        self.observer.phase_started("search");
+        let search_start = Instant::now();
+        let (report, rank) =
+            SubspaceSearch::new(self.params.search).run_view_observed(&view, &*self.observer);
+        self.observer
+            .phase_finished("search", search_start.elapsed().as_nanos() as u64);
         let model_subspaces = to_model_subspaces(&report.result);
         let index = match self.index {
             IndexKind::Brute => None,
-            IndexKind::VpTree => Some(ModelIndex {
-                trees: model_subspaces
+            IndexKind::VpTree => {
+                self.observer.phase_started("index");
+                let index_start = Instant::now();
+                let trees = model_subspaces
                     .iter()
                     .map(|s| {
                         let sub = SubspaceView::from_columns_view(&view, &s.dims);
                         VpTree::build(&sub).into_data()
                     })
-                    .collect(),
-            }),
+                    .collect();
+                self.observer
+                    .phase_finished("index", index_start.elapsed().as_nanos() as u64);
+                Some(ModelIndex { trees })
+            }
         };
+        self.observer.phase_started("save");
+        let save_start = Instant::now();
         save_model_streaming(
             out,
             &view,
@@ -273,8 +320,14 @@ impl FitBuilder {
             // for the order-permutation section.
             Some(&rank),
         )?;
+        self.observer
+            .phase_finished("save", save_start.elapsed().as_nanos() as u64);
         if self.precompute {
+            self.observer.phase_started("precompute");
+            let pre_start = Instant::now();
             hics_outlier::write_hoods_sidecar(out, self.params.search.max_threads.max(1))?;
+            self.observer
+                .phase_finished("precompute", pre_start.elapsed().as_nanos() as u64);
         }
         Ok(FitSummary {
             n: view.n(),
@@ -354,14 +407,24 @@ impl FitBuilder {
                     scorer: self.scorer,
                     index: self.index,
                     precompute: self.precompute,
+                    observer: Arc::clone(&self.observer),
                 };
+                let fit_start = Instant::now();
                 let model = builder.fit_prenormalized(shard_data, norm_kind, norm.clone());
                 let shard_path = dir.join(&files[k]);
                 model.save(&shard_path)?;
+                self.observer
+                    .shard_phase(k, "fit", fit_start.elapsed().as_nanos() as u64);
                 if self.precompute {
                     // One engine build per shard at fit time buys every
                     // later open/reload out of the all-points kNN pass.
+                    let pre_start = Instant::now();
                     hics_outlier::write_hoods_sidecar(&shard_path, inner_threads)?;
+                    self.observer.shard_phase(
+                        k,
+                        "precompute",
+                        pre_start.elapsed().as_nanos() as u64,
+                    );
                 }
                 Ok(ShardEntry {
                     file: files[k].clone(),

@@ -16,11 +16,13 @@
 //! subspaces by contrast are returned.
 
 use crate::contrast::{ContrastEstimator, StatTest};
+use crate::progress::{FitObserver, NoopObserver};
 use crate::slice::SliceSizing;
 use crate::subspace::Subspace;
 use hics_data::{ColumnsView, Dataset, DatasetSource, RankIndex};
 use hics_outlier::parallel::par_map_init;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Parameters of the HiCS subspace search.
 #[derive(Debug, Clone, Copy)]
@@ -141,6 +143,17 @@ impl SubspaceSearch {
     /// the artifact's order-permutation section instead of re-argsorting
     /// every column.
     pub fn run_view_with_index(&self, view: &ColumnsView<'_>) -> (SearchReport, RankIndex) {
+        self.run_view_observed(view, &NoopObserver)
+    }
+
+    /// [`SubspaceSearch::run_view_with_index`] with a progress observer:
+    /// `obs` sees every contrast evaluation (from worker threads) and every
+    /// completed level. Results are identical to the unobserved run.
+    pub fn run_view_observed(
+        &self,
+        view: &ColumnsView<'_>,
+        obs: &dyn FitObserver,
+    ) -> (SearchReport, RankIndex) {
         assert!(view.d() >= 2, "subspace search needs at least 2 attributes");
         let p = &self.params;
         let estimator = ContrastEstimator::from_view(
@@ -160,6 +173,7 @@ impl SubspaceSearch {
         let mut evaluated_per_level: Vec<Vec<ScoredSubspace>> = Vec::new();
         let mut level = 2usize;
         loop {
+            let level_start = Instant::now();
             // Evaluate contrast of the whole level in parallel. Every worker
             // allocates one slice sampler and retargets it per subspace, so
             // the per-level mask allocations drop from O(candidates) to
@@ -168,7 +182,11 @@ impl SubspaceSearch {
                 candidates.len(),
                 p.max_threads,
                 || estimator.sampler(&candidates[0]),
-                |sampler, i| estimator.contrast_with_sampler(sampler, &candidates[i], p.seed),
+                |sampler, i| {
+                    let c = estimator.contrast_with_sampler(sampler, &candidates[i], p.seed);
+                    obs.contrast_evaluated(p.m as u64);
+                    c
+                },
             );
             let mut scored: Vec<ScoredSubspace> = candidates
                 .drain(..)
@@ -179,6 +197,12 @@ impl SubspaceSearch {
 
             // Adaptive threshold: retain the strongest `candidate_cutoff`.
             let retained = &scored[..scored.len().min(p.candidate_cutoff)];
+            obs.level_done(
+                level,
+                scored.len(),
+                retained.len(),
+                level_start.elapsed().as_nanos() as u64,
+            );
 
             // Apriori join over the retained set.
             if p.max_dim.is_none_or(|cap| level < cap) {

@@ -1,0 +1,27 @@
+//! Observability primitives for the HiCS serving stack — in the repo's
+//! no-external-deps idiom (no `prometheus`, no `metrics`, no `tracing`).
+//!
+//! Three pieces:
+//!
+//! * **Instruments** ([`Counter`], [`Gauge`], [`Histogram`]): plain atomics,
+//!   designed for zero allocation and no locking on hot paths. The
+//!   histogram is log-linear (HDR-style) — bounded memory with a
+//!   configurable relative error, and p50/p90/p99/p999 extraction from the
+//!   full recorded distribution.
+//! * **[`Registry`]**: names the instruments and renders one snapshot in
+//!   Prometheus text exposition format. Registration takes a short lock;
+//!   recording never does (callers hold `Arc`s straight to the atomics).
+//! * **[`Timeline`]**: a lightweight span facility that timestamps one
+//!   request's lifecycle stages (accept → head parse → body → batch
+//!   enqueue → score → flush) against a monotonic clock, for per-stage
+//!   latency histograms and slow-query logs.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+mod timeline;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Registry};
+pub use timeline::{Stage, Timeline, STAGES, STAGE_COUNT};

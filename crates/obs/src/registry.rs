@@ -1,0 +1,437 @@
+//! Named instruments and Prometheus text exposition.
+//!
+//! The registry is only locked when an instrument is registered or when a
+//! snapshot is rendered; recording goes straight through `Arc`s to the
+//! atomics and never touches the registry lock.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot, QUANTILES};
+
+/// A monotonically increasing counter (`u64`, relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A free-standing counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both ways (`i64`, relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A free-standing gauge (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram { hist: Arc<Histogram>, scale: f64 },
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    /// `label="value"` pairs rendered inside `{}`; empty for unlabeled.
+    labels: Vec<(&'static str, String)>,
+    instrument: Instrument,
+}
+
+/// Names instruments and renders them in Prometheus text exposition format.
+///
+/// Registering the same `(name, labels)` twice returns the existing
+/// instrument, so independent subsystems can share a series safely.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        write!(f, "Registry({n} entries)")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, Vec::new())
+    }
+
+    /// Registers (or finds) a counter with label pairs.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Counter> {
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            if e.name == name && e.labels == labels {
+                if let Instrument::Counter(c) = &e.instrument {
+                    return Arc::clone(c);
+                }
+                panic!("metric {name} already registered with a different type");
+            }
+        }
+        let c = Arc::new(Counter::new());
+        entries.push(Entry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Registers (or finds) an unlabeled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, Vec::new())
+    }
+
+    /// Registers (or finds) a gauge with label pairs.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            if e.name == name && e.labels == labels {
+                if let Instrument::Gauge(g) = &e.instrument {
+                    return Arc::clone(g);
+                }
+                panic!("metric {name} already registered with a different type");
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        entries.push(Entry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Registers (or finds) an unlabeled histogram. `scale` multiplies
+    /// recorded integers into the exported unit (e.g. `1e-9` turns stored
+    /// nanoseconds into exported seconds).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        sub_bits: u32,
+        max_value: u64,
+        scale: f64,
+    ) -> Arc<Histogram> {
+        self.histogram_with(name, help, Vec::new(), sub_bits, max_value, scale)
+    }
+
+    /// Registers (or finds) a histogram with label pairs.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        sub_bits: u32,
+        max_value: u64,
+        scale: f64,
+    ) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().unwrap();
+        for e in entries.iter() {
+            if e.name == name && e.labels == labels {
+                if let Instrument::Histogram { hist, .. } = &e.instrument {
+                    return Arc::clone(hist);
+                }
+                panic!("metric {name} already registered with a different type");
+            }
+        }
+        let h = Arc::new(Histogram::new(sub_bits, max_value));
+        entries.push(Entry {
+            name,
+            help,
+            labels,
+            instrument: Instrument::Histogram {
+                hist: Arc::clone(&h),
+                scale,
+            },
+        });
+        h
+    }
+
+    /// Renders every registered instrument in Prometheus text exposition
+    /// format (`text/plain; version=0.0.4`). Histograms are rendered as
+    /// summaries: one `{quantile="..."}` line per p50/p90/p99/p999 plus
+    /// `_sum` and `_count`. Entries sharing a name (label variants) are
+    /// grouped under one `# HELP`/`# TYPE` header, in registration order.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::with_capacity(entries.len() * 96);
+        let mut rendered: Vec<&'static str> = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            if rendered.contains(&e.name) {
+                continue;
+            }
+            rendered.push(e.name);
+            let type_str = match e.instrument {
+                Instrument::Counter(_) => "counter",
+                Instrument::Gauge(_) => "gauge",
+                Instrument::Histogram { .. } => "summary",
+            };
+            out.push_str("# HELP ");
+            out.push_str(e.name);
+            out.push(' ');
+            out.push_str(e.help);
+            out.push_str("\n# TYPE ");
+            out.push_str(e.name);
+            out.push(' ');
+            out.push_str(type_str);
+            out.push('\n');
+            for variant in entries[i..].iter().filter(|v| v.name == e.name) {
+                render_entry(&mut out, variant);
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(&'static str, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Formats `v` the way Prometheus clients do: integers without a decimal
+/// point, everything else with enough digits to round-trip.
+fn fmt_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v}");
+        s
+    }
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    match &e.instrument {
+        Instrument::Counter(c) => {
+            out.push_str(e.name);
+            render_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&c.get().to_string());
+            out.push('\n');
+        }
+        Instrument::Gauge(g) => {
+            out.push_str(e.name);
+            render_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&g.get().to_string());
+            out.push('\n');
+        }
+        Instrument::Histogram { hist, scale } => {
+            let snap: HistogramSnapshot = hist.snapshot();
+            for q in QUANTILES {
+                out.push_str(e.name);
+                let qs = fmt_float(q);
+                render_labels(out, &e.labels, Some(("quantile", &qs)));
+                out.push(' ');
+                out.push_str(&fmt_float(snap.quantile(q) as f64 * scale));
+                out.push('\n');
+            }
+            out.push_str(e.name);
+            out.push_str("_sum");
+            render_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&fmt_float(snap.sum() as f64 * scale));
+            out.push('\n');
+            out.push_str(e.name);
+            out.push_str("_count");
+            render_labels(out, &e.labels, None);
+            out.push(' ');
+            out.push_str(&snap.count().to_string());
+            out.push('\n');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Concurrent increments through independently-held Arcs never lose an
+    /// update, and re-registration returns the same instrument.
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let reg = Arc::new(Registry::new());
+        let threads = 8;
+        let per_thread = 50_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("test_total", "test");
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(
+            reg.counter("test_total", "test").get(),
+            threads * per_thread
+        );
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", "queue depth");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn reregistration_shares_the_series() {
+        let reg = Registry::new();
+        let a = reg.counter_with("c", "h", vec![("shard", "0".into())]);
+        let b = reg.counter_with("c", "h", vec![("shard", "0".into())]);
+        let other = reg.counter_with("c", "h", vec![("shard", "1".into())]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(other.get(), 0);
+    }
+
+    /// Golden exposition test: exact expected output, byte for byte.
+    #[test]
+    fn prometheus_exposition_golden() {
+        let reg = Registry::new();
+        let c = reg.counter("hics_requests_total", "Requests served.");
+        c.add(42);
+        let g = reg.gauge("hics_connections_active", "Open connections.");
+        g.set(3);
+        let b0 = reg.counter_with(
+            "hics_reactor_bytes_in_total",
+            "Bytes read per reactor.",
+            vec![("reactor", "0".into())],
+        );
+        b0.add(100);
+        let b1 = reg.counter_with(
+            "hics_reactor_bytes_in_total",
+            "Bytes read per reactor.",
+            vec![("reactor", "1".into())],
+        );
+        b1.add(200);
+        // sub_bits=8 keeps small integers exact so quantiles are literal.
+        let h = reg.histogram("hics_batch_size", "Rows per scored batch.", 8, 1 << 20, 1.0);
+        for _ in 0..9 {
+            h.record(10);
+        }
+        h.record(100);
+        let expected = "\
+# HELP hics_requests_total Requests served.
+# TYPE hics_requests_total counter
+hics_requests_total 42
+# HELP hics_connections_active Open connections.
+# TYPE hics_connections_active gauge
+hics_connections_active 3
+# HELP hics_reactor_bytes_in_total Bytes read per reactor.
+# TYPE hics_reactor_bytes_in_total counter
+hics_reactor_bytes_in_total{reactor=\"0\"} 100
+hics_reactor_bytes_in_total{reactor=\"1\"} 200
+# HELP hics_batch_size Rows per scored batch.
+# TYPE hics_batch_size summary
+hics_batch_size{quantile=\"0.5\"} 10
+hics_batch_size{quantile=\"0.9\"} 10
+hics_batch_size{quantile=\"0.99\"} 100
+hics_batch_size{quantile=\"0.999\"} 100
+hics_batch_size_sum 190
+hics_batch_size_count 10
+";
+        assert_eq!(reg.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn histogram_scale_converts_units() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_seconds", "Latency.", 8, 1 << 30, 1e-9);
+        h.record(1_000); // 1000 ns = 1e-6 s, exact under sub_bits=8? 1000 > 511 -> binned
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_seconds_count 1"), "{text}");
+        assert!(text.contains("lat_seconds_sum 0.000001"), "{text}");
+    }
+}

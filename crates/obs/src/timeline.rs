@@ -1,0 +1,192 @@
+//! Per-request lifecycle timeline against a monotonic clock.
+//!
+//! One [`Timeline`] lives inside a connection's request state. It is started
+//! when the first byte of a request arrives and marked as the request moves
+//! through the pipeline stages. Marks are nanosecond offsets from the start
+//! instant — recording a mark is a `Instant::elapsed` plus one array store,
+//! no allocation.
+
+use std::time::Instant;
+
+/// Request lifecycle stages, in pipeline order. Each stage's duration is
+/// the gap from the previous mark (or the start, for the first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Request head (method/target/headers) fully parsed.
+    HeadParse = 0,
+    /// Request body fully read and decoded.
+    Body = 1,
+    /// Rows handed to the batcher queue.
+    Enqueue = 2,
+    /// Scores came back from the batch worker.
+    Score = 3,
+    /// Response bytes fully flushed to the socket.
+    Flush = 4,
+}
+
+/// Number of [`Stage`] variants.
+pub const STAGE_COUNT: usize = 5;
+
+/// All stages in pipeline order, paired with short lowercase names for
+/// metric labels and slow-query log fields.
+pub const STAGES: [(Stage, &str); STAGE_COUNT] = [
+    (Stage::HeadParse, "head_parse"),
+    (Stage::Body, "body"),
+    (Stage::Enqueue, "enqueue"),
+    (Stage::Score, "score"),
+    (Stage::Flush, "flush"),
+];
+
+impl Stage {
+    /// Short lowercase name, e.g. for metric labels (`stage="head_parse"`).
+    pub fn name(self) -> &'static str {
+        STAGES[self as usize].1
+    }
+}
+
+const UNSET: u64 = u64::MAX;
+
+/// Nanosecond-offset marks for one request's lifecycle.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    start: Option<Instant>,
+    marks: [u64; STAGE_COUNT],
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timeline {
+    /// An idle timeline; call [`Timeline::start`] at the first request byte.
+    pub fn new() -> Self {
+        Self {
+            start: None,
+            marks: [UNSET; STAGE_COUNT],
+        }
+    }
+
+    /// Starts (or restarts, for keep-alive reuse) the timeline now,
+    /// clearing all marks.
+    pub fn start(&mut self) {
+        self.start = Some(Instant::now());
+        self.marks = [UNSET; STAGE_COUNT];
+    }
+
+    /// Whether [`Timeline::start`] has been called since the last reset.
+    pub fn is_started(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Records `stage` as completed now. No-op if not started.
+    pub fn mark(&mut self, stage: Stage) {
+        if let Some(start) = self.start {
+            self.marks[stage as usize] = start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Offset of `stage` from the start, in nanoseconds, if marked.
+    pub fn offset_ns(&self, stage: Stage) -> Option<u64> {
+        let m = self.marks[stage as usize];
+        (m != UNSET).then_some(m)
+    }
+
+    /// Duration of `stage` itself: the gap from the latest earlier mark
+    /// (or the start) to this stage's mark. `None` if the stage was never
+    /// reached. Skipped stages (e.g. `Enqueue`/`Score` on a `/healthz`
+    /// request) don't distort later gaps — they are simply absent.
+    pub fn stage_ns(&self, stage: Stage) -> Option<u64> {
+        let end = self.offset_ns(stage)?;
+        let prev = self.marks[..stage as usize]
+            .iter()
+            .filter(|&&m| m != UNSET)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        Some(end.saturating_sub(prev))
+    }
+
+    /// Total elapsed nanoseconds from start to the last mark (0 if no
+    /// marks were recorded).
+    pub fn total_ns(&self) -> u64 {
+        self.marks
+            .iter()
+            .filter(|&&m| m != UNSET)
+            .max()
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Clears the timeline back to idle.
+    pub fn reset(&mut self) {
+        self.start = None;
+        self.marks = [UNSET; STAGE_COUNT];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_are_monotonic_offsets() {
+        let mut t = Timeline::new();
+        assert!(!t.is_started());
+        t.start();
+        t.mark(Stage::HeadParse);
+        t.mark(Stage::Body);
+        t.mark(Stage::Enqueue);
+        t.mark(Stage::Score);
+        t.mark(Stage::Flush);
+        let mut prev = 0;
+        for (stage, _) in STAGES {
+            let off = t.offset_ns(stage).expect("marked");
+            assert!(off >= prev, "{stage:?} offset went backwards");
+            prev = off;
+        }
+        assert_eq!(t.total_ns(), t.offset_ns(Stage::Flush).unwrap());
+    }
+
+    #[test]
+    fn stage_durations_bridge_skipped_stages() {
+        let mut t = Timeline::new();
+        t.start();
+        t.mark(Stage::HeadParse);
+        // /healthz-style request: no body, no batch, straight to flush.
+        t.mark(Stage::Flush);
+        assert!(t.stage_ns(Stage::Body).is_none());
+        assert!(t.stage_ns(Stage::Score).is_none());
+        let head = t.offset_ns(Stage::HeadParse).unwrap();
+        let flush = t.offset_ns(Stage::Flush).unwrap();
+        assert_eq!(t.stage_ns(Stage::Flush), Some(flush - head));
+    }
+
+    #[test]
+    fn unstarted_timeline_ignores_marks() {
+        let mut t = Timeline::new();
+        t.mark(Stage::Flush);
+        assert_eq!(t.offset_ns(Stage::Flush), None);
+        assert_eq!(t.total_ns(), 0);
+    }
+
+    #[test]
+    fn restart_clears_previous_marks() {
+        let mut t = Timeline::new();
+        t.start();
+        t.mark(Stage::Flush);
+        t.start();
+        assert_eq!(t.offset_ns(Stage::Flush), None);
+        t.reset();
+        assert!(!t.is_started());
+    }
+
+    #[test]
+    fn stage_names_cover_all_variants() {
+        let names: Vec<_> = STAGES.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, ["head_parse", "body", "enqueue", "score", "flush"]);
+        assert_eq!(Stage::Score.name(), "score");
+    }
+}

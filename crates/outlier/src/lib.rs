@@ -7,6 +7,9 @@
 //! * [`knn`] — brute-force k-distance neighbourhoods with LOF tie handling.
 //! * [`lof`] — the Local Outlier Factor (Breunig et al. 2000), from scratch.
 //! * [`knn_score`] — kNN-distance scores (ORCA-flavoured future-work scorer).
+//! * [`metrics`] — the embedder-installed [`metrics::ScoreRecorder`] hook:
+//!   per-shard score latency and neighbour-index traffic, reported at batch
+//!   granularity so the uninstrumented path stays hot.
 //! * [`kde_score`] — adaptive-bandwidth KDE score (OUTRES-flavoured).
 //! * [`aggregate`] — Definition 1 score aggregation (average / max).
 //! * [`scorer`] — the pluggable [`scorer::SubspaceScorer`] seam and parallel
@@ -38,6 +41,7 @@ pub mod kde_score;
 pub mod knn;
 pub mod knn_score;
 pub mod lof;
+pub mod metrics;
 pub mod parallel;
 pub mod precompute;
 pub mod query;
@@ -53,6 +57,7 @@ pub use kde_score::KdeScorer;
 pub use knn::{knn_all, knn_query_point, Neighborhood};
 pub use knn_score::{KnnScoreKind, KnnScorer};
 pub use lof::{lof_from_neighborhoods, lrd_from_neighborhoods, Lof, LofParams};
+pub use metrics::{install_recorder, ScoreRecorder};
 pub use precompute::{write_hoods_sidecar, PrecomputedHoods, SubspaceHoods};
 pub use query::{IndexStats, QueryEngine, QueryError};
 pub use scorer::{score_and_aggregate, score_subspaces, SubspaceScorer};

@@ -1,0 +1,70 @@
+//! Scoring-path observability hook.
+//!
+//! The serving layer wants per-shard score latency and neighbour-index
+//! traffic without `hics-outlier` depending on any metrics crate. The seam
+//! is a process-wide [`ScoreRecorder`] slot: the embedder installs one, and
+//! the batch scoring paths report to it at **batch granularity** — one
+//! recorder lookup and a handful of calls per `score_batch`, nothing per
+//! row, so the uninstrumented path stays allocation- and lock-free.
+
+use std::sync::{Arc, RwLock};
+
+/// Sink for scoring-path measurements. Implementations must tolerate
+/// concurrent calls from multiple batch workers.
+pub trait ScoreRecorder: Send + Sync {
+    /// One shard scored `rows` query rows in `nanos` wall nanoseconds.
+    /// Single-model engines report as shard `0`.
+    fn shard_scored(&self, shard: usize, rows: usize, nanos: u64);
+
+    /// `n` neighbour-index point queries were issued (one per subspace per
+    /// scored row).
+    fn index_queries(&self, n: u64);
+}
+
+static RECORDER: RwLock<Option<Arc<dyn ScoreRecorder>>> = RwLock::new(None);
+
+/// Installs the process-wide recorder (replacing any previous one). Batch
+/// scoring reports to it from then on; pass-through scoring behaviour is
+/// unchanged.
+pub fn install_recorder(recorder: Arc<dyn ScoreRecorder>) {
+    *RECORDER.write().unwrap() = Some(recorder);
+}
+
+/// The currently installed recorder, if any.
+pub(crate) fn recorder() -> Option<Arc<dyn ScoreRecorder>> {
+    RECORDER.read().unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingRecorder {
+        rows: AtomicU64,
+        queries: AtomicU64,
+    }
+
+    impl ScoreRecorder for CountingRecorder {
+        fn shard_scored(&self, _shard: usize, rows: usize, _nanos: u64) {
+            self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        }
+        fn index_queries(&self, n: u64) {
+            self.queries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn installed_recorder_is_visible() {
+        let rec = Arc::new(CountingRecorder {
+            rows: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        });
+        install_recorder(Arc::clone(&rec) as Arc<dyn ScoreRecorder>);
+        let seen = recorder().expect("recorder installed");
+        seen.shard_scored(0, 3, 17);
+        seen.index_queries(9);
+        assert_eq!(rec.rows.load(Ordering::Relaxed), 3);
+        assert_eq!(rec.queries.load(Ordering::Relaxed), 9);
+    }
+}

@@ -490,7 +490,16 @@ impl QueryEngine {
         rows: &[Vec<f64>],
         max_threads: usize,
     ) -> Vec<Result<f64, QueryError>> {
-        par_map(rows.len(), max_threads, |i| self.score(&rows[i]))
+        // The recorder is consulted once per batch, never per row: the
+        // uninstrumented path pays one RwLock read for the whole batch.
+        let recorder = crate::metrics::recorder();
+        let start = recorder.as_ref().map(|_| std::time::Instant::now());
+        let out = par_map(rows.len(), max_threads, |i| self.score(&rows[i]));
+        if let (Some(rec), Some(start)) = (recorder, start) {
+            rec.shard_scored(0, rows.len(), start.elapsed().as_nanos() as u64);
+            rec.index_queries((rows.len() * self.subspaces.len()) as u64);
+        }
+        out
     }
 
     /// The density score of the (already normalised) query in one subspace.

@@ -168,13 +168,60 @@ impl ShardedEngine {
     }
 
     /// Scores a batch of raw query rows in parallel (rows fan out across
-    /// threads; each row visits every shard).
+    /// threads; each row visits every shard). With a
+    /// [`crate::metrics::ScoreRecorder`] installed the batch runs
+    /// shard-major so each shard's wall time is measurable — the per-row
+    /// fold order is preserved, so results are bit-identical either way.
     pub fn score_batch(
         &self,
         rows: &[Vec<f64>],
         max_threads: usize,
     ) -> Vec<Result<f64, QueryError>> {
-        par_map(rows.len(), max_threads, |i| self.score(&rows[i]))
+        match crate::metrics::recorder() {
+            None => par_map(rows.len(), max_threads, |i| self.score(&rows[i])),
+            Some(rec) => self.score_batch_recorded(rows, max_threads, &*rec),
+        }
+    }
+
+    /// Shard-major batch scoring: every shard scores the whole batch (one
+    /// timed pass per shard), then each row folds its per-shard scores in
+    /// shard order — the same accumulation order as [`ShardedEngine::score`].
+    fn score_batch_recorded(
+        &self,
+        rows: &[Vec<f64>],
+        max_threads: usize,
+        rec: &dyn crate::metrics::ScoreRecorder,
+    ) -> Vec<Result<f64, QueryError>> {
+        let mut per_shard: Vec<Vec<Result<f64, QueryError>>> =
+            Vec::with_capacity(self.shards.len());
+        for (k, shard) in self.shards.iter().enumerate() {
+            let start = std::time::Instant::now();
+            per_shard.push(par_map(rows.len(), max_threads, |i| shard.score(&rows[i])));
+            rec.shard_scored(k, rows.len(), start.elapsed().as_nanos() as u64);
+            rec.index_queries((rows.len() * shard.subspace_count()) as u64);
+        }
+        (0..rows.len())
+            .map(|i| {
+                let mut acc = match self.aggregation {
+                    ShardAggregation::Mean => 0.0,
+                    ShardAggregation::Max => f64::NEG_INFINITY,
+                };
+                for scores in &per_shard {
+                    let s = match &scores[i] {
+                        Ok(s) => *s,
+                        Err(e) => return Err(e.clone()),
+                    };
+                    match self.aggregation {
+                        ShardAggregation::Mean => acc += s,
+                        ShardAggregation::Max => acc = acc.max(s),
+                    }
+                }
+                if self.aggregation == ShardAggregation::Mean {
+                    acc /= self.shards.len() as f64;
+                }
+                Ok(acc)
+            })
+            .collect()
     }
 }
 
@@ -275,6 +322,59 @@ mod tests {
         }
         assert!(engine.score(&[1.0]).is_err(), "wrong arity must fail");
         assert!(engine.score(&[1.0, f64::NAN, 0.0]).is_err());
+    }
+
+    /// The shard-major recorded path must be bit-identical to the row-major
+    /// fold — same scores, same error for bad rows.
+    #[test]
+    fn recorded_batch_is_bit_identical_to_plain_fold() {
+        use crate::metrics::ScoreRecorder;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct Tally {
+            rows: AtomicU64,
+            queries: AtomicU64,
+        }
+        impl ScoreRecorder for Tally {
+            fn shard_scored(&self, _shard: usize, rows: usize, _nanos: u64) {
+                self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+            }
+            fn index_queries(&self, n: u64) {
+                self.queries.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+
+        for aggregation in [ShardAggregation::Mean, ShardAggregation::Max] {
+            let (path, _) = write_ensemble(
+                match aggregation {
+                    ShardAggregation::Mean => "recorded-mean",
+                    ShardAggregation::Max => "recorded-max",
+                },
+                aggregation,
+            );
+            let engine = ShardedEngine::open(&path, None, 2).expect("open");
+            let rows = vec![
+                vec![0.1, 0.2, 0.3],
+                vec![0.9, 0.8, 0.7],
+                vec![1.0, f64::NAN, 0.0],
+                vec![5.0, 5.0, 5.0],
+            ];
+            let plain: Vec<_> = rows.iter().map(|r| engine.score(r)).collect();
+            let tally = Arc::new(Tally {
+                rows: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+            });
+            let recorded = engine.score_batch_recorded(&rows, 2, &*tally);
+            assert_eq!(recorded, plain, "{aggregation:?}");
+            assert_eq!(
+                tally.rows.load(Ordering::Relaxed),
+                (rows.len() * engine.shard_count()) as u64
+            );
+            assert_eq!(
+                tally.queries.load(Ordering::Relaxed),
+                (rows.len() * engine.subspace_count()) as u64
+            );
+        }
     }
 
     #[test]

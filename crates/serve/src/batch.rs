@@ -16,18 +16,24 @@
 //! up to `max_wait` for more arrivals before scoring (deeper batches at a
 //! bounded latency cost). The default `max_wait` of zero preserves the
 //! score-immediately behaviour — a lone request is never held hostage by
-//! batch formation — and per-batch sizes are recorded in a power-of-two
-//! histogram surfaced on `/stats`, so the coalescing behaviour under load
-//! is observable instead of inferred.
+//! batch formation.
+//!
+//! **Observability:** all counters live in [`BatchStats`] — registry-backed
+//! [`hics_obs`] instruments, so `/stats` and `/metrics` read the same
+//! atomics. Each batch records its size (exact below 512 rows, so the
+//! legacy power-of-two `/stats` buckets re-bin exactly), how long its jobs
+//! waited in the queue, and how long scoring itself took — the queue-wait
+//! vs score-time split that tells a deployment whether `--batch-wait-us`
+//! is buying depth or just adding latency.
 //!
 //! Workers resolve the engine through a shared [`EngineHandle`] **once per
 //! batch**, so a hot reload takes effect at the next batch boundary while
 //! the batch in flight finishes consistently against the model it started
 //! with.
 
+use hics_obs::{Counter, Histogram, Registry};
 use hics_outlier::{EngineHandle, QueryError};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -41,45 +47,115 @@ pub type BatchReply = Option<Vec<Result<f64, QueryError>>>;
 /// thread — or with `None` on shutdown).
 struct Job {
     rows: Vec<Vec<f64>>,
+    enqueued: Instant,
     reply: Box<dyn FnOnce(BatchReply) + Send>,
 }
 
-/// Upper bounds of the batch-size histogram buckets (rows per executed
-/// batch); the last bucket is open-ended.
+/// Upper bounds of the legacy `/stats` batch-size buckets (rows per
+/// executed batch); the last bucket is open-ended.
 pub const BATCH_SIZE_BUCKETS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
-/// Counters exposed on the stats endpoint.
-#[derive(Debug, Default)]
+/// Batch-size histograms keep every count below `2^8 = 256 … 511` exact,
+/// so the legacy power-of-two `/stats` buckets re-bin without error.
+const SIZE_SUB_BITS: u32 = 8;
+const SIZE_MAX: u64 = 1 << 20;
+/// Latency histograms resolve nanoseconds up to ~68 s at `2^-5` error.
+const LATENCY_SUB_BITS: u32 = 5;
+const LATENCY_MAX_NS: u64 = 1 << 36;
+const NANOS_TO_SECONDS: f64 = 1e-9;
+
+/// The batcher's instruments — [`hics_obs`] counters and histograms, either
+/// free-standing ([`BatchStats::default`]) or registered into a server's
+/// shared registry so `/stats` and `/metrics` read the same atomics.
+#[derive(Debug)]
 pub struct BatchStats {
     /// Scoring requests accepted.
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Query rows scored.
-    pub rows: AtomicU64,
+    pub rows: Arc<Counter>,
     /// Batches executed.
-    pub batches: AtomicU64,
+    pub batches: Arc<Counter>,
     /// Batches that coalesced more than one request.
-    pub coalesced_batches: AtomicU64,
-    /// Rows-per-batch histogram: bucket `i` counts batches of at most
-    /// `BATCH_SIZE_BUCKETS[i]` rows; the final slot counts larger batches.
-    pub batch_size_hist: [AtomicU64; BATCH_SIZE_BUCKETS.len() + 1],
+    pub coalesced_batches: Arc<Counter>,
+    /// Nanoseconds each job waited in the queue before its batch started
+    /// scoring — the cost side of the `--batch-wait-us` linger.
+    pub queue_wait: Arc<Histogram>,
+    /// Nanoseconds each batch spent inside `score_batch`.
+    pub score_time: Arc<Histogram>,
+    /// Rows per executed batch.
+    pub batch_size: Arc<Histogram>,
+}
+
+impl Default for BatchStats {
+    fn default() -> Self {
+        Self::unregistered()
+    }
 }
 
 impl BatchStats {
-    fn record_batch_size(&self, rows: usize) {
-        let slot = BATCH_SIZE_BUCKETS
-            .iter()
-            .position(|&limit| rows as u64 <= limit)
-            .unwrap_or(BATCH_SIZE_BUCKETS.len());
-        self.batch_size_hist[slot].fetch_add(1, Ordering::Relaxed);
+    /// Free-standing instruments, not attached to any registry — for
+    /// embedders that use [`Batcher::start`] directly.
+    pub fn unregistered() -> Self {
+        Self {
+            requests: Arc::new(Counter::new()),
+            rows: Arc::new(Counter::new()),
+            batches: Arc::new(Counter::new()),
+            coalesced_batches: Arc::new(Counter::new()),
+            queue_wait: Arc::new(Histogram::new(LATENCY_SUB_BITS, LATENCY_MAX_NS)),
+            score_time: Arc::new(Histogram::new(LATENCY_SUB_BITS, LATENCY_MAX_NS)),
+            batch_size: Arc::new(Histogram::new(SIZE_SUB_BITS, SIZE_MAX)),
+        }
     }
 
-    /// A snapshot of the batch-size histogram (same order as
-    /// [`BATCH_SIZE_BUCKETS`], plus the open-ended overflow bucket).
-    pub fn batch_size_snapshot(&self) -> [u64; BATCH_SIZE_BUCKETS.len() + 1] {
-        let mut out = [0u64; BATCH_SIZE_BUCKETS.len() + 1];
-        for (slot, counter) in out.iter_mut().zip(&self.batch_size_hist) {
-            *slot = counter.load(Ordering::Relaxed);
+    /// Instruments registered into `registry` under the `hics_*` metric
+    /// names, so one scrape sees them alongside the rest of the server.
+    pub fn registered(registry: &Registry) -> Self {
+        Self {
+            requests: registry.counter("hics_requests_total", "Scoring requests accepted."),
+            rows: registry.counter("hics_rows_total", "Query rows scored."),
+            batches: registry.counter("hics_batches_total", "Batches executed."),
+            coalesced_batches: registry.counter(
+                "hics_coalesced_batches_total",
+                "Batches that coalesced more than one request.",
+            ),
+            queue_wait: registry.histogram(
+                "hics_batch_queue_wait_seconds",
+                "Time jobs wait in the batch queue before scoring starts.",
+                LATENCY_SUB_BITS,
+                LATENCY_MAX_NS,
+                NANOS_TO_SECONDS,
+            ),
+            score_time: registry.histogram(
+                "hics_batch_score_seconds",
+                "Time each batch spends scoring.",
+                LATENCY_SUB_BITS,
+                LATENCY_MAX_NS,
+                NANOS_TO_SECONDS,
+            ),
+            batch_size: registry.histogram(
+                "hics_batch_size",
+                "Rows per scored batch.",
+                SIZE_SUB_BITS,
+                SIZE_MAX,
+                1.0,
+            ),
         }
+    }
+
+    /// A snapshot of the batch-size histogram in the legacy `/stats` shape
+    /// (same order as [`BATCH_SIZE_BUCKETS`], plus the open-ended overflow
+    /// bucket). Exact: the underlying histogram keeps one bucket per value
+    /// below 512, so the power-of-two boundaries re-bin without error.
+    pub fn batch_size_snapshot(&self) -> [u64; BATCH_SIZE_BUCKETS.len() + 1] {
+        let snap = self.batch_size.snapshot();
+        let mut out = [0u64; BATCH_SIZE_BUCKETS.len() + 1];
+        let mut prev = 0u64;
+        for (slot, &limit) in out.iter_mut().zip(BATCH_SIZE_BUCKETS.iter()) {
+            let le = snap.count_le(limit);
+            *slot = le - prev;
+            prev = le;
+        }
+        out[BATCH_SIZE_BUCKETS.len()] = snap.count() - prev;
         out
     }
 }
@@ -127,6 +203,30 @@ impl Batcher {
         threads: usize,
         max_wait: Duration,
     ) -> Self {
+        Self::start_with_stats(
+            handle,
+            workers,
+            max_batch,
+            threads,
+            max_wait,
+            Arc::new(BatchStats::default()),
+        )
+    }
+
+    /// [`Batcher::start_with_max_wait`] recording into caller-provided
+    /// instruments — the server passes registry-backed [`BatchStats`] here
+    /// so the batcher's counters appear on `/stats` and `/metrics`.
+    ///
+    /// # Panics
+    /// Panics if `workers`, `max_batch` or `threads` is zero.
+    pub fn start_with_stats(
+        handle: Arc<EngineHandle>,
+        workers: usize,
+        max_batch: usize,
+        threads: usize,
+        max_wait: Duration,
+        stats: Arc<BatchStats>,
+    ) -> Self {
         assert!(workers >= 1, "need at least one batch worker");
         assert!(max_batch >= 1, "max batch must be at least 1");
         assert!(threads >= 1, "need at least one scoring thread");
@@ -134,7 +234,6 @@ impl Batcher {
             queue: Mutex::new((VecDeque::new(), false)),
             ready: Condvar::new(),
         });
-        let stats = Arc::new(BatchStats::default());
         let handles = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -160,7 +259,11 @@ impl Batcher {
         {
             let mut q = self.shared.queue.lock().expect("batcher lock");
             if !q.1 {
-                q.0.push_back(Job { rows, reply });
+                q.0.push_back(Job {
+                    rows,
+                    enqueued: Instant::now(),
+                    reply,
+                });
                 drop(q);
                 self.shared.ready.notify_one();
                 return;
@@ -306,18 +409,25 @@ fn worker_loop(
         // One handle load per batch: every row of a batch scores against
         // the same model, and a reload lands at the next batch boundary.
         let engine = handle.load();
-        let mut results = engine.score_batch(&all_rows, threads).into_iter();
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats
-            .requests
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        stats
-            .rows
-            .fetch_add(all_rows.len() as u64, Ordering::Relaxed);
-        if jobs.len() > 1 {
-            stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        let score_start = Instant::now();
+        for job in &jobs {
+            stats.queue_wait.record(
+                score_start
+                    .saturating_duration_since(job.enqueued)
+                    .as_nanos() as u64,
+            );
         }
-        stats.record_batch_size(all_rows.len());
+        let mut results = engine.score_batch(&all_rows, threads).into_iter();
+        stats
+            .score_time
+            .record(score_start.elapsed().as_nanos() as u64);
+        stats.batches.inc();
+        stats.requests.add(jobs.len() as u64);
+        stats.rows.add(all_rows.len() as u64);
+        if jobs.len() > 1 {
+            stats.coalesced_batches.inc();
+        }
+        stats.batch_size.record(all_rows.len() as u64);
         for (job, take) in jobs.into_iter().zip(lens) {
             let reply: Vec<_> = results.by_ref().take(take).collect();
             (job.reply)(Some(reply));
@@ -369,8 +479,8 @@ mod tests {
         let got_b = batcher.score(rows_b.clone()).unwrap();
         assert_eq!(got_a, engine.score_batch(&rows_a, 1));
         assert_eq!(got_b, engine.score_batch(&rows_b, 1));
-        assert_eq!(batcher.stats().requests.load(Ordering::Relaxed), 2);
-        assert_eq!(batcher.stats().rows.load(Ordering::Relaxed), 3);
+        assert_eq!(batcher.stats().requests.get(), 2);
+        assert_eq!(batcher.stats().rows.get(), 3);
         batcher.shutdown();
     }
 
@@ -394,8 +504,8 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(batcher.stats().requests.load(Ordering::Relaxed), 8);
-        assert_eq!(batcher.stats().rows.load(Ordering::Relaxed), 40);
+        assert_eq!(batcher.stats().requests.get(), 8);
+        assert_eq!(batcher.stats().rows.get(), 40);
         batcher.shutdown();
     }
 
@@ -536,9 +646,9 @@ mod tests {
                 .is_some());
         }
         // All four jobs should have landed in few (ideally one) batches.
-        let batches = batcher.stats().batches.load(Ordering::Relaxed);
+        let batches = batcher.stats().batches.get();
         assert!(batches <= 2, "expected coalescing, got {batches} batches");
-        assert_eq!(batcher.stats().requests.load(Ordering::Relaxed), 4);
+        assert_eq!(batcher.stats().requests.get(), 4);
         batcher.shutdown();
     }
 }

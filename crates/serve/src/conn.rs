@@ -19,17 +19,19 @@
 
 use crate::http::{
     error_body, finish_chunked, parse_head_bytes, write_chunk, write_chunked_head, write_response,
-    BodyError, Request, RequestError, RequestHead, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+    write_response_typed, BodyError, Request, RequestError, RequestHead, MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
 };
+use crate::metrics::{content_type_for, ReactorMetrics};
 use crate::reactor::{Notifier, EPOLLIN, EPOLLOUT};
 use crate::server::{
     dispatch, format_score_reply, parse_score_request, reload_endpoint, score_stream_line,
     stream_line, Ctx,
 };
+use hics_obs::{Stage, Timeline};
 use std::collections::VecDeque;
 use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -400,6 +402,16 @@ pub(crate) struct Conn {
     out: OutBuf,
     close_after: bool,
     eof: bool,
+    /// The owning reactor's labeled I/O counters.
+    rm: Arc<ReactorMetrics>,
+    /// Lifecycle timeline of the in-flight request (idle between requests).
+    timeline: Timeline,
+    /// Path of the in-flight request, captured only when slow-query
+    /// logging is configured (empty otherwise).
+    cur_path: String,
+    /// Whether the last interest computation had this connection paused at
+    /// the high-water mark (used to count stall *transitions*).
+    was_paused: bool,
     /// Absolute expiry of the state's idle budget (`None` while parked on
     /// the batcher — the batcher always completes).
     pub(crate) deadline: Option<Instant>,
@@ -409,7 +421,7 @@ pub(crate) struct Conn {
 
 impl Conn {
     /// Wraps a freshly accepted (already non-blocking) socket.
-    pub(crate) fn new(stream: TcpStream, ctx: &Ctx) -> Self {
+    pub(crate) fn new(stream: TcpStream, ctx: &Ctx, rm: Arc<ReactorMetrics>) -> Self {
         Self {
             stream,
             state: State::Head,
@@ -418,6 +430,10 @@ impl Conn {
             out: OutBuf::default(),
             close_after: false,
             eof: false,
+            rm,
+            timeline: Timeline::new(),
+            cur_path: String::new(),
+            was_paused: false,
             deadline: Some(Instant::now() + ctx.config.keep_alive),
             registered: EPOLLIN,
         }
@@ -451,9 +467,22 @@ impl Conn {
 
     /// Renders one complete response and moves to [`State::Flush`].
     fn respond(&mut self, ctx: &Ctx, status: u16, body: &str, close: bool) {
+        self.respond_typed(ctx, status, "application/json", body, close);
+    }
+
+    /// [`Conn::respond`] with an explicit content type (`/metrics` answers
+    /// in Prometheus text exposition, everything else in JSON).
+    fn respond_typed(
+        &mut self,
+        ctx: &Ctx,
+        status: u16,
+        content_type: &str,
+        body: &str,
+        close: bool,
+    ) {
         self.close_after = self.close_after || close;
         // Writing into the in-memory OutBuf cannot fail.
-        let _ = write_response(&mut self.out, status, body, close);
+        let _ = write_response_typed(&mut self.out, status, content_type, body, close);
         self.state = State::Flush;
         self.deadline = Some(Instant::now() + ctx.config.keep_alive);
     }
@@ -481,6 +510,7 @@ impl Conn {
                     return Ok(true);
                 }
                 Ok(n) => {
+                    self.rm.bytes_in.add(n as u64);
                     self.inbuf.extend_from_slice(&tmp[..n]);
                     return Ok(true);
                 }
@@ -516,6 +546,10 @@ impl Conn {
         loop {
             let mut progressed = false;
             let paused = self.out.len() >= ctx.config.high_water;
+            if paused && !self.was_paused {
+                ctx.metrics.backpressure_stalls.inc();
+            }
+            self.was_paused = paused;
             if may_read
                 && !paused
                 && !self.eof
@@ -540,7 +574,8 @@ impl Conn {
             if !self.out.is_empty() {
                 match self.out.flush_to(&mut self.stream) {
                     Ok(0) => {}
-                    Ok(_) => {
+                    Ok(n) => {
+                        self.rm.bytes_out.add(n as u64);
                         progressed = true;
                         self.reset_deadline(ctx);
                     }
@@ -566,6 +601,15 @@ impl Conn {
         loop {
             match &mut self.state {
                 State::Head => {
+                    // The timeline starts when the first request bytes are
+                    // seen in the buffer — the closest observable point to
+                    // first-byte arrival on a non-blocking socket.
+                    if ctx.config.instrument
+                        && self.inpos < self.inbuf.len()
+                        && !self.timeline.is_started()
+                    {
+                        self.timeline.start();
+                    }
                     let avail = &self.inbuf[self.inpos..];
                     let end = avail
                         .windows(4)
@@ -582,7 +626,10 @@ impl Conn {
                             self.compact_inbuf();
                             did = true;
                             match parsed {
-                                Ok(head) => self.route(ctx, head),
+                                Ok(head) => {
+                                    self.timeline.mark(Stage::HeadParse);
+                                    self.route(ctx, head);
+                                }
                                 Err(RequestError::Bad { status, msg }) => {
                                     self.respond(ctx, status, &error_body(&msg), true)
                                 }
@@ -736,6 +783,12 @@ impl Conn {
                 State::Flush => {
                     if self.out.is_empty() {
                         did = true;
+                        self.timeline.mark(Stage::Flush);
+                        ctx.metrics.observe_request(
+                            &ctx.config,
+                            &self.cur_path,
+                            &mut self.timeline,
+                        );
                         if self.close_after {
                             self.state = State::Closed;
                             return true;
@@ -756,7 +809,10 @@ impl Conn {
     /// requests move on to collecting their sized body.
     fn route(&mut self, ctx: &Ctx, head: RequestHead) {
         if head.method == "POST" && head.path == "/v2/score" {
-            ctx.stream_stats.streams.fetch_add(1, Ordering::Relaxed);
+            // Streams report through their own counters, not the
+            // request-stage histograms.
+            self.timeline.reset();
+            ctx.stream_stats.streams.inc();
             self.close_after = self.close_after || head.close;
             let _ = write_chunked_head(&mut self.out, 200, "application/x-ndjson", head.close);
             self.state = State::Stream {
@@ -804,6 +860,11 @@ impl Conn {
         body: Vec<u8>,
     ) {
         self.close_after = self.close_after || head.close;
+        self.timeline.mark(Stage::Body);
+        if ctx.config.slow_query.is_some() {
+            self.cur_path.clear();
+            self.cur_path.push_str(&head.path);
+        }
         match (head.method.as_str(), head.path.as_str()) {
             ("POST", "/score") => match parse_score_request(&body, ctx.handle.load().d()) {
                 Err((status, rendered)) => self.respond(ctx, status, &rendered, head.close),
@@ -816,6 +877,7 @@ impl Conn {
                             notifier.complete(token, epoch, status, body);
                         }),
                     );
+                    self.timeline.mark(Stage::Enqueue);
                     self.state = State::AwaitBatch;
                     self.deadline = None;
                 }
@@ -841,7 +903,14 @@ impl Conn {
                     close: head.close,
                 };
                 let (status, out) = dispatch(&request, ctx);
-                self.respond(ctx, status, &out, request.close);
+                self.timeline.mark(Stage::Score);
+                self.respond_typed(
+                    ctx,
+                    status,
+                    content_type_for(&request.path, status),
+                    &out,
+                    request.close,
+                );
             }
         }
     }
@@ -852,6 +921,7 @@ impl Conn {
         if !matches!(self.state, State::AwaitBatch) {
             return;
         }
+        self.timeline.mark(Stage::Score);
         let _ = write_response(&mut self.out, status, &body, self.close_after);
         self.state = State::Flush;
         self.deadline = Some(Instant::now() + ctx.config.keep_alive);

@@ -477,11 +477,23 @@ pub fn write_response<S: Write>(
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", body, close)
+}
+
+/// [`write_response`] with an explicit `Content-Type` (the `/metrics`
+/// endpoint answers Prometheus text exposition, everything else JSON).
+pub fn write_response_typed<S: Write>(
+    stream: &mut S,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
     let reason = reason_phrase(status);
     let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: {connection}\r\n\
          \r\n",

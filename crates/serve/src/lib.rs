@@ -9,7 +9,13 @@
 //!   [`hics_outlier::EngineHandle`] so models hot-swap at batch boundaries.
 //! * [`server`] — the `TcpListener` accept loop, connection handlers, and
 //!   the `/score`, `/v2/score` (streaming NDJSON), `/admin/reload`,
-//!   `/healthz`, `/model`, `/stats` endpoints.
+//!   `/healthz`, `/model`, `/stats`, `/metrics` endpoints.
+//!
+//! Every counter, gauge and latency histogram the server keeps lives in one
+//! shared [`hics_obs::Registry`]: `/stats` renders its legacy JSON from it
+//! and `/metrics` renders the same instruments in Prometheus text
+//! exposition, with per-request stage timelines (head parse → body →
+//! enqueue → score → flush) recorded against a monotonic clock.
 //!
 //! ```no_run
 //! use hics_outlier::QueryEngine;
@@ -32,10 +38,11 @@ pub mod batch;
 mod conn;
 pub mod http;
 pub mod json;
+mod metrics;
 #[cfg(target_os = "linux")]
 mod reactor;
 pub mod server;
 
 pub use batch::{BatchStats, Batcher};
 pub use json::Json;
-pub use server::{ConnStats, ServeConfig, Server, ShutdownHandle, StreamStats};
+pub use server::{ConnStats, LogFormat, ServeConfig, Server, ShutdownHandle, StreamStats};

@@ -14,6 +14,7 @@
 //! crates, no epoll wrapper dependency.
 
 use crate::conn::{Conn, Drive};
+use crate::metrics::ReactorMetrics;
 use crate::server::{Ctx, WakeSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -269,7 +270,7 @@ fn close_slot(slots: &mut [Slot], free: &mut Vec<usize>, ctx: &Ctx, idx: usize) 
     if slot.conn.take().is_some() {
         slot.epoch += 1;
         free.push(idx);
-        ctx.conns.active.fetch_sub(1, Ordering::Relaxed);
+        ctx.conns.active.add(-1);
     }
 }
 
@@ -310,7 +311,7 @@ fn drive_slot(
 
 /// Refuses a connection over the limit: best-effort 503, then drop.
 fn shed_connection(stream: TcpStream, ctx: &Ctx) {
-    ctx.conns.shed.fetch_add(1, Ordering::Relaxed);
+    ctx.conns.shed.inc();
     let _ = stream.set_nonblocking(true);
     let mut reply = Vec::new();
     let _ = crate::http::write_response(
@@ -329,11 +330,12 @@ fn accept_all(
     slots: &mut Vec<Slot>,
     free: &mut Vec<usize>,
     ctx: &Ctx,
+    rm: &Arc<ReactorMetrics>,
 ) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                let active = ctx.conns.active.load(Ordering::Relaxed) as usize;
+                let active = ctx.conns.active.get().max(0) as usize;
                 if active >= ctx.config.max_connections {
                     shed_connection(stream, ctx);
                     continue;
@@ -342,8 +344,8 @@ fn accept_all(
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
-                ctx.conns.accepted.fetch_add(1, Ordering::Relaxed);
-                ctx.conns.active.fetch_add(1, Ordering::Relaxed);
+                ctx.conns.accepted.inc();
+                ctx.conns.active.add(1);
                 let idx = match free.pop() {
                     Some(idx) => idx,
                     None => {
@@ -354,7 +356,7 @@ fn accept_all(
                         slots.len() - 1
                     }
                 };
-                let conn = Conn::new(stream, ctx);
+                let conn = Conn::new(stream, ctx, Arc::clone(rm));
                 epoll_ctl_checked(
                     epfd,
                     EPOLL_CTL_ADD,
@@ -397,10 +399,17 @@ fn next_timeout_ms(slots: &[Slot]) -> i32 {
 
 /// Runs one reactor to completion: accepts, drives connections, delivers
 /// batcher completions and enforces idle deadlines, until `stop` is set.
-pub(crate) fn run_reactor(listener: TcpListener, ctx: Ctx, stop: Arc<AtomicBool>, wakes: &WakeSet) {
+pub(crate) fn run_reactor(
+    listener: TcpListener,
+    ctx: Ctx,
+    stop: Arc<AtomicBool>,
+    wakes: &WakeSet,
+    reactor_id: usize,
+) {
     if listener.set_nonblocking(true).is_err() {
         return;
     }
+    let rm = ctx.metrics.reactor(reactor_id);
     // SAFETY: plain epoll instance creation with a valid flag.
     let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
     if epfd < 0 {
@@ -440,12 +449,13 @@ pub(crate) fn run_reactor(listener: TcpListener, ctx: Ctx, stop: Arc<AtomicBool>
             }
             break;
         }
+        rm.wakeups.inc();
         for ev in &events[..n as usize] {
             // Copy out of the (possibly packed) struct before use.
             let token = ev.data;
             let mask = ev.events;
             match token {
-                TOKEN_LISTENER => accept_all(epfd, &listener, &mut slots, &mut free, &ctx),
+                TOKEN_LISTENER => accept_all(epfd, &listener, &mut slots, &mut free, &ctx, &rm),
                 TOKEN_WAKER => notifier.clear(),
                 _ => {
                     let idx = token as usize;
@@ -459,6 +469,7 @@ pub(crate) fn run_reactor(listener: TcpListener, ctx: Ctx, stop: Arc<AtomicBool>
         }
         // Deliver any replies the batcher / reload threads finished.
         for c in notifier.drain() {
+            rm.completions.inc();
             let idx = c.token;
             if idx >= slots.len() || slots[idx].epoch != c.epoch {
                 continue;

@@ -23,6 +23,7 @@
 //! | `GET /healthz` | `{"status":"ok"}` liveness probe |
 //! | `GET /model` | model shape, engine generation, neighbour-index kind and build stats |
 //! | `GET /stats` | request/row/batch/stream/connection counters, the batch-size histogram, and neighbour-index stats |
+//! | `GET /metrics` | the same instruments (plus per-stage request latency, reactor I/O and fit counters) in Prometheus text exposition |
 //!
 //! Per-row failures on `/score` (wrong arity, non-finite values) fail the
 //! whole request with `400` and a row-indexed message — callers batch their
@@ -38,22 +39,26 @@
 //! connection's outbound buffer to [`ServeConfig::high_water`] before the
 //! server stops consuming its input.
 
-use crate::batch::{BatchReply, Batcher};
+use crate::batch::{BatchReply, BatchStats, Batcher};
 use crate::http::{error_body, Request};
 #[cfg(not(target_os = "linux"))]
 use crate::http::{
     finish_chunked, read_head, read_sized_body, write_chunk, write_chunked_head, write_response,
-    BodyError, BodyReader, LineRead, RequestError, RequestHead,
+    write_response_typed, BodyError, BodyReader, LineRead, RequestError, RequestHead,
 };
 use crate::json::{self, Json};
+#[cfg(not(target_os = "linux"))]
+use crate::metrics::content_type_for;
+use crate::metrics::{EngineRecorder, ServeMetrics};
+use hics_obs::{Counter, Gauge, Registry};
+#[cfg(not(target_os = "linux"))]
+use hics_obs::{Stage, Timeline};
 use hics_outlier::{Engine, EngineHandle, IndexKind};
 #[cfg(not(target_os = "linux"))]
 use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-#[cfg(not(target_os = "linux"))]
-use std::sync::atomic::AtomicUsize;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -102,6 +107,25 @@ pub struct ServeConfig {
     /// output is queued for a peer that is not draining it, the server
     /// stops reading that connection's input until the buffer empties.
     pub high_water: usize,
+    /// Whether to record per-request stage timelines into the latency
+    /// histograms (on by default). Turning it off removes the monotonic
+    /// clock reads from the request path; counters stay live either way.
+    pub instrument: bool,
+    /// Format of structured stderr log lines (slow-query reports).
+    pub log_format: LogFormat,
+    /// When set, any request whose total latency reaches this threshold
+    /// is logged to stderr with its full per-stage timeline.
+    pub slow_query: Option<Duration>,
+}
+
+/// Format of structured stderr log lines emitted by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// Human-readable single-line text (the default).
+    #[default]
+    Text,
+    /// One JSON object per line, machine-parsable.
+    Json,
 }
 
 impl Default for ServeConfig {
@@ -119,30 +143,89 @@ impl Default for ServeConfig {
             reactor_threads: 0,
             batch_max_wait: Duration::ZERO,
             high_water: 256 * 1024,
+            instrument: true,
+            log_format: LogFormat::Text,
+            slow_query: None,
         }
     }
 }
 
 /// Counters for the `/v2/score` streaming endpoint.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StreamStats {
     /// Streaming requests accepted.
-    pub streams: AtomicU64,
+    pub streams: Arc<Counter>,
     /// NDJSON lines scored successfully.
-    pub lines: AtomicU64,
+    pub lines: Arc<Counter>,
     /// In-stream error lines emitted.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        Self {
+            streams: Arc::new(Counter::new()),
+            lines: Arc::new(Counter::new()),
+            errors: Arc::new(Counter::new()),
+        }
+    }
+}
+
+impl StreamStats {
+    /// Counters registered into `registry` under the `hics_stream*` names,
+    /// so one scrape sees them alongside the rest of the server.
+    pub fn registered(registry: &Registry) -> Self {
+        Self {
+            streams: registry.counter(
+                "hics_streams_total",
+                "Streaming (/v2/score) requests accepted.",
+            ),
+            lines: registry.counter(
+                "hics_stream_lines_total",
+                "NDJSON lines scored successfully.",
+            ),
+            errors: registry.counter("hics_stream_errors_total", "In-stream error lines emitted."),
+        }
+    }
 }
 
 /// Connection-level counters for the serving core.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ConnStats {
     /// Connections accepted into the serving core.
-    pub accepted: AtomicU64,
+    pub accepted: Arc<Counter>,
     /// Connections currently open.
-    pub active: AtomicU64,
+    pub active: Arc<Gauge>,
     /// Connections refused with `503` at the connection limit.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
+}
+
+impl Default for ConnStats {
+    fn default() -> Self {
+        Self {
+            accepted: Arc::new(Counter::new()),
+            active: Arc::new(Gauge::new()),
+            shed: Arc::new(Counter::new()),
+        }
+    }
+}
+
+impl ConnStats {
+    /// Counters registered into `registry` under the `hics_connections*`
+    /// names.
+    pub fn registered(registry: &Registry) -> Self {
+        Self {
+            accepted: registry.counter(
+                "hics_connections_accepted_total",
+                "Connections accepted into the serving core.",
+            ),
+            active: registry.gauge("hics_connections_active", "Connections currently open."),
+            shed: registry.counter(
+                "hics_connections_shed_total",
+                "Connections refused with 503 at the connection limit.",
+            ),
+        }
+    }
 }
 
 /// Where `/admin/reload` gets its artifact from when the request body does
@@ -161,6 +244,7 @@ pub(crate) struct Ctx {
     pub(crate) reload: Arc<Mutex<ReloadSource>>,
     pub(crate) stream_stats: Arc<StreamStats>,
     pub(crate) conns: Arc<ConnStats>,
+    pub(crate) metrics: Arc<ServeMetrics>,
     pub(crate) config: Arc<ServeConfig>,
     pub(crate) reactors: usize,
 }
@@ -214,21 +298,27 @@ impl Server {
             0 => hics_outlier::parallel::available_threads().min(4),
             n => n,
         };
-        let batcher = Arc::new(Batcher::start_with_max_wait(
+        let metrics = Arc::new(ServeMetrics::new());
+        let batcher = Arc::new(Batcher::start_with_stats(
             Arc::clone(&handle),
             config.workers,
             config.max_batch,
             config.threads,
             config.batch_max_wait,
+            Arc::new(BatchStats::registered(&metrics.registry)),
         ));
+        // Route the scoring path's per-shard timings and index-query
+        // counts into this server's registry.
+        hics_outlier::install_recorder(Arc::new(EngineRecorder::new(&metrics.registry)));
         Ok(Self {
             listener,
             ctx: Ctx {
                 handle,
                 batcher,
                 reload: Arc::new(Mutex::new(ReloadSource::default())),
-                stream_stats: Arc::new(StreamStats::default()),
-                conns: Arc::new(ConnStats::default()),
+                stream_stats: Arc::new(StreamStats::registered(&metrics.registry)),
+                conns: Arc::new(ConnStats::registered(&metrics.registry)),
+                metrics,
                 config: Arc::new(config),
                 reactors,
             },
@@ -278,13 +368,13 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         let addr = self.listener.local_addr()?;
         let mut joins = Vec::new();
-        for _ in 1..self.ctx.reactors {
+        for id in 1..self.ctx.reactors {
             let listener = crate::reactor::bind_reuseport(&addr)?;
             let ctx = self.ctx.clone();
             let stop = Arc::clone(&self.stop);
             let wakes = Arc::clone(&self.wakes);
             joins.push(std::thread::spawn(move || {
-                crate::reactor::run_reactor(listener, ctx, stop, &wakes);
+                crate::reactor::run_reactor(listener, ctx, stop, &wakes, id);
             }));
         }
         crate::reactor::run_reactor(
@@ -292,6 +382,7 @@ impl Server {
             self.ctx.clone(),
             Arc::clone(&self.stop),
             &self.wakes,
+            0,
         );
         for join in joins {
             let _ = join.join();
@@ -306,7 +397,6 @@ impl Server {
     /// with `503`); scoring goes through the shared batcher.
     #[cfg(not(target_os = "linux"))]
     pub fn run(self) -> std::io::Result<()> {
-        let active = Arc::new(AtomicUsize::new(0));
         for conn in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -323,8 +413,8 @@ impl Server {
             };
             // Load shedding: never take on more handler threads (and their
             // fds) than configured.
-            if active.load(Ordering::SeqCst) >= self.ctx.config.max_connections {
-                self.ctx.conns.shed.fetch_add(1, Ordering::Relaxed);
+            if self.ctx.conns.active.get().max(0) as usize >= self.ctx.config.max_connections {
+                self.ctx.conns.shed.inc();
                 let _ = write_response(
                     &mut stream,
                     503,
@@ -333,15 +423,12 @@ impl Server {
                 );
                 continue;
             }
-            active.fetch_add(1, Ordering::SeqCst);
-            self.ctx.conns.accepted.fetch_add(1, Ordering::Relaxed);
-            self.ctx.conns.active.fetch_add(1, Ordering::Relaxed);
+            self.ctx.conns.accepted.inc();
+            self.ctx.conns.active.add(1);
             let ctx = self.ctx.clone();
-            let active = Arc::clone(&active);
             std::thread::spawn(move || {
                 let _ = handle_connection(stream, &ctx);
-                active.fetch_sub(1, Ordering::SeqCst);
-                ctx.conns.active.fetch_sub(1, Ordering::Relaxed);
+                ctx.conns.active.add(-1);
             });
         }
         self.ctx.batcher.shutdown();
@@ -362,6 +449,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
     stream.set_write_timeout(Some(ctx.config.keep_alive))?;
     stream.set_nodelay(true)?;
     let mut reader = std::io::BufReader::new(stream);
+    let mut timeline = Timeline::new();
     loop {
         let head = match read_head(&mut reader) {
             Ok(h) => h,
@@ -371,8 +459,18 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
                 return Ok(());
             }
         };
+        // The blocking fallback can't observe the first byte's arrival
+        // (it is inside the blocking head read), so the timeline starts
+        // at head completion and `head_parse` reads as ~0 here.
+        if ctx.config.instrument {
+            timeline.start();
+            timeline.mark(Stage::HeadParse);
+        }
         let close = head.close;
         if head.method == "POST" && head.path == "/v2/score" {
+            // Streams report through their own counters, not the
+            // request-stage histograms.
+            timeline.reset();
             let keep = stream_score(&mut reader, &head, ctx)?;
             if close || !keep {
                 reader.get_mut().flush()?;
@@ -388,14 +486,28 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
                 return Ok(());
             }
         };
+        timeline.mark(Stage::Body);
         let request = Request {
             method: head.method,
             path: head.path,
             body,
             close,
         };
+        // Scoring runs synchronously inside `dispatch` here, so the
+        // enqueue/score split the reactor core records collapses into one
+        // `score` mark.
         let (status, body) = dispatch(&request, ctx);
-        write_response(reader.get_mut(), status, &body, close)?;
+        timeline.mark(Stage::Score);
+        write_response_typed(
+            reader.get_mut(),
+            status,
+            content_type_for(&request.path, status),
+            &body,
+            close,
+        )?;
+        timeline.mark(Stage::Flush);
+        ctx.metrics
+            .observe_request(&ctx.config, &request.path, &mut timeline);
         if close {
             reader.get_mut().flush()?;
             return Ok(());
@@ -414,6 +526,7 @@ pub(crate) fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
         ("GET", "/model") => (200, model_body(&ctx.handle.load(), ctx.handle.generation())),
         ("GET", "/stats") => (200, stats_body(ctx)),
+        ("GET", "/metrics") => (200, ctx.metrics.registry.render_prometheus()),
         ("POST" | "GET", _) => (404, error_body(&format!("no route {}", request.path))),
         _ => (
             405,
@@ -597,7 +710,7 @@ pub(crate) fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
 pub(crate) fn stream_line(result: Result<f64, String>, line: u64, stats: &StreamStats) -> String {
     match result {
         Ok(score) => {
-            stats.lines.fetch_add(1, Ordering::Relaxed);
+            stats.lines.inc();
             let mut out = String::with_capacity(24);
             out.push_str("{\"score\":");
             json::write_f64(&mut out, score);
@@ -605,7 +718,7 @@ pub(crate) fn stream_line(result: Result<f64, String>, line: u64, stats: &Stream
             out
         }
         Err(msg) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
+            stats.errors.inc();
             let mut out = String::with_capacity(msg.len() + 24);
             out.push_str("{\"line\":");
             out.push_str(&line.to_string());
@@ -638,7 +751,7 @@ fn stream_score(
     head: &RequestHead,
     ctx: &Ctx,
 ) -> std::io::Result<bool> {
-    ctx.stream_stats.streams.fetch_add(1, Ordering::Relaxed);
+    ctx.stream_stats.streams.inc();
     // Responses interleave with body reads, so the write side works on a
     // dup of the socket while the BufReader keeps the read side.
     let mut writer = std::io::BufWriter::new(reader.get_ref().try_clone()?);
@@ -780,20 +893,20 @@ fn stats_body(ctx: &Ctx) -> String {
          \"generation\":{},\"shards\":{},\"retired_generations\":[{}],\"index\":{},\
          \"connections\":{{\"accepted\":{},\"active\":{},\"shed\":{}}},\
          \"reactors\":{},\"batch_sizes\":[{}]}}",
-        s.requests.load(Ordering::Relaxed),
-        s.rows.load(Ordering::Relaxed),
-        s.batches.load(Ordering::Relaxed),
-        s.coalesced_batches.load(Ordering::Relaxed),
-        st.streams.load(Ordering::Relaxed),
-        st.lines.load(Ordering::Relaxed),
-        st.errors.load(Ordering::Relaxed),
+        s.requests.get(),
+        s.rows.get(),
+        s.batches.get(),
+        s.coalesced_batches.get(),
+        st.streams.get(),
+        st.lines.get(),
+        st.errors.get(),
         ctx.handle.generation(),
         engine.shard_count(),
         retired.join(","),
         index_object(&engine),
-        cn.accepted.load(Ordering::Relaxed),
-        cn.active.load(Ordering::Relaxed),
-        cn.shed.load(Ordering::Relaxed),
+        cn.accepted.get(),
+        cn.active.get(),
+        cn.shed.get(),
         ctx.reactors,
         batch_sizes.join(","),
     )
@@ -831,13 +944,22 @@ mod tests {
 
     fn test_ctx(engine: QueryEngine) -> Ctx {
         let handle = Arc::new(EngineHandle::new(engine));
-        let batcher = Arc::new(Batcher::start(Arc::clone(&handle), 1, 16, 1));
+        let metrics = Arc::new(ServeMetrics::new());
+        let batcher = Arc::new(Batcher::start_with_stats(
+            Arc::clone(&handle),
+            1,
+            16,
+            1,
+            Duration::ZERO,
+            Arc::new(BatchStats::registered(&metrics.registry)),
+        ));
         Ctx {
             handle,
             batcher,
             reload: Arc::new(Mutex::new(ReloadSource::default())),
-            stream_stats: Arc::new(StreamStats::default()),
-            conns: Arc::new(ConnStats::default()),
+            stream_stats: Arc::new(StreamStats::registered(&metrics.registry)),
+            conns: Arc::new(ConnStats::registered(&metrics.registry)),
+            metrics,
             config: Arc::new(ServeConfig::default()),
             reactors: 1,
         }
@@ -1041,6 +1163,14 @@ mod tests {
             assert!(body.contains("\"connections\":{"), "{body}");
             assert!(body.contains("\"reactors\":1"), "{body}");
             assert!(body.contains("\"batch_sizes\":["), "{body}");
+            let (status, body) = dispatch(&get("/metrics"), ctx);
+            assert_eq!(status, 200);
+            assert!(
+                body.contains("# TYPE hics_requests_total counter"),
+                "{body}"
+            );
+            assert!(body.contains("# TYPE hics_batch_size summary"), "{body}");
+            assert!(body.contains("hics_connections_active 0"), "{body}");
             assert_eq!(dispatch(&get("/nope"), ctx).0, 404);
             let delete = Request {
                 method: "DELETE".into(),
