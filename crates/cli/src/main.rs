@@ -21,6 +21,11 @@
 //!               [--workers 1] [--reactors 0] [--batch-wait-us 0]
 //!               [--index brute|vptree] [--load mmap|heap]
 //!               [--log-format text|json] [--slow-query-us N] [--no-instrument]
+//! hics route    --model manifest.hics (--table routes.txt | --replicas a:1,b:2,...)
+//!               [--addr 127.0.0.1:7880] [--degraded partial|fail]
+//!               [--timeout-ms 2000] [--retries 1] [--hedge-ms 50]
+//!               [--hedge-quantile 0.95] [--health-interval-ms 500]
+//!               [--evict-after 3] [--readmit-after 2] [--pool-cap 8]
 //! ```
 //!
 //! `import` streams CSV/ARFF rows into a columnar dataset store with
@@ -57,12 +62,13 @@ use hics_core::{
 };
 use hics_data::arff::{read_arff_file, ArffReader};
 use hics_data::csv::{read_csv_file, write_csv_file, CsvData, CsvReader};
-use hics_data::manifest::{PartitionKind, ShardAggregation};
+use hics_data::manifest::{PartitionKind, ShardAggregation, ShardManifest};
 use hics_data::model::{NormKind, ScorerKind, ScorerSpec};
-use hics_data::{DatasetSource, HicsError, HicsModel, ModelArtifact, SyntheticConfig};
+use hics_data::{DatasetSource, HicsError, HicsModel, ModelArtifact, RouteTable, SyntheticConfig};
 use hics_eval::report::{Stopwatch, TextTable};
 use hics_eval::roc::roc_auc;
-use hics_outlier::{Engine, IndexKind, QueryEngine};
+use hics_outlier::{Engine, EngineHandle, IndexKind, QueryEngine, RemoteEngine};
+use hics_route::{Router, RouterConfig};
 use hics_serve::{LogFormat, ServeConfig, Server};
 use hics_store::{DatasetStore, FileKind, StoreWriter, DEFAULT_CHUNK_ROWS};
 use std::path::{Path, PathBuf};
@@ -139,6 +145,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
         Some("fit") => cmd_fit(&args),
         Some("score") => cmd_score(&args),
         Some("serve") => cmd_serve(&args),
+        Some("route") => cmd_route(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -169,6 +176,10 @@ fn print_usage() {
     println!("            [--workers 1] [--reactors 0] [--batch-wait-us 0]");
     println!("            [--index brute|vptree] [--load mmap|heap]");
     println!("            [--log-format text|json] [--slow-query-us N] [--no-instrument]");
+    println!("  route     --model <manifest.hics> (--table <routes.txt> | --replicas <spec>)");
+    println!("            [--addr 127.0.0.1:7880] [--degraded partial|fail] [--timeout-ms 2000]");
+    println!("            [--retries 1] [--hedge-ms 50] [--hedge-quantile 0.95]");
+    println!("            [--health-interval-ms 500] [--evict-after 3] [--readmit-after 2]");
     println!("  help      this message");
     println!();
     println!("  --threads N applies to search/rank/evaluate/fit/score/serve");
@@ -184,6 +195,9 @@ fn print_usage() {
     println!("  store-backed fits read columns zero-copy from the map (normalise at");
     println!("  import time); --shards fits partitions independently and serves their");
     println!("  mean|max score ensemble from a sharded manifest");
+    println!("  route fans /score across one hics serve backend per manifest shard");
+    println!("  (--replicas: `,` between shards, `|` between a shard's replicas) with");
+    println!("  health-checked pools, hedged requests and the same score fold as serve");
     println!();
     println!("exit codes: 1 generic, 2 bad input, 3 I/O, 4 unreadable artifact,");
     println!("            5 invalid artifact content, 6 malformed query, 7 serving failure");
@@ -853,6 +867,113 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     server
         .run()
         .map_err(|e| HicsError::Serve(format!("serving: {e}")))?;
+    Ok(())
+}
+
+/// `route`: scatter-gather routing tier over `hics serve` shard
+/// backends. Loads a sharded manifest for the ensemble *shape* (shard
+/// count, fold, dimensionality) and a route table for the *placement*
+/// (which replicas hold which shard), then serves the same `/score`,
+/// `/v2/score` and `/metrics` surface as `hics serve` — every query fans
+/// out to one healthy replica per shard over persistent connection pools
+/// and folds the answers with the manifest's aggregation, bit for bit
+/// what in-process manifest serving produces. `GET /route` reports
+/// per-shard health, replica state and hedge/retry counters.
+fn cmd_route(args: &Args) -> Result<(), CliError> {
+    let model_path = args.require("model")?;
+    let manifest = ShardManifest::load(Path::new(model_path))?;
+    let table = match (args.get("table"), args.get("replicas")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError("--table and --replicas are mutually exclusive".into()).into())
+        }
+        (Some(path), None) => {
+            RouteTable::load(Path::new(path)).map_err(|e| CliError::Usage(ArgError(e)))?
+        }
+        (None, Some(spec)) => {
+            RouteTable::parse_inline(spec).map_err(|e| CliError::Usage(ArgError(e)))?
+        }
+        (None, None) => {
+            return Err(ArgError(
+                "route needs backend placement: --table <file> or --replicas <spec>".into(),
+            )
+            .into())
+        }
+    };
+
+    let degraded = args
+        .get("degraded")
+        .unwrap_or("partial")
+        .parse()
+        .map_err(|e: String| ArgError(e))?;
+    let hedge_quantile: f64 = args.get_or("hedge-quantile", 0.95)?;
+    if !(0.5..1.0).contains(&hedge_quantile) {
+        return Err(ArgError("--hedge-quantile must be in [0.5, 1.0)".into()).into());
+    }
+    let defaults = RouterConfig::default();
+    let cfg = RouterConfig {
+        degraded,
+        request_timeout: Duration::from_millis(
+            args.get_or("timeout-ms", defaults.request_timeout.as_millis() as u64)?,
+        ),
+        retries: args.get_or("retries", defaults.retries)?,
+        hedge_after: Duration::from_millis(
+            args.get_or("hedge-ms", defaults.hedge_after.as_millis() as u64)?,
+        ),
+        hedge_quantile,
+        health_interval: Duration::from_millis(args.get_or(
+            "health-interval-ms",
+            defaults.health_interval.as_millis() as u64,
+        )?),
+        evict_after: args.get_or("evict-after", defaults.evict_after)?,
+        readmit_after: args.get_or("readmit-after", defaults.readmit_after)?,
+        pool_cap: args.get_or("pool-cap", defaults.pool_cap)?,
+    };
+
+    let registry = Arc::new(hics_obs::Registry::new());
+    let router = Arc::new(
+        Router::new(&manifest, &table, cfg, &registry).map_err(|e| CliError::Usage(ArgError(e)))?,
+    );
+    // One synchronous sweep so /route and the subspace count are
+    // populated before the first query; the checker keeps them fresh.
+    router.probe_all();
+    let _checker = router.spawn_health_checker();
+
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7880").to_string(),
+        threads: threads(args)?,
+        max_batch: args.get_or("max-batch", 512)?,
+        workers: args.get_or("workers", 1)?,
+        reactor_threads: args.get_or("reactors", 0)?,
+        batch_max_wait: Duration::from_micros(args.get_or("batch-wait-us", 0)?),
+        instrument: !args.flag("no-instrument"),
+        ..ServeConfig::default()
+    };
+    if config.max_batch == 0 || config.workers == 0 {
+        return Err(ArgError("--max-batch and --workers must be at least 1".into()).into());
+    }
+    let engine = Engine::Remote(Arc::clone(&router) as Arc<dyn RemoteEngine>);
+    let server = Server::bind_handle_with_registry(
+        Arc::new(EngineHandle::new(engine)),
+        config,
+        Arc::clone(&registry),
+    )
+    .map_err(|e| HicsError::Serve(format!("binding listener: {e}")))?;
+    let admin_router = Arc::clone(&router);
+    server.register_admin("/route", move || (200, admin_router.route_body()));
+    let addr = server
+        .local_addr()
+        .map_err(|e| HicsError::Serve(format!("resolving listen address: {e}")))?;
+    println!(
+        "# routing {} shards ({} aggregation, degraded={}) on http://{addr}",
+        manifest.shards.len(),
+        manifest.aggregation.name(),
+        router.degraded_mode().name(),
+    );
+    println!("#   (POST /score /v2/score, GET /healthz /model /stats /metrics /route)");
+    server
+        .run()
+        .map_err(|e| HicsError::Serve(format!("serving: {e}")))?;
+    router.shutdown();
     Ok(())
 }
 

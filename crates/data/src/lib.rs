@@ -24,6 +24,8 @@
 //!   fit pipeline never has to materialise the training matrix.
 //! * [`manifest`] — the sharded-model manifest (version-3 artifact
 //!   envelope referencing per-shard artifacts) behind `hics fit --shards`.
+//! * [`route`] — the per-shard backend placement table (`hics route`):
+//!   which serving replicas hold which manifest shard.
 //! * [`mmap`] — shared read-only byte storage (memory map / 8-aligned
 //!   heap) under every mmap-able on-disk format.
 //! * [`rng_util`] — Gaussian sampling and distinct-index helpers.
@@ -42,6 +44,7 @@ pub mod mmap;
 pub mod model;
 pub mod realworld;
 pub mod rng_util;
+pub mod route;
 pub mod source;
 pub mod synth;
 pub mod toy;
@@ -57,5 +60,6 @@ pub use model::{
     ScorerKind, ScorerSpec,
 };
 pub use realworld::{RealWorldSpec, UciProxy};
+pub use route::RouteTable;
 pub use source::{ColumnsView, DatasetSource};
 pub use synth::{LabeledDataset, SyntheticConfig};

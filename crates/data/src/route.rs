@@ -1,0 +1,185 @@
+//! The route table behind `hics route`: which network backends serve
+//! which shard of a sharded fit.
+//!
+//! A sharded manifest ([`crate::manifest::ShardManifest`]) describes the
+//! *model* side of an ensemble — `S` per-shard artifacts and the fold
+//! that combines their scores. The route table is the *placement* side:
+//! for each of those `S` shards, the addresses of one or more `hics
+//! serve` backends (replicas) holding that shard's artifact. The router
+//! queries one replica per shard and folds the answers with the
+//! manifest's aggregation, so table order must match manifest shard
+//! order.
+//!
+//! # Formats
+//!
+//! On disk, one line per shard in shard order; replicas of a shard are
+//! separated by `|`; blank lines and `#` comments are skipped:
+//!
+//! ```text
+//! # shard 0 has a hot standby
+//! 10.0.0.1:7878|10.0.0.4:7878
+//! 10.0.0.2:7878
+//! 10.0.0.3:7878
+//! ```
+//!
+//! Inline (the `--replicas` flag), the same replica syntax with `,`
+//! between shards: `10.0.0.1:7878|10.0.0.4:7878,10.0.0.2:7878,…`.
+
+use crate::manifest::ShardManifest;
+use std::path::Path;
+
+/// Per-shard backend placement: `shards[i]` lists the replica addresses
+/// serving shard `i`, in preference order (the router tries earlier
+/// replicas first and hedges/retries onto later ones).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    shards: Vec<Vec<String>>,
+}
+
+impl RouteTable {
+    /// Parses the on-disk format (see the module docs).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut shards = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            shards.push(Self::parse_replicas(line, i + 1)?);
+        }
+        if shards.is_empty() {
+            return Err("route table lists no shards".into());
+        }
+        Ok(Self { shards })
+    }
+
+    /// Parses the inline `--replicas` spec: `,` separates shards, `|`
+    /// separates replicas within a shard.
+    pub fn parse_inline(spec: &str) -> Result<Self, String> {
+        let mut shards = Vec::new();
+        for (i, group) in spec.split(',').enumerate() {
+            shards.push(Self::parse_replicas(group.trim(), i + 1)?);
+        }
+        Ok(Self { shards })
+    }
+
+    fn parse_replicas(group: &str, shard_1based: usize) -> Result<Vec<String>, String> {
+        let replicas: Vec<String> = group
+            .split('|')
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(str::to_string)
+            .collect();
+        if replicas.is_empty() {
+            return Err(format!("shard {} lists no replicas", shard_1based - 1));
+        }
+        for r in &replicas {
+            if !r.contains(':') {
+                return Err(format!(
+                    "replica {r:?} (shard {}) is not host:port",
+                    shard_1based - 1
+                ));
+            }
+        }
+        Ok(replicas)
+    }
+
+    /// Reads and parses the on-disk format.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading route table {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Number of shards the table places.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Replica addresses for shard `i`, in preference order.
+    pub fn replicas(&self, shard: usize) -> &[String] {
+        &self.shards[shard]
+    }
+
+    /// All placements, in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &[String]> {
+        self.shards.iter().map(Vec::as_slice)
+    }
+
+    /// Checks the table covers exactly the manifest's shards — the fold
+    /// is positional, so a count mismatch would silently score the wrong
+    /// ensemble.
+    pub fn validate_against(&self, manifest: &ShardManifest) -> Result<(), String> {
+        if self.shards.len() != manifest.shards.len() {
+            return Err(format!(
+                "route table places {} shards but the manifest has {}",
+                self.shards.len(),
+                manifest.shards.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{PartitionKind, ShardAggregation, ShardEntry};
+
+    #[test]
+    fn parses_files_with_comments_replicas_and_blank_lines() {
+        let table = RouteTable::parse(
+            "# fleet\n10.0.0.1:7878 | 10.0.0.4:7878\n\n10.0.0.2:7878 # solo\n10.0.0.3:7878\n",
+        )
+        .unwrap();
+        assert_eq!(table.shard_count(), 3);
+        assert_eq!(table.replicas(0), ["10.0.0.1:7878", "10.0.0.4:7878"]);
+        assert_eq!(table.replicas(1), ["10.0.0.2:7878"]);
+        assert_eq!(table.replicas(2), ["10.0.0.3:7878"]);
+    }
+
+    #[test]
+    fn parses_inline_specs_with_the_same_replica_syntax() {
+        let inline = RouteTable::parse_inline("a:1|b:2,c:3,d:4").unwrap();
+        assert_eq!(inline.shard_count(), 3);
+        assert_eq!(inline.replicas(0), ["a:1", "b:2"]);
+        let file = RouteTable::parse("a:1|b:2\nc:3\nd:4\n").unwrap();
+        assert_eq!(inline, file);
+    }
+
+    #[test]
+    fn rejects_empty_tables_empty_shards_and_bare_hosts() {
+        assert!(RouteTable::parse("# only comments\n").is_err());
+        assert!(RouteTable::parse_inline("a:1,,b:2").is_err());
+        let err = RouteTable::parse("localhost\n").unwrap_err();
+        assert!(err.contains("host:port"), "{err}");
+    }
+
+    #[test]
+    fn validates_shard_count_against_the_manifest() {
+        let manifest = ShardManifest {
+            total_n: 10,
+            d: 2,
+            aggregation: ShardAggregation::Mean,
+            partition: PartitionKind::Contiguous,
+            shards: vec![
+                ShardEntry {
+                    file: "a.hics".into(),
+                    n: 5,
+                },
+                ShardEntry {
+                    file: "b.hics".into(),
+                    n: 5,
+                },
+            ],
+        };
+        let ok = RouteTable::parse("a:1\nb:2\n").unwrap();
+        assert!(ok.validate_against(&manifest).is_ok());
+        let short = RouteTable::parse("a:1\n").unwrap();
+        let err = short.validate_against(&manifest).unwrap_err();
+        assert!(
+            err.contains("places 1 shards but the manifest has 2"),
+            "{err}"
+        );
+    }
+}

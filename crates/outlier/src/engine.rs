@@ -18,13 +18,48 @@ use hics_data::{HicsError, ModelArtifact};
 use std::path::Path;
 use std::sync::Arc;
 
-/// A servable scoring engine: one trained model, or a shard ensemble.
+/// A batch scored by a [`RemoteEngine`]: per-row results plus whether
+/// the ensemble was folded over a degraded (partial) shard set.
+#[derive(Debug, Clone)]
+pub struct RemoteBatch {
+    /// One result per input row, in input order.
+    pub results: Vec<Result<f64, QueryError>>,
+    /// True when at least one shard was skipped (evicted or failing)
+    /// and the fold ran over the survivors only.
+    pub partial: bool,
+}
+
+/// A scoring engine whose shards live in other processes — the seam the
+/// `hics route` scatter-gather tier plugs into [`Engine`] through, so
+/// the whole serving stack (reactor, batcher, endpoints) runs unchanged
+/// on top of a fan-out it knows nothing about.
+///
+/// Implementations must be safe to call from many batcher workers at
+/// once; rows in one call may come from many coalesced connections.
+pub trait RemoteEngine: Send + Sync + std::fmt::Debug {
+    /// Scores a batch of pre-validated rows (arity and finiteness are
+    /// checked by the caller against [`RemoteEngine::d`]).
+    fn score_rows(&self, rows: &[Vec<f64>]) -> RemoteBatch;
+    /// Total trained objects across all shards (from the manifest).
+    fn n(&self) -> usize;
+    /// Number of attributes a query row must carry.
+    fn d(&self) -> usize;
+    /// Total subspaces across all shards (0 until learned from backends).
+    fn subspace_count(&self) -> usize;
+    /// Number of shards in the ensemble.
+    fn shard_count(&self) -> usize;
+}
+
+/// A servable scoring engine: one trained model, a shard ensemble, or a
+/// remote scatter-gather fan-out.
 #[derive(Debug)]
 pub enum Engine {
     /// A single trained model.
     Single(QueryEngine),
     /// `S` per-shard models combined at query time.
     Sharded(ShardedEngine),
+    /// `S` per-shard backends in other processes, combined over the wire.
+    Remote(Arc<dyn RemoteEngine>),
 }
 
 impl From<QueryEngine> for Engine {
@@ -73,9 +108,26 @@ impl Engine {
 
     /// Scores one raw query row. Higher is more outlying.
     pub fn score(&self, raw: &[f64]) -> Result<f64, QueryError> {
+        self.score_partial(raw).0
+    }
+
+    /// Scores one raw query row and reports whether a remote engine
+    /// served it degraded (folded over a partial shard set). In-process
+    /// engines are never partial.
+    pub fn score_partial(&self, raw: &[f64]) -> (Result<f64, QueryError>, bool) {
         match self {
-            Engine::Single(e) => e.score(raw),
-            Engine::Sharded(e) => e.score(raw),
+            Engine::Single(e) => (e.score(raw), false),
+            Engine::Sharded(e) => (e.score(raw), false),
+            Engine::Remote(r) => {
+                let mut batch = r.score_rows(std::slice::from_ref(&raw.to_vec()));
+                match batch.results.pop() {
+                    Some(result) => (result, batch.partial),
+                    None => (
+                        Err(QueryError::Upstream("router returned no result".into())),
+                        batch.partial,
+                    ),
+                }
+            }
         }
     }
 
@@ -85,9 +137,23 @@ impl Engine {
         rows: &[Vec<f64>],
         max_threads: usize,
     ) -> Vec<Result<f64, QueryError>> {
+        self.score_batch_partial(rows, max_threads).0
+    }
+
+    /// Scores a batch and reports whether a remote engine served it
+    /// degraded. In-process engines are never partial.
+    pub fn score_batch_partial(
+        &self,
+        rows: &[Vec<f64>],
+        max_threads: usize,
+    ) -> (Vec<Result<f64, QueryError>>, bool) {
         match self {
-            Engine::Single(e) => e.score_batch(rows, max_threads),
-            Engine::Sharded(e) => e.score_batch(rows, max_threads),
+            Engine::Single(e) => (e.score_batch(rows, max_threads), false),
+            Engine::Sharded(e) => (e.score_batch(rows, max_threads), false),
+            Engine::Remote(r) => {
+                let batch = r.score_rows(rows);
+                (batch.results, batch.partial)
+            }
         }
     }
 
@@ -96,6 +162,7 @@ impl Engine {
         match self {
             Engine::Single(e) => e.n(),
             Engine::Sharded(e) => e.n(),
+            Engine::Remote(r) => r.n(),
         }
     }
 
@@ -104,6 +171,7 @@ impl Engine {
         match self {
             Engine::Single(e) => e.d(),
             Engine::Sharded(e) => e.d(),
+            Engine::Remote(r) => r.d(),
         }
     }
 
@@ -112,6 +180,7 @@ impl Engine {
         match self {
             Engine::Single(e) => e.subspace_count(),
             Engine::Sharded(e) => e.subspace_count(),
+            Engine::Remote(r) => r.subspace_count(),
         }
     }
 
@@ -120,7 +189,15 @@ impl Engine {
         match self {
             Engine::Single(_) => 1,
             Engine::Sharded(e) => e.shard_count(),
+            Engine::Remote(r) => r.shard_count(),
         }
+    }
+
+    /// Whether scoring goes over the wire to other processes. The
+    /// serving layer uses this to keep remote scoring off its event
+    /// loop (remote calls block on network I/O).
+    pub fn is_remote(&self) -> bool {
+        matches!(self, Engine::Remote(_))
     }
 
     /// Whether the trained columns are served zero-copy out of
@@ -129,14 +206,23 @@ impl Engine {
         match self {
             Engine::Single(e) => e.is_mapped(),
             Engine::Sharded(e) => e.is_mapped(),
+            Engine::Remote(_) => false,
         }
     }
 
-    /// Neighbour-index statistics (aggregated over shards).
+    /// Neighbour-index statistics (aggregated over shards). A remote
+    /// engine holds no local index: brute kind, zero nodes.
     pub fn index_stats(&self) -> IndexStats {
         match self {
             Engine::Single(e) => e.index_stats(),
             Engine::Sharded(e) => e.index_stats(),
+            Engine::Remote(_) => IndexStats {
+                kind: IndexKind::Brute,
+                from_artifact: false,
+                nodes: 0,
+                build_micros: 0,
+                precomputed: false,
+            },
         }
     }
 
@@ -144,15 +230,15 @@ impl Engine {
     pub fn as_single(&self) -> Option<&QueryEngine> {
         match self {
             Engine::Single(e) => Some(e),
-            Engine::Sharded(_) => None,
+            _ => None,
         }
     }
 
     /// The shard ensemble, if this is one (diagnostics/tests).
     pub fn as_sharded(&self) -> Option<&ShardedEngine> {
         match self {
-            Engine::Single(_) => None,
             Engine::Sharded(e) => Some(e),
+            _ => None,
         }
     }
 }

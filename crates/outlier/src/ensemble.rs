@@ -1,0 +1,157 @@
+//! The ensemble fold: how per-shard scores combine into one score.
+//!
+//! A sharded fit is served as a subspace outlier ensemble (He et al.,
+//! "A Unified Subspace Outlier Ensemble Framework"): every shard scores
+//! the query against its own reference rows and the ensemble score is
+//! the mean or max of the per-shard scores. This module is the *single*
+//! implementation of that fold — [`ShardedEngine`](crate::ShardedEngine)
+//! uses it in-process and the `hics route` scatter-gather tier uses it
+//! across the wire, so a routed score can be bit-for-bit identical to
+//! the in-process ensemble.
+//!
+//! Bit-for-bit matters, so the accumulation order is pinned:
+//!
+//! * `Mean` sums the scores **in shard order** and divides once at the
+//!   end (not a running mean) — floating-point addition is not
+//!   associative, so any other order could differ in the last ulp.
+//! * `Max` folds with [`f64::max`], which propagates the *other*
+//!   operand when one side is NaN. Per-shard scores are already
+//!   NaN-free (the [`QueryEngine`](crate::QueryEngine) clamps
+//!   non-finite LOF ratios *before* aggregation, never after), so the
+//!   fold never manufactures or launders a NaN on its own.
+
+use hics_data::manifest::ShardAggregation;
+
+/// Incremental fold of per-shard scores, one [`push`](Fold::push) per
+/// shard **in shard order**, then [`finish`](Fold::finish).
+///
+/// The incremental form exists so callers interleaving scoring with the
+/// fold (score shard 0, push, score shard 1, push, …) need no
+/// intermediate `Vec`; [`fold`] is the one-shot convenience over it.
+#[derive(Debug, Clone, Copy)]
+pub struct Fold {
+    aggregation: ShardAggregation,
+    acc: f64,
+    count: usize,
+}
+
+impl Fold {
+    /// An empty fold: `0.0` for `Mean`, `-inf` for `Max`.
+    pub fn new(aggregation: ShardAggregation) -> Self {
+        let acc = match aggregation {
+            ShardAggregation::Mean => 0.0,
+            ShardAggregation::Max => f64::NEG_INFINITY,
+        };
+        Fold {
+            aggregation,
+            acc,
+            count: 0,
+        }
+    }
+
+    /// Accumulates the next shard's score (shard order is the caller's
+    /// responsibility — it is the bit-for-bit contract).
+    pub fn push(&mut self, score: f64) {
+        match self.aggregation {
+            ShardAggregation::Mean => self.acc += score,
+            ShardAggregation::Max => self.acc = self.acc.max(score),
+        }
+        self.count += 1;
+    }
+
+    /// How many scores have been pushed.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no score has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The ensemble score. `Mean` divides the sum by the number of
+    /// pushed scores; an empty `Mean` fold is `NaN` and an empty `Max`
+    /// fold is `-inf` — callers that can legitimately end up with zero
+    /// components (a degraded router with no surviving shards) must
+    /// reject that case before finishing.
+    pub fn finish(self) -> f64 {
+        match self.aggregation {
+            ShardAggregation::Mean => self.acc / self.count as f64,
+            ShardAggregation::Max => self.acc,
+        }
+    }
+}
+
+/// Folds a complete per-shard score vector (shard order) into the
+/// ensemble score. Bit-for-bit identical to feeding the same slice
+/// through [`Fold`] one score at a time.
+pub fn fold(aggregation: ShardAggregation, scores: &[f64]) -> f64 {
+    let mut acc = Fold::new(aggregation);
+    for &s in scores {
+        acc.push(s);
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_sum_in_order_then_one_divide() {
+        // A sequence chosen so that a running mean ((((a+b)/2)+c)/2 …)
+        // and sum-then-divide disagree; the pinned order is the latter.
+        let scores = [0.1, 0.2, 0.3, 1e16, -1e16];
+        let want = (0.1 + 0.2 + 0.3 + 1e16 + -1e16) / 5.0;
+        assert_eq!(fold(ShardAggregation::Mean, &scores), want);
+    }
+
+    #[test]
+    fn max_matches_neg_infinity_fold() {
+        let scores = [1.5, -2.0, 7.25, 3.0];
+        let want = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(fold(ShardAggregation::Max, &scores), want);
+        assert_eq!(fold(ShardAggregation::Max, &scores), 7.25);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let scores = [0.30000000000000004, 1.1, 2.2, 3.3000000000000003];
+        for aggregation in [ShardAggregation::Mean, ShardAggregation::Max] {
+            let mut acc = Fold::new(aggregation);
+            for &s in &scores {
+                acc.push(s);
+            }
+            assert_eq!(acc.len(), scores.len());
+            assert_eq!(
+                acc.finish().to_bits(),
+                fold(aggregation, &scores).to_bits(),
+                "{aggregation:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_score_is_identity() {
+        for aggregation in [ShardAggregation::Mean, ShardAggregation::Max] {
+            assert_eq!(fold(aggregation, &[0.7251]), 0.7251);
+        }
+    }
+
+    #[test]
+    fn empty_fold_is_flagged_by_is_empty() {
+        let acc = Fold::new(ShardAggregation::Mean);
+        assert!(acc.is_empty());
+        assert!(acc.finish().is_nan());
+        let acc = Fold::new(ShardAggregation::Max);
+        assert_eq!(acc.finish(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_survives_infinities_without_nan() {
+        // Clamped LOF scores can be large but finite; even if a future
+        // scorer emitted +inf the max fold stays well-defined.
+        let scores = [1.0, f64::INFINITY, 2.0];
+        assert_eq!(fold(ShardAggregation::Max, &scores), f64::INFINITY);
+    }
+}

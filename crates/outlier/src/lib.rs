@@ -12,6 +12,8 @@
 //!   granularity so the uninstrumented path stays hot.
 //! * [`kde_score`] — adaptive-bandwidth KDE score (OUTRES-flavoured).
 //! * [`aggregate`] — Definition 1 score aggregation (average / max).
+//! * [`ensemble`] — the pinned mean|max ensemble fold shared bit-for-bit
+//!   by the in-process [`ShardedEngine`] and the `hics route` tier.
 //! * [`scorer`] — the pluggable [`scorer::SubspaceScorer`] seam and parallel
 //!   multi-subspace driving.
 //! * [`query`] — query-point scoring against a trained model (the serving
@@ -35,6 +37,7 @@
 pub mod aggregate;
 pub mod distance;
 pub mod engine;
+pub mod ensemble;
 pub mod handle;
 pub mod index;
 pub mod kde_score;
@@ -50,7 +53,8 @@ pub mod sharded;
 
 pub use aggregate::{aggregate_scores, Aggregation};
 pub use distance::{Points, SubspaceLayout, SubspaceView};
-pub use engine::Engine;
+pub use engine::{Engine, RemoteBatch, RemoteEngine};
+pub use ensemble::{fold, Fold};
 pub use handle::EngineHandle;
 pub use index::{knn_all_indexed, IndexKind, SubspaceIndex, VpTree};
 pub use kde_score::KdeScorer;

@@ -53,6 +53,13 @@ pub enum QueryError {
         /// Index of the offending attribute.
         column: usize,
     },
+    /// A remote scoring tier could not produce a score for the row —
+    /// every replica of some shard failed or timed out. Only the
+    /// scatter-gather router emits this; in-process engines never do.
+    Upstream(
+        /// What failed, suitable for an error response body.
+        String,
+    ),
 }
 
 impl std::fmt::Display for QueryError {
@@ -67,6 +74,7 @@ impl std::fmt::Display for QueryError {
             QueryError::NonFinite { column } => {
                 write!(f, "query attribute {column} is not a finite number")
             }
+            QueryError::Upstream(msg) => write!(f, "upstream scoring failed: {msg}"),
         }
     }
 }

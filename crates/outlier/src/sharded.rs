@@ -18,6 +18,7 @@
 //! the two coincide exactly (one shard holds every row — asserted by the
 //! shard-equivalence tests in `hics-core`).
 
+use crate::ensemble::Fold;
 use crate::index::IndexKind;
 use crate::parallel::par_map;
 use crate::precompute::PrecomputedHoods;
@@ -150,21 +151,11 @@ impl ShardedEngine {
     /// per-shard scores with the manifest's aggregation. Higher is more
     /// outlying.
     pub fn score(&self, raw: &[f64]) -> Result<f64, QueryError> {
-        let mut acc = match self.aggregation {
-            ShardAggregation::Mean => 0.0,
-            ShardAggregation::Max => f64::NEG_INFINITY,
-        };
+        let mut acc = Fold::new(self.aggregation);
         for shard in &self.shards {
-            let s = shard.score(raw)?;
-            match self.aggregation {
-                ShardAggregation::Mean => acc += s,
-                ShardAggregation::Max => acc = acc.max(s),
-            }
+            acc.push(shard.score(raw)?);
         }
-        if self.aggregation == ShardAggregation::Mean {
-            acc /= self.shards.len() as f64;
-        }
-        Ok(acc)
+        Ok(acc.finish())
     }
 
     /// Scores a batch of raw query rows in parallel (rows fan out across
@@ -202,24 +193,14 @@ impl ShardedEngine {
         }
         (0..rows.len())
             .map(|i| {
-                let mut acc = match self.aggregation {
-                    ShardAggregation::Mean => 0.0,
-                    ShardAggregation::Max => f64::NEG_INFINITY,
-                };
+                let mut acc = Fold::new(self.aggregation);
                 for scores in &per_shard {
-                    let s = match &scores[i] {
-                        Ok(s) => *s,
+                    match &scores[i] {
+                        Ok(s) => acc.push(*s),
                         Err(e) => return Err(e.clone()),
-                    };
-                    match self.aggregation {
-                        ShardAggregation::Mean => acc += s,
-                        ShardAggregation::Max => acc = acc.max(s),
                     }
                 }
-                if self.aggregation == ShardAggregation::Mean {
-                    acc /= self.shards.len() as f64;
-                }
-                Ok(acc)
+                Ok(acc.finish())
             })
             .collect()
     }

@@ -1,0 +1,257 @@
+//! Shared fixtures for the router integration tests: a 3-shard ensemble
+//! written to disk, real `hics-serve` backends over TCP, a router server
+//! fronting them, and raw HTTP/1.1 client helpers.
+
+// Each test binary uses its own subset of these helpers.
+#![allow(dead_code)]
+
+use hics_data::manifest::{PartitionKind, ShardAggregation, ShardEntry, ShardManifest};
+use hics_data::model::{
+    apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+    ScorerSpec,
+};
+use hics_data::route::RouteTable;
+use hics_data::SyntheticConfig;
+use hics_obs::Registry;
+use hics_outlier::{Engine, EngineHandle, QueryEngine, RemoteEngine};
+use hics_route::{Router, RouterConfig};
+use hics_serve::{ServeConfig, Server, ShutdownHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tiny deterministic shard model (no search phase — one fixed
+/// subspace), matching the fixture the in-process sharded tests use.
+pub fn shard_model(seed: u64, n: usize) -> HicsModel {
+    let g = SyntheticConfig::new(n, 3).with_seed(seed).generate();
+    let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+    HicsModel::new(
+        data,
+        NormKind::None,
+        norm,
+        vec![ModelSubspace {
+            dims: vec![0, 2],
+            contrast: 0.8,
+        }],
+        ScorerSpec {
+            kind: ScorerKind::KnnMean,
+            k: 4,
+        },
+        AggregationKind::Average,
+    )
+}
+
+/// Writes a 3-shard ensemble (models + manifest) under a per-test temp
+/// dir and returns the manifest path plus the in-memory models.
+pub fn write_ensemble(tag: &str, aggregation: ShardAggregation) -> (PathBuf, Vec<HicsModel>) {
+    let dir = std::env::temp_dir().join(format!("hics-route-test-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let models = vec![shard_model(1, 60), shard_model(2, 70), shard_model(3, 80)];
+    let mut shards = Vec::new();
+    for (k, m) in models.iter().enumerate() {
+        let file = format!("{tag}.shard{k}.hics");
+        m.save(&dir.join(&file)).expect("save shard");
+        shards.push(ShardEntry {
+            file,
+            n: m.n() as u64,
+        });
+    }
+    let manifest = ShardManifest {
+        total_n: models.iter().map(|m| m.n() as u64).sum(),
+        d: 3,
+        aggregation,
+        partition: PartitionKind::Contiguous,
+        shards,
+    };
+    let path = dir.join(format!("{tag}.hics"));
+    manifest.save(&path).expect("save manifest");
+    (path, models)
+}
+
+pub struct RunningServer {
+    pub addr: std::net::SocketAddr,
+    handle: ShutdownHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl RunningServer {
+    pub fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread");
+    }
+}
+
+fn test_config(addr: String) -> ServeConfig {
+    ServeConfig {
+        addr,
+        threads: 2,
+        max_batch: 64,
+        workers: 1,
+        keep_alive: Duration::from_secs(5),
+        stream_idle: Duration::from_secs(2),
+        max_connections: 64,
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn(server: Server) -> RunningServer {
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    RunningServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+/// Starts a real serving backend on `addr` ("127.0.0.1:0" for ephemeral).
+pub fn start_backend_on(addr: &str, engine: impl Into<Engine>) -> RunningServer {
+    spawn(Server::bind(engine, test_config(addr.into())).expect("bind backend"))
+}
+
+pub fn start_backend(engine: impl Into<Engine>) -> RunningServer {
+    start_backend_on("127.0.0.1:0", engine)
+}
+
+/// Builds a router over `backends` (one replica per shard) and fronts it
+/// with a serving server; `/route` is registered. Returns the running
+/// server and the router for direct health control from tests.
+pub fn start_router(
+    manifest_path: &std::path::Path,
+    backends: &[&RunningServer],
+    cfg: RouterConfig,
+) -> (RunningServer, Arc<Router>) {
+    let manifest = ShardManifest::load(manifest_path).expect("load manifest");
+    let table = RouteTable::parse(
+        &backends
+            .iter()
+            .map(|b| b.addr.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+    .expect("route table");
+    let registry = Arc::new(Registry::new());
+    let router = Arc::new(Router::new(&manifest, &table, cfg, &registry).expect("router"));
+    router.probe_all();
+    let engine = Engine::Remote(Arc::clone(&router) as Arc<dyn RemoteEngine>);
+    let server = Server::bind_handle_with_registry(
+        Arc::new(EngineHandle::new(engine)),
+        test_config("127.0.0.1:0".into()),
+        registry,
+    )
+    .expect("bind router");
+    let admin = Arc::clone(&router);
+    server.register_admin("/route", move || (200, admin.route_body()));
+    (spawn(server), router)
+}
+
+/// One QueryEngine per shard model — the bit-for-bit reference scorers.
+pub fn references(models: &[HicsModel]) -> Vec<QueryEngine> {
+    models
+        .iter()
+        .map(|m| QueryEngine::from_model(m, 1))
+        .collect()
+}
+
+// -- raw HTTP/1.1 client helpers (Content-Length and chunked framing) ----
+
+/// Reads one sized (Content-Length) response: (status, body).
+pub fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read head");
+        assert!(n > 0, "connection closed mid-head");
+        buf.push(byte[0]);
+    }
+    let head = String::from_utf8(buf).expect("utf-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_owned)
+        })
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Reads one chunked response off the stream: (status, decoded body).
+pub fn read_chunked_response<S: Read>(stream: &mut S) -> (u16, String) {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("head line");
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status");
+    let mut body = String::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("chunk size");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex size");
+        if size == 0 {
+            let mut crlf = String::new();
+            reader.read_line(&mut crlf).expect("final crlf");
+            return (status, body);
+        }
+        let mut chunk = vec![0u8; size + 2]; // data + CRLF
+        reader.read_exact(&mut chunk).expect("chunk data");
+        body.push_str(std::str::from_utf8(&chunk[..size]).expect("utf-8 chunk"));
+    }
+}
+
+/// POSTs `json_body` to `path` on a fresh connection: (status, body).
+pub fn post(addr: std::net::SocketAddr, path: &str, json_body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        json_body.len(),
+        json_body
+    )
+    .expect("send");
+    read_response(&mut stream)
+}
+
+/// GETs `path` on a fresh connection: (status, body).
+pub fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    read_response(&mut stream)
+}
+
+/// Renders one NDJSON `[v,v,v]` line for `/v2/score`.
+pub fn ndjson_line(row: &[f64]) -> String {
+    format!(
+        "[{}]\n",
+        row.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+    )
+}

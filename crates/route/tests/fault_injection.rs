@@ -1,0 +1,199 @@
+//! Fault injection against a live fleet: kill a shard backend mid-stream,
+//! watch the health checker evict it, serve degraded with responses
+//! marked `"partial":true` (or fail outright under `--degraded fail`),
+//! then restart the backend and watch readmission restore the full
+//! ensemble — all observable through `GET /route`.
+
+mod common;
+
+use common::*;
+use hics_data::manifest::ShardAggregation;
+use hics_outlier::QueryEngine;
+use hics_route::{DegradedMode, RouterConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The fixture fold is Mean over 3 shards; this computes the reference
+/// ensemble over an arbitrary surviving subset.
+fn mean_over(refs: &[QueryEngine], shards: &[usize], row: &[f64]) -> f64 {
+    let sum: f64 = shards.iter().map(|&s| refs[s].score(row).unwrap()).sum();
+    sum / shards.len() as f64
+}
+
+fn render(score: f64, partial: bool) -> String {
+    let mut out = String::from("{\"score\":");
+    hics_serve::json::write_f64(&mut out, score);
+    if partial {
+        out.push_str(",\"partial\":true");
+    }
+    out.push('}');
+    out
+}
+
+#[test]
+fn eviction_degraded_serving_and_readmission_round_trip() {
+    let (manifest_path, models) = write_ensemble("fault-rt", ShardAggregation::Mean);
+    let refs = references(&models);
+    let backends: Vec<RunningServer> = models
+        .iter()
+        .map(|m| start_backend(QueryEngine::from_model(m, 1)))
+        .collect();
+    let cfg = RouterConfig {
+        evict_after: 2,
+        readmit_after: 2,
+        request_timeout: Duration::from_millis(500),
+        ..RouterConfig::default()
+    };
+    let (router_server, router) =
+        start_router(&manifest_path, &backends.iter().collect::<Vec<_>>(), cfg);
+    let row = [0.3, 0.6, 0.9];
+    let body = "{\"point\": [0.3, 0.6, 0.9]}";
+
+    // Open a /v2/score stream and score one line against the full fleet.
+    let mut stream = TcpStream::connect(router_server.addr).expect("connect");
+    write!(
+        stream,
+        "POST /v2/score HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )
+    .expect("head");
+    let send_line = |stream: &mut TcpStream, line: &str| {
+        write!(stream, "{:x}\r\n{}\r\n", line.len(), line).expect("chunk");
+        stream.flush().expect("flush");
+    };
+    let line = ndjson_line(&row);
+    send_line(&mut stream, &line);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Kill shard 1's only backend mid-stream and let the health checker
+    // notice (evict_after = 2 sweeps).
+    let victim_addr = backends[1].addr;
+    let mut backends = backends;
+    backends.remove(1).stop();
+    router.probe_all();
+    router.probe_all();
+
+    let (status, route) = get(router_server.addr, "/route");
+    assert_eq!(status, 200);
+    assert!(route.contains("\"healthy_shards\":2"), "{route}");
+    assert!(
+        route.contains("\"shard\":1,\"healthy\":false"),
+        "shard 1 must be evicted: {route}"
+    );
+
+    // The still-open stream now serves degraded: survivors' fold, marked.
+    send_line(&mut stream, &line);
+    write!(stream, "0\r\n\r\n").expect("terminal chunk");
+    let (status, reply) = read_chunked_response(&mut stream);
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = reply.lines().collect();
+    assert_eq!(lines.len(), 2, "{reply}");
+    assert_eq!(lines[0], render(mean_over(&refs, &[0, 1, 2], &row), false));
+    assert_eq!(lines[1], render(mean_over(&refs, &[0, 2], &row), true));
+
+    // Sized /score requests carry the marker too.
+    let (status, degraded) = post(router_server.addr, "/score", body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        degraded,
+        render(mean_over(&refs, &[0, 2], &row), true),
+        "degraded single-point reply"
+    );
+
+    // Restart the backend on the same address; readmission takes 2
+    // healthy sweeps.
+    let restarted = start_backend_on(
+        &victim_addr.to_string(),
+        QueryEngine::from_model(&models[1], 1),
+    );
+    router.probe_all();
+    let (_, route) = get(router_server.addr, "/route");
+    assert!(
+        route.contains("\"shard\":1,\"healthy\":false"),
+        "one good probe is below the readmission threshold: {route}"
+    );
+    router.probe_all();
+    let (_, route) = get(router_server.addr, "/route");
+    assert!(route.contains("\"healthy_shards\":3"), "{route}");
+
+    // Full ensemble again, no partial marker.
+    let (status, healed) = post(router_server.addr, "/score", body);
+    assert_eq!(status, 200);
+    assert_eq!(healed, render(mean_over(&refs, &[0, 1, 2], &row), false));
+
+    router_server.stop();
+    restarted.stop();
+    for b in backends {
+        b.stop();
+    }
+}
+
+#[test]
+fn fail_mode_returns_upstream_errors_instead_of_partials() {
+    let (manifest_path, models) = write_ensemble("fault-fail", ShardAggregation::Mean);
+    let backends: Vec<RunningServer> = models
+        .iter()
+        .map(|m| start_backend(QueryEngine::from_model(m, 1)))
+        .collect();
+    let cfg = RouterConfig {
+        degraded: DegradedMode::Fail,
+        evict_after: 1,
+        request_timeout: Duration::from_millis(500),
+        ..RouterConfig::default()
+    };
+    let (router_server, router) =
+        start_router(&manifest_path, &backends.iter().collect::<Vec<_>>(), cfg);
+    let body = "{\"point\": [0.3, 0.6, 0.9]}";
+    let (status, _) = post(router_server.addr, "/score", body);
+    assert_eq!(status, 200, "healthy fleet answers");
+
+    let mut backends = backends;
+    backends.remove(2).stop();
+    router.probe_all();
+
+    let (status, reply) = post(router_server.addr, "/score", body);
+    assert_eq!(status, 502, "fail mode refuses degraded answers: {reply}");
+    assert!(reply.contains("upstream scoring failed"), "{reply}");
+    assert!(reply.contains("degraded mode is fail"), "{reply}");
+
+    router_server.stop();
+    for b in backends {
+        b.stop();
+    }
+}
+
+#[test]
+fn metrics_expose_evictions_and_partial_fanouts() {
+    let (manifest_path, models) = write_ensemble("fault-metrics", ShardAggregation::Mean);
+    let backends: Vec<RunningServer> = models
+        .iter()
+        .map(|m| start_backend(QueryEngine::from_model(m, 1)))
+        .collect();
+    let cfg = RouterConfig {
+        evict_after: 1,
+        request_timeout: Duration::from_millis(500),
+        ..RouterConfig::default()
+    };
+    let (router_server, router) =
+        start_router(&manifest_path, &backends.iter().collect::<Vec<_>>(), cfg);
+    let mut backends = backends;
+    backends.remove(0).stop();
+    router.probe_all();
+    let (status, _) = post(router_server.addr, "/score", "{\"point\": [0.3, 0.6, 0.9]}");
+    assert_eq!(status, 200);
+
+    let (_, metrics) = get(router_server.addr, "/metrics");
+    assert!(
+        metrics.contains("hics_route_evictions_total") && metrics.contains("} 1"),
+        "eviction counter missing: {metrics}"
+    );
+    assert!(
+        metrics.contains("hics_route_partial_total 1"),
+        "partial counter missing"
+    );
+
+    router_server.stop();
+    for b in backends {
+        b.stop();
+    }
+}

@@ -1,0 +1,158 @@
+//! The router's pinned contract: `/score` and `/v2/score` answers through
+//! the scatter-gather tier are **byte-for-byte identical** to the same
+//! requests against an in-process `ShardedEngine` server — same scores
+//! (the fold is shared code and per-shard scores cross the wire in
+//! shortest round-trip form), same rendering, same error bodies.
+
+mod common;
+
+use common::*;
+use hics_data::manifest::ShardAggregation;
+use hics_outlier::{RemoteEngine, ShardedEngine};
+use hics_route::RouterConfig;
+use std::io::Write;
+use std::net::TcpStream;
+
+fn fan_out(
+    tag: &str,
+    aggregation: ShardAggregation,
+) -> (
+    RunningServer,      // in-process sharded server
+    RunningServer,      // router server
+    Vec<RunningServer>, // shard backends
+    std::sync::Arc<hics_route::Router>,
+) {
+    let (manifest_path, models) = write_ensemble(tag, aggregation);
+    let backends: Vec<RunningServer> = models
+        .iter()
+        .map(|m| start_backend(hics_outlier::QueryEngine::from_model(m, 1)))
+        .collect();
+    let in_process = start_backend(ShardedEngine::open(&manifest_path, None, 2).expect("open"));
+    let (router_server, router) = start_router(
+        &manifest_path,
+        &backends.iter().collect::<Vec<_>>(),
+        RouterConfig::default(),
+    );
+    (in_process, router_server, backends, router)
+}
+
+#[test]
+fn score_answers_are_byte_identical_to_in_process_serving() {
+    for (tag, aggregation) in [
+        ("eq-mean", ShardAggregation::Mean),
+        ("eq-max", ShardAggregation::Max),
+    ] {
+        let (in_process, router_server, backends, _router) = fan_out(tag, aggregation);
+
+        // Awkward f64s: shortest round-trip rendering must survive two
+        // wire hops (router→backend scores, router→client ensemble).
+        let single = "{\"point\": [0.1234567890123456, 0.987654321, 0.3333333333333333]}";
+        let batch = "{\"points\": [[0.1, 0.5, 0.9], [0.7391067811865476, 0.2, 0.4], \
+                     [5.0, 5.0, 5.0], [1e-300, 0.5, 0.25]]}";
+        // Client-fault errors must render identically too (and stay 400s,
+        // not become 502s at the router).
+        let wrong_arity = "{\"point\": [1.0, 2.0]}";
+        let malformed = "{\"point\": not json";
+        for body in [single, batch, wrong_arity, malformed] {
+            let want = post(in_process.addr, "/score", body);
+            let got = post(router_server.addr, "/score", body);
+            assert_eq!(got, want, "{aggregation:?} body {body:?}");
+        }
+
+        // The identity surface agrees on the ensemble shape.
+        let (status, model) = get(router_server.addr, "/model");
+        assert_eq!(status, 200);
+        assert!(model.contains("\"objects\":210"), "{model}");
+        assert!(model.contains("\"attributes\":3"), "{model}");
+        assert!(model.contains("\"shards\":3"), "{model}");
+
+        router_server.stop();
+        in_process.stop();
+        for b in backends {
+            b.stop();
+        }
+    }
+}
+
+#[test]
+fn v2_stream_answers_are_byte_identical_to_in_process_serving() {
+    let (in_process, router_server, backends, _router) = fan_out("eq-v2", ShardAggregation::Mean);
+
+    let mut payload = String::new();
+    for row in [
+        [0.1, 0.5, 0.9],
+        [0.7391067811865476, 0.2, 0.4],
+        [5.0, 5.0, 5.0],
+    ] {
+        payload.push_str(&ndjson_line(&row));
+    }
+    payload.push_str("not json\n"); // in-stream error line, rendered in place
+    payload.push_str(&ndjson_line(&[0.25, 0.125, 0.0625]));
+
+    let stream_through = |addr| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST /v2/score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            payload.len(),
+            payload
+        )
+        .expect("send");
+        read_chunked_response(&mut stream)
+    };
+    let want = stream_through(in_process.addr);
+    let got = stream_through(router_server.addr);
+    assert_eq!(want.0, 200);
+    assert_eq!(
+        got, want,
+        "streamed NDJSON replies must match byte-for-byte"
+    );
+    assert_eq!(got.1.lines().count(), 5);
+
+    router_server.stop();
+    in_process.stop();
+    for b in backends {
+        b.stop();
+    }
+}
+
+#[test]
+fn router_identity_mirrors_the_manifest_after_probing() {
+    let (manifest_path, models) = write_ensemble("eq-identity", ShardAggregation::Mean);
+    let backends: Vec<RunningServer> = models
+        .iter()
+        .map(|m| start_backend(hics_outlier::QueryEngine::from_model(m, 1)))
+        .collect();
+    let (router_server, router) = start_router(
+        &manifest_path,
+        &backends.iter().collect::<Vec<_>>(),
+        RouterConfig::default(),
+    );
+    assert_eq!(router.n(), 210);
+    assert_eq!(router.d(), 3);
+    assert_eq!(router.shard_count(), 3);
+    // Each fixture shard carries one subspace; probe_all already ran.
+    assert_eq!(router.subspace_count(), 3);
+
+    let (status, body) = get(router_server.addr, "/route");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"healthy_shards\":3"), "{body}");
+    assert!(body.contains("\"aggregation\":\"mean\""), "{body}");
+
+    // Router metrics and serving metrics share one exposition.
+    let (status, metrics) = get(router_server.addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("hics_route_shard_requests_total"),
+        "missing router family"
+    );
+    assert!(
+        metrics.contains("hics_request_seconds"),
+        "missing serving family"
+    );
+
+    router_server.stop();
+    for b in backends {
+        b.stop();
+    }
+}

@@ -38,9 +38,21 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// The scores of one executed batch job plus whether a remote engine
+/// served it degraded (folded over a partial shard set — see
+/// [`hics_outlier::RemoteEngine`]). In-process engines never set
+/// `partial`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchScores {
+    /// One result per submitted row, in submission order.
+    pub results: Vec<Result<f64, QueryError>>,
+    /// True when the scores were folded over surviving shards only.
+    pub partial: bool,
+}
+
 /// The result of one job: per-row scores, or `None` when the batcher shut
 /// down before the job was scored.
-pub type BatchReply = Option<Vec<Result<f64, QueryError>>>;
+pub type BatchReply = Option<BatchScores>;
 
 /// One enqueued scoring job: the rows of a single HTTP request plus the
 /// completion invoked with its scores (exactly once, possibly on a worker
@@ -417,7 +429,8 @@ fn worker_loop(
                     .as_nanos() as u64,
             );
         }
-        let mut results = engine.score_batch(&all_rows, threads).into_iter();
+        let (results, partial) = engine.score_batch_partial(&all_rows, threads);
+        let mut results = results.into_iter();
         stats
             .score_time
             .record(score_start.elapsed().as_nanos() as u64);
@@ -430,7 +443,10 @@ fn worker_loop(
         stats.batch_size.record(all_rows.len() as u64);
         for (job, take) in jobs.into_iter().zip(lens) {
             let reply: Vec<_> = results.by_ref().take(take).collect();
-            (job.reply)(Some(reply));
+            (job.reply)(Some(BatchScores {
+                results: reply,
+                partial,
+            }));
         }
     }
 }
@@ -477,8 +493,9 @@ mod tests {
         let rows_b = vec![vec![0.9, 0.8, 0.7, 0.6], vec![0.5, 0.5, 0.5, 0.5]];
         let got_a = batcher.score(rows_a.clone()).unwrap();
         let got_b = batcher.score(rows_b.clone()).unwrap();
-        assert_eq!(got_a, engine.score_batch(&rows_a, 1));
-        assert_eq!(got_b, engine.score_batch(&rows_b, 1));
+        assert!(!got_a.partial && !got_b.partial);
+        assert_eq!(got_a.results, engine.score_batch(&rows_a, 1));
+        assert_eq!(got_b.results, engine.score_batch(&rows_b, 1));
         assert_eq!(batcher.stats().requests.get(), 2);
         assert_eq!(batcher.stats().rows.get(), 3);
         batcher.shutdown();
@@ -498,7 +515,7 @@ mod tests {
                     .collect();
                 let got = batcher.score(rows.clone()).unwrap();
                 let want = engine.score_batch(&rows, 1);
-                assert_eq!(got, want, "thread {t}");
+                assert_eq!(got.results, want, "thread {t}");
             }));
         }
         for h in handles {
@@ -525,7 +542,10 @@ mod tests {
         let batcher = Batcher::start(Arc::clone(&handle), 1, 8, 1);
         let row = vec![0.2, 0.4, 0.6, 0.8];
         let got = batcher.score(vec![row.clone()]).unwrap();
-        assert_eq!(got, first.score_batch(std::slice::from_ref(&row), 1));
+        assert_eq!(
+            got.results,
+            first.score_batch(std::slice::from_ref(&row), 1)
+        );
 
         // Install a model trained on different data; the very next job must
         // score against it.
@@ -550,8 +570,15 @@ mod tests {
         )));
         handle.swap_arc(Arc::clone(&second));
         let got = batcher.score(vec![row.clone()]).unwrap();
-        assert_eq!(got, second.score_batch(std::slice::from_ref(&row), 1));
-        assert_ne!(got, first.score_batch(&[row], 1), "scores must change");
+        assert_eq!(
+            got.results,
+            second.score_batch(std::slice::from_ref(&row), 1)
+        );
+        assert_ne!(
+            got.results,
+            first.score_batch(&[row], 1),
+            "scores must change"
+        );
         batcher.shutdown();
     }
 
@@ -561,8 +588,8 @@ mod tests {
         let batcher = Batcher::start(handle_for(&engine), 1, 2, 1);
         let rows: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64 * 0.1; 4]).collect();
         let got = batcher.score(rows.clone()).unwrap();
-        assert_eq!(got.len(), 7);
-        assert_eq!(got, engine.score_batch(&rows, 1));
+        assert_eq!(got.results.len(), 7);
+        assert_eq!(got.results, engine.score_batch(&rows, 1));
         batcher.shutdown();
     }
 
@@ -582,7 +609,7 @@ mod tests {
             .recv_timeout(Duration::from_secs(5))
             .expect("reply arrives")
             .expect("not shut down");
-        assert_eq!(got, engine.score_batch(&rows, 1));
+        assert_eq!(got.results, engine.score_batch(&rows, 1));
         batcher.shutdown();
     }
 

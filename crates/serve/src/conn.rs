@@ -25,8 +25,8 @@ use crate::http::{
 use crate::metrics::{content_type_for, ReactorMetrics};
 use crate::reactor::{Notifier, EPOLLIN, EPOLLOUT};
 use crate::server::{
-    dispatch, format_score_reply, parse_score_request, reload_endpoint, score_stream_line,
-    stream_line, Ctx,
+    dispatch, format_score_reply, parse_score_request, parse_stream_row, reload_endpoint,
+    score_stream_line, stream_line, Ctx,
 };
 use hics_obs::{Stage, Timeline};
 use std::collections::VecDeque;
@@ -375,6 +375,15 @@ enum State {
         /// 1-based number of the last non-blank line.
         line_no: u64,
     },
+    /// One stream line handed to the batcher (remote engines score over
+    /// the wire, which must never run on a reactor thread); parked until
+    /// its rendered chunk comes back, then the stream resumes.
+    StreamAwait {
+        /// The suspended body decoder (picks the stream back up).
+        decoder: StreamDecoder,
+        /// 1-based number of the last non-blank line.
+        line_no: u64,
+    },
     /// Rows handed to the batcher (or a reload thread); parked until the
     /// completion comes back through the reactor.
     AwaitBatch,
@@ -391,6 +400,40 @@ enum StreamExit {
     /// Unrecoverable decode/framing error, reported in-stream at the given
     /// line number before closing.
     Fail { msg: String, line_no: u64 },
+    /// One line submitted to the batcher (remote scoring); park in
+    /// [`State::StreamAwait`] until the rendered chunk comes back.
+    Park,
+}
+
+/// Hands one remote stream line to the batcher; the completion carries
+/// the fully rendered NDJSON chunk back through the reactor's notifier.
+/// Cross-connection coalescing still applies: parked lines from many
+/// streams ride one upstream fan-out.
+fn submit_stream_row(
+    ctx: &Ctx,
+    notifier: &Arc<Notifier>,
+    token: usize,
+    epoch: u64,
+    row: Vec<f64>,
+    line_no: u64,
+) {
+    let notifier = Arc::clone(notifier);
+    let stats = Arc::clone(&ctx.stream_stats);
+    ctx.batcher.submit(
+        vec![row],
+        Box::new(move |reply| {
+            let result = match reply {
+                None => Err("server is shutting down".to_string()),
+                Some(mut batch) => match batch.results.pop() {
+                    Some(Ok(score)) => Ok((score, batch.partial)),
+                    Some(Err(e)) => Err(e.to_string()),
+                    None => Err("upstream scoring failed: router returned no result".to_string()),
+                },
+            };
+            let chunk = stream_line(result, line_no, &stats);
+            notifier.complete(token, epoch, 200, chunk);
+        }),
+    );
 }
 
 /// One live connection owned by a reactor.
@@ -492,7 +535,7 @@ impl Conn {
     fn reset_deadline(&mut self, ctx: &Ctx) {
         let budget = match self.state {
             State::Stream { .. } => ctx.config.stream_idle,
-            State::AwaitBatch => return,
+            State::AwaitBatch | State::StreamAwait { .. } => return,
             _ => ctx.config.keep_alive,
         };
         self.deadline = Some(Instant::now() + budget);
@@ -718,13 +761,47 @@ impl Conn {
                                         let end = decoder.finished();
                                         if !line.iter().all(u8::is_ascii_whitespace) {
                                             *line_no += 1;
-                                            let reply = stream_line(
-                                                score_stream_line(&line, ctx),
-                                                *line_no,
-                                                &ctx.stream_stats,
-                                            );
-                                            let _ = write_chunk(&mut self.out, reply.as_bytes());
-                                            did = true;
+                                            let engine = ctx.handle.load();
+                                            if engine.is_remote() {
+                                                // Remote scoring blocks on
+                                                // upstream sockets — park the
+                                                // stream on the batcher like a
+                                                // `/score` request instead of
+                                                // stalling the event loop.
+                                                // (Parse failures never leave
+                                                // this thread.)
+                                                match parse_stream_row(&line, engine.d()) {
+                                                    Ok(row) => {
+                                                        submit_stream_row(
+                                                            ctx, notifier, token, epoch, row,
+                                                            *line_no,
+                                                        );
+                                                        exit = Some(StreamExit::Park);
+                                                        break;
+                                                    }
+                                                    Err(msg) => {
+                                                        let reply = stream_line(
+                                                            Err(msg),
+                                                            *line_no,
+                                                            &ctx.stream_stats,
+                                                        );
+                                                        let _ = write_chunk(
+                                                            &mut self.out,
+                                                            reply.as_bytes(),
+                                                        );
+                                                        did = true;
+                                                    }
+                                                }
+                                            } else {
+                                                let reply = stream_line(
+                                                    score_stream_line(&line, ctx),
+                                                    *line_no,
+                                                    &ctx.stream_stats,
+                                                );
+                                                let _ =
+                                                    write_chunk(&mut self.out, reply.as_bytes());
+                                                did = true;
+                                            }
                                         }
                                         if end {
                                             exit = Some(StreamExit::Done { finished: true });
@@ -773,13 +850,23 @@ impl Conn {
                             self.state = State::Flush;
                             self.deadline = Some(Instant::now() + ctx.config.keep_alive);
                         }
+                        Some(StreamExit::Park) => {
+                            did = true;
+                            let State::Stream { decoder, line_no } =
+                                std::mem::replace(&mut self.state, State::Closed)
+                            else {
+                                unreachable!("Park only leaves State::Stream");
+                            };
+                            self.state = State::StreamAwait { decoder, line_no };
+                            self.deadline = None;
+                        }
                         None => {
                             debug_assert!(stalled);
                             break;
                         }
                     }
                 }
-                State::AwaitBatch => break,
+                State::StreamAwait { .. } | State::AwaitBatch => break,
                 State::Flush => {
                     if self.out.is_empty() {
                         did = true;
@@ -915,16 +1002,37 @@ impl Conn {
         }
     }
 
-    /// Delivers a batcher / reload completion: render the response and
-    /// start draining it.
+    /// Delivers a batcher / reload completion. A classic request renders
+    /// its response and starts draining; a parked stream line appends its
+    /// pre-rendered chunk and the stream picks back up (the reactor
+    /// re-drives this connection, so buffered input continues decoding
+    /// without waiting for the socket).
     pub(crate) fn on_completion(&mut self, ctx: &Ctx, status: u16, body: String) {
-        if !matches!(self.state, State::AwaitBatch) {
-            return;
+        match &mut self.state {
+            State::AwaitBatch => {
+                self.timeline.mark(Stage::Score);
+                let _ = write_response(&mut self.out, status, &body, self.close_after);
+                self.state = State::Flush;
+                self.deadline = Some(Instant::now() + ctx.config.keep_alive);
+            }
+            State::StreamAwait { decoder, .. } => {
+                let _ = write_chunk(&mut self.out, body.as_bytes());
+                if decoder.finished() {
+                    let _ = finish_chunked(&mut self.out);
+                    self.state = State::Flush;
+                    self.deadline = Some(Instant::now() + ctx.config.keep_alive);
+                } else {
+                    let State::StreamAwait { decoder, line_no } =
+                        std::mem::replace(&mut self.state, State::Closed)
+                    else {
+                        unreachable!("matched StreamAwait above");
+                    };
+                    self.state = State::Stream { decoder, line_no };
+                    self.deadline = Some(Instant::now() + ctx.config.stream_idle);
+                }
+            }
+            _ => {}
         }
-        self.timeline.mark(Stage::Score);
-        let _ = write_response(&mut self.out, status, &body, self.close_after);
-        self.state = State::Flush;
-        self.deadline = Some(Instant::now() + ctx.config.keep_alive);
     }
 
     /// Enforces the state's idle budget, mirroring what the blocking
@@ -949,7 +1057,7 @@ impl Conn {
                     T::Silent
                 }
             }
-            State::AwaitBatch | State::Closed => return,
+            State::AwaitBatch | State::StreamAwait { .. } | State::Closed => return,
         };
         match what {
             T::Silent => self.state = State::Closed,

@@ -7,6 +7,8 @@
 //! * [`batch`] — the cross-connection request batcher: concurrent requests
 //!   coalesce into contiguous scoring batches, resolved through the shared
 //!   [`hics_outlier::EngineHandle`] so models hot-swap at batch boundaries.
+//! * [`client`] — client-side keep-alive connections and per-address
+//!   pools (the transport under the `hics route` scatter-gather tier).
 //! * [`server`] — the `TcpListener` accept loop, connection handlers, and
 //!   the `/score`, `/v2/score` (streaming NDJSON), `/admin/reload`,
 //!   `/healthz`, `/model`, `/stats`, `/metrics` endpoints.
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod client;
 #[cfg(target_os = "linux")]
 mod conn;
 pub mod http;
@@ -43,6 +46,7 @@ mod metrics;
 mod reactor;
 pub mod server;
 
-pub use batch::{BatchStats, Batcher};
+pub use batch::{BatchScores, BatchStats, Batcher};
+pub use client::{format_points_body, ClientConn, Pool, Response};
 pub use json::Json;
 pub use server::{ConnStats, LogFormat, ServeConfig, Server, ShutdownHandle, StreamStats};

@@ -58,8 +58,16 @@ pub(crate) struct ReactorMetrics {
 }
 
 impl ServeMetrics {
+    /// A self-contained instrument set over a private registry (tests).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
-        let registry = Arc::new(Registry::new());
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Builds the server instruments inside a caller-owned registry, so an
+    /// embedder (e.g. the scatter-gather router) can surface its own
+    /// instrument families on the same `/metrics` scrape.
+    pub(crate) fn with_registry(registry: Arc<Registry>) -> Self {
         let stage = STAGES.map(|(_, name)| {
             registry.histogram_with(
                 "hics_request_stage_seconds",
@@ -92,8 +100,8 @@ impl ServeMetrics {
         }
     }
 
-    /// The labeled counter set for reactor `id` (0 = the main thread).
-    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    /// The labeled counter set for reactor `id` (0 = the main thread; the
+    /// blocking fallback reports all its traffic as reactor 0).
     pub(crate) fn reactor(&self, id: usize) -> Arc<ReactorMetrics> {
         let labels = || vec![("reactor", id.to_string())];
         Arc::new(ReactorMetrics {

@@ -66,6 +66,13 @@ use std::time::{Duration, Instant};
 /// invokes them all so each listener thread notices the stop flag.
 pub(crate) type WakeSet = Arc<Mutex<Vec<Box<dyn Fn() + Send + Sync>>>>;
 
+/// A read-only admin endpoint body producer (see [`Server::register_admin`]).
+pub type AdminHandler = Arc<dyn Fn() -> (u16, String) + Send + Sync>;
+
+/// Extra `GET` routes registered by the embedder (e.g. the scatter-gather
+/// router's `/route`), consulted after the built-in endpoints.
+pub(crate) type AdminRoutes = Arc<Mutex<Vec<(String, AdminHandler)>>>;
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -247,6 +254,7 @@ pub(crate) struct Ctx {
     pub(crate) metrics: Arc<ServeMetrics>,
     pub(crate) config: Arc<ServeConfig>,
     pub(crate) reactors: usize,
+    pub(crate) admin: AdminRoutes,
 }
 
 /// A running scoring server.
@@ -290,6 +298,18 @@ impl Server {
     /// Like [`Server::bind`] over an existing (possibly shared) engine
     /// handle — the caller can hot-swap engines through it at any time.
     pub fn bind_handle(handle: Arc<EngineHandle>, config: ServeConfig) -> std::io::Result<Self> {
+        Self::bind_handle_with_registry(handle, config, Arc::new(Registry::new()))
+    }
+
+    /// Like [`Server::bind_handle`], recording into a caller-provided
+    /// [`Registry`] — instruments the embedder registered beforehand (e.g.
+    /// the router's `hics_route_*` family) show up on this server's
+    /// `/metrics` alongside the serving core's own.
+    pub fn bind_handle_with_registry(
+        handle: Arc<EngineHandle>,
+        config: ServeConfig,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<Self> {
         #[cfg(target_os = "linux")]
         let listener = crate::reactor::bind_listener(&config.addr)?;
         #[cfg(not(target_os = "linux"))]
@@ -298,7 +318,7 @@ impl Server {
             0 => hics_outlier::parallel::available_threads().min(4),
             n => n,
         };
-        let metrics = Arc::new(ServeMetrics::new());
+        let metrics = Arc::new(ServeMetrics::with_registry(registry));
         let batcher = Arc::new(Batcher::start_with_stats(
             Arc::clone(&handle),
             config.workers,
@@ -321,10 +341,26 @@ impl Server {
                 metrics,
                 config: Arc::new(config),
                 reactors,
+                admin: Arc::new(Mutex::new(Vec::new())),
             },
             stop: Arc::new(AtomicBool::new(false)),
             wakes: Arc::new(Mutex::new(Vec::new())),
         })
+    }
+
+    /// Registers an extra read-only `GET` endpoint. The handler runs on
+    /// the serving path (an event loop on Linux), so it must return
+    /// quickly from in-memory state — no blocking I/O.
+    pub fn register_admin(
+        &self,
+        path: impl Into<String>,
+        handler: impl Fn() -> (u16, String) + Send + Sync + 'static,
+    ) {
+        self.ctx
+            .admin
+            .lock()
+            .expect("admin routes")
+            .push((path.into(), Arc::new(handler)));
     }
 
     /// Configures the default artifact source for `POST /admin/reload`:
@@ -436,6 +472,56 @@ impl Server {
     }
 }
 
+/// A socket wrapper that charges every byte crossing it to the shared
+/// per-reactor I/O counters. The blocking fallback has no reactors, so
+/// the whole path reports as reactor `0` — `hics_reactor_bytes_*` on
+/// `/metrics` reconciles with traffic on both serving cores.
+#[cfg(not(target_os = "linux"))]
+struct CountingStream {
+    inner: TcpStream,
+    io: Arc<crate::metrics::ReactorMetrics>,
+}
+
+#[cfg(not(target_os = "linux"))]
+impl CountingStream {
+    fn try_clone(&self) -> std::io::Result<Self> {
+        Ok(Self {
+            inner: self.inner.try_clone()?,
+            io: Arc::clone(&self.io),
+        })
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_read_timeout(t)
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_write_timeout(t)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl std::io::Read for CountingStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = std::io::Read::read(&mut self.inner, buf)?;
+        self.io.bytes_in.add(n as u64);
+        Ok(n)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl std::io::Write for CountingStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.io.bytes_out.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Serves one connection until close, timeout, error, or shutdown.
 ///
 /// The stream is wrapped in one `BufReader` for the connection's whole
@@ -448,6 +534,10 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
     // blocked response write gives up after the same idle budget.
     stream.set_write_timeout(Some(ctx.config.keep_alive))?;
     stream.set_nodelay(true)?;
+    let stream = CountingStream {
+        inner: stream,
+        io: ctx.metrics.reactor(0),
+    };
     let mut reader = std::io::BufReader::new(stream);
     let mut timeline = Timeline::new();
     loop {
@@ -527,7 +617,21 @@ pub(crate) fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
         ("GET", "/model") => (200, model_body(&ctx.handle.load(), ctx.handle.generation())),
         ("GET", "/stats") => (200, stats_body(ctx)),
         ("GET", "/metrics") => (200, ctx.metrics.registry.render_prometheus()),
-        ("POST" | "GET", _) => (404, error_body(&format!("no route {}", request.path))),
+        ("POST" | "GET", _) => {
+            if request.method == "GET" {
+                let handler = ctx
+                    .admin
+                    .lock()
+                    .expect("admin routes")
+                    .iter()
+                    .find(|(p, _)| *p == request.path)
+                    .map(|(_, h)| Arc::clone(h));
+                if let Some(handler) = handler {
+                    return handler();
+                }
+            }
+            (404, error_body(&format!("no route {}", request.path)))
+        }
         _ => (
             405,
             error_body(&format!("method {} not allowed", request.method)),
@@ -575,15 +679,22 @@ pub(crate) fn parse_score_request(body: &[u8], d: usize) -> ScoreRequest {
     }
 }
 
-/// Renders a batch completion into the `/score` response.
+/// Renders a batch completion into the `/score` response. A degraded
+/// (partial) remote fold appends `"partial":true`; full responses stay
+/// byte-identical to what they were before partial folds existed. A row
+/// the upstream tier could not score at all answers `502` — it is a
+/// backend failure, not a client error.
 pub(crate) fn format_score_reply(reply: BatchReply, single: bool) -> (u16, String) {
-    let Some(results) = reply else {
+    let Some(batch) = reply else {
         return (503, error_body("server is shutting down"));
     };
-    let mut scores = Vec::with_capacity(results.len());
-    for (i, r) in results.into_iter().enumerate() {
+    let mut scores = Vec::with_capacity(batch.results.len());
+    for (i, r) in batch.results.into_iter().enumerate() {
         match r {
             Ok(s) => scores.push(s),
+            Err(e @ hics_outlier::QueryError::Upstream(_)) => {
+                return (502, error_body(&format!("row {i}: {e}")))
+            }
             Err(e) => return (400, error_body(&format!("row {i}: {e}"))),
         }
     }
@@ -591,7 +702,6 @@ pub(crate) fn format_score_reply(reply: BatchReply, single: bool) -> (u16, Strin
     if single {
         out.push_str("{\"score\":");
         json::write_f64(&mut out, scores[0]);
-        out.push('}');
     } else {
         out.push_str("{\"scores\":[");
         for (i, s) in scores.iter().enumerate() {
@@ -600,8 +710,12 @@ pub(crate) fn format_score_reply(reply: BatchReply, single: bool) -> (u16, Strin
             }
             json::write_f64(&mut out, *s);
         }
-        out.push_str("]}");
+        out.push(']');
     }
+    if batch.partial {
+        out.push_str(",\"partial\":true");
+    }
+    out.push('}');
     (200, out)
 }
 
@@ -706,14 +820,23 @@ pub(crate) fn reload_endpoint(body: &[u8], ctx: &Ctx) -> (u16, String) {
     )
 }
 
-/// One formatted NDJSON output line (with trailing newline).
-pub(crate) fn stream_line(result: Result<f64, String>, line: u64, stats: &StreamStats) -> String {
+/// One formatted NDJSON output line (with trailing newline). The score
+/// carries the degraded-fold flag; `"partial":true` is appended only when
+/// set, so non-degraded lines are byte-identical to the original format.
+pub(crate) fn stream_line(
+    result: Result<(f64, bool), String>,
+    line: u64,
+    stats: &StreamStats,
+) -> String {
     match result {
-        Ok(score) => {
+        Ok((score, partial)) => {
             stats.lines.inc();
             let mut out = String::with_capacity(24);
             out.push_str("{\"score\":");
             json::write_f64(&mut out, score);
+            if partial {
+                out.push_str(",\"partial\":true");
+            }
             out.push_str("}\n");
             out
         }
@@ -730,24 +853,33 @@ pub(crate) fn stream_line(result: Result<f64, String>, line: u64, stats: &Stream
     }
 }
 
-/// Parses and scores one NDJSON line: a bare `[f64; d]` row or
-/// `{"point": [f64; d]}`. The engine is resolved **per line**, so a hot
-/// reload mid-stream takes effect on the very next line without disturbing
-/// the connection.
-pub(crate) fn score_stream_line(raw: &[u8], ctx: &Ctx) -> Result<f64, String> {
+/// Parses one NDJSON line into a row of arity `d`: a bare `[f64; d]` row
+/// or `{"point": [f64; d]}`.
+pub(crate) fn parse_stream_row(raw: &[u8], d: usize) -> Result<Vec<f64>, String> {
     let text = std::str::from_utf8(raw).map_err(|_| "line is not UTF-8".to_string())?;
     let doc = json::parse(text).map_err(|e| e.to_string())?;
-    let engine = ctx.handle.load();
     let value = doc.get("point").unwrap_or(&doc);
-    let row = parse_row(value, engine.d())?;
-    engine.score(&row).map_err(|e| e.to_string())
+    parse_row(value, d)
+}
+
+/// Parses and scores one NDJSON line. The engine is resolved **per
+/// line**, so a hot reload mid-stream takes effect on the very next line
+/// without disturbing the connection. Returns the score plus the remote
+/// degraded-fold flag.
+pub(crate) fn score_stream_line(raw: &[u8], ctx: &Ctx) -> Result<(f64, bool), String> {
+    let engine = ctx.handle.load();
+    let row = parse_stream_row(raw, engine.d())?;
+    match engine.score_partial(&row) {
+        (Ok(score), partial) => Ok((score, partial)),
+        (Err(e), _) => Err(e.to_string()),
+    }
 }
 
 /// `POST /v2/score`: the streaming NDJSON scoring loop. Returns whether the
 /// connection may be kept alive (body fully consumed, no protocol damage).
 #[cfg(not(target_os = "linux"))]
 fn stream_score(
-    reader: &mut std::io::BufReader<TcpStream>,
+    reader: &mut std::io::BufReader<CountingStream>,
     head: &RequestHead,
     ctx: &Ctx,
 ) -> std::io::Result<bool> {
@@ -962,6 +1094,7 @@ mod tests {
             metrics,
             config: Arc::new(ServeConfig::default()),
             reactors: 1,
+            admin: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -1172,6 +1305,22 @@ mod tests {
             assert!(body.contains("# TYPE hics_batch_size summary"), "{body}");
             assert!(body.contains("hics_connections_active 0"), "{body}");
             assert_eq!(dispatch(&get("/nope"), ctx).0, 404);
+            // Embedder-registered admin routes answer GETs past the
+            // built-ins — and only GETs.
+            ctx.admin.lock().unwrap().push((
+                "/route".into(),
+                Arc::new(|| (200, "{\"shards\":[]}".to_string())),
+            ));
+            let (status, body) = dispatch(&get("/route"), ctx);
+            assert_eq!(status, 200);
+            assert_eq!(body, "{\"shards\":[]}");
+            let post_route = Request {
+                method: "POST".into(),
+                path: "/route".into(),
+                body: Vec::new(),
+                close: false,
+            };
+            assert_eq!(dispatch(&post_route, ctx).0, 404);
             let delete = Request {
                 method: "DELETE".into(),
                 path: "/score".into(),

@@ -199,6 +199,27 @@ fn metrics_reconcile_with_traffic_and_match_stats() {
         "{text}"
     );
 
+    // Reactor byte accounting is live on both serving paths (the epoll
+    // reactors report per-reactor; the blocking fallback reports all its
+    // traffic as reactor 0): after real traffic, the summed labeled
+    // series must be non-zero in both directions.
+    for direction in [
+        "hics_reactor_bytes_in_total",
+        "hics_reactor_bytes_out_total",
+    ] {
+        let total: u64 = text
+            .lines()
+            .filter(|l| l.starts_with(&format!("{direction}{{")))
+            .map(|l| {
+                l.rsplit(' ')
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("unparsable series: {l}"))
+            })
+            .sum();
+        assert!(total > 0, "{direction} recorded no traffic:\n{text}");
+    }
+
     // `/stats` is a rendering of the same registry: its counters agree.
     let (status, _, stats) = get(server.addr, "/stats");
     assert_eq!(status, 200);
