@@ -22,6 +22,11 @@
 //!    recorded about its own request handling, and the throughput delta
 //!    between an instrumented and an `instrument: false` server at the
 //!    peak keep-alive concurrency level.
+//! 5. **Tracing cost**: the same paired on/off comparison with every
+//!    client request carrying an `x-hics-trace` header — span creation
+//!    plus forced tail-store retention on each request, the worst case —
+//!    then `GET /trace` fetch latency over the saturated ring and the
+//!    retained-store memory bound.
 //!
 //! Writes `BENCH_serve.json` at the repository root.
 //!
@@ -33,7 +38,8 @@ use hics_data::model::{
     ScorerSpec,
 };
 use hics_data::{ModelArtifact, SyntheticConfig};
-use hics_outlier::{IndexKind, QueryEngine, SubspaceView, VpTree};
+use hics_obs::{Registry, Tracer};
+use hics_outlier::{EngineHandle, IndexKind, QueryEngine, SubspaceView, VpTree};
 use hics_serve::{ServeConfig, Server, ShutdownHandle};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -136,14 +142,17 @@ fn bench_load(path: &std::path::Path, queries: &[Vec<f64>], threads: usize) -> L
     }
 }
 
+/// Starts a server with an explicit tracer so the tracing block can read
+/// the retained store's size after the workload.
 fn start_server(
     engine: QueryEngine,
     threads: usize,
     reactor_threads: usize,
     instrument: bool,
-) -> (std::net::SocketAddr, ShutdownHandle) {
-    let server = Server::bind(
-        engine,
+) -> (std::net::SocketAddr, ShutdownHandle, Arc<Tracer>) {
+    let tracer = Arc::new(Tracer::default());
+    let server = Server::bind_handle_with_obs(
+        Arc::new(EngineHandle::new(engine)),
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             threads,
@@ -151,12 +160,38 @@ fn start_server(
             instrument,
             ..ServeConfig::default()
         },
+        Arc::new(Registry::new()),
+        Arc::clone(&tracer),
     )
     .expect("bind");
     let addr = server.local_addr().expect("addr");
     let handle = server.shutdown_handle().expect("handle");
     std::thread::spawn(move || server.run().expect("server run"));
-    (addr, handle)
+    (addr, handle, tracer)
+}
+
+/// Prebuilt single-point `/score` requests. With `traced`, each carries
+/// an `x-hics-trace` header (ids cycle with the query list) so every
+/// request pays span creation and forced tail-store retention — the
+/// worst case for tracing cost.
+fn score_requests(queries: &[Vec<f64>], traced: bool) -> Vec<String> {
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let body = format!("{{\"point\": {}}}", json_line(q));
+            let trace = if traced {
+                format!("x-hics-trace: {:016x}-{:016x}\r\n", 0xb0000 + i as u64, 1)
+            } else {
+                String::new()
+            };
+            format!(
+                "POST /score HTTP/1.1\r\nHost: b\r\n{trace}Content-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+        })
+        .collect()
 }
 
 fn json_line(row: &[f64]) -> String {
@@ -270,7 +305,7 @@ struct PoolReport {
 /// end-to-end request latency under that concurrency.
 fn bench_connection_level(
     addr: std::net::SocketAddr,
-    queries: &[Vec<f64>],
+    requests: &[String],
     total_requests: usize,
     conns: usize,
 ) -> PoolReport {
@@ -282,17 +317,6 @@ fn bench_connection_level(
         writers.push(stream.try_clone().expect("clone"));
         readers.push(BufReader::new(stream));
     }
-    let requests: Vec<String> = queries
-        .iter()
-        .map(|q| {
-            let body = format!("{{\"point\": {}}}", json_line(q));
-            format!(
-                "POST /score HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
-                body.len(),
-                body
-            )
-        })
-        .collect();
     let rounds = (total_requests / conns).max(4);
     let mut sent = vec![Instant::now(); conns];
     let mut lat_ms = Vec::with_capacity(rounds * conns);
@@ -479,7 +503,7 @@ fn main() {
     let artifact = Arc::new(ModelArtifact::open_mmap(&path).expect("mmap"));
     let engine =
         QueryEngine::from_artifact(Arc::clone(&artifact), Some(IndexKind::VpTree), threads);
-    let (addr, shutdown) = start_server(engine, threads, reactor_threads, true);
+    let (addr, shutdown, tracer) = start_server(engine, threads, reactor_threads, true);
 
     eprintln!("batch /score: {requests} single-point requests + 100-point batches...");
     let batch = bench_batch_score(addr, &queries, requests);
@@ -497,14 +521,15 @@ fn main() {
 
     let pool_conns = [1usize, 2, 4, 8, 16, 64, 128, 256];
     let pool_requests = if quick { 800 } else { 4_000 };
+    let plain_requests = score_requests(&queries, false);
     eprintln!("connection scaling: {pool_conns:?} multiplexed keep-alive connections...");
     let pool: Vec<PoolReport> = pool_conns
         .iter()
         .map(|&c| {
             // Best of two trials: a single stray scheduler stall at one
             // level would otherwise dominate the whole curve.
-            let a = bench_connection_level(addr, &queries, pool_requests, c);
-            let b = bench_connection_level(addr, &queries, pool_requests, c);
+            let a = bench_connection_level(addr, &plain_requests, pool_requests, c);
+            let b = bench_connection_level(addr, &plain_requests, pool_requests, c);
             let level = if b.requests_per_sec > a.requests_per_sec {
                 b
             } else {
@@ -558,7 +583,8 @@ fn main() {
     eprintln!("instrumentation overhead at {overhead_conns} connections...");
     let off_engine =
         QueryEngine::from_artifact(Arc::clone(&artifact), Some(IndexKind::VpTree), threads);
-    let (off_addr, off_shutdown) = start_server(off_engine, threads, reactor_threads, false);
+    let (off_addr, off_shutdown, _off_tracer) =
+        start_server(off_engine, threads, reactor_threads, false);
     // Run-to-run throughput drift on a shared box rivals the effect being
     // measured, so the comparison is paired and order-balanced: one
     // untimed warm-up per server, then many short back-to-back on/off
@@ -567,8 +593,8 @@ fn main() {
     // order biases the ratio). Drift between pairs cancels in each pair's
     // ratio; the median ratio is the overhead claim, best-of is the
     // throughput claim.
-    bench_connection_level(addr, &queries, pool_requests / 4, overhead_conns);
-    bench_connection_level(off_addr, &queries, pool_requests / 4, overhead_conns);
+    bench_connection_level(addr, &plain_requests, pool_requests / 4, overhead_conns);
+    bench_connection_level(off_addr, &plain_requests, pool_requests / 4, overhead_conns);
     let overhead_trials = if quick { 6 } else { 16 };
     let mut ratios = Vec::new();
     let (mut instrumented_rps, mut uninstrumented_rps) = (0f64, 0f64);
@@ -578,9 +604,9 @@ fn main() {
         } else {
             (off_addr, addr)
         };
-        let a =
-            bench_connection_level(first, &queries, pool_requests, overhead_conns).requests_per_sec;
-        let b = bench_connection_level(second, &queries, pool_requests, overhead_conns)
+        let a = bench_connection_level(first, &plain_requests, pool_requests, overhead_conns)
+            .requests_per_sec;
+        let b = bench_connection_level(second, &plain_requests, pool_requests, overhead_conns)
             .requests_per_sec;
         let (on, off) = if trial % 2 == 0 { (a, b) } else { (b, a) };
         instrumented_rps = instrumented_rps.max(on);
@@ -589,11 +615,70 @@ fn main() {
     }
     ratios.sort_by(f64::total_cmp);
     let median_ratio = (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0;
-    off_shutdown.shutdown();
     let overhead_pct = (1.0 - 1.0 / median_ratio) * 100.0;
     eprintln!(
         "  instrumented {instrumented_rps:.0} requests/s vs uninstrumented \
          {uninstrumented_rps:.0} requests/s ({overhead_pct:+.2}% median paired overhead)"
+    );
+
+    // Tracing: the same paired, order-balanced comparison with every
+    // client request carrying an `x-hics-trace` header — span creation
+    // plus forced tail-store retention on each request (untraced clients
+    // only pay a header scan, so this is the upper bound). The off
+    // server drops the header entirely, isolating the full tracing path.
+    eprintln!("tracing overhead at {overhead_conns} connections (every request traced)...");
+    let traced_requests = score_requests(&queries, true);
+    bench_connection_level(addr, &traced_requests, pool_requests / 4, overhead_conns);
+    bench_connection_level(
+        off_addr,
+        &traced_requests,
+        pool_requests / 4,
+        overhead_conns,
+    );
+    let mut trace_ratios = Vec::new();
+    let (mut traced_rps, mut untraced_rps) = (0f64, 0f64);
+    for trial in 0..overhead_trials {
+        let (first, second) = if trial % 2 == 0 {
+            (addr, off_addr)
+        } else {
+            (off_addr, addr)
+        };
+        let a = bench_connection_level(first, &traced_requests, pool_requests, overhead_conns)
+            .requests_per_sec;
+        let b = bench_connection_level(second, &traced_requests, pool_requests, overhead_conns)
+            .requests_per_sec;
+        let (on, off) = if trial % 2 == 0 { (a, b) } else { (b, a) };
+        traced_rps = traced_rps.max(on);
+        untraced_rps = untraced_rps.max(off);
+        trace_ratios.push(off / on);
+    }
+    trace_ratios.sort_by(f64::total_cmp);
+    let trace_median =
+        (trace_ratios[trace_ratios.len() / 2 - 1] + trace_ratios[trace_ratios.len() / 2]) / 2.0;
+    let trace_overhead_pct = (1.0 - 1.0 / trace_median) * 100.0;
+    off_shutdown.shutdown();
+
+    // The ring store is saturated by now: fetch latency over a full
+    // index, then the retained-store memory bound the server is holding.
+    let mut fetch_ms = Vec::with_capacity(scrapes);
+    let mut trace_index = String::new();
+    for _ in 0..scrapes {
+        let t = Instant::now();
+        trace_index = http_get(addr, "/trace");
+        fetch_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    fetch_ms.sort_by(f64::total_cmp);
+    assert!(trace_index.contains("\"traces\""), "{trace_index}");
+    let (store_traces, store_bytes) = (tracer.store_len(), tracer.store_bytes());
+    eprintln!(
+        "  traced {traced_rps:.0} requests/s vs untraced {untraced_rps:.0} requests/s \
+         ({trace_overhead_pct:+.2}% median paired overhead)"
+    );
+    eprintln!(
+        "  /trace fetch p50 {:.3} ms / p99 {:.3} ms; store holds {store_traces} traces, \
+         {store_bytes} bytes",
+        percentile(&fetch_ms, 0.50),
+        percentile(&fetch_ms, 0.99)
     );
 
     shutdown.shutdown();
@@ -647,6 +732,15 @@ fn main() {
         instrumented_rps,
         uninstrumented_rps,
         overhead_pct
+    );
+    let _ = writeln!(
+        json,
+        "  \"tracing\": {{\"traced_rps\": {traced_rps:.0}, \"untraced_rps\": {untraced_rps:.0}, \
+         \"overhead_pct\": {trace_overhead_pct:.2}, \"trace_fetch_p50_ms\": {:.3}, \
+         \"trace_fetch_p99_ms\": {:.3}, \"store_traces\": {store_traces}, \
+         \"store_bytes\": {store_bytes}}},",
+        percentile(&fetch_ms, 0.50),
+        percentile(&fetch_ms, 0.99)
     );
     let pool_entries: Vec<String> = pool
         .iter()

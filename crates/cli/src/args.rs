@@ -8,6 +8,9 @@ use std::collections::HashMap;
 pub struct Args {
     /// The first positional word (subcommand).
     pub command: Option<String>,
+    /// The second positional word (e.g. `hics trace <url>`). Commands
+    /// that take no target reject it at dispatch.
+    pub target: Option<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -45,6 +48,8 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else if out.target.is_none() {
+                out.target = Some(tok);
             } else {
                 return Err(ArgError(format!("unexpected positional argument {tok:?}")));
             }
@@ -117,8 +122,16 @@ mod tests {
     }
 
     #[test]
+    fn second_positional_is_the_target() {
+        let a = parse("trace http://127.0.0.1:7880 --id abc").unwrap();
+        assert_eq!(a.command.as_deref(), Some("trace"));
+        assert_eq!(a.target.as_deref(), Some("http://127.0.0.1:7880"));
+        assert_eq!(a.get("id"), Some("abc"));
+    }
+
+    #[test]
     fn parse_errors() {
-        assert!(parse("rank extra-positional").is_err());
+        assert!(parse("rank one-extra two-extra").is_err());
         assert!(parse("rank -- 1").is_err());
         let a = parse("rank --k notanumber").unwrap();
         assert!(a.get_or("k", 10usize).is_err());

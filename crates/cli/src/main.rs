@@ -26,6 +26,8 @@
 //!               [--timeout-ms 2000] [--retries 1] [--hedge-ms 50]
 //!               [--hedge-quantile 0.95] [--health-interval-ms 500]
 //!               [--evict-after 3] [--readmit-after 2] [--pool-cap 8]
+//!               [--log-format text|json] [--slow-query-us N] [--no-instrument]
+//! hics trace    <url> [--id <hex>]
 //! ```
 //!
 //! `import` streams CSV/ARFF rows into a columnar dataset store with
@@ -69,7 +71,7 @@ use hics_eval::report::{Stopwatch, TextTable};
 use hics_eval::roc::roc_auc;
 use hics_outlier::{Engine, EngineHandle, IndexKind, QueryEngine, RemoteEngine};
 use hics_route::{Router, RouterConfig};
-use hics_serve::{LogFormat, ServeConfig, Server};
+use hics_serve::{json, Json, LogFormat, Pool, ServeConfig, Server};
 use hics_store::{DatasetStore, FileKind, StoreWriter, DEFAULT_CHUNK_ROWS};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -136,6 +138,11 @@ fn main() -> ExitCode {
 
 fn run(raw: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
+    if let Some(target) = &args.target {
+        if args.command.as_deref() != Some("trace") {
+            return Err(ArgError(format!("unexpected positional argument {target:?}")).into());
+        }
+    }
     match args.command.as_deref() {
         Some("generate") => cmd_generate(&args),
         Some("search") => cmd_search(&args),
@@ -146,6 +153,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
         Some("score") => cmd_score(&args),
         Some("serve") => cmd_serve(&args),
         Some("route") => cmd_route(&args),
+        Some("trace") => cmd_trace(&args),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -180,6 +188,8 @@ fn print_usage() {
     println!("            [--addr 127.0.0.1:7880] [--degraded partial|fail] [--timeout-ms 2000]");
     println!("            [--retries 1] [--hedge-ms 50] [--hedge-quantile 0.95]");
     println!("            [--health-interval-ms 500] [--evict-after 3] [--readmit-after 2]");
+    println!("            [--log-format text|json] [--slow-query-us N] [--no-instrument]");
+    println!("  trace     <url> [--id <hex>]");
     println!("  help      this message");
     println!();
     println!("  --threads N applies to search/rank/evaluate/fit/score/serve");
@@ -198,6 +208,8 @@ fn print_usage() {
     println!("  route fans /score across one hics serve backend per manifest shard");
     println!("  (--replicas: `,` between shards, `|` between a shard's replicas) with");
     println!("  health-checked pools, hedged requests and the same score fold as serve");
+    println!("  serve and route retain tail-sampled request traces on GET /trace;");
+    println!("  trace <url> lists them, trace <url> --id <hex> renders a waterfall");
     println!();
     println!("exit codes: 1 generic, 2 bad input, 3 I/O, 4 unreadable artifact,");
     println!("            5 invalid artifact content, 6 malformed query, 7 serving failure");
@@ -807,9 +819,9 @@ fn cmd_score(args: &Args) -> Result<(), CliError> {
 /// same artifact path (or one named in the request) without a restart.
 /// `--reactors` sets the epoll event-loop thread count (0 = auto) and
 /// `--batch-wait-us` lets batch workers linger for deeper batches.
-fn cmd_serve(args: &Args) -> Result<(), CliError> {
-    let model_path = args.require("model")?;
-    let max_threads = threads(args)?;
+/// The `--log-format` / `--slow-query-us` pair `serve` and `route`
+/// share (`--slow-query-us 0` or absent disables the slow log).
+fn parse_logging(args: &Args) -> Result<(LogFormat, Option<Duration>), CliError> {
     let log_format = match args.get("log-format").unwrap_or("text") {
         "text" => LogFormat::Text,
         "json" => LogFormat::Json,
@@ -820,11 +832,17 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             .into())
         }
     };
-    // `--slow-query-us 0` (or absent) disables slow-query logging.
     let slow_query = match args.get_or("slow-query-us", 0u64)? {
         0 => None,
         us => Some(Duration::from_micros(us)),
     };
+    Ok((log_format, slow_query))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let model_path = args.require("model")?;
+    let max_threads = threads(args)?;
+    let (log_format, slow_query) = parse_logging(args)?;
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         threads: max_threads,
@@ -862,7 +880,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .map_err(|e| HicsError::Serve(format!("resolving listen address: {e}")))?;
     println!(
         "# serving on http://{addr}  (POST /score /v2/score /admin/reload, \
-         GET /healthz /model /stats /metrics)"
+         GET /healthz /model /stats /metrics /trace)"
     );
     server
         .run()
@@ -929,10 +947,20 @@ fn cmd_route(args: &Args) -> Result<(), CliError> {
         pool_cap: args.get_or("pool-cap", defaults.pool_cap)?,
     };
 
+    let (log_format, slow_query) = parse_logging(args)?;
+    let instrument = !args.flag("no-instrument");
     let registry = Arc::new(hics_obs::Registry::new());
-    let router = Arc::new(
-        Router::new(&manifest, &table, cfg, &registry).map_err(|e| CliError::Usage(ArgError(e)))?,
-    );
+    let tracer = Arc::new(hics_obs::Tracer::default());
+    let mut router =
+        Router::new(&manifest, &table, cfg, &registry).map_err(|e| CliError::Usage(ArgError(e)))?;
+    // The router records into the *server's* tracer, so one
+    // `GET /trace/<id>` shows the request root span, the fan-out and
+    // every per-shard attempt together.
+    if instrument {
+        router.set_tracer(Arc::clone(&tracer));
+    }
+    router.set_slow_fanout(slow_query, log_format);
+    let router = Arc::new(router);
     // One synchronous sweep so /route and the subspace count are
     // populated before the first query; the checker keeps them fresh.
     router.probe_all();
@@ -945,17 +973,20 @@ fn cmd_route(args: &Args) -> Result<(), CliError> {
         workers: args.get_or("workers", 1)?,
         reactor_threads: args.get_or("reactors", 0)?,
         batch_max_wait: Duration::from_micros(args.get_or("batch-wait-us", 0)?),
-        instrument: !args.flag("no-instrument"),
+        instrument,
+        log_format,
+        slow_query,
         ..ServeConfig::default()
     };
     if config.max_batch == 0 || config.workers == 0 {
         return Err(ArgError("--max-batch and --workers must be at least 1".into()).into());
     }
     let engine = Engine::Remote(Arc::clone(&router) as Arc<dyn RemoteEngine>);
-    let server = Server::bind_handle_with_registry(
+    let server = Server::bind_handle_with_obs(
         Arc::new(EngineHandle::new(engine)),
         config,
         Arc::clone(&registry),
+        tracer,
     )
     .map_err(|e| HicsError::Serve(format!("binding listener: {e}")))?;
     let admin_router = Arc::clone(&router);
@@ -969,11 +1000,196 @@ fn cmd_route(args: &Args) -> Result<(), CliError> {
         manifest.aggregation.name(),
         router.degraded_mode().name(),
     );
-    println!("#   (POST /score /v2/score, GET /healthz /model /stats /metrics /route)");
+    println!("#   (POST /score /v2/score, GET /healthz /model /stats /metrics /route /trace)");
     server
         .run()
         .map_err(|e| HicsError::Serve(format!("serving: {e}")))?;
     router.shutdown();
+    Ok(())
+}
+
+/// `trace`: fetch and render retained traces from a running `hics serve`
+/// or `hics route` instance. Without `--id`, prints the `GET /trace`
+/// index (newest first); with `--id <hex>`, renders `GET /trace/<id>` as
+/// an aligned text waterfall — indentation is span depth, the bar is the
+/// span's extent within the whole trace.
+fn cmd_trace(args: &Args) -> Result<(), CliError> {
+    let target = args
+        .target
+        .as_deref()
+        .ok_or_else(|| ArgError("usage: hics trace <url> [--id <hex>]".into()))?;
+    let addr = target
+        .strip_prefix("http://")
+        .unwrap_or(target)
+        .split('/')
+        .next()
+        .unwrap_or("")
+        .to_string();
+    if addr.is_empty() {
+        return Err(ArgError(format!("cannot parse host:port from {target:?}")).into());
+    }
+    let pool = Pool::new(addr.clone(), 1);
+    let fetch = |path: &str| -> Result<Json, CliError> {
+        let resp = pool
+            .request("GET", path, None, Duration::from_secs(5))
+            .map_err(|e| HicsError::Serve(format!("{addr}: {e}")))?;
+        let status = resp.status;
+        let text = resp
+            .text()
+            .map_err(|_| HicsError::Serve(format!("{addr}: response body is not UTF-8")))?
+            .to_string();
+        if status != 200 {
+            return Err(HicsError::Serve(format!("{addr}{path}: status {status} ({text})")).into());
+        }
+        json::parse(&text).map_err(|e| HicsError::Serve(format!("{addr}{path}: {e}")).into())
+    };
+    match args.get("id") {
+        None => print_trace_index(&fetch("/trace")?),
+        Some(id) => print_trace_waterfall(&fetch(&format!("/trace/{id}"))?),
+    }
+}
+
+fn print_trace_index(doc: &Json) -> Result<(), CliError> {
+    let traces = doc
+        .get("traces")
+        .and_then(Json::as_array)
+        .ok_or_else(|| CliError::Other("trace index has no \"traces\"".into()))?;
+    if traces.is_empty() {
+        println!("no retained traces");
+        return Ok(());
+    }
+    println!(
+        "{:<16}  {:>12}  {:>5}  {:<6}  kept",
+        "trace", "duration", "spans", "status"
+    );
+    for t in traces {
+        let id = t.get("id").and_then(Json::as_str).unwrap_or("?");
+        let us = t.get("duration_us").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let spans = t.get("spans").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let status = t.get("status").and_then(Json::as_str).unwrap_or("?");
+        let kept = t.get("kept").and_then(Json::as_str).unwrap_or("?");
+        println!("{id:<16}  {us:>10}us  {spans:>5}  {status:<6}  {kept}");
+    }
+    Ok(())
+}
+
+/// One span row of the waterfall, pulled out of the `/trace/<id>` body.
+struct WfSpan {
+    span_id: String,
+    parent: Option<String>,
+    name: String,
+    start_ns: u64,
+    end_ns: u64,
+    status: String,
+    tags: String,
+}
+
+fn print_trace_waterfall(doc: &Json) -> Result<(), CliError> {
+    let bad = |msg: &str| CliError::Other(format!("malformed trace body: {msg}"));
+    let trace_id = doc
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("no trace_id"))?;
+    let duration_ns = doc.get("duration_ns").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let status = doc.get("status").and_then(Json::as_str).unwrap_or("?");
+    let kept = doc.get("kept").and_then(Json::as_str).unwrap_or("?");
+    let spans: Vec<WfSpan> = doc
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("no spans"))?
+        .iter()
+        .map(|s| {
+            let tags = match s.get("tags") {
+                Some(Json::Object(m)) => m
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                _ => String::new(),
+            };
+            let str_of = |key: &str| s.get(key).and_then(Json::as_str).unwrap_or("").to_string();
+            let ns_of = |key: &str| s.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            WfSpan {
+                span_id: str_of("span_id"),
+                parent: s.get("parent").and_then(Json::as_str).map(str::to_string),
+                name: str_of("name"),
+                start_ns: ns_of("start_ns"),
+                end_ns: ns_of("end_ns"),
+                status: str_of("status"),
+                tags,
+            }
+        })
+        .collect();
+    println!(
+        "trace {trace_id}  duration={}us  status={status}  kept={kept}  spans={}",
+        duration_ns / 1_000,
+        spans.len()
+    );
+    if spans.is_empty() {
+        return Ok(());
+    }
+    let t0 = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let t1 = spans.iter().map(|s| s.end_ns).max().unwrap_or(t0);
+    let total = (t1 - t0).max(1);
+    // Parents print above their children (indented one step less),
+    // children in start order; a span whose parent was dropped (e.g. a
+    // straggler attempt outliving its trace) renders as a root.
+    let ids: Vec<&str> = spans.iter().map(|s| s.span_id.as_str()).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s
+            .parent
+            .as_deref()
+            .and_then(|p| ids.iter().position(|&id| id == p))
+        {
+            Some(pi) if pi != i => children[pi].push(i),
+            _ => roots.push(i),
+        }
+    }
+    roots.sort_by_key(|&i| (spans[i].start_ns, spans[i].end_ns));
+    for c in &mut children {
+        c.sort_by_key(|&i| (spans[i].start_ns, spans[i].end_ns));
+    }
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(spans.len());
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        order.push((i, depth));
+        for &c in children[i].iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    const BAR: usize = 32;
+    let name_w = order
+        .iter()
+        .map(|&(i, d)| 2 * d + spans[i].name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    for (i, depth) in order {
+        let s = &spans[i];
+        let start_us = s.start_ns.saturating_sub(t0) / 1_000;
+        let dur_us = s.end_ns.saturating_sub(s.start_ns) / 1_000;
+        let b0 = ((s.start_ns - t0) as u128 * BAR as u128 / total as u128) as usize;
+        let b0 = b0.min(BAR - 1);
+        let b1 = (s.end_ns - t0)
+            .saturating_mul(BAR as u64)
+            .div_ceil(total)
+            .clamp((b0 + 1) as u64, BAR as u64) as usize;
+        let bar: String = (0..BAR)
+            .map(|p| if p >= b0 && p < b1 { '#' } else { '.' })
+            .collect();
+        let label = format!("{}{}", "  ".repeat(depth), s.name);
+        let tags = if s.tags.is_empty() {
+            String::new()
+        } else {
+            format!("  {}", s.tags)
+        };
+        println!(
+            "{label:<name_w$}  [{bar}]  {start_us:>8}us +{dur_us:>8}us  {}{tags}",
+            s.status
+        );
+    }
     Ok(())
 }
 

@@ -15,13 +15,19 @@
 //!   request's lifecycle stages (accept → head parse → body → batch
 //!   enqueue → score → flush) against a monotonic clock, for per-stage
 //!   latency histograms and slow-query logs.
+//! * **[`trace`]**: distributed request tracing — 64-bit trace/span ids,
+//!   a lock-light [`Tracer`] on the same monotonic-clock discipline as
+//!   [`Timeline`], and a bounded trace store with tail-based retention
+//!   (slow, errored, hedged or 1-in-N sampled traces are kept).
 
 #![warn(missing_docs)]
 
 mod histogram;
 mod registry;
 mod timeline;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry};
 pub use timeline::{Stage, Timeline, STAGES, STAGE_COUNT};
+pub use trace::{Span, SpanStatus, StoredTrace, TraceConfig, TraceContext, Tracer};

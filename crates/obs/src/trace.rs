@@ -1,0 +1,712 @@
+//! Distributed request tracing: spans, a lock-light [`Tracer`], and a
+//! bounded trace store with **tail-based retention**.
+//!
+//! A trace is a tree of [`Span`]s sharing a 64-bit `trace_id`; every span
+//! carries its own 64-bit `span_id` and an optional parent. Ids travel
+//! between processes in the `x-hics-trace` header (`trace_id-span_id`,
+//! both zero-padded lowercase hex — see [`format_header`]/
+//! [`parse_header`]). Timestamps are nanosecond offsets on the tracer's
+//! monotonic clock (the same `Instant` clock the request
+//! [`Timeline`](crate::Timeline) uses), so spans recorded anywhere in one
+//! process align without clock sync.
+//!
+//! Spans accumulate in small per-trace pending buffers while a request is
+//! in flight; [`Tracer::finish_trace`] closes the root span and decides
+//! retention *after* the outcome is known (tail-based): a completed trace
+//! is kept when it was explicitly requested (the client sent
+//! `x-hics-trace`), errored, slow (duration at or over
+//! [`TraceConfig::slow`]), hedged or retried, or hit the 1-in-N sample
+//! tick. Retained traces live in a bounded ring buffer; everything else
+//! is dropped, so the store stays small but always holds the interesting
+//! requests.
+//!
+//! [`set_current`]/[`current`] carry a [`TraceContext`] across component
+//! boundaries on the same thread — the serving tier plants the request's
+//! context before handing rows to a scoring engine, and the router picks
+//! it up without either layer knowing about the other.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Terminal state of a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// The operation completed normally.
+    Ok,
+    /// The operation failed (5xx response, upstream error, eviction).
+    Error,
+}
+
+impl SpanStatus {
+    /// Lower-case wire name (`"ok"` / `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Error => "error",
+        }
+    }
+}
+
+/// One timed operation inside a trace.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's own id.
+    pub span_id: u64,
+    /// Parent span id, `None` for a root.
+    pub parent: Option<u64>,
+    /// Human-readable operation name (`"req /score"`, `"shard1"`, …).
+    pub name: String,
+    /// Start, as nanoseconds on the owning tracer's monotonic clock.
+    pub start_ns: u64,
+    /// End, same clock; `0` until finished.
+    pub end_ns: u64,
+    /// Free-form key/value annotations (replica addr, outcome, …).
+    pub tags: Vec<(String, String)>,
+    /// Terminal status.
+    pub status: SpanStatus,
+}
+
+impl Span {
+    /// Appends one tag.
+    pub fn tag(&mut self, key: &str, value: impl Into<String>) {
+        self.tags.push((key.to_string(), value.into()));
+    }
+
+    /// Span duration in nanoseconds (saturating; 0 while unfinished).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    fn approx_bytes(&self) -> usize {
+        96 + self.name.len()
+            + self
+                .tags
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 8)
+                .sum::<usize>()
+    }
+}
+
+/// Tail-sampling and capacity knobs for a [`Tracer`].
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Completed traces at or over this duration are always kept.
+    pub slow: Duration,
+    /// Keep 1 in N organic traces regardless of outcome (`0` disables
+    /// the sample tick entirely).
+    pub sample_every: u64,
+    /// Retained traces kept in the ring buffer (oldest evicted first).
+    pub capacity: usize,
+    /// Bound on in-flight (unfinished) trace buffers; beyond it the
+    /// stalest buffer is dropped, so abandoned traces cannot leak.
+    pub max_pending: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            slow: Duration::from_millis(25),
+            sample_every: 64,
+            capacity: 256,
+            max_pending: 1024,
+        }
+    }
+}
+
+/// A completed, retained trace.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// The shared trace id.
+    pub trace_id: u64,
+    /// Root-span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Error if any member span errored.
+    pub status: SpanStatus,
+    /// Which retention rule kept it (`"header"`, `"error"`, `"slow"`,
+    /// `"hedge"`, `"sampled"`).
+    pub kept: &'static str,
+    /// All member spans, ordered by start time.
+    pub spans: Vec<Span>,
+}
+
+/// Spans per trace beyond which further records are discarded — a
+/// runaway-instrumentation backstop, far above any real request.
+const MAX_SPANS_PER_TRACE: usize = 512;
+
+/// Pending buffers older than this are presumed abandoned (their request
+/// died without finishing) and are swept on the next insert.
+const PENDING_SWEEP_NS: u64 = 30_000_000_000;
+
+struct Pending {
+    trace_id: u64,
+    touched_ns: u64,
+    spans: Vec<Span>,
+}
+
+struct Store {
+    ring: VecDeque<StoredTrace>,
+    bytes: usize,
+}
+
+/// Generates ids, collects spans, and retains completed traces.
+///
+/// All methods take `&self`; each lock (id generator, pending buffers,
+/// store ring) is held only for the few instructions of one insert, and
+/// nothing is locked at all when tracing is not in use.
+pub struct Tracer {
+    epoch: Instant,
+    cfg: TraceConfig,
+    ids: Mutex<StdRng>,
+    sample_tick: AtomicU64,
+    pending: Mutex<Vec<Pending>>,
+    store: Mutex<Store>,
+    finished: AtomicU64,
+    retained: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer(retained {} traces)", self.store_len())
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(TraceConfig::default())
+    }
+}
+
+/// Seed material for the id generator: wall clock, a per-process
+/// counter (two tracers born in the same nanosecond still diverge) and
+/// ASLR noise. Ids need to be unique-ish across a fleet, not secret.
+fn entropy_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let c = COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    let aslr = &COUNTER as *const _ as u64;
+    t ^ c.rotate_left(31) ^ aslr.rotate_left(17) ^ ((std::process::id() as u64) << 40)
+}
+
+impl Tracer {
+    /// A tracer with the given retention configuration.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Self {
+            epoch: Instant::now(),
+            cfg,
+            ids: Mutex::new(StdRng::seed_from_u64(entropy_seed())),
+            sample_tick: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+            store: Mutex::new(Store {
+                ring: VecDeque::new(),
+                bytes: 0,
+            }),
+            finished: AtomicU64::new(0),
+            retained: AtomicU64::new(0),
+        }
+    }
+
+    /// The retention configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Nanoseconds since this tracer was created (its monotonic clock).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// A fresh non-zero 64-bit id.
+    pub fn next_id(&self) -> u64 {
+        let mut rng = self.ids.lock().expect("tracer id lock");
+        loop {
+            let id = rng.next_u64();
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Opens a span starting now. The caller finishes it with
+    /// [`Tracer::finish_span`] (or stamps `end_ns` itself and calls
+    /// [`Tracer::record`]).
+    pub fn begin_span(&self, trace_id: u64, parent: Option<u64>, name: impl Into<String>) -> Span {
+        Span {
+            trace_id,
+            span_id: self.next_id(),
+            parent,
+            name: name.into(),
+            start_ns: self.now_ns(),
+            end_ns: 0,
+            tags: Vec::new(),
+            status: SpanStatus::Ok,
+        }
+    }
+
+    /// Stamps the end time (when unset) and records the span.
+    pub fn finish_span(&self, mut span: Span) {
+        if span.end_ns == 0 {
+            span.end_ns = self.now_ns();
+        }
+        self.record(span);
+    }
+
+    /// Files a completed span into its trace's pending buffer. Buffers
+    /// are bounded ([`TraceConfig::max_pending`] traces, stale ones
+    /// swept) so spans whose trace never finishes cannot leak.
+    pub fn record(&self, span: Span) {
+        let now = self.now_ns();
+        let mut pending = self.pending.lock().expect("tracer pending lock");
+        if let Some(entry) = pending.iter_mut().find(|e| e.trace_id == span.trace_id) {
+            entry.touched_ns = now;
+            if entry.spans.len() < MAX_SPANS_PER_TRACE {
+                entry.spans.push(span);
+            }
+            return;
+        }
+        if pending.len() >= self.cfg.max_pending {
+            pending.retain(|e| now.saturating_sub(e.touched_ns) < PENDING_SWEEP_NS);
+            if pending.len() >= self.cfg.max_pending {
+                if let Some((stalest, _)) = pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.touched_ns)
+                    .map(|(i, e)| (i, e.trace_id))
+                {
+                    pending.swap_remove(stalest);
+                }
+            }
+        }
+        pending.push(Pending {
+            trace_id: span.trace_id,
+            touched_ns: now,
+            spans: vec![span],
+        });
+    }
+
+    /// Closes a trace: stamps the root span's end (when unset), folds in
+    /// every pending span of the same `trace_id`, and applies tail-based
+    /// retention. `forced` marks an explicitly requested trace (the
+    /// client sent `x-hics-trace`) — always kept.
+    pub fn finish_trace(&self, mut root: Span, forced: bool) {
+        if root.end_ns == 0 {
+            root.end_ns = self.now_ns();
+        }
+        let duration_ns = root.duration_ns();
+        let trace_id = root.trace_id;
+        let mut spans = {
+            let mut pending = self.pending.lock().expect("tracer pending lock");
+            match pending.iter().position(|e| e.trace_id == trace_id) {
+                Some(i) => pending.swap_remove(i).spans,
+                None => Vec::new(),
+            }
+        };
+        spans.push(root);
+        spans.sort_by_key(|s| s.start_ns);
+        self.finished.fetch_add(1, Ordering::Relaxed);
+
+        let errored = spans.iter().any(|s| s.status == SpanStatus::Error);
+        let hedged = spans.iter().any(|s| {
+            s.tags
+                .iter()
+                .any(|(k, v)| k == "kind" && (v == "hedge" || v == "retry"))
+        });
+        let tick = self.sample_tick.fetch_add(1, Ordering::Relaxed);
+        let sampled = self.cfg.sample_every > 0 && tick.is_multiple_of(self.cfg.sample_every);
+        let kept = if forced {
+            "header"
+        } else if errored {
+            "error"
+        } else if duration_ns >= self.cfg.slow.as_nanos() as u64 {
+            "slow"
+        } else if hedged {
+            "hedge"
+        } else if sampled {
+            "sampled"
+        } else {
+            return;
+        };
+        self.retained.fetch_add(1, Ordering::Relaxed);
+
+        let stored = StoredTrace {
+            trace_id,
+            duration_ns,
+            status: if errored {
+                SpanStatus::Error
+            } else {
+                SpanStatus::Ok
+            },
+            kept,
+            spans,
+        };
+        let bytes: usize = stored.spans.iter().map(Span::approx_bytes).sum();
+        let mut store = self.store.lock().expect("tracer store lock");
+        while store.ring.len() >= self.cfg.capacity.max(1) {
+            if let Some(evicted) = store.ring.pop_front() {
+                store.bytes = store
+                    .bytes
+                    .saturating_sub(evicted.spans.iter().map(Span::approx_bytes).sum());
+            }
+        }
+        store.ring.push_back(stored);
+        store.bytes += bytes;
+    }
+
+    /// Retained trace count.
+    pub fn store_len(&self) -> usize {
+        self.store.lock().expect("tracer store lock").ring.len()
+    }
+
+    /// Approximate heap footprint of the retained traces, in bytes — the
+    /// store's memory bound is `capacity × max trace size`, and this is
+    /// what the bench reports against it.
+    pub fn store_bytes(&self) -> usize {
+        self.store.lock().expect("tracer store lock").bytes
+    }
+
+    /// `(finished, retained)` trace counters since startup.
+    pub fn counts(&self) -> (u64, u64) {
+        (
+            self.finished.load(Ordering::Relaxed),
+            self.retained.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A clone of one retained trace, newest match first.
+    pub fn get(&self, trace_id: u64) -> Option<StoredTrace> {
+        let store = self.store.lock().expect("tracer store lock");
+        store
+            .ring
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// `GET /trace` body: the retained-trace index, newest first.
+    pub fn index_json(&self) -> String {
+        let store = self.store.lock().expect("tracer store lock");
+        let mut out = String::from("{\"traces\":[");
+        for (i, t) in store.ring.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":\"");
+            out.push_str(&format_id(t.trace_id));
+            out.push_str("\",\"duration_us\":");
+            out.push_str(&(t.duration_ns / 1_000).to_string());
+            out.push_str(",\"status\":\"");
+            out.push_str(t.status.name());
+            out.push_str("\",\"spans\":");
+            out.push_str(&t.spans.len().to_string());
+            out.push_str(",\"kept\":\"");
+            out.push_str(t.kept);
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// `GET /trace/<id>` body: every span of one retained trace, or
+    /// `None` when the id is unknown (evicted or never kept).
+    pub fn trace_json(&self, trace_id: u64) -> Option<String> {
+        let trace = self.get(trace_id)?;
+        let mut out = String::from("{\"trace_id\":\"");
+        out.push_str(&format_id(trace.trace_id));
+        out.push_str("\",\"duration_ns\":");
+        out.push_str(&trace.duration_ns.to_string());
+        out.push_str(",\"status\":\"");
+        out.push_str(trace.status.name());
+        out.push_str("\",\"kept\":\"");
+        out.push_str(trace.kept);
+        out.push_str("\",\"spans\":[");
+        for (i, s) in trace.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"span_id\":\"");
+            out.push_str(&format_id(s.span_id));
+            out.push_str("\",\"parent\":");
+            match s.parent {
+                Some(p) => {
+                    out.push('"');
+                    out.push_str(&format_id(p));
+                    out.push('"');
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            push_json_str(&mut out, &s.name);
+            out.push_str(",\"start_ns\":");
+            out.push_str(&s.start_ns.to_string());
+            out.push_str(",\"end_ns\":");
+            out.push_str(&s.end_ns.to_string());
+            out.push_str(",\"status\":\"");
+            out.push_str(s.status.name());
+            out.push_str("\",\"tags\":{");
+            for (j, (k, v)) in s.tags.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_json_str(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+}
+
+/// Minimal JSON string escaping (quote, backslash, control characters).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One id as 16 lowercase hex digits.
+pub fn format_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a hex id (1–16 digits).
+pub fn parse_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// The `x-hics-trace` header value: `trace_id-span_id` in hex.
+pub fn format_header(trace_id: u64, span_id: u64) -> String {
+    format!("{trace_id:016x}-{span_id:016x}")
+}
+
+/// Parses an `x-hics-trace` value; the trace id must be non-zero.
+pub fn parse_header(value: &str) -> Option<(u64, u64)> {
+    let (t, s) = value.trim().split_once('-')?;
+    let trace_id = parse_id(t)?;
+    let span_id = parse_id(s)?;
+    if trace_id == 0 {
+        return None;
+    }
+    Some((trace_id, span_id))
+}
+
+/// The ids a layer needs to parent its spans under the active request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// The span the next layer should parent under.
+    pub parent_span: u64,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// Installs (or clears) the calling thread's active trace context.
+pub fn set_current(ctx: Option<TraceContext>) {
+    CURRENT.with(|c| c.set(ctx));
+}
+
+/// The calling thread's active trace context, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer(slow_ms: u64, sample_every: u64, capacity: usize) -> Tracer {
+        Tracer::new(TraceConfig {
+            slow: Duration::from_millis(slow_ms),
+            sample_every,
+            capacity,
+            max_pending: 8,
+        })
+    }
+
+    /// A root span completed at `duration_ns`, ready for finish_trace.
+    fn root(t: &Tracer, duration_ns: u64) -> Span {
+        let mut s = t.begin_span(t.next_id(), None, "req /score");
+        s.end_ns = s.start_ns + duration_ns;
+        s
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let t = Tracer::default();
+        let a = t.next_id();
+        let b = t.next_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects_junk() {
+        let v = format_header(0xabcd, 0x1234);
+        assert_eq!(v, "000000000000abcd-0000000000001234");
+        assert_eq!(parse_header(&v), Some((0xabcd, 0x1234)));
+        assert_eq!(parse_header("abcd-ef"), Some((0xabcd, 0xef)));
+        assert_eq!(parse_header(""), None);
+        assert_eq!(parse_header("no-dash-here-x"), None);
+        assert_eq!(parse_header("0-12"), None, "zero trace id");
+        assert_eq!(parse_header("12345678901234567-1"), None, "too long");
+        assert_eq!(parse_header("zz-1"), None);
+    }
+
+    #[test]
+    fn fast_clean_traces_are_dropped_slow_ones_kept() {
+        let t = tracer(10, 0, 16);
+        t.finish_trace(root(&t, 1_000), false);
+        assert_eq!(t.store_len(), 0, "fast, clean, unsampled: dropped");
+        t.finish_trace(root(&t, 50_000_000), false);
+        assert_eq!(t.store_len(), 1);
+        let json = t.index_json();
+        assert!(json.contains("\"kept\":\"slow\""), "{json}");
+    }
+
+    #[test]
+    fn errored_and_hedged_traces_are_kept() {
+        let t = tracer(1_000, 0, 16);
+        let mut r = root(&t, 100);
+        r.status = SpanStatus::Error;
+        t.finish_trace(r, false);
+
+        let r = root(&t, 100);
+        let mut child = t.begin_span(r.trace_id, Some(r.span_id), "shard0");
+        child.tag("kind", "hedge");
+        t.finish_span(child);
+        t.finish_trace(r, false);
+
+        assert_eq!(t.store_len(), 2);
+        let json = t.index_json();
+        assert!(json.contains("\"kept\":\"error\""), "{json}");
+        assert!(json.contains("\"kept\":\"hedge\""), "{json}");
+    }
+
+    #[test]
+    fn forced_traces_bypass_sampling() {
+        let t = tracer(1_000, 0, 16);
+        let r = root(&t, 10);
+        let id = r.trace_id;
+        t.finish_trace(r, true);
+        assert_eq!(t.store_len(), 1);
+        let json = t.trace_json(id).expect("kept");
+        assert!(json.contains("\"kept\":\"header\""), "{json}");
+    }
+
+    #[test]
+    fn one_in_n_sampling_keeps_every_nth() {
+        let t = tracer(1_000, 4, 64);
+        for _ in 0..8 {
+            t.finish_trace(root(&t, 10), false);
+        }
+        assert_eq!(t.store_len(), 2, "ticks 0 and 4 of 8");
+        assert_eq!(t.counts(), (8, 2));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_tracks_bytes() {
+        let t = tracer(0, 0, 3); // slow=0: everything is kept
+        let first = root(&t, 10);
+        let first_id = first.trace_id;
+        t.finish_trace(first, false);
+        for _ in 0..3 {
+            t.finish_trace(root(&t, 10), false);
+        }
+        assert_eq!(t.store_len(), 3);
+        assert!(t.get(first_id).is_none(), "oldest evicted");
+        assert!(t.store_bytes() > 0);
+        let per_trace = t.store_bytes() / 3;
+        assert!(
+            t.store_bytes() <= 3 * (per_trace + 64),
+            "bytes track the ring"
+        );
+    }
+
+    #[test]
+    fn spans_fold_into_their_trace_and_render() {
+        let t = tracer(0, 0, 8);
+        let r = root(&t, 1_000);
+        let id = r.trace_id;
+        let mut child = t.begin_span(id, Some(r.span_id), "shard0");
+        child.tag("replica", "127.0.0.1:1");
+        child.tag("outcome", "ok");
+        t.finish_span(child);
+        // A span of an unrelated trace must not leak in.
+        t.record(t.begin_span(t.next_id(), None, "stray"));
+        t.finish_trace(r, false);
+
+        let json = t.trace_json(id).expect("kept");
+        assert!(json.contains("\"name\":\"shard0\""), "{json}");
+        assert!(json.contains("\"name\":\"req /score\""), "{json}");
+        assert!(json.contains("\"replica\":\"127.0.0.1:1\""), "{json}");
+        assert!(!json.contains("stray"), "{json}");
+        assert_eq!(t.get(id).expect("stored").spans.len(), 2);
+    }
+
+    #[test]
+    fn pending_buffers_are_bounded() {
+        let t = tracer(0, 0, 8); // max_pending = 8
+        for _ in 0..50 {
+            t.record(t.begin_span(t.next_id(), None, "orphan"));
+        }
+        let pending = t.pending.lock().unwrap();
+        assert!(pending.len() <= 8, "pending bounded: {}", pending.len());
+    }
+
+    #[test]
+    fn thread_local_context_round_trips() {
+        assert_eq!(current(), None);
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 9,
+        };
+        set_current(Some(ctx));
+        assert_eq!(current(), Some(ctx));
+        set_current(None);
+        assert_eq!(current(), None);
+        // Other threads see their own slot.
+        set_current(Some(ctx));
+        std::thread::spawn(|| assert_eq!(current(), None))
+            .join()
+            .unwrap();
+        set_current(None);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let t = tracer(0, 0, 8);
+        let mut r = root(&t, 10);
+        r.name = "req \"quoted\"\\path\n".into();
+        let id = r.trace_id;
+        t.finish_trace(r, false);
+        let json = t.trace_json(id).expect("kept");
+        assert!(json.contains("req \\\"quoted\\\"\\\\path\\u000a"), "{json}");
+    }
+}

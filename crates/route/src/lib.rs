@@ -44,11 +44,12 @@
 
 use hics_data::manifest::{ShardAggregation, ShardManifest};
 use hics_data::route::RouteTable;
-use hics_obs::{Counter, Gauge, Histogram, Registry};
+use hics_obs::trace::{self, TraceContext};
+use hics_obs::{Counter, Gauge, Histogram, Registry, SpanStatus, Tracer};
 use hics_outlier::ensemble::Fold;
 use hics_outlier::{QueryError, RemoteBatch, RemoteEngine};
 use hics_serve::client::{format_points_body, Pool};
-use hics_serve::json;
+use hics_serve::{json, LogFormat};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -200,6 +201,14 @@ pub struct Router {
     partials: Arc<Counter>,
     failures: Arc<Counter>,
     gate: Arc<HealthGate>,
+    /// Shared with the fronting server (see [`Router::set_tracer`]); the
+    /// router only *records* spans — the server's request root span is
+    /// what closes and retains the trace.
+    tracer: Option<Arc<Tracer>>,
+    /// Fan-outs at or above this total latency log one stderr line with
+    /// the per-shard timing breakdown.
+    slow_fanout: Option<Duration>,
+    log_format: LogFormat,
 }
 
 impl Router {
@@ -274,7 +283,7 @@ impl Router {
                 ),
             })
             .collect();
-        Ok(Self {
+        let router = Self {
             shards,
             aggregation: manifest.aggregation,
             total_n: manifest.total_n as usize,
@@ -294,7 +303,36 @@ impl Router {
                 "Fan-outs that produced no ensemble score.",
             ),
             gate: Arc::new(HealthGate::default()),
-        })
+            tracer: None,
+            slow_fanout: None,
+            log_format: LogFormat::Text,
+        };
+        registry
+            .gauge_with(
+                "hics_build_info",
+                "Build metadata; the value is always 1.",
+                vec![
+                    ("version", env!("CARGO_PKG_VERSION").to_string()),
+                    ("crate", "hics-route".to_string()),
+                ],
+            )
+            .set(1);
+        Ok(router)
+    }
+
+    /// Shares the fronting server's [`Tracer`] so fan-out and per-attempt
+    /// spans land in the trace the server's request root span closes, and
+    /// propagate downstream as `x-hics-trace` on each shard attempt.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Fan-outs slower than `threshold` log one stderr line (in `format`)
+    /// with the total, the per-shard timings and the trace id. `None`
+    /// disables the log.
+    pub fn set_slow_fanout(&mut self, threshold: Option<Duration>, format: LogFormat) {
+        self.slow_fanout = threshold;
+        self.log_format = format;
     }
 
     /// The configured degraded mode.
@@ -314,12 +352,19 @@ impl Router {
         }
     }
 
-    /// One request/response exchange with one replica.
-    fn attempt(replica: &Replica, body: &str, timeout: Duration) -> Result<Vec<f64>, String> {
+    /// One request/response exchange with one replica. `trace` is the
+    /// `x-hics-trace` value to inject, parenting the backend's own spans
+    /// under this attempt.
+    fn attempt(
+        replica: &Replica,
+        body: &str,
+        timeout: Duration,
+        trace: Option<&str>,
+    ) -> Result<Vec<f64>, String> {
         let addr = replica.pool.addr();
         let resp = replica
             .pool
-            .request("POST", "/score", Some(body), timeout)
+            .request_traced("POST", "/score", Some(body), timeout, trace)
             .map_err(|e| format!("{addr}: {e}"))?;
         let text = resp
             .text()
@@ -345,7 +390,12 @@ impl Router {
     /// primary attempt on the first healthy replica, a hedge to the next
     /// one once the learned delay passes, bounded retries on failure —
     /// first success wins.
-    fn query_shard(&self, si: usize, body: &str) -> Result<Vec<f64>, String> {
+    fn query_shard(
+        &self,
+        si: usize,
+        body: &str,
+        ctx: Option<TraceContext>,
+    ) -> Result<Vec<f64>, String> {
         let shard = &self.shards[si];
         let candidates: Vec<Arc<Replica>> = shard
             .replicas
@@ -355,11 +405,18 @@ impl Router {
             .collect();
         if candidates.is_empty() {
             shard.errors.inc();
+            if let (Some(tracer), Some(ctx)) = (&self.tracer, ctx) {
+                let mut span =
+                    tracer.begin_span(ctx.trace_id, Some(ctx.parent_span), format!("shard{si}"));
+                span.status = SpanStatus::Error;
+                span.tag("outcome", "no_healthy_replicas");
+                tracer.finish_span(span);
+            }
             return Err(format!("shard {si}: no healthy replicas"));
         }
         shard.requests.inc();
         shard.in_flight.add(1);
-        let result = self.race_replicas(si, &candidates, body);
+        let result = self.race_replicas(si, &candidates, body, ctx);
         shard.in_flight.add(-1);
         if result.is_err() {
             shard.errors.inc();
@@ -375,6 +432,7 @@ impl Router {
         si: usize,
         candidates: &[Arc<Replica>],
         body: &str,
+        ctx: Option<TraceContext>,
     ) -> Result<Vec<f64>, String> {
         let shard = &self.shards[si];
         let timeout = self.cfg.request_timeout;
@@ -382,17 +440,51 @@ impl Router {
         let max_attempts = candidates.len().min(self.cfg.retries + 1);
         let hedge_delay = self.hedge_delay(si);
         let (tx, rx) = std::sync::mpsc::channel::<(usize, Duration, Result<Vec<f64>, String>)>();
-        let launch = |attempt: usize| {
+        // Every attempt — primary, hedge or retry — gets its own span so a
+        // trace waterfall shows exactly which replica answered and which
+        // straggled or failed. The attempt's span id rides downstream in
+        // `x-hics-trace`, parenting the backend's own request span under
+        // it. Spans record on the attempt thread when the exchange ends;
+        // stragglers that outlive the request's root span are dropped by
+        // the tracer's pending sweep, never leaked.
+        let launch = |attempt: usize, kind: &'static str| {
             let replica = Arc::clone(&candidates[attempt]);
             let body = body.to_string();
             let tx = tx.clone();
+            let span = match (&self.tracer, ctx) {
+                (Some(tracer), Some(ctx)) => {
+                    let mut span = tracer.begin_span(
+                        ctx.trace_id,
+                        Some(ctx.parent_span),
+                        format!("shard{si}"),
+                    );
+                    span.tag("replica", replica.pool.addr());
+                    span.tag("kind", kind);
+                    Some((Arc::clone(tracer), span))
+                }
+                _ => None,
+            };
+            let header = span
+                .as_ref()
+                .map(|(_, s)| trace::format_header(s.trace_id, s.span_id));
             std::thread::spawn(move || {
                 let started = Instant::now();
-                let res = Self::attempt(&replica, &body, timeout);
+                let res = Self::attempt(&replica, &body, timeout, header.as_deref());
+                if let Some((tracer, mut span)) = span {
+                    match &res {
+                        Ok(_) => span.tag("outcome", "ok"),
+                        Err(e) => {
+                            span.status = SpanStatus::Error;
+                            span.tag("outcome", "error");
+                            span.tag("error", e.clone());
+                        }
+                    }
+                    tracer.finish_span(span);
+                }
                 let _ = tx.send((attempt, started.elapsed(), res));
             });
         };
-        launch(0);
+        launch(0, "primary");
         let mut launched = 1usize;
         let mut outstanding = 1usize;
         let mut last_err = format!("shard {si}: request timed out after {timeout:?}");
@@ -420,7 +512,7 @@ impl Router {
                     last_err = e;
                     if can_launch {
                         shard.retries.inc();
-                        launch(launched);
+                        launch(launched, "retry");
                         launched += 1;
                         outstanding += 1;
                     } else if outstanding == 0 {
@@ -430,7 +522,7 @@ impl Router {
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     if can_launch {
                         shard.hedges.inc();
-                        launch(launched);
+                        launch(launched, "hedge");
                         launched += 1;
                         outstanding += 1;
                     }
@@ -608,6 +700,71 @@ impl RemoteEngine for Router {
     /// [`hics_outlier::ensemble`] recipe.
     fn score_rows(&self, rows: &[Vec<f64>]) -> RemoteBatch {
         self.requests.inc();
+        let started = Instant::now();
+        let trace_id = trace::current().map(|c| c.trace_id);
+        // The fan-out span brackets the whole scatter-gather and parents
+        // every per-attempt span. Its own parent is the request span the
+        // fronting server installed on this worker thread before calling
+        // into the engine.
+        let fanout = match (&self.tracer, trace::current()) {
+            (Some(tracer), Some(ctx)) => {
+                let mut span = tracer.begin_span(ctx.trace_id, Some(ctx.parent_span), "fanout");
+                span.tag("rows", rows.len().to_string());
+                Some(span)
+            }
+            _ => None,
+        };
+        let ctx = fanout.as_ref().map(|s| TraceContext {
+            trace_id: s.trace_id,
+            parent_span: s.span_id,
+        });
+        let (batch, shard_elapsed) = self.fan_out(rows, ctx);
+        if let (Some(tracer), Some(mut span)) = (&self.tracer, fanout) {
+            span.tag("partial", if batch.partial { "true" } else { "false" });
+            if batch
+                .results
+                .iter()
+                .any(|r| matches!(r, Err(QueryError::Upstream(_))))
+            {
+                span.status = SpanStatus::Error;
+            }
+            tracer.finish_span(span);
+        }
+        if let Some(threshold) = self.slow_fanout {
+            let total = started.elapsed();
+            if total >= threshold {
+                self.log_slow_fanout(total, &shard_elapsed, batch.partial, trace_id);
+            }
+        }
+        batch
+    }
+
+    fn n(&self) -> usize {
+        self.total_n
+    }
+
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    fn subspace_count(&self) -> usize {
+        self.subspaces.load(Ordering::Relaxed)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Router {
+    /// The untraced scatter-gather body of
+    /// [`RemoteEngine::score_rows`]: returns the batch plus each queried
+    /// shard's wall-clock time (for the slow-fanout log).
+    fn fan_out(
+        &self,
+        rows: &[Vec<f64>],
+        ctx: Option<TraceContext>,
+    ) -> (RemoteBatch, Vec<(usize, Duration)>) {
         // Local validation mirrors the in-process scoring path: those
         // errors are the client's fault and must not become 502s.
         let valid: Vec<Option<usize>> = {
@@ -644,46 +801,63 @@ impl RemoteEngine for Router {
             }
         };
         if healthy.is_empty() {
-            return fail_all("no healthy shards".into());
+            return (fail_all("no healthy shards".into()), Vec::new());
         }
         if self.cfg.degraded == DegradedMode::Fail && healthy.len() < self.shards.len() {
             let down: Vec<String> = (0..self.shards.len())
                 .filter(|i| !healthy.contains(i))
                 .map(|i| i.to_string())
                 .collect();
-            return fail_all(format!(
-                "shard(s) {} unhealthy and degraded mode is fail",
-                down.join(",")
-            ));
+            return (
+                fail_all(format!(
+                    "shard(s) {} unhealthy and degraded mode is fail",
+                    down.join(",")
+                )),
+                Vec::new(),
+            );
         }
 
         // Scatter: one thread per healthy shard; each runs its own
         // hedged/retried race and comes back with per-row scores.
-        let mut per_shard: Vec<(usize, Result<Vec<f64>, String>)> = if finite_rows.is_empty() {
-            healthy.iter().map(|&si| (si, Ok(Vec::new()))).collect()
-        } else {
-            let body = format_points_body(&finite_rows);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = healthy
+        let mut per_shard: Vec<(usize, Result<Vec<f64>, String>, Duration)> =
+            if finite_rows.is_empty() {
+                healthy
                     .iter()
-                    .map(|&si| {
-                        let body = &body;
-                        (si, scope.spawn(move || self.query_shard(si, body)))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|(si, h)| (si, h.join().expect("shard query thread")))
+                    .map(|&si| (si, Ok(Vec::new()), Duration::ZERO))
                     .collect()
-            })
-        };
+            } else {
+                let body = format_points_body(&finite_rows);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = healthy
+                        .iter()
+                        .map(|&si| {
+                            let body = &body;
+                            let handle = scope.spawn(move || {
+                                let started = Instant::now();
+                                let result = self.query_shard(si, body, ctx);
+                                (result, started.elapsed())
+                            });
+                            (si, handle)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(si, h)| {
+                            let (result, elapsed) = h.join().expect("shard query thread");
+                            (si, result, elapsed)
+                        })
+                        .collect()
+                })
+            };
         // Fold order is shard order — sort by shard index, not finish
         // order, so Mean sums exactly like the in-process ensemble.
-        per_shard.sort_by_key(|(si, _)| *si);
+        per_shard.sort_by_key(|(si, _, _)| *si);
+        let shard_elapsed: Vec<(usize, Duration)> =
+            per_shard.iter().map(|(si, _, d)| (*si, *d)).collect();
 
         let mut answered: Vec<(usize, Vec<f64>)> = Vec::with_capacity(per_shard.len());
         let mut last_err = String::new();
-        for (si, result) in per_shard {
+        for (si, result, _) in per_shard {
             match result {
                 Ok(scores) if scores.len() == finite_rows.len() => answered.push((si, scores)),
                 Ok(scores) => {
@@ -697,11 +871,11 @@ impl RemoteEngine for Router {
             }
         }
         if answered.is_empty() && !finite_rows.is_empty() {
-            return fail_all(last_err);
+            return (fail_all(last_err), shard_elapsed);
         }
         let degraded = answered.len() < self.shards.len();
         if degraded && self.cfg.degraded == DegradedMode::Fail {
-            return fail_all(last_err);
+            return (fail_all(last_err), shard_elapsed);
         }
         if degraded {
             self.partials.inc();
@@ -724,26 +898,60 @@ impl RemoteEngine for Router {
                 }
             })
             .collect();
-        RemoteBatch {
-            results,
-            partial: degraded,
+        (
+            RemoteBatch {
+                results,
+                partial: degraded,
+            },
+            shard_elapsed,
+        )
+    }
+
+    /// One stderr line per slow fan-out: the total, each shard's
+    /// wall-clock time and the trace id cross-referencing `/trace/<id>`
+    /// (slow fan-outs ride slow requests, which are always retained).
+    fn log_slow_fanout(
+        &self,
+        total: Duration,
+        shards: &[(usize, Duration)],
+        partial: bool,
+        trace_id: Option<u64>,
+    ) {
+        match self.log_format {
+            LogFormat::Json => {
+                let mut out = String::with_capacity(160);
+                out.push_str("{\"event\":\"slow_fanout\"");
+                if let Some(id) = trace_id {
+                    out.push_str(",\"trace_id\":\"");
+                    out.push_str(&trace::format_id(id));
+                    out.push('"');
+                }
+                out.push_str(&format!(",\"total_us\":{}", total.as_micros()));
+                out.push_str(",\"shards_us\":{");
+                for (i, (si, d)) in shards.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{si}\":{}", d.as_micros()));
+                }
+                out.push_str(&format!("}},\"partial\":{partial}}}"));
+                eprintln!("{out}");
+            }
+            LogFormat::Text => {
+                let shards: Vec<String> = shards
+                    .iter()
+                    .map(|(si, d)| format!("shard{si}={}us", d.as_micros()))
+                    .collect();
+                let trace = trace_id
+                    .map(|id| format!(" trace={}", trace::format_id(id)))
+                    .unwrap_or_default();
+                eprintln!(
+                    "slow fanout:{trace} total={}us partial={partial} {}",
+                    total.as_micros(),
+                    shards.join(" ")
+                );
+            }
         }
-    }
-
-    fn n(&self) -> usize {
-        self.total_n
-    }
-
-    fn d(&self) -> usize {
-        self.d
-    }
-
-    fn subspace_count(&self) -> usize {
-        self.subspaces.load(Ordering::Relaxed)
-    }
-
-    fn shard_count(&self) -> usize {
-        self.shards.len()
     }
 }
 

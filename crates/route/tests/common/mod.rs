@@ -12,7 +12,7 @@ use hics_data::model::{
 };
 use hics_data::route::RouteTable;
 use hics_data::SyntheticConfig;
-use hics_obs::Registry;
+use hics_obs::{Registry, Tracer};
 use hics_outlier::{Engine, EngineHandle, QueryEngine, RemoteEngine};
 use hics_route::{Router, RouterConfig};
 use hics_serve::{ServeConfig, Server, ShutdownHandle};
@@ -124,23 +124,36 @@ pub fn start_router(
     backends: &[&RunningServer],
     cfg: RouterConfig,
 ) -> (RunningServer, Arc<Router>) {
+    let table = backends
+        .iter()
+        .map(|b| b.addr.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    start_router_with_table(manifest_path, &table, cfg)
+}
+
+/// Like [`start_router`], but with an explicit route table (`|` between a
+/// shard's replicas) for multi-replica placements. The router records
+/// into the fronting server's tracer, like `hics route` wires it.
+pub fn start_router_with_table(
+    manifest_path: &std::path::Path,
+    table: &str,
+    cfg: RouterConfig,
+) -> (RunningServer, Arc<Router>) {
     let manifest = ShardManifest::load(manifest_path).expect("load manifest");
-    let table = RouteTable::parse(
-        &backends
-            .iter()
-            .map(|b| b.addr.to_string())
-            .collect::<Vec<_>>()
-            .join("\n"),
-    )
-    .expect("route table");
+    let table = RouteTable::parse(table).expect("route table");
     let registry = Arc::new(Registry::new());
-    let router = Arc::new(Router::new(&manifest, &table, cfg, &registry).expect("router"));
+    let tracer = Arc::new(Tracer::default());
+    let mut router = Router::new(&manifest, &table, cfg, &registry).expect("router");
+    router.set_tracer(Arc::clone(&tracer));
+    let router = Arc::new(router);
     router.probe_all();
     let engine = Engine::Remote(Arc::clone(&router) as Arc<dyn RemoteEngine>);
-    let server = Server::bind_handle_with_registry(
+    let server = Server::bind_handle_with_obs(
         Arc::new(EngineHandle::new(engine)),
         test_config("127.0.0.1:0".into()),
         registry,
+        tracer,
     )
     .expect("bind router");
     let admin = Arc::clone(&router);
@@ -230,6 +243,24 @@ pub fn post(addr: std::net::SocketAddr, path: &str, json_body: &str) -> (u16, St
     write!(
         stream,
         "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        json_body.len(),
+        json_body
+    )
+    .expect("send");
+    read_response(&mut stream)
+}
+
+/// POSTs `json_body` with an explicit `x-hics-trace` header: (status, body).
+pub fn post_traced(
+    addr: std::net::SocketAddr,
+    path: &str,
+    json_body: &str,
+    trace: &str,
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: t\r\nx-hics-trace: {trace}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         json_body.len(),
         json_body
     )

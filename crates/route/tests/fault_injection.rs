@@ -162,6 +162,115 @@ fn fail_mode_returns_upstream_errors_instead_of_partials() {
     }
 }
 
+/// Polls the router's `/trace/<id>` until the trace is retained (the
+/// root span closes just after the last response byte flushes).
+fn fetch_trace(addr: std::net::SocketAddr, id: &str) -> (u16, String) {
+    let mut last = (0u16, String::new());
+    for _ in 0..50 {
+        last = get(addr, &format!("/trace/{id}"));
+        if last.0 == 200 {
+            return last;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    last
+}
+
+#[test]
+fn traces_capture_failed_attempts_failover_and_partial_fanout() {
+    let (manifest_path, models) = write_ensemble("fault-trace", ShardAggregation::Mean);
+    let backends: Vec<RunningServer> = models
+        .iter()
+        .map(|m| start_backend(QueryEngine::from_model(m, 1)))
+        .collect();
+    // Shard 1's primary replica is a dead port, its second replica is
+    // live: the primary attempt fails and the bounded retry fails over.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+        // listener dropped: the port refuses connections
+    };
+    let table = format!(
+        "{}\n{dead}|{}\n{}",
+        backends[0].addr, backends[1].addr, backends[2].addr
+    );
+    let cfg = RouterConfig {
+        retries: 1,
+        evict_after: 2,
+        request_timeout: Duration::from_millis(800),
+        ..RouterConfig::default()
+    };
+    // start_router_with_table probes once — one failure on the dead
+    // replica is below evict_after, so the primary attempt still goes
+    // there and fails live.
+    let (router_server, router) = start_router_with_table(&manifest_path, &table, cfg);
+    let body = "{\"point\": [0.3, 0.6, 0.9]}";
+
+    let (status, _) = post_traced(
+        router_server.addr,
+        "/score",
+        body,
+        "00000000000000ab-00000000000000cd",
+    );
+    assert_eq!(status, 200, "fail-over still answers");
+
+    let (status, trace) = fetch_trace(router_server.addr, "00000000000000ab");
+    assert_eq!(
+        status, 200,
+        "explicit trace retained on the router: {trace}"
+    );
+    assert!(trace.contains("\"name\":\"req /score\""), "{trace}");
+    assert!(trace.contains("\"name\":\"fanout\""), "{trace}");
+    assert!(
+        trace.contains(&format!(
+            "\"replica\":\"{dead}\",\"kind\":\"primary\",\"outcome\":\"error\""
+        )),
+        "failed primary attempt span tagged with the dead replica: {trace}"
+    );
+    assert!(
+        trace.contains(&format!(
+            "\"replica\":\"{}\",\"kind\":\"retry\",\"outcome\":\"ok\"",
+            backends[1].addr
+        )),
+        "fail-over span tagged with the surviving replica: {trace}"
+    );
+
+    // The propagated header parents the backend's own request span under
+    // the attempt: the same trace id is retained on the live replica.
+    let (status, backend_trace) = fetch_trace(backends[1].addr, "00000000000000ab");
+    assert_eq!(status, 200, "backend retains the propagated trace");
+    assert!(
+        backend_trace.contains("\"trace_id\":\"00000000000000ab\""),
+        "{backend_trace}"
+    );
+
+    // Evict shard 2 outright: the next traced fan-out is partial and its
+    // fanout span says so.
+    let mut backends = backends;
+    backends.remove(2).stop();
+    router.probe_all();
+    router.probe_all();
+    let (status, reply) = post_traced(
+        router_server.addr,
+        "/score",
+        body,
+        "00000000000000ac-00000000000000cd",
+    );
+    assert_eq!(status, 200);
+    assert!(reply.contains("\"partial\":true"), "{reply}");
+    let (status, trace) = fetch_trace(router_server.addr, "00000000000000ac");
+    assert_eq!(status, 200, "{trace}");
+    assert!(
+        trace.contains("\"partial\":\"true\""),
+        "degraded fan-out span tagged partial: {trace}"
+    );
+
+    router_server.stop();
+    for b in backends {
+        b.stop();
+    }
+}
+
 #[test]
 fn metrics_expose_evictions_and_partial_fanouts() {
     let (manifest_path, models) = write_ensemble("fault-metrics", ShardAggregation::Mean);

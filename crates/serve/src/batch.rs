@@ -61,6 +61,10 @@ struct Job {
     rows: Vec<Vec<f64>>,
     enqueued: Instant,
     reply: Box<dyn FnOnce(BatchReply) + Send>,
+    /// Trace context captured from the submitting thread so a remote
+    /// engine's fan-out can parent its spans under the originating request
+    /// even though scoring happens on a batch-worker thread.
+    trace: Option<hics_obs::TraceContext>,
 }
 
 /// Upper bounds of the legacy `/stats` batch-size buckets (rows per
@@ -275,6 +279,7 @@ impl Batcher {
                     rows,
                     enqueued: Instant::now(),
                     reply,
+                    trace: hics_obs::trace::current(),
                 });
                 drop(q);
                 self.shared.ready.notify_one();
@@ -429,7 +434,13 @@ fn worker_loop(
                     .as_nanos() as u64,
             );
         }
+        // A coalesced batch carries several requests' trace contexts but
+        // scores in one engine call; attribute the fan-out to the first
+        // traced job (best effort — the alternative is splitting the batch).
+        let trace = jobs.iter().find_map(|j| j.trace);
+        hics_obs::trace::set_current(trace);
         let (results, partial) = engine.score_batch_partial(&all_rows, threads);
+        hics_obs::trace::set_current(None);
         let mut results = results.into_iter();
         stats
             .score_time

@@ -111,6 +111,20 @@ impl ClientConn {
         body: Option<&str>,
         timeout: Duration,
     ) -> std::io::Result<Response> {
+        self.request_traced(method, path, body, timeout, None)
+    }
+
+    /// [`ClientConn::request`] with an optional `x-hics-trace` header —
+    /// how a routed request's trace context crosses to the backend. With
+    /// `trace: None` the request bytes are identical to the plain form.
+    pub fn request_traced(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        timeout: Duration,
+        trace: Option<&str>,
+    ) -> std::io::Result<Response> {
         self.stream.set_read_timeout(Some(timeout))?;
         self.stream.set_write_timeout(Some(timeout))?;
         let body = body.unwrap_or("");
@@ -120,7 +134,13 @@ impl ClientConn {
         req.push_str(path);
         req.push_str(" HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: ");
         req.push_str(&body.len().to_string());
-        req.push_str("\r\n\r\n");
+        req.push_str("\r\n");
+        if let Some(value) = trace {
+            req.push_str("x-hics-trace: ");
+            req.push_str(value);
+            req.push_str("\r\n");
+        }
+        req.push_str("\r\n");
         req.push_str(body);
         self.stream.write_all(req.as_bytes())?;
         self.stream.flush()?;
@@ -222,8 +242,20 @@ impl Pool {
         body: Option<&str>,
         timeout: Duration,
     ) -> std::io::Result<Response> {
+        self.request_traced(method, path, body, timeout, None)
+    }
+
+    /// [`Pool::request`] carrying an optional `x-hics-trace` header.
+    pub fn request_traced(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        timeout: Duration,
+        trace: Option<&str>,
+    ) -> std::io::Result<Response> {
         if let Some(mut conn) = self.take_idle() {
-            if let Ok(resp) = conn.request(method, path, body, timeout) {
+            if let Ok(resp) = conn.request_traced(method, path, body, timeout, trace) {
                 if resp.keep_alive {
                     self.put(conn);
                 }
@@ -231,7 +263,7 @@ impl Pool {
             }
         }
         let mut conn = ClientConn::connect(&self.addr, timeout)?;
-        let resp = conn.request(method, path, body, timeout)?;
+        let resp = conn.request_traced(method, path, body, timeout, trace)?;
         if resp.keep_alive {
             self.put(conn);
         }

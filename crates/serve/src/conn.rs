@@ -18,15 +18,15 @@
 //! dropped.
 
 use crate::http::{
-    error_body, finish_chunked, parse_head_bytes, write_chunk, write_chunked_head, write_response,
-    write_response_typed, BodyError, Request, RequestError, RequestHead, MAX_BODY_BYTES,
+    error_body, finish_chunked, parse_head_bytes, write_chunk, write_chunked_head,
+    write_response_traced, BodyError, Request, RequestError, RequestHead, MAX_BODY_BYTES,
     MAX_HEAD_BYTES,
 };
 use crate::metrics::{content_type_for, ReactorMetrics};
 use crate::reactor::{Notifier, EPOLLIN, EPOLLOUT};
 use crate::server::{
-    dispatch, format_score_reply, parse_score_request, parse_stream_row, reload_endpoint,
-    score_stream_line, stream_line, Ctx,
+    begin_req_trace, dispatch, finish_req_trace, format_score_reply, parse_score_request,
+    parse_stream_row, reload_endpoint, score_stream_line, stream_line, Ctx, ReqTrace,
 };
 use hics_obs::{Stage, Timeline};
 use std::collections::VecDeque;
@@ -449,6 +449,9 @@ pub(crate) struct Conn {
     rm: Arc<ReactorMetrics>,
     /// Lifecycle timeline of the in-flight request (idle between requests).
     timeline: Timeline,
+    /// Root-span bookkeeping of the in-flight request (`None` between
+    /// requests, for streams, and with instrumentation off).
+    trace: Option<ReqTrace>,
     /// Path of the in-flight request, captured only when slow-query
     /// logging is configured (empty otherwise).
     cur_path: String,
@@ -475,6 +478,7 @@ impl Conn {
             eof: false,
             rm,
             timeline: Timeline::new(),
+            trace: None,
             cur_path: String::new(),
             was_paused: false,
             deadline: Some(Instant::now() + ctx.config.keep_alive),
@@ -524,10 +528,30 @@ impl Conn {
         close: bool,
     ) {
         self.close_after = self.close_after || close;
+        if let Some(rt) = self.trace.as_mut() {
+            rt.status = status;
+        }
+        let echo = self.trace_echo();
         // Writing into the in-memory OutBuf cannot fail.
-        let _ = write_response_typed(&mut self.out, status, content_type, body, close);
+        let _ = write_response_traced(
+            &mut self.out,
+            status,
+            content_type,
+            body,
+            close,
+            echo.as_deref(),
+        );
         self.state = State::Flush;
         self.deadline = Some(Instant::now() + ctx.config.keep_alive);
+    }
+
+    /// The `x-hics-trace` value to put on the response — only when the
+    /// client sent the header, so untraced exchanges stay byte-identical.
+    fn trace_echo(&self) -> Option<String> {
+        self.trace
+            .as_ref()
+            .filter(|rt| rt.explicit)
+            .map(ReqTrace::header)
     }
 
     /// The per-state idle budget, restarted whenever the connection makes
@@ -716,6 +740,7 @@ impl Conn {
                                 content_length: None,
                                 chunked: false,
                                 close: false,
+                                trace: None,
                             },
                         );
                         self.compact_inbuf();
@@ -871,10 +896,17 @@ impl Conn {
                     if self.out.is_empty() {
                         did = true;
                         self.timeline.mark(Stage::Flush);
+                        let trace_id = self.trace.as_ref().map(|rt| rt.trace_id);
+                        if let Some(rt) = self.trace.take() {
+                            // Before observe_request: finishing the trace
+                            // reads the timeline that observe resets.
+                            finish_req_trace(ctx, rt, &self.timeline);
+                        }
                         ctx.metrics.observe_request(
                             &ctx.config,
                             &self.cur_path,
                             &mut self.timeline,
+                            trace_id,
                         );
                         if self.close_after {
                             self.state = State::Closed;
@@ -897,8 +929,10 @@ impl Conn {
     fn route(&mut self, ctx: &Ctx, head: RequestHead) {
         if head.method == "POST" && head.path == "/v2/score" {
             // Streams report through their own counters, not the
-            // request-stage histograms.
+            // request-stage histograms — and are not traced (one span per
+            // line would swamp the store).
             self.timeline.reset();
+            self.trace = None;
             ctx.stream_stats.streams.inc();
             self.close_after = self.close_after || head.close;
             let _ = write_chunked_head(&mut self.out, 200, "application/x-ndjson", head.close);
@@ -909,6 +943,13 @@ impl Conn {
             self.deadline = Some(Instant::now() + ctx.config.stream_idle);
             return;
         }
+        // The head has already been parsed by now; back-date the root span
+        // to the first byte's arrival (the timeline's start).
+        let elapsed_ns = self
+            .timeline
+            .offset_ns(Stage::HeadParse)
+            .unwrap_or_default();
+        self.trace = begin_req_trace(ctx, &head, elapsed_ns);
         if head.chunked {
             self.respond(
                 ctx,
@@ -957,6 +998,10 @@ impl Conn {
                 Err((status, rendered)) => self.respond(ctx, status, &rendered, head.close),
                 Ok((rows, single)) => {
                     let notifier = Arc::clone(notifier);
+                    // Plant the request's trace context for the batcher to
+                    // capture at enqueue — a remote engine's fan-out spans
+                    // parent under this request.
+                    hics_obs::trace::set_current(self.trace.as_ref().map(ReqTrace::context));
                     ctx.batcher.submit(
                         rows,
                         Box::new(move |reply| {
@@ -964,6 +1009,7 @@ impl Conn {
                             notifier.complete(token, epoch, status, body);
                         }),
                     );
+                    hics_obs::trace::set_current(None);
                     self.timeline.mark(Stage::Enqueue);
                     self.state = State::AwaitBatch;
                     self.deadline = None;
@@ -988,6 +1034,7 @@ impl Conn {
                     path: head.path,
                     body,
                     close: head.close,
+                    trace: head.trace,
                 };
                 let (status, out) = dispatch(&request, ctx);
                 self.timeline.mark(Stage::Score);
@@ -1011,7 +1058,18 @@ impl Conn {
         match &mut self.state {
             State::AwaitBatch => {
                 self.timeline.mark(Stage::Score);
-                let _ = write_response(&mut self.out, status, &body, self.close_after);
+                if let Some(rt) = self.trace.as_mut() {
+                    rt.status = status;
+                }
+                let echo = self.trace_echo();
+                let _ = write_response_traced(
+                    &mut self.out,
+                    status,
+                    "application/json",
+                    &body,
+                    self.close_after,
+                    echo.as_deref(),
+                );
                 self.state = State::Flush;
                 self.deadline = Some(Instant::now() + ctx.config.keep_alive);
             }
@@ -1083,7 +1141,7 @@ impl Conn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::{BodyReader, LineRead};
+    use crate::http::{write_response, BodyReader, LineRead};
     use std::io::Cursor;
 
     fn sized_head(len: usize) -> RequestHead {
@@ -1093,6 +1151,7 @@ mod tests {
             content_length: Some(len),
             chunked: false,
             close: false,
+            trace: None,
         }
     }
 
@@ -1103,6 +1162,7 @@ mod tests {
             content_length: None,
             chunked: true,
             close: false,
+            trace: None,
         }
     }
 

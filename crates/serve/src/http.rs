@@ -39,6 +39,10 @@ pub struct RequestHead {
     /// exchange (`Connection: close`, or an HTTP/1.0 request without
     /// `keep-alive`).
     pub close: bool,
+    /// Parsed `x-hics-trace` header (`trace_id`, `parent span_id`), if the
+    /// client sent a well-formed one. Malformed values are ignored rather
+    /// than rejected — tracing must never fail a scoring request.
+    pub trace: Option<(u64, u64)>,
 }
 
 /// One fully read HTTP request (head + sized body) — the classic
@@ -53,6 +57,8 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to close the connection.
     pub close: bool,
+    /// Parsed `x-hics-trace` header, as on [`RequestHead`].
+    pub trace: Option<(u64, u64)>,
 }
 
 /// Why reading a request failed.
@@ -146,6 +152,7 @@ pub(crate) fn parse_head_bytes(head: &[u8]) -> Result<RequestHead, RequestError>
     let mut content_length: Option<usize> = None;
     let mut connection = String::new();
     let mut chunked = false;
+    let mut trace = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -168,6 +175,7 @@ pub(crate) fn parse_head_bytes(head: &[u8]) -> Result<RequestHead, RequestError>
             }
             "connection" => connection = value.to_ascii_lowercase(),
             "transfer-encoding" => chunked = value.to_ascii_lowercase().contains("chunked"),
+            "x-hics-trace" => trace = hics_obs::trace::parse_header(value),
             _ => {}
         }
     }
@@ -181,6 +189,7 @@ pub(crate) fn parse_head_bytes(head: &[u8]) -> Result<RequestHead, RequestError>
         content_length,
         chunked,
         close,
+        trace,
     })
 }
 
@@ -224,6 +233,7 @@ pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, RequestError> {
         path: head.path,
         body,
         close: head.close,
+        trace: head.trace,
     })
 }
 
@@ -489,12 +499,31 @@ pub fn write_response_typed<S: Write>(
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_traced(stream, status, content_type, body, close, None)
+}
+
+/// [`write_response_typed`] with an optional `x-hics-trace` echo. With
+/// `trace: None` the emitted bytes are **identical** to the untraced
+/// writer — the wire contract with tracing disabled rides on that.
+pub fn write_response_traced<S: Write>(
+    stream: &mut S,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    trace: Option<&str>,
+) -> std::io::Result<()> {
     let reason = reason_phrase(status);
     let connection = if close { "close" } else { "keep-alive" };
+    let trace_line = match trace {
+        Some(value) => format!("x-hics-trace: {value}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
          Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
+         {trace_line}\
          Connection: {connection}\r\n\
          \r\n",
         body.len()
@@ -664,6 +693,49 @@ mod tests {
     }
 
     #[test]
+    fn trace_header_is_parsed_and_bad_values_ignored() {
+        let r = parse(
+            "POST /score HTTP/1.1\r\nx-hics-trace: 00000000000000ab-00000000000000cd\r\n\
+             Content-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.trace, Some((0xab, 0xcd)));
+        let r = parse("POST /score HTTP/1.1\r\nX-Hics-Trace: junk\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.trace, None, "malformed header is ignored, not fatal");
+        let r = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.trace, None);
+    }
+
+    /// The traced writer with no trace must produce byte-identical output
+    /// to the plain writer; with a trace it only inserts the echo line.
+    #[test]
+    fn traced_writer_is_byte_identical_without_a_trace() {
+        let mut plain = Vec::new();
+        write_response_typed(&mut plain, 200, "application/json", "{}", false).unwrap();
+        let mut untraced = Vec::new();
+        write_response_traced(&mut untraced, 200, "application/json", "{}", false, None).unwrap();
+        assert_eq!(plain, untraced);
+
+        let mut traced = Vec::new();
+        write_response_traced(
+            &mut traced,
+            200,
+            "application/json",
+            "{}",
+            false,
+            Some("ab-cd"),
+        )
+        .unwrap();
+        let text = String::from_utf8(traced).unwrap();
+        assert!(text.contains("x-hics-trace: ab-cd\r\n"), "{text}");
+        assert_eq!(
+            text.replace("x-hics-trace: ab-cd\r\n", "").into_bytes(),
+            plain
+        );
+    }
+
+    #[test]
     fn error_body_is_json() {
         assert_eq!(
             error_body("bad \"thing\""),
@@ -695,6 +767,7 @@ mod tests {
             content_length: Some(len),
             chunked: false,
             close: false,
+            trace: None,
         }
     }
 
@@ -705,6 +778,7 @@ mod tests {
             content_length: None,
             chunked: true,
             close: false,
+            trace: None,
         }
     }
 

@@ -89,6 +89,30 @@ impl ServeMetrics {
             "hics_backpressure_stalls_total",
             "Connections paused at the output high-water mark.",
         );
+        // Fleet bookkeeping: which build answers this scrape, and since
+        // when. The router registers its own `crate` label variant, so a
+        // routed tier's scrape names both crates.
+        registry
+            .gauge_with(
+                "hics_build_info",
+                "Build metadata; the value is always 1.",
+                vec![
+                    ("version", env!("CARGO_PKG_VERSION").to_string()),
+                    ("crate", "hics-serve".to_string()),
+                ],
+            )
+            .set(1);
+        registry
+            .gauge(
+                "hics_process_start_seconds",
+                "Unix time this process registered its instruments.",
+            )
+            .set(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs() as i64)
+                    .unwrap_or(0),
+            );
         // The fit counter family is registered (zero-valued while purely
         // serving) so one scrape config covers fits driven in-process.
         let _ = hics_core::FitMetrics::register(&registry);
@@ -136,6 +160,7 @@ impl ServeMetrics {
         config: &ServeConfig,
         path: &str,
         timeline: &mut Timeline,
+        trace_id: Option<u64>,
     ) {
         if !timeline.is_started() {
             return;
@@ -149,20 +174,33 @@ impl ServeMetrics {
         self.request_seconds.record(total_ns);
         if let Some(threshold) = config.slow_query {
             if u128::from(total_ns) >= threshold.as_nanos() {
-                log_slow_query(config.log_format, path, timeline, total_ns);
+                log_slow_query(config.log_format, path, timeline, total_ns, trace_id);
             }
         }
         timeline.reset();
     }
 }
 
-/// One stderr line per slow request, with the full stage timeline.
-fn log_slow_query(format: LogFormat, path: &str, timeline: &Timeline, total_ns: u64) {
+/// One stderr line per slow request, with the full stage timeline. The
+/// trace id (when tracing is on) cross-references the log line with
+/// `GET /trace/<id>` — slow requests are always retained there.
+fn log_slow_query(
+    format: LogFormat,
+    path: &str,
+    timeline: &Timeline,
+    total_ns: u64,
+    trace_id: Option<u64>,
+) {
     match format {
         LogFormat::Json => {
             let mut out = String::with_capacity(192);
             out.push_str("{\"event\":\"slow_query\",\"path\":");
             crate::json::escape_string(&mut out, path);
+            if let Some(id) = trace_id {
+                out.push_str(",\"trace_id\":\"");
+                out.push_str(&hics_obs::trace::format_id(id));
+                out.push('"');
+            }
             out.push_str(&format!(",\"total_us\":{}", total_ns / 1_000));
             out.push_str(",\"stages_us\":{");
             let mut first = true;
@@ -187,8 +225,11 @@ fn log_slow_query(format: LogFormat, path: &str, timeline: &Timeline, total_ns: 
                         .map(|ns| format!("{name}={}us", ns / 1_000))
                 })
                 .collect();
+            let trace = trace_id
+                .map(|id| format!(" trace={}", hics_obs::trace::format_id(id)))
+                .unwrap_or_default();
             eprintln!(
-                "slow query {path}: total={}us {}",
+                "slow query {path}:{trace} total={}us {}",
                 total_ns / 1_000,
                 stages.join(" ")
             );
@@ -257,7 +298,7 @@ mod tests {
         t.mark(Stage::HeadParse);
         t.mark(Stage::Body);
         t.mark(Stage::Flush);
-        m.observe_request(&config, "/score", &mut t);
+        m.observe_request(&config, "/score", &mut t, None);
         assert!(!t.is_started(), "timeline reset for keep-alive reuse");
         assert_eq!(m.request_seconds.count(), 1);
         assert_eq!(m.stage[Stage::HeadParse as usize].count(), 1);
@@ -265,7 +306,7 @@ mod tests {
         assert_eq!(m.stage[Stage::Enqueue as usize].count(), 0, "unmarked");
         assert_eq!(m.stage[Stage::Flush as usize].count(), 1);
         // Unstarted timelines (e.g. instrumentation off) are ignored.
-        m.observe_request(&config, "/score", &mut t);
+        m.observe_request(&config, "/score", &mut t, None);
         assert_eq!(m.request_seconds.count(), 1);
     }
 
@@ -281,7 +322,7 @@ mod tests {
         t.mark(Stage::Flush);
         // Far below threshold: must not log (nothing observable here beyond
         // not panicking) but still records.
-        m.observe_request(&config, "/healthz", &mut t);
+        m.observe_request(&config, "/healthz", &mut t, None);
         assert_eq!(m.request_seconds.count(), 1);
     }
 

@@ -40,19 +40,19 @@
 //! server stops consuming its input.
 
 use crate::batch::{BatchReply, BatchStats, Batcher};
-use crate::http::{error_body, Request};
+use crate::http::{error_body, Request, RequestHead};
 #[cfg(not(target_os = "linux"))]
 use crate::http::{
     finish_chunked, read_head, read_sized_body, write_chunk, write_chunked_head, write_response,
-    write_response_typed, BodyError, BodyReader, LineRead, RequestError, RequestHead,
+    write_response_traced, BodyError, BodyReader, LineRead, RequestError,
 };
 use crate::json::{self, Json};
 #[cfg(not(target_os = "linux"))]
 use crate::metrics::content_type_for;
 use crate::metrics::{EngineRecorder, ServeMetrics};
-use hics_obs::{Counter, Gauge, Registry};
 #[cfg(not(target_os = "linux"))]
-use hics_obs::{Stage, Timeline};
+use hics_obs::Stage;
+use hics_obs::{Counter, Gauge, Registry, Span, SpanStatus, Timeline, Tracer, STAGES};
 use hics_outlier::{Engine, EngineHandle, IndexKind};
 #[cfg(not(target_os = "linux"))]
 use std::io::Write as _;
@@ -255,6 +255,7 @@ pub(crate) struct Ctx {
     pub(crate) config: Arc<ServeConfig>,
     pub(crate) reactors: usize,
     pub(crate) admin: AdminRoutes,
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 /// A running scoring server.
@@ -310,6 +311,19 @@ impl Server {
         config: ServeConfig,
         registry: Arc<Registry>,
     ) -> std::io::Result<Self> {
+        Self::bind_handle_with_obs(handle, config, registry, Arc::new(Tracer::default()))
+    }
+
+    /// Like [`Server::bind_handle_with_registry`] over a caller-provided
+    /// [`Tracer`] — an embedder (e.g. the scatter-gather router) shares one
+    /// tracer between this server's request spans and its own, so a routed
+    /// request's spans all land in the same trace store behind `/trace`.
+    pub fn bind_handle_with_obs(
+        handle: Arc<EngineHandle>,
+        config: ServeConfig,
+        registry: Arc<Registry>,
+        tracer: Arc<Tracer>,
+    ) -> std::io::Result<Self> {
         #[cfg(target_os = "linux")]
         let listener = crate::reactor::bind_listener(&config.addr)?;
         #[cfg(not(target_os = "linux"))]
@@ -342,6 +356,7 @@ impl Server {
                 config: Arc::new(config),
                 reactors,
                 admin: Arc::new(Mutex::new(Vec::new())),
+                tracer,
             },
             stop: Arc::new(AtomicBool::new(false)),
             wakes: Arc::new(Mutex::new(Vec::new())),
@@ -568,6 +583,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
             }
             continue;
         }
+        let mut trace = begin_req_trace(ctx, &head, 0);
         let body = match read_sized_body(&mut reader, &head) {
             Ok(b) => b,
             Err(RequestError::Closed) | Err(RequestError::Io(_)) => return Ok(()),
@@ -585,19 +601,34 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
         };
         // Scoring runs synchronously inside `dispatch` here, so the
         // enqueue/score split the reactor core records collapses into one
-        // `score` mark.
+        // `score` mark. The trace context is planted for the batcher to
+        // capture (a remote engine parents its fan-out spans under it).
+        hics_obs::trace::set_current(trace.as_ref().map(ReqTrace::context));
         let (status, body) = dispatch(&request, ctx);
+        hics_obs::trace::set_current(None);
         timeline.mark(Stage::Score);
-        write_response_typed(
+        if let Some(rt) = trace.as_mut() {
+            rt.status = status;
+        }
+        let echo = trace
+            .as_ref()
+            .filter(|rt| rt.explicit)
+            .map(ReqTrace::header);
+        write_response_traced(
             reader.get_mut(),
             status,
             content_type_for(&request.path, status),
             &body,
             close,
+            echo.as_deref(),
         )?;
         timeline.mark(Stage::Flush);
+        let trace_id = trace.as_ref().map(|rt| rt.trace_id);
+        if let Some(rt) = trace {
+            finish_req_trace(ctx, rt, &timeline);
+        }
         ctx.metrics
-            .observe_request(&ctx.config, &request.path, &mut timeline);
+            .observe_request(&ctx.config, &request.path, &mut timeline, trace_id);
         if close {
             reader.get_mut().flush()?;
             return Ok(());
@@ -617,6 +648,16 @@ pub(crate) fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
         ("GET", "/model") => (200, model_body(&ctx.handle.load(), ctx.handle.generation())),
         ("GET", "/stats") => (200, stats_body(ctx)),
         ("GET", "/metrics") => (200, ctx.metrics.registry.render_prometheus()),
+        ("GET", "/trace") => (200, ctx.tracer.index_json()),
+        ("GET", path) if path.starts_with("/trace/") => {
+            match hics_obs::trace::parse_id(&path["/trace/".len()..]) {
+                None => (400, error_body("trace id must be 1-16 hex digits")),
+                Some(id) => match ctx.tracer.trace_json(id) {
+                    Some(body) => (200, body),
+                    None => (404, error_body("trace not retained (dropped or evicted)")),
+                },
+            }
+        }
         ("POST" | "GET", _) => {
             if request.method == "GET" {
                 let handler = ctx
@@ -637,6 +678,102 @@ pub(crate) fn dispatch(request: &Request, ctx: &Ctx) -> (u16, String) {
             error_body(&format!("method {} not allowed", request.method)),
         ),
     }
+}
+
+/// Root-span bookkeeping for one in-flight request: opened at head parse,
+/// finished (and submitted to tail retention) when the response flushes.
+pub(crate) struct ReqTrace {
+    pub(crate) trace_id: u64,
+    pub(crate) span_id: u64,
+    /// Upstream parent span id, when the client propagated one.
+    pub(crate) parent: Option<u64>,
+    /// Root-span start on the tracer's clock.
+    pub(crate) start_ns: u64,
+    pub(crate) path: String,
+    /// Response status, recorded when the response is rendered.
+    pub(crate) status: u16,
+    /// Whether the client sent `x-hics-trace` — the response echoes the
+    /// header and the completed trace is always retained.
+    pub(crate) explicit: bool,
+}
+
+impl ReqTrace {
+    /// The `x-hics-trace` value echoed to explicit callers.
+    pub(crate) fn header(&self) -> String {
+        hics_obs::trace::format_header(self.trace_id, self.span_id)
+    }
+
+    /// The context downstream layers (batcher → remote router) parent
+    /// their spans under.
+    pub(crate) fn context(&self) -> hics_obs::TraceContext {
+        hics_obs::TraceContext {
+            trace_id: self.trace_id,
+            parent_span: self.span_id,
+        }
+    }
+}
+
+/// Opens the root span of one request (`None` with instrumentation off).
+/// `elapsed_ns` back-dates the start to first-byte arrival — the head has
+/// already been parsed by the time the trace can be created.
+pub(crate) fn begin_req_trace(ctx: &Ctx, head: &RequestHead, elapsed_ns: u64) -> Option<ReqTrace> {
+    if !ctx.config.instrument {
+        return None;
+    }
+    let (trace_id, parent, explicit) = match head.trace {
+        Some((tid, sid)) => (tid, Some(sid), true),
+        None => (ctx.tracer.next_id(), None, false),
+    };
+    Some(ReqTrace {
+        trace_id,
+        span_id: ctx.tracer.next_id(),
+        parent,
+        start_ns: ctx.tracer.now_ns().saturating_sub(elapsed_ns),
+        path: head.path.clone(),
+        status: 200,
+        explicit,
+    })
+}
+
+/// Closes one request's trace: each marked timeline stage becomes a child
+/// span bracketed by the previous mark, then the root span closes and the
+/// tracer applies tail-based retention. Must run *before* the timeline is
+/// folded into the histograms (which resets it).
+pub(crate) fn finish_req_trace(ctx: &Ctx, rt: ReqTrace, timeline: &Timeline) {
+    let tracer = &ctx.tracer;
+    let mut prev_off = 0u64;
+    for (stage, name) in STAGES {
+        if let Some(off) = timeline.offset_ns(stage) {
+            tracer.record(Span {
+                trace_id: rt.trace_id,
+                span_id: tracer.next_id(),
+                parent: Some(rt.span_id),
+                name: name.to_string(),
+                start_ns: rt.start_ns + prev_off,
+                end_ns: rt.start_ns + off,
+                tags: Vec::new(),
+                status: SpanStatus::Ok,
+            });
+            prev_off = off;
+        }
+    }
+    let mut root = Span {
+        trace_id: rt.trace_id,
+        span_id: rt.span_id,
+        parent: rt.parent,
+        name: format!("req {}", rt.path),
+        start_ns: rt.start_ns,
+        end_ns: tracer.now_ns(),
+        tags: Vec::new(),
+        status: if rt.status >= 500 {
+            SpanStatus::Error
+        } else {
+            SpanStatus::Ok
+        },
+    };
+    root.tag("path", rt.path.as_str());
+    root.tag("status", rt.status.to_string());
+    tracer.finish_trace(root, rt.explicit);
 }
 
 /// Parsed `/score` rows plus whether the single-point form was used;
@@ -1095,6 +1232,7 @@ mod tests {
             config: Arc::new(ServeConfig::default()),
             reactors: 1,
             admin: Arc::new(Mutex::new(Vec::new())),
+            tracer: Arc::new(Tracer::default()),
         }
     }
 
@@ -1282,6 +1420,7 @@ mod tests {
                 path: path.into(),
                 body: Vec::new(),
                 close: false,
+                trace: None,
             };
             assert_eq!(dispatch(&get("/healthz"), ctx).0, 200);
             let (status, body) = dispatch(&get("/model"), ctx);
@@ -1319,6 +1458,7 @@ mod tests {
                 path: "/route".into(),
                 body: Vec::new(),
                 close: false,
+                trace: None,
             };
             assert_eq!(dispatch(&post_route, ctx).0, 404);
             let delete = Request {
@@ -1326,6 +1466,7 @@ mod tests {
                 path: "/score".into(),
                 body: Vec::new(),
                 close: false,
+                trace: None,
             };
             assert_eq!(dispatch(&delete, ctx).0, 405);
         });

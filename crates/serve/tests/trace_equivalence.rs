@@ -1,0 +1,193 @@
+//! Tracing wire equivalence: with instrumentation off, scoring responses
+//! are byte-for-byte what an untraced server sends and carry no
+//! `x-hics-trace` header at all; with it on, the response bytes only
+//! change for clients that sent the header themselves (the echo). Also
+//! covers the `/trace` surfaces end to end over real TCP.
+
+use hics_data::model::{
+    apply_normalization, AggregationKind, HicsModel, ModelSubspace, NormKind, ScorerKind,
+    ScorerSpec,
+};
+use hics_data::SyntheticConfig;
+use hics_outlier::QueryEngine;
+use hics_serve::{ServeConfig, Server, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+struct RunningServer {
+    addr: std::net::SocketAddr,
+    handle: ShutdownHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl RunningServer {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread");
+    }
+}
+
+fn engine() -> QueryEngine {
+    let g = SyntheticConfig::new(80, 3).with_seed(17).generate();
+    let (data, norm) = apply_normalization(&g.dataset, NormKind::None);
+    let model = HicsModel::new(
+        data,
+        NormKind::None,
+        norm,
+        vec![ModelSubspace {
+            dims: vec![0, 2],
+            contrast: 0.6,
+        }],
+        ScorerSpec {
+            kind: ScorerKind::KnnMean,
+            k: 4,
+        },
+        AggregationKind::Average,
+    );
+    QueryEngine::from_model(&model, 1)
+}
+
+fn start_server(instrument: bool) -> RunningServer {
+    let server = Server::bind(
+        engine(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            max_batch: 16,
+            workers: 1,
+            keep_alive: Duration::from_secs(5),
+            max_connections: 16,
+            instrument,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    RunningServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+/// One full close-delimited exchange: the exact bytes the server sent.
+fn raw_exchange(addr: std::net::SocketAddr, request: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read to close");
+    buf
+}
+
+fn score_request(extra_header: &str) -> String {
+    let body = "{\"point\": [0.3, 0.6, 0.9]}";
+    format!(
+        "POST /score HTTP/1.1\r\nHost: t\r\n{extra_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+const TRACE_HEADER: &str = "x-hics-trace: 00000000000000ab-00000000000000cd\r\n";
+
+fn status_of(raw: &[u8]) -> u16 {
+    let text = String::from_utf8_lossy(raw);
+    text.split(' ')
+        .nth(1)
+        .expect("status")
+        .parse()
+        .expect("numeric status")
+}
+
+#[test]
+fn untraced_clients_see_identical_bytes_with_tracing_on_or_off() {
+    let on = start_server(true);
+    let off = start_server(false);
+    let plain = score_request("");
+
+    let from_on = raw_exchange(on.addr, &plain);
+    let from_off = raw_exchange(off.addr, &plain);
+    assert_eq!(
+        from_on, from_off,
+        "tracing must not change wire bytes for clients that did not ask for it"
+    );
+    assert!(
+        !String::from_utf8_lossy(&from_on).contains("x-hics-trace"),
+        "no echo header without a client header"
+    );
+
+    // An explicit client header: echoed when tracing is on, absent (and
+    // the response byte-identical to the untraced one) when off.
+    let traced = score_request(TRACE_HEADER);
+    let echoed = raw_exchange(on.addr, &traced);
+    assert!(
+        String::from_utf8_lossy(&echoed).contains("x-hics-trace: 00000000000000ab-"),
+        "traced response echoes trace id and assigned span id: {}",
+        String::from_utf8_lossy(&echoed)
+    );
+    let suppressed = raw_exchange(off.addr, &traced);
+    assert_eq!(
+        suppressed, from_off,
+        "--no-instrument drops the header entirely, bytes unchanged"
+    );
+
+    on.stop();
+    off.stop();
+}
+
+#[test]
+fn explicit_traces_are_retained_and_served() {
+    let server = start_server(true);
+    let raw = raw_exchange(server.addr, &score_request(TRACE_HEADER));
+    assert_eq!(status_of(&raw), 200);
+
+    // The explicit trace is force-retained; the flush that closes it runs
+    // just after the last response byte, so poll briefly.
+    let fetch = |path: &str| {
+        raw_exchange(
+            server.addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
+    };
+    let mut detail = Vec::new();
+    for _ in 0..50 {
+        detail = fetch("/trace/00000000000000ab");
+        if status_of(&detail) == 200 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let detail = String::from_utf8_lossy(&detail);
+    assert!(
+        detail.contains("\"trace_id\":\"00000000000000ab\""),
+        "{detail}"
+    );
+    assert!(detail.contains("\"name\":\"req /score\""), "{detail}");
+    assert!(
+        detail.contains("\"kept\":\"header\""),
+        "client-requested traces are always retained: {detail}"
+    );
+    assert!(
+        detail.contains("\"name\":\"score\""),
+        "stage child spans present: {detail}"
+    );
+
+    let index = fetch("/trace");
+    assert_eq!(status_of(&index), 200);
+    assert!(
+        String::from_utf8_lossy(&index).contains("\"id\":\"00000000000000ab\""),
+        "{}",
+        String::from_utf8_lossy(&index)
+    );
+
+    assert_eq!(status_of(&fetch("/trace/zz")), 400, "non-hex id rejected");
+    assert_eq!(
+        status_of(&fetch("/trace/00000000000000aa")),
+        404,
+        "unknown id is a 404"
+    );
+
+    server.stop();
+}
